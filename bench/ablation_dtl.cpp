@@ -1,0 +1,57 @@
+// Ablation — DTL tier. Two experiments:
+//  (1) native mode: the real small ensemble through the in-memory staging
+//      backend vs the file-backed spool (write/read stage costs move);
+//  (2) simulated mode: the modelled staging costs swept from memcpy-class
+//      to PFS-class bandwidth, showing when W/R start to matter.
+#include "bench_common.hpp"
+
+#include "core/stages.hpp"
+#include "metrics/steady_state.hpp"
+#include "runtime/native_executor.hpp"
+
+int main() {
+  using namespace wfe;
+  using core::StageKind;
+  bench::print_banner(
+      "Ablation: data-transport-layer tier",
+      "In-memory (DIMES-like) staging vs a file-backed spool, native mode;\n"
+      "then modelled staging-bandwidth sweep, simulated mode. In situ\n"
+      "processing's premise: the memory tier keeps W and R negligible.");
+
+  // --- (1) native runs through both real backends -------------------------
+  Table native({"staging tier", "W* [s]", "R* [s]", "ensemble makespan [s]"});
+  for (const auto tier : {rt::NativeOptions::StagingTier::kMemory,
+                          rt::NativeOptions::StagingTier::kFile}) {
+    rt::NativeOptions opt;
+    opt.staging = tier;
+    const auto spec = wl::small_native_ensemble(1, 1, 6);
+    const auto result = rt::NativeExecutor(opt).run(spec);
+    const auto a = rt::assess(spec, result);
+    native.add_row(
+        {tier == rt::NativeOptions::StagingTier::kMemory ? "memory" : "file",
+         sci(a.members[0].steady.sim.w, 2),
+         sci(a.members[0].steady.analyses[0].r, 2),
+         fixed(a.ensemble_makespan_measured, 3)});
+  }
+  std::cout << native.render();
+
+  // --- (2) modelled staging-bandwidth sweep -------------------------------
+  Table sweep({"copy bw", "W* [s]", "R* local [s]", "sigma* (Cc) [s]",
+               "E (Cc)"});
+  for (const double bw : {8.0e9, 1.0e9, 0.2e9, 0.05e9}) {
+    auto platform = wl::cori_like_platform();
+    platform.node.copy_bw_bytes_per_s = bw;
+    rt::SimulatedExecutor exec(platform);
+    auto cfg = wl::paper_config("Cc");
+    cfg.spec.n_steps = 6;
+    const auto result = exec.run(cfg.spec);
+    const auto a = rt::assess(cfg.spec, result);
+    sweep.add_row({human_bytes(bw) + "/s", sci(a.members[0].steady.sim.w, 2),
+                   sci(a.members[0].steady.analyses[0].r, 2),
+                   fixed(a.members[0].sigma, 2),
+                   fixed(a.members[0].efficiency, 3)});
+  }
+  std::cout << "\nModelled co-located staging bandwidth sweep (Cc):\n"
+            << sweep.render();
+  return 0;
+}

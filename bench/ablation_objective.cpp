@@ -1,0 +1,54 @@
+// Ablation — the Eq. (9) aggregation choice. Compare mean - stddev (the
+// paper) against plain mean, min, and mean - 2*stddev: does the straggler
+// penalty change which configuration wins?
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "support/stats.hpp"
+
+int main() {
+  using namespace wfe;
+  using core::IndicatorKind;
+  bench::print_banner(
+      "Ablation: ensemble-level aggregation (Eq. 9)",
+      "F = mean - stddev (paper) vs alternatives over the member\n"
+      "indicators P^{U,A,P}. The stddev penalty demotes asymmetric\n"
+      "configurations (e.g. C1.3: one co-located member, one spread\n"
+      "member) that plain mean would rank optimistically.");
+
+  auto aggregate = [](std::span<const double> p, const std::string& how) {
+    if (how == "mean") return mean(p);
+    if (how == "min") return *std::min_element(p.begin(), p.end());
+    if (how == "mean-std") return mean(p) - stddev_population(p);
+    return mean(p) - 2.0 * stddev_population(p);  // mean-2std
+  };
+  const std::vector<std::string> hows{"mean", "mean-std", "mean-2std", "min"};
+
+  for (const auto& set : {wl::paper_set1(), wl::paper_table4()}) {
+    Table table({"config", "mean", "mean-std (paper)", "mean-2std", "min"});
+    std::map<std::string, std::pair<std::string, double>> winner;
+    for (const auto& run : bench::run_set(set)) {
+      const auto p = run.assessment.member_indicators(IndicatorKind::kUAP);
+      std::vector<std::string> row{run.config.name};
+      for (const auto& how : hows) {
+        const double f = aggregate(p, how);
+        row.push_back(sci(f, 3));
+        auto [it, fresh] = winner.emplace(
+            how, std::make_pair(run.config.name, f));
+        if (!fresh && f > it->second.second) {
+          it->second = {run.config.name, f};
+        }
+      }
+      // Reorder: mean, mean-std, mean-2std, min (matches headers).
+      table.add_row({row[0], row[1], row[2], row[3], row[4]});
+    }
+    std::cout << table.render();
+    std::cout << "Winners:";
+    for (const auto& how : hows) {
+      std::cout << "  " << how << " -> " << winner[how].first;
+    }
+    std::cout << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 4 — ensemble-member makespan per configuration (Table 2 set):
+// the timespan between the simulation start and the latest analysis end.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfe;
+  bench::print_banner(
+      "Figure 4",
+      "Member makespans across the Table 2 configurations.\n"
+      "Expected shape: C1.5 members are the fastest among the two-member\n"
+      "configurations; C1.4 members the slowest (analysis contention on a\n"
+      "shared node plus remote staging reads).");
+
+  Table table({"config", "member", "makespan [s]", "sigma* [s]",
+               "makespan model (Eq. 2) [s]", "regime of coupling 0"});
+  for (const auto& run : bench::run_set(wl::paper_table2())) {
+    for (std::size_t i = 0; i < run.assessment.members.size(); ++i) {
+      const auto& m = run.assessment.members[i];
+      table.add_row({run.config.name, strprintf("EM%zu", i + 1),
+                     fixed(m.makespan_measured, 1), fixed(m.sigma, 2),
+                     fixed(m.makespan_model, 1),
+                     core::to_string(core::classify_coupling(m.steady, 0))});
+    }
+  }
+  std::cout << table.render();
+  return 0;
+}

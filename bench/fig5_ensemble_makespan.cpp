@@ -1,0 +1,27 @@
+// Figure 5 — workflow-ensemble makespan (the maximum member makespan) per
+// configuration, for both Table 2 and Table 4 sets.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfe;
+  bench::print_banner(
+      "Figure 5",
+      "Ensemble makespans (max member makespan) across all paper\n"
+      "configurations. Expected shape: C1.5 minimal in set 1 (tied with\n"
+      "C1.3, whose first member is structurally identical); C2.8 minimal\n"
+      "in set 2.");
+
+  Table table({"config", "members", "nodes (M)", "ensemble makespan [s]"});
+  for (const auto& set : {wl::paper_table2(), wl::paper_table4()}) {
+    for (const auto& run : bench::run_set(set)) {
+      table.add_row(
+          {run.config.name,
+           strprintf("%zu", run.config.spec.members.size()),
+           strprintf("%d", run.assessment.total_nodes),
+           fixed(run.assessment.ensemble_makespan_measured, 1)});
+    }
+    table.add_separator();
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8 — the objective F(P_i) at every indicator stage, over the
+// one-analysis-per-simulation configurations C1.1 ... C1.5 (Table 2), for
+// both stage orders: P^U -> P^{U,P} -> P^{U,P,A} and
+//                    P^U -> P^{U,A} -> P^{U,A,P}.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfe;
+  using core::IndicatorKind;
+  bench::print_banner(
+      "Figure 8",
+      "F(P_i) per indicator stage over C1.1 ... C1.5 (higher is better).\n"
+      "Expected shape: P^{U,P} groups by node count and cannot rank C1.5\n"
+      "above C1.4; adding the allocation layer isolates C1.5; at the final\n"
+      "stage C1.5 > C1.4 > C1.1, C1.2, C1.3 — co-locating each simulation\n"
+      "with its own analysis wins.");
+
+  Table table({"config", "E (EM1)", "E (EM2)", "F(P^U)", "F(P^{U,P})",
+               "F(P^{U,A})", "F(P^{U,A,P}) = F(P^{U,P,A})"});
+  for (const auto& run : bench::run_set(wl::paper_set1())) {
+    const auto& a = run.assessment;
+    table.add_row({run.config.name, fixed(a.members[0].efficiency, 3),
+                   fixed(a.members[1].efficiency, 3),
+                   sci(a.objective(IndicatorKind::kU), 3),
+                   sci(a.objective(IndicatorKind::kUP), 3),
+                   sci(a.objective(IndicatorKind::kUA), 3),
+                   sci(a.objective(IndicatorKind::kUAP), 3)});
+  }
+  std::cout << table.render();
+
+  // The single-member baselines give the headline co-location contrast.
+  Table base({"config", "E", "F(P^U)", "F(P^{U,A,P})"});
+  for (const auto& run :
+       bench::run_set({wl::paper_config("Cf"), wl::paper_config("Cc")})) {
+    const auto& a = run.assessment;
+    base.add_row({run.config.name, fixed(a.members[0].efficiency, 3),
+                  sci(a.objective(IndicatorKind::kU), 3),
+                  sci(a.objective(IndicatorKind::kUAP), 3)});
+  }
+  std::cout << "\nSingle-member baselines (co-location-free vs co-located):\n"
+            << base.render();
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 9 — the objective F(P_i) at every indicator stage over the
+// two-analyses-per-simulation configurations C2.1 ... C2.8 (Table 4).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wfe;
+  using core::IndicatorKind;
+  bench::print_banner(
+      "Figure 9",
+      "F(P_i) per indicator stage over C2.1 ... C2.8 (higher is better).\n"
+      "Expected shape: P^{U,P} splits the set into the 2-node group\n"
+      "(C2.6, C2.7, C2.8) and the 3-node group; the allocation layer\n"
+      "isolates C2.8 (every simulation co-located with both of its\n"
+      "analyses) as the best configuration, and separates C2.6/C2.7 from\n"
+      "the spread 3-node configurations.");
+
+  Table table({"config", "nodes (M)", "F(P^U)", "F(P^{U,P})", "F(P^{U,A})",
+               "F(P^{U,A,P}) = F(P^{U,P,A})"});
+  for (const auto& run : bench::run_set(wl::paper_table4())) {
+    const auto& a = run.assessment;
+    table.add_row({run.config.name, strprintf("%d", a.total_nodes),
+                   sci(a.objective(IndicatorKind::kU), 3),
+                   sci(a.objective(IndicatorKind::kUP), 3),
+                   sci(a.objective(IndicatorKind::kUA), 3),
+                   sci(a.objective(IndicatorKind::kUAP), 3)});
+  }
+  std::cout << table.render();
+  return 0;
+}

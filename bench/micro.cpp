@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark): the engine, DTL and kernel costs
+// that underpin the macro experiments.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "analysis/bipartite_eigen.hpp"
+#include "dtl/coupling.hpp"
+#include "dtl/file_staging.hpp"
+#include "dtl/memory_staging.hpp"
+#include "dtl/serde.hpp"
+#include "mdsim/engine.hpp"
+#include "platform/cluster.hpp"
+#include "simengine/engine.hpp"
+#include "support/rng.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using namespace wfe;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::size_t i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<double>(i), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+dtl::Chunk make_chunk(std::size_t atoms) {
+  Xoshiro256 rng(1);
+  std::vector<double> xyz(atoms * 3);
+  for (auto& x : xyz) x = rng.normal();
+  return dtl::Chunk(dtl::ChunkKey{0, 0}, dtl::PayloadKind::kPositions3N,
+                    std::move(xyz));
+}
+
+void BM_SerdeRoundTrip(benchmark::State& state) {
+  const dtl::Chunk chunk = make_chunk(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtl::deserialize(dtl::serialize(chunk)));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(dtl::serialized_size(chunk)));
+}
+BENCHMARK(BM_SerdeRoundTrip)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MemoryStagingPutGet(benchmark::State& state) {
+  dtl::MemoryStaging staging;
+  const auto bytes = dtl::serialize(make_chunk(1024));
+  for (auto _ : state) {
+    staging.put("k", bytes);
+    benchmark::DoNotOptimize(staging.get("k"));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()) * 2);
+}
+BENCHMARK(BM_MemoryStagingPutGet);
+
+void BM_FileStagingPutGet(benchmark::State& state) {
+  dtl::FileStaging staging(std::filesystem::temp_directory_path() /
+                           "wfens-bench-spool");
+  const auto bytes = dtl::serialize(make_chunk(1024));
+  for (auto _ : state) {
+    staging.put("k", bytes);
+    benchmark::DoNotOptimize(staging.get("k"));
+  }
+  staging.clear();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()) * 2);
+}
+BENCHMARK(BM_FileStagingPutGet);
+
+void BM_CouplingHandshake(benchmark::State& state) {
+  // Single-threaded protocol round trip: begin/commit + await/ack.
+  for (auto _ : state) {
+    state.PauseTiming();
+    dtl::CouplingChannel channel(1);
+    state.ResumeTiming();
+    for (std::uint64_t s = 0; s < 100; ++s) {
+      channel.begin_write(s);
+      channel.commit_write(s);
+      benchmark::DoNotOptimize(channel.await_step(0, s));
+      channel.ack_read(0, s);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_CouplingHandshake);
+
+void BM_LjMdStep(benchmark::State& state) {
+  md::MdConfig config = wl::native_md_config();
+  config.fcc_cells = static_cast<int>(state.range(0));
+  md::MdEngine engine(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.advance(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(engine.atom_count()));
+}
+BENCHMARK(BM_LjMdStep)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_BipartiteEigenKernel(benchmark::State& state) {
+  const dtl::Chunk chunk = make_chunk(static_cast<std::size_t>(state.range(0)));
+  ana::BipartiteEigenKernel kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.analyze(chunk));
+  }
+}
+BENCHMARK(BM_BipartiteEigenKernel)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ClusterStagePricing(benchmark::State& state) {
+  plat::Cluster cluster(wl::cori_like_platform());
+  const auto sim = wl::gltph_like_simulation({0});
+  const auto profile = md::md_stage_profile(sim.cost, sim.natoms, sim.stride);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    cluster.begin_compute(0, profile, 4);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.stage_cost(0, profile, 16));
+  }
+}
+BENCHMARK(BM_ClusterStagePricing)->Arg(0)->Arg(2)->Arg(6);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Capacity planner: the §3.4 heuristic as a user-facing tool.
+//
+// "In most cases scientists have a rough estimate of the best settings for
+//  their simulations, but not for the analyses." Given the simulation's
+// settings (cores, stride, system size), sweep the analysis core count on
+// the modelled platform and report, per candidate: the in situ step
+// decomposition, Eq. (4) feasibility and the efficiency E — then recommend
+// the allocation that minimizes the makespan and maximizes E.
+//
+// Usage:  ./capacity_planner [sim_cores] [stride] [natoms]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/heuristic.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "workload/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+
+  const int sim_cores = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int stride = argc > 2 ? std::atoi(argv[2]) : 800;
+  const std::size_t natoms =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 400'000;
+
+  const auto platform = wl::cori_like_platform();
+  rt::SimulatedExecutor executor(platform);
+
+  auto member_at = [&](int ana_cores) {
+    rt::EnsembleSpec spec;
+    spec.n_steps = 6;
+    rt::MemberSpec m;
+    m.sim = wl::gltph_like_simulation({0}, sim_cores);
+    m.sim.stride = stride;
+    m.sim.natoms = natoms;
+    m.analyses.push_back(wl::bipartite_like_analysis({1}, ana_cores));
+    spec.members.push_back(std::move(m));
+    return rt::assess(spec, executor.run(spec)).members[0];
+  };
+
+  std::cout << "planning analysis allocation for: " << sim_cores
+            << "-core simulation, stride " << stride << ", " << natoms
+            << " atoms (co-location-free baseline)\n\n";
+
+  const core::SimSteady sim_side = member_at(8).steady.sim;
+  const auto result = core::provision_analysis_cores(
+      sim_side, [&](int c) { return member_at(c).steady.analyses[0]; },
+      platform.node.cores);
+
+  Table table({"analysis cores", "R*+A* [s]", "sigma* [s]", "E",
+               "Eq. 4 feasible"});
+  for (const auto& c : result.candidates) {
+    if (c.cores > 8 && c.cores % 4 != 0) continue;
+    table.add_row({strprintf("%d", c.cores),
+                   fixed(c.analysis.r + c.analysis.a, 2), fixed(c.sigma, 2),
+                   fixed(c.efficiency, 3), c.feasible ? "yes" : "no"});
+  }
+  std::cout << table.render();
+
+  std::cout << "\nsimulation side S*+W* = " << fixed(sim_side.s + sim_side.w, 2)
+            << " s\n"
+            << "recommendation: " << result.cores << " cores per analysis ("
+            << (result.any_feasible
+                    ? "minimizes makespan, maximizes E among feasible"
+                    : "no feasible allocation; best-effort minimum sigma*")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Native in situ MD ensemble: really run it.
+//
+// Two ensemble members, each a Lennard-Jones MD simulation coupled with
+// two in situ analyses (the bipartite-eigenvalue collective variable and
+// the radius of gyration), executing on threads and exchanging frames
+// through the in-memory DTL with the paper's synchronous no-buffering
+// protocol. Prints the per-step collective variables and the measured
+// stage decomposition.
+//
+// Build & run:  ./md_ensemble_native
+#include <iostream>
+
+#include "runtime/bridge.hpp"
+#include "runtime/native_executor.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace wfe;
+
+  rt::EnsembleSpec spec;
+  spec.name = "native-md-ensemble";
+  spec.n_steps = 6;
+  for (int i = 0; i < 2; ++i) {
+    rt::MemberSpec member;
+    member.sim.nodes = {0};
+    member.sim.cores = 1;
+    member.sim.stride = 25;  // MD steps per frame
+    member.sim.native = wl::native_md_config(1000 + i);
+
+    rt::AnalysisSpec eigen;
+    eigen.nodes = {0};
+    eigen.cores = 1;
+    eigen.kernel = "bipartite-eigen";
+    member.analyses.push_back(eigen);
+
+    rt::AnalysisSpec rgyr = eigen;
+    rgyr.kernel = "rgyr";
+    member.analyses.push_back(rgyr);
+
+    spec.members.push_back(member);
+  }
+
+  std::cout << "running " << spec.members.size()
+            << " members x (1 simulation + 2 analyses) on threads...\n\n";
+  const rt::ExecutionResult result = rt::NativeExecutor().run(spec);
+
+  // Collective-variable series, per member.
+  Table cv({"member", "kernel", "step", "value"});
+  for (const auto& series : result.analysis_outputs) {
+    for (const auto& r : series.results) {
+      cv.add_row({strprintf("EM%u", series.component.member + 1), r.kernel,
+                  strprintf("%llu", static_cast<unsigned long long>(r.step)),
+                  fixed(r.values[0], 4)});
+    }
+  }
+  std::cout << cv.render();
+
+  // The same assessment pipeline the paper applies, on real timings.
+  const rt::Assessment a = rt::assess(spec, result);
+  std::cout << "\nmeasured stage profile (steady state):\n";
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    const auto& m = a.members[i];
+    std::cout << "  EM" << i + 1 << ": S*=" << human_seconds(m.steady.sim.s)
+              << "  W*=" << human_seconds(m.steady.sim.w);
+    for (std::size_t j = 0; j < m.steady.analyses.size(); ++j) {
+      std::cout << "  [A" << j + 1
+                << ": R*=" << human_seconds(m.steady.analyses[j].r)
+                << " A*=" << human_seconds(m.steady.analyses[j].a) << "]";
+    }
+    std::cout << "  E=" << fixed(m.efficiency, 3) << "\n";
+  }
+  std::cout << "\nensemble makespan: "
+            << human_seconds(a.ensemble_makespan_measured) << "\n";
+  return 0;
+}

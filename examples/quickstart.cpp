@@ -1,0 +1,70 @@
+// Quickstart: assess a two-member in situ workflow ensemble end to end.
+//
+//  1. Describe the ensemble (who runs where, with how many cores).
+//  2. Replay it on the modelled Cori-like platform (simulated executor).
+//  3. Read back the paper's whole assessment chain: steady-state stages,
+//     the non-overlapped in situ step sigma* (Eq. 1), the computational
+//     efficiency E (Eq. 3), the member indicators (Eqs. 5-8) and the
+//     ensemble objective F (Eq. 9).
+//
+// Build & run:  ./quickstart
+#include <iostream>
+
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/str.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace wfe;
+
+  // -- 1. the ensemble: two members; member 1 co-locates its analysis with
+  //       the simulation, member 2 puts it on a dedicated node (this is
+  //       the paper's configuration C1.3).
+  rt::EnsembleSpec spec;
+  spec.name = "quickstart";
+  spec.n_steps = 12;
+
+  rt::MemberSpec member1;
+  member1.sim = wl::gltph_like_simulation(/*nodes=*/{0}, /*cores=*/16);
+  member1.analyses.push_back(wl::bipartite_like_analysis({0}, 8));
+  spec.members.push_back(member1);
+
+  rt::MemberSpec member2;
+  member2.sim = wl::gltph_like_simulation({1});
+  member2.analyses.push_back(wl::bipartite_like_analysis({2}));
+  spec.members.push_back(member2);
+
+  // -- 2. replay on the modelled platform.
+  rt::SimulatedExecutor executor(wl::cori_like_platform());
+  const rt::ExecutionResult result = executor.run(spec);
+
+  // -- 3. assess.
+  const rt::Assessment a = rt::assess(spec, result);
+  std::cout << "members: " << a.members.size()
+            << "   nodes used (M): " << a.total_nodes
+            << "   ensemble makespan: "
+            << fixed(a.ensemble_makespan_measured, 1) << " s\n\n";
+
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    const auto& m = a.members[i];
+    std::cout << "member " << i + 1 << ":  S*=" << fixed(m.steady.sim.s, 2)
+              << "  W*=" << sci(m.steady.sim.w, 1)
+              << "  R*=" << sci(m.steady.analyses[0].r, 1)
+              << "  A*=" << fixed(m.steady.analyses[0].a, 2)
+              << "  sigma*=" << fixed(m.sigma, 2)
+              << "  E=" << fixed(m.efficiency, 3) << "\n";
+  }
+
+  std::cout << "\nindicator chain (higher is better):\n";
+  for (const auto kind :
+       {core::IndicatorKind::kU, core::IndicatorKind::kUA,
+        core::IndicatorKind::kUP, core::IndicatorKind::kUAP}) {
+    std::cout << "  F(" << core::to_string(kind)
+              << ") = " << sci(a.objective(kind), 3) << "\n";
+  }
+  std::cout << "\nThe co-located member 1 drives the allocation-aware\n"
+               "indicators up; try moving member 2's analysis onto node 1\n"
+               "(the paper's C1.5) and watch F(P^{U,A,P}) rise.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "analysis/contact_map.hpp"
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+ContactMapKernel::ContactMapKernel(ContactMapConfig config) : config_(config) {
+  WFE_REQUIRE(config_.cutoff > 0.0, "contact cutoff must be positive");
+  WFE_REQUIRE(config_.subsample_stride >= 1, "subsample stride must be >= 1");
+}
+
+AnalysisResult ContactMapKernel::analyze(const dtl::Chunk& chunk) {
+  WFE_REQUIRE(chunk.kind() == dtl::PayloadKind::kPositions3N,
+              "contacts consumes position frames");
+  const auto xyz = chunk.values();
+  const auto stride = static_cast<std::size_t>(config_.subsample_stride);
+  const std::size_t atoms = chunk.atom_count() / stride;
+  WFE_REQUIRE(atoms >= 2, "need at least two (subsampled) atoms");
+
+  const double rc2 = config_.cutoff * config_.cutoff;
+  std::size_t contacts = 0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    const std::size_t ai = i * stride * 3;
+    for (std::size_t j = i + 1; j < atoms; ++j) {
+      const std::size_t aj = j * stride * 3;
+      const double dx = xyz[ai] - xyz[aj];
+      const double dy = xyz[ai + 1] - xyz[aj + 1];
+      const double dz = xyz[ai + 2] - xyz[aj + 2];
+      if (dx * dx + dy * dy + dz * dz < rc2) ++contacts;
+    }
+  }
+
+  const double pairs = static_cast<double>(atoms) *
+                       static_cast<double>(atoms - 1) / 2.0;
+  AnalysisResult result;
+  result.kernel = name();
+  result.step = chunk.key().step;
+  result.values = {static_cast<double>(contacts),
+                   static_cast<double>(contacts) / pairs};
+  return result;
+}
+
+}  // namespace wfe::ana

@@ -1,0 +1,27 @@
+// Contact counting: pairs of (subsampled) atoms closer than a cutoff.
+#pragma once
+
+#include "analysis/kernel.hpp"
+
+namespace wfe::ana {
+
+struct ContactMapConfig {
+  double cutoff = 1.5;
+  /// Consider every k-th atom (bounds the O(n^2) pair loop).
+  int subsample_stride = 1;
+};
+
+class ContactMapKernel final : public AnalysisKernel {
+ public:
+  explicit ContactMapKernel(ContactMapConfig config = {});
+
+  std::string name() const override { return "contacts"; }
+
+  /// values = { contact_count, contact_fraction }.
+  AnalysisResult analyze(const dtl::Chunk& chunk) override;
+
+ private:
+  ContactMapConfig config_;
+};
+
+}  // namespace wfe::ana

@@ -1,0 +1,40 @@
+#include "analysis/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+std::size_t effective_atoms(const AnalysisCostParams& params,
+                            std::size_t natoms) {
+  WFE_REQUIRE(params.subsample_stride >= 1, "subsample stride must be >= 1");
+  return natoms / static_cast<std::size_t>(params.subsample_stride);
+}
+
+plat::ComputeProfile analysis_stage_profile(const AnalysisCostParams& params,
+                                            std::size_t natoms) {
+  WFE_REQUIRE(natoms > 0, "cost model needs a positive atom count");
+  WFE_REQUIRE(params.power_iterations > 0, "need at least one sweep");
+  const auto n = static_cast<double>(effective_atoms(params, natoms));
+  const double n1 = n / 2.0;
+  const double n2 = n - n1;
+  const double matrix_elements = n1 * n2;
+
+  plat::ComputeProfile p;
+  // Matrix construction (one pass) + power sweeps (two matvecs each).
+  p.instructions = params.instr_per_element_sweep * matrix_elements *
+                   (1.0 + 2.0 * static_cast<double>(params.power_iterations));
+  p.base_ipc = params.base_ipc;
+  p.llc_refs_per_instr = params.llc_refs_per_instr;
+  p.base_miss_ratio = params.base_miss_ratio;
+  p.working_set_bytes =
+      std::min(matrix_elements * sizeof(double),
+               params.max_cache_footprint_bytes) +
+      params.fixed_working_set_bytes;
+  p.cache_sensitivity = params.cache_sensitivity;
+  p.parallel_fraction = params.parallel_fraction;
+  return p;
+}
+
+}  // namespace wfe::ana

@@ -1,0 +1,55 @@
+// Analytic cost model of the bipartite-eigenvalue analysis.
+//
+// Counterpart of mdsim/cost_model.hpp for the analysis component: the
+// simulated executor prices each analysis stage A from this model. The
+// kernel builds an (n/2 x n/2) distance matrix and runs power iteration
+// over it, so its instruction count is quadratic in the (subsampled) atom
+// count and its memory behaviour is streaming and cache-hungry — the
+// "data-intensive" profile the paper contrasts with the compute-bound
+// simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "platform/profile.hpp"
+
+namespace wfe::ana {
+
+struct AnalysisCostParams {
+  /// Instructions per matrix element per power sweep (distance evaluation
+  /// amortized in): matvec multiply-add plus address arithmetic.
+  double instr_per_element_sweep = 4.45;
+  /// Power-iteration sweeps.
+  int power_iterations = 20;
+  /// Every k-th atom enters the matrix.
+  int subsample_stride = 8;
+  /// Dense streaming matvecs sustain a lower pipeline IPC than the MD force
+  /// loop once data leaves the cache.
+  double base_ipc = 1.4;
+  /// High LLC traffic: the matrix streams through the hierarchy each sweep.
+  double llc_refs_per_instr = 0.10;
+  double base_miss_ratio = 0.10;
+  /// Matrix + vectors resident bytes are derived from the frame; this adds
+  /// the kernel's fixed overhead (buffers, bookkeeping).
+  double fixed_working_set_bytes = 8.0 * 1024 * 1024;
+  /// The matrix can dwarf the LLC; a streaming pass only keeps a bounded
+  /// hot set cache-resident, so the *cache-competing* footprint seen by
+  /// node neighbours is capped at this many bytes.
+  double max_cache_footprint_bytes = 64.0 * 1024 * 1024;
+  /// Matvec rows parallelize, but reductions and the serial sweep structure
+  /// cap scaling harder than MD domain decomposition.
+  double parallel_fraction = 0.92;
+  /// Analyses suffer from cache eviction much more than the compute-bound
+  /// simulation (paper §2.3: analyses are more memory-intensive).
+  double cache_sensitivity = 0.12;
+};
+
+/// Number of (subsampled) atoms entering the bipartite matrix.
+std::size_t effective_atoms(const AnalysisCostParams& params,
+                            std::size_t natoms);
+
+/// Compute profile of one analysis stage A over a `natoms`-atom frame.
+plat::ComputeProfile analysis_stage_profile(const AnalysisCostParams& params,
+                                            std::size_t natoms);
+
+}  // namespace wfe::ana

@@ -1,0 +1,92 @@
+#include "analysis/gyration_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+std::array<double, 3> symmetric3_eigenvalues(double xx, double yy, double zz,
+                                             double xy, double xz,
+                                             double yz) {
+  const double off2 = xy * xy + xz * xz + yz * yz;
+  if (off2 < 1e-30) {
+    std::array<double, 3> eig{xx, yy, zz};
+    std::sort(eig.begin(), eig.end(), std::greater<>());
+    return eig;
+  }
+  // Smith's trigonometric method for symmetric 3x3 matrices.
+  const double q = (xx + yy + zz) / 3.0;
+  const double p2 = (xx - q) * (xx - q) + (yy - q) * (yy - q) +
+                    (zz - q) * (zz - q) + 2.0 * off2;
+  const double p = std::sqrt(p2 / 6.0);
+  // B = (A - q I) / p; r = det(B) / 2, clamped into [-1, 1].
+  const double bxx = (xx - q) / p, byy = (yy - q) / p, bzz = (zz - q) / p;
+  const double bxy = xy / p, bxz = xz / p, byz = yz / p;
+  double r = (bxx * (byy * bzz - byz * byz) - bxy * (bxy * bzz - byz * bxz) +
+              bxz * (bxy * byz - byy * bxz)) /
+             2.0;
+  r = std::clamp(r, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+  const double l1 = q + 2.0 * p * std::cos(phi);
+  const double l3 = q + 2.0 * p * std::cos(phi + 2.0 * M_PI / 3.0);
+  const double l2 = 3.0 * q - l1 - l3;  // trace invariant
+  return {l1, l2, l3};
+}
+
+AnalysisResult GyrationTensorKernel::analyze(const dtl::Chunk& chunk) {
+  WFE_REQUIRE(chunk.kind() == dtl::PayloadKind::kPositions3N,
+              "gyration-tensor consumes position frames");
+  const auto xyz = chunk.values();
+  const std::size_t atoms = chunk.atom_count();
+  WFE_REQUIRE(atoms >= 1, "need at least one atom");
+
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    cx += xyz[i * 3];
+    cy += xyz[i * 3 + 1];
+    cz += xyz[i * 3 + 2];
+  }
+  const double inv = 1.0 / static_cast<double>(atoms);
+  cx *= inv;
+  cy *= inv;
+  cz *= inv;
+
+  double xx = 0.0, yy = 0.0, zz = 0.0, xy = 0.0, xz = 0.0, yz = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    const double dx = xyz[i * 3] - cx;
+    const double dy = xyz[i * 3 + 1] - cy;
+    const double dz = xyz[i * 3 + 2] - cz;
+    xx += dx * dx;
+    yy += dy * dy;
+    zz += dz * dz;
+    xy += dx * dy;
+    xz += dx * dz;
+    yz += dy * dz;
+  }
+  xx *= inv;
+  yy *= inv;
+  zz *= inv;
+  xy *= inv;
+  xz *= inv;
+  yz *= inv;
+
+  const auto [l1, l2, l3] = symmetric3_eigenvalues(xx, yy, zz, xy, xz, yz);
+  const double rg2 = l1 + l2 + l3;
+  const double asphericity = l1 - 0.5 * (l2 + l3);
+  const double acylindricity = l2 - l3;
+  const double kappa2 =
+      rg2 > 0.0 ? (asphericity * asphericity +
+                   0.75 * acylindricity * acylindricity) /
+                      (rg2 * rg2)
+                : 0.0;
+
+  AnalysisResult result;
+  result.kernel = name();
+  result.step = chunk.key().step;
+  result.values = {l1, l2, l3, rg2, asphericity, acylindricity, kappa2};
+  return result;
+}
+
+}  // namespace wfe::ana

@@ -1,0 +1,31 @@
+// Gyration-tensor shape analysis.
+//
+// G = (1/N) sum_i (r_i - rbar)(r_i - rbar)^T is the 3x3 gyration tensor;
+// its ordered eigenvalues l1 >= l2 >= l3 yield the classic molecular shape
+// descriptors: squared radius of gyration Rg^2 = l1+l2+l3, asphericity
+// b = l1 - (l2+l3)/2, acylindricity c = l2 - l3, and the relative shape
+// anisotropy kappa^2 = (b^2 + 0.75 c^2) / (Rg^2)^2. Complements the
+// bipartite-eigenvalue collective variable with a cheap O(N) kernel.
+#pragma once
+
+#include <array>
+
+#include "analysis/kernel.hpp"
+
+namespace wfe::ana {
+
+/// Eigenvalues of a symmetric 3x3 matrix in descending order, computed in
+/// closed form (trigonometric / Cardano method; Smith 1961). The matrix is
+/// given by its six independent entries.
+std::array<double, 3> symmetric3_eigenvalues(double xx, double yy, double zz,
+                                             double xy, double xz, double yz);
+
+class GyrationTensorKernel final : public AnalysisKernel {
+ public:
+  std::string name() const override { return "gyration-tensor"; }
+
+  /// values = { l1, l2, l3, rg2, asphericity, acylindricity, kappa2 }.
+  AnalysisResult analyze(const dtl::Chunk& chunk) override;
+};
+
+}  // namespace wfe::ana

@@ -1,0 +1,25 @@
+#include "analysis/kernel.hpp"
+
+#include "analysis/bipartite_eigen.hpp"
+#include "analysis/contact_map.hpp"
+#include "analysis/gyration_tensor.hpp"
+#include "analysis/rgyr.hpp"
+#include "analysis/rmsd.hpp"
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+std::unique_ptr<AnalysisKernel> make_kernel(const std::string& name) {
+  if (name == "bipartite-eigen") {
+    return std::make_unique<BipartiteEigenKernel>();
+  }
+  if (name == "rmsd") return std::make_unique<RmsdKernel>();
+  if (name == "rgyr") return std::make_unique<RgyrKernel>();
+  if (name == "contacts") return std::make_unique<ContactMapKernel>();
+  if (name == "gyration-tensor") {
+    return std::make_unique<GyrationTensorKernel>();
+  }
+  throw InvalidArgument("unknown analysis kernel: " + name);
+}
+
+}  // namespace wfe::ana

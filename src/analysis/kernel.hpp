@@ -1,0 +1,40 @@
+// Analysis-kernel interface.
+//
+// In the paper, each analysis component applies an algorithm to the frames
+// its simulation stages in memory; the chunk "defines a unique data type
+// standard for the analysis kernels, though each of them may perform
+// different computations" (§2.2). Kernels here consume a Chunk and emit a
+// small vector of collective-variable values. Kernels may hold state across
+// steps (e.g. the RMSD reference frame).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtl/chunk.hpp"
+
+namespace wfe::ana {
+
+struct AnalysisResult {
+  std::string kernel;
+  std::uint64_t step = 0;
+  std::vector<double> values;
+};
+
+class AnalysisKernel {
+ public:
+  virtual ~AnalysisKernel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Process one frame. Throws wfe::InvalidArgument if the chunk's payload
+  /// kind does not match what the kernel expects.
+  virtual AnalysisResult analyze(const dtl::Chunk& chunk) = 0;
+};
+
+/// Factory by kernel name: "bipartite-eigen", "rmsd", "rgyr", "contacts",
+/// "gyration-tensor". Throws wfe::InvalidArgument for unknown names.
+std::unique_ptr<AnalysisKernel> make_kernel(const std::string& name);
+
+}  // namespace wfe::ana

@@ -1,0 +1,43 @@
+#include "analysis/rgyr.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+double radius_of_gyration(std::span<const double> xyz) {
+  WFE_REQUIRE(!xyz.empty() && xyz.size() % 3 == 0,
+              "need a non-empty 3N coordinate array");
+  const std::size_t atoms = xyz.size() / 3;
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    cx += xyz[i * 3];
+    cy += xyz[i * 3 + 1];
+    cz += xyz[i * 3 + 2];
+  }
+  const double inv = 1.0 / static_cast<double>(atoms);
+  cx *= inv;
+  cy *= inv;
+  cz *= inv;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    const double dx = xyz[i * 3] - cx;
+    const double dy = xyz[i * 3 + 1] - cy;
+    const double dz = xyz[i * 3 + 2] - cz;
+    acc += dx * dx + dy * dy + dz * dz;
+  }
+  return std::sqrt(acc * inv);
+}
+
+AnalysisResult RgyrKernel::analyze(const dtl::Chunk& chunk) {
+  WFE_REQUIRE(chunk.kind() == dtl::PayloadKind::kPositions3N,
+              "rgyr consumes position frames");
+  AnalysisResult result;
+  result.kernel = name();
+  result.step = chunk.key().step;
+  result.values = {radius_of_gyration(chunk.values())};
+  return result;
+}
+
+}  // namespace wfe::ana

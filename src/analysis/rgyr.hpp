@@ -1,0 +1,19 @@
+// Radius of gyration: RMS distance of atoms from their centroid.
+#pragma once
+
+#include "analysis/kernel.hpp"
+
+namespace wfe::ana {
+
+class RgyrKernel final : public AnalysisKernel {
+ public:
+  std::string name() const override { return "rgyr"; }
+
+  /// values = { radius_of_gyration }.
+  AnalysisResult analyze(const dtl::Chunk& chunk) override;
+};
+
+/// Radius of gyration of a 3N coordinate array (unit masses).
+double radius_of_gyration(std::span<const double> xyz);
+
+}  // namespace wfe::ana

@@ -1,0 +1,62 @@
+#include "analysis/rmsd.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+
+namespace {
+std::vector<double> centered(std::span<const double> xyz) {
+  const std::size_t atoms = xyz.size() / 3;
+  double cx = 0.0, cy = 0.0, cz = 0.0;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    cx += xyz[i * 3];
+    cy += xyz[i * 3 + 1];
+    cz += xyz[i * 3 + 2];
+  }
+  const double inv = 1.0 / static_cast<double>(atoms);
+  cx *= inv;
+  cy *= inv;
+  cz *= inv;
+  std::vector<double> out(xyz.size());
+  for (std::size_t i = 0; i < atoms; ++i) {
+    out[i * 3] = xyz[i * 3] - cx;
+    out[i * 3 + 1] = xyz[i * 3 + 1] - cy;
+    out[i * 3 + 2] = xyz[i * 3 + 2] - cz;
+  }
+  return out;
+}
+}  // namespace
+
+double centered_rmsd(std::span<const double> a, std::span<const double> b) {
+  WFE_REQUIRE(a.size() == b.size() && !a.empty() && a.size() % 3 == 0,
+              "coordinate arrays must be equal-sized non-empty 3N arrays");
+  const std::vector<double> ca = centered(a);
+  const std::vector<double> cb = centered(b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    const double d = ca[i] - cb[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / (static_cast<double>(a.size()) / 3.0));
+}
+
+AnalysisResult RmsdKernel::analyze(const dtl::Chunk& chunk) {
+  WFE_REQUIRE(chunk.kind() == dtl::PayloadKind::kPositions3N,
+              "rmsd consumes position frames");
+  AnalysisResult result;
+  result.kernel = name();
+  result.step = chunk.key().step;
+  if (!reference_) {
+    reference_ = centered(chunk.values());
+    result.values = {0.0};
+    return result;
+  }
+  WFE_REQUIRE(reference_->size() == chunk.values().size(),
+              "frame size changed between steps");
+  result.values = {centered_rmsd(*reference_, chunk.values())};
+  return result;
+}
+
+}  // namespace wfe::ana

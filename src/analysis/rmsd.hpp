@@ -1,0 +1,31 @@
+// Root-mean-square deviation against a reference frame.
+//
+// The first frame a kernel instance sees becomes the reference; subsequent
+// frames report their centered RMSD to it (translation removed; we skip the
+// rotational Kabsch fit, which is unnecessary for a periodic bulk fluid).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/kernel.hpp"
+
+namespace wfe::ana {
+
+class RmsdKernel final : public AnalysisKernel {
+ public:
+  std::string name() const override { return "rmsd"; }
+
+  /// values = { rmsd } (0 for the reference frame itself).
+  AnalysisResult analyze(const dtl::Chunk& chunk) override;
+
+  bool has_reference() const { return reference_.has_value(); }
+
+ private:
+  std::optional<std::vector<double>> reference_;  // centered coordinates
+};
+
+/// Centered RMSD between two equally sized 3N coordinate arrays.
+double centered_rmsd(std::span<const double> a, std::span<const double> b);
+
+}  // namespace wfe::ana

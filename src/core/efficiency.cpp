@@ -1,0 +1,29 @@
+#include "core/efficiency.hpp"
+
+#include "core/insitu.hpp"
+#include "support/error.hpp"
+
+namespace wfe::core {
+
+double coupling_efficiency(const MemberSteady& member, std::size_t coupling) {
+  const double sigma = non_overlapped_segment(member);
+  WFE_REQUIRE(sigma > 0.0,
+              "efficiency is undefined for a zero-length in situ step");
+  const double idle = sim_idle(member) + ana_idle(member, coupling);
+  return 1.0 - idle / sigma;
+}
+
+double computational_efficiency(const MemberSteady& member) {
+  const double sigma = non_overlapped_segment(member);
+  WFE_REQUIRE(sigma > 0.0,
+              "efficiency is undefined for a zero-length in situ step");
+  // Closed form of Eq. (3); equivalent to averaging coupling_efficiency
+  // over the K couplings.
+  double analyses_sum = 0.0;
+  for (const AnaSteady& a : member.analyses) analyses_sum += a.a + a.r;
+  const auto k = static_cast<double>(member.analyses.size());
+  return (member.sim.s + member.sim.w) / sigma + analyses_sum / (k * sigma) -
+         1.0;
+}
+
+}  // namespace wfe::core

@@ -1,0 +1,26 @@
+// Computational efficiency of an ensemble member — Eq. (3) (§3.3).
+#pragma once
+
+#include "core/stages.hpp"
+
+namespace wfe::core {
+
+/// Eq. (3):
+///   E = (1/K) sum_i ( 1 - (I^S* + I^{A_i}*) / sigma* )
+///     = (S* + W*)/sigma* + (sum_i A*^i + R*^i)/(K sigma*) - 1.
+///
+/// E <= 1 always, with E = 1 iff every coupling is perfectly balanced (no
+/// component ever idles); it decreases as idle time grows relative to the
+/// non-overlapped in situ step. For a single coupling (K = 1) E is strictly
+/// positive (one of the two idle stages is always zero); with K > 1 a
+/// heavily imbalanced member can drive a coupling's idle sum past sigma*
+/// and E below zero — Eq. (3) deliberately punishes such stragglers. E is
+/// bounded below by -1. Maximizing E minimizes the makespan for a fixed
+/// amount of per-step work (§3.3).
+double computational_efficiency(const MemberSteady& member);
+
+/// Effective-computation fraction of a single coupling i:
+///   1 - (I^S* + I^{A_i}*) / sigma*.
+double coupling_efficiency(const MemberSteady& member, std::size_t coupling);
+
+}  // namespace wfe::core

@@ -1,0 +1,50 @@
+// Whole-ensemble view: ties member steady states, placements, the indicator
+// chain and the objective together (Tables 3; §4-§5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/indicators.hpp"
+#include "core/placement.hpp"
+#include "core/stages.hpp"
+
+namespace wfe::core {
+
+/// Model inputs of one ensemble member EM_i.
+struct EnsembleMemberModel {
+  MemberSteady steady;        ///< S*, W*, R*^j, A*^j
+  MemberPlacement placement;  ///< s_i, cs_i, a_i^j, ca_i^j
+};
+
+/// A workflow ensemble of N members. Validates on construction:
+/// each member needs at least one coupling, and the steady state must carry
+/// exactly one entry per placed analysis.
+class EnsembleModel {
+ public:
+  explicit EnsembleModel(std::vector<EnsembleMemberModel> members);
+
+  std::size_t member_count() const { return members_.size(); }  ///< N
+  const EnsembleMemberModel& member(std::size_t i) const;
+
+  /// M: number of distinct nodes used by the entire workflow ensemble.
+  int total_nodes() const;
+
+  /// E_i of member i (Eq. 3).
+  double member_efficiency(std::size_t i) const;
+
+  /// The indicator of every member at the given stage chain, in member
+  /// order (inputs P_1 ... P_N of Eq. 9).
+  std::vector<double> member_indicators(IndicatorKind kind) const;
+
+  /// F(P) of Eq. (9) for the given stage chain.
+  double objective(IndicatorKind kind) const;
+
+  /// Modelled ensemble makespan: max over members of Eq. (2).
+  double ensemble_makespan_model(std::uint64_t n_steps) const;
+
+ private:
+  std::vector<EnsembleMemberModel> members_;
+};
+
+}  // namespace wfe::core

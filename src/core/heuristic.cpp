@@ -1,0 +1,56 @@
+#include "core/heuristic.hpp"
+
+#include "core/efficiency.hpp"
+#include "core/insitu.hpp"
+#include "support/error.hpp"
+
+namespace wfe::core {
+
+ProvisioningResult provision_analysis_cores(
+    const SimSteady& sim, const std::function<AnaSteady(int)>& eval,
+    int max_cores) {
+  WFE_REQUIRE(max_cores >= 1, "need at least one candidate core count");
+  WFE_REQUIRE(static_cast<bool>(eval), "eval must be callable");
+
+  ProvisioningResult result;
+  result.candidates.reserve(static_cast<std::size_t>(max_cores));
+  for (int cores = 1; cores <= max_cores; ++cores) {
+    MemberSteady member{sim, {eval(cores)}};
+    ProvisioningCandidate c;
+    c.cores = cores;
+    c.analysis = member.analyses.front();
+    c.sigma = non_overlapped_segment(member);
+    c.efficiency = computational_efficiency(member);
+    c.feasible = is_idle_analyzer_feasible(member);
+    result.candidates.push_back(c);
+  }
+
+  // Rule 1: restrict to Eq. (4)-feasible candidates (minimal makespan).
+  // Rule 2: among them, maximize E. If nothing is feasible, fall back to
+  // the smallest sigma* (ties broken by higher E, then fewer cores).
+  std::size_t best = 0;
+  bool best_feasible = result.candidates.front().feasible;
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    const ProvisioningCandidate& c = result.candidates[i];
+    const ProvisioningCandidate& b = result.candidates[best];
+    bool better;
+    if (c.feasible != best_feasible) {
+      better = c.feasible;
+    } else if (c.feasible) {
+      better = c.efficiency > b.efficiency;
+    } else {
+      better = c.sigma < b.sigma ||
+               (c.sigma == b.sigma && c.efficiency > b.efficiency);
+    }
+    if (better) {
+      best = i;
+      best_feasible = c.feasible;
+    }
+  }
+  result.chosen_index = best;
+  result.cores = result.candidates[best].cores;
+  result.any_feasible = best_feasible;
+  return result;
+}
+
+}  // namespace wfe::core

@@ -1,0 +1,46 @@
+// The provisioning heuristic of §3.4: choose the analysis core count.
+//
+// Given fixed simulation settings (user-provided, per the paper's first
+// assumption) and a way to evaluate the analysis steady state at any core
+// count, pick the allocation that (1) minimizes the makespan — i.e.
+// satisfies Eq. (4), R* + A* <= S* + W*, so sigma* = S* + W* — and
+// (2) among those, maximizes the computational efficiency E, which selects
+// the smallest idle time (the paper picks 8 of 32 cores this way).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/stages.hpp"
+
+namespace wfe::core {
+
+/// One evaluated candidate of the sweep (a row of Figure 7).
+struct ProvisioningCandidate {
+  int cores = 0;
+  AnaSteady analysis;       ///< R*, A* at this core count
+  double sigma = 0.0;       ///< Eq. (1) for (sim, this analysis)
+  double efficiency = 0.0;  ///< Eq. (3) for the single coupling
+  bool feasible = false;    ///< Eq. (4): R* + A* <= S* + W*
+};
+
+struct ProvisioningResult {
+  /// Chosen core count; candidates[chosen_index] describes it.
+  int cores = 0;
+  std::size_t chosen_index = 0;
+  /// Whether any candidate satisfied Eq. (4). If none did, the result is
+  /// the candidate minimizing sigma* (best effort).
+  bool any_feasible = false;
+  /// The full sweep, one entry per evaluated core count (ascending).
+  std::vector<ProvisioningCandidate> candidates;
+};
+
+/// Evaluate `eval(cores)` for cores = 1..max_cores and apply the §3.4
+/// selection rule. `eval` returns the steady-state analysis stages (R*, A*)
+/// measured or modelled at that core count; K identical analyses share the
+/// choice (the paper's second assumption).
+ProvisioningResult provision_analysis_cores(
+    const SimSteady& sim, const std::function<AnaSteady(int)>& eval,
+    int max_cores);
+
+}  // namespace wfe::core

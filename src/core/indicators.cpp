@@ -1,0 +1,65 @@
+#include "core/indicators.hpp"
+
+#include "support/error.hpp"
+
+namespace wfe::core {
+
+const char* to_string(IndicatorKind kind) {
+  switch (kind) {
+    case IndicatorKind::kU:
+      return "P^U";
+    case IndicatorKind::kUA:
+      return "P^{U,A}";
+    case IndicatorKind::kUP:
+      return "P^{U,P}";
+    case IndicatorKind::kUAP:
+      return "P^{U,A,P}";
+    case IndicatorKind::kUPA:
+      return "P^{U,P,A}";
+  }
+  return "?";
+}
+
+namespace {
+void check_inputs(const MemberIndicatorInputs& in) {
+  in.placement.validate();
+  WFE_REQUIRE(in.ensemble_nodes >= 1,
+              "the ensemble uses at least one node (M >= 1)");
+  WFE_REQUIRE(in.ensemble_nodes >= in.placement.node_count(),
+              "M cannot be smaller than the member's own node count");
+}
+}  // namespace
+
+double indicator_u(const MemberIndicatorInputs& in) {
+  check_inputs(in);
+  return in.efficiency / static_cast<double>(in.placement.total_cores());
+}
+
+double indicator_ua(const MemberIndicatorInputs& in) {
+  return indicator_u(in) * placement_indicator(in.placement);
+}
+
+double indicator_up(const MemberIndicatorInputs& in) {
+  return indicator_u(in) / static_cast<double>(in.ensemble_nodes);
+}
+
+double indicator_uap(const MemberIndicatorInputs& in) {
+  return indicator_ua(in) / static_cast<double>(in.ensemble_nodes);
+}
+
+double member_indicator(const MemberIndicatorInputs& in, IndicatorKind kind) {
+  switch (kind) {
+    case IndicatorKind::kU:
+      return indicator_u(in);
+    case IndicatorKind::kUA:
+      return indicator_ua(in);
+    case IndicatorKind::kUP:
+      return indicator_up(in);
+    case IndicatorKind::kUAP:
+    case IndicatorKind::kUPA:
+      return indicator_uap(in);
+  }
+  throw InvalidArgument("unknown indicator kind");
+}
+
+}  // namespace wfe::core

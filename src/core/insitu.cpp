@@ -1,0 +1,92 @@
+#include "core/insitu.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace wfe::core {
+
+const char* to_string(StageKind kind) {
+  switch (kind) {
+    case StageKind::kSimulate:
+      return "S";
+    case StageKind::kSimIdle:
+      return "I^S";
+    case StageKind::kWrite:
+      return "W";
+    case StageKind::kRead:
+      return "R";
+    case StageKind::kAnalyze:
+      return "A";
+    case StageKind::kAnaIdle:
+      return "I^A";
+  }
+  return "?";
+}
+
+const char* to_string(CouplingRegime regime) {
+  switch (regime) {
+    case CouplingRegime::kIdleAnalyzer:
+      return "idle-analyzer";
+    case CouplingRegime::kIdleSimulation:
+      return "idle-simulation";
+  }
+  return "?";
+}
+
+namespace {
+void check_member(const MemberSteady& m) {
+  WFE_REQUIRE(!m.analyses.empty(),
+              "an ensemble member couples at least one analysis");
+  WFE_REQUIRE(m.sim.s >= 0.0 && m.sim.w >= 0.0,
+              "steady-state durations must be non-negative");
+  for (const AnaSteady& a : m.analyses) {
+    WFE_REQUIRE(a.r >= 0.0 && a.a >= 0.0,
+                "steady-state durations must be non-negative");
+  }
+}
+}  // namespace
+
+double non_overlapped_segment(const MemberSteady& member) {
+  check_member(member);
+  double sigma = member.sim.s + member.sim.w;
+  for (const AnaSteady& a : member.analyses) {
+    sigma = std::max(sigma, a.r + a.a);
+  }
+  return sigma;
+}
+
+double member_makespan_model(const MemberSteady& member,
+                             std::uint64_t n_steps) {
+  return static_cast<double>(n_steps) * non_overlapped_segment(member);
+}
+
+CouplingRegime classify_coupling(const MemberSteady& member,
+                                 std::size_t coupling) {
+  check_member(member);
+  WFE_REQUIRE(coupling < member.analyses.size(), "coupling index out of range");
+  const AnaSteady& a = member.analyses[coupling];
+  return (a.r + a.a) <= (member.sim.s + member.sim.w)
+             ? CouplingRegime::kIdleAnalyzer
+             : CouplingRegime::kIdleSimulation;
+}
+
+double sim_idle(const MemberSteady& member) {
+  return non_overlapped_segment(member) - (member.sim.s + member.sim.w);
+}
+
+double ana_idle(const MemberSteady& member, std::size_t coupling) {
+  check_member(member);
+  WFE_REQUIRE(coupling < member.analyses.size(), "coupling index out of range");
+  const AnaSteady& a = member.analyses[coupling];
+  return non_overlapped_segment(member) - (a.r + a.a);
+}
+
+bool is_idle_analyzer_feasible(const MemberSteady& member) {
+  check_member(member);
+  const double sim_side = member.sim.s + member.sim.w;
+  return std::all_of(member.analyses.begin(), member.analyses.end(),
+                     [&](const AnaSteady& a) { return a.r + a.a <= sim_side; });
+}
+
+}  // namespace wfe::core

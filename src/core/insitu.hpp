@@ -1,0 +1,42 @@
+// In situ step arithmetic: Eq. (1), Eq. (2) and the coupling regimes (§3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/stages.hpp"
+
+namespace wfe::core {
+
+/// The two coupled-execution scenarios of Figure 6.
+enum class CouplingRegime {
+  kIdleAnalyzer,    ///< the analysis step is faster; it waits for data
+  kIdleSimulation,  ///< the analysis step is slower; the simulation waits
+};
+
+const char* to_string(CouplingRegime regime);
+
+/// Eq. (1): the non-overlapped segment of an in situ step,
+///   sigma* = max(S* + W*, R*^1 + A*^1, ..., R*^K + A*^K).
+/// Requires at least one coupling.
+double non_overlapped_segment(const MemberSteady& member);
+
+/// Eq. (2): MAKESPAN = n_steps * sigma*.
+double member_makespan_model(const MemberSteady& member,
+                             std::uint64_t n_steps);
+
+/// Classify coupling (Sim, Ana^i). A coupling whose R+A exactly equals S+W
+/// is reported as Idle Analyzer (the simulation never waits on it).
+CouplingRegime classify_coupling(const MemberSteady& member,
+                                 std::size_t coupling);
+
+/// Derived steady idle stages (§3.3):
+///   I^S* = sigma* - (S* + W*);  I^{A_i}* = sigma* - (R*^i + A*^i).
+double sim_idle(const MemberSteady& member);
+double ana_idle(const MemberSteady& member, std::size_t coupling);
+
+/// Eq. (4): true iff every coupling satisfies R*^i + A*^i <= S* + W*,
+/// i.e. all couplings fall into the Idle Analyzer scenario and
+/// sigma* = S* + W* is minimal for the given simulation settings.
+bool is_idle_analyzer_feasible(const MemberSteady& member);
+
+}  // namespace wfe::core

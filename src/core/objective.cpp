@@ -1,0 +1,14 @@
+#include "core/objective.hpp"
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace wfe::core {
+
+double objective(std::span<const double> member_indicators) {
+  WFE_REQUIRE(!member_indicators.empty(),
+              "the objective needs at least one member indicator");
+  return mean(member_indicators) - stddev_population(member_indicators);
+}
+
+}  // namespace wfe::core

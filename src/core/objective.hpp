@@ -1,0 +1,17 @@
+// Ensemble-level objective function — Eq. (9) (§5.1).
+#pragma once
+
+#include <span>
+
+#include "core/indicators.hpp"
+
+namespace wfe::core {
+
+/// Eq. (9): F(P) = mean(P) - stddev_population(P).
+///
+/// Subtracting the (population) standard deviation penalizes configurations
+/// whose members perform unevenly — the ensemble makespan is the maximum
+/// member makespan, so high variability means stragglers. Higher is better.
+double objective(std::span<const double> member_indicators);
+
+}  // namespace wfe::core

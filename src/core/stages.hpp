@@ -1,0 +1,50 @@
+// The fine-grained stage algebra of the paper's execution model (§3.1).
+//
+// Every simulation step divides into: a simulation stage S, an idle stage
+// I^S, and a writing stage W, in that order. Every analysis step divides
+// into: a reading stage R, an analyzing stage A, and an idle stage I^A, in
+// that order. After warm-up the execution reaches a steady state where each
+// stage has a stable duration; starred values (S*, W*, R*, A*) denote those
+// steady-state durations and are the inputs of Eqs. (1)-(4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wfe::core {
+
+/// The six fine-grained stages of Figure 6.
+enum class StageKind : std::uint8_t {
+  kSimulate,  ///< S: the simulation computes
+  kSimIdle,   ///< I^S: the simulation waits for readers to drain
+  kWrite,     ///< W: the simulation stages data out
+  kRead,      ///< R: an analysis fetches staged data
+  kAnalyze,   ///< A: an analysis computes
+  kAnaIdle,   ///< I^A: an analysis waits for the next chunk
+};
+
+const char* to_string(StageKind kind);
+
+/// Steady-state durations of the simulation side of a member: S* and W*.
+/// (I^S* is derived, not measured independently — Eq. (1) fixes it.)
+struct SimSteady {
+  double s = 0.0;  ///< S*: simulation compute time per in situ step
+  double w = 0.0;  ///< W*: write/staging time per in situ step
+};
+
+/// Steady-state durations of one analysis coupling: R* and A*.
+struct AnaSteady {
+  double r = 0.0;  ///< R*: read time per in situ step
+  double a = 0.0;  ///< A*: analysis compute time per in situ step
+};
+
+/// Steady-state stage profile of one ensemble member: a single simulation
+/// coupled with K >= 1 analyses (the paper's (Sim, Ana^i) couplings).
+struct MemberSteady {
+  SimSteady sim;
+  std::vector<AnaSteady> analyses;
+
+  std::size_t coupling_count() const { return analyses.size(); }
+};
+
+}  // namespace wfe::core

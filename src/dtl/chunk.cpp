@@ -1,0 +1,37 @@
+#include "dtl/chunk.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::dtl {
+
+const char* to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kPositions3N:
+      return "positions3n";
+    case PayloadKind::kScalarSeries:
+      return "scalars";
+  }
+  return "unknown";
+}
+
+std::string ChunkKey::str() const {
+  return strprintf("m%u/s%llu", member_id,
+                   static_cast<unsigned long long>(step));
+}
+
+Chunk::Chunk(ChunkKey key, PayloadKind kind, std::vector<double> values)
+    : key_(key), kind_(kind), values_(std::move(values)) {
+  if (kind_ == PayloadKind::kPositions3N) {
+    WFE_REQUIRE(values_.size() % 3 == 0,
+                "positions payload must hold 3 doubles per atom");
+  }
+}
+
+std::size_t Chunk::atom_count() const {
+  WFE_REQUIRE(kind_ == PayloadKind::kPositions3N,
+              "atom_count is only defined for position payloads");
+  return values_.size() / 3;
+}
+
+}  // namespace wfe::dtl

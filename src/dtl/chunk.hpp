@@ -1,0 +1,76 @@
+// Chunk: the base data representation of the runtime (paper Section 2.2).
+//
+// "The simulation using the DTL plugin [writes] out data abstracted into a
+//  chunk, which is the base data representation manipulated within the
+//  entire runtime. [...] The chunk also defines a unique data type standard
+//  for the analysis kernels."
+//
+// A chunk carries one frame of simulation output — for MD, the atomic
+// positions at a given step — plus the metadata needed to route and order
+// it: producing member, in situ step index, and a payload kind tag so
+// analyses can check they are fed what they expect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wfe::dtl {
+
+/// What the payload's doubles mean.
+enum class PayloadKind : std::uint32_t {
+  kPositions3N = 1,   ///< 3*N doubles: x0,y0,z0, x1,y1,z1, ...
+  kScalarSeries = 2,  ///< N doubles: generic scalar series
+};
+
+const char* to_string(PayloadKind kind);
+
+/// Identifies one chunk within the whole workflow ensemble.
+struct ChunkKey {
+  std::uint32_t member_id = 0;  ///< producing ensemble member
+  std::uint64_t step = 0;       ///< in situ step index (0-based)
+
+  friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+
+  /// Canonical string form, used as storage key by DTL backends.
+  std::string str() const;
+};
+
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& k) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.member_id) << 48) ^ k.step);
+  }
+};
+
+/// One frame of data flowing from a simulation to its analyses.
+class Chunk {
+ public:
+  Chunk() = default;
+
+  /// Build a chunk; `values` is copied (the producer keeps its buffers).
+  Chunk(ChunkKey key, PayloadKind kind, std::vector<double> values);
+
+  const ChunkKey& key() const { return key_; }
+  PayloadKind kind() const { return kind_; }
+  std::span<const double> values() const { return values_; }
+  std::size_t element_count() const { return values_.size(); }
+
+  /// For kPositions3N payloads: number of atoms (element_count / 3).
+  /// Throws InvalidArgument for other payload kinds.
+  std::size_t atom_count() const;
+
+  /// Payload size in bytes (what a DTL moves, excluding the header).
+  std::size_t payload_bytes() const { return values_.size() * sizeof(double); }
+
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+
+ private:
+  ChunkKey key_;
+  PayloadKind kind_ = PayloadKind::kScalarSeries;
+  std::vector<double> values_;
+};
+
+}  // namespace wfe::dtl

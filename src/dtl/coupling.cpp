@@ -1,0 +1,108 @@
+#include "dtl/coupling.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::dtl {
+
+CouplingChannel::CouplingChannel(int reader_count, int capacity)
+    : capacity_(capacity) {
+  WFE_REQUIRE(reader_count > 0, "a coupling needs at least one reader");
+  WFE_REQUIRE(capacity >= 1, "the staging buffer holds at least one chunk");
+  consumed_.assign(static_cast<std::size_t>(reader_count), -1);
+}
+
+void CouplingChannel::check_reader(int reader) const {
+  WFE_REQUIRE(reader >= 0 && reader < reader_count(),
+              "reader index out of range");
+}
+
+void CouplingChannel::begin_write(std::uint64_t step) {
+  std::unique_lock lock(mutex_);
+  if (closed_) throw ProtocolError("begin_write on a closed channel");
+  if (writing_ != -1) {
+    throw ProtocolError("begin_write while a write is already in progress");
+  }
+  const auto expected = static_cast<std::uint64_t>(committed_ + 1);
+  if (step != expected) {
+    throw ProtocolError(strprintf(
+        "out-of-order write: got step %llu, expected %llu (no buffering)",
+        static_cast<unsigned long long>(step),
+        static_cast<unsigned long long>(expected)));
+  }
+  // Bounded-buffer rule (capacity 1 = the paper's no-buffering protocol):
+  // wait until every reader consumed step - capacity.
+  const std::int64_t horizon =
+      static_cast<std::int64_t>(step) - static_cast<std::int64_t>(capacity_);
+  writer_cv_.wait(lock, [&] {
+    return closed_ ||
+           std::all_of(consumed_.begin(), consumed_.end(),
+                       [&](std::int64_t c) { return c >= horizon; });
+  });
+  if (closed_) throw ProtocolError("channel closed while awaiting readers");
+  writing_ = static_cast<std::int64_t>(step);
+}
+
+void CouplingChannel::commit_write(std::uint64_t step) {
+  std::lock_guard lock(mutex_);
+  if (writing_ != static_cast<std::int64_t>(step)) {
+    throw ProtocolError("commit_write without matching begin_write");
+  }
+  committed_ = writing_;
+  writing_ = -1;
+  readers_cv_.notify_all();
+}
+
+void CouplingChannel::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  readers_cv_.notify_all();
+  writer_cv_.notify_all();
+}
+
+bool CouplingChannel::await_step(int reader, std::uint64_t step) {
+  check_reader(reader);
+  std::unique_lock lock(mutex_);
+  const auto expected =
+      static_cast<std::uint64_t>(consumed_[static_cast<std::size_t>(reader)] + 1);
+  if (step != expected) {
+    throw ProtocolError(strprintf(
+        "reader %d awaiting step %llu but must consume %llu next", reader,
+        static_cast<unsigned long long>(step),
+        static_cast<unsigned long long>(expected)));
+  }
+  readers_cv_.wait(lock, [&] {
+    return closed_ || committed_ >= static_cast<std::int64_t>(step);
+  });
+  return committed_ >= static_cast<std::int64_t>(step);
+}
+
+void CouplingChannel::ack_read(int reader, std::uint64_t step) {
+  check_reader(reader);
+  std::lock_guard lock(mutex_);
+  if (committed_ < static_cast<std::int64_t>(step)) {
+    throw ProtocolError("ack of a step that was never committed");
+  }
+  auto& consumed = consumed_[static_cast<std::size_t>(reader)];
+  if (consumed + 1 != static_cast<std::int64_t>(step)) {
+    throw ProtocolError(strprintf("reader %d acked step %llu out of order",
+                                  reader,
+                                  static_cast<unsigned long long>(step)));
+  }
+  consumed = static_cast<std::int64_t>(step);
+  writer_cv_.notify_all();
+}
+
+std::int64_t CouplingChannel::committed_step() const {
+  std::lock_guard lock(mutex_);
+  return committed_;
+}
+
+bool CouplingChannel::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace wfe::dtl

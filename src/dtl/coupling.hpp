@@ -1,0 +1,86 @@
+// CouplingChannel: the synchronous in situ coupling protocol of the paper
+// (Sections 2.1 and 3.1), between one simulation (writer) and K analyses
+// (readers).
+//
+//   "Although the simulation can compute while the analyses are reading the
+//    data, the simulation does not write any new data until the data from
+//    the previous iteration is read."
+//
+// Formally: W_i happens before R_i (every reader), and R_i happens before
+// W_{i+1} — no buffering of the simulation output. The channel enforces
+// this with one sequence number per reader and blocks the writer in
+// begin_write (the simulation idle stage I^S) and readers in await_step
+// (the analysis idle stage I^A).
+//
+// The channel transports no data itself; payloads travel through a
+// StagingBackend via the DtlPlugin. This mirrors the DIMES split between
+// coordination (metadata service) and data plane (node-local memory).
+//
+// Extension beyond the paper: a `capacity` > 1 allows up to that many
+// published-but-undrained chunks in flight (a bounded staging buffer).
+// capacity == 1 reproduces the paper's protocol exactly; the buffering
+// ablation (bench_ext_buffering) studies what relaxing it changes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wfe::dtl {
+
+class CouplingChannel {
+ public:
+  /// A channel for one writer and `reader_count` readers holding at most
+  /// `capacity` published-but-undrained steps (1 = the paper's protocol).
+  explicit CouplingChannel(int reader_count, int capacity = 1);
+
+  int reader_count() const { return static_cast<int>(consumed_.size()); }
+  int capacity() const { return capacity_; }
+
+  // -- writer side ----------------------------------------------------------
+
+  /// Block until every reader has acknowledged step - capacity (no-op for
+  /// the first `capacity` steps). `step` must be exactly one past the last
+  /// committed step. Throws ProtocolError on out-of-order calls.
+  void begin_write(std::uint64_t step);
+
+  /// Publish step (readers blocked in await_step wake up). Must follow the
+  /// matching begin_write.
+  void commit_write(std::uint64_t step);
+
+  /// Writer is done; readers waiting for steps beyond the last committed one
+  /// unblock and see `false` from await_step.
+  void close();
+
+  // -- reader side ----------------------------------------------------------
+
+  /// Block until `step` is committed (returns true) or the channel closes
+  /// without it (returns false). Readers must consume steps in order.
+  bool await_step(int reader, std::uint64_t step);
+
+  /// Acknowledge that `reader` finished reading `step`; may unblock the
+  /// writer. Throws ProtocolError on double-acks or acks of unpublished
+  /// steps.
+  void ack_read(int reader, std::uint64_t step);
+
+  // -- introspection --------------------------------------------------------
+
+  /// Last committed step, or -1 if none yet.
+  std::int64_t committed_step() const;
+  bool closed() const;
+
+ private:
+  void check_reader(int reader) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable writer_cv_;
+  std::condition_variable readers_cv_;
+  int capacity_ = 1;
+  std::int64_t committed_ = -1;  // last committed step
+  std::int64_t writing_ = -1;    // step currently between begin/commit
+  std::vector<std::int64_t> consumed_;  // per-reader last acked step
+  bool closed_ = false;
+};
+
+}  // namespace wfe::dtl

@@ -1,0 +1,89 @@
+#include "dtl/file_staging.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+
+namespace fs = std::filesystem;
+
+FileStaging::FileStaging(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+fs::path FileStaging::path_for(const std::string& key) const {
+  // Keys may contain '/' (ChunkKey::str does); map them to a flat, safe
+  // file name so no directory hierarchy is required per key.
+  std::string flat = key;
+  for (char& c : flat) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return root_ / (flat + ".chunk");
+}
+
+void FileStaging::put(const std::string& key,
+                      std::span<const std::byte> bytes) {
+  std::lock_guard lock(mutex_);
+  const fs::path p = path_for(key);
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("FileStaging: cannot open " + p.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("FileStaging: short write to " + p.string());
+}
+
+std::optional<std::vector<std::byte>> FileStaging::get(
+    const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const fs::path p = path_for(key);
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()), size);
+  if (!in) throw Error("FileStaging: short read from " + p.string());
+  return buf;
+}
+
+bool FileStaging::contains(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  return fs::exists(path_for(key));
+}
+
+bool FileStaging::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  return fs::remove(path_for(key));
+}
+
+std::size_t FileStaging::size() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : fs::directory_iterator(root_)) {
+    if (e.is_regular_file() && e.path().extension() == ".chunk") ++n;
+  }
+  return n;
+}
+
+std::size_t FileStaging::bytes_stored() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& e : fs::directory_iterator(root_)) {
+    if (e.is_regular_file() && e.path().extension() == ".chunk") {
+      total += static_cast<std::size_t>(e.file_size());
+    }
+  }
+  return total;
+}
+
+void FileStaging::clear() {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : fs::directory_iterator(root_)) {
+    if (e.is_regular_file() && e.path().extension() == ".chunk") {
+      fs::remove(e.path());
+    }
+  }
+}
+
+}  // namespace wfe::dtl

@@ -1,0 +1,40 @@
+// File-backed staging backend (parallel-file-system / burst-buffer tier).
+//
+// Chunks are spooled as one file per key under a root directory. Used by
+// the DTL ablation (bench_ablation_dtl) to contrast in-memory staging with
+// a file-system data plane, and by the loose-coupling example.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "dtl/staging.hpp"
+
+namespace wfe::dtl {
+
+class FileStaging final : public StagingBackend {
+ public:
+  /// Creates `root` (and parents) if missing.
+  explicit FileStaging(std::filesystem::path root);
+
+  void put(const std::string& key, std::span<const std::byte> bytes) override;
+  std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  bool contains(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  std::size_t size() const override;
+  std::size_t bytes_stored() const override;
+  std::string tier() const override { return "file"; }
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Remove every spooled file.
+  void clear();
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace wfe::dtl

@@ -1,0 +1,36 @@
+// In-memory staging backend (DIMES-like tier).
+//
+// DIMES keeps staged data in the memory of the node where the producer
+// runs and serves remote readers over the network. In native execution all
+// components share one address space, so this backend is simply a mutex-
+// protected map — the *cost* asymmetry of local vs remote access is modelled
+// by the platform layer in simulated mode, while this class provides the
+// real data plane for native mode.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "dtl/staging.hpp"
+
+namespace wfe::dtl {
+
+class MemoryStaging final : public StagingBackend {
+ public:
+  void put(const std::string& key, std::span<const std::byte> bytes) override;
+  std::optional<std::vector<std::byte>> get(const std::string& key) const override;
+  bool contains(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  std::size_t size() const override;
+  std::size_t bytes_stored() const override;
+  std::string tier() const override { return "memory"; }
+
+  /// Drop everything (between runs).
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::byte>> store_;
+};
+
+}  // namespace wfe::dtl

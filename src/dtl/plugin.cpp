@@ -1,0 +1,70 @@
+#include "dtl/plugin.hpp"
+
+#include "dtl/serde.hpp"
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+
+void DtlPlugin::write(const Chunk& chunk) {
+  backend_->put(chunk.key().str(), serialize(chunk));
+}
+
+Chunk DtlPlugin::read(const ChunkKey& key) const {
+  auto bytes = backend_->get(key.str());
+  if (!bytes) throw Error("DtlPlugin: no staged chunk under " + key.str());
+  return deserialize(*bytes);
+}
+
+bool DtlPlugin::exists(const ChunkKey& key) const {
+  return backend_->contains(key.str());
+}
+
+bool DtlPlugin::release(const ChunkKey& key) {
+  return backend_->erase(key.str());
+}
+
+CoupledWriter::CoupledWriter(DtlPlugin plugin,
+                             std::shared_ptr<CouplingChannel> channel,
+                             std::uint32_t member_id)
+    : plugin_(plugin), channel_(std::move(channel)), member_id_(member_id) {
+  WFE_REQUIRE(channel_ != nullptr, "writer needs a coupling channel");
+}
+
+void CoupledWriter::put_step(std::uint64_t step, PayloadKind kind,
+                             std::vector<double> values) {
+  channel_->begin_write(step);  // blocks: I^S
+  // begin_write guarantees every reader drained step - capacity; reclaim
+  // chunks that fell out of the buffer window (at most `capacity` chunks
+  // per coupling stay resident).
+  const auto capacity = static_cast<std::uint64_t>(channel_->capacity());
+  if (step >= capacity) {
+    plugin_.release(ChunkKey{member_id_, step - capacity});
+  }
+  plugin_.write(Chunk(ChunkKey{member_id_, step}, kind, std::move(values)));
+  channel_->commit_write(step);  // W done
+}
+
+void CoupledWriter::finish() { channel_->close(); }
+
+CoupledReader::CoupledReader(DtlPlugin plugin,
+                             std::shared_ptr<CouplingChannel> channel,
+                             std::uint32_t member_id, int reader_index)
+    : plugin_(plugin),
+      channel_(std::move(channel)),
+      member_id_(member_id),
+      reader_index_(reader_index) {
+  WFE_REQUIRE(channel_ != nullptr, "reader needs a coupling channel");
+  WFE_REQUIRE(reader_index_ >= 0 && reader_index_ < channel_->reader_count(),
+              "reader index out of range for channel");
+}
+
+std::optional<Chunk> CoupledReader::get_step(std::uint64_t step) {
+  if (!channel_->await_step(reader_index_, step)) {
+    return std::nullopt;  // writer finished
+  }
+  Chunk chunk = plugin_.read(ChunkKey{member_id_, step});
+  channel_->ack_read(reader_index_, step);
+  return chunk;
+}
+
+}  // namespace wfe::dtl

@@ -1,0 +1,91 @@
+// DtlPlugin: "a middle layer between the ensemble components and the
+// underlying DTL, responsible for data handling" (paper §2.2, Figure 2).
+//
+// The plugin marshals chunks to byte buffers (serde) and moves them through
+// whichever staging backend the DTL was configured with, hiding the staging
+// protocol from simulations and analyses. CoupledWriter / CoupledReader add
+// the synchronous in situ handshake on top, giving components a two-call
+// API (put_step / get_step) that exactly produces the W, I^S, R, I^A stages
+// of the paper's execution model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dtl/chunk.hpp"
+#include "dtl/coupling.hpp"
+#include "dtl/staging.hpp"
+
+namespace wfe::dtl {
+
+/// Chunk-level view of a staging backend.
+class DtlPlugin {
+ public:
+  /// The plugin borrows the backend; the caller keeps it alive.
+  explicit DtlPlugin(StagingBackend& backend) : backend_(&backend) {}
+
+  /// Serialize and stage a chunk under its key.
+  void write(const Chunk& chunk);
+
+  /// Fetch and unmarshal the chunk stored under `key`.
+  /// Throws wfe::Error if the key is absent.
+  Chunk read(const ChunkKey& key) const;
+
+  bool exists(const ChunkKey& key) const;
+
+  /// Drop a staged chunk (after all its readers acknowledged it).
+  bool release(const ChunkKey& key);
+
+  StagingBackend& backend() { return *backend_; }
+  const StagingBackend& backend() const { return *backend_; }
+
+ private:
+  StagingBackend* backend_;
+};
+
+/// Simulation-side endpoint of one coupling: enforces the no-buffering
+/// handshake and reclaims chunks once every analysis consumed them.
+class CoupledWriter {
+ public:
+  CoupledWriter(DtlPlugin plugin, std::shared_ptr<CouplingChannel> channel,
+                std::uint32_t member_id);
+
+  /// Execute the writer half of one in situ step: wait for readers of the
+  /// previous step (stage I^S), release the drained chunk, stage the new
+  /// one and commit it (stage W). `step` must advance by exactly one.
+  void put_step(std::uint64_t step, PayloadKind kind,
+                std::vector<double> values);
+
+  /// Signal end-of-stream to all readers.
+  void finish();
+
+  std::uint32_t member_id() const { return member_id_; }
+
+ private:
+  DtlPlugin plugin_;
+  std::shared_ptr<CouplingChannel> channel_;
+  std::uint32_t member_id_;
+};
+
+/// Analysis-side endpoint of one coupling.
+class CoupledReader {
+ public:
+  CoupledReader(DtlPlugin plugin, std::shared_ptr<CouplingChannel> channel,
+                std::uint32_t member_id, int reader_index);
+
+  /// Execute the reader half of one in situ step: wait for the chunk
+  /// (stage I^A of the previous step), fetch it (stage R) and acknowledge.
+  /// Returns nullopt if the writer finished before producing `step`.
+  std::optional<Chunk> get_step(std::uint64_t step);
+
+  int reader_index() const { return reader_index_; }
+
+ private:
+  DtlPlugin plugin_;
+  std::shared_ptr<CouplingChannel> channel_;
+  std::uint32_t member_id_;
+  int reader_index_;
+};
+
+}  // namespace wfe::dtl

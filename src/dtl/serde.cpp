@@ -1,0 +1,118 @@
+#include "dtl/serde.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "the chunk wire format assumes a little-endian host");
+
+namespace wfe::dtl {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::byte>& out, std::size_t& off, T value) {
+  std::memcpy(out.data() + off, &value, sizeof(T));
+  off += sizeof(T);
+}
+
+template <typename T>
+T take(std::span<const std::byte> in, std::size_t& off) {
+  T value;
+  std::memcpy(&value, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t serialized_size(const Chunk& chunk) {
+  return kChunkHeaderBytes + chunk.payload_bytes();
+}
+
+std::vector<std::byte> serialize(const Chunk& chunk) {
+  std::vector<std::byte> out(serialized_size(chunk));
+  const auto payload = std::as_bytes(chunk.values());
+
+  std::size_t off = 0;
+  put(out, off, kChunkMagic);
+  put(out, off, kChunkVersion);
+  put(out, off, chunk.key().member_id);
+  put(out, off, static_cast<std::uint32_t>(chunk.kind()));
+  put(out, off, chunk.key().step);
+  put(out, off, static_cast<std::uint64_t>(chunk.element_count()));
+  const std::size_t crc_off = off;
+  put(out, off, std::uint64_t{0});  // checksum placeholder
+  put(out, off, std::uint64_t{0});  // reserved
+  if (!payload.empty()) {
+    std::memcpy(out.data() + off, payload.data(), payload.size());
+  }
+  // The checksum covers the entire buffer (header fields included) with
+  // the checksum slot zeroed, so any corruption — key, kind, count or
+  // payload — is detected.
+  const std::uint64_t crc = fnv1a64(out);
+  std::memcpy(out.data() + crc_off, &crc, sizeof(crc));
+  return out;
+}
+
+Chunk deserialize(std::span<const std::byte> bytes) {
+  if (bytes.size() < kChunkHeaderBytes) {
+    throw SerializationError("chunk buffer shorter than header");
+  }
+  std::size_t off = 0;
+  const auto magic = take<std::uint32_t>(bytes, off);
+  if (magic != kChunkMagic) {
+    throw SerializationError(strprintf("bad chunk magic 0x%08x", magic));
+  }
+  const auto version = take<std::uint32_t>(bytes, off);
+  if (version != kChunkVersion) {
+    throw SerializationError(strprintf("unsupported chunk version %u", version));
+  }
+  const auto member_id = take<std::uint32_t>(bytes, off);
+  const auto kind_raw = take<std::uint32_t>(bytes, off);
+  if (kind_raw != static_cast<std::uint32_t>(PayloadKind::kPositions3N) &&
+      kind_raw != static_cast<std::uint32_t>(PayloadKind::kScalarSeries)) {
+    throw SerializationError(strprintf("unknown payload kind %u", kind_raw));
+  }
+  const auto step = take<std::uint64_t>(bytes, off);
+  const auto count = take<std::uint64_t>(bytes, off);
+  const auto crc = take<std::uint64_t>(bytes, off);
+  (void)take<std::uint64_t>(bytes, off);  // reserved
+
+  const std::size_t expected = kChunkHeaderBytes + count * sizeof(double);
+  if (bytes.size() != expected) {
+    throw SerializationError(
+        strprintf("chunk size mismatch: buffer %zu bytes, header implies %zu",
+                  bytes.size(), expected));
+  }
+  // Recompute the whole-buffer checksum with the checksum slot zeroed.
+  std::vector<std::byte> zeroed(bytes.begin(), bytes.end());
+  std::memset(zeroed.data() + 32, 0, sizeof(std::uint64_t));
+  if (fnv1a64(zeroed) != crc) {
+    throw SerializationError("chunk checksum mismatch");
+  }
+  std::vector<double> values(count);
+  if (count > 0) {
+    std::memcpy(values.data(), bytes.data() + off, count * sizeof(double));
+  }
+  if (kind_raw == static_cast<std::uint32_t>(PayloadKind::kPositions3N) &&
+      count % 3 != 0) {
+    throw SerializationError("positions payload not divisible by 3");
+  }
+  return Chunk(ChunkKey{member_id, step}, static_cast<PayloadKind>(kind_raw),
+               std::move(values));
+}
+
+}  // namespace wfe::dtl

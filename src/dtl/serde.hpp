@@ -1,0 +1,43 @@
+// Chunk (de)serialization — the DTL plugin's data marshaling (paper §2.2):
+// "the abstract chunk is serialized to a buffer of bytes, which is easy to
+//  manage for most DTL".
+//
+// Wire format (little-endian, fixed 48-byte header, version 1):
+//   u32 magic 'WFEC'   u32 version      u32 member_id   u32 payload_kind
+//   u64 step           u64 element_count
+//   u64 checksum       u64 reserved
+//   f64 payload[element_count]
+//
+// The checksum is a 64-bit FNV-1a over the ENTIRE buffer (checksum slot
+// zeroed), so corruption anywhere — key, kind, count, reserved or payload —
+// is detected. Deserialization rejects bad magic, unknown versions,
+// truncated buffers and checksum mismatches with wfe::SerializationError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dtl/chunk.hpp"
+
+namespace wfe::dtl {
+
+inline constexpr std::uint32_t kChunkMagic = 0x43454657u;  // "WFEC"
+inline constexpr std::uint32_t kChunkVersion = 1;
+inline constexpr std::size_t kChunkHeaderBytes = 48;
+
+/// FNV-1a 64-bit hash, used as the payload checksum.
+std::uint64_t fnv1a64(std::span<const std::byte> bytes);
+
+/// Serialize a chunk into a fresh byte buffer.
+std::vector<std::byte> serialize(const Chunk& chunk);
+
+/// Total serialized size of a chunk without building the buffer.
+std::size_t serialized_size(const Chunk& chunk);
+
+/// Parse a byte buffer back into a chunk; throws SerializationError on any
+/// malformation.
+Chunk deserialize(std::span<const std::byte> bytes);
+
+}  // namespace wfe::dtl

@@ -1,0 +1,48 @@
+// DTL backend interface: the staging area of the paper's Figure 2.
+//
+// "The [data transport layer] represents a variety of storage tiers,
+//  including in-memory, burst-buffers, or parallel file systems."
+//
+// A backend is a thread-safe keyed byte store; it knows nothing of chunks
+// or couplings. Backends implemented here: MemoryStaging (DIMES-like
+// in-memory area) and FileStaging (file-system tier). The DtlPlugin layers
+// chunk marshaling on top, and CouplingChannel layers the synchronous
+// in situ protocol on top of that.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wfe::dtl {
+
+class StagingBackend {
+ public:
+  virtual ~StagingBackend() = default;
+
+  /// Store a buffer under a key. Overwriting an existing key is a protocol
+  /// decision made by layers above; backends allow it.
+  virtual void put(const std::string& key, std::span<const std::byte> bytes) = 0;
+
+  /// Fetch a copy of the buffer stored under `key`, or nullopt.
+  virtual std::optional<std::vector<std::byte>> get(const std::string& key) const = 0;
+
+  /// True if `key` currently holds data.
+  virtual bool contains(const std::string& key) const = 0;
+
+  /// Remove a key; returns true if it existed.
+  virtual bool erase(const std::string& key) = 0;
+
+  /// Number of stored keys.
+  virtual std::size_t size() const = 0;
+
+  /// Total stored payload bytes (backend-resident footprint).
+  virtual std::size_t bytes_stored() const = 0;
+
+  /// Human-readable tier name ("memory", "file").
+  virtual std::string tier() const = 0;
+};
+
+}  // namespace wfe::dtl

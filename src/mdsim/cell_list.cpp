@@ -1,0 +1,38 @@
+#include "mdsim/cell_list.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+CellList::CellList(const System& sys, double cutoff) {
+  WFE_REQUIRE(cutoff > 0.0, "cutoff must be positive");
+  const double box = sys.box_length();
+  cps_ = static_cast<int>(std::floor(box / cutoff));
+  if (cps_ < 1) cps_ = 1;
+
+  const std::size_t n = sys.size();
+  cell_of_.assign(n, 0);
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+
+  if (cps_ < 3) return;  // all-pairs fallback; no binning needed
+
+  heads_.assign(cell_count(), kEnd);
+  next_.assign(n, kEnd);
+  const double inv_cell = cps_ / box;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& p = sys.positions()[i];
+    auto bin = [&](double coord) {
+      int c = static_cast<int>(std::floor(coord * inv_cell));
+      return wrap(c);
+    };
+    const std::size_t cell = cell_index(bin(p.x), bin(p.y), bin(p.z));
+    cell_of_[i] = cell;
+    next_[i] = heads_[cell];
+    heads_[cell] = i;
+  }
+}
+
+}  // namespace wfe::md

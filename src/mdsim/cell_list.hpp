@@ -1,0 +1,86 @@
+// Linked-cell neighbor search: O(N) pair enumeration for short-range forces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mdsim/system.hpp"
+
+namespace wfe::md {
+
+/// Spatial binning of particles into cubic cells of edge >= cutoff, so all
+/// interacting pairs lie in neighboring cells. Rebuilt each step (cheap and
+/// simple; a Verlet-skin scheme is unnecessary at our problem sizes).
+class CellList {
+ public:
+  /// Bin the particles of `sys` with interaction range `cutoff`. Falls back
+  /// to a single cell (all-pairs) when the box is under 3 cells per side.
+  CellList(const System& sys, double cutoff);
+
+  int cells_per_side() const { return cps_; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(cps_) * cps_ * cps_;
+  }
+
+  /// Invoke fn(i, j) exactly once for every particle pair that may be within
+  /// the cutoff (i < j guaranteed).
+  template <typename Fn>
+  void for_each_candidate_pair(Fn&& fn) const {
+    if (cps_ < 3) {
+      const std::size_t n = order_.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) fn(i, j);
+      }
+      return;
+    }
+    for (int cx = 0; cx < cps_; ++cx) {
+      for (int cy = 0; cy < cps_; ++cy) {
+        for (int cz = 0; cz < cps_; ++cz) {
+          const std::size_t home = cell_index(cx, cy, cz);
+          for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dz = -1; dz <= 1; ++dz) {
+                const std::size_t other =
+                    cell_index(wrap(cx + dx), wrap(cy + dy), wrap(cz + dz));
+                if (other < home) continue;  // visit each cell pair once
+                visit_cell_pair(home, other, home == other, fn);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Cell index a particle was binned into (testing hook).
+  std::size_t cell_of(std::size_t particle) const { return cell_of_[particle]; }
+
+ private:
+  std::size_t cell_index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(x) * cps_ + y) * cps_ + z;
+  }
+  int wrap(int c) const { return (c % cps_ + cps_) % cps_; }
+
+  template <typename Fn>
+  void visit_cell_pair(std::size_t a, std::size_t b, bool same, Fn&& fn) const {
+    for (std::size_t i = heads_[a]; i != kEnd; i = next_[i]) {
+      const std::size_t start = same ? next_[i] : heads_[b];
+      for (std::size_t j = start; j != kEnd; j = next_[j]) {
+        if (i < j) {
+          fn(i, j);
+        } else {
+          fn(j, i);
+        }
+      }
+    }
+  }
+
+  static constexpr std::size_t kEnd = static_cast<std::size_t>(-1);
+  int cps_ = 1;
+  std::vector<std::size_t> heads_;    // per-cell list head
+  std::vector<std::size_t> next_;     // per-particle chain
+  std::vector<std::size_t> cell_of_;  // per-particle cell
+  std::vector<std::size_t> order_;    // all particle ids (all-pairs path)
+};
+
+}  // namespace wfe::md

@@ -1,0 +1,27 @@
+#include "mdsim/cost_model.hpp"
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+plat::ComputeProfile md_stage_profile(const MdCostParams& params,
+                                      std::size_t natoms, int stride) {
+  WFE_REQUIRE(natoms > 0, "cost model needs a positive atom count");
+  WFE_REQUIRE(stride > 0, "cost model needs a positive stride");
+  plat::ComputeProfile p;
+  p.instructions = params.instr_per_atom_step *
+                   static_cast<double>(natoms) * static_cast<double>(stride);
+  p.base_ipc = params.base_ipc;
+  p.llc_refs_per_instr = params.llc_refs_per_instr;
+  p.base_miss_ratio = params.base_miss_ratio;
+  p.working_set_bytes = params.bytes_per_atom * static_cast<double>(natoms);
+  p.cache_sensitivity = params.cache_sensitivity;
+  p.parallel_fraction = params.parallel_fraction;
+  return p;
+}
+
+double frame_payload_bytes(std::size_t natoms) {
+  return static_cast<double>(natoms) * 3.0 * sizeof(double);
+}
+
+}  // namespace wfe::md

@@ -1,0 +1,48 @@
+// Analytic cost model of a GROMACS-class MD simulation.
+//
+// The simulated executor does not run the Lennard-Jones engine for the
+// paper-scale workload (a 250k-atom GltPh-like system for 30 000 steps);
+// instead it prices each simulation stage S from this model, exactly as the
+// platform layer prices analysis stages. The constants are calibrated in
+// workload::gltph_like_workload() so that with 16 cores and stride 800 the
+// simulated stage times land in the regime the paper reports (tens of
+// seconds per in situ step, compute-bound, low memory intensity).
+#pragma once
+
+#include <cstddef>
+
+#include "platform/profile.hpp"
+
+namespace wfe::md {
+
+struct MdCostParams {
+  /// Dynamic instructions per atom per MD step (force loop + integration +
+  /// neighbor maintenance).
+  double instr_per_atom_step = 5.0e3;
+  /// Pipeline IPC of the (vectorizable, compute-bound) force loop.
+  double base_ipc = 1.8;
+  /// LLC references per instruction — low: the working set streams through
+  /// L1/L2 with good locality, so few accesses reach the LLC at all. This
+  /// is what keeps the simulation's *time* largely contention-immune even
+  /// when co-location visibly raises its miss *ratio* (paper Figure 3 vs 4).
+  double llc_refs_per_instr = 0.004;
+  double base_miss_ratio = 0.04;
+  /// Resident bytes per atom: positions, velocities, forces, neighbor
+  /// lists, cell structures.
+  double bytes_per_atom = 400.0;
+  /// Simulations scale well across a node (domain decomposition).
+  double parallel_fraction = 0.97;
+  /// How much a competitor's cache pressure hurts — simulations are mostly
+  /// compute-bound, so mildly.
+  double cache_sensitivity = 0.08;
+};
+
+/// Compute profile of one simulation stage S: `stride` MD steps of a
+/// `natoms`-atom system.
+plat::ComputeProfile md_stage_profile(const MdCostParams& params,
+                                      std::size_t natoms, int stride);
+
+/// Payload bytes of one emitted frame (3 doubles per atom).
+double frame_payload_bytes(std::size_t natoms);
+
+}  // namespace wfe::md

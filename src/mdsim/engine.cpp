@@ -1,0 +1,40 @@
+#include "mdsim/engine.hpp"
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+namespace {
+System make_system(const MdConfig& c, Xoshiro256& rng) {
+  return System::fcc_lattice(c.fcc_cells, c.density, c.temperature, rng);
+}
+}  // namespace
+
+MdEngine::MdEngine(const MdConfig& config)
+    : rng_(config.seed),
+      system_(make_system(config, rng_)),
+      integrator_(config.lj, config.integrator) {
+  const ForceResult fr = integrator_.initialize(system_);
+  last_pe_ = fr.potential_energy;
+  last_virial_ = fr.virial;
+}
+
+MdObservables MdEngine::advance(int md_steps) {
+  WFE_REQUIRE(md_steps > 0, "advance needs a positive stride");
+  for (int s = 0; s < md_steps; ++s) {
+    const ForceResult fr = integrator_.step(system_);
+    last_pe_ = fr.potential_energy;
+    last_virial_ = fr.virial;
+  }
+  steps_done_ += static_cast<std::uint64_t>(md_steps);
+
+  MdObservables obs;
+  obs.potential_energy = last_pe_;
+  obs.kinetic_energy = system_.kinetic_energy();
+  obs.temperature = system_.temperature();
+  obs.pressure = pressure(system_, last_virial_);
+  obs.total_md_steps = steps_done_;
+  return obs;
+}
+
+}  // namespace wfe::md

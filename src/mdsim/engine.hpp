@@ -1,0 +1,57 @@
+// MdEngine: the simulation component facade used by the workflow runtime.
+//
+// Plays the role GROMACS plays in the paper: it advances the molecular
+// system by `stride` MD steps per in situ step and emits the resulting
+// frame (atomic positions) for staging. Fully deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdsim/integrator.hpp"
+#include "mdsim/system.hpp"
+
+namespace wfe::md {
+
+struct MdConfig {
+  int fcc_cells = 4;           ///< 4 cells -> 256 particles
+  double density = 0.8442;     ///< classic LJ liquid state point
+  double temperature = 0.728;  ///< reduced units
+  LjParams lj;
+  IntegratorParams integrator;
+  std::uint64_t seed = 42;
+};
+
+/// Observables reported after each advance.
+struct MdObservables {
+  double potential_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double temperature = 0.0;
+  double pressure = 0.0;
+  std::uint64_t total_md_steps = 0;
+};
+
+class MdEngine {
+ public:
+  explicit MdEngine(const MdConfig& config);
+
+  /// Advance `md_steps` steps (the stride of one in situ step).
+  MdObservables advance(int md_steps);
+
+  /// Current frame in chunk payload layout (3N doubles).
+  std::vector<double> frame() const { return system_.flatten_positions(); }
+
+  std::size_t atom_count() const { return system_.size(); }
+  const System& system() const { return system_; }
+  std::uint64_t total_md_steps() const { return steps_done_; }
+
+ private:
+  Xoshiro256 rng_;
+  System system_;
+  VelocityVerlet integrator_;
+  double last_pe_ = 0.0;
+  double last_virial_ = 0.0;
+  std::uint64_t steps_done_ = 0;
+};
+
+}  // namespace wfe::md

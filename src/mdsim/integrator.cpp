@@ -1,0 +1,86 @@
+#include "mdsim/integrator.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+VelocityVerlet::VelocityVerlet(LjParams lj, IntegratorParams params)
+    : lj_(lj), params_(params), noise_(params.langevin_seed) {
+  WFE_REQUIRE(params_.dt > 0.0, "time step must be positive");
+  WFE_REQUIRE(params_.target_temperature >= 0.0,
+              "target temperature must be non-negative");
+  WFE_REQUIRE(params_.langevin_gamma >= 0.0,
+              "Langevin friction must be non-negative");
+}
+
+ThermostatKind VelocityVerlet::effective_thermostat() const {
+  if (params_.thermostat != ThermostatKind::kNone) return params_.thermostat;
+  // Backward compatibility: tau > 0 with no explicit kind means Berendsen.
+  return params_.thermostat_tau > 0.0 ? ThermostatKind::kBerendsen
+                                      : ThermostatKind::kNone;
+}
+
+ForceResult VelocityVerlet::initialize(System& sys) const {
+  return compute_lj_forces(sys, lj_);
+}
+
+ForceResult VelocityVerlet::step(System& sys) {
+  const double dt = params_.dt;
+  const double half_dt = 0.5 * dt;
+
+  auto& pos = sys.positions();
+  auto& vel = sys.velocities();
+  auto& frc = sys.forces();
+  const std::size_t n = sys.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += frc[i] * half_dt;        // kick (mass = 1)
+    pos[i] += vel[i] * dt;             // drift
+  }
+  sys.wrap();
+  const ForceResult result = compute_lj_forces(sys, lj_);
+  for (std::size_t i = 0; i < n; ++i) {
+    vel[i] += frc[i] * half_dt;        // kick
+  }
+  switch (effective_thermostat()) {
+    case ThermostatKind::kNone:
+      break;
+    case ThermostatKind::kBerendsen:
+      apply_berendsen(sys);
+      break;
+    case ThermostatKind::kLangevin:
+      apply_langevin(sys);
+      break;
+  }
+  return result;
+}
+
+void VelocityVerlet::apply_berendsen(System& sys) const {
+  const double t = sys.temperature();
+  if (t <= 0.0) return;
+  // Berendsen weak coupling: rescale velocities toward the target.
+  const double lambda = std::sqrt(
+      1.0 + params_.dt / params_.thermostat_tau *
+                (params_.target_temperature / t - 1.0));
+  for (auto& v : sys.velocities()) v *= lambda;
+}
+
+void VelocityVerlet::apply_langevin(System& sys) {
+  // BBK-style post-step Ornstein-Uhlenbeck velocity update:
+  //   v <- c1 v + c2 xi,  c1 = exp(-gamma dt),
+  //   c2 = sqrt(kT (1 - c1^2))  (mass = 1), xi ~ N(0, 1) per component.
+  // Exactly preserves the canonical velocity distribution at temperature
+  // target_temperature in the free-particle limit.
+  const double c1 = std::exp(-params_.langevin_gamma * params_.dt);
+  const double c2 =
+      std::sqrt(params_.target_temperature * (1.0 - c1 * c1));
+  for (auto& v : sys.velocities()) {
+    v.x = c1 * v.x + c2 * noise_.normal();
+    v.y = c1 * v.y + c2 * noise_.normal();
+    v.z = c1 * v.z + c2 * noise_.normal();
+  }
+}
+
+}  // namespace wfe::md

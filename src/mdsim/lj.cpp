@@ -1,0 +1,62 @@
+#include "mdsim/lj.hpp"
+
+#include <cmath>
+
+#include "mdsim/cell_list.hpp"
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+namespace {
+
+/// U(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ], unshifted.
+double lj_raw(double r2, const LjParams& p) {
+  const double s2 = p.sigma * p.sigma / r2;
+  const double s6 = s2 * s2 * s2;
+  return 4.0 * p.epsilon * s6 * (s6 - 1.0);
+}
+
+}  // namespace
+
+double lj_pair_energy(double r2, const LjParams& p) {
+  const double rc2 = p.cutoff * p.cutoff;
+  if (r2 >= rc2) return 0.0;
+  return lj_raw(r2, p) - lj_raw(rc2, p);
+}
+
+ForceResult compute_lj_forces(System& sys, const LjParams& params) {
+  WFE_REQUIRE(params.epsilon > 0.0 && params.sigma > 0.0 && params.cutoff > 0.0,
+              "LJ parameters must be positive");
+  for (auto& f : sys.forces()) f = Vec3{};
+
+  const double rc2 = params.cutoff * params.cutoff;
+  const double shift = lj_raw(rc2, params);
+  ForceResult result;
+
+  CellList cells(sys, params.cutoff);
+  auto& pos = sys.positions();
+  auto& frc = sys.forces();
+  cells.for_each_candidate_pair([&](std::size_t i, std::size_t j) {
+    const Vec3 d = sys.min_image(pos[i], pos[j]);
+    const double r2 = d.norm2();
+    if (r2 >= rc2 || r2 == 0.0) return;
+    const double s2 = params.sigma * params.sigma / r2;
+    const double s6 = s2 * s2 * s2;
+    // f(r)/r = 24 eps (2 s^12 - s^6) / r^2
+    const double f_over_r = 24.0 * params.epsilon * s6 * (2.0 * s6 - 1.0) / r2;
+    frc[i] += d * f_over_r;
+    frc[j] -= d * f_over_r;
+    result.potential_energy += 4.0 * params.epsilon * s6 * (s6 - 1.0) - shift;
+    result.virial += f_over_r * r2;
+    ++result.pair_interactions;
+  });
+  return result;
+}
+
+double pressure(const System& sys, double virial) {
+  const double v = std::pow(sys.box_length(), 3);
+  const auto n = static_cast<double>(sys.size());
+  return (n * sys.temperature() + virial / 3.0) / v;
+}
+
+}  // namespace wfe::md

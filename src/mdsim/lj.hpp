@@ -1,0 +1,32 @@
+// Lennard-Jones 12-6 interactions with a truncated & shifted potential.
+#pragma once
+
+#include "mdsim/system.hpp"
+
+namespace wfe::md {
+
+struct LjParams {
+  double epsilon = 1.0;
+  double sigma = 1.0;
+  double cutoff = 2.5;  ///< in units of sigma
+};
+
+struct ForceResult {
+  double potential_energy = 0.0;
+  double virial = 0.0;  ///< sum r.f over pairs, for the pressure estimator
+  std::size_t pair_interactions = 0;  ///< pairs within the cutoff
+};
+
+/// Overwrite sys.forces() with LJ forces and return energy/virial.
+/// The potential is shifted so U(cutoff) = 0 (no impulsive jump in energy
+/// at the cutoff; forces are plainly truncated as in standard practice).
+ForceResult compute_lj_forces(System& sys, const LjParams& params);
+
+/// Pair potential value (shifted) at squared distance r2; 0 beyond cutoff.
+double lj_pair_energy(double r2, const LjParams& params);
+
+/// Instantaneous pressure from the virial theorem:
+/// P = (N*T + virial/3) / V.
+double pressure(const System& sys, double virial);
+
+}  // namespace wfe::md

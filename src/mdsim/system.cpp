@@ -1,0 +1,102 @@
+#include "mdsim/system.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+
+System::System(std::size_t n, double box_length)
+    : box_(box_length), pos_(n), vel_(n), frc_(n) {
+  WFE_REQUIRE(n > 0, "a system needs at least one particle");
+  WFE_REQUIRE(box_length > 0.0, "box length must be positive");
+}
+
+System System::fcc_lattice(int cells_per_side, double density,
+                           double temperature, Xoshiro256& rng) {
+  WFE_REQUIRE(cells_per_side > 0, "need at least one FCC cell");
+  WFE_REQUIRE(density > 0.0, "density must be positive");
+  WFE_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+
+  const std::size_t n =
+      4 * static_cast<std::size_t>(cells_per_side) * cells_per_side *
+      cells_per_side;
+  const double box = std::cbrt(static_cast<double>(n) / density);
+  System sys(n, box);
+
+  // FCC basis within a unit cell.
+  static constexpr double basis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  const double a = box / cells_per_side;  // lattice constant
+  std::size_t idx = 0;
+  for (int ix = 0; ix < cells_per_side; ++ix) {
+    for (int iy = 0; iy < cells_per_side; ++iy) {
+      for (int iz = 0; iz < cells_per_side; ++iz) {
+        for (const auto& b : basis) {
+          sys.pos_[idx++] = Vec3{(ix + b[0]) * a, (iy + b[1]) * a,
+                                 (iz + b[2]) * a};
+        }
+      }
+    }
+  }
+
+  const double sigma = std::sqrt(temperature);
+  for (auto& v : sys.vel_) {
+    v = Vec3{sigma * rng.normal(), sigma * rng.normal(), sigma * rng.normal()};
+  }
+  sys.remove_drift();
+  return sys;
+}
+
+Vec3 System::min_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = a - b;
+  d.x -= box_ * std::round(d.x / box_);
+  d.y -= box_ * std::round(d.y / box_);
+  d.z -= box_ * std::round(d.z / box_);
+  return d;
+}
+
+void System::wrap() {
+  for (auto& p : pos_) {
+    p.x -= box_ * std::floor(p.x / box_);
+    p.y -= box_ * std::floor(p.y / box_);
+    p.z -= box_ * std::floor(p.z / box_);
+  }
+}
+
+double System::kinetic_energy() const {
+  double ke = 0.0;
+  for (const auto& v : vel_) ke += 0.5 * v.norm2();
+  return ke;
+}
+
+double System::temperature() const {
+  if (pos_.empty()) return 0.0;
+  return 2.0 * kinetic_energy() / (3.0 * static_cast<double>(pos_.size()));
+}
+
+Vec3 System::total_momentum() const {
+  Vec3 p;
+  for (const auto& v : vel_) p += v;
+  return p;
+}
+
+void System::remove_drift() {
+  if (pos_.empty()) return;
+  Vec3 p = total_momentum();
+  const double inv_n = 1.0 / static_cast<double>(pos_.size());
+  for (auto& v : vel_) v -= p * inv_n;
+}
+
+std::vector<double> System::flatten_positions() const {
+  std::vector<double> flat;
+  flat.reserve(pos_.size() * 3);
+  for (const auto& p : pos_) {
+    flat.push_back(p.x);
+    flat.push_back(p.y);
+    flat.push_back(p.z);
+  }
+  return flat;
+}
+
+}  // namespace wfe::md

@@ -1,0 +1,96 @@
+// Particle system state for the mini molecular-dynamics engine.
+//
+// WFEns substitutes the paper's GROMACS/GltPh workload with a from-scratch
+// Lennard-Jones fluid in reduced units (sigma = epsilon = mass = 1): the
+// runtime only observes an MD code through its per-stride compute time and
+// the frames it emits, both of which this engine genuinely produces.
+// Positions live in a cubic periodic box.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace wfe::md {
+
+/// Plain 3-vector.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return dot(*this); }
+};
+
+/// Mutable state of an N-particle system in a periodic cubic box.
+class System {
+ public:
+  /// Build an FCC lattice filling a cubic box at the given number density,
+  /// with Maxwell-Boltzmann velocities at `temperature` (net momentum
+  /// removed). `cells_per_side` FCC cells give 4*cells^3 particles.
+  static System fcc_lattice(int cells_per_side, double density,
+                            double temperature, Xoshiro256& rng);
+
+  System(std::size_t n, double box_length);
+
+  std::size_t size() const { return pos_.size(); }
+  double box_length() const { return box_; }
+
+  std::vector<Vec3>& positions() { return pos_; }
+  const std::vector<Vec3>& positions() const { return pos_; }
+  std::vector<Vec3>& velocities() { return vel_; }
+  const std::vector<Vec3>& velocities() const { return vel_; }
+  std::vector<Vec3>& forces() { return frc_; }
+  const std::vector<Vec3>& forces() const { return frc_; }
+
+  /// Minimum-image displacement from particle j to particle i.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const;
+
+  /// Wrap every position back into [0, L).
+  void wrap();
+
+  /// Total kinetic energy (mass = 1).
+  double kinetic_energy() const;
+
+  /// Instantaneous temperature: 2*KE / (3*N) in reduced units.
+  double temperature() const;
+
+  /// Total momentum (should stay ~0 under NVE).
+  Vec3 total_momentum() const;
+
+  /// Zero the net momentum (applied after velocity initialization).
+  void remove_drift();
+
+  /// Flatten positions to the chunk payload layout (x0,y0,z0,x1,...).
+  std::vector<double> flatten_positions() const;
+
+ private:
+  double box_;
+  std::vector<Vec3> pos_;
+  std::vector<Vec3> vel_;
+  std::vector<Vec3> frc_;
+};
+
+}  // namespace wfe::md

@@ -1,0 +1,81 @@
+#include "metrics/steady_state.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace wfe::met {
+
+double steady_stage_duration(const Trace& trace, const ComponentId& id,
+                             core::StageKind kind,
+                             const SteadyStateOptions& options) {
+  WFE_REQUIRE(options.warmup_fraction >= 0.0 && options.warmup_fraction < 1.0,
+              "warm-up fraction must be in [0, 1)");
+
+  // Gather per-step durations of the requested stage kind, in step order.
+  std::map<std::uint64_t, double> by_step;
+  for (const StageRecord& r : trace.records()) {
+    if (r.component == id && r.kind == kind) {
+      by_step[r.step] += r.duration();
+    }
+  }
+  WFE_REQUIRE(!by_step.empty(), "component " + id.str() +
+                                    " recorded no stage of this kind");
+
+  std::vector<double> durations;
+  durations.reserve(by_step.size());
+  for (const auto& [_, d] : by_step) durations.push_back(d);
+
+  // Warm-up trim: never discard everything.
+  std::uint64_t warmup = std::max(
+      static_cast<std::uint64_t>(options.warmup_fraction *
+                                 static_cast<double>(durations.size())),
+      options.min_warmup_steps);
+  if (warmup >= durations.size()) {
+    warmup = durations.size() - 1;
+  }
+  const std::span<const double> window(durations.data() + warmup,
+                                       durations.size() - warmup);
+  return options.use_mean ? mean(window) : median(window);
+}
+
+core::MemberSteady member_steady_state(const Trace& trace,
+                                       std::uint32_t member,
+                                       const SteadyStateOptions& options) {
+  // Discover this member's components.
+  std::vector<ComponentId> components;
+  for (const ComponentId& id : trace.components()) {
+    if (id.member == member) components.push_back(id);
+  }
+  WFE_REQUIRE(!components.empty(), "no trace records for this member");
+
+  core::MemberSteady steady;
+  bool have_sim = false;
+  std::vector<std::pair<std::int32_t, core::AnaSteady>> analyses;
+  for (const ComponentId& id : components) {
+    if (id.is_simulation()) {
+      steady.sim.s = steady_stage_duration(trace, id,
+                                           core::StageKind::kSimulate, options);
+      steady.sim.w =
+          steady_stage_duration(trace, id, core::StageKind::kWrite, options);
+      have_sim = true;
+    } else {
+      core::AnaSteady a;
+      a.r = steady_stage_duration(trace, id, core::StageKind::kRead, options);
+      a.a =
+          steady_stage_duration(trace, id, core::StageKind::kAnalyze, options);
+      analyses.emplace_back(id.analysis, a);
+    }
+  }
+  WFE_REQUIRE(have_sim, "member has no simulation component in the trace");
+  WFE_REQUIRE(!analyses.empty(), "member has no analysis components");
+
+  std::sort(analyses.begin(), analyses.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (auto& [_, a] : analyses) steady.analyses.push_back(a);
+  return steady;
+}
+
+}  // namespace wfe::met

@@ -1,0 +1,38 @@
+// Steady-state extraction (§3.1): "after a few warm-up steps, [executions]
+// reach a steady-state where each stage has a similar execution time as
+// measured over many steps" — the starred durations S*, W*, R*, A*.
+//
+// We trim a warm-up prefix of steps and take a robust location estimate
+// (median by default) of each stage's duration over the remaining steps.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stages.hpp"
+#include "metrics/trace.hpp"
+
+namespace wfe::met {
+
+struct SteadyStateOptions {
+  /// Fraction of a component's steps discarded as warm-up...
+  double warmup_fraction = 0.2;
+  /// ...but at least this many (when there are enough steps to spare).
+  std::uint64_t min_warmup_steps = 1;
+  /// Use the mean instead of the median over post-warm-up steps.
+  bool use_mean = false;
+};
+
+/// Steady-state duration of one stage kind for one component.
+/// Throws InvalidArgument if the component recorded no such stage.
+double steady_stage_duration(const Trace& trace, const ComponentId& id,
+                             core::StageKind kind,
+                             const SteadyStateOptions& options = {});
+
+/// Assemble the full steady-state profile of a member from its trace:
+/// S*, W* from the simulation component; R*^j, A*^j from each analysis.
+/// (The idle stages I^S and I^A are derived by the model, Eq. (1).)
+core::MemberSteady member_steady_state(
+    const Trace& trace, std::uint32_t member,
+    const SteadyStateOptions& options = {});
+
+}  // namespace wfe::met

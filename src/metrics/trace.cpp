@@ -1,0 +1,110 @@
+#include "metrics/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::met {
+
+std::string ComponentId::str() const {
+  if (is_simulation()) return strprintf("sim%u", member);
+  return strprintf("ana%u.%d", member, analysis);
+}
+
+void TraceRecorder::record(StageRecord record) {
+  WFE_REQUIRE(record.end >= record.start,
+              "a stage cannot end before it starts");
+  std::lock_guard lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+Trace TraceRecorder::take() {
+  std::vector<StageRecord> out;
+  {
+    std::lock_guard lock(mutex_);
+    out.swap(records_);
+  }
+  return Trace(std::move(out));
+}
+
+Trace::Trace(std::vector<StageRecord> records)
+    : records_(std::move(records)) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const StageRecord& a, const StageRecord& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.component < b.component;
+                   });
+}
+
+std::vector<ComponentId> Trace::components() const {
+  std::set<ComponentId> unique;
+  for (const StageRecord& r : records_) unique.insert(r.component);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::uint32_t> Trace::members() const {
+  std::set<std::uint32_t> unique;
+  for (const StageRecord& r : records_) unique.insert(r.component.member);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<StageRecord> Trace::for_component(const ComponentId& id) const {
+  std::vector<StageRecord> out;
+  for (const StageRecord& r : records_) {
+    if (r.component == id) out.push_back(r);
+  }
+  return out;
+}
+
+double Trace::component_start(const ComponentId& id) const {
+  bool found = false;
+  double t = 0.0;
+  for (const StageRecord& r : records_) {
+    if (r.component != id) continue;
+    if (!found || r.start < t) t = r.start;
+    found = true;
+  }
+  WFE_REQUIRE(found, "component " + id.str() + " has no trace records");
+  return t;
+}
+
+double Trace::component_end(const ComponentId& id) const {
+  bool found = false;
+  double t = 0.0;
+  for (const StageRecord& r : records_) {
+    if (r.component != id) continue;
+    if (!found || r.end > t) t = r.end;
+    found = true;
+  }
+  WFE_REQUIRE(found, "component " + id.str() + " has no trace records");
+  return t;
+}
+
+std::uint64_t Trace::step_count(const ComponentId& id) const {
+  std::set<std::uint64_t> steps;
+  for (const StageRecord& r : records_) {
+    if (r.component == id) steps.insert(r.step);
+  }
+  return steps.size();
+}
+
+plat::HwCounters Trace::component_counters(const ComponentId& id) const {
+  plat::HwCounters total;
+  for (const StageRecord& r : records_) {
+    if (r.component == id) total += r.counters;
+  }
+  return total;
+}
+
+double Trace::total_in_stage(const ComponentId& id,
+                             core::StageKind kind) const {
+  double total = 0.0;
+  for (const StageRecord& r : records_) {
+    if (r.component == id && r.kind == kind) total += r.duration();
+  }
+  return total;
+}
+
+}  // namespace wfe::met

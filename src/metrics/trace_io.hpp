@@ -1,0 +1,39 @@
+// Trace persistence: write execution traces to disk and read them back,
+// so assessments can run offline (the TAU-profile-artifact workflow).
+//
+// Format "WFET 1": a line-oriented text format with full double precision.
+//   WFET 1
+//   record <member> <analysis> <step> <kind> <start> <end> ...
+//   ... <instructions> <cycles> <llc_refs> <llc_misses>
+//   ...
+//   end <record_count>
+// `kind` is the stage mnemonic (S, IS, W, R, A, IA). Parsing rejects any
+// malformation with wfe::SerializationError. A CSV renderer is provided
+// for spreadsheet-side analysis (one-way).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "metrics/trace.hpp"
+
+namespace wfe::met {
+
+/// Stage mnemonics used on the wire (stable, unlike enum values).
+std::string_view stage_mnemonic(core::StageKind kind);
+
+/// Serialize a trace to the WFET text format.
+std::string trace_to_text(const Trace& trace);
+
+/// Parse a WFET buffer; throws wfe::SerializationError on malformation.
+Trace trace_from_text(std::string_view text);
+
+/// Render as CSV (header row first); for external tooling, not re-read.
+std::string trace_to_csv(const Trace& trace);
+
+/// File convenience wrappers (throw wfe::Error on I/O failure).
+void save_trace(const std::filesystem::path& path, const Trace& trace);
+Trace load_trace(const std::filesystem::path& path);
+
+}  // namespace wfe::met

@@ -1,0 +1,58 @@
+#include "metrics/traditional.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace wfe::met {
+
+ComponentMetrics component_metrics(const Trace& trace, const ComponentId& id) {
+  ComponentMetrics m;
+  m.component = id;
+  m.execution_time = trace.component_end(id) - trace.component_start(id);
+  const plat::HwCounters counters = trace.component_counters(id);
+  m.llc_miss_ratio = counters.llc_miss_ratio();
+  m.memory_intensity = counters.memory_intensity();
+  m.ipc = counters.ipc();
+  return m;
+}
+
+std::vector<ComponentMetrics> all_component_metrics(const Trace& trace) {
+  std::vector<ComponentMetrics> out;
+  for (const ComponentId& id : trace.components()) {
+    out.push_back(component_metrics(trace, id));
+  }
+  return out;
+}
+
+double member_makespan(const Trace& trace, std::uint32_t member) {
+  bool have_sim = false;
+  double sim_start = 0.0;
+  bool have_ana = false;
+  double latest_ana_end = 0.0;
+  for (const StageRecord& r : trace.records()) {
+    if (r.component.member != member) continue;
+    if (r.component.is_simulation()) {
+      if (!have_sim || r.start < sim_start) sim_start = r.start;
+      have_sim = true;
+    } else {
+      if (!have_ana || r.end > latest_ana_end) latest_ana_end = r.end;
+      have_ana = true;
+    }
+  }
+  WFE_REQUIRE(have_sim, "member has no simulation records");
+  WFE_REQUIRE(have_ana, "member has no analysis records");
+  return latest_ana_end - sim_start;
+}
+
+double ensemble_makespan(const Trace& trace) {
+  const std::vector<std::uint32_t> members = trace.members();
+  WFE_REQUIRE(!members.empty(), "empty trace");
+  double span = 0.0;
+  for (std::uint32_t m : members) {
+    span = std::max(span, member_makespan(trace, m));
+  }
+  return span;
+}
+
+}  // namespace wfe::met

@@ -1,0 +1,37 @@
+// The traditional metric set of Table 1, computed from an execution trace.
+//
+//   Ensemble component: execution time, LLC miss ratio, memory intensity,
+//                       instructions per cycle.
+//   Ensemble member:    makespan = timespan between simulation start time
+//                       and the latest analysis end time.
+//   Workflow ensemble:  makespan = maximum member makespan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/trace.hpp"
+
+namespace wfe::met {
+
+struct ComponentMetrics {
+  ComponentId component;
+  double execution_time = 0.0;  ///< first stage start to last stage end
+  double llc_miss_ratio = 0.0;
+  double memory_intensity = 0.0;
+  double ipc = 0.0;
+};
+
+/// Table 1, component level.
+ComponentMetrics component_metrics(const Trace& trace, const ComponentId& id);
+
+/// All components of the trace, in (member, analysis) order.
+std::vector<ComponentMetrics> all_component_metrics(const Trace& trace);
+
+/// Table 1, member level: simulation start to latest analysis end.
+double member_makespan(const Trace& trace, std::uint32_t member);
+
+/// Table 1, ensemble level: max member makespan.
+double ensemble_makespan(const Trace& trace);
+
+}  // namespace wfe::met

@@ -1,0 +1,81 @@
+#include "platform/cluster.hpp"
+
+#include <algorithm>
+
+#include "platform/topology.hpp"
+#include "support/error.hpp"
+
+namespace wfe::plat {
+
+Cluster::Cluster(PlatformSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  by_node_.resize(static_cast<std::size_t>(spec_.node_count));
+}
+
+void Cluster::check_node(int node) const {
+  WFE_REQUIRE(node >= 0 && node < spec_.node_count,
+              "node index out of range for this platform");
+}
+
+StageCost Cluster::stage_cost(int node, const ComputeProfile& profile,
+                              int cores) const {
+  return stage_cost_excluding(node, profile, cores, 0);
+}
+
+StageCost Cluster::stage_cost_excluding(int node,
+                                        const ComputeProfile& profile,
+                                        int cores, std::uint64_t self) const {
+  check_node(node);
+  std::vector<ActiveStage> competitors;
+  competitors.reserve(by_node_[static_cast<std::size_t>(node)].size());
+  for (std::uint64_t h : by_node_[static_cast<std::size_t>(node)]) {
+    if (h == self) continue;
+    competitors.push_back(active_.at(h).stage);
+  }
+  return compute_stage_cost(spec_, profile, cores, competitors);
+}
+
+std::uint64_t Cluster::begin_compute(int node, const ComputeProfile& profile,
+                                     int cores) {
+  check_node(node);
+  WFE_REQUIRE(cores > 0, "a compute stage needs at least one core");
+  const std::uint64_t h = next_handle_++;
+  active_.emplace(h, Record{node, ActiveStage{profile, cores}});
+  by_node_[static_cast<std::size_t>(node)].push_back(h);
+  return h;
+}
+
+void Cluster::end_compute(std::uint64_t handle) {
+  auto it = active_.find(handle);
+  WFE_REQUIRE(it != active_.end(), "unknown compute-stage handle");
+  auto& vec = by_node_[static_cast<std::size_t>(it->second.node)];
+  vec.erase(std::remove(vec.begin(), vec.end(), handle), vec.end());
+  active_.erase(it);
+}
+
+double Cluster::transfer_time(int src_node, int dst_node, double bytes) const {
+  check_node(src_node);
+  check_node(dst_node);
+  if (src_node == dst_node) return local_copy_time(spec_.node, bytes);
+  return network_transfer_time(spec_.interconnect, src_node, dst_node, bytes);
+}
+
+std::size_t Cluster::active_count(int node) const {
+  check_node(node);
+  return by_node_[static_cast<std::size_t>(node)].size();
+}
+
+int Cluster::active_cores(int node) const {
+  check_node(node);
+  int total = 0;
+  for (std::uint64_t h : by_node_[static_cast<std::size_t>(node)]) {
+    total += active_.at(h).stage.cores;
+  }
+  return total;
+}
+
+bool Cluster::would_oversubscribe(int node, int cores) const {
+  return active_cores(node) + cores > spec_.node.cores;
+}
+
+}  // namespace wfe::plat

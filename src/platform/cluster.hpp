@@ -1,0 +1,79 @@
+// Stateful cluster: tracks which compute stages are active on every node and
+// prices new stages against that state.
+//
+// The SimulatedExecutor drives it with a begin/end protocol:
+//   auto cost = cluster.stage_cost(node, profile, cores);   // price first
+//   auto h = cluster.begin_compute(node, profile, cores);   // then occupy
+//   ... virtual time advances by cost.seconds ...
+//   cluster.end_compute(h);
+//
+// The price of a stage is fixed when it starts, based on the competitors
+// active at that instant (a standard discrete-event approximation; the
+// steady-state phases the paper's model relies on make it accurate because
+// co-location sets are stable across in situ steps).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/interference.hpp"
+#include "platform/spec.hpp"
+
+namespace wfe::plat {
+
+class Cluster {
+ public:
+  /// Validates and stores the spec.
+  explicit Cluster(PlatformSpec spec);
+
+  const PlatformSpec& spec() const { return spec_; }
+  int node_count() const { return spec_.node_count; }
+
+  /// Price a compute stage if it started now on `node` with `cores` cores,
+  /// against the currently active competitors on that node.
+  StageCost stage_cost(int node, const ComputeProfile& profile,
+                       int cores) const;
+
+  /// Same, but ignore the active stage `self` — used when a component is
+  /// registered as a long-lived node resident and prices its own stages
+  /// against the *other* residents (a resident's working set keeps
+  /// occupying the shared LLC even while it briefly idles, so residency,
+  /// not instantaneous activity, is what drives steady-state contention).
+  StageCost stage_cost_excluding(int node, const ComputeProfile& profile,
+                                 int cores, std::uint64_t self) const;
+
+  /// Mark a compute stage active; returns a handle for end_compute.
+  std::uint64_t begin_compute(int node, const ComputeProfile& profile,
+                              int cores);
+
+  /// Mark a stage inactive. Throws InvalidArgument on an unknown handle.
+  void end_compute(std::uint64_t handle);
+
+  /// Time to move `bytes` between two placements: same node -> memory copy;
+  /// different nodes -> network transfer (topology model).
+  double transfer_time(int src_node, int dst_node, double bytes) const;
+
+  /// Number of active compute stages on a node.
+  std::size_t active_count(int node) const;
+
+  /// Sum of cores of active compute stages on a node.
+  int active_cores(int node) const;
+
+  /// True if starting `cores` more on `node` would exceed its core count.
+  bool would_oversubscribe(int node, int cores) const;
+
+ private:
+  void check_node(int node) const;
+
+  PlatformSpec spec_;
+  struct Record {
+    int node;
+    ActiveStage stage;
+  };
+  std::unordered_map<std::uint64_t, Record> active_;
+  std::vector<std::vector<std::uint64_t>> by_node_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace wfe::plat

@@ -1,0 +1,46 @@
+// Hardware-counter accounting.
+//
+// The paper collects (via TAU/PAPI) the component-level metrics of Table 1:
+// instructions per cycle, LLC miss ratio (misses / references) and memory
+// intensity (misses / instructions). The platform model synthesizes the four
+// underlying raw counters for every compute stage; this struct accumulates
+// them and derives the Table 1 ratios.
+#pragma once
+
+#include <cstdint>
+
+namespace wfe::plat {
+
+struct HwCounters {
+  double instructions = 0.0;
+  double cycles = 0.0;  ///< aggregated core cycles
+  double llc_references = 0.0;
+  double llc_misses = 0.0;
+
+  HwCounters& operator+=(const HwCounters& o) {
+    instructions += o.instructions;
+    cycles += o.cycles;
+    llc_references += o.llc_references;
+    llc_misses += o.llc_misses;
+    return *this;
+  }
+  friend HwCounters operator+(HwCounters a, const HwCounters& b) {
+    a += b;
+    return a;
+  }
+
+  /// Instructions per cycle (Table 1); 0 when no cycles elapsed.
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+
+  /// LLC miss ratio = misses / references (Table 1); 0 when no references.
+  double llc_miss_ratio() const {
+    return llc_references > 0.0 ? llc_misses / llc_references : 0.0;
+  }
+
+  /// Memory intensity = misses / instructions (Table 1); 0 if no work.
+  double memory_intensity() const {
+    return instructions > 0.0 ? llc_misses / instructions : 0.0;
+  }
+};
+
+}  // namespace wfe::plat

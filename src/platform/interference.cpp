@@ -1,0 +1,109 @@
+#include "platform/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+
+namespace {
+
+/// Contention-free cycles-per-instruction of a profile: the base pipeline
+/// CPI plus the stall contribution of its baseline LLC misses.
+double baseline_cpi(const NodeSpec& node, const ComputeProfile& p) {
+  return 1.0 / p.base_ipc +
+         p.llc_refs_per_instr * p.base_miss_ratio * node.llc_miss_penalty_cycles;
+}
+
+/// Instruction throughput (instructions/s) of a stage given its CPI and
+/// core allocation, summed over its cores.
+double instr_rate(const NodeSpec& node, const ComputeProfile& p, int cores,
+                  double cpi) {
+  return node.core_freq_hz * amdahl_speedup(cores, p.parallel_fraction) / cpi;
+}
+
+/// Memory-bandwidth demand (bytes/s) of a stage missing at ratio m.
+double bw_demand(const NodeSpec& node, const ComputeProfile& p, int cores,
+                 double cpi, double m) {
+  return instr_rate(node, p, cores, cpi) * p.llc_refs_per_instr * m *
+         node.cacheline_bytes;
+}
+
+}  // namespace
+
+double cache_pressure(const PlatformSpec& spec, double competitor_ws_bytes) {
+  WFE_REQUIRE(competitor_ws_bytes >= 0.0, "working set must be non-negative");
+  if (!spec.interference.enabled) return 0.0;
+  const double scaled =
+      spec.interference.capacity_sharing_strength * competitor_ws_bytes;
+  return scaled / (scaled + spec.node.llc_bytes);
+}
+
+double effective_miss_ratio(const PlatformSpec& spec,
+                            const ComputeProfile& victim,
+                            double competitor_ws_bytes) {
+  const double pressure = cache_pressure(spec, competitor_ws_bytes);
+  const double headroom =
+      std::max(0.0, spec.interference.max_miss_ratio - victim.base_miss_ratio);
+  return std::min(spec.interference.max_miss_ratio,
+                  victim.base_miss_ratio +
+                      headroom * victim.cache_sensitivity * pressure);
+}
+
+StageCost compute_stage_cost(const PlatformSpec& spec,
+                             const ComputeProfile& victim, int cores,
+                             std::span<const ActiveStage> competitors) {
+  WFE_REQUIRE(cores > 0, "a compute stage needs at least one core");
+  WFE_REQUIRE(victim.instructions >= 0.0, "instruction count must be >= 0");
+  const NodeSpec& node = spec.node;
+
+  // Cache pressure on the victim from everyone else on the node.
+  double other_ws = 0.0;
+  for (const ActiveStage& c : competitors) other_ws += c.profile.working_set_bytes;
+  const double m_eff = effective_miss_ratio(spec, victim, other_ws);
+
+  // First pass: provisional CPIs with cache effects only, used to estimate
+  // aggregate memory-bandwidth demand (avoids a fixed-point iteration; the
+  // approximation is exact when bandwidth is unsaturated).
+  auto cache_cpi = [&](const ComputeProfile& p, double m) {
+    return 1.0 / p.base_ipc +
+           p.llc_refs_per_instr * m * node.llc_miss_penalty_cycles;
+  };
+
+  double total_demand = bw_demand(node, victim, cores, cache_cpi(victim, m_eff), m_eff);
+  if (spec.interference.enabled) {
+    for (const ActiveStage& c : competitors) {
+      // Each competitor's own pressure includes the victim and the other
+      // competitors.
+      const double ws_seen_by_c =
+          other_ws - c.profile.working_set_bytes + victim.working_set_bytes;
+      const double m_c = effective_miss_ratio(spec, c.profile, ws_seen_by_c);
+      total_demand +=
+          bw_demand(node, c.profile, c.cores, cache_cpi(c.profile, m_c), m_c);
+    }
+  }
+  const double bw_factor =
+      spec.interference.enabled
+          ? std::max(1.0, total_demand / node.mem_bw_bytes_per_s)
+          : 1.0;
+
+  // Final CPI: pipeline + (possibly bandwidth-stretched) miss stalls.
+  const double cpi_eff = 1.0 / victim.base_ipc +
+                         victim.llc_refs_per_instr * m_eff *
+                             node.llc_miss_penalty_cycles * bw_factor;
+  const double cpi_free = baseline_cpi(node, victim);
+
+  StageCost cost;
+  cost.effective_miss_ratio = m_eff;
+  cost.slowdown = cpi_eff / cpi_free;
+  const double speedup = amdahl_speedup(cores, victim.parallel_fraction);
+  cost.seconds = victim.instructions * cpi_eff / (node.core_freq_hz * speedup);
+  cost.counters.instructions = victim.instructions;
+  cost.counters.cycles = victim.instructions * cpi_eff;
+  cost.counters.llc_references = victim.instructions * victim.llc_refs_per_instr;
+  cost.counters.llc_misses = cost.counters.llc_references * m_eff;
+  return cost;
+}
+
+}  // namespace wfe::plat

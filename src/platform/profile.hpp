@@ -1,0 +1,43 @@
+// Resource-demand profiles of workload stages.
+//
+// A ComputeProfile describes what one computational stage (a simulation
+// stage S or an analysis stage A, Section 3.1) asks of a node: how many
+// instructions, how cache-hungry the instruction stream is, how large the
+// working set is, and how well the stage scales across cores. The platform
+// turns a profile plus the current co-location state into a duration and a
+// set of hardware counters.
+#pragma once
+
+#include <string>
+
+namespace wfe::plat {
+
+struct ComputeProfile {
+  /// Total dynamic instructions of the stage (across all its threads).
+  double instructions = 0.0;
+  /// Per-core instructions-per-cycle when running contention-free and
+  /// never missing in the LLC.
+  double base_ipc = 1.6;
+  /// LLC references issued per instruction.
+  double llc_refs_per_instr = 0.02;
+  /// Contention-free LLC miss ratio (misses / references).
+  double base_miss_ratio = 0.05;
+  /// Resident working set competing for LLC capacity (bytes).
+  double working_set_bytes = 0.0;
+  /// How strongly this stage suffers when competitors evict its lines,
+  /// in [0, 1]. Data-intensive analyses are near 1; compute-bound
+  /// simulations are small.
+  double cache_sensitivity = 0.3;
+  /// Amdahl parallel fraction in [0, 1]: effective speedup on c cores is
+  /// 1 / ((1 - f) + f / c).
+  double parallel_fraction = 0.95;
+};
+
+/// Amdahl's-law effective core count for `cores` cores and parallel
+/// fraction `f`: the factor by which the stage's serial time shrinks.
+inline double amdahl_speedup(int cores, double f) {
+  if (cores <= 1) return 1.0;
+  return 1.0 / ((1.0 - f) + f / static_cast<double>(cores));
+}
+
+}  // namespace wfe::plat

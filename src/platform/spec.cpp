@@ -1,0 +1,50 @@
+#include "platform/spec.hpp"
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw SpecError(std::string(what) + " must be positive");
+}
+}  // namespace
+
+void PlatformSpec::validate() const {
+  if (node_count <= 0) throw SpecError("platform needs at least one node");
+  if (node.cores <= 0) throw SpecError("node needs at least one core");
+  require_positive(node.core_freq_hz, "core frequency");
+  require_positive(node.llc_bytes, "LLC capacity");
+  require_positive(node.mem_bw_bytes_per_s, "memory bandwidth");
+  require_positive(node.copy_bw_bytes_per_s, "copy bandwidth");
+  require_positive(node.cacheline_bytes, "cache line size");
+  if (node.llc_miss_penalty_cycles < 0.0)
+    throw SpecError("LLC miss penalty must be non-negative");
+
+  require_positive(interconnect.link_bw_bytes_per_s, "link bandwidth");
+  require_positive(interconnect.message_bytes, "message size");
+  if (interconnect.latency_per_hop_s < 0.0)
+    throw SpecError("hop latency must be non-negative");
+  if (interconnect.per_message_overhead_s < 0.0)
+    throw SpecError("per-message overhead must be non-negative");
+  if (interconnect.group_size <= 0)
+    throw SpecError("dragonfly group size must be positive");
+  if (interconnect.intra_group_hops <= 0 || interconnect.inter_group_hops <= 0)
+    throw SpecError("hop counts must be positive");
+  if (!(interconnect.stream_efficiency > 0.0 &&
+        interconnect.stream_efficiency <= 1.0))
+    throw SpecError("stream efficiency must be in (0, 1]");
+  if (interconnect.cross_node_compute_penalty < 0.0)
+    throw SpecError("cross-node compute penalty must be non-negative");
+
+  if (staging.write_overhead_s < 0.0 || staging.read_overhead_s < 0.0)
+    throw SpecError("staging overheads must be non-negative");
+
+  if (!(interference.max_miss_ratio > 0.0 &&
+        interference.max_miss_ratio <= 1.0))
+    throw SpecError("max miss ratio must be in (0, 1]");
+  if (interference.capacity_sharing_strength < 0.0)
+    throw SpecError("capacity sharing strength must be non-negative");
+}
+
+}  // namespace wfe::plat

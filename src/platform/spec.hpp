@@ -1,0 +1,96 @@
+// Platform specification: the modelled HPC machine.
+//
+// This is the substitute for the paper's testbed, Cori (Cray XC40): compute
+// nodes with a fixed core count, a shared last-level cache and finite memory
+// bandwidth, connected by a dragonfly-style interconnect. Every constant of
+// the interference and transfer models lives here so experiments can pin,
+// sweep, or disable them (see bench_ablation_interference).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wfe::plat {
+
+/// One compute node. Defaults approximate a Cori Haswell node: 2x16 cores,
+/// 2.3 GHz, 2x40 MiB LLC, ~120 GB/s STREAM-like memory bandwidth.
+struct NodeSpec {
+  int cores = 32;
+  double core_freq_hz = 2.3e9;
+  /// Shared last-level cache capacity per node.
+  double llc_bytes = 80.0 * 1024 * 1024;
+  /// Sustainable node memory bandwidth (bytes/s).
+  double mem_bw_bytes_per_s = 120.0e9;
+  /// In-memory copy bandwidth for local staging (bytes/s). Local DIMES-style
+  /// writes/reads are memcpy-class operations.
+  double copy_bw_bytes_per_s = 8.0e9;
+  /// Cache line size used to convert misses into bandwidth demand.
+  double cacheline_bytes = 64.0;
+  /// Average stall penalty of one LLC miss, in core cycles.
+  double llc_miss_penalty_cycles = 180.0;
+};
+
+/// Dragonfly-inspired interconnect. Nodes are grouped; intra-group messages
+/// traverse fewer hops than inter-group ones.
+struct InterconnectSpec {
+  /// One-way small-message latency per hop (seconds).
+  double latency_per_hop_s = 1.2e-6;
+  /// Peak point-to-point link bandwidth (bytes/s).
+  double link_bw_bytes_per_s = 10.0e9;
+  /// Nodes per dragonfly group.
+  int group_size = 384;
+  /// Hop count within a group / across groups (minimal routing).
+  int intra_group_hops = 2;
+  int inter_group_hops = 5;
+  /// Fixed software overhead per RDMA/get request (seconds). In-memory
+  /// staging systems such as DIMES issue index lookups and registration
+  /// per request; this is their per-message cost.
+  double per_message_overhead_s = 8.0e-6;
+  /// Maximum payload per message; larger transfers are pipelined in chunks.
+  double message_bytes = 1.0 * 1024 * 1024;
+  /// Effective fraction of link bandwidth achievable by a single staging
+  /// stream (protocol + packetization efficiency).
+  double stream_efficiency = 0.65;
+  /// Relative compute slowdown per additional node when one component
+  /// spans several nodes (halo exchanges / collectives crossing the
+  /// network instead of shared memory): a component on n nodes runs
+  /// (1 + penalty * (n - 1)) times longer than the same allocation on one
+  /// big node.
+  double cross_node_compute_penalty = 0.06;
+};
+
+/// Software costs of the staging layer itself (DIMES-like index updates,
+/// buffer registration), on top of the raw copy/transfer time.
+struct StagingCostSpec {
+  /// Fixed cost of publishing one chunk into the local staging area.
+  double write_overhead_s = 250.0e-6;
+  /// Fixed cost of locating and fetching one staged chunk (metadata query).
+  double read_overhead_s = 250.0e-6;
+};
+
+/// Knobs of the co-location interference model (see DESIGN.md Section 7).
+struct InterferenceSpec {
+  /// Master switch; when false co-located components do not disturb each
+  /// other (ablation baseline).
+  bool enabled = true;
+  /// Upper bound of the achievable miss ratio under full cache pressure.
+  double max_miss_ratio = 0.95;
+  /// Scales how strongly a competitor's working set evicts a victim's lines.
+  double capacity_sharing_strength = 1.0;
+};
+
+/// The whole machine.
+struct PlatformSpec {
+  std::string name = "modelled-cluster";
+  int node_count = 8;
+  NodeSpec node;
+  InterconnectSpec interconnect;
+  StagingCostSpec staging;
+  InterferenceSpec interference;
+
+  /// Throws wfe::SpecError if any field is out of range.
+  void validate() const;
+};
+
+}  // namespace wfe::plat

@@ -1,0 +1,37 @@
+#include "platform/topology.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+
+int hop_count(const InterconnectSpec& net, int src_node, int dst_node) {
+  WFE_REQUIRE(src_node >= 0 && dst_node >= 0, "node indexes are non-negative");
+  if (src_node == dst_node) return 0;
+  const int src_group = src_node / net.group_size;
+  const int dst_group = dst_node / net.group_size;
+  return src_group == dst_group ? net.intra_group_hops
+                                : net.inter_group_hops;
+}
+
+double network_transfer_time(const InterconnectSpec& net, int src_node,
+                             int dst_node, double bytes) {
+  WFE_REQUIRE(src_node != dst_node,
+              "network transfer requires distinct nodes; use local_copy_time");
+  WFE_REQUIRE(bytes >= 0.0, "transfer size must be non-negative");
+  const int hops = hop_count(net, src_node, dst_node);
+  const double latency = net.latency_per_hop_s * static_cast<double>(hops);
+  const double messages =
+      bytes > 0.0 ? std::ceil(bytes / net.message_bytes) : 0.0;
+  const double payload =
+      bytes / (net.link_bw_bytes_per_s * net.stream_efficiency);
+  return latency + messages * net.per_message_overhead_s + payload;
+}
+
+double local_copy_time(const NodeSpec& node, double bytes) {
+  WFE_REQUIRE(bytes >= 0.0, "copy size must be non-negative");
+  return bytes / node.copy_bw_bytes_per_s;
+}
+
+}  // namespace wfe::plat

@@ -1,0 +1,28 @@
+// Interconnect topology: hop counts and transfer-time model.
+//
+// Cori's Aries dragonfly gives near-uniform latency inside a group and a
+// few extra hops across groups. We reproduce that coarse structure: the hop
+// count between two nodes depends only on whether they share a group, and a
+// transfer pays per-hop latency, per-message software overhead (the
+// DIMES-style index lookup / registration cost) and payload time at an
+// effective stream bandwidth.
+#pragma once
+
+#include "platform/spec.hpp"
+
+namespace wfe::plat {
+
+/// Hop count between two node indexes under minimal dragonfly routing.
+/// Same node -> 0 hops.
+int hop_count(const InterconnectSpec& net, int src_node, int dst_node);
+
+/// One-way time to move `bytes` from src_node to dst_node over the network.
+/// src_node == dst_node is invalid here (local movement is a memory copy and
+/// is priced by the node's copy bandwidth, not the network).
+double network_transfer_time(const InterconnectSpec& net, int src_node,
+                             int dst_node, double bytes);
+
+/// Time to stage `bytes` within one node's memory (memcpy-class).
+double local_copy_time(const NodeSpec& node, double bytes);
+
+}  // namespace wfe::plat

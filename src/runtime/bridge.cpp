@@ -1,0 +1,36 @@
+#include "runtime/bridge.hpp"
+
+#include "core/efficiency.hpp"
+#include "metrics/traditional.hpp"
+#include "support/error.hpp"
+
+namespace wfe::rt {
+
+Assessment assess(const EnsembleSpec& spec, const ExecutionResult& result,
+                  const met::SteadyStateOptions& options) {
+  WFE_REQUIRE(!result.trace.empty(), "cannot assess an empty trace");
+  WFE_REQUIRE(result.trace.members().size() == spec.members.size(),
+              "trace and spec disagree on the number of members");
+
+  std::vector<MemberAssessment> members;
+  std::vector<core::EnsembleMemberModel> model_members;
+  members.reserve(spec.members.size());
+  for (std::size_t i = 0; i < spec.members.size(); ++i) {
+    const auto member_id = static_cast<std::uint32_t>(i);
+    MemberAssessment a;
+    a.steady = met::member_steady_state(result.trace, member_id, options);
+    a.sigma = core::non_overlapped_segment(a.steady);
+    a.efficiency = core::computational_efficiency(a.steady);
+    a.makespan_measured = met::member_makespan(result.trace, member_id);
+    a.makespan_model = core::member_makespan_model(a.steady, result.n_steps);
+    model_members.push_back({a.steady, spec.members[i].placement()});
+    members.push_back(std::move(a));
+  }
+
+  Assessment out{std::move(members), spec.total_nodes(),
+                 met::ensemble_makespan(result.trace),
+                 core::EnsembleModel(std::move(model_members))};
+  return out;
+}
+
+}  // namespace wfe::rt

@@ -1,0 +1,46 @@
+// The trace -> model bridge: turns a measured execution into the paper's
+// assessment pipeline outputs (steady state -> E -> indicators -> F).
+#pragma once
+
+#include <vector>
+
+#include "core/ensemble_model.hpp"
+#include "core/insitu.hpp"
+#include "metrics/steady_state.hpp"
+#include "runtime/result.hpp"
+#include "runtime/spec.hpp"
+
+namespace wfe::rt {
+
+/// Everything the paper derives for one member.
+struct MemberAssessment {
+  core::MemberSteady steady;      ///< measured S*, W*, R*^j, A*^j
+  double sigma = 0.0;             ///< Eq. (1)
+  double efficiency = 0.0;        ///< Eq. (3)
+  double makespan_measured = 0.0; ///< Table 1 member makespan from the trace
+  double makespan_model = 0.0;    ///< Eq. (2) with the run's step count
+};
+
+/// Ensemble-level assessment: member details plus the model object from
+/// which any indicator chain and objective value can be read.
+struct Assessment {
+  std::vector<MemberAssessment> members;
+  int total_nodes = 0;  ///< M
+  double ensemble_makespan_measured = 0.0;
+  core::EnsembleModel model;  ///< measured steady states + spec placements
+
+  /// F(P) of Eq. (9) at the given indicator stage chain.
+  double objective(core::IndicatorKind kind) const {
+    return model.objective(kind);
+  }
+  /// P_1..P_N at the given stage chain.
+  std::vector<double> member_indicators(core::IndicatorKind kind) const {
+    return model.member_indicators(kind);
+  }
+};
+
+/// Assess a finished execution of `spec`.
+Assessment assess(const EnsembleSpec& spec, const ExecutionResult& result,
+                  const met::SteadyStateOptions& options = {});
+
+}  // namespace wfe::rt

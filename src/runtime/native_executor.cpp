@@ -1,0 +1,162 @@
+#include "runtime/native_executor.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/kernel.hpp"
+#include "dtl/coupling.hpp"
+#include "dtl/file_staging.hpp"
+#include "dtl/memory_staging.hpp"
+#include "dtl/plugin.hpp"
+#include "mdsim/engine.hpp"
+#include "support/error.hpp"
+
+namespace wfe::rt {
+
+namespace {
+
+using core::StageKind;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void run_simulation(const SimulationSpec& spec, std::uint32_t member,
+                    std::uint64_t n_steps, dtl::DtlPlugin plugin,
+                    std::shared_ptr<dtl::CouplingChannel> channel,
+                    met::TraceRecorder& recorder, Clock::time_point epoch) {
+  const met::ComponentId id{member, -1};
+  md::MdEngine engine(spec.native);
+
+  for (std::uint64_t step = 0; step < n_steps; ++step) {
+    const double t0 = seconds_since(epoch);
+    engine.advance(spec.stride);  // stage S: real MD compute
+    const double t1 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kSimulate, t0, t1, {}});
+
+    channel->begin_write(step);  // stage I^S: wait for readers to drain
+    const double t2 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kSimIdle, t1, t2, {}});
+
+    // begin_write guarantees step - capacity is drained by every reader.
+    const auto capacity = static_cast<std::uint64_t>(channel->capacity());
+    if (step >= capacity) {
+      plugin.release(dtl::ChunkKey{member, step - capacity});
+    }
+    plugin.write(dtl::Chunk(dtl::ChunkKey{member, step},
+                            dtl::PayloadKind::kPositions3N, engine.frame()));
+    // Stage W ends when the data is staged; the commit below is only the
+    // readers' wake-up signal, so timestamp first — this also guarantees
+    // that a reader's R start (taken after the commit) never precedes the
+    // recorded W end.
+    const double t3 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kWrite, t2, t3, {}});
+    channel->commit_write(step);
+  }
+  channel->close();
+}
+
+void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
+                  std::int32_t index, std::uint64_t n_steps,
+                  dtl::DtlPlugin plugin,
+                  std::shared_ptr<dtl::CouplingChannel> channel,
+                  met::TraceRecorder& recorder, Clock::time_point epoch,
+                  std::vector<ana::AnalysisResult>& outputs,
+                  std::mutex& outputs_mutex) {
+  const met::ComponentId id{member, index};
+  const std::unique_ptr<ana::AnalysisKernel> kernel =
+      ana::make_kernel(spec.kernel);
+
+  for (std::uint64_t step = 0; step < n_steps; ++step) {
+    const double t0 = seconds_since(epoch);
+    const bool available = channel->await_step(index, step);  // I^A
+    const double t1 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kAnaIdle, t0, t1, {}});
+    if (!available) break;  // writer finished early
+
+    const dtl::Chunk chunk = plugin.read(dtl::ChunkKey{member, step});
+    channel->ack_read(index, step);
+    const double t2 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kRead, t1, t2, {}});
+
+    ana::AnalysisResult result = kernel->analyze(chunk);  // stage A
+    const double t3 = seconds_since(epoch);
+    recorder.record({id, step, StageKind::kAnalyze, t2, t3, {}});
+    {
+      std::lock_guard lock(outputs_mutex);
+      outputs.push_back(std::move(result));
+    }
+  }
+}
+
+}  // namespace
+
+ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
+  WFE_REQUIRE(!spec.members.empty(), "ensemble needs at least one member");
+  const std::uint64_t n_steps =
+      options_.max_steps > 0 ? std::min(options_.max_steps, spec.n_steps)
+                             : spec.n_steps;
+  WFE_REQUIRE(n_steps > 0, "need at least one in situ step");
+
+  std::unique_ptr<dtl::StagingBackend> staging;
+  if (options_.staging == NativeOptions::StagingTier::kFile) {
+    const std::filesystem::path root =
+        options_.spool_dir.empty()
+            ? std::filesystem::temp_directory_path() / "wfens-native-spool"
+            : std::filesystem::path(options_.spool_dir);
+    staging = std::make_unique<dtl::FileStaging>(root);
+  } else {
+    staging = std::make_unique<dtl::MemoryStaging>();
+  }
+  met::TraceRecorder recorder;
+  const Clock::time_point epoch = Clock::now();
+
+  struct AnalysisSlot {
+    met::ComponentId id;
+    std::vector<ana::AnalysisResult> outputs;
+    std::mutex mutex;
+  };
+  std::vector<std::unique_ptr<AnalysisSlot>> slots;
+  std::vector<std::thread> threads;
+
+  for (std::size_t i = 0; i < spec.members.size(); ++i) {
+    const MemberSpec& ms = spec.members[i];
+    WFE_REQUIRE(!ms.analyses.empty(), "member couples no analysis");
+    const auto member = static_cast<std::uint32_t>(i);
+    auto channel = std::make_shared<dtl::CouplingChannel>(
+        static_cast<int>(ms.analyses.size()), ms.buffer_capacity);
+    dtl::DtlPlugin plugin(*staging);
+
+    threads.emplace_back(run_simulation, std::cref(ms.sim), member, n_steps,
+                         plugin, channel, std::ref(recorder), epoch);
+
+    for (std::size_t j = 0; j < ms.analyses.size(); ++j) {
+      auto slot = std::make_unique<AnalysisSlot>();
+      slot->id = met::ComponentId{member, static_cast<std::int32_t>(j)};
+      AnalysisSlot* raw = slot.get();
+      slots.push_back(std::move(slot));
+      threads.emplace_back(run_analysis, std::cref(ms.analyses[j]), member,
+                           static_cast<std::int32_t>(j), n_steps, plugin,
+                           channel, std::ref(recorder), epoch,
+                           std::ref(raw->outputs), std::ref(raw->mutex));
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  ExecutionResult result;
+  result.trace = recorder.take();
+  result.n_steps = n_steps;
+  for (auto& slot : slots) {
+    result.analysis_outputs.push_back(
+        {slot->id, std::move(slot->outputs)});
+  }
+  return result;
+}
+
+}  // namespace wfe::rt

@@ -1,0 +1,46 @@
+// NativeExecutor: really runs the ensemble with threads, the MD engine, the
+// analysis kernels, and the in-memory DTL.
+//
+// One std::thread per component; components of one member couple through a
+// CouplingChannel + MemoryStaging pair — the genuine data plane (chunks are
+// serialized, staged, fetched and deserialized). Stage boundaries are timed
+// with a monotonic clock and recorded in the same trace format as the
+// simulated executor, so the entire assessment pipeline (steady state ->
+// efficiency -> indicators -> objective) runs unchanged on real executions.
+//
+// Scope notes: node pinning and hardware counters are not available inside
+// a single-host process, so placements are ignored here (use the simulated
+// executor for placement studies) and the counter fields of native traces
+// stay zero — Table 1 cache metrics are a simulated-mode product.
+#pragma once
+
+#include "runtime/result.hpp"
+#include "runtime/spec.hpp"
+
+namespace wfe::rt {
+
+struct NativeOptions {
+  /// Cap threads' in situ steps (0 = use spec.n_steps). Lets tests run a
+  /// paper-shaped spec for only a few real steps.
+  std::uint64_t max_steps = 0;
+  /// Which DTL tier carries the chunks: in-memory staging (DIMES-like) or
+  /// a file-backed spool (parallel-file-system tier). Used by the DTL
+  /// ablation bench.
+  enum class StagingTier { kMemory, kFile } staging = StagingTier::kMemory;
+  /// Spool directory for the file tier (empty = std temp dir).
+  std::string spool_dir;
+};
+
+class NativeExecutor {
+ public:
+  explicit NativeExecutor(NativeOptions options = {}) : options_(options) {}
+
+  /// Run every member's components on threads until all finish; returns the
+  /// timed trace and the analyses' collective-variable series.
+  ExecutionResult run(const EnsembleSpec& spec) const;
+
+ private:
+  NativeOptions options_;
+};
+
+}  // namespace wfe::rt

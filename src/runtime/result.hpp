@@ -1,0 +1,27 @@
+// Execution results shared by both executors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/kernel.hpp"
+#include "metrics/trace.hpp"
+
+namespace wfe::rt {
+
+/// Output of one executor run: the stage trace (the universal observable)
+/// plus, in native mode, the real collective-variable series every analysis
+/// produced.
+struct ExecutionResult {
+  met::Trace trace;
+  std::uint64_t n_steps = 0;
+
+  struct AnalysisSeries {
+    met::ComponentId component;
+    std::vector<ana::AnalysisResult> results;
+  };
+  /// Empty in simulated mode (no real kernels run there).
+  std::vector<AnalysisSeries> analysis_outputs;
+};
+
+}  // namespace wfe::rt

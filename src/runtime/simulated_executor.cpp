@@ -1,0 +1,367 @@
+#include "runtime/simulated_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "dtl/serde.hpp"
+#include "mdsim/cost_model.hpp"
+#include "platform/cluster.hpp"
+#include "simengine/engine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::rt {
+
+namespace {
+
+using core::StageKind;
+using sim::Engine;
+
+/// Whole-replay context shared by all component state machines.
+struct Replay {
+  const EnsembleSpec& spec;
+  plat::Cluster cluster;
+  Engine engine;
+  met::TraceRecorder recorder;
+  Xoshiro256 rng;
+  double jitter_sigma = 0.0;  ///< lognormal sigma; 0 = deterministic
+
+  Replay(const EnsembleSpec& s, const plat::PlatformSpec& platform,
+         const SimulatedOptions& options)
+      : spec(s), cluster(platform), rng(options.seed) {
+    if (options.jitter_cv > 0.0) {
+      // For lognormal noise, CV^2 = exp(sigma^2) - 1.
+      jitter_sigma =
+          std::sqrt(std::log1p(options.jitter_cv * options.jitter_cv));
+    }
+  }
+
+  /// Mean-preserving multiplicative noise factor for one stage duration.
+  double jitter() {
+    if (jitter_sigma == 0.0) return 1.0;
+    return std::exp(jitter_sigma * rng.normal() -
+                    0.5 * jitter_sigma * jitter_sigma);
+  }
+};
+
+/// A component's presence on the cluster, supporting multi-node node sets
+/// (the paper's s_i / a_i^j may span several nodes).
+///
+/// Cores and the working set are spread evenly over the node set; every
+/// partition is registered as a resident of its node. A compute stage is
+/// priced as: contention-free whole-allocation duration (Amdahl over the
+/// total cores), stretched by the WORST partition's contention slowdown
+/// and by the cross-node scaling penalty (1 + p (n - 1)). With one node
+/// this reduces exactly to the single-node model. Counters are summed over
+/// partitions (each missing at its own node's effective ratio).
+struct ComponentFootprint {
+  struct Partition {
+    int node = 0;
+    int cores = 1;
+    plat::ComputeProfile profile;      ///< scaled to the partition share
+    std::uint64_t residency = 0;
+  };
+  std::vector<Partition> partitions;
+  plat::ComputeProfile whole;  ///< unscaled profile (total instructions)
+  int total_cores = 1;
+
+  void init(Replay& rp, const std::set<int>& nodes, int cores,
+            const plat::ComputeProfile& profile) {
+    WFE_REQUIRE(!nodes.empty(), "a component needs at least one node");
+    whole = profile;
+    total_cores = cores;
+    const auto n = static_cast<int>(nodes.size());
+    const int base = cores / n;
+    const int remainder = cores % n;
+    int index = 0;
+    partitions.clear();
+    partitions.reserve(nodes.size());
+    for (int node : nodes) {
+      Partition p;
+      p.node = node;
+      p.cores = base + (index < remainder ? 1 : 0);
+      if (p.cores == 0) p.cores = 1;  // degenerate: more nodes than cores
+      p.profile = profile;
+      p.profile.instructions /= n;
+      p.profile.working_set_bytes /= n;
+      p.residency = rp.cluster.begin_compute(p.node, p.profile, p.cores);
+      partitions.push_back(p);
+      ++index;
+    }
+  }
+
+  int primary_node() const { return partitions.front().node; }
+  std::size_t node_count() const { return partitions.size(); }
+  bool resides_on(int node) const {
+    return std::any_of(partitions.begin(), partitions.end(),
+                       [&](const Partition& p) { return p.node == node; });
+  }
+
+  /// Price one compute stage at the current cluster state.
+  plat::StageCost priced(Replay& rp) const;
+};
+
+plat::StageCost ComponentFootprint::priced(Replay& rp) const {
+  plat::StageCost total;
+  double worst_slowdown = 1.0;
+  for (const Partition& p : partitions) {
+    const plat::StageCost c = rp.cluster.stage_cost_excluding(
+        p.node, p.profile, p.cores, p.residency);
+    worst_slowdown = std::max(worst_slowdown, c.slowdown);
+    total.counters += c.counters;
+    total.effective_miss_ratio =
+        std::max(total.effective_miss_ratio, c.effective_miss_ratio);
+  }
+  // Contention-free duration of the WHOLE allocation (Amdahl over the
+  // total core count — splitting across nodes must never speed a fixed
+  // allocation up), stretched by contention and the cross-node penalty.
+  const plat::StageCost free_whole =
+      plat::compute_stage_cost(rp.cluster.spec(), whole, total_cores, {});
+  const double penalty =
+      1.0 + rp.cluster.spec().interconnect.cross_node_compute_penalty *
+                static_cast<double>(partitions.size() - 1);
+  total.slowdown = worst_slowdown * penalty;
+  total.seconds = free_whole.seconds * total.slowdown;
+  return total;
+}
+
+struct MemberRun;
+
+/// One analysis component's state machine.
+struct AnalysisRun {
+  MemberRun* member = nullptr;
+  met::ComponentId id;
+  ComponentFootprint footprint;
+  std::uint64_t next_step = 0;
+  double idle_since = 0.0;  ///< when the current I^A wait began
+  bool waiting = false;     ///< parked until the chunk is committed
+
+  void try_read(Replay& rp);
+  void start_read(Replay& rp);
+};
+
+/// One member: simulation state machine + K analyses + the chunk handshake.
+struct MemberRun {
+  met::ComponentId sim_id;
+  ComponentFootprint sim;
+  double chunk_bytes = 0.0;
+
+  std::uint64_t sim_step = 0;
+  double s_end = 0.0;           ///< when the current S stage finished
+  bool sim_blocked = false;     ///< parked in I^S until readers drain
+  std::int64_t committed = -1;  ///< last committed (written) step
+  int buffer_capacity = 1;      ///< staging-buffer depth (1 = paper)
+  std::vector<std::int64_t> consumed;  ///< per-reader last finished R
+
+  std::vector<AnalysisRun> analyses;
+
+  /// Bounded-buffer rule: W of `step` may start once every reader drained
+  /// step - capacity (capacity 1 = the paper's no-buffering protocol).
+  bool can_write(std::uint64_t step) const {
+    const auto horizon = static_cast<std::int64_t>(step) - buffer_capacity;
+    for (std::int64_t c : consumed) {
+      if (c < horizon) return false;
+    }
+    return true;
+  }
+
+  /// DIMES-style distributed write: each simulation partition publishes
+  /// its shard into node-local memory, in parallel.
+  double write_time(Replay& rp) const {
+    const double shard = chunk_bytes / static_cast<double>(sim.node_count());
+    double w = 0.0;
+    for (const auto& p : sim.partitions) {
+      w = std::max(w, rp.cluster.spec().staging.write_overhead_s +
+                          rp.cluster.transfer_time(p.node, p.node, shard));
+    }
+    return w;
+  }
+
+  /// Gather time of the staged chunk to a reader spanning `reader`'s node
+  /// set: every reader partition pulls its slice from every producer
+  /// shard in parallel; the slowest pair dominates. Slices landing on
+  /// their own shard's node are local copies.
+  double read_time(Replay& rp, const ComponentFootprint& reader) const {
+    const double piece =
+        chunk_bytes / static_cast<double>(sim.node_count() *
+                                          reader.node_count());
+    double r = 0.0;
+    for (const auto& dst : reader.partitions) {
+      for (const auto& src : sim.partitions) {
+        r = std::max(r, rp.cluster.spec().staging.read_overhead_s +
+                            rp.cluster.transfer_time(src.node, dst.node,
+                                                     piece));
+      }
+    }
+    return r;
+  }
+
+  void start_sim_step(Replay& rp);
+  void after_sim_compute(Replay& rp);
+  void start_write(Replay& rp);
+  void commit(Replay& rp);
+  void on_read_done(Replay& rp, int reader, std::uint64_t step);
+};
+
+void MemberRun::start_sim_step(Replay& rp) {
+  // Residency-based contention: price against the other components that
+  // live on these nodes for the whole run.
+  plat::StageCost cost = sim.priced(rp);
+  const double factor = rp.jitter();
+  cost.seconds *= factor;
+  cost.counters.cycles *= factor;  // time noise shows up as cycle noise
+  const double now = rp.engine.now();
+  rp.recorder.record({sim_id, sim_step, StageKind::kSimulate, now,
+                      now + cost.seconds, cost.counters});
+  rp.engine.schedule_in(cost.seconds, [this, &rp] { after_sim_compute(rp); });
+}
+
+void MemberRun::after_sim_compute(Replay& rp) {
+  s_end = rp.engine.now();
+  if (can_write(sim_step)) {
+    start_write(rp);
+  } else {
+    sim_blocked = true;  // resumed by on_read_done
+  }
+}
+
+void MemberRun::start_write(Replay& rp) {
+  const double now = rp.engine.now();
+  rp.recorder.record(
+      {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
+  const double w = write_time(rp) * rp.jitter();
+  rp.recorder.record({sim_id, sim_step, StageKind::kWrite, now, now + w, {}});
+  rp.engine.schedule_in(w, [this, &rp] { commit(rp); });
+}
+
+void MemberRun::commit(Replay& rp) {
+  committed = static_cast<std::int64_t>(sim_step);
+  ++sim_step;
+  // Wake readers parked on this chunk.
+  for (AnalysisRun& a : analyses) {
+    if (a.waiting && static_cast<std::int64_t>(a.next_step) <= committed) {
+      a.waiting = false;
+      a.start_read(rp);
+    }
+  }
+  if (sim_step < rp.spec.n_steps) {
+    start_sim_step(rp);
+  }
+}
+
+void MemberRun::on_read_done(Replay& rp, int reader, std::uint64_t step) {
+  auto& last = consumed[static_cast<std::size_t>(reader)];
+  WFE_REQUIRE(last + 1 == static_cast<std::int64_t>(step),
+              "reader finished a step out of order");
+  last = static_cast<std::int64_t>(step);
+  if (sim_blocked && can_write(sim_step)) {
+    sim_blocked = false;
+    start_write(rp);
+  }
+}
+
+void AnalysisRun::try_read(Replay& rp) {
+  idle_since = rp.engine.now();
+  if (static_cast<std::int64_t>(next_step) <= member->committed) {
+    start_read(rp);
+  } else {
+    waiting = true;  // resumed by MemberRun::commit
+  }
+}
+
+void AnalysisRun::start_read(Replay& rp) {
+  const double now = rp.engine.now();
+  rp.recorder.record(
+      {id, next_step, StageKind::kAnaIdle, idle_since, now, {}});
+  // Fetch the chunk from the producer's node(s) (data locality:
+  // co-located partitions pay memory copies, remote ones network
+  // transfers).
+  const double r = member->read_time(rp, footprint) * rp.jitter();
+  rp.recorder.record({id, next_step, StageKind::kRead, now, now + r, {}});
+  rp.engine.schedule_in(r, [this, &rp] {
+    member->on_read_done(rp, id.analysis, next_step);
+    // Analyze.
+    plat::StageCost cost = footprint.priced(rp);
+    const double factor = rp.jitter();
+    cost.seconds *= factor;
+    cost.counters.cycles *= factor;
+    const double t = rp.engine.now();
+    rp.recorder.record({id, next_step, StageKind::kAnalyze, t,
+                        t + cost.seconds, cost.counters});
+    rp.engine.schedule_in(cost.seconds, [this, &rp] {
+      ++next_step;
+      if (next_step < rp.spec.n_steps) try_read(rp);
+    });
+  });
+}
+
+}  // namespace
+
+SimulatedExecutor::SimulatedExecutor(plat::PlatformSpec platform,
+                                     SimulatedOptions options)
+    : platform_(std::move(platform)), options_(options) {
+  platform_.validate();
+  WFE_REQUIRE(options_.jitter_cv >= 0.0,
+              "jitter coefficient of variation must be non-negative");
+}
+
+ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
+  spec.validate(platform_);
+
+  Replay rp(spec, platform_, options_);
+  std::vector<std::unique_ptr<MemberRun>> members;
+  members.reserve(spec.members.size());
+
+  for (std::size_t i = 0; i < spec.members.size(); ++i) {
+    const MemberSpec& ms = spec.members[i];
+    auto run = std::make_unique<MemberRun>();
+    run->sim_id = met::ComponentId{static_cast<std::uint32_t>(i), -1};
+    // Register every component as a node resident for the whole run: its
+    // working set competes for the shared LLC whether or not it is mid-
+    // stage, which is what drives steady-state co-location interference.
+    run->sim.init(rp, ms.sim.nodes, ms.sim.cores,
+                  md::md_stage_profile(ms.sim.cost, ms.sim.natoms,
+                                       ms.sim.stride));
+    run->chunk_bytes =
+        md::frame_payload_bytes(ms.sim.natoms) +
+        static_cast<double>(dtl::kChunkHeaderBytes);
+    run->buffer_capacity = ms.buffer_capacity;
+    run->consumed.assign(ms.analyses.size(), -1);
+
+    for (std::size_t j = 0; j < ms.analyses.size(); ++j) {
+      const AnalysisSpec& as = ms.analyses[j];
+      AnalysisRun a;
+      a.member = run.get();
+      a.id = met::ComponentId{static_cast<std::uint32_t>(i),
+                              static_cast<std::int32_t>(j)};
+      a.footprint.init(rp, as.nodes, as.cores,
+                       ana::analysis_stage_profile(as.cost, ms.sim.natoms));
+      run->analyses.push_back(a);
+    }
+    members.push_back(std::move(run));
+  }
+
+  // All simulations start simultaneously (paper §2.1); analyses begin
+  // waiting for their first chunk at t = 0.
+  for (auto& m : members) {
+    MemberRun* raw = m.get();
+    rp.engine.schedule_at(0.0, [raw, &rp] { raw->start_sim_step(rp); });
+    for (AnalysisRun& a : raw->analyses) {
+      AnalysisRun* ap = &a;
+      rp.engine.schedule_at(0.0, [ap, &rp] { ap->try_read(rp); });
+    }
+  }
+
+  rp.engine.run();
+
+  ExecutionResult result;
+  result.trace = rp.recorder.take();
+  result.n_steps = spec.n_steps;
+  return result;
+}
+
+}  // namespace wfe::rt

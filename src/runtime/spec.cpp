@@ -1,0 +1,92 @@
+#include "runtime/spec.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::rt {
+
+core::MemberPlacement MemberSpec::placement() const {
+  core::MemberPlacement p;
+  p.sim.nodes = sim.nodes;
+  p.sim.cores = sim.cores;
+  for (const AnalysisSpec& a : analyses) {
+    p.analyses.push_back(core::ComponentPlacement{a.nodes, a.cores});
+  }
+  return p;
+}
+
+int EnsembleSpec::total_nodes() const {
+  std::set<int> nodes;
+  for (const MemberSpec& m : members) {
+    nodes.insert(m.sim.nodes.begin(), m.sim.nodes.end());
+    for (const AnalysisSpec& a : m.analyses) {
+      nodes.insert(a.nodes.begin(), a.nodes.end());
+    }
+  }
+  return static_cast<int>(nodes.size());
+}
+
+void EnsembleSpec::validate(const plat::PlatformSpec& platform) const {
+  platform.validate();
+  if (members.empty()) {
+    throw SpecError("a workflow ensemble needs at least one member");
+  }
+  if (n_steps == 0) {
+    throw SpecError("a workflow ensemble executes at least one in situ step");
+  }
+
+  // Per-node concurrent core demand: components are all active in steady
+  // state, so a node must fit the sum of its residents' core counts.
+  // Components spanning several nodes contribute cores / |nodes| per node
+  // (even spread), matching how MPI ranks would be distributed.
+  std::map<int, double> demand;
+  auto place = [&](const std::set<int>& nodes, int cores, const char* what) {
+    if (nodes.empty()) {
+      throw SpecError(std::string(what) + " must run on at least one node");
+    }
+    if (cores <= 0) {
+      throw SpecError(std::string(what) + " must use at least one core");
+    }
+    for (int n : nodes) {
+      if (n < 0 || n >= platform.node_count) {
+        throw SpecError(strprintf("%s placed on node %d outside platform (%d nodes)",
+                                  what, n, platform.node_count));
+      }
+      demand[n] += static_cast<double>(cores) /
+                   static_cast<double>(nodes.size());
+    }
+  };
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const MemberSpec& m = members[i];
+    if (m.analyses.empty()) {
+      throw SpecError(strprintf(
+          "member %zu couples no analysis (the model needs K >= 1)", i));
+    }
+    if (m.sim.stride <= 0) {
+      throw SpecError("the simulation stride must be positive");
+    }
+    if (m.buffer_capacity < 1) {
+      throw SpecError("the staging buffer holds at least one chunk");
+    }
+    if (m.sim.natoms == 0) {
+      throw SpecError("the modelled system needs at least one atom");
+    }
+    place(m.sim.nodes, m.sim.cores, "simulation");
+    for (const AnalysisSpec& a : m.analyses) {
+      place(a.nodes, a.cores, "analysis");
+    }
+  }
+
+  for (const auto& [node, cores] : demand) {
+    if (cores > static_cast<double>(platform.node.cores) + 1e-9) {
+      throw SpecError(strprintf(
+          "node %d oversubscribed: %.1f cores demanded, %d available", node,
+          cores, platform.node.cores));
+    }
+  }
+}
+
+}  // namespace wfe::rt

@@ -1,0 +1,168 @@
+#include "runtime/spec_io.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::rt {
+
+namespace {
+
+std::string nodes_to_text(const std::set<int>& nodes) {
+  std::vector<std::string> parts;
+  for (int n : nodes) parts.push_back(std::to_string(n));
+  return join(parts, " ");
+}
+
+std::set<int> read_nodes(std::istringstream& ls, const char* what) {
+  std::set<int> nodes;
+  int n;
+  while (ls >> n) {
+    if (n < 0) throw SerializationError("WFES: negative node index");
+    nodes.insert(n);
+  }
+  if (nodes.empty()) {
+    throw SerializationError(std::string("WFES: ") + what + " has no nodes");
+  }
+  return nodes;
+}
+
+void expect_word(std::istringstream& ls, const char* word) {
+  std::string got;
+  if (!(ls >> got) || got != word) {
+    throw SerializationError(strprintf("WFES: expected '%s'", word));
+  }
+}
+
+}  // namespace
+
+std::string spec_to_text(const EnsembleSpec& spec) {
+  std::string out = "WFES 1\n";
+  out += "name " + spec.name + "\n";
+  out += strprintf("steps %" PRIu64 "\n", spec.n_steps);
+  for (const MemberSpec& m : spec.members) {
+    out += strprintf("member buffer %d\n", m.buffer_capacity);
+    out += strprintf("sim cores %d stride %d natoms %zu nodes %s\n",
+                     m.sim.cores, m.sim.stride, m.sim.natoms,
+                     nodes_to_text(m.sim.nodes).c_str());
+    for (const AnalysisSpec& a : m.analyses) {
+      out += strprintf("analysis kernel %s cores %d nodes %s\n",
+                       a.kernel.c_str(), a.cores,
+                       nodes_to_text(a.nodes).c_str());
+    }
+  }
+  out += strprintf("end %zu\n", spec.members.size());
+  return out;
+}
+
+EnsembleSpec spec_from_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "WFES 1") {
+    throw SerializationError("WFES: missing or unsupported header");
+  }
+
+  EnsembleSpec spec;
+  spec.members.clear();
+  bool saw_end = false;
+  bool saw_steps = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+
+    if (tag == "name") {
+      std::string rest;
+      std::getline(ls, rest);
+      spec.name = rest.empty() ? "" : rest.substr(1);  // drop the space
+    } else if (tag == "steps") {
+      if (!(ls >> spec.n_steps)) {
+        throw SerializationError("WFES: malformed steps line");
+      }
+      saw_steps = true;
+    } else if (tag == "member") {
+      MemberSpec m;
+      expect_word(ls, "buffer");
+      if (!(ls >> m.buffer_capacity)) {
+        throw SerializationError("WFES: malformed member line");
+      }
+      spec.members.push_back(std::move(m));
+    } else if (tag == "sim") {
+      if (spec.members.empty()) {
+        throw SerializationError("WFES: sim line before any member");
+      }
+      MemberSpec& m = spec.members.back();
+      expect_word(ls, "cores");
+      if (!(ls >> m.sim.cores)) {
+        throw SerializationError("WFES: malformed sim cores");
+      }
+      expect_word(ls, "stride");
+      if (!(ls >> m.sim.stride)) {
+        throw SerializationError("WFES: malformed sim stride");
+      }
+      expect_word(ls, "natoms");
+      if (!(ls >> m.sim.natoms)) {
+        throw SerializationError("WFES: malformed sim natoms");
+      }
+      expect_word(ls, "nodes");
+      m.sim.nodes = read_nodes(ls, "sim");
+    } else if (tag == "analysis") {
+      if (spec.members.empty()) {
+        throw SerializationError("WFES: analysis line before any member");
+      }
+      AnalysisSpec a;
+      expect_word(ls, "kernel");
+      if (!(ls >> a.kernel)) {
+        throw SerializationError("WFES: malformed analysis kernel");
+      }
+      expect_word(ls, "cores");
+      if (!(ls >> a.cores)) {
+        throw SerializationError("WFES: malformed analysis cores");
+      }
+      expect_word(ls, "nodes");
+      a.nodes = read_nodes(ls, "analysis");
+      spec.members.back().analyses.push_back(std::move(a));
+    } else if (tag == "end") {
+      std::size_t count = 0;
+      if (!(ls >> count) || count != spec.members.size()) {
+        throw SerializationError("WFES: member count mismatch in trailer");
+      }
+      saw_end = true;
+      break;
+    } else {
+      throw SerializationError("WFES: unexpected line tag '" + tag + "'");
+    }
+  }
+  if (!saw_end) {
+    throw SerializationError("WFES: missing 'end' trailer (truncated file?)");
+  }
+  if (!saw_steps) throw SerializationError("WFES: missing steps line");
+  for (const MemberSpec& m : spec.members) {
+    if (m.sim.nodes.empty()) {
+      throw SerializationError("WFES: member missing its sim line");
+    }
+  }
+  return spec;
+}
+
+void save_spec(const std::filesystem::path& path, const EnsembleSpec& spec) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  out << spec_to_text(spec);
+  if (!out) throw Error("short write to " + path.string());
+}
+
+EnsembleSpec load_spec(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return spec_from_text(buffer.str());
+}
+
+}  // namespace wfe::rt

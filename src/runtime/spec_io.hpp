@@ -1,0 +1,39 @@
+// EnsembleSpec persistence: the WFES text format.
+//
+// Captures the structural specification — member placements, core counts,
+// workload scale (atoms, stride), staging-buffer depth, step count and
+// kernel names — which is everything the assessment pipeline needs to
+// compute indicators from a saved trace (wfens_report --spec). Cost-model
+// constants are NOT serialized; loading applies the library's calibrated
+// defaults (DESIGN.md §7).
+//
+//   WFES 1
+//   name <free text>
+//   steps <n>
+//   member buffer <capacity>
+//   sim cores <c> stride <s> natoms <n> nodes <i> [<i> ...]
+//   analysis kernel <k> cores <c> nodes <i> [<i> ...]
+//   [more `analysis` lines]
+//   [more `member` blocks]
+//   end <member_count>
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "runtime/spec.hpp"
+
+namespace wfe::rt {
+
+/// Serialize to the WFES text format.
+std::string spec_to_text(const EnsembleSpec& spec);
+
+/// Parse a WFES buffer; throws wfe::SerializationError on malformation.
+EnsembleSpec spec_from_text(std::string_view text);
+
+/// File convenience wrappers (throw wfe::Error on I/O failure).
+void save_spec(const std::filesystem::path& path, const EnsembleSpec& spec);
+EnsembleSpec load_spec(const std::filesystem::path& path);
+
+}  // namespace wfe::rt

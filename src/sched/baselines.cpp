@@ -1,0 +1,85 @@
+#include "sched/baselines.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+std::size_t slot_count(const EnsembleShape& shape) {
+  std::size_t slots = 0;
+  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
+  return slots;
+}
+
+std::vector<int> component_cores(const EnsembleShape& shape) {
+  std::vector<int> cores;
+  for (const MemberShape& m : shape.members) {
+    cores.push_back(m.sim.cores);
+    for (const auto& a : m.analyses) cores.push_back(a.cores);
+  }
+  return cores;
+}
+
+}  // namespace
+
+Schedule RoundRobin::plan(const EnsembleShape& shape,
+                          const plat::PlatformSpec& platform,
+                          const ResourceBudget& budget) const {
+  WFE_REQUIRE(!shape.members.empty(), "shape has no members");
+  const std::vector<int> cores = component_cores(shape);
+  std::vector<int> free(static_cast<std::size_t>(budget.node_pool),
+                        platform.node.cores);
+  std::vector<int> assignment;
+  int cursor = 0;
+  for (int c : cores) {
+    int tried = 0;
+    while (tried < budget.node_pool &&
+           free[static_cast<std::size_t>(cursor)] < c) {
+      cursor = (cursor + 1) % budget.node_pool;
+      ++tried;
+    }
+    if (tried == budget.node_pool) {
+      throw SpecError("round-robin: component does not fit the node budget");
+    }
+    free[static_cast<std::size_t>(cursor)] -= c;
+    assignment.push_back(cursor);
+    cursor = (cursor + 1) % budget.node_pool;
+  }
+
+  Schedule schedule;
+  schedule.spec = place(shape, assignment);
+  schedule.spec.validate(platform);
+  schedule.scheduler = name();
+  return schedule;
+}
+
+Schedule RandomPlacement::plan(const EnsembleShape& shape,
+                               const plat::PlatformSpec& platform,
+                               const ResourceBudget& budget) const {
+  WFE_REQUIRE(!shape.members.empty(), "shape has no members");
+  const std::size_t slots = slot_count(shape);
+  Xoshiro256 rng(seed_);
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    std::vector<int> assignment(slots);
+    for (auto& node : assignment) {
+      node = static_cast<int>(rng.below(static_cast<std::uint64_t>(budget.node_pool)));
+    }
+    rt::EnsembleSpec spec = place(shape, assignment);
+    try {
+      spec.validate(platform);
+    } catch (const SpecError&) {
+      continue;
+    }
+    Schedule schedule;
+    schedule.spec = std::move(spec);
+    schedule.scheduler = name();
+    return schedule;
+  }
+  throw SpecError("random: no feasible placement found within attempt cap");
+}
+
+}  // namespace wfe::sched

@@ -1,0 +1,39 @@
+// Baseline schedulers the indicator-guided ones are compared against.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace wfe::sched {
+
+/// Capacity-aware round robin: walk components in member order, assign
+/// each to the next node in the pool with room. This is the "scatter"
+/// default of many batch schedulers — it maximizes spreading, i.e. it is
+/// the anti-co-location baseline.
+class RoundRobin final : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+
+  Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
+                const ResourceBudget& budget) const override;
+};
+
+/// Uniform random feasible assignment (deterministic given the seed);
+/// retries until a feasible placement appears or the attempt cap hits.
+class RandomPlacement final : public Scheduler {
+ public:
+  explicit RandomPlacement(std::uint64_t seed = 2021, int max_attempts = 4096)
+      : seed_(seed), max_attempts_(max_attempts) {}
+
+  std::string name() const override { return "random"; }
+
+  Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
+                const ResourceBudget& budget) const override;
+
+ private:
+  std::uint64_t seed_;
+  int max_attempts_;
+};
+
+}  // namespace wfe::sched

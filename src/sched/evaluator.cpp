@@ -1,0 +1,36 @@
+#include "sched/evaluator.hpp"
+
+#include <algorithm>
+
+#include "runtime/simulated_executor.hpp"
+#include "support/error.hpp"
+
+namespace wfe::sched {
+
+Evaluator::Evaluator(plat::PlatformSpec platform)
+    : platform_(std::move(platform)) {
+  platform_.validate();
+}
+
+Evaluation Evaluator::score(rt::EnsembleSpec spec,
+                            std::uint64_t probe_steps) const {
+  WFE_REQUIRE(probe_steps >= 2, "probes need at least two steps");
+  spec.n_steps = probe_steps;
+  rt::SimulatedExecutor exec(platform_);
+  const rt::ExecutionResult result = exec.run(spec);
+  const rt::Assessment a = rt::assess(spec, result);
+  ++evaluations_;
+
+  Evaluation out;
+  out.objective = a.objective(core::IndicatorKind::kUAP);
+  out.ensemble_makespan = a.ensemble_makespan_measured;
+  out.nodes_used = a.total_nodes;
+  out.min_member_efficiency = 1.0;
+  for (const auto& m : a.members) {
+    out.min_member_efficiency =
+        std::min(out.min_member_efficiency, m.efficiency);
+  }
+  return out;
+}
+
+}  // namespace wfe::sched

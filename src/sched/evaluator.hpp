@@ -1,0 +1,36 @@
+// Schedule evaluation: replay on the modelled cluster, score with Eq. (9)
+// over the full indicator chain P^{U,A,P}.
+#pragma once
+
+#include "platform/spec.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/spec.hpp"
+
+namespace wfe::sched {
+
+struct Evaluation {
+  double objective = 0.0;         ///< F(P^{U,A,P}), higher is better
+  double ensemble_makespan = 0.0;
+  double min_member_efficiency = 0.0;
+  int nodes_used = 0;
+};
+
+/// Replays specs on one platform and scores them; counts evaluations so
+/// schedulers' planning cost is measurable.
+class Evaluator {
+ public:
+  explicit Evaluator(plat::PlatformSpec platform);
+
+  /// Validate + replay + assess. Short replays suffice: the simulated
+  /// steady state is immediate, so `probe_steps` keeps planning cheap.
+  Evaluation score(rt::EnsembleSpec spec, std::uint64_t probe_steps = 6) const;
+
+  std::size_t evaluations() const { return evaluations_; }
+  const plat::PlatformSpec& platform() const { return platform_; }
+
+ private:
+  plat::PlatformSpec platform_;
+  mutable std::size_t evaluations_ = 0;
+};
+
+}  // namespace wfe::sched

@@ -1,0 +1,87 @@
+#include "sched/exhaustive.hpp"
+
+#include <map>
+#include <set>
+
+#include "sched/evaluator.hpp"
+#include "support/error.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+/// Relabel nodes in first-appearance order (placements differing only by
+/// node naming are equivalent on a homogeneous pool).
+std::vector<int> canonical(const std::vector<int>& assignment) {
+  std::map<int, int> relabel;
+  std::vector<int> out;
+  out.reserve(assignment.size());
+  for (int node : assignment) {
+    auto [it, _] = relabel.emplace(node, static_cast<int>(relabel.size()));
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule Exhaustive::plan(const EnsembleShape& shape,
+                          const plat::PlatformSpec& platform,
+                          const ResourceBudget& budget) const {
+  WFE_REQUIRE(!shape.members.empty(), "shape has no members");
+  WFE_REQUIRE(budget.node_pool >= 1 &&
+                  budget.node_pool <= platform.node_count,
+              "node pool must fit the platform");
+  std::size_t slots = 0;
+  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
+  WFE_REQUIRE(slots <= 12, "exhaustive search capped at 12 components");
+
+  Evaluator evaluator(platform);
+  std::set<std::vector<int>> seen;
+  std::vector<int> assignment(slots, 0);
+
+  bool found = false;
+  double best_f = 0.0;
+  rt::EnsembleSpec best_spec;
+
+  for (;;) {
+    const std::vector<int> canon = canonical(assignment);
+    if (seen.insert(canon).second) {
+      rt::EnsembleSpec spec = place(shape, canon);
+      bool feasible = true;
+      try {
+        spec.validate(platform);
+      } catch (const SpecError&) {
+        feasible = false;
+      }
+      if (feasible) {
+        const Evaluation e = evaluator.score(spec);
+        if (!found || e.objective > best_f) {
+          found = true;
+          best_f = e.objective;
+          best_spec = std::move(spec);
+        }
+      }
+    }
+    // Odometer increment.
+    std::size_t pos = slots;
+    while (pos > 0) {
+      if (++assignment[pos - 1] < budget.node_pool) break;
+      assignment[pos - 1] = 0;
+      --pos;
+    }
+    if (pos == 0) break;
+  }
+
+  if (!found) {
+    throw SpecError("exhaustive: no feasible placement within the budget");
+  }
+  Schedule schedule;
+  best_spec.n_steps = shape.n_steps;  // probes used fewer steps
+  schedule.spec = std::move(best_spec);
+  schedule.scheduler = name();
+  schedule.evaluations = evaluator.evaluations();
+  return schedule;
+}
+
+}  // namespace wfe::sched

@@ -1,0 +1,23 @@
+// Exhaustive: the oracle scheduler.
+//
+// Enumerates every canonically distinct feasible assignment of components
+// to the node pool, replays each on the modelled cluster and keeps the
+// placement maximizing F(P^{U,A,P}). Exponential in component count (the
+// enumeration is capped), but exact — it bounds what any other scheduler
+// can achieve, which is what the comparison bench measures the greedy
+// heuristic against.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace wfe::sched {
+
+class Exhaustive final : public Scheduler {
+ public:
+  std::string name() const override { return "exhaustive"; }
+
+  Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
+                const ResourceBudget& budget) const override;
+};
+
+}  // namespace wfe::sched

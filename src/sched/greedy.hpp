@@ -1,0 +1,27 @@
+// GreedyColocation: the indicator-guided constructive scheduler.
+//
+// It never replays anything; it applies the structural lessons the paper's
+// indicator chain teaches (Section 5.2):
+//   * CP_i = 1 dominates: place each member's analyses with its simulation
+//     whenever the node can hold the whole member (C1.5 / C2.8 shape);
+//   * small M dominates: prefer filling already-used nodes (best fit)
+//     before opening fresh ones;
+//   * when a member must split, keep the analyses as close to their
+//     simulation as capacity allows — never co-locate pieces of different
+//     members if a cheaper option exists.
+// Planning cost: O(components * nodes); zero simulated replays.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace wfe::sched {
+
+class GreedyColocation final : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-colocate"; }
+
+  Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
+                const ResourceBudget& budget) const override;
+};
+
+}  // namespace wfe::sched

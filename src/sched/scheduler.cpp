@@ -1,0 +1,62 @@
+#include "sched/scheduler.hpp"
+
+#include "sched/baselines.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/greedy.hpp"
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::sched {
+
+EnsembleShape EnsembleShape::paper_like(int members, int analyses_per_member,
+                                        std::uint64_t n_steps) {
+  WFE_REQUIRE(members >= 1, "need at least one member");
+  WFE_REQUIRE(analyses_per_member >= 1, "need at least one analysis");
+  EnsembleShape shape;
+  shape.name = "paper-like";
+  shape.n_steps = n_steps;
+  for (int i = 0; i < members; ++i) {
+    MemberShape m;
+    m.sim = wl::gltph_like_simulation({0});  // node replaced at placement
+    for (int j = 0; j < analyses_per_member; ++j) {
+      m.analyses.push_back(wl::bipartite_like_analysis({0}));
+    }
+    shape.members.push_back(std::move(m));
+  }
+  return shape;
+}
+
+rt::EnsembleSpec place(const EnsembleShape& shape,
+                       const std::vector<int>& assignment) {
+  std::size_t slots = 0;
+  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
+  WFE_REQUIRE(assignment.size() == slots,
+              "assignment must hold one node per component");
+
+  rt::EnsembleSpec spec;
+  spec.name = shape.name;
+  spec.n_steps = shape.n_steps;
+  std::size_t idx = 0;
+  for (const MemberShape& m : shape.members) {
+    rt::MemberSpec placed;
+    placed.sim = m.sim;
+    placed.sim.nodes = {assignment[idx++]};
+    for (const rt::AnalysisSpec& a : m.analyses) {
+      rt::AnalysisSpec pa = a;
+      pa.nodes = {assignment[idx++]};
+      placed.analyses.push_back(std::move(pa));
+    }
+    spec.members.push_back(std::move(placed));
+  }
+  return spec;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "greedy-colocate") return std::make_unique<GreedyColocation>();
+  if (name == "exhaustive") return std::make_unique<Exhaustive>();
+  if (name == "round-robin") return std::make_unique<RoundRobin>();
+  if (name == "random") return std::make_unique<RandomPlacement>();
+  throw InvalidArgument("unknown scheduler: " + name);
+}
+
+}  // namespace wfe::sched

@@ -1,0 +1,76 @@
+// Scheduling ensembles of in situ workflows with the performance indicators.
+//
+// The paper's conclusion: "Future work will consider leveraging the
+// proposed indicators for scheduling in situ components of a workflow
+// ensemble under resource constraints." This module implements that step.
+//
+// A Scheduler receives an EnsembleShape — WHAT must run (members, component
+// core counts, workload scale) without node assignments — plus the platform
+// and a node budget, and returns a fully placed EnsembleSpec. Quality is
+// judged by the Evaluator (replay on the modelled cluster, score with
+// F(P^{U,A,P})), which is also what indicator-guided schedulers use
+// internally.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/spec.hpp"
+#include "runtime/spec.hpp"
+
+namespace wfe::sched {
+
+/// One member's resource demand, before placement.
+struct MemberShape {
+  rt::SimulationSpec sim;               ///< nodes field ignored
+  std::vector<rt::AnalysisSpec> analyses;  ///< nodes fields ignored
+};
+
+/// A whole ensemble's demand.
+struct EnsembleShape {
+  std::string name = "ensemble";
+  std::vector<MemberShape> members;
+  std::uint64_t n_steps = 37;
+
+  /// Convenience: the paper-shaped demand (16-core GltPh-like sims,
+  /// 8-core bipartite analyses).
+  static EnsembleShape paper_like(int members, int analyses_per_member,
+                                  std::uint64_t n_steps = 37);
+};
+
+/// The resources a schedule may use.
+struct ResourceBudget {
+  int node_pool = 3;  ///< nodes 0 .. node_pool-1 are available
+};
+
+/// A placement decision with provenance.
+struct Schedule {
+  rt::EnsembleSpec spec;    ///< fully placed, validated ensemble
+  std::string scheduler;    ///< which algorithm produced it
+  std::size_t evaluations = 0;  ///< simulated replays spent planning
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Place `shape` on at most `budget.node_pool` nodes of `platform`.
+  /// Throws wfe::SpecError if the demand cannot fit the budget at all.
+  virtual Schedule plan(const EnsembleShape& shape,
+                        const plat::PlatformSpec& platform,
+                        const ResourceBudget& budget) const = 0;
+};
+
+/// Build the placed spec from per-component node choices, in the fixed
+/// order [m0.sim, m0.ana0, m0.ana1, ..., m1.sim, ...]. Shared by every
+/// scheduler implementation.
+rt::EnsembleSpec place(const EnsembleShape& shape,
+                       const std::vector<int>& assignment);
+
+/// Factory: "greedy-colocate", "exhaustive", "round-robin", "random".
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace wfe::sched

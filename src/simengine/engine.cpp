@@ -1,0 +1,69 @@
+#include "simengine/engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace wfe::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback fn) {
+  WFE_REQUIRE(std::isfinite(t), "event time must be finite");
+  WFE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
+  WFE_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return EventId{id};
+}
+
+EventId Engine::schedule_in(SimTime delay, Callback fn) {
+  WFE_REQUIRE(delay >= 0.0, "event delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy deletion: forget the id; the queue entry is dropped when popped.
+  return pending_ids_.erase(id.value) > 0;
+}
+
+void Engine::drop_dead_entries() {
+  while (!queue_.empty() && !pending_ids_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+}
+
+bool Engine::step() {
+  drop_dead_entries();
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  pending_ids_.erase(e.id);
+  now_ = e.time;
+  ++processed_;
+  e.fn();
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Engine::run_until(SimTime t) {
+  WFE_REQUIRE(t >= now_, "run_until target must not be in the past");
+  for (;;) {
+    drop_dead_entries();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Engine::clear() {
+  queue_ = {};
+  pending_ids_.clear();
+}
+
+}  // namespace wfe::sim

@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// The SimulatedExecutor (src/runtime) replays workflow-ensemble executions on
+// the modelled cluster by scheduling the fine-grained stages of every
+// component (S, I^S, W, R, A, I^A — Section 3.1 of the paper) as events on
+// this engine. The engine itself is domain-agnostic: a virtual clock, a
+// stable priority queue of callbacks, and cancellation.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), so simulations are
+// reproducible bit-for-bit regardless of container or load.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace wfe::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+/// Event-driven virtual-time engine.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay relative to now().
+  EventId schedule_in(SimTime delay, Callback fn);
+
+  /// Cancel a pending event. Returns true if the event was still pending;
+  /// cancelling an already-fired or already-cancelled event is a no-op.
+  bool cancel(EventId id);
+
+  /// Run one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains. Returns the final virtual time.
+  SimTime run();
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+
+  bool empty() const { return pending_ids_.empty(); }
+  std::size_t pending() const { return pending_ids_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Abort: drop all pending events without running them.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop queue entries whose ids are no longer pending (lazy deletion).
+  void drop_dead_entries();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+};
+
+}  // namespace wfe::sim

@@ -1,0 +1,63 @@
+// Error handling primitives shared by all WFEns modules.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions for
+// violated preconditions on public APIs and reserve assertions for internal
+// invariants. All library exceptions derive from wfe::Error so callers can
+// catch the whole family at one level.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wfe {
+
+/// Base class of every exception thrown by WFEns.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A specification (ensemble, placement, platform) failed validation.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// The in situ coupling protocol was violated (e.g. overwrite before read).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Data (de)serialization failed (corrupt header, size mismatch, ...).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement `" + expr + "` failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace wfe
+
+/// Check a documented precondition of a public entry point; throws
+/// wfe::InvalidArgument with location and message on failure.
+#define WFE_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::wfe::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,      \
+                                            (msg));                        \
+    }                                                                       \
+  } while (false)

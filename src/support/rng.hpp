@@ -1,0 +1,122 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of WFEns (MD initial velocities, randomized test
+// sweeps, jitter injection in the simulated executor) draws from these
+// generators with explicit seeds, so any run is reproducible bit-for-bit.
+// We implement SplitMix64 (for seeding) and xoshiro256** (for streams)
+// rather than relying on std::mt19937 so streams are cheap to split and the
+// algorithm is fixed across standard library versions.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace wfe {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer; used to expand a single
+/// user seed into the four words of xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose generator with 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// Derive an independent stream for a child object (e.g. per component).
+  Xoshiro256 split() {
+    SplitMix64 sm((*this)());
+    Xoshiro256 child(sm.next());
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace wfe

@@ -1,0 +1,63 @@
+#include "support/str.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace wfe {
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string fixed(double value, int precision) {
+  return strprintf("%.*f", precision, value);
+}
+
+std::string sci(double value, int precision) {
+  return strprintf("%.*e", precision, value);
+}
+
+std::string human_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return strprintf("%.1f %s", v, units[u]);
+}
+
+std::string human_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return strprintf("%.3f s", seconds);
+  if (abs >= 1e-3) return strprintf("%.3f ms", seconds * 1e3);
+  if (abs >= 1e-6) return strprintf("%.3f us", seconds * 1e6);
+  return strprintf("%.1f ns", seconds * 1e9);
+}
+
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace wfe

@@ -1,0 +1,28 @@
+// Small string-formatting helpers (GCC 12 lacks <format>, so we keep a thin
+// snprintf-backed layer used by the table printer and bench output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfe {
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-precision decimal rendering, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double value, int precision);
+
+/// Scientific rendering, e.g. sci(0.000123, 2) == "1.23e-04".
+std::string sci(double value, int precision);
+
+/// Human-readable byte count ("6.0 MiB").
+std::string human_bytes(double bytes);
+
+/// Human-readable duration ("1.25 s", "310 ms", "42 us").
+std::string human_seconds(double seconds);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+}  // namespace wfe

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  WFE_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  WFE_REQUIRE(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += "| " + cell + std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  auto rule = [&]() {
+    std::string line;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      line += "+" + std::string(widths[c] + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  std::string out = rule() + render_line(headers_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_line(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string Table::render_csv() const {
+  std::string out = join(headers_, ",") + "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    out += join(row, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace wfe

@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harness, so each bench binary
+// prints the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wfe {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"config", "makespan [s]", "E"});
+///   t.add_row({"C1.5", fixed(ms, 2), fixed(e, 3)});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line at this position.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Render with a header rule and column padding.
+  std::string render() const;
+
+  /// Render as comma-separated values (header row first).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace wfe

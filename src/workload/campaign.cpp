@@ -1,0 +1,64 @@
+#include "workload/campaign.hpp"
+
+#include <algorithm>
+
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/error.hpp"
+
+namespace wfe::wl {
+
+std::vector<ConfigStats> run_campaign(const std::vector<NamedConfig>& configs,
+                                      const plat::PlatformSpec& platform,
+                                      const CampaignOptions& options) {
+  WFE_REQUIRE(!configs.empty(), "a campaign needs at least one configuration");
+  WFE_REQUIRE(options.trials >= 1, "a campaign needs at least one trial");
+  WFE_REQUIRE(options.jitter_cv >= 0.0, "jitter must be non-negative");
+
+  std::vector<std::vector<double>> objectives(configs.size());
+  std::vector<std::vector<double>> makespans(configs.size());
+  std::vector<std::vector<double>> min_effs(configs.size());
+  std::vector<int> wins(configs.size(), 0);
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    rt::SimulatedOptions sim_options;
+    sim_options.jitter_cv = options.jitter_cv;
+    sim_options.seed = options.base_seed + static_cast<std::uint64_t>(trial);
+    rt::SimulatedExecutor exec(platform, sim_options);
+
+    std::size_t best = 0;
+    double best_f = 0.0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      rt::EnsembleSpec spec = configs[i].spec;
+      if (options.n_steps > 0) spec.n_steps = options.n_steps;
+      const rt::Assessment a =
+          rt::assess(spec, exec.run(spec), options.steady);
+      const double f = a.objective(options.indicator);
+      objectives[i].push_back(f);
+      makespans[i].push_back(a.ensemble_makespan_measured);
+      double min_e = 1.0;
+      for (const auto& m : a.members) min_e = std::min(min_e, m.efficiency);
+      min_effs[i].push_back(min_e);
+      if (i == 0 || f > best_f) {
+        best = i;
+        best_f = f;
+      }
+    }
+    ++wins[best];
+  }
+
+  std::vector<ConfigStats> out;
+  out.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ConfigStats s;
+    s.name = configs[i].name;
+    s.objective = summarize(objectives[i]);
+    s.makespan = summarize(makespans[i]);
+    s.min_member_efficiency = summarize(min_effs[i]);
+    s.wins = wins[i];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace wfe::wl

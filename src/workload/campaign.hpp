@@ -1,0 +1,54 @@
+// Measurement campaigns: repeated trials with noise, aggregated.
+//
+// The paper's measurements are "averaged over 5 trials" (§2.2). This
+// module makes that methodology a first-class API: run a set of named
+// configurations across seeded jittered trials on one platform, collect
+// the objective and makespan distributions per configuration, and count
+// how often each configuration wins — the noise-robustness view of the
+// indicator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/indicators.hpp"
+#include "metrics/steady_state.hpp"
+#include "platform/spec.hpp"
+#include "support/stats.hpp"
+#include "workload/paper_configs.hpp"
+
+namespace wfe::wl {
+
+struct CampaignOptions {
+  /// Trials per configuration (the paper uses 5).
+  int trials = 5;
+  /// Stage-duration noise per trial (0 = all trials identical).
+  double jitter_cv = 0.05;
+  /// Trial t of every configuration uses seed base_seed + t, so different
+  /// configurations see the same "machine weather" per trial.
+  std::uint64_t base_seed = 1;
+  /// Override the configurations' step counts (0 = leave as specified).
+  std::uint64_t n_steps = 0;
+  /// Indicator stage the campaign scores with.
+  core::IndicatorKind indicator = core::IndicatorKind::kUAP;
+  met::SteadyStateOptions steady;
+};
+
+/// Aggregated results of one configuration across the campaign's trials.
+struct ConfigStats {
+  std::string name;
+  Summary objective;  ///< F at the chosen indicator stage
+  Summary makespan;   ///< measured ensemble makespan
+  Summary min_member_efficiency;
+  int wins = 0;  ///< trials in which this configuration had the highest F
+};
+
+/// Run every configuration `options.trials` times on `platform` and
+/// aggregate. Result order matches `configs`. Throws on invalid options
+/// or specs.
+std::vector<ConfigStats> run_campaign(const std::vector<NamedConfig>& configs,
+                                      const plat::PlatformSpec& platform,
+                                      const CampaignOptions& options = {});
+
+}  // namespace wfe::wl

@@ -1,0 +1,76 @@
+#include "workload/paper_configs.hpp"
+
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::wl {
+
+namespace {
+
+/// Build a member from node assignments: the simulation on `sim_node`, one
+/// analysis per entry of `analysis_nodes`.
+rt::MemberSpec member(int sim_node, std::vector<int> analysis_nodes) {
+  rt::MemberSpec m;
+  m.sim = gltph_like_simulation({sim_node});
+  for (int n : analysis_nodes) {
+    m.analyses.push_back(bipartite_like_analysis({n}));
+  }
+  return m;
+}
+
+NamedConfig config(std::string name, int nodes,
+                   std::vector<rt::MemberSpec> members) {
+  NamedConfig c;
+  c.name = std::move(name);
+  c.nodes = nodes;
+  c.spec.name = c.name;
+  c.spec.n_steps = kPaperInSituSteps;
+  c.spec.members = std::move(members);
+  return c;
+}
+
+}  // namespace
+
+std::vector<NamedConfig> paper_table2() {
+  // Table 2: node indexes per component.
+  std::vector<NamedConfig> out;
+  out.push_back(config("Cf", 2, {member(0, {1})}));
+  out.push_back(config("Cc", 1, {member(0, {0})}));
+  out.push_back(config("C1.1", 3, {member(0, {2}), member(1, {2})}));
+  out.push_back(config("C1.2", 3, {member(0, {1}), member(0, {2})}));
+  out.push_back(config("C1.3", 3, {member(0, {0}), member(1, {2})}));
+  out.push_back(config("C1.4", 2, {member(0, {1}), member(0, {1})}));
+  out.push_back(config("C1.5", 2, {member(0, {0}), member(1, {1})}));
+  return out;
+}
+
+std::vector<NamedConfig> paper_table4() {
+  // Table 4: two analyses per simulation.
+  std::vector<NamedConfig> out;
+  out.push_back(config("C2.1", 3, {member(0, {2, 2}), member(1, {2, 2})}));
+  out.push_back(config("C2.2", 3, {member(0, {1, 1}), member(0, {2, 2})}));
+  out.push_back(config("C2.3", 3, {member(0, {1, 2}), member(0, {1, 2})}));
+  out.push_back(config("C2.4", 3, {member(0, {0, 2}), member(1, {1, 2})}));
+  out.push_back(config("C2.5", 3, {member(0, {1, 2}), member(1, {0, 2})}));
+  out.push_back(config("C2.6", 2, {member(0, {1, 1}), member(0, {1, 1})}));
+  out.push_back(config("C2.7", 2, {member(0, {0, 1}), member(1, {0, 1})}));
+  out.push_back(config("C2.8", 2, {member(0, {0, 0}), member(1, {1, 1})}));
+  return out;
+}
+
+std::vector<NamedConfig> paper_set1() {
+  std::vector<NamedConfig> all = paper_table2();
+  return {all.begin() + 2, all.end()};
+}
+
+NamedConfig paper_config(const std::string& name) {
+  for (auto& c : paper_table2()) {
+    if (c.name == name) return c;
+  }
+  for (auto& c : paper_table4()) {
+    if (c.name == name) return c;
+  }
+  throw InvalidArgument("unknown paper configuration: " + name);
+}
+
+}  // namespace wfe::wl

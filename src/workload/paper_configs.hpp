@@ -1,0 +1,36 @@
+// The paper's experimental configurations, encoded verbatim.
+//
+// Table 2: seven configurations with one analysis per simulation
+//   (C_f, C_c, C1.1 ... C1.5).
+// Table 4: eight configurations with two analyses per simulation
+//   (C2.1 ... C2.8).
+// Every member uses the paper's resource settings: 16-core simulation,
+// 8-core analyses, stride 800, 37 in situ steps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/spec.hpp"
+
+namespace wfe::wl {
+
+struct NamedConfig {
+  std::string name;       ///< "Cf", "Cc", "C1.1", ..., "C2.8"
+  int nodes = 0;          ///< the table's node count
+  rt::EnsembleSpec spec;  ///< fully populated ensemble
+};
+
+/// Table 2 rows, in table order.
+std::vector<NamedConfig> paper_table2();
+
+/// Table 4 rows, in table order.
+std::vector<NamedConfig> paper_table4();
+
+/// Just the 2-member one-analysis set C1.1 ... C1.5 (Figures 3-5, 8).
+std::vector<NamedConfig> paper_set1();
+
+/// Look up any configuration by name; throws wfe::InvalidArgument.
+NamedConfig paper_config(const std::string& name);
+
+}  // namespace wfe::wl

@@ -1,0 +1,80 @@
+// Analysis cost-model properties.
+#include "analysis/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::ana {
+namespace {
+
+TEST(AnalysisCost, RejectsZeroAtoms) {
+  EXPECT_THROW((void)analysis_stage_profile(AnalysisCostParams{}, 0),
+               InvalidArgument);
+}
+
+TEST(AnalysisCost, EffectiveAtomsHonorsSubsampling) {
+  AnalysisCostParams p;
+  p.subsample_stride = 4;
+  EXPECT_EQ(effective_atoms(p, 1000), 250u);
+  p.subsample_stride = 1;
+  EXPECT_EQ(effective_atoms(p, 1000), 1000u);
+}
+
+TEST(AnalysisCost, InstructionsScaleQuadratically) {
+  AnalysisCostParams p;
+  p.subsample_stride = 1;
+  const double i1 = analysis_stage_profile(p, 1000).instructions;
+  const double i2 = analysis_stage_profile(p, 2000).instructions;
+  EXPECT_NEAR(i2 / i1, 4.0, 0.01);
+}
+
+TEST(AnalysisCost, InstructionsScaleWithSweeps) {
+  AnalysisCostParams p10;
+  p10.power_iterations = 10;
+  AnalysisCostParams p20;
+  p20.power_iterations = 20;
+  const double i10 = analysis_stage_profile(p10, 1000).instructions;
+  const double i20 = analysis_stage_profile(p20, 1000).instructions;
+  // (1 + 2*20) / (1 + 2*10) = 41/21.
+  EXPECT_NEAR(i20 / i10, 41.0 / 21.0, 1e-9);
+}
+
+TEST(AnalysisCost, CacheFootprintIsCapped) {
+  AnalysisCostParams p;
+  p.subsample_stride = 1;
+  p.max_cache_footprint_bytes = 64e6;
+  p.fixed_working_set_bytes = 8e6;
+  // 100k atoms -> matrix of 50k x 50k doubles = 20 GB >> cap.
+  const auto prof = analysis_stage_profile(p, 100'000);
+  EXPECT_DOUBLE_EQ(prof.working_set_bytes, 64e6 + 8e6);
+}
+
+TEST(AnalysisCost, SmallMatrixBelowCapNotClamped) {
+  AnalysisCostParams p;
+  p.subsample_stride = 1;
+  p.fixed_working_set_bytes = 0.0;
+  // 100 atoms -> 50x50 doubles = 20 kB.
+  const auto prof = analysis_stage_profile(p, 100);
+  EXPECT_DOUBLE_EQ(prof.working_set_bytes, 50.0 * 50.0 * sizeof(double));
+}
+
+TEST(AnalysisCost, ProfileIsDataIntensive) {
+  // The analysis profile must be visibly more memory-intensive than an MD
+  // profile (paper §2.3).
+  const auto prof = analysis_stage_profile(AnalysisCostParams{}, 10'000);
+  EXPECT_GT(prof.llc_refs_per_instr * prof.base_miss_ratio, 1e-3);
+  EXPECT_GT(prof.cache_sensitivity, 0.05);
+}
+
+TEST(AnalysisCost, SubsamplingReducesInstructions) {
+  AnalysisCostParams dense;
+  dense.subsample_stride = 1;
+  AnalysisCostParams sparse;
+  sparse.subsample_stride = 8;
+  EXPECT_GT(analysis_stage_profile(dense, 8000).instructions,
+            analysis_stage_profile(sparse, 8000).instructions);
+}
+
+}  // namespace
+}  // namespace wfe::ana

@@ -1,0 +1,124 @@
+// Gyration-tensor kernel and the closed-form symmetric 3x3 eigensolver.
+#include "analysis/gyration_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/rgyr.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::ana {
+namespace {
+
+dtl::Chunk frame(std::vector<double> xyz, std::uint64_t step = 0) {
+  return dtl::Chunk(dtl::ChunkKey{0, step}, dtl::PayloadKind::kPositions3N,
+                    std::move(xyz));
+}
+
+TEST(Sym3Eigen, DiagonalMatrix) {
+  const auto eig = symmetric3_eigenvalues(3.0, 1.0, 2.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(eig[0], 3.0);
+  EXPECT_DOUBLE_EQ(eig[1], 2.0);
+  EXPECT_DOUBLE_EQ(eig[2], 1.0);
+}
+
+TEST(Sym3Eigen, KnownOffDiagonalMatrix) {
+  // [[2,1,0],[1,2,0],[0,0,5]] has eigenvalues 5, 3, 1.
+  const auto eig = symmetric3_eigenvalues(2.0, 2.0, 5.0, 1.0, 0.0, 0.0);
+  EXPECT_NEAR(eig[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig[2], 1.0, 1e-12);
+}
+
+TEST(Sym3Eigen, TraceAndOrderingInvariants) {
+  Xoshiro256 rng(9);
+  for (int t = 0; t < 200; ++t) {
+    const double xx = rng.uniform(-5, 5), yy = rng.uniform(-5, 5),
+                 zz = rng.uniform(-5, 5), xy = rng.uniform(-3, 3),
+                 xz = rng.uniform(-3, 3), yz = rng.uniform(-3, 3);
+    const auto eig = symmetric3_eigenvalues(xx, yy, zz, xy, xz, yz);
+    EXPECT_GE(eig[0], eig[1] - 1e-9);
+    EXPECT_GE(eig[1], eig[2] - 1e-9);
+    EXPECT_NEAR(eig[0] + eig[1] + eig[2], xx + yy + zz, 1e-9);
+    // Second invariant: sum of pairwise products equals that of A.
+    const double m2_a = xx * yy + yy * zz + zz * xx - xy * xy - xz * xz -
+                        yz * yz;
+    const double m2_e = eig[0] * eig[1] + eig[1] * eig[2] + eig[2] * eig[0];
+    EXPECT_NEAR(m2_e, m2_a, 1e-7 * std::max(1.0, std::abs(m2_a)));
+  }
+}
+
+TEST(GyrationTensor, LinearChainIsFullyAnisotropic) {
+  // Atoms on a line: l2 = l3 = 0, kappa^2 = 1.
+  std::vector<double> xyz;
+  for (int i = 0; i < 8; ++i) {
+    xyz.insert(xyz.end(), {static_cast<double>(i), 0.0, 0.0});
+  }
+  GyrationTensorKernel k;
+  const AnalysisResult r = k.analyze(frame(xyz));
+  ASSERT_EQ(r.values.size(), 7u);
+  EXPECT_GT(r.values[0], 0.0);           // l1
+  EXPECT_NEAR(r.values[1], 0.0, 1e-12);  // l2
+  EXPECT_NEAR(r.values[2], 0.0, 1e-12);  // l3
+  EXPECT_NEAR(r.values[6], 1.0, 1e-9);   // kappa^2
+}
+
+TEST(GyrationTensor, Rg2MatchesRgyrKernel) {
+  Xoshiro256 rng(11);
+  std::vector<double> xyz;
+  for (int i = 0; i < 90; ++i) xyz.push_back(rng.uniform(-4.0, 4.0));
+  GyrationTensorKernel k;
+  const AnalysisResult r = k.analyze(frame(xyz));
+  const double rg = radius_of_gyration(xyz);
+  EXPECT_NEAR(r.values[3], rg * rg, 1e-9);
+}
+
+TEST(GyrationTensor, CubicSymmetryGivesNearZeroAnisotropy) {
+  // The 8 corners of a cube: perfectly isotropic inertia.
+  std::vector<double> xyz;
+  for (int x : {-1, 1}) {
+    for (int y : {-1, 1}) {
+      for (int z : {-1, 1}) {
+        xyz.insert(xyz.end(), {static_cast<double>(x),
+                               static_cast<double>(y),
+                               static_cast<double>(z)});
+      }
+    }
+  }
+  GyrationTensorKernel k;
+  const AnalysisResult r = k.analyze(frame(xyz));
+  EXPECT_NEAR(r.values[0], r.values[2], 1e-9);  // l1 == l3
+  EXPECT_NEAR(r.values[4], 0.0, 1e-9);          // asphericity
+  EXPECT_NEAR(r.values[6], 0.0, 1e-9);          // kappa^2
+}
+
+TEST(GyrationTensor, TranslationInvariant) {
+  Xoshiro256 rng(12);
+  std::vector<double> xyz;
+  for (int i = 0; i < 60; ++i) xyz.push_back(rng.uniform(0.0, 3.0));
+  std::vector<double> shifted = xyz;
+  for (std::size_t i = 0; i < shifted.size(); i += 3) shifted[i] += 100.0;
+  GyrationTensorKernel k;
+  const auto a = k.analyze(frame(xyz));
+  const auto b = k.analyze(frame(shifted));
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_NEAR(a.values[i], b.values[i], 1e-8);
+  }
+}
+
+TEST(GyrationTensor, RejectsScalarPayload) {
+  GyrationTensorKernel k;
+  dtl::Chunk c(dtl::ChunkKey{}, dtl::PayloadKind::kScalarSeries, {1.0});
+  EXPECT_THROW((void)k.analyze(c), InvalidArgument);
+}
+
+TEST(GyrationTensor, AvailableThroughFactory) {
+  const auto k = make_kernel("gyration-tensor");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->name(), "gyration-tensor");
+}
+
+}  // namespace
+}  // namespace wfe::ana

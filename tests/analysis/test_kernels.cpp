@@ -1,0 +1,243 @@
+// Analysis-kernel correctness: bipartite eigenvalue against closed forms,
+// RMSD/rgyr/contacts against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bipartite_eigen.hpp"
+#include "analysis/contact_map.hpp"
+#include "analysis/kernel.hpp"
+#include "analysis/rgyr.hpp"
+#include "analysis/rmsd.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::ana {
+namespace {
+
+dtl::Chunk frame(std::vector<double> xyz, std::uint64_t step = 0) {
+  return dtl::Chunk(dtl::ChunkKey{0, step}, dtl::PayloadKind::kPositions3N,
+                    std::move(xyz));
+}
+
+// ---------------------------------------------------------------- bipartite
+
+TEST(LargestSingularValue, IdentityMatrix) {
+  // 2x2 identity: largest singular value 1.
+  EXPECT_NEAR(largest_singular_value({1, 0, 0, 1}, 2, 2, 50, 1), 1.0, 1e-9);
+}
+
+TEST(LargestSingularValue, RankOneMatrix) {
+  // B = u v^T with |u| = sqrt(2), |v| = sqrt(5): sigma = sqrt(10).
+  const std::vector<double> b{1 * 1.0, 1 * 2.0, 1 * 1.0, 1 * 2.0};
+  EXPECT_NEAR(largest_singular_value(b, 2, 2, 60, 1), std::sqrt(10.0), 1e-9);
+}
+
+TEST(LargestSingularValue, DiagonalMatrixPicksLargest) {
+  const std::vector<double> b{3, 0, 0, 0, 7, 0, 0, 0, 5};
+  EXPECT_NEAR(largest_singular_value(b, 3, 3, 100, 2), 7.0, 1e-6);
+}
+
+TEST(LargestSingularValue, RectangularMatrix) {
+  // B = [1 0 0; 0 2 0]: sigma = 2.
+  const std::vector<double> b{1, 0, 0, 0, 2, 0};
+  EXPECT_NEAR(largest_singular_value(b, 2, 3, 80, 3), 2.0, 1e-9);
+}
+
+TEST(LargestSingularValue, ZeroMatrixGivesZero) {
+  EXPECT_EQ(largest_singular_value({0, 0, 0, 0}, 2, 2, 10, 1), 0.0);
+}
+
+TEST(LargestSingularValue, RejectsSizeMismatch) {
+  EXPECT_THROW((void)largest_singular_value({1, 2, 3}, 2, 2, 10, 1),
+               InvalidArgument);
+}
+
+TEST(LargestSingularValue, DeterministicAcrossCalls) {
+  Xoshiro256 rng(4);
+  std::vector<double> b(30 * 40);
+  for (auto& x : b) x = rng.uniform(0.0, 5.0);
+  EXPECT_EQ(largest_singular_value(b, 30, 40, 25, 9),
+            largest_singular_value(b, 30, 40, 25, 9));
+}
+
+TEST(BipartiteEigenKernel, RejectsScalarPayload) {
+  BipartiteEigenKernel k;
+  dtl::Chunk c(dtl::ChunkKey{}, dtl::PayloadKind::kScalarSeries, {1, 2, 3});
+  EXPECT_THROW((void)k.analyze(c), InvalidArgument);
+}
+
+TEST(BipartiteEigenKernel, KnownTwoAtomFrame) {
+  // Two atoms at distance 3: B = [3], sigma = 3.
+  BipartiteEigenKernel k;
+  const AnalysisResult r = k.analyze(frame({0, 0, 0, 3, 0, 0}));
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-9);
+  EXPECT_EQ(r.values[1], 1.0);  // n1
+  EXPECT_EQ(r.values[2], 1.0);  // n2
+}
+
+TEST(BipartiteEigenKernel, SigmaBoundedByFrobeniusNorm) {
+  Xoshiro256 rng(6);
+  std::vector<double> xyz;
+  for (int i = 0; i < 60; ++i) xyz.push_back(rng.uniform(0.0, 10.0));
+  BipartiteEigenKernel k;
+  const AnalysisResult r = k.analyze(frame(xyz));
+  // sigma_max <= ||B||_F; compute Frobenius norm by hand.
+  const std::size_t atoms = 20;
+  const std::size_t n1 = atoms / 2;
+  double frob2 = 0.0;
+  for (std::size_t i = 0; i < n1; ++i) {
+    for (std::size_t j = n1; j < atoms; ++j) {
+      const double dx = xyz[i * 3] - xyz[j * 3];
+      const double dy = xyz[i * 3 + 1] - xyz[j * 3 + 1];
+      const double dz = xyz[i * 3 + 2] - xyz[j * 3 + 2];
+      frob2 += dx * dx + dy * dy + dz * dz;
+    }
+  }
+  EXPECT_LE(r.values[0], std::sqrt(frob2) + 1e-9);
+  EXPECT_GT(r.values[0], 0.0);
+}
+
+TEST(BipartiteEigenKernel, SubsamplingShrinksPartitions) {
+  BipartiteEigenConfig cfg;
+  cfg.subsample_stride = 2;
+  BipartiteEigenKernel k(cfg);
+  std::vector<double> xyz(16 * 3, 1.0);
+  for (std::size_t i = 0; i < xyz.size(); i += 3) {
+    xyz[i] = static_cast<double>(i);
+  }
+  const AnalysisResult r = k.analyze(frame(xyz));
+  EXPECT_EQ(r.values[1] + r.values[2], 8.0);  // 16 atoms / stride 2
+}
+
+TEST(BipartiteEigenKernel, RecordsStep) {
+  BipartiteEigenKernel k;
+  const AnalysisResult r = k.analyze(frame({0, 0, 0, 1, 0, 0}, 42));
+  EXPECT_EQ(r.step, 42u);
+  EXPECT_EQ(r.kernel, "bipartite-eigen");
+}
+
+// --------------------------------------------------------------------- rmsd
+
+TEST(Rmsd, IdenticalFramesGiveZero) {
+  const std::vector<double> a{1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(centered_rmsd(a, a), 0.0);
+}
+
+TEST(Rmsd, TranslationInvariant) {
+  const std::vector<double> a{0, 0, 0, 1, 0, 0, 0, 1, 0};
+  std::vector<double> b = a;
+  for (std::size_t i = 0; i < b.size(); i += 3) {
+    b[i] += 5.0;
+    b[i + 1] -= 2.0;
+  }
+  EXPECT_NEAR(centered_rmsd(a, b), 0.0, 1e-12);
+}
+
+TEST(Rmsd, KnownDisplacement) {
+  // Two atoms; move them +d and -d along x: centered displacement is d
+  // per atom -> rmsd = d.
+  const std::vector<double> a{0, 0, 0, 2, 0, 0};
+  const std::vector<double> b{-0.5, 0, 0, 2.5, 0, 0};
+  EXPECT_NEAR(centered_rmsd(a, b), 0.5, 1e-12);
+}
+
+TEST(Rmsd, RejectsMismatchedSizes) {
+  EXPECT_THROW((void)centered_rmsd(std::vector<double>{1, 2, 3},
+                                   std::vector<double>{1, 2, 3, 4, 5, 6}),
+               InvalidArgument);
+}
+
+TEST(RmsdKernel, FirstFrameBecomesReference) {
+  RmsdKernel k;
+  EXPECT_FALSE(k.has_reference());
+  const AnalysisResult r0 = k.analyze(frame({0, 0, 0, 1, 1, 1}));
+  EXPECT_TRUE(k.has_reference());
+  EXPECT_EQ(r0.values[0], 0.0);
+  const AnalysisResult r1 = k.analyze(frame({0, 0, 0, 2, 2, 2}, 1));
+  EXPECT_GT(r1.values[0], 0.0);
+}
+
+TEST(RmsdKernel, RejectsFrameSizeChange) {
+  RmsdKernel k;
+  (void)k.analyze(frame({0, 0, 0, 1, 1, 1}));
+  EXPECT_THROW((void)k.analyze(frame({0, 0, 0})), InvalidArgument);
+}
+
+// --------------------------------------------------------------------- rgyr
+
+TEST(Rgyr, SingleAtomIsZero) {
+  EXPECT_DOUBLE_EQ(radius_of_gyration(std::vector<double>{5, 5, 5}), 0.0);
+}
+
+TEST(Rgyr, SymmetricPairKnownValue) {
+  // Atoms at +-1 along x: centroid 0, rgyr = 1.
+  EXPECT_DOUBLE_EQ(
+      radius_of_gyration(std::vector<double>{-1, 0, 0, 1, 0, 0}), 1.0);
+}
+
+TEST(Rgyr, TranslationInvariant) {
+  const std::vector<double> a{-1, 0, 0, 1, 0, 0};
+  std::vector<double> b = a;
+  for (std::size_t i = 2; i < b.size(); i += 3) b[i] += 7.0;
+  EXPECT_NEAR(radius_of_gyration(a), radius_of_gyration(b), 1e-12);
+}
+
+TEST(Rgyr, GrowsWithSpread) {
+  EXPECT_LT(radius_of_gyration(std::vector<double>{-1, 0, 0, 1, 0, 0}),
+            radius_of_gyration(std::vector<double>{-2, 0, 0, 2, 0, 0}));
+}
+
+TEST(RgyrKernel, AnalyzesFrames) {
+  RgyrKernel k;
+  const AnalysisResult r = k.analyze(frame({-1, 0, 0, 1, 0, 0}, 3));
+  EXPECT_EQ(r.kernel, "rgyr");
+  EXPECT_EQ(r.step, 3u);
+  EXPECT_DOUBLE_EQ(r.values[0], 1.0);
+}
+
+// ----------------------------------------------------------------- contacts
+
+TEST(Contacts, CountsPairsWithinCutoff) {
+  ContactMapConfig cfg;
+  cfg.cutoff = 1.5;
+  ContactMapKernel k(cfg);
+  // Three atoms in a line at 0, 1, 2: contacts (0,1) and (1,2).
+  const AnalysisResult r =
+      k.analyze(frame({0, 0, 0, 1, 0, 0, 2, 0, 0}));
+  EXPECT_EQ(r.values[0], 2.0);
+  EXPECT_NEAR(r.values[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Contacts, NoContactsWhenSparse) {
+  ContactMapConfig cfg;
+  cfg.cutoff = 0.5;
+  ContactMapKernel k(cfg);
+  const AnalysisResult r = k.analyze(frame({0, 0, 0, 5, 0, 0}));
+  EXPECT_EQ(r.values[0], 0.0);
+}
+
+TEST(Contacts, RejectsBadConfig) {
+  ContactMapConfig cfg;
+  cfg.cutoff = -1.0;
+  EXPECT_THROW(ContactMapKernel{cfg}, InvalidArgument);
+}
+
+// ------------------------------------------------------------------ factory
+
+TEST(KernelFactory, CreatesAllKnownKernels) {
+  for (const char* name :
+       {"bipartite-eigen", "rmsd", "rgyr", "contacts"}) {
+    const auto kernel = make_kernel(name);
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_EQ(kernel->name(), name);
+  }
+}
+
+TEST(KernelFactory, RejectsUnknownName) {
+  EXPECT_THROW((void)make_kernel("fourier"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::ana

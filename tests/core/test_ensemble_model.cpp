@@ -1,0 +1,109 @@
+// Whole-ensemble model: N, M, indicator vectors, objective, makespan.
+#include "core/ensemble_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/efficiency.hpp"
+#include "support/error.hpp"
+
+namespace wfe::core {
+namespace {
+
+EnsembleMemberModel make_member(double s, double w, double r, double a,
+                                std::set<int> sim_nodes,
+                                std::set<int> ana_nodes) {
+  EnsembleMemberModel m;
+  m.steady.sim = {s, w};
+  m.steady.analyses = {{r, a}};
+  m.placement.sim = {std::move(sim_nodes), 16};
+  m.placement.analyses = {{std::move(ana_nodes), 8}};
+  return m;
+}
+
+TEST(EnsembleModel, RejectsEmptyEnsemble) {
+  EXPECT_THROW(EnsembleModel{std::vector<EnsembleMemberModel>{}}, SpecError);
+}
+
+TEST(EnsembleModel, RejectsSteadyPlacementMismatch) {
+  EnsembleMemberModel m = make_member(10, 1, 1, 8, {0}, {0});
+  m.steady.analyses.push_back({1.0, 2.0});  // 2 steady, 1 placed
+  EXPECT_THROW(EnsembleModel{std::vector{m}}, SpecError);
+}
+
+TEST(EnsembleModel, CountsMembersAndNodes) {
+  const EnsembleModel model({
+      make_member(10, 1, 1, 8, {0}, {0}),
+      make_member(10, 1, 1, 8, {1}, {2}),
+  });
+  EXPECT_EQ(model.member_count(), 2u);
+  EXPECT_EQ(model.total_nodes(), 3);  // {0} U {1,2}
+}
+
+TEST(EnsembleModel, SharedNodesCountedOnce) {
+  const EnsembleModel model({
+      make_member(10, 1, 1, 8, {0}, {1}),
+      make_member(10, 1, 1, 8, {0}, {1}),
+  });
+  EXPECT_EQ(model.total_nodes(), 2);
+}
+
+TEST(EnsembleModel, MemberEfficiencyDelegatesToEq3) {
+  const EnsembleMemberModel m = make_member(10, 1, 1, 8, {0}, {0});
+  const EnsembleModel model({m});
+  EXPECT_DOUBLE_EQ(model.member_efficiency(0),
+                   computational_efficiency(m.steady));
+}
+
+TEST(EnsembleModel, IndicatorVectorUsesGlobalM) {
+  // Two members on disjoint node pairs: M = 4 affects both indicators.
+  const EnsembleModel model({
+      make_member(10, 1, 1, 8, {0}, {1}),
+      make_member(10, 1, 1, 8, {2}, {3}),
+  });
+  const auto p = model.member_indicators(IndicatorKind::kUAP);
+  ASSERT_EQ(p.size(), 2u);
+  const double e = model.member_efficiency(0);
+  EXPECT_DOUBLE_EQ(p[0], e / 24.0 * 0.5 / 4.0);
+  EXPECT_DOUBLE_EQ(p[0], p[1]);
+}
+
+TEST(EnsembleModel, ObjectiveOfIdenticalMembersIsTheirIndicator) {
+  const EnsembleModel model({
+      make_member(10, 1, 1, 8, {0}, {0}),
+      make_member(10, 1, 1, 8, {1}, {1}),
+  });
+  const auto p = model.member_indicators(IndicatorKind::kUA);
+  EXPECT_DOUBLE_EQ(model.objective(IndicatorKind::kUA), p[0]);
+}
+
+TEST(EnsembleModel, ObjectivePenalizesAsymmetry) {
+  // C1.3-style asymmetry (one co-located member, one spread member) scores
+  // below a symmetric pair with the same mean-ish indicators.
+  const EnsembleModel symmetric({
+      make_member(10, 1, 1, 8, {0}, {0}),
+      make_member(10, 1, 1, 8, {1}, {1}),
+  });
+  const EnsembleModel asymmetric({
+      make_member(10, 1, 1, 8, {0}, {0}),
+      make_member(10, 1, 1, 8, {1}, {2}),
+  });
+  EXPECT_GT(symmetric.objective(IndicatorKind::kUAP),
+            asymmetric.objective(IndicatorKind::kUAP));
+}
+
+TEST(EnsembleModel, EnsembleMakespanIsMaxMember) {
+  const EnsembleModel model({
+      make_member(10, 1, 1, 8, {0}, {0}),    // sigma 11
+      make_member(10, 1, 2, 14, {1}, {2}),   // sigma 16
+  });
+  EXPECT_DOUBLE_EQ(model.ensemble_makespan_model(10), 160.0);
+}
+
+TEST(EnsembleModel, MemberAccessorBounds) {
+  const EnsembleModel model({make_member(10, 1, 1, 8, {0}, {0})});
+  EXPECT_NO_THROW((void)model.member(0));
+  EXPECT_THROW((void)model.member(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::core

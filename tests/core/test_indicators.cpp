@@ -1,0 +1,107 @@
+// Eqs. (5), (7), (8) and the §5.2 stage-order equivalence.
+#include "core/indicators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::core {
+namespace {
+
+MemberIndicatorInputs inputs(double e, std::set<int> sim_nodes,
+                             std::vector<std::set<int>> ana_nodes, int m) {
+  MemberIndicatorInputs in;
+  in.efficiency = e;
+  in.placement.sim = {std::move(sim_nodes), 16};
+  for (auto& nodes : ana_nodes) {
+    in.placement.analyses.push_back({std::move(nodes), 8});
+  }
+  in.ensemble_nodes = m;
+  return in;
+}
+
+TEST(Indicators, UsageIsEfficiencyPerCore) {
+  // E = 0.9, c = 24 -> P^U = 0.0375 (Eq. 5).
+  EXPECT_DOUBLE_EQ(indicator_u(inputs(0.9, {0}, {{0}}, 1)), 0.9 / 24.0);
+}
+
+TEST(Indicators, AllocationMultipliesByCp) {
+  // CP = 1/2 for a dedicated analysis node (Eq. 7).
+  const auto in = inputs(0.9, {0}, {{1}}, 2);
+  EXPECT_DOUBLE_EQ(indicator_ua(in), (0.9 / 24.0) * 0.5);
+}
+
+TEST(Indicators, ProvisioningDividesByM) {
+  const auto in = inputs(0.8, {0}, {{0}}, 4);
+  EXPECT_DOUBLE_EQ(indicator_up(in), (0.8 / 24.0) / 4.0);
+}
+
+TEST(Indicators, FullChainEq8) {
+  // P^{U,A,P} = E / (c M) * CP.
+  const auto in = inputs(0.96, {0}, {{0}, {2}}, 3);
+  const double expected = 0.96 / 32.0 / 3.0 * 0.75;
+  EXPECT_DOUBLE_EQ(indicator_uap(in), expected);
+}
+
+TEST(Indicators, StageOrdersCommute) {
+  // P^{U,A,P} == P^{U,P,A}: the layers are multiplicative (§5.2).
+  Xoshiro256 rng(5);
+  for (int t = 0; t < 30; ++t) {
+    const auto in = inputs(rng.uniform(0.1, 1.0), {0},
+                           {{static_cast<int>(rng.below(3))}},
+                           3);
+    EXPECT_DOUBLE_EQ(member_indicator(in, IndicatorKind::kUAP),
+                     member_indicator(in, IndicatorKind::kUPA));
+    // And both equal applying the missing layer to the two-stage values.
+    EXPECT_NEAR(member_indicator(in, IndicatorKind::kUA) /
+                    static_cast<double>(in.ensemble_nodes),
+                member_indicator(in, IndicatorKind::kUAP), 1e-15);
+    EXPECT_NEAR(member_indicator(in, IndicatorKind::kUP) *
+                    placement_indicator(in.placement),
+                member_indicator(in, IndicatorKind::kUAP), 1e-15);
+  }
+}
+
+TEST(Indicators, RejectsInvalidM) {
+  EXPECT_THROW((void)indicator_u(inputs(0.9, {0}, {{0}}, 0)),
+               InvalidArgument);
+  // M smaller than the member's own node span is inconsistent.
+  EXPECT_THROW((void)indicator_u(inputs(0.9, {0}, {{1}}, 1)),
+               InvalidArgument);
+}
+
+TEST(Indicators, MoreCoresLowerUsage) {
+  const auto narrow = inputs(0.9, {0}, {{0}}, 1);
+  auto wide = inputs(0.9, {0}, {{0}}, 1);
+  wide.placement.sim.cores = 32;
+  EXPECT_GT(indicator_u(narrow), indicator_u(wide));
+}
+
+TEST(Indicators, CoLocationBeatsDistributionAtEqualEfficiency) {
+  // The paper's design intent: with equal E, the fully co-located member
+  // dominates at the final stage (fewer nodes, CP = 1).
+  const auto colocated = inputs(0.8, {0}, {{0}}, 1);
+  const auto spread = inputs(0.8, {0}, {{1}}, 2);
+  EXPECT_GT(indicator_uap(colocated), indicator_uap(spread));
+}
+
+TEST(Indicators, MonotoneDecreasingInM) {
+  double prev = 1e9;
+  for (int m = 1; m <= 8; ++m) {
+    const double p = indicator_uap(inputs(0.9, {0}, {{0}}, m));
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Indicators, Names) {
+  EXPECT_STREQ(to_string(IndicatorKind::kU), "P^U");
+  EXPECT_STREQ(to_string(IndicatorKind::kUA), "P^{U,A}");
+  EXPECT_STREQ(to_string(IndicatorKind::kUP), "P^{U,P}");
+  EXPECT_STREQ(to_string(IndicatorKind::kUAP), "P^{U,A,P}");
+  EXPECT_STREQ(to_string(IndicatorKind::kUPA), "P^{U,P,A}");
+}
+
+}  // namespace
+}  // namespace wfe::core

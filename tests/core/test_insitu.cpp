@@ -1,0 +1,137 @@
+// Eq. (1), Eq. (2), Eq. (4) and the coupling regimes (§3.1-§3.2).
+#include "core/insitu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::core {
+namespace {
+
+MemberSteady member(double s, double w,
+                    std::vector<std::pair<double, double>> ras) {
+  MemberSteady m;
+  m.sim = {s, w};
+  for (const auto& [r, a] : ras) m.analyses.push_back({r, a});
+  return m;
+}
+
+TEST(InSituStep, RequiresAtLeastOneCoupling) {
+  MemberSteady m;
+  m.sim = {1.0, 0.1};
+  EXPECT_THROW((void)non_overlapped_segment(m), InvalidArgument);
+}
+
+TEST(InSituStep, RejectsNegativeDurations) {
+  EXPECT_THROW((void)non_overlapped_segment(member(-1.0, 0.1, {{0.1, 0.5}})),
+               InvalidArgument);
+  EXPECT_THROW((void)non_overlapped_segment(member(1.0, 0.1, {{-0.1, 0.5}})),
+               InvalidArgument);
+}
+
+TEST(InSituStep, SimulationBoundSigma) {
+  // Idle Analyzer everywhere: sigma = S + W.
+  const MemberSteady m = member(10.0, 1.0, {{0.5, 2.0}, {0.5, 3.0}});
+  EXPECT_DOUBLE_EQ(non_overlapped_segment(m), 11.0);
+}
+
+TEST(InSituStep, AnalysisBoundSigma) {
+  // One slow analysis dominates: sigma = R + A of the slowest coupling.
+  const MemberSteady m = member(5.0, 0.5, {{1.0, 3.0}, {2.0, 9.0}});
+  EXPECT_DOUBLE_EQ(non_overlapped_segment(m), 11.0);
+}
+
+TEST(InSituStep, ExactBalanceTiesToEitherSide) {
+  const MemberSteady m = member(5.0, 1.0, {{2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(non_overlapped_segment(m), 6.0);
+}
+
+TEST(InSituStep, MakespanIsStepsTimesSigma) {
+  const MemberSteady m = member(10.0, 1.0, {{0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(member_makespan_model(m, 37), 37.0 * 11.0);
+  EXPECT_DOUBLE_EQ(member_makespan_model(m, 0), 0.0);
+}
+
+TEST(Regimes, ClassifiesBothScenarios) {
+  const MemberSteady m = member(5.0, 0.5, {{1.0, 3.0}, {2.0, 9.0}});
+  EXPECT_EQ(classify_coupling(m, 0), CouplingRegime::kIdleAnalyzer);
+  EXPECT_EQ(classify_coupling(m, 1), CouplingRegime::kIdleSimulation);
+}
+
+TEST(Regimes, ExactBalanceIsIdleAnalyzer) {
+  const MemberSteady m = member(5.0, 1.0, {{2.0, 4.0}});
+  EXPECT_EQ(classify_coupling(m, 0), CouplingRegime::kIdleAnalyzer);
+}
+
+TEST(Regimes, IndexOutOfRangeThrows) {
+  const MemberSteady m = member(5.0, 1.0, {{2.0, 4.0}});
+  EXPECT_THROW((void)classify_coupling(m, 1), InvalidArgument);
+}
+
+TEST(Regimes, ToStringNames) {
+  EXPECT_STREQ(to_string(CouplingRegime::kIdleAnalyzer), "idle-analyzer");
+  EXPECT_STREQ(to_string(CouplingRegime::kIdleSimulation), "idle-simulation");
+}
+
+TEST(StageNames, AllSixStages) {
+  EXPECT_STREQ(to_string(StageKind::kSimulate), "S");
+  EXPECT_STREQ(to_string(StageKind::kSimIdle), "I^S");
+  EXPECT_STREQ(to_string(StageKind::kWrite), "W");
+  EXPECT_STREQ(to_string(StageKind::kRead), "R");
+  EXPECT_STREQ(to_string(StageKind::kAnalyze), "A");
+  EXPECT_STREQ(to_string(StageKind::kAnaIdle), "I^A");
+}
+
+TEST(IdleStages, DerivedFromSigma) {
+  const MemberSteady m = member(5.0, 0.5, {{1.0, 3.0}, {2.0, 9.0}});
+  // sigma = 11; I^S = 11 - 5.5 = 5.5; I^A0 = 11 - 4 = 7; I^A1 = 0.
+  EXPECT_DOUBLE_EQ(sim_idle(m), 5.5);
+  EXPECT_DOUBLE_EQ(ana_idle(m, 0), 7.0);
+  EXPECT_DOUBLE_EQ(ana_idle(m, 1), 0.0);
+}
+
+TEST(IdleStages, SimulationBoundMeansZeroSimIdle) {
+  const MemberSteady m = member(10.0, 1.0, {{0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(sim_idle(m), 0.0);
+  EXPECT_DOUBLE_EQ(ana_idle(m, 0), 8.5);
+}
+
+TEST(Feasibility, Eq4HoldsWhenAllCouplingsFit) {
+  EXPECT_TRUE(is_idle_analyzer_feasible(member(10, 1, {{1, 2}, {3, 4}})));
+  EXPECT_FALSE(is_idle_analyzer_feasible(member(10, 1, {{1, 2}, {3, 10}})));
+  EXPECT_TRUE(is_idle_analyzer_feasible(member(10, 1, {{1, 10}})));  // equal
+}
+
+// Property sweep over random members: sigma is the exact max of all
+// per-coupling segments and the simulation segment (Eq. 1), and idle
+// derivations are consistent with it.
+class SigmaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigmaProperty, MaxPropertyAndIdleConsistency) {
+  Xoshiro256 rng(GetParam());
+  const int k = 1 + static_cast<int>(rng.below(5));
+  MemberSteady m;
+  m.sim = {rng.uniform(0.1, 20.0), rng.uniform(0.0, 2.0)};
+  for (int j = 0; j < k; ++j) {
+    m.analyses.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.1, 30.0)});
+  }
+  const double sigma = non_overlapped_segment(m);
+  EXPECT_GE(sigma, m.sim.s + m.sim.w);
+  bool achieved = sigma == m.sim.s + m.sim.w;
+  for (std::size_t j = 0; j < m.analyses.size(); ++j) {
+    EXPECT_GE(sigma, m.analyses[j].r + m.analyses[j].a);
+    achieved |= sigma == m.analyses[j].r + m.analyses[j].a;
+    EXPECT_GE(ana_idle(m, j), 0.0);
+    EXPECT_DOUBLE_EQ(sigma - ana_idle(m, j),
+                     m.analyses[j].r + m.analyses[j].a);
+  }
+  EXPECT_TRUE(achieved);  // the max is attained by one of the segments
+  EXPECT_GE(sim_idle(m), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMembers, SigmaProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace wfe::core

@@ -1,0 +1,73 @@
+// Eq. (9): the ensemble-level objective F(P) = mean - stddev.
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace wfe::core {
+namespace {
+
+TEST(Objective, RejectsEmpty) {
+  EXPECT_THROW((void)objective({}), InvalidArgument);
+}
+
+TEST(Objective, SingleMemberIsItsIndicator) {
+  const std::vector<double> p{0.42};
+  EXPECT_DOUBLE_EQ(objective(p), 0.42);
+}
+
+TEST(Objective, EqualMembersGiveTheMean) {
+  const std::vector<double> p{0.3, 0.3, 0.3};
+  EXPECT_DOUBLE_EQ(objective(p), 0.3);
+}
+
+TEST(Objective, KnownValue) {
+  // mean = 5, population stddev = 2 -> F = 3.
+  const std::vector<double> p{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(objective(p), 3.0);
+}
+
+TEST(Objective, PenalizesVariability) {
+  // Same mean, different spread: the uniform ensemble wins (the paper's
+  // straggler argument — ensemble makespan is the max member makespan).
+  const std::vector<double> uniform{0.5, 0.5};
+  const std::vector<double> skewed{0.9, 0.1};
+  EXPECT_GT(objective(uniform), objective(skewed));
+}
+
+TEST(Objective, NeverExceedsMean) {
+  Xoshiro256 rng(8);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<double> p;
+    const int n = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i < n; ++i) p.push_back(rng.uniform(0.0, 1.0));
+    EXPECT_LE(objective(p), mean(p) + 1e-15);
+  }
+}
+
+TEST(Objective, CanGoNegativeUnderExtremeSkew) {
+  // A heavily skewed ensemble can score below zero — the indicator calls
+  // such configurations out as straggler-bound.
+  const std::vector<double> p{1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_LT(objective(p), 0.0);
+}
+
+TEST(Objective, InvariantUnderMemberOrder) {
+  const std::vector<double> a{0.1, 0.7, 0.4};
+  const std::vector<double> b{0.7, 0.4, 0.1};
+  EXPECT_DOUBLE_EQ(objective(a), objective(b));
+}
+
+TEST(Objective, ScalesLinearly) {
+  // F(c * P) = c * F(P) for c > 0: mean and stddev are both homogeneous.
+  const std::vector<double> p{0.2, 0.5, 0.8};
+  std::vector<double> scaled;
+  for (double x : p) scaled.push_back(3.0 * x);
+  EXPECT_NEAR(objective(scaled), 3.0 * objective(p), 1e-12);
+}
+
+}  // namespace
+}  // namespace wfe::core

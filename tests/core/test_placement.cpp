@@ -1,0 +1,108 @@
+// Eq. (6): the placement indicator, including the paper's own examples.
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::core {
+namespace {
+
+MemberPlacement placement(std::set<int> sim_nodes,
+                          std::vector<std::set<int>> ana_nodes,
+                          int sim_cores = 16, int ana_cores = 8) {
+  MemberPlacement p;
+  p.sim = {std::move(sim_nodes), sim_cores};
+  for (auto& nodes : ana_nodes) p.analyses.push_back({std::move(nodes), ana_cores});
+  return p;
+}
+
+TEST(Placement, TotalCores) {
+  EXPECT_EQ(placement({0}, {{1}, {2}}).total_cores(), 32);
+  EXPECT_EQ(placement({0}, {{0}}).total_cores(), 24);
+}
+
+TEST(Placement, NodeCountIsUnionSize) {
+  EXPECT_EQ(placement({0}, {{0}}).node_count(), 1);        // co-located
+  EXPECT_EQ(placement({0}, {{1}}).node_count(), 2);
+  EXPECT_EQ(placement({0}, {{1}, {1}}).node_count(), 2);   // shared node
+  EXPECT_EQ(placement({0, 1}, {{2}}).node_count(), 3);     // multi-node sim
+}
+
+TEST(Placement, ValidationCatchesDegenerateSpecs) {
+  MemberPlacement no_analyses;
+  no_analyses.sim = {{0}, 16};
+  EXPECT_THROW(no_analyses.validate(), SpecError);
+
+  EXPECT_THROW(placement({}, {{0}}).validate(), SpecError);
+  EXPECT_THROW(placement({0}, {{}}).validate(), SpecError);
+  EXPECT_THROW(placement({0}, {{0}}, 0).validate(), SpecError);
+  EXPECT_THROW(placement({-1}, {{0}}).validate(), SpecError);
+}
+
+TEST(PlacementIndicator, FullyCoLocatedIsOne) {
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{0}})), 1.0);
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{0}, {0}})), 1.0);
+}
+
+TEST(PlacementIndicator, DedicatedNodesHalve) {
+  // |s|=1, |s U a| = 2 -> CP = 1/2 (configurations C_f, C1.1 ... C1.4).
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{1}})), 0.5);
+}
+
+TEST(PlacementIndicator, MixedCouplingsAverage) {
+  // One co-located, one remote: CP = (1/1 + 1/2) / 2 = 0.75 (C2.7 member).
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{0}, {1}})), 0.75);
+}
+
+TEST(PlacementIndicator, PaperTable2Values) {
+  // C1.1 member 1: s = {0}, a = {2} -> 1/2.
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{2}})), 0.5);
+  // C1.5 member: s = {0}, a = {0} -> 1.
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{0}})), 1.0);
+  // C2.1 member: s = {0}, analyses both on {2} -> (1/2 + 1/2)/2 = 1/2.
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0}, {{2}, {2}})), 0.5);
+}
+
+TEST(PlacementIndicator, InUnitInterval) {
+  for (const auto& p :
+       {placement({0}, {{0}}), placement({0}, {{1}}),
+        placement({0, 1}, {{2}, {3}}), placement({5}, {{5}, {7}, {9}})}) {
+    const double cp = placement_indicator(p);
+    EXPECT_GT(cp, 0.0);
+    EXPECT_LE(cp, 1.0);
+  }
+}
+
+TEST(PlacementIndicator, SpreadingAnalysesLowersCp) {
+  const double together = placement_indicator(placement({0}, {{0}, {0}}));
+  const double half = placement_indicator(placement({0}, {{0}, {1}}));
+  const double apart = placement_indicator(placement({0}, {{1}, {2}}));
+  EXPECT_GT(together, half);
+  EXPECT_GT(half, apart);
+}
+
+TEST(PlacementIndicator, MultiNodeSimulation) {
+  // s = {0,1}; analysis on {1}: |s U a| = 2 -> CP = 2/2 = 1 (subset).
+  EXPECT_DOUBLE_EQ(placement_indicator(placement({0, 1}, {{1}})), 1.0);
+  // analysis on {2}: |s U a| = 3 -> CP = 2/3.
+  EXPECT_NEAR(placement_indicator(placement({0, 1}, {{2}})), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(IsColocated, SubsetCriterion) {
+  EXPECT_TRUE(is_colocated(placement({0}, {{0}}), 0));
+  EXPECT_FALSE(is_colocated(placement({0}, {{1}}), 0));
+  EXPECT_TRUE(is_colocated(placement({0, 1}, {{1}}), 0));
+  EXPECT_FALSE(is_colocated(placement({0, 1}, {{1, 2}}), 0));
+}
+
+TEST(IsColocated, PerCouplingIndex) {
+  const MemberPlacement p = placement({0}, {{0}, {1}});
+  EXPECT_TRUE(is_colocated(p, 0));
+  EXPECT_FALSE(is_colocated(p, 1));
+  EXPECT_THROW((void)is_colocated(p, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::core

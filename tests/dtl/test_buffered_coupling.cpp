@@ -1,0 +1,145 @@
+// The buffered-coupling extension: capacity > 1 relaxes the no-buffering
+// protocol while capacity == 1 stays bit-compatible with the paper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dtl/coupling.hpp"
+#include "dtl/memory_staging.hpp"
+#include "dtl/plugin.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/error.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+TEST(BufferedCoupling, RejectsZeroCapacity) {
+  EXPECT_THROW(CouplingChannel(1, 0), InvalidArgument);
+}
+
+TEST(BufferedCoupling, CapacityDefaultsToOne) {
+  CouplingChannel ch(2);
+  EXPECT_EQ(ch.capacity(), 1);
+}
+
+TEST(BufferedCoupling, WriterRunsAheadUpToCapacity) {
+  CouplingChannel ch(1, 3);
+  // Three writes complete without any read.
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    ch.begin_write(s);
+    ch.commit_write(s);
+  }
+  EXPECT_EQ(ch.committed_step(), 2);
+  // The fourth write must wait for the first read.
+  std::atomic<bool> fourth_done{false};
+  std::thread writer([&] {
+    ch.begin_write(3);
+    ch.commit_write(3);
+    fourth_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(fourth_done.load());
+  EXPECT_TRUE(ch.await_step(0, 0));
+  ch.ack_read(0, 0);
+  writer.join();
+  EXPECT_TRUE(fourth_done.load());
+}
+
+TEST(BufferedCoupling, CapacityOneBlocksLikeThePaperProtocol) {
+  CouplingChannel ch(1, 1);
+  ch.begin_write(0);
+  ch.commit_write(0);
+  std::atomic<bool> second_done{false};
+  std::thread writer([&] {
+    ch.begin_write(1);
+    ch.commit_write(1);
+    second_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_done.load());
+  EXPECT_TRUE(ch.await_step(0, 0));
+  ch.ack_read(0, 0);
+  writer.join();
+}
+
+TEST(BufferedCoupling, ReadersStillConsumeInOrder) {
+  CouplingChannel ch(1, 4);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    ch.begin_write(s);
+    ch.commit_write(s);
+  }
+  EXPECT_THROW((void)ch.await_step(0, 2), ProtocolError);
+  EXPECT_TRUE(ch.await_step(0, 0));
+  ch.ack_read(0, 0);
+  EXPECT_TRUE(ch.await_step(0, 1));
+}
+
+TEST(BufferedCoupling, WriterKeepsAtMostCapacityChunksResident) {
+  MemoryStaging staging;
+  auto channel = std::make_shared<CouplingChannel>(1, 2);
+  CoupledWriter writer(DtlPlugin(staging), channel, 0);
+  CoupledReader reader(DtlPlugin(staging), channel, 0, 0);
+
+  std::thread producer([&] {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      writer.put_step(s, PayloadKind::kScalarSeries, {1.0});
+    }
+    writer.finish();
+  });
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    ASSERT_TRUE(reader.get_step(s).has_value());
+    EXPECT_LE(staging.size(), 3u);  // window of 2 + one being staged
+  }
+  producer.join();
+  EXPECT_LE(staging.size(), 2u);
+}
+
+TEST(BufferedCoupling, SimulatedExecutorHonorsCapacity) {
+  // C1.1 runs in the Idle Simulation regime: the writer outpaces the
+  // analysis by ~2 s per step, so once the reader's initial R head-start
+  // drains (around step 12) the capacity-1 simulation blocks in I^S every
+  // step; a deep buffer absorbs the drift entirely over this horizon.
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+  auto blocked = wl::paper_config("C1.1");
+  blocked.spec.n_steps = 30;
+  auto buffered = blocked;
+  for (auto& m : buffered.spec.members) m.buffer_capacity = 30;
+
+  const auto t_blocked = exec.run(blocked.spec).trace;
+  const auto t_buffered = exec.run(buffered.spec).trace;
+  const double idle_blocked =
+      t_blocked.total_in_stage({0, -1}, core::StageKind::kSimIdle);
+  const double idle_buffered =
+      t_buffered.total_in_stage({0, -1}, core::StageKind::kSimIdle);
+  EXPECT_GT(idle_blocked, 1.0);
+  EXPECT_LT(idle_buffered, 1e-9);
+}
+
+TEST(BufferedCoupling, BufferingDoesNotChangeIdleAnalyzerRuns) {
+  // C1.5's couplings are Idle Analyzer: the writer never waits, so the
+  // buffer depth must not change the trace at all.
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+  auto base = wl::paper_config("C1.5");
+  base.spec.n_steps = 6;
+  auto deep = base;
+  for (auto& m : deep.spec.members) m.buffer_capacity = 4;
+  const auto a = exec.run(base.spec).trace;
+  const auto b = exec.run(deep.spec).trace;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].start, b.records()[i].start);
+    EXPECT_EQ(a.records()[i].end, b.records()[i].end);
+  }
+}
+
+TEST(BufferedCoupling, SpecValidatesCapacity) {
+  auto cfg = wl::paper_config("Cc");
+  cfg.spec.members[0].buffer_capacity = 0;
+  EXPECT_THROW(cfg.spec.validate(wl::cori_like_platform()), SpecError);
+}
+
+}  // namespace
+}  // namespace wfe::dtl

@@ -1,0 +1,159 @@
+// Tests for the chunk abstraction and its wire format.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dtl/chunk.hpp"
+#include "dtl/serde.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+Chunk positions_chunk(std::uint32_t member = 1, std::uint64_t step = 3,
+                      std::size_t atoms = 5) {
+  std::vector<double> xyz;
+  Xoshiro256 rng(77);
+  for (std::size_t i = 0; i < atoms * 3; ++i) xyz.push_back(rng.normal());
+  return Chunk(ChunkKey{member, step}, PayloadKind::kPositions3N,
+               std::move(xyz));
+}
+
+TEST(Chunk, KeyStringIsStable) {
+  EXPECT_EQ((ChunkKey{2, 15}).str(), "m2/s15");
+}
+
+TEST(Chunk, PositionsRequireMultipleOfThree) {
+  EXPECT_THROW(
+      Chunk(ChunkKey{}, PayloadKind::kPositions3N, {1.0, 2.0}),
+      InvalidArgument);
+}
+
+TEST(Chunk, AtomCount) {
+  EXPECT_EQ(positions_chunk(1, 1, 7).atom_count(), 7u);
+}
+
+TEST(Chunk, AtomCountRejectsScalarPayload) {
+  Chunk c(ChunkKey{}, PayloadKind::kScalarSeries, {1.0, 2.0});
+  EXPECT_THROW((void)c.atom_count(), InvalidArgument);
+}
+
+TEST(Chunk, PayloadBytes) {
+  EXPECT_EQ(positions_chunk(1, 1, 4).payload_bytes(), 4 * 3 * sizeof(double));
+}
+
+TEST(Chunk, KindNames) {
+  EXPECT_STREQ(to_string(PayloadKind::kPositions3N), "positions3n");
+  EXPECT_STREQ(to_string(PayloadKind::kScalarSeries), "scalars");
+}
+
+TEST(Serde, RoundTripPositions) {
+  const Chunk original = positions_chunk(9, 42, 16);
+  const Chunk back = deserialize(serialize(original));
+  EXPECT_EQ(back, original);
+}
+
+TEST(Serde, RoundTripScalars) {
+  const Chunk original(ChunkKey{3, 0}, PayloadKind::kScalarSeries,
+                       {1.5, -2.5, 1e308, 0.0});
+  EXPECT_EQ(deserialize(serialize(original)), original);
+}
+
+TEST(Serde, RoundTripEmptyPayload) {
+  const Chunk original(ChunkKey{0, 0}, PayloadKind::kScalarSeries, {});
+  EXPECT_EQ(deserialize(serialize(original)), original);
+}
+
+TEST(Serde, SerializedSizeMatches) {
+  const Chunk c = positions_chunk();
+  EXPECT_EQ(serialize(c).size(), serialized_size(c));
+  EXPECT_EQ(serialized_size(c), kChunkHeaderBytes + c.payload_bytes());
+}
+
+TEST(Serde, RejectsTruncatedHeader) {
+  std::vector<std::byte> tiny(10);
+  EXPECT_THROW((void)deserialize(tiny), SerializationError);
+}
+
+TEST(Serde, RejectsBadMagic) {
+  auto buf = serialize(positions_chunk());
+  buf[0] = std::byte{0xFF};
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, RejectsUnknownVersion) {
+  auto buf = serialize(positions_chunk());
+  const std::uint32_t v = 99;
+  std::memcpy(buf.data() + 4, &v, sizeof(v));
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, RejectsUnknownPayloadKind) {
+  auto buf = serialize(positions_chunk());
+  const std::uint32_t kind = 77;
+  std::memcpy(buf.data() + 12, &kind, sizeof(kind));
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, RejectsTruncatedPayload) {
+  auto buf = serialize(positions_chunk());
+  buf.resize(buf.size() - 8);
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, RejectsOversizedBuffer) {
+  auto buf = serialize(positions_chunk());
+  buf.resize(buf.size() + 8);
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, DetectsPayloadCorruption) {
+  auto buf = serialize(positions_chunk());
+  buf[kChunkHeaderBytes + 3] ^= std::byte{0x01};
+  EXPECT_THROW((void)deserialize(buf), SerializationError);
+}
+
+TEST(Serde, Fnv1aKnownValues) {
+  // FNV-1a 64 of the empty input is the offset basis.
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  // Differing inputs give differing hashes.
+  const std::byte a[]{std::byte{1}};
+  const std::byte b[]{std::byte{2}};
+  EXPECT_NE(fnv1a64(a), fnv1a64(b));
+}
+
+// Property sweep: round-trips across many payload sizes.
+class SerdeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerdeSizeSweep, RoundTrips) {
+  Xoshiro256 rng(GetParam());
+  std::vector<double> values;
+  for (std::size_t i = 0; i < GetParam(); ++i) values.push_back(rng.normal());
+  const Chunk c(ChunkKey{7, GetParam()}, PayloadKind::kScalarSeries,
+                std::move(values));
+  EXPECT_EQ(deserialize(serialize(c)), c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerdeSizeSweep,
+                         ::testing::Values(0, 1, 2, 3, 17, 100, 4096, 10000));
+
+// Property sweep: single-bit flips anywhere in the buffer are rejected
+// (either a header check or the checksum fires).
+class BitFlipSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitFlipSweep, FlipIsDetected) {
+  auto buf = serialize(positions_chunk(1, 2, 4));
+  const std::size_t pos = GetParam() % buf.size();
+  buf[pos] ^= std::byte{0x40};
+  // The whole-buffer checksum makes every single-bit flip detectable.
+  EXPECT_THROW((void)deserialize(buf), SerializationError)
+      << "undetected corruption at byte " << pos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitFlipSweep,
+                         ::testing::Values(0, 5, 9, 13, 17, 25, 33, 41, 49,
+                                           61, 80, 120));
+
+}  // namespace
+}  // namespace wfe::dtl

@@ -1,0 +1,147 @@
+// Tests for the DTL plugin and the coupled writer/reader endpoints.
+#include "dtl/plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dtl/memory_staging.hpp"
+#include "dtl/serde.hpp"
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+Chunk chunk(std::uint32_t member, std::uint64_t step) {
+  return Chunk(ChunkKey{member, step}, PayloadKind::kScalarSeries,
+               {static_cast<double>(step), 1.0, 2.0});
+}
+
+TEST(DtlPlugin, WriteReadRoundTrip) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  plugin.write(chunk(1, 0));
+  EXPECT_TRUE(plugin.exists(ChunkKey{1, 0}));
+  EXPECT_EQ(plugin.read(ChunkKey{1, 0}), chunk(1, 0));
+}
+
+TEST(DtlPlugin, ReadMissingThrows) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  EXPECT_THROW((void)plugin.read(ChunkKey{9, 9}), Error);
+}
+
+TEST(DtlPlugin, ReleaseErasesChunk) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  plugin.write(chunk(1, 0));
+  EXPECT_TRUE(plugin.release(ChunkKey{1, 0}));
+  EXPECT_FALSE(plugin.exists(ChunkKey{1, 0}));
+  EXPECT_FALSE(plugin.release(ChunkKey{1, 0}));
+}
+
+TEST(DtlPlugin, StagedBytesAreSerializedForm) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  plugin.write(chunk(2, 7));
+  const auto raw = staging.get(ChunkKey{2, 7}.str());
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(deserialize(*raw), chunk(2, 7));
+}
+
+TEST(CoupledEndpoints, WriterNeedsChannel) {
+  MemoryStaging staging;
+  EXPECT_THROW(CoupledWriter(DtlPlugin(staging), nullptr, 0),
+               InvalidArgument);
+}
+
+TEST(CoupledEndpoints, ReaderIndexValidated) {
+  MemoryStaging staging;
+  auto channel = std::make_shared<CouplingChannel>(1);
+  EXPECT_THROW(CoupledReader(DtlPlugin(staging), channel, 0, 1),
+               InvalidArgument);
+}
+
+TEST(CoupledEndpoints, SingleCouplingStreams) {
+  MemoryStaging staging;
+  auto channel = std::make_shared<CouplingChannel>(1);
+  CoupledWriter writer(DtlPlugin(staging), channel, 5);
+  CoupledReader reader(DtlPlugin(staging), channel, 5, 0);
+
+  constexpr std::uint64_t kSteps = 10;
+  std::thread producer([&] {
+    for (std::uint64_t s = 0; s < kSteps; ++s) {
+      writer.put_step(s, PayloadKind::kScalarSeries,
+                      {static_cast<double>(s)});
+    }
+    writer.finish();
+  });
+
+  for (std::uint64_t s = 0; s < kSteps; ++s) {
+    const auto got = reader.get_step(s);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->key().step, s);
+    EXPECT_EQ(got->values()[0], static_cast<double>(s));
+  }
+  EXPECT_FALSE(reader.get_step(kSteps).has_value());  // writer finished
+  producer.join();
+}
+
+TEST(CoupledEndpoints, NoBufferingKeepsAtMostOneResidentChunk) {
+  MemoryStaging staging;
+  auto channel = std::make_shared<CouplingChannel>(1);
+  CoupledWriter writer(DtlPlugin(staging), channel, 0);
+  CoupledReader reader(DtlPlugin(staging), channel, 0, 0);
+
+  std::thread producer([&] {
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      writer.put_step(s, PayloadKind::kScalarSeries, {1.0});
+    }
+    writer.finish();
+  });
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    ASSERT_TRUE(reader.get_step(s).has_value());
+    // The writer reclaims the drained chunk before staging the next, so
+    // at most two chunks (draining + fresh) ever coexist.
+    EXPECT_LE(staging.size(), 2u);
+  }
+  producer.join();
+  EXPECT_LE(staging.size(), 1u);  // only the final chunk may remain
+}
+
+TEST(CoupledEndpoints, TwoReadersSeeTheSameChunks) {
+  MemoryStaging staging;
+  auto channel = std::make_shared<CouplingChannel>(2);
+  CoupledWriter writer(DtlPlugin(staging), channel, 3);
+  CoupledReader r0(DtlPlugin(staging), channel, 3, 0);
+  CoupledReader r1(DtlPlugin(staging), channel, 3, 1);
+
+  constexpr std::uint64_t kSteps = 6;
+  std::vector<double> seen0, seen1;
+  std::thread producer([&] {
+    for (std::uint64_t s = 0; s < kSteps; ++s) {
+      writer.put_step(s, PayloadKind::kScalarSeries,
+                      {static_cast<double>(s) * 2.0});
+    }
+    writer.finish();
+  });
+  std::thread consumer1([&] {
+    for (std::uint64_t s = 0; s < kSteps; ++s) {
+      const auto c = r1.get_step(s);
+      ASSERT_TRUE(c.has_value());
+      seen1.push_back(c->values()[0]);
+    }
+  });
+  for (std::uint64_t s = 0; s < kSteps; ++s) {
+    const auto c = r0.get_step(s);
+    ASSERT_TRUE(c.has_value());
+    seen0.push_back(c->values()[0]);
+  }
+  producer.join();
+  consumer1.join();
+  EXPECT_EQ(seen0, seen1);
+  EXPECT_EQ(seen0.size(), kSteps);
+}
+
+}  // namespace
+}  // namespace wfe::dtl

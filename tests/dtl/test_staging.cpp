@@ -1,0 +1,144 @@
+// Backend-parameterized tests: MemoryStaging and FileStaging must behave
+// identically through the StagingBackend interface.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "dtl/file_staging.hpp"
+#include "dtl/memory_staging.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> xs) {
+  std::vector<std::byte> out;
+  for (int x : xs) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+class StagingTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      backend_ = std::make_unique<MemoryStaging>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("wfens-staging-test-" + std::to_string(::getpid()));
+      backend_ = std::make_unique<FileStaging>(dir_);
+    }
+  }
+
+  void TearDown() override {
+    backend_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<StagingBackend> backend_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(StagingTest, MissingKeyReturnsNullopt) {
+  EXPECT_FALSE(backend_->get("nope").has_value());
+  EXPECT_FALSE(backend_->contains("nope"));
+}
+
+TEST_P(StagingTest, PutThenGetRoundTrips) {
+  const auto data = bytes({1, 2, 3, 250});
+  backend_->put("m0/s1", data);
+  EXPECT_TRUE(backend_->contains("m0/s1"));
+  EXPECT_EQ(backend_->get("m0/s1"), data);
+}
+
+TEST_P(StagingTest, OverwriteReplacesContent) {
+  backend_->put("k", bytes({1}));
+  backend_->put("k", bytes({2, 3}));
+  EXPECT_EQ(backend_->get("k"), bytes({2, 3}));
+  EXPECT_EQ(backend_->size(), 1u);
+}
+
+TEST_P(StagingTest, EraseRemovesKey) {
+  backend_->put("k", bytes({9}));
+  EXPECT_TRUE(backend_->erase("k"));
+  EXPECT_FALSE(backend_->contains("k"));
+  EXPECT_FALSE(backend_->erase("k"));
+}
+
+TEST_P(StagingTest, SizeAndBytesStored) {
+  EXPECT_EQ(backend_->size(), 0u);
+  EXPECT_EQ(backend_->bytes_stored(), 0u);
+  backend_->put("a", bytes({1, 2, 3}));
+  backend_->put("b", bytes({4, 5}));
+  EXPECT_EQ(backend_->size(), 2u);
+  EXPECT_EQ(backend_->bytes_stored(), 5u);
+}
+
+TEST_P(StagingTest, EmptyValueIsStorable) {
+  backend_->put("empty", {});
+  EXPECT_TRUE(backend_->contains("empty"));
+  EXPECT_EQ(backend_->get("empty")->size(), 0u);
+}
+
+TEST_P(StagingTest, ManyKeysCoexist) {
+  for (int i = 0; i < 50; ++i) {
+    backend_->put("k" + std::to_string(i), bytes({i}));
+  }
+  EXPECT_EQ(backend_->size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(backend_->get("k" + std::to_string(i)), bytes({i}));
+  }
+}
+
+TEST_P(StagingTest, ConcurrentPutsAndGetsAreSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "/" + std::to_string(i % 10);
+        backend_->put(key, bytes({t, i % 256}));
+        (void)backend_->get(key);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(backend_->size(), kThreads * 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StagingTest,
+                         ::testing::Values("memory", "file"));
+
+TEST(MemoryStaging, TierName) {
+  MemoryStaging m;
+  EXPECT_EQ(m.tier(), "memory");
+}
+
+TEST(MemoryStaging, ClearEmptiesStore) {
+  MemoryStaging m;
+  m.put("a", bytes({1}));
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FileStaging, TierNameAndRoot) {
+  const auto dir = std::filesystem::temp_directory_path() / "wfens-fs-tier";
+  FileStaging f(dir);
+  EXPECT_EQ(f.tier(), "file");
+  EXPECT_EQ(f.root(), dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileStaging, KeysWithSlashesMapToFlatFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "wfens-fs-flat";
+  FileStaging f(dir);
+  f.put("m1/s2", bytes({7}));
+  EXPECT_TRUE(f.contains("m1/s2"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "m1_s2.chunk"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wfe::dtl

@@ -1,0 +1,110 @@
+// Cross-cutting regression tests for the extension experiments, so the
+// extension benches' narratives stay true.
+#include <gtest/gtest.h>
+
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/campaign.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe {
+namespace {
+
+TEST(Extensions, GreedySchedulerMatchesOracleOnPaperShapes) {
+  const auto platform = wl::cori_like_platform();
+  sched::Evaluator evaluator(platform);
+  for (const auto& [members, analyses] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 1}, {2, 2}, {3, 1}}) {
+    const auto shape = sched::EnsembleShape::paper_like(members, analyses);
+    const auto oracle =
+        sched::make_scheduler("exhaustive")->plan(shape, platform, {3});
+    const auto greedy =
+        sched::make_scheduler("greedy-colocate")->plan(shape, platform, {3});
+    EXPECT_NEAR(evaluator.score(greedy.spec).objective,
+                evaluator.score(oracle.spec).objective, 1e-12)
+        << members << "x" << analyses;
+  }
+}
+
+TEST(Extensions, ScatterBaselineLosesOnPaperShape) {
+  const auto platform = wl::cori_like_platform();
+  sched::Evaluator evaluator(platform);
+  const auto shape = sched::EnsembleShape::paper_like(2, 1);
+  const double greedy =
+      evaluator
+          .score(sched::make_scheduler("greedy-colocate")
+                     ->plan(shape, platform, {3})
+                     .spec)
+          .objective;
+  const double scatter =
+      evaluator
+          .score(sched::make_scheduler("round-robin")
+                     ->plan(shape, platform, {3})
+                     .spec)
+          .objective;
+  EXPECT_GT(greedy, 2.0 * scatter);
+}
+
+TEST(Extensions, BufferingPreservesThroughputInIdleSimRegime) {
+  // Deep buffers absorb writer idle but the ensemble makespan stays
+  // within 1% — throughput is pinned by the slowest stage.
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+  auto base = wl::paper_config("C1.1");
+  base.spec.n_steps = 30;
+  auto deep = base;
+  for (auto& m : deep.spec.members) m.buffer_capacity = 30;
+  const double mk_base =
+      met::ensemble_makespan(exec.run(base.spec).trace);
+  const double mk_deep =
+      met::ensemble_makespan(exec.run(deep.spec).trace);
+  EXPECT_NEAR(mk_deep, mk_base, 0.01 * mk_base);
+}
+
+TEST(Extensions, CampaignConfirmsC15UnderNoise) {
+  wl::CampaignOptions options;
+  options.trials = 5;
+  options.jitter_cv = 0.05;
+  options.n_steps = 10;
+  const auto stats = wl::run_campaign(wl::paper_set1(),
+                                      wl::cori_like_platform(), options);
+  for (const auto& s : stats) {
+    if (s.name == "C1.5") {
+      EXPECT_EQ(s.wins, options.trials);
+    } else {
+      EXPECT_EQ(s.wins, 0) << s.name;
+    }
+  }
+}
+
+TEST(Extensions, MultiNodeSimulationTradesPenaltyForCores) {
+  // 48 cores over two nodes beat 16 cores on one node on raw S*, but the
+  // indicator still prefers the small co-located member (CP, c_i, M).
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+
+  rt::EnsembleSpec small;
+  small.n_steps = 6;
+  rt::MemberSpec m1;
+  m1.sim = wl::gltph_like_simulation({0}, 16);
+  m1.analyses.push_back(wl::bipartite_like_analysis({0}));
+  small.members.push_back(m1);
+
+  rt::EnsembleSpec wide;
+  wide.n_steps = 6;
+  rt::MemberSpec m2;
+  m2.sim = wl::gltph_like_simulation({0, 1}, 48);
+  m2.analyses.push_back(wl::bipartite_like_analysis({1}));
+  wide.members.push_back(m2);
+
+  const auto a_small = rt::assess(small, exec.run(small));
+  const auto a_wide = rt::assess(wide, exec.run(wide));
+  EXPECT_LT(a_wide.members[0].steady.sim.s, a_small.members[0].steady.sim.s);
+  EXPECT_GT(a_small.objective(core::IndicatorKind::kUAP),
+            a_wide.objective(core::IndicatorKind::kUAP));
+}
+
+}  // namespace
+}  // namespace wfe

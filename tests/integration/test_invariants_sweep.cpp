@@ -1,0 +1,138 @@
+// Parameterized invariant sweep: every paper configuration, replayed,
+// must satisfy the structural invariants of the execution model — the
+// coupling protocol, complete stage accounting, Eq. (1) consistency and
+// counter sanity. This is the broad safety net under the shape tests.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/efficiency.hpp"
+#include "core/insitu.hpp"
+#include "metrics/steady_state.hpp"
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe {
+namespace {
+
+using core::StageKind;
+
+class ConfigSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  static rt::ExecutionResult run(const std::string& name,
+                                 double jitter = 0.0) {
+    auto cfg = wl::paper_config(name);
+    cfg.spec.n_steps = 7;
+    rt::SimulatedOptions opt;
+    opt.jitter_cv = jitter;
+    opt.seed = 99;
+    rt::SimulatedExecutor exec(wl::cori_like_platform(), opt);
+    return exec.run(cfg.spec);
+  }
+};
+
+TEST_P(ConfigSweep, ProtocolOrderHolds) {
+  const auto result = run(GetParam());
+  // For every member: W_i ends before every R_i starts; all R_i end
+  // before W_{i+1} starts (buffer capacity 1).
+  for (std::uint32_t member : result.trace.members()) {
+    std::map<std::uint64_t, double> w_start, w_end, r_first, r_last;
+    for (const auto& r : result.trace.records()) {
+      if (r.component.member != member) continue;
+      if (r.kind == StageKind::kWrite) {
+        w_start[r.step] = r.start;
+        w_end[r.step] = r.end;
+      } else if (r.kind == StageKind::kRead) {
+        auto [i1, f1] = r_first.emplace(r.step, r.start);
+        if (!f1) i1->second = std::min(i1->second, r.start);
+        auto [i2, f2] = r_last.emplace(r.step, r.end);
+        if (!f2) i2->second = std::max(i2->second, r.end);
+      }
+    }
+    for (const auto& [step, end] : w_end) {
+      ASSERT_TRUE(r_first.contains(step));
+      EXPECT_GE(r_first[step], end - 1e-9);
+      if (w_start.contains(step + 1)) {
+        EXPECT_GE(w_start[step + 1], r_last[step] - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(ConfigSweep, StageAccountingIsGapless) {
+  const auto result = run(GetParam());
+  for (const auto& id : result.trace.components()) {
+    double total = 0.0;
+    for (const auto& r : result.trace.for_component(id)) {
+      total += r.duration();
+    }
+    const double span =
+        result.trace.component_end(id) - result.trace.component_start(id);
+    EXPECT_NEAR(total, span, 1e-6 * std::max(1.0, span)) << id.str();
+  }
+}
+
+TEST_P(ConfigSweep, MeasuredSigmaIsTheMaxOfMeasuredSegments) {
+  const auto result = run(GetParam());
+  for (std::uint32_t member : result.trace.members()) {
+    const core::MemberSteady steady =
+        met::member_steady_state(result.trace, member);
+    const double sigma = core::non_overlapped_segment(steady);
+    double expected = steady.sim.s + steady.sim.w;
+    for (const auto& a : steady.analyses) {
+      expected = std::max(expected, a.r + a.a);
+    }
+    EXPECT_DOUBLE_EQ(sigma, expected);
+    EXPECT_GT(core::computational_efficiency(steady), 0.0);
+  }
+}
+
+TEST_P(ConfigSweep, CountersStayPhysical) {
+  const auto result = run(GetParam());
+  for (const auto& id : result.trace.components()) {
+    const auto c = result.trace.component_counters(id);
+    EXPECT_GT(c.instructions, 0.0) << id.str();
+    EXPECT_GT(c.cycles, 0.0);
+    EXPECT_GE(c.llc_references, c.llc_misses);
+    EXPECT_GT(c.ipc(), 0.0);
+    EXPECT_LE(c.llc_miss_ratio(), 0.5);  // platform max_miss_ratio
+  }
+}
+
+TEST_P(ConfigSweep, InvariantsSurviveJitter) {
+  const auto result = run(GetParam(), 0.08);
+  // Protocol + accounting under noise (the two cheapest invariants).
+  for (const auto& id : result.trace.components()) {
+    double total = 0.0;
+    double last_end = -1.0;
+    for (const auto& r : result.trace.for_component(id)) {
+      EXPECT_GE(r.start, last_end - 1e-9) << id.str();
+      last_end = r.end;
+      total += r.duration();
+    }
+    EXPECT_GT(total, 0.0);
+  }
+}
+
+std::vector<std::string> all_config_names() {
+  std::vector<std::string> names;
+  for (const auto& c : wl::paper_table2()) names.push_back(c.name);
+  for (const auto& c : wl::paper_table4()) names.push_back(c.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperConfigs, ConfigSweep,
+                         ::testing::ValuesIn(all_config_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace wfe

@@ -1,0 +1,285 @@
+// The headline regressions: running the paper's configurations through the
+// full stack must reproduce the *shapes* the paper reports (who wins, in
+// what order) for Figures 3-5 and 8-9 and the §3.4 heuristic.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/heuristic.hpp"
+#include "metrics/steady_state.hpp"
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe {
+namespace {
+
+using core::IndicatorKind;
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    exec_ = new rt::SimulatedExecutor(wl::cori_like_platform());
+    for (const auto& c : wl::paper_table2()) run(c);
+    for (const auto& c : wl::paper_table4()) run(c);
+  }
+  static void TearDownTestSuite() {
+    delete exec_;
+    exec_ = nullptr;
+    results_.clear();
+    assessments_.clear();
+  }
+
+  static void run(const wl::NamedConfig& c) {
+    results_[c.name] = exec_->run(c.spec);
+    assessments_.emplace(c.name, rt::assess(c.spec, results_[c.name]));
+  }
+
+  static const rt::ExecutionResult& result(const std::string& name) {
+    return results_.at(name);
+  }
+  static const rt::Assessment& assessment(const std::string& name) {
+    return assessments_.at(name);
+  }
+  static double F(const std::string& name, IndicatorKind kind) {
+    return assessments_.at(name).objective(kind);
+  }
+
+  static rt::SimulatedExecutor* exec_;
+  static std::map<std::string, rt::ExecutionResult> results_;
+  static std::map<std::string, rt::Assessment> assessments_;
+};
+
+rt::SimulatedExecutor* PaperShapes::exec_ = nullptr;
+std::map<std::string, rt::ExecutionResult> PaperShapes::results_;
+std::map<std::string, rt::Assessment> PaperShapes::assessments_;
+
+// ------------------------------------------------------------ Figure 3
+
+TEST_F(PaperShapes, Fig3_CoLocationRaisesAnalysisMissRatio) {
+  auto ana_miss = [&](const std::string& cfg) {
+    return met::component_metrics(result(cfg).trace, {0, 0}).llc_miss_ratio;
+  };
+  // Heterogeneous co-location (C1.3/C1.5 analyses with their simulation)
+  // misses more than analysis/analysis sharing (C1.1), which misses more
+  // than the contention-free analyses of C1.2.
+  EXPECT_GT(ana_miss("C1.5"), ana_miss("C1.1"));
+  EXPECT_GT(ana_miss("C1.3"), ana_miss("C1.1"));
+  EXPECT_GT(ana_miss("C1.1"), ana_miss("C1.2"));
+  EXPECT_DOUBLE_EQ(ana_miss("C1.1"), ana_miss("C1.4"));
+}
+
+TEST_F(PaperShapes, Fig3_CoLocationFreeBaselineHasLowestMissRatios) {
+  const auto& cf = result("Cf").trace;
+  for (const auto& other : {"Cc", "C1.1", "C1.2", "C1.3", "C1.4", "C1.5"}) {
+    const auto& t = result(other).trace;
+    double max_sim_miss = 0.0, max_ana_miss = 0.0;
+    for (const auto& cm : met::all_component_metrics(t)) {
+      if (cm.component.is_simulation()) {
+        max_sim_miss = std::max(max_sim_miss, cm.llc_miss_ratio);
+      } else {
+        max_ana_miss = std::max(max_ana_miss, cm.llc_miss_ratio);
+      }
+    }
+    EXPECT_GE(max_sim_miss,
+              met::component_metrics(cf, {0, -1}).llc_miss_ratio)
+        << other;
+    EXPECT_GE(max_ana_miss, met::component_metrics(cf, {0, 0}).llc_miss_ratio)
+        << other;
+  }
+}
+
+TEST_F(PaperShapes, Fig3_AnalysesAreMoreMemoryIntensiveThanSimulations) {
+  for (const auto& c : wl::paper_table2()) {
+    for (const auto& cm : met::all_component_metrics(result(c.name).trace)) {
+      const auto sim =
+          met::component_metrics(result(c.name).trace,
+                                 {cm.component.member, -1});
+      if (!cm.component.is_simulation()) {
+        EXPECT_GT(cm.memory_intensity, 10.0 * sim.memory_intensity)
+            << c.name;
+      }
+    }
+  }
+}
+
+TEST_F(PaperShapes, Fig3_IpcDropsUnderCoLocation) {
+  auto sim_ipc = [&](const std::string& cfg) {
+    return met::component_metrics(result(cfg).trace, {0, -1}).ipc;
+  };
+  EXPECT_GT(sim_ipc("Cf"), sim_ipc("Cc"));
+  EXPECT_GT(sim_ipc("C1.1"), sim_ipc("C1.2"));  // C1.1 sims run alone
+}
+
+// --------------------------------------------------------- Figures 4-5
+
+TEST_F(PaperShapes, Fig5_C15HasTheBestEnsembleMakespanOfSet1) {
+  const double c15 = assessment("C1.5").ensemble_makespan_measured;
+  for (const auto& other : {"C1.1", "C1.2", "C1.3", "C1.4"}) {
+    EXPECT_LE(c15,
+              assessment(other).ensemble_makespan_measured + 1e-6)
+        << other;
+  }
+  // ... strictly better than the non-co-located ones.
+  for (const auto& other : {"C1.1", "C1.2", "C1.4"}) {
+    EXPECT_LT(c15, assessment(other).ensemble_makespan_measured) << other;
+  }
+}
+
+TEST_F(PaperShapes, Fig4_C14SuffersFromAnalysisContention) {
+  // C1.4 (analyses sharing a node, remote reads) has the worst member
+  // makespan of set 1.
+  double worst = 0.0;
+  for (const auto& c : wl::paper_set1()) {
+    for (const auto& m : assessment(c.name).members) {
+      worst = std::max(worst, m.makespan_measured);
+    }
+  }
+  double c14_worst = 0.0;
+  for (const auto& m : assessment("C1.4").members) {
+    c14_worst = std::max(c14_worst, m.makespan_measured);
+  }
+  EXPECT_DOUBLE_EQ(c14_worst, worst);
+}
+
+TEST_F(PaperShapes, Fig5_C28HasTheBestEnsembleMakespanOfSet2) {
+  const double c28 = assessment("C2.8").ensemble_makespan_measured;
+  for (const auto& c : wl::paper_table4()) {
+    if (c.name == "C2.8") continue;
+    EXPECT_LT(c28, assessment(c.name).ensemble_makespan_measured) << c.name;
+  }
+}
+
+// ------------------------------------------------------------ Figure 8
+
+TEST_F(PaperShapes, Fig8_FinalStageRanksC15First) {
+  const double c15 = F("C1.5", IndicatorKind::kUAP);
+  for (const auto& other : {"C1.1", "C1.2", "C1.3", "C1.4"}) {
+    EXPECT_GT(c15, F(other, IndicatorKind::kUAP)) << other;
+  }
+}
+
+TEST_F(PaperShapes, Fig8_C14SecondAtFinalStage) {
+  // "the performance of C1.4 is degraded to lower than C1.5, but higher
+  //  than C1.1, C1.2, C1.3."
+  const double c14 = F("C1.4", IndicatorKind::kUAP);
+  EXPECT_LT(c14, F("C1.5", IndicatorKind::kUAP));
+  for (const auto& other : {"C1.1", "C1.2", "C1.3"}) {
+    EXPECT_GT(c14, F(other, IndicatorKind::kUAP)) << other;
+  }
+}
+
+TEST_F(PaperShapes, Fig8_UPStageCannotSeparateC14FromC15) {
+  // "P^{U,P} is not able to differentiate the performance of C1.4 from
+  //  C1.5 as these two configurations both use 2 compute nodes": at the
+  //  U,P stage C1.5 does NOT come out ahead — only the allocation layer
+  //  ranks it above C1.4, and decisively so.
+  EXPECT_GE(F("C1.4", IndicatorKind::kUP), F("C1.5", IndicatorKind::kUP));
+  const double ua14 = F("C1.4", IndicatorKind::kUA);
+  const double ua15 = F("C1.5", IndicatorKind::kUA);
+  EXPECT_GT((ua15 - ua14) / ua14, 0.4);
+}
+
+TEST_F(PaperShapes, Fig8_StageOrdersAgreeOnTheFinalValue) {
+  for (const auto& c : wl::paper_set1()) {
+    EXPECT_DOUBLE_EQ(F(c.name, IndicatorKind::kUAP),
+                     F(c.name, IndicatorKind::kUPA))
+        << c.name;
+  }
+}
+
+TEST_F(PaperShapes, Fig8_CoLocationBeatsDistributionForSingleMembers) {
+  // Cc beats Cf decisively once allocation and provisioning are stacked —
+  // the paper's headline co-location conclusion.
+  EXPECT_GT(F("Cc", IndicatorKind::kUAP),
+            3.0 * F("Cf", IndicatorKind::kUAP));
+}
+
+// ------------------------------------------------------------ Figure 9
+
+TEST_F(PaperShapes, Fig9_UPStageGroupsByNodeCount) {
+  // "P^{U,P} separates the set of configurations in two groups defined by
+  //  the number of compute nodes" — every 2-node config outranks every
+  //  3-node config at the U,P stage.
+  for (const auto& two : {"C2.6", "C2.7", "C2.8"}) {
+    for (const auto& three : {"C2.1", "C2.2", "C2.3", "C2.4", "C2.5"}) {
+      EXPECT_GT(F(two, IndicatorKind::kUP), F(three, IndicatorKind::kUP))
+          << two << " vs " << three;
+    }
+  }
+}
+
+TEST_F(PaperShapes, Fig9_FinalStageIsolatesC28) {
+  const double c28 = F("C2.8", IndicatorKind::kUAP);
+  for (const auto& c : wl::paper_table4()) {
+    if (c.name == "C2.8") continue;
+    EXPECT_GT(c28, F(c.name, IndicatorKind::kUAP)) << c.name;
+  }
+}
+
+TEST_F(PaperShapes, Fig9_FinalStageSeparatesC26C27FromSpreadConfigs) {
+  for (const auto& good : {"C2.6", "C2.7"}) {
+    for (const auto& spread : {"C2.1", "C2.2", "C2.5"}) {
+      EXPECT_GT(F(good, IndicatorKind::kUAP),
+                F(spread, IndicatorKind::kUAP))
+          << good << " vs " << spread;
+    }
+  }
+}
+
+// -------------------------------------------------- headline magnitude
+
+TEST_F(PaperShapes, IndicatorSpreadSpansAnOrderOfMagnitude) {
+  // The paper reports improvements up to four orders of magnitude between
+  // co-location choices on its (noisy, measured) platform; our
+  // deterministic model reproduces the ordering with a >= 5x spread
+  // between the best fully-co-located and the worst spread configuration.
+  double best = 0.0, worst = 1e18;
+  for (const auto& c : wl::paper_table2()) {
+    const double f = F(c.name, IndicatorKind::kUAP);
+    best = std::max(best, f);
+    worst = std::min(worst, f);
+  }
+  EXPECT_GT(best / worst, 5.0);
+}
+
+// ----------------------------------------------------- §3.4 heuristic
+
+TEST_F(PaperShapes, Heuristic_Picks8CoresLikeThePaper) {
+  // Reproduce Figure 7 / §3.4: sweep the analysis core count on the
+  // co-location-free member; Eq. (4) feasibility begins between 4 and 8
+  // cores, and 8 cores maximizes E.
+  const auto platform = wl::cori_like_platform();
+  rt::SimulatedExecutor exec(platform);
+  auto eval = [&](int cores) {
+    auto cfg = wl::paper_config("Cf");
+    cfg.spec.members[0].analyses[0].cores = cores;
+    cfg.spec.n_steps = 5;
+    const auto a = rt::assess(cfg.spec, exec.run(cfg.spec));
+    return a.members[0].steady.analyses[0];
+  };
+  const auto sim_side = [&] {
+    auto cfg = wl::paper_config("Cf");
+    cfg.spec.n_steps = 5;
+    const auto a = rt::assess(cfg.spec, exec.run(cfg.spec));
+    return a.members[0].steady.sim;
+  }();
+
+  const auto result = core::provision_analysis_cores(sim_side, eval, 32);
+  EXPECT_TRUE(result.any_feasible);
+  EXPECT_EQ(result.cores, 8);
+  // 1-4 cores infeasible (analysis longer than the simulation step).
+  for (int c = 1; c <= 4; ++c) {
+    EXPECT_FALSE(result.candidates[static_cast<std::size_t>(c - 1)].feasible)
+        << c;
+  }
+  for (int c = 8; c <= 32; c *= 2) {
+    EXPECT_TRUE(result.candidates[static_cast<std::size_t>(c - 1)].feasible)
+        << c;
+  }
+}
+
+}  // namespace
+}  // namespace wfe

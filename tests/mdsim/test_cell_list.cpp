@@ -1,0 +1,115 @@
+// Cell-list correctness: candidate pairs must be a superset of all pairs
+// within the cutoff, with no duplicates, for arbitrary configurations.
+#include "mdsim/cell_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+namespace {
+
+System random_system(std::size_t n, double box, std::uint64_t seed) {
+  System sys(n, box);
+  Xoshiro256 rng(seed);
+  for (auto& p : sys.positions()) {
+    p = Vec3{rng.uniform(0.0, box), rng.uniform(0.0, box),
+             rng.uniform(0.0, box)};
+  }
+  return sys;
+}
+
+std::set<std::pair<std::size_t, std::size_t>> candidate_pairs(
+    const System& sys, double cutoff) {
+  CellList cells(sys, cutoff);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  cells.for_each_candidate_pair([&](std::size_t i, std::size_t j) {
+    EXPECT_LT(i, j) << "pairs must be ordered";
+    const bool inserted = pairs.insert({i, j}).second;
+    EXPECT_TRUE(inserted) << "duplicate pair (" << i << "," << j << ")";
+  });
+  return pairs;
+}
+
+std::set<std::pair<std::size_t, std::size_t>> brute_force_pairs(
+    const System& sys, double cutoff) {
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  const double rc2 = cutoff * cutoff;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      if (sys.min_image(sys.positions()[i], sys.positions()[j]).norm2() <
+          rc2) {
+        pairs.insert({i, j});
+      }
+    }
+  }
+  return pairs;
+}
+
+TEST(CellList, RejectsNonPositiveCutoff) {
+  const System sys = random_system(8, 5.0, 1);
+  EXPECT_THROW(CellList(sys, 0.0), InvalidArgument);
+}
+
+TEST(CellList, SmallBoxFallsBackToAllPairs) {
+  const System sys = random_system(10, 4.0, 2);
+  CellList cells(sys, 2.5);  // 4.0 / 2.5 < 3 cells -> all-pairs
+  EXPECT_LT(cells.cells_per_side(), 3);
+  EXPECT_EQ(candidate_pairs(sys, 2.5).size(), 45u);  // C(10,2)
+}
+
+TEST(CellList, CellsPerSideFloorsBoxOverCutoff) {
+  const System sys = random_system(20, 10.0, 3);
+  CellList cells(sys, 2.5);
+  EXPECT_EQ(cells.cells_per_side(), 4);
+  EXPECT_EQ(cells.cell_count(), 64u);
+}
+
+// Property: the candidate set covers every pair within the cutoff.
+class CellListCoverage
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(CellListCoverage, CoversAllCutoffPairs) {
+  const auto [n, box, cutoff] = GetParam();
+  const System sys =
+      random_system(static_cast<std::size_t>(n), box,
+                    static_cast<std::uint64_t>(n) * 1000 +
+                        static_cast<std::uint64_t>(box));
+  const auto candidates = candidate_pairs(sys, cutoff);
+  const auto required = brute_force_pairs(sys, cutoff);
+  for (const auto& pair : required) {
+    EXPECT_TRUE(candidates.contains(pair))
+        << "missing pair (" << pair.first << "," << pair.second << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CellListCoverage,
+    ::testing::Values(std::make_tuple(32, 6.0, 1.5),
+                      std::make_tuple(64, 8.0, 2.5),
+                      std::make_tuple(100, 10.0, 2.5),
+                      std::make_tuple(100, 12.0, 3.0),
+                      std::make_tuple(7, 9.0, 2.9),
+                      std::make_tuple(200, 15.0, 2.5),
+                      std::make_tuple(1, 10.0, 2.5)));
+
+TEST(CellList, ParticlesBinnedIntoValidCells) {
+  const System sys = random_system(50, 10.0, 9);
+  CellList cells(sys, 2.5);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    EXPECT_LT(cells.cell_of(i), cells.cell_count());
+  }
+}
+
+TEST(CellList, PrunesFarPairsWhenBoxIsLarge) {
+  // In a big sparse box the candidate set must be far below all-pairs.
+  const System sys = random_system(400, 40.0, 10);
+  const auto candidates = candidate_pairs(sys, 2.5);
+  const std::size_t all_pairs = 400u * 399u / 2u;
+  EXPECT_LT(candidates.size(), all_pairs / 10);
+}
+
+}  // namespace
+}  // namespace wfe::md

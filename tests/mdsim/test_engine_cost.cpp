@@ -1,0 +1,111 @@
+// MdEngine facade + MD cost-model properties.
+#include <gtest/gtest.h>
+
+#include "mdsim/cost_model.hpp"
+#include "mdsim/engine.hpp"
+#include "support/error.hpp"
+
+namespace wfe::md {
+namespace {
+
+MdConfig small_config(std::uint64_t seed = 1) {
+  MdConfig c;
+  c.fcc_cells = 3;  // 108 atoms
+  c.seed = seed;
+  c.integrator.thermostat_tau = 0.2;
+  c.integrator.target_temperature = c.temperature;
+  return c;
+}
+
+TEST(MdEngine, ReportsAtomCount) {
+  MdEngine engine(small_config());
+  EXPECT_EQ(engine.atom_count(), 108u);
+}
+
+TEST(MdEngine, AdvanceRejectsNonPositiveStride) {
+  MdEngine engine(small_config());
+  EXPECT_THROW((void)engine.advance(0), InvalidArgument);
+}
+
+TEST(MdEngine, AdvanceAccumulatesSteps) {
+  MdEngine engine(small_config());
+  (void)engine.advance(5);
+  const MdObservables obs = engine.advance(7);
+  EXPECT_EQ(obs.total_md_steps, 12u);
+  EXPECT_EQ(engine.total_md_steps(), 12u);
+}
+
+TEST(MdEngine, FrameHasThreeDoublesPerAtom) {
+  MdEngine engine(small_config());
+  (void)engine.advance(3);
+  EXPECT_EQ(engine.frame().size(), engine.atom_count() * 3);
+}
+
+TEST(MdEngine, ObservablesArePhysical) {
+  MdEngine engine(small_config());
+  const MdObservables obs = engine.advance(50);
+  EXPECT_LT(obs.potential_energy, 0.0);  // cohesive liquid
+  EXPECT_GT(obs.kinetic_energy, 0.0);
+  EXPECT_GT(obs.temperature, 0.0);
+  EXPECT_NEAR(obs.temperature, 0.728, 0.4);
+}
+
+TEST(MdEngine, DeterministicAcrossInstances) {
+  MdEngine a(small_config(9)), b(small_config(9));
+  (void)a.advance(20);
+  (void)b.advance(20);
+  EXPECT_EQ(a.frame(), b.frame());
+}
+
+TEST(MdEngine, DifferentSeedsDiverge) {
+  MdEngine a(small_config(1)), b(small_config(2));
+  (void)a.advance(20);
+  (void)b.advance(20);
+  EXPECT_NE(a.frame(), b.frame());
+}
+
+TEST(MdEngine, FramesEvolveOverTime) {
+  MdEngine engine(small_config());
+  (void)engine.advance(1);
+  const auto f1 = engine.frame();
+  (void)engine.advance(10);
+  EXPECT_NE(engine.frame(), f1);
+}
+
+TEST(MdCost, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)md_stage_profile(MdCostParams{}, 0, 10),
+               InvalidArgument);
+  EXPECT_THROW((void)md_stage_profile(MdCostParams{}, 100, 0),
+               InvalidArgument);
+}
+
+TEST(MdCost, InstructionsScaleLinearlyInAtomsAndStride) {
+  const MdCostParams p;
+  const auto base = md_stage_profile(p, 1000, 100);
+  EXPECT_DOUBLE_EQ(md_stage_profile(p, 2000, 100).instructions,
+                   2.0 * base.instructions);
+  EXPECT_DOUBLE_EQ(md_stage_profile(p, 1000, 200).instructions,
+                   2.0 * base.instructions);
+}
+
+TEST(MdCost, WorkingSetScalesWithAtoms) {
+  const MdCostParams p;
+  EXPECT_DOUBLE_EQ(md_stage_profile(p, 1000, 1).working_set_bytes,
+                   p.bytes_per_atom * 1000);
+}
+
+TEST(MdCost, ProfileCarriesCostParams) {
+  MdCostParams p;
+  p.base_ipc = 2.0;
+  p.cache_sensitivity = 0.5;
+  const auto prof = md_stage_profile(p, 10, 10);
+  EXPECT_EQ(prof.base_ipc, 2.0);
+  EXPECT_EQ(prof.cache_sensitivity, 0.5);
+}
+
+TEST(MdCost, FramePayloadBytes) {
+  EXPECT_DOUBLE_EQ(frame_payload_bytes(1000), 1000.0 * 24.0);
+}
+
+}  // namespace
+}  // namespace wfe::md

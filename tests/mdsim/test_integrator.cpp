@@ -1,0 +1,127 @@
+// Integrator physics: energy conservation (NVE), momentum conservation,
+// thermostat behaviour, determinism.
+#include "mdsim/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::md {
+namespace {
+
+System liquid(std::uint64_t seed, double temperature = 0.728) {
+  Xoshiro256 rng(seed);
+  return System::fcc_lattice(3, 0.8442, temperature, rng);  // 108 atoms
+}
+
+TEST(Integrator, RejectsNonPositiveTimestep) {
+  IntegratorParams p;
+  p.dt = 0.0;
+  EXPECT_THROW(VelocityVerlet(LjParams{}, p), InvalidArgument);
+}
+
+TEST(Integrator, NveConservesEnergy) {
+  System sys = liquid(1);
+  IntegratorParams ip;
+  ip.dt = 0.002;
+  ip.thermostat_tau = 0.0;  // NVE
+  VelocityVerlet vv(LjParams{}, ip);
+  ForceResult fr = vv.initialize(sys);
+  const double e0 = fr.potential_energy + sys.kinetic_energy();
+  for (int s = 0; s < 400; ++s) fr = vv.step(sys);
+  const double e1 = fr.potential_energy + sys.kinetic_energy();
+  // Velocity Verlet at dt=0.002 drifts far less than 1% over 400 steps.
+  EXPECT_NEAR(e1, e0, 0.01 * std::abs(e0));
+}
+
+TEST(Integrator, NveEnergyDriftShrinksWithTimestep) {
+  auto drift = [](double dt) {
+    System sys = liquid(2);
+    IntegratorParams ip;
+    ip.dt = dt;
+    VelocityVerlet vv(LjParams{}, ip);
+    ForceResult fr = vv.initialize(sys);
+    const double e0 = fr.potential_energy + sys.kinetic_energy();
+    const int steps = static_cast<int>(0.4 / dt);  // same physical time
+    for (int s = 0; s < steps; ++s) fr = vv.step(sys);
+    return std::abs(fr.potential_energy + sys.kinetic_energy() - e0);
+  };
+  EXPECT_LT(drift(0.001), drift(0.004));
+}
+
+TEST(Integrator, ConservesMomentum) {
+  System sys = liquid(3);
+  VelocityVerlet vv(LjParams{}, IntegratorParams{});
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 100; ++s) (void)vv.step(sys);
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-8);
+  EXPECT_NEAR(p.y, 0.0, 1e-8);
+  EXPECT_NEAR(p.z, 0.0, 1e-8);
+}
+
+TEST(Integrator, PositionsStayInBox) {
+  System sys = liquid(4);
+  VelocityVerlet vv(LjParams{}, IntegratorParams{});
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 50; ++s) (void)vv.step(sys);
+  for (const Vec3& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box_length());
+  }
+}
+
+TEST(Integrator, BerendsenDrivesTemperatureToTarget) {
+  System sys = liquid(5, 2.0);  // start hot
+  IntegratorParams ip;
+  ip.dt = 0.002;
+  ip.thermostat_tau = 0.05;  // strong coupling
+  ip.target_temperature = 0.7;
+  VelocityVerlet vv(LjParams{}, ip);
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 2000; ++s) (void)vv.step(sys);
+  EXPECT_NEAR(sys.temperature(), 0.7, 0.12);
+}
+
+TEST(Integrator, BerendsenHeatsColdSystem) {
+  System sys = liquid(6, 0.1);  // start cold
+  IntegratorParams ip;
+  ip.thermostat_tau = 0.05;
+  ip.target_temperature = 1.0;
+  VelocityVerlet vv(LjParams{}, ip);
+  (void)vv.initialize(sys);
+  const double t0 = sys.temperature();
+  for (int s = 0; s < 500; ++s) (void)vv.step(sys);
+  EXPECT_GT(sys.temperature(), t0);
+}
+
+TEST(Integrator, DeterministicTrajectories) {
+  System a = liquid(7), b = liquid(7);
+  VelocityVerlet vva(LjParams{}, IntegratorParams{});
+  VelocityVerlet vvb(LjParams{}, IntegratorParams{});
+  (void)vva.initialize(a);
+  (void)vvb.initialize(b);
+  for (int s = 0; s < 25; ++s) {
+    (void)vva.step(a);
+    (void)vvb.step(b);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.positions()[i].x, b.positions()[i].x);
+    EXPECT_EQ(a.velocities()[i].z, b.velocities()[i].z);
+  }
+}
+
+TEST(Integrator, StepReturnsFreshForcesResult) {
+  System sys = liquid(8);
+  VelocityVerlet vv(LjParams{}, IntegratorParams{});
+  (void)vv.initialize(sys);
+  const ForceResult fr = vv.step(sys);
+  EXPECT_GT(fr.pair_interactions, 0u);
+  EXPECT_LT(fr.potential_energy, 0.0);  // cohesive liquid
+}
+
+}  // namespace
+}  // namespace wfe::md

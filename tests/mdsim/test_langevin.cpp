@@ -1,0 +1,118 @@
+// Langevin thermostat tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdsim/integrator.hpp"
+#include "support/error.hpp"
+
+namespace wfe::md {
+namespace {
+
+System liquid(std::uint64_t seed, double temperature) {
+  Xoshiro256 rng(seed);
+  return System::fcc_lattice(3, 0.8442, temperature, rng);
+}
+
+IntegratorParams langevin(double target, double gamma = 2.0,
+                          std::uint64_t seed = 1) {
+  IntegratorParams p;
+  p.dt = 0.002;
+  p.thermostat = ThermostatKind::kLangevin;
+  p.langevin_gamma = gamma;
+  p.target_temperature = target;
+  p.langevin_seed = seed;
+  return p;
+}
+
+TEST(Langevin, RejectsNegativeFriction) {
+  IntegratorParams p = langevin(1.0);
+  p.langevin_gamma = -0.5;
+  EXPECT_THROW(VelocityVerlet(LjParams{}, p), InvalidArgument);
+}
+
+TEST(Langevin, ThermalizesAHotSystem) {
+  System sys = liquid(1, 2.5);
+  VelocityVerlet vv(LjParams{}, langevin(0.7, 5.0));
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 1500; ++s) (void)vv.step(sys);
+  EXPECT_NEAR(sys.temperature(), 0.7, 0.15);
+}
+
+TEST(Langevin, HeatsAColdSystem) {
+  System sys = liquid(2, 0.05);
+  VelocityVerlet vv(LjParams{}, langevin(1.0, 5.0));
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 1500; ++s) (void)vv.step(sys);
+  EXPECT_NEAR(sys.temperature(), 1.0, 0.25);
+}
+
+TEST(Langevin, TemperatureFluctuatesUnlikeNve) {
+  // Canonical sampling: the kinetic energy fluctuates step to step.
+  System sys = liquid(3, 0.7);
+  VelocityVerlet vv(LjParams{}, langevin(0.7, 2.0));
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 200; ++s) (void)vv.step(sys);
+  double min_t = 1e9, max_t = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    (void)vv.step(sys);
+    min_t = std::min(min_t, sys.temperature());
+    max_t = std::max(max_t, sys.temperature());
+  }
+  EXPECT_GT(max_t - min_t, 0.01);
+}
+
+TEST(Langevin, DeterministicGivenSeed) {
+  System a = liquid(4, 0.7), b = liquid(4, 0.7);
+  VelocityVerlet va(LjParams{}, langevin(0.7, 2.0, 99));
+  VelocityVerlet vb(LjParams{}, langevin(0.7, 2.0, 99));
+  (void)va.initialize(a);
+  (void)vb.initialize(b);
+  for (int s = 0; s < 30; ++s) {
+    (void)va.step(a);
+    (void)vb.step(b);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.positions()[i].x, b.positions()[i].x);
+  }
+}
+
+TEST(Langevin, NoiseSeedsDiverge) {
+  System a = liquid(5, 0.7), b = liquid(5, 0.7);
+  VelocityVerlet va(LjParams{}, langevin(0.7, 2.0, 1));
+  VelocityVerlet vb(LjParams{}, langevin(0.7, 2.0, 2));
+  (void)va.initialize(a);
+  (void)vb.initialize(b);
+  for (int s = 0; s < 10; ++s) {
+    (void)va.step(a);
+    (void)vb.step(b);
+  }
+  EXPECT_NE(a.positions()[0].x, b.positions()[0].x);
+}
+
+TEST(Langevin, ZeroFrictionReducesTowardNve) {
+  // gamma = 0: c1 = 1, c2 = 0 — the thermostat becomes a no-op and energy
+  // is conserved as in NVE.
+  System sys = liquid(6, 0.7);
+  IntegratorParams p = langevin(0.7, 0.0);
+  VelocityVerlet vv(LjParams{}, p);
+  ForceResult fr = vv.initialize(sys);
+  const double e0 = fr.potential_energy + sys.kinetic_energy();
+  for (int s = 0; s < 200; ++s) fr = vv.step(sys);
+  const double e1 = fr.potential_energy + sys.kinetic_energy();
+  EXPECT_NEAR(e1, e0, 0.01 * std::abs(e0));
+}
+
+TEST(Thermostats, ExplicitKindOverridesTauHeuristic) {
+  // thermostat = kLangevin wins even with tau set.
+  System sys = liquid(7, 2.0);
+  IntegratorParams p = langevin(0.5, 10.0);
+  p.thermostat_tau = 0.1;  // would select Berendsen if kind were kNone
+  VelocityVerlet vv(LjParams{}, p);
+  (void)vv.initialize(sys);
+  for (int s = 0; s < 800; ++s) (void)vv.step(sys);
+  EXPECT_NEAR(sys.temperature(), 0.5, 0.15);
+}
+
+}  // namespace
+}  // namespace wfe::md

@@ -1,0 +1,157 @@
+// Lennard-Jones force/energy correctness.
+#include "mdsim/lj.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::md {
+namespace {
+
+/// Two particles separated by `r` along x in a big box.
+System dimer(double r, double box = 50.0) {
+  System sys(2, box);
+  sys.positions()[0] = Vec3{10.0, 10.0, 10.0};
+  sys.positions()[1] = Vec3{10.0 + r, 10.0, 10.0};
+  return sys;
+}
+
+TEST(Lj, RejectsBadParameters) {
+  System sys = dimer(1.0);
+  LjParams p;
+  p.epsilon = 0.0;
+  EXPECT_THROW((void)compute_lj_forces(sys, p), InvalidArgument);
+}
+
+TEST(Lj, PotentialMinimumAtTwoToTheOneSixth) {
+  const LjParams p;
+  const double rmin = std::pow(2.0, 1.0 / 6.0);
+  const double at_min = lj_pair_energy(rmin * rmin, p);
+  // Near the minimum the curve is flat and higher on both sides.
+  EXPECT_LT(at_min, lj_pair_energy((rmin * 0.99) * (rmin * 0.99), p));
+  EXPECT_LT(at_min, lj_pair_energy((rmin * 1.01) * (rmin * 1.01), p));
+}
+
+TEST(Lj, ShiftedPotentialZeroAtCutoff) {
+  const LjParams p;
+  EXPECT_DOUBLE_EQ(lj_pair_energy(p.cutoff * p.cutoff, p), 0.0);
+  EXPECT_DOUBLE_EQ(lj_pair_energy(9.0, p), 0.0);  // beyond cutoff
+}
+
+TEST(Lj, PairEnergyAtSigmaIsShiftOnly) {
+  // Unshifted U(sigma) = 0, so shifted value equals -U(rc).
+  const LjParams p;
+  const double rc2 = p.cutoff * p.cutoff;
+  const double s6 = 1.0 / std::pow(rc2, 3);
+  const double u_rc = 4.0 * (s6 * s6 - s6);
+  EXPECT_NEAR(lj_pair_energy(1.0, p), -u_rc, 1e-12);
+}
+
+TEST(Lj, ForceAtMinimumIsZero) {
+  const double rmin = std::pow(2.0, 1.0 / 6.0);
+  System sys = dimer(rmin);
+  const ForceResult fr = compute_lj_forces(sys, LjParams{});
+  EXPECT_NEAR(sys.forces()[0].x, 0.0, 1e-10);
+  EXPECT_EQ(fr.pair_interactions, 1u);
+}
+
+TEST(Lj, RepulsiveInsideMinimum) {
+  System sys = dimer(1.0);
+  (void)compute_lj_forces(sys, LjParams{});
+  EXPECT_LT(sys.forces()[0].x, 0.0);  // pushed away (toward smaller x)
+  EXPECT_GT(sys.forces()[1].x, 0.0);
+}
+
+TEST(Lj, AttractiveOutsideMinimum) {
+  System sys = dimer(1.5);
+  (void)compute_lj_forces(sys, LjParams{});
+  EXPECT_GT(sys.forces()[0].x, 0.0);  // pulled together
+  EXPECT_LT(sys.forces()[1].x, 0.0);
+}
+
+TEST(Lj, NewtonsThirdLawPairwise) {
+  System sys = dimer(1.3);
+  (void)compute_lj_forces(sys, LjParams{});
+  EXPECT_DOUBLE_EQ(sys.forces()[0].x, -sys.forces()[1].x);
+  EXPECT_DOUBLE_EQ(sys.forces()[0].y, -sys.forces()[1].y);
+  EXPECT_DOUBLE_EQ(sys.forces()[0].z, -sys.forces()[1].z);
+}
+
+TEST(Lj, TotalForceIsZeroInBulk) {
+  Xoshiro256 rng(5);
+  System sys = System::fcc_lattice(3, 0.8442, 0.0, rng);
+  (void)compute_lj_forces(sys, LjParams{});
+  Vec3 total;
+  for (const Vec3& f : sys.forces()) total += f;
+  EXPECT_NEAR(total.x, 0.0, 1e-9);
+  EXPECT_NEAR(total.y, 0.0, 1e-9);
+  EXPECT_NEAR(total.z, 0.0, 1e-9);
+}
+
+TEST(Lj, NoInteractionBeyondCutoff) {
+  System sys = dimer(3.0);  // beyond the 2.5 cutoff
+  const ForceResult fr = compute_lj_forces(sys, LjParams{});
+  EXPECT_EQ(fr.pair_interactions, 0u);
+  EXPECT_EQ(fr.potential_energy, 0.0);
+  EXPECT_EQ(sys.forces()[0].x, 0.0);
+}
+
+TEST(Lj, ForceMatchesNumericalGradient) {
+  const LjParams p;
+  for (double r : {1.05, 1.2, 1.5, 2.0, 2.4}) {
+    System sys = dimer(r);
+    (void)compute_lj_forces(sys, p);
+    const double fx = sys.forces()[1].x;
+    const double h = 1e-6;
+    const double up = lj_pair_energy((r + h) * (r + h), p);
+    const double dn = lj_pair_energy((r - h) * (r - h), p);
+    const double numeric = -(up - dn) / (2.0 * h);
+    EXPECT_NEAR(fx, numeric, 1e-4 * std::max(1.0, std::abs(numeric)))
+        << "at r = " << r;
+  }
+}
+
+TEST(Lj, VirialSignTracksForceDirection) {
+  // Repulsive pair -> positive virial; attractive pair -> negative.
+  System rep = dimer(1.0);
+  EXPECT_GT(compute_lj_forces(rep, LjParams{}).virial, 0.0);
+  System att = dimer(1.5);
+  EXPECT_LT(compute_lj_forces(att, LjParams{}).virial, 0.0);
+}
+
+TEST(Lj, PeriodicImagesInteractAcrossBoundary) {
+  System sys(2, 10.0);
+  sys.positions()[0] = Vec3{0.2, 5.0, 5.0};
+  sys.positions()[1] = Vec3{9.6, 5.0, 5.0};  // distance 0.6 through the wall
+  const ForceResult fr = compute_lj_forces(sys, LjParams{});
+  EXPECT_EQ(fr.pair_interactions, 1u);
+  EXPECT_GT(fr.potential_energy, 0.0);  // strongly repulsive at 0.6 sigma
+}
+
+TEST(Lj, PressurePositiveInCompressedFluid) {
+  Xoshiro256 rng(6);
+  System sys = System::fcc_lattice(3, 1.2, 1.0, rng);  // dense
+  const ForceResult fr = compute_lj_forces(sys, LjParams{});
+  EXPECT_GT(pressure(sys, fr.virial), 0.0);
+}
+
+TEST(Lj, EnergyAgreesWithPairSum) {
+  Xoshiro256 rng(7);
+  System sys = System::fcc_lattice(2, 0.8, 0.0, rng);
+  const LjParams p;
+  const ForceResult fr = compute_lj_forces(sys, p);
+  double manual = 0.0;
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      manual += lj_pair_energy(
+          sys.min_image(sys.positions()[i], sys.positions()[j]).norm2(), p);
+    }
+  }
+  EXPECT_NEAR(fr.potential_energy, manual, 1e-9 * std::abs(manual));
+}
+
+}  // namespace
+}  // namespace wfe::md

@@ -1,0 +1,161 @@
+// Tests for the particle-system state.
+#include "mdsim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::md {
+namespace {
+
+TEST(System, RejectsEmptySystem) {
+  EXPECT_THROW(System(0, 1.0), InvalidArgument);
+  EXPECT_THROW(System(4, 0.0), InvalidArgument);
+}
+
+TEST(System, FccLatticeHasFourAtomsPerCell) {
+  Xoshiro256 rng(1);
+  const System sys = System::fcc_lattice(3, 0.8, 1.0, rng);
+  EXPECT_EQ(sys.size(), 4u * 27u);
+}
+
+TEST(System, FccLatticeMatchesDensity) {
+  Xoshiro256 rng(2);
+  const System sys = System::fcc_lattice(4, 0.8442, 1.0, rng);
+  const double volume = std::pow(sys.box_length(), 3);
+  EXPECT_NEAR(static_cast<double>(sys.size()) / volume, 0.8442, 1e-12);
+}
+
+TEST(System, FccPositionsInsideBox) {
+  Xoshiro256 rng(3);
+  const System sys = System::fcc_lattice(3, 0.9, 1.0, rng);
+  for (const Vec3& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box_length());
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, sys.box_length());
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, sys.box_length());
+  }
+}
+
+TEST(System, FccNoOverlappingAtoms) {
+  Xoshiro256 rng(4);
+  const System sys = System::fcc_lattice(2, 0.8, 1.0, rng);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    for (std::size_t j = i + 1; j < sys.size(); ++j) {
+      const Vec3 d = sys.min_image(sys.positions()[i], sys.positions()[j]);
+      EXPECT_GT(d.norm2(), 0.1);
+    }
+  }
+}
+
+TEST(System, InitialVelocitiesHaveNoDrift) {
+  Xoshiro256 rng(5);
+  const System sys = System::fcc_lattice(3, 0.8, 1.5, rng);
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-10);
+  EXPECT_NEAR(p.y, 0.0, 1e-10);
+  EXPECT_NEAR(p.z, 0.0, 1e-10);
+}
+
+TEST(System, InitialTemperatureNearTarget) {
+  Xoshiro256 rng(6);
+  const System sys = System::fcc_lattice(5, 0.8, 1.2, rng);  // 500 atoms
+  EXPECT_NEAR(sys.temperature(), 1.2, 0.15);
+}
+
+TEST(System, ZeroTemperatureMeansZeroVelocities) {
+  Xoshiro256 rng(7);
+  const System sys = System::fcc_lattice(2, 0.8, 0.0, rng);
+  EXPECT_EQ(sys.kinetic_energy(), 0.0);
+  EXPECT_EQ(sys.temperature(), 0.0);
+}
+
+TEST(System, MinImageShorterThanHalfBoxDiagonal) {
+  Xoshiro256 rng(8);
+  const System sys = System::fcc_lattice(3, 0.8, 1.0, rng);
+  const double half = sys.box_length() / 2.0;
+  for (std::size_t i = 1; i < sys.size(); i += 7) {
+    const Vec3 d = sys.min_image(sys.positions()[0], sys.positions()[i]);
+    EXPECT_LE(std::abs(d.x), half + 1e-12);
+    EXPECT_LE(std::abs(d.y), half + 1e-12);
+    EXPECT_LE(std::abs(d.z), half + 1e-12);
+  }
+}
+
+TEST(System, MinImageOfPeriodicImagesIsZero) {
+  System sys(1, 10.0);
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{11.0, -8.0, 13.0};  // same point shifted by +-L
+  const Vec3 d = sys.min_image(a, b);
+  EXPECT_NEAR(d.x, 0.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+  EXPECT_NEAR(d.z, 0.0, 1e-12);
+}
+
+TEST(System, WrapBringsPositionsIntoBox) {
+  System sys(2, 5.0);
+  sys.positions()[0] = Vec3{-1.0, 6.0, 12.5};
+  sys.positions()[1] = Vec3{4.999, 0.0, -0.001};
+  sys.wrap();
+  for (const Vec3& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 5.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 5.0);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, 5.0);
+  }
+}
+
+TEST(System, RemoveDriftZerosMomentum) {
+  System sys(3, 5.0);
+  sys.velocities()[0] = Vec3{1.0, 0.0, 0.0};
+  sys.velocities()[1] = Vec3{2.0, -1.0, 3.0};
+  sys.velocities()[2] = Vec3{0.0, 0.5, -1.0};
+  sys.remove_drift();
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  EXPECT_NEAR(p.z, 0.0, 1e-12);
+}
+
+TEST(System, FlattenPositionsLayout) {
+  System sys(2, 5.0);
+  sys.positions()[0] = Vec3{1.0, 2.0, 3.0};
+  sys.positions()[1] = Vec3{4.0, 5.0, 6.0};
+  EXPECT_EQ(sys.flatten_positions(),
+            (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(System, KineticEnergyFormula) {
+  System sys(1, 5.0);
+  sys.velocities()[0] = Vec3{3.0, 0.0, 4.0};  // |v|^2 = 25
+  EXPECT_DOUBLE_EQ(sys.kinetic_energy(), 12.5);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+  EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 14.0);
+}
+
+TEST(System, DeterministicGivenSeed) {
+  Xoshiro256 rng1(99), rng2(99);
+  const System a = System::fcc_lattice(3, 0.8, 1.0, rng1);
+  const System b = System::fcc_lattice(3, 0.8, 1.0, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.velocities()[i].x, b.velocities()[i].x);
+  }
+}
+
+}  // namespace
+}  // namespace wfe::md

@@ -1,0 +1,162 @@
+// Steady-state extraction tests: warm-up trimming and robust estimation.
+#include "metrics/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::met {
+namespace {
+
+using core::StageKind;
+
+/// A component whose stage of `kind` lasts warmup_value for the first
+/// `warmup` steps and steady_value afterwards.
+Trace synthetic_trace(ComponentId id, StageKind kind, int steps,
+                      int warmup_steps, double warmup_value,
+                      double steady_value) {
+  std::vector<StageRecord> records;
+  double t = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    const double d = s < warmup_steps ? warmup_value : steady_value;
+    records.push_back({id, static_cast<std::uint64_t>(s), kind, t, t + d, {}});
+    t += d;
+  }
+  return Trace(std::move(records));
+}
+
+TEST(SteadyState, MedianIgnoresWarmup) {
+  const Trace t =
+      synthetic_trace({0, -1}, StageKind::kSimulate, 20, 3, 50.0, 10.0);
+  SteadyStateOptions opt;
+  opt.warmup_fraction = 0.2;
+  EXPECT_DOUBLE_EQ(steady_stage_duration(t, {0, -1}, StageKind::kSimulate, opt),
+                   10.0);
+}
+
+TEST(SteadyState, MeanOptionAverages) {
+  // After trimming 1 step of warm-up, values are 2, 4 -> mean 3.
+  Trace t = synthetic_trace({0, -1}, StageKind::kWrite, 3, 1, 9.0, 0.0);
+  std::vector<StageRecord> records(t.records().begin(), t.records().end());
+  records[1].end = records[1].start + 2.0;
+  records[2].end = records[2].start + 4.0;
+  const Trace t2(std::move(records));
+  SteadyStateOptions opt;
+  opt.use_mean = true;
+  opt.warmup_fraction = 0.0;
+  opt.min_warmup_steps = 1;
+  EXPECT_DOUBLE_EQ(
+      steady_stage_duration(t2, {0, -1}, StageKind::kWrite, opt), 3.0);
+}
+
+TEST(SteadyState, SingleStepKeepsItsValue) {
+  const Trace t =
+      synthetic_trace({0, -1}, StageKind::kSimulate, 1, 0, 0.0, 7.0);
+  EXPECT_DOUBLE_EQ(
+      steady_stage_duration(t, {0, -1}, StageKind::kSimulate, {}), 7.0);
+}
+
+TEST(SteadyState, MissingStageThrows) {
+  const Trace t =
+      synthetic_trace({0, -1}, StageKind::kSimulate, 5, 0, 1.0, 1.0);
+  EXPECT_THROW(
+      (void)steady_stage_duration(t, {0, -1}, StageKind::kAnalyze, {}),
+      InvalidArgument);
+}
+
+TEST(SteadyState, RejectsBadWarmupFraction) {
+  const Trace t =
+      synthetic_trace({0, -1}, StageKind::kSimulate, 5, 0, 1.0, 1.0);
+  SteadyStateOptions opt;
+  opt.warmup_fraction = 1.0;
+  EXPECT_THROW(
+      (void)steady_stage_duration(t, {0, -1}, StageKind::kSimulate, opt),
+      InvalidArgument);
+}
+
+TEST(SteadyState, SplitStagesWithinAStepAreSummed) {
+  // Two W records for the same step count as one step duration.
+  std::vector<StageRecord> records{
+      {{0, -1}, 0, StageKind::kWrite, 0.0, 1.0, {}},
+      {{0, -1}, 0, StageKind::kWrite, 1.0, 1.5, {}},
+      {{0, -1}, 1, StageKind::kWrite, 2.0, 3.5, {}},
+  };
+  const Trace t(std::move(records));
+  SteadyStateOptions opt;
+  opt.min_warmup_steps = 1;
+  // Warm-up drops step 0; steady W = 1.5.
+  EXPECT_DOUBLE_EQ(steady_stage_duration(t, {0, -1}, StageKind::kWrite, opt),
+                   1.5);
+}
+
+Trace member_trace(double s, double w, std::vector<std::pair<double, double>>
+                                           analyses /* (r, a) */) {
+  std::vector<StageRecord> records;
+  for (int step = 0; step < 6; ++step) {
+    const double base = step * 100.0;
+    records.push_back({{0, -1}, static_cast<std::uint64_t>(step),
+                       StageKind::kSimulate, base, base + s, {}});
+    records.push_back({{0, -1}, static_cast<std::uint64_t>(step),
+                       StageKind::kWrite, base + s, base + s + w, {}});
+    for (std::size_t j = 0; j < analyses.size(); ++j) {
+      const auto [r, a] = analyses[j];
+      records.push_back({{0, static_cast<std::int32_t>(j)},
+                         static_cast<std::uint64_t>(step), StageKind::kRead,
+                         base + s + w, base + s + w + r, {}});
+      records.push_back({{0, static_cast<std::int32_t>(j)},
+                         static_cast<std::uint64_t>(step),
+                         StageKind::kAnalyze, base + s + w + r,
+                         base + s + w + r + a, {}});
+    }
+  }
+  return Trace(std::move(records));
+}
+
+TEST(MemberSteadyState, AssemblesAllStages) {
+  const Trace t = member_trace(10.0, 0.5, {{1.0, 7.0}, {2.0, 8.0}});
+  const core::MemberSteady steady = member_steady_state(t, 0);
+  EXPECT_DOUBLE_EQ(steady.sim.s, 10.0);
+  EXPECT_DOUBLE_EQ(steady.sim.w, 0.5);
+  ASSERT_EQ(steady.analyses.size(), 2u);
+  EXPECT_DOUBLE_EQ(steady.analyses[0].r, 1.0);
+  EXPECT_DOUBLE_EQ(steady.analyses[0].a, 7.0);
+  EXPECT_DOUBLE_EQ(steady.analyses[1].r, 2.0);
+  EXPECT_DOUBLE_EQ(steady.analyses[1].a, 8.0);
+}
+
+TEST(MemberSteadyState, AnalysesOrderedByIndex) {
+  // Build the trace with analysis 1 recorded before analysis 0.
+  std::vector<StageRecord> records;
+  for (int step = 0; step < 4; ++step) {
+    const double base = step * 10.0;
+    records.push_back({{0, -1}, static_cast<std::uint64_t>(step),
+                       StageKind::kSimulate, base, base + 1, {}});
+    records.push_back({{0, -1}, static_cast<std::uint64_t>(step),
+                       StageKind::kWrite, base + 1, base + 1.1, {}});
+    records.push_back({{0, 1}, static_cast<std::uint64_t>(step),
+                       StageKind::kRead, base, base + 0.2, {}});
+    records.push_back({{0, 1}, static_cast<std::uint64_t>(step),
+                       StageKind::kAnalyze, base, base + 5, {}});
+    records.push_back({{0, 0}, static_cast<std::uint64_t>(step),
+                       StageKind::kRead, base, base + 0.1, {}});
+    records.push_back({{0, 0}, static_cast<std::uint64_t>(step),
+                       StageKind::kAnalyze, base, base + 3, {}});
+  }
+  const core::MemberSteady steady = member_steady_state(Trace(records), 0);
+  EXPECT_DOUBLE_EQ(steady.analyses[0].a, 3.0);
+  EXPECT_DOUBLE_EQ(steady.analyses[1].a, 5.0);
+}
+
+TEST(MemberSteadyState, MissingMemberThrows) {
+  const Trace t = member_trace(1.0, 0.1, {{0.1, 0.5}});
+  EXPECT_THROW((void)member_steady_state(t, 7), InvalidArgument);
+}
+
+TEST(MemberSteadyState, MemberWithoutAnalysesThrows) {
+  const Trace t =
+      synthetic_trace({0, -1}, StageKind::kSimulate, 5, 0, 1.0, 1.0);
+  EXPECT_THROW((void)member_steady_state(t, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::met

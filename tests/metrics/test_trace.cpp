@@ -1,0 +1,133 @@
+// Trace container and recorder tests.
+#include "metrics/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace wfe::met {
+namespace {
+
+using core::StageKind;
+
+StageRecord rec(ComponentId id, std::uint64_t step, StageKind kind,
+                double start, double end,
+                plat::HwCounters counters = {}) {
+  return StageRecord{id, step, kind, start, end, counters};
+}
+
+TEST(ComponentId, SimulationVsAnalysis) {
+  EXPECT_TRUE((ComponentId{0, -1}).is_simulation());
+  EXPECT_FALSE((ComponentId{0, 0}).is_simulation());
+  EXPECT_EQ((ComponentId{2, -1}).str(), "sim2");
+  EXPECT_EQ((ComponentId{2, 1}).str(), "ana2.1");
+}
+
+TEST(ComponentId, Ordering) {
+  EXPECT_LT((ComponentId{0, -1}), (ComponentId{0, 0}));
+  EXPECT_LT((ComponentId{0, 1}), (ComponentId{1, -1}));
+}
+
+TEST(TraceRecorder, RejectsNegativeDuration) {
+  TraceRecorder r;
+  EXPECT_THROW(
+      r.record(rec({0, -1}, 0, StageKind::kSimulate, 2.0, 1.0)),
+      InvalidArgument);
+}
+
+TEST(TraceRecorder, TakeLeavesRecorderEmpty) {
+  TraceRecorder r;
+  r.record(rec({0, -1}, 0, StageKind::kSimulate, 0.0, 1.0));
+  EXPECT_EQ(r.take().size(), 1u);
+  EXPECT_TRUE(r.take().empty());
+}
+
+TEST(TraceRecorder, ConcurrentRecordingIsSafe) {
+  TraceRecorder r;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r, t] {
+      for (int i = 0; i < 100; ++i) {
+        r.record(rec({static_cast<std::uint32_t>(t), -1},
+                     static_cast<std::uint64_t>(i), StageKind::kSimulate,
+                     i, i + 0.5));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.take().size(), 400u);
+}
+
+TEST(Trace, SortsByStartTime) {
+  Trace t({rec({0, -1}, 1, StageKind::kSimulate, 5.0, 6.0),
+           rec({0, -1}, 0, StageKind::kSimulate, 1.0, 2.0)});
+  EXPECT_EQ(t.records()[0].step, 0u);
+  EXPECT_EQ(t.records()[1].step, 1u);
+}
+
+TEST(Trace, ComponentsAreSortedUnique) {
+  Trace t({rec({1, 0}, 0, StageKind::kRead, 0, 1),
+           rec({0, -1}, 0, StageKind::kSimulate, 0, 1),
+           rec({1, 0}, 1, StageKind::kRead, 1, 2)});
+  const auto ids = t.components();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], (ComponentId{0, -1}));
+  EXPECT_EQ(ids[1], (ComponentId{1, 0}));
+  EXPECT_EQ(t.members(), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Trace, ForComponentFilters) {
+  Trace t({rec({0, -1}, 0, StageKind::kSimulate, 0, 1),
+           rec({0, 0}, 0, StageKind::kRead, 1, 2),
+           rec({0, -1}, 1, StageKind::kSimulate, 2, 3)});
+  EXPECT_EQ(t.for_component({0, -1}).size(), 2u);
+  EXPECT_EQ(t.for_component({0, 0}).size(), 1u);
+  EXPECT_TRUE(t.for_component({9, -1}).empty());
+}
+
+TEST(Trace, ComponentStartEnd) {
+  Trace t({rec({0, -1}, 0, StageKind::kSimulate, 1.5, 2.0),
+           rec({0, -1}, 1, StageKind::kSimulate, 3.0, 7.25)});
+  EXPECT_DOUBLE_EQ(t.component_start({0, -1}), 1.5);
+  EXPECT_DOUBLE_EQ(t.component_end({0, -1}), 7.25);
+  EXPECT_THROW((void)t.component_start({5, -1}), InvalidArgument);
+}
+
+TEST(Trace, StepCountIsDistinctSteps) {
+  Trace t({rec({0, -1}, 0, StageKind::kSimulate, 0, 1),
+           rec({0, -1}, 0, StageKind::kWrite, 1, 2),
+           rec({0, -1}, 1, StageKind::kSimulate, 2, 3)});
+  EXPECT_EQ(t.step_count({0, -1}), 2u);
+}
+
+TEST(Trace, CountersAggregatePerComponent) {
+  plat::HwCounters c1{100, 200, 10, 1};
+  plat::HwCounters c2{50, 100, 5, 2};
+  Trace t({rec({0, -1}, 0, StageKind::kSimulate, 0, 1, c1),
+           rec({0, -1}, 1, StageKind::kSimulate, 1, 2, c2),
+           rec({0, 0}, 0, StageKind::kAnalyze, 0, 1, c1)});
+  const auto total = t.component_counters({0, -1});
+  EXPECT_DOUBLE_EQ(total.instructions, 150.0);
+  EXPECT_DOUBLE_EQ(total.llc_misses, 3.0);
+}
+
+TEST(Trace, TotalInStageSumsDurations) {
+  Trace t({rec({0, -1}, 0, StageKind::kSimulate, 0, 1),
+           rec({0, -1}, 0, StageKind::kWrite, 1, 1.5),
+           rec({0, -1}, 1, StageKind::kSimulate, 1.5, 3.5)});
+  EXPECT_DOUBLE_EQ(t.total_in_stage({0, -1}, StageKind::kSimulate), 3.0);
+  EXPECT_DOUBLE_EQ(t.total_in_stage({0, -1}, StageKind::kWrite), 0.5);
+  EXPECT_DOUBLE_EQ(t.total_in_stage({0, -1}, StageKind::kRead), 0.0);
+}
+
+TEST(Trace, EmptyTraceBehaviour) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.components().empty());
+  EXPECT_TRUE(t.members().empty());
+}
+
+}  // namespace
+}  // namespace wfe::met

@@ -1,0 +1,95 @@
+// Table 1 metric definitions.
+#include "metrics/traditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::met {
+namespace {
+
+using core::StageKind;
+
+Trace two_member_trace() {
+  // Member 0: sim starts at 1.0, its analysis ends at 11.0 -> makespan 10.
+  // Member 1: sim starts at 0.0, its analysis ends at 14.0 -> makespan 14.
+  std::vector<StageRecord> records{
+      {{0, -1}, 0, StageKind::kSimulate, 1.0, 4.0,
+       plat::HwCounters{1000, 500, 40, 4}},
+      {{0, -1}, 0, StageKind::kWrite, 4.0, 4.5, {}},
+      {{0, 0}, 0, StageKind::kRead, 4.5, 5.0, {}},
+      {{0, 0}, 0, StageKind::kAnalyze, 5.0, 11.0,
+       plat::HwCounters{2000, 4000, 400, 80}},
+      {{1, -1}, 0, StageKind::kSimulate, 0.0, 6.0,
+       plat::HwCounters{3000, 1500, 120, 6}},
+      {{1, 0}, 0, StageKind::kAnalyze, 6.0, 14.0,
+       plat::HwCounters{1000, 2500, 150, 45}},
+  };
+  return Trace(std::move(records));
+}
+
+TEST(Traditional, ComponentExecutionTimeSpansAllStages) {
+  const Trace t = two_member_trace();
+  const ComponentMetrics m = component_metrics(t, {0, -1});
+  EXPECT_DOUBLE_EQ(m.execution_time, 3.5);  // 1.0 .. 4.5
+}
+
+TEST(Traditional, ComponentRatiosMatchTable1Definitions) {
+  const Trace t = two_member_trace();
+  const ComponentMetrics sim = component_metrics(t, {0, -1});
+  EXPECT_DOUBLE_EQ(sim.llc_miss_ratio, 4.0 / 40.0);
+  EXPECT_DOUBLE_EQ(sim.memory_intensity, 4.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(sim.ipc, 1000.0 / 500.0);
+
+  const ComponentMetrics ana = component_metrics(t, {0, 0});
+  EXPECT_DOUBLE_EQ(ana.llc_miss_ratio, 80.0 / 400.0);
+  EXPECT_DOUBLE_EQ(ana.memory_intensity, 80.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(ana.ipc, 0.5);
+}
+
+TEST(Traditional, AnalysesAreMoreMemoryIntensive) {
+  // The paper's §2.3 premise, encoded in the synthetic counters.
+  const Trace t = two_member_trace();
+  EXPECT_GT(component_metrics(t, {0, 0}).memory_intensity,
+            component_metrics(t, {0, -1}).memory_intensity);
+}
+
+TEST(Traditional, AllComponentMetricsEnumeratesEverything) {
+  const auto all = all_component_metrics(two_member_trace());
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].component, (ComponentId{0, -1}));
+  EXPECT_EQ(all[3].component, (ComponentId{1, 0}));
+}
+
+TEST(Traditional, MemberMakespanIsSimStartToLatestAnalysisEnd) {
+  const Trace t = two_member_trace();
+  EXPECT_DOUBLE_EQ(member_makespan(t, 0), 10.0);
+  EXPECT_DOUBLE_EQ(member_makespan(t, 1), 14.0);
+}
+
+TEST(Traditional, MemberMakespanUsesLatestAnalysisAmongSeveral) {
+  std::vector<StageRecord> records{
+      {{0, -1}, 0, StageKind::kSimulate, 2.0, 3.0, {}},
+      {{0, 0}, 0, StageKind::kAnalyze, 3.0, 5.0, {}},
+      {{0, 1}, 0, StageKind::kAnalyze, 3.0, 9.0, {}},
+  };
+  EXPECT_DOUBLE_EQ(member_makespan(Trace(records), 0), 7.0);
+}
+
+TEST(Traditional, EnsembleMakespanIsMaxOverMembers) {
+  EXPECT_DOUBLE_EQ(ensemble_makespan(two_member_trace()), 14.0);
+}
+
+TEST(Traditional, MemberWithoutAnalysisThrows) {
+  std::vector<StageRecord> records{
+      {{0, -1}, 0, StageKind::kSimulate, 0.0, 1.0, {}},
+  };
+  EXPECT_THROW((void)member_makespan(Trace(records), 0), InvalidArgument);
+}
+
+TEST(Traditional, EmptyTraceThrows) {
+  EXPECT_THROW((void)ensemble_makespan(Trace{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::met

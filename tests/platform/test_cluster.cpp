@@ -1,0 +1,119 @@
+// Tests for the stateful cluster registry.
+#include "platform/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+namespace {
+
+PlatformSpec spec(int nodes = 4) {
+  PlatformSpec s;
+  s.node_count = nodes;
+  return s;
+}
+
+ComputeProfile profile(double ws = 50e6) {
+  ComputeProfile p;
+  p.instructions = 1e9;
+  p.working_set_bytes = ws;
+  return p;
+}
+
+TEST(Cluster, ValidatesSpecOnConstruction) {
+  PlatformSpec bad = spec();
+  bad.node_count = 0;
+  EXPECT_THROW(Cluster{bad}, SpecError);
+}
+
+TEST(Cluster, NodeCountExposed) {
+  Cluster c(spec(6));
+  EXPECT_EQ(c.node_count(), 6);
+}
+
+TEST(Cluster, RejectsOutOfRangeNode) {
+  Cluster c(spec(2));
+  EXPECT_THROW((void)c.stage_cost(2, profile(), 1), InvalidArgument);
+  EXPECT_THROW((void)c.begin_compute(-1, profile(), 1), InvalidArgument);
+  EXPECT_THROW((void)c.active_count(5), InvalidArgument);
+}
+
+TEST(Cluster, BeginEndTracksActiveCount) {
+  Cluster c(spec());
+  EXPECT_EQ(c.active_count(0), 0u);
+  const auto h1 = c.begin_compute(0, profile(), 8);
+  const auto h2 = c.begin_compute(0, profile(), 4);
+  EXPECT_EQ(c.active_count(0), 2u);
+  EXPECT_EQ(c.active_cores(0), 12);
+  c.end_compute(h1);
+  EXPECT_EQ(c.active_count(0), 1u);
+  EXPECT_EQ(c.active_cores(0), 4);
+  c.end_compute(h2);
+  EXPECT_EQ(c.active_count(0), 0u);
+}
+
+TEST(Cluster, EndUnknownHandleThrows) {
+  Cluster c(spec());
+  EXPECT_THROW(c.end_compute(999), InvalidArgument);
+}
+
+TEST(Cluster, EndTwiceThrows) {
+  Cluster c(spec());
+  const auto h = c.begin_compute(0, profile(), 1);
+  c.end_compute(h);
+  EXPECT_THROW(c.end_compute(h), InvalidArgument);
+}
+
+TEST(Cluster, StageCostSeesCoLocatedCompetitors) {
+  Cluster c(spec());
+  const StageCost alone = c.stage_cost(0, profile(), 8);
+  c.begin_compute(0, profile(100e6), 8);
+  const StageCost shared = c.stage_cost(0, profile(), 8);
+  EXPECT_GT(shared.seconds, alone.seconds);
+}
+
+TEST(Cluster, StageCostIgnoresOtherNodes) {
+  Cluster c(spec());
+  const StageCost alone = c.stage_cost(0, profile(), 8);
+  c.begin_compute(1, profile(100e6), 8);
+  const StageCost still_alone = c.stage_cost(0, profile(), 8);
+  EXPECT_DOUBLE_EQ(alone.seconds, still_alone.seconds);
+}
+
+TEST(Cluster, StageCostExcludingSelfResidency) {
+  Cluster c(spec());
+  const auto self = c.begin_compute(0, profile(200e6), 8);
+  // Excluding the residency handle prices as if the node were empty.
+  const StageCost excl = c.stage_cost_excluding(0, profile(), 8, self);
+  EXPECT_DOUBLE_EQ(excl.slowdown, 1.0);
+  // Not excluding it prices against the own registered working set.
+  const StageCost incl = c.stage_cost(0, profile(), 8);
+  EXPECT_GT(incl.seconds, excl.seconds);
+}
+
+TEST(Cluster, TransferLocalUsesCopyBandwidth) {
+  Cluster c(spec());
+  const double bytes = 1e9;
+  EXPECT_DOUBLE_EQ(c.transfer_time(2, 2, bytes),
+                   bytes / c.spec().node.copy_bw_bytes_per_s);
+}
+
+TEST(Cluster, TransferRemoteCostsMoreThanLocal) {
+  Cluster c(spec());
+  const double bytes = 10e6;
+  EXPECT_GT(c.transfer_time(0, 1, bytes), c.transfer_time(0, 0, bytes));
+}
+
+TEST(Cluster, OversubscriptionDetection) {
+  PlatformSpec s = spec();
+  s.node.cores = 16;
+  Cluster c(s);
+  c.begin_compute(0, profile(), 12);
+  EXPECT_FALSE(c.would_oversubscribe(0, 4));
+  EXPECT_TRUE(c.would_oversubscribe(0, 5));
+  EXPECT_FALSE(c.would_oversubscribe(1, 16));
+}
+
+}  // namespace
+}  // namespace wfe::plat

@@ -1,0 +1,67 @@
+// Cross-node penalty spec validation and bandwidth-saturation behaviour.
+#include <gtest/gtest.h>
+
+#include "platform/interference.hpp"
+#include "platform/spec.hpp"
+#include "support/error.hpp"
+
+namespace wfe::plat {
+namespace {
+
+TEST(CrossNode, RejectsNegativePenalty) {
+  PlatformSpec s;
+  s.interconnect.cross_node_compute_penalty = -0.1;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(CrossNode, ZeroAndPositivePenaltiesValidate) {
+  PlatformSpec s;
+  s.interconnect.cross_node_compute_penalty = 0.0;
+  EXPECT_NO_THROW(s.validate());
+  s.interconnect.cross_node_compute_penalty = 0.5;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(BandwidthSaturation, ManyHungryNeighborsStretchStalls) {
+  // Stack enough memory-hungry competitors and the aggregate miss traffic
+  // exceeds the node bandwidth, so the stall term stretches beyond what
+  // cache pressure alone explains.
+  PlatformSpec s;
+  s.node.mem_bw_bytes_per_s = 2.0e9;  // tiny bandwidth to force saturation
+  ComputeProfile hungry;
+  hungry.instructions = 1e9;
+  hungry.base_ipc = 1.5;
+  hungry.llc_refs_per_instr = 0.2;
+  hungry.base_miss_ratio = 0.3;
+  hungry.working_set_bytes = 200e6;
+  hungry.cache_sensitivity = 0.5;
+  hungry.parallel_fraction = 0.9;
+
+  std::vector<ActiveStage> crowd;
+  for (int i = 0; i < 3; ++i) crowd.push_back({hungry, 8});
+
+  PlatformSpec roomy = s;
+  roomy.node.mem_bw_bytes_per_s = 2.0e12;  // effectively infinite
+
+  const StageCost saturated = compute_stage_cost(s, hungry, 8, crowd);
+  const StageCost unsaturated = compute_stage_cost(roomy, hungry, 8, crowd);
+  EXPECT_GT(saturated.seconds, 1.5 * unsaturated.seconds);
+  // Same cache state in both (bandwidth does not change miss ratios).
+  EXPECT_DOUBLE_EQ(saturated.effective_miss_ratio,
+                   unsaturated.effective_miss_ratio);
+}
+
+TEST(BandwidthSaturation, SoloComputeBoundStageUnaffected) {
+  PlatformSpec s;
+  s.node.mem_bw_bytes_per_s = 2.0e9;
+  ComputeProfile lean;
+  lean.instructions = 1e9;
+  lean.llc_refs_per_instr = 0.001;
+  lean.base_miss_ratio = 0.02;
+  lean.working_set_bytes = 1e6;
+  const StageCost c = compute_stage_cost(s, lean, 4, {});
+  EXPECT_DOUBLE_EQ(c.slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace wfe::plat

@@ -1,0 +1,80 @@
+// Validation tests for PlatformSpec.
+#include "platform/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+namespace {
+
+PlatformSpec valid() { return PlatformSpec{}; }
+
+TEST(PlatformSpec, DefaultIsValid) { EXPECT_NO_THROW(valid().validate()); }
+
+TEST(PlatformSpec, RejectsZeroNodes) {
+  PlatformSpec s = valid();
+  s.node_count = 0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsZeroCores) {
+  PlatformSpec s = valid();
+  s.node.cores = 0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsNonPositiveFrequency) {
+  PlatformSpec s = valid();
+  s.node.core_freq_hz = 0.0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsNonPositiveLlc) {
+  PlatformSpec s = valid();
+  s.node.llc_bytes = -1.0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsNegativeMissPenalty) {
+  PlatformSpec s = valid();
+  s.node.llc_miss_penalty_cycles = -1.0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsBadStreamEfficiency) {
+  PlatformSpec s = valid();
+  s.interconnect.stream_efficiency = 0.0;
+  EXPECT_THROW(s.validate(), SpecError);
+  s.interconnect.stream_efficiency = 1.5;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsBadHopCounts) {
+  PlatformSpec s = valid();
+  s.interconnect.intra_group_hops = 0;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsNegativeStagingOverheads) {
+  PlatformSpec s = valid();
+  s.staging.write_overhead_s = -1e-6;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, RejectsBadMaxMissRatio) {
+  PlatformSpec s = valid();
+  s.interference.max_miss_ratio = 0.0;
+  EXPECT_THROW(s.validate(), SpecError);
+  s.interference.max_miss_ratio = 1.1;
+  EXPECT_THROW(s.validate(), SpecError);
+}
+
+TEST(PlatformSpec, AcceptsDisabledInterference) {
+  PlatformSpec s = valid();
+  s.interference.enabled = false;
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace wfe::plat

@@ -1,0 +1,104 @@
+// Tests for the dragonfly-inspired topology and transfer-time model.
+#include "platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+namespace {
+
+InterconnectSpec net() {
+  InterconnectSpec n;
+  n.group_size = 4;
+  n.intra_group_hops = 2;
+  n.inter_group_hops = 5;
+  n.latency_per_hop_s = 1e-6;
+  n.link_bw_bytes_per_s = 10e9;
+  n.per_message_overhead_s = 10e-6;
+  n.message_bytes = 1024 * 1024;
+  n.stream_efficiency = 0.5;
+  return n;
+}
+
+TEST(Topology, SameNodeIsZeroHops) { EXPECT_EQ(hop_count(net(), 3, 3), 0); }
+
+TEST(Topology, IntraGroupHops) {
+  EXPECT_EQ(hop_count(net(), 0, 3), 2);  // nodes 0..3 share group 0
+  EXPECT_EQ(hop_count(net(), 5, 6), 2);  // nodes 4..7 share group 1
+}
+
+TEST(Topology, InterGroupHops) {
+  EXPECT_EQ(hop_count(net(), 0, 4), 5);
+  EXPECT_EQ(hop_count(net(), 3, 12), 5);
+}
+
+TEST(Topology, HopCountIsSymmetric) {
+  EXPECT_EQ(hop_count(net(), 1, 9), hop_count(net(), 9, 1));
+}
+
+TEST(Topology, RejectsNegativeNodes) {
+  EXPECT_THROW((void)hop_count(net(), -1, 0), InvalidArgument);
+}
+
+TEST(Transfer, RejectsSameNode) {
+  EXPECT_THROW((void)network_transfer_time(net(), 2, 2, 100.0),
+               InvalidArgument);
+}
+
+TEST(Transfer, RejectsNegativeBytes) {
+  EXPECT_THROW((void)network_transfer_time(net(), 0, 1, -1.0),
+               InvalidArgument);
+}
+
+TEST(Transfer, ZeroBytesCostsOnlyLatency) {
+  const double t = network_transfer_time(net(), 0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(t, 2 * 1e-6);
+}
+
+TEST(Transfer, MonotoneInSize) {
+  double prev = 0.0;
+  for (double bytes : {1e3, 1e5, 1e6, 1e7, 1e8}) {
+    const double t = network_transfer_time(net(), 0, 1, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Transfer, InterGroupCostsMoreThanIntraGroup) {
+  EXPECT_GT(network_transfer_time(net(), 0, 4, 1e6),
+            network_transfer_time(net(), 0, 1, 1e6));
+}
+
+TEST(Transfer, PerMessageOverheadCountsBlocks) {
+  // 2.5 MiB at 1 MiB blocks -> 3 messages.
+  const double bytes = 2.5 * 1024 * 1024;
+  const double t = network_transfer_time(net(), 0, 1, bytes);
+  const double expected =
+      2e-6 + 3 * 10e-6 + bytes / (10e9 * 0.5);
+  EXPECT_DOUBLE_EQ(t, expected);
+}
+
+TEST(Transfer, LocalCopyUsesCopyBandwidth) {
+  NodeSpec node;
+  node.copy_bw_bytes_per_s = 4e9;
+  EXPECT_DOUBLE_EQ(local_copy_time(node, 8e9), 2.0);
+  EXPECT_DOUBLE_EQ(local_copy_time(node, 0.0), 0.0);
+}
+
+TEST(Transfer, LocalCopyRejectsNegativeBytes) {
+  NodeSpec node;
+  EXPECT_THROW((void)local_copy_time(node, -5.0), InvalidArgument);
+}
+
+TEST(Transfer, RemoteIsSlowerThanLocalForStagingScales) {
+  // The data-locality premise of in-memory staging: fetching a frame
+  // across the network costs more than copying it within the node.
+  NodeSpec node;
+  const double frame = 10e6;
+  EXPECT_GT(network_transfer_time(net(), 0, 1, frame),
+            local_copy_time(node, frame));
+}
+
+}  // namespace
+}  // namespace wfe::plat

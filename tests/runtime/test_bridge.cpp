@@ -1,0 +1,68 @@
+// The trace -> model bridge (assess).
+#include "runtime/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/efficiency.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/error.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+TEST(Assess, RejectsEmptyTrace) {
+  const auto cfg = wl::paper_config("Cc");
+  ExecutionResult empty;
+  EXPECT_THROW((void)assess(cfg.spec, empty), InvalidArgument);
+}
+
+TEST(Assess, RejectsMemberCountMismatch) {
+  const auto one = wl::paper_config("Cc");    // 1 member
+  const auto two = wl::paper_config("C1.5");  // 2 members
+  SimulatedExecutor exec(wl::cori_like_platform());
+  const ExecutionResult result = exec.run(one.spec);
+  EXPECT_THROW((void)assess(two.spec, result), InvalidArgument);
+}
+
+TEST(Assess, MemberFieldsAreConsistent) {
+  const auto cfg = wl::paper_config("C1.5");
+  SimulatedExecutor exec(wl::cori_like_platform());
+  const ExecutionResult result = exec.run(cfg.spec);
+  const Assessment a = assess(cfg.spec, result);
+
+  ASSERT_EQ(a.members.size(), 2u);
+  for (const auto& m : a.members) {
+    EXPECT_DOUBLE_EQ(m.efficiency, core::computational_efficiency(m.steady));
+    EXPECT_DOUBLE_EQ(m.sigma, core::non_overlapped_segment(m.steady));
+    EXPECT_DOUBLE_EQ(m.makespan_model,
+                     static_cast<double>(result.n_steps) * m.sigma);
+  }
+  EXPECT_EQ(a.total_nodes, 2);
+  EXPECT_GE(a.ensemble_makespan_measured, a.members[0].makespan_measured);
+}
+
+TEST(Assess, IndicatorsComeFromTheModel) {
+  const auto cfg = wl::paper_config("Cc");
+  SimulatedExecutor exec(wl::cori_like_platform());
+  const Assessment a = assess(cfg.spec, exec.run(cfg.spec));
+  const auto p = a.member_indicators(core::IndicatorKind::kU);
+  ASSERT_EQ(p.size(), 1u);
+  // c = 24 cores, fully co-located.
+  EXPECT_DOUBLE_EQ(p[0], a.members[0].efficiency / 24.0);
+  EXPECT_DOUBLE_EQ(a.objective(core::IndicatorKind::kU), p[0]);
+}
+
+TEST(Assess, UsesGlobalNodeCountForM) {
+  const auto cfg = wl::paper_config("C1.1");  // M = 3
+  SimulatedExecutor exec(wl::cori_like_platform());
+  const Assessment a = assess(cfg.spec, exec.run(cfg.spec));
+  EXPECT_EQ(a.total_nodes, 3);
+  const auto up = a.member_indicators(core::IndicatorKind::kUP);
+  const auto u = a.member_indicators(core::IndicatorKind::kU);
+  EXPECT_DOUBLE_EQ(up[0], u[0] / 3.0);
+}
+
+}  // namespace
+}  // namespace wfe::rt

@@ -1,0 +1,147 @@
+// The stochastic-jitter mode of the simulated executor.
+#include <gtest/gtest.h>
+
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+
+#include "metrics/traditional.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+EnsembleSpec probe_spec() {
+  auto cfg = wl::paper_config("C1.5");
+  cfg.spec.n_steps = 8;
+  return cfg.spec;
+}
+
+TEST(Jitter, RejectsNegativeCv) {
+  SimulatedOptions opt;
+  opt.jitter_cv = -0.1;
+  EXPECT_THROW(SimulatedExecutor(wl::cori_like_platform(), opt),
+               InvalidArgument);
+}
+
+TEST(Jitter, ZeroCvMatchesDefaultExecutorExactly) {
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.0;
+  opt.seed = 999;  // must be irrelevant at cv = 0
+  SimulatedExecutor base(wl::cori_like_platform());
+  SimulatedExecutor zero(wl::cori_like_platform(), opt);
+  const auto a = base.run(probe_spec()).trace;
+  const auto b = zero.run(probe_spec()).trace;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].end, b.records()[i].end);
+  }
+}
+
+TEST(Jitter, DeterministicGivenSeed) {
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.05;
+  opt.seed = 7;
+  SimulatedExecutor x(wl::cori_like_platform(), opt);
+  SimulatedExecutor y(wl::cori_like_platform(), opt);
+  const auto a = x.run(probe_spec()).trace;
+  const auto b = y.run(probe_spec()).trace;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i].end, b.records()[i].end);
+  }
+}
+
+TEST(Jitter, DifferentSeedsDiverge) {
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.05;
+  opt.seed = 1;
+  SimulatedExecutor x(wl::cori_like_platform(), opt);
+  opt.seed = 2;
+  SimulatedExecutor y(wl::cori_like_platform(), opt);
+  EXPECT_NE(met::ensemble_makespan(x.run(probe_spec()).trace),
+            met::ensemble_makespan(y.run(probe_spec()).trace));
+}
+
+TEST(Jitter, StageDurationsVaryWithRoughlyTheRequestedCv) {
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.10;
+  opt.seed = 5;
+  SimulatedExecutor exec(wl::cori_like_platform(), opt);
+  auto spec = probe_spec();
+  spec.n_steps = 40;
+  const auto trace = exec.run(spec).trace;
+  std::vector<double> s_durations;
+  for (const auto& r : trace.records()) {
+    if (r.component == met::ComponentId{0, -1} &&
+        r.kind == core::StageKind::kSimulate) {
+      s_durations.push_back(r.duration());
+    }
+  }
+  ASSERT_EQ(s_durations.size(), 40u);
+  const Summary s = summarize(s_durations);
+  EXPECT_GT(s.stddev / s.mean, 0.05);
+  EXPECT_LT(s.stddev / s.mean, 0.20);
+}
+
+TEST(Jitter, MeanStaysNearTheDeterministicValue) {
+  // The noise is mean-preserving, so the average simulate-stage duration
+  // across many steps stays within a few percent of the noiseless value.
+  SimulatedExecutor base(wl::cori_like_platform());
+  auto spec = probe_spec();
+  spec.n_steps = 60;
+  const double clean =
+      base.run(spec).trace.total_in_stage({0, -1},
+                                          core::StageKind::kSimulate) /
+      60.0;
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.08;
+  opt.seed = 11;
+  SimulatedExecutor noisy(wl::cori_like_platform(), opt);
+  const double jittered =
+      noisy.run(spec).trace.total_in_stage({0, -1},
+                                           core::StageKind::kSimulate) /
+      60.0;
+  EXPECT_NEAR(jittered, clean, 0.05 * clean);
+}
+
+TEST(Jitter, IpcNoiseTracksTimeNoise) {
+  // Cycles are scaled with the duration, so jitter shows up in IPC but
+  // never in instruction counts or miss ratios.
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.10;
+  opt.seed = 3;
+  SimulatedExecutor exec(wl::cori_like_platform(), opt);
+  const auto trace = exec.run(probe_spec()).trace;
+  const auto clean_trace =
+      SimulatedExecutor(wl::cori_like_platform()).run(probe_spec()).trace;
+  const auto noisy_counters = trace.component_counters({0, -1});
+  const auto clean_counters = clean_trace.component_counters({0, -1});
+  EXPECT_EQ(noisy_counters.instructions, clean_counters.instructions);
+  EXPECT_NEAR(noisy_counters.llc_miss_ratio(),
+              clean_counters.llc_miss_ratio(), 1e-12);
+  EXPECT_NE(noisy_counters.ipc(), clean_counters.ipc());
+}
+
+TEST(Jitter, AssessmentStillRunsAndRanksSanely) {
+  // Under mild noise the paper's winner keeps a healthy margin.
+  SimulatedOptions opt;
+  opt.jitter_cv = 0.03;
+  opt.seed = 17;
+  SimulatedExecutor exec(wl::cori_like_platform(), opt);
+  auto best = wl::paper_config("C1.5");
+  auto worst = wl::paper_config("C1.1");
+  best.spec.n_steps = worst.spec.n_steps = 10;
+  const double f_best =
+      assess(best.spec, exec.run(best.spec))
+          .objective(core::IndicatorKind::kUAP);
+  const double f_worst =
+      assess(worst.spec, exec.run(worst.spec))
+          .objective(core::IndicatorKind::kUAP);
+  EXPECT_GT(f_best, f_worst);
+}
+
+}  // namespace
+}  // namespace wfe::rt

@@ -1,0 +1,136 @@
+// Multi-node components in the simulated executor: the paper's s_i / a_i^j
+// node sets may span several nodes.
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+#include "metrics/steady_state.hpp"
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+using core::StageKind;
+
+SimulatedExecutor executor() {
+  return SimulatedExecutor(wl::cori_like_platform());
+}
+
+EnsembleSpec spec_with_sim_nodes(std::set<int> sim_nodes, int sim_cores,
+                                 std::set<int> ana_nodes,
+                                 std::uint64_t steps = 6) {
+  EnsembleSpec spec;
+  spec.n_steps = steps;
+  MemberSpec m;
+  m.sim = wl::gltph_like_simulation(std::move(sim_nodes), sim_cores);
+  m.analyses.push_back(wl::bipartite_like_analysis(std::move(ana_nodes)));
+  spec.members.push_back(std::move(m));
+  return spec;
+}
+
+TEST(MultiNode, RunsAndTracesNormally) {
+  const auto spec = spec_with_sim_nodes({0, 1}, 32, {2});
+  const auto result = executor().run(spec);
+  EXPECT_EQ(result.trace.step_count({0, -1}), 6u);
+  EXPECT_EQ(result.trace.step_count({0, 0}), 6u);
+}
+
+TEST(MultiNode, SpanningNodesIsSlowerThanOneBigNode) {
+  // The same 16-core simulation allocation on 1 node vs split over 2:
+  // the cross-node penalty must make the split strictly slower.
+  const auto single = spec_with_sim_nodes({0}, 16, {2});
+  const auto split = spec_with_sim_nodes({0, 1}, 16, {2});
+  const auto a1 = assess(single, executor().run(single));
+  const auto a2 = assess(split, executor().run(split));
+  EXPECT_GT(a2.members[0].steady.sim.s, a1.members[0].steady.sim.s);
+  // ... by roughly the configured penalty (one extra node).
+  const double expected =
+      1.0 + wl::cori_like_platform().interconnect.cross_node_compute_penalty;
+  EXPECT_NEAR(a2.members[0].steady.sim.s / a1.members[0].steady.sim.s,
+              expected, 0.01);
+}
+
+TEST(MultiNode, PenaltyGrowsWithNodeCount) {
+  const auto two = spec_with_sim_nodes({0, 1}, 32, {2});
+  const auto four = spec_with_sim_nodes({0, 1, 2, 3}, 32, {4});
+  const auto a2 = assess(two, executor().run(two));
+  const auto a4 = assess(four, executor().run(four));
+  EXPECT_GT(a4.members[0].steady.sim.s, a2.members[0].steady.sim.s);
+}
+
+TEST(MultiNode, ZeroPenaltyMakesSpanningFree) {
+  auto platform = wl::cori_like_platform();
+  platform.interconnect.cross_node_compute_penalty = 0.0;
+  SimulatedExecutor exec(platform);
+  const auto single = spec_with_sim_nodes({0}, 16, {2});
+  const auto split = spec_with_sim_nodes({0, 1}, 16, {2});
+  const auto a1 = assess(single, exec.run(single));
+  const auto a2 = assess(split, exec.run(split));
+  EXPECT_NEAR(a2.members[0].steady.sim.s, a1.members[0].steady.sim.s, 1e-9);
+}
+
+TEST(MultiNode, ShardedChunksGatherInParallel) {
+  // Reader partitions pull the producer's shards concurrently, so a read
+  // from a 2-node simulation moves half-size shards: it costs about half
+  // of reading the whole frame from one remote node, and the slowest
+  // (remote) shard dominates whether or not the other shard is local.
+  const auto whole_remote = spec_with_sim_nodes({0}, 16, {2});
+  const auto shard_remote = spec_with_sim_nodes({0, 1}, 32, {2});
+  const auto shard_half_local = spec_with_sim_nodes({0, 1}, 32, {0});
+  const auto fully_local = spec_with_sim_nodes({0}, 16, {0});
+
+  const auto read_of = [&](const EnsembleSpec& spec) {
+    return met::steady_stage_duration(executor().run(spec).trace, {0, 0},
+                                      StageKind::kRead);
+  };
+  const double r_whole = read_of(whole_remote);
+  const double r_shard = read_of(shard_remote);
+  const double r_half = read_of(shard_half_local);
+  const double r_local = read_of(fully_local);
+
+  EXPECT_NEAR(r_shard, r_whole / 2.0, 0.02 * r_whole);  // half-size shards
+  EXPECT_NEAR(r_half, r_shard, 1e-9);  // remote shard dominates the max
+  EXPECT_GT(r_half, r_local);
+  EXPECT_LT(r_local, 0.1);
+}
+
+TEST(MultiNode, SplitComponentsInterfereOnEachNode) {
+  // A 2-node simulation leaves half its working set on each node; an
+  // analysis co-located with either half sees pressure.
+  auto platform = wl::cori_like_platform();
+  SimulatedExecutor exec(platform);
+  auto spec = spec_with_sim_nodes({0, 1}, 32, {1});
+  const auto metrics =
+      met::component_metrics(exec.run(spec).trace, {0, 0});
+  auto spec_free = spec_with_sim_nodes({0, 1}, 32, {2});
+  const auto metrics_free =
+      met::component_metrics(exec.run(spec_free).trace, {0, 0});
+  EXPECT_GT(metrics.llc_miss_ratio, metrics_free.llc_miss_ratio);
+}
+
+TEST(MultiNode, PlacementIndicatorSeesMultiNodeSets) {
+  // End-to-end: CP of a 2-node simulation with an analysis on one of its
+  // nodes is 1 (subset); with the analysis outside it is 2/3.
+  const auto inside = spec_with_sim_nodes({0, 1}, 32, {1});
+  EXPECT_DOUBLE_EQ(
+      core::placement_indicator(inside.members[0].placement()), 1.0);
+  const auto outside = spec_with_sim_nodes({0, 1}, 32, {2});
+  EXPECT_NEAR(core::placement_indicator(outside.members[0].placement()),
+              2.0 / 3.0, 1e-12);
+}
+
+TEST(MultiNode, MoreNodesThanCoresStillRuns) {
+  // Degenerate split (1 core over 2 nodes) is clamped, not crashed.
+  EnsembleSpec spec;
+  spec.n_steps = 2;
+  MemberSpec m;
+  m.sim = wl::gltph_like_simulation({0, 1}, 1);
+  m.analyses.push_back(wl::bipartite_like_analysis({2}, 1));
+  spec.members.push_back(std::move(m));
+  EXPECT_NO_THROW((void)executor().run(spec));
+}
+
+}  // namespace
+}  // namespace wfe::rt

@@ -1,0 +1,199 @@
+// SimulatedExecutor: protocol invariants, determinism, model agreement.
+#include "runtime/simulated_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/insitu.hpp"
+#include "metrics/steady_state.hpp"
+#include "support/error.hpp"
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+using core::StageKind;
+
+SimulatedExecutor executor() {
+  return SimulatedExecutor(wl::cori_like_platform());
+}
+
+EnsembleSpec small_spec(int members = 1, int analyses = 1,
+                        std::uint64_t steps = 6) {
+  EnsembleSpec spec;
+  spec.n_steps = steps;
+  for (int i = 0; i < members; ++i) {
+    MemberSpec m;
+    m.sim = wl::gltph_like_simulation({i});
+    for (int j = 0; j < analyses; ++j) {
+      m.analyses.push_back(wl::bipartite_like_analysis({i}));
+    }
+    spec.members.push_back(std::move(m));
+  }
+  return spec;
+}
+
+TEST(SimulatedExecutor, ValidatesSpec) {
+  EnsembleSpec bad = small_spec();
+  bad.members[0].sim.nodes = {99};
+  EXPECT_THROW((void)executor().run(bad), SpecError);
+}
+
+TEST(SimulatedExecutor, EveryComponentRecordsEveryStep) {
+  const EnsembleSpec spec = small_spec(2, 2, 5);
+  const ExecutionResult result = executor().run(spec);
+  for (const auto& id : result.trace.components()) {
+    EXPECT_EQ(result.trace.step_count(id), 5u) << id.str();
+  }
+}
+
+TEST(SimulatedExecutor, EveryStepCarriesAllStages) {
+  const ExecutionResult result = executor().run(small_spec(1, 1, 4));
+  const met::ComponentId sim{0, -1};
+  const met::ComponentId ana{0, 0};
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    std::map<StageKind, int> seen;
+    for (const auto& r : result.trace.records()) {
+      if (r.step == s) seen[r.kind]++;
+    }
+    EXPECT_EQ(seen[StageKind::kSimulate], 1);
+    EXPECT_EQ(seen[StageKind::kSimIdle], 1);
+    EXPECT_EQ(seen[StageKind::kWrite], 1);
+    EXPECT_EQ(seen[StageKind::kRead], 1);
+    EXPECT_EQ(seen[StageKind::kAnalyze], 1);
+    EXPECT_EQ(seen[StageKind::kAnaIdle], 1);
+  }
+  (void)sim;
+  (void)ana;
+}
+
+TEST(SimulatedExecutor, DeterministicTraces) {
+  const EnsembleSpec spec = small_spec(2, 1, 6);
+  const ExecutionResult a = executor().run(spec);
+  const ExecutionResult b = executor().run(spec);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace.records()[i].start, b.trace.records()[i].start);
+    EXPECT_EQ(a.trace.records()[i].end, b.trace.records()[i].end);
+  }
+}
+
+/// The no-buffering protocol in the trace: for each member,
+/// W_i ends before any R_i starts, and all R_i end before W_{i+1} starts.
+void check_protocol(const met::Trace& trace, std::uint32_t member) {
+  std::map<std::uint64_t, double> w_start, w_end;
+  std::map<std::uint64_t, double> r_first_start, r_last_end;
+  for (const auto& r : trace.records()) {
+    if (r.component.member != member) continue;
+    if (r.kind == StageKind::kWrite) {
+      w_start[r.step] = r.start;
+      w_end[r.step] = r.end;
+    }
+    if (r.kind == StageKind::kRead) {
+      auto [it, fresh] = r_first_start.emplace(r.step, r.start);
+      if (!fresh) it->second = std::min(it->second, r.start);
+      auto [it2, fresh2] = r_last_end.emplace(r.step, r.end);
+      if (!fresh2) it2->second = std::max(it2->second, r.end);
+    }
+  }
+  for (const auto& [step, end] : w_end) {
+    ASSERT_TRUE(r_first_start.contains(step));
+    EXPECT_GE(r_first_start[step], end - 1e-9)
+        << "R_" << step << " started before W_" << step << " finished";
+    if (w_start.contains(step + 1)) {
+      EXPECT_GE(w_start[step + 1], r_last_end[step] - 1e-9)
+          << "W_" << step + 1 << " started before R_" << step << " drained";
+    }
+  }
+}
+
+TEST(SimulatedExecutor, HonorsNoBufferingProtocol) {
+  const ExecutionResult result = executor().run(small_spec(2, 2, 6));
+  check_protocol(result.trace, 0);
+  check_protocol(result.trace, 1);
+}
+
+TEST(SimulatedExecutor, SimulationsStartSimultaneously) {
+  const ExecutionResult result = executor().run(small_spec(2, 1, 3));
+  EXPECT_DOUBLE_EQ(result.trace.component_start({0, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(result.trace.component_start({1, -1}), 0.0);
+}
+
+TEST(SimulatedExecutor, MeasuredMakespanMatchesClosedFormModel) {
+  // The measured member makespan is n_steps * sigma* (Eq. 2) plus the tail
+  // of the final analysis step (the last R+A happens after the last
+  // simulation segment), so model <= measured <= model + sigma*.
+  const EnsembleSpec spec = small_spec(1, 1, 12);
+  const ExecutionResult result = executor().run(spec);
+  const Assessment a = assess(spec, result);
+  EXPECT_GE(a.members[0].makespan_measured,
+            a.members[0].makespan_model - 1e-6);
+  EXPECT_LE(a.members[0].makespan_measured,
+            a.members[0].makespan_model + a.members[0].sigma + 1e-6);
+}
+
+TEST(SimulatedExecutor, CoLocationRaisesMissRatio) {
+  // C_f vs C_c: co-location must raise both components' LLC miss ratios
+  // (paper Figure 3).
+  const auto cf = wl::paper_config("Cf");
+  const auto cc = wl::paper_config("Cc");
+  const auto rf = executor().run(cf.spec);
+  const auto rc = executor().run(cc.spec);
+  const auto mf_sim = met::component_metrics(rf.trace, {0, -1});
+  const auto mc_sim = met::component_metrics(rc.trace, {0, -1});
+  EXPECT_GT(mc_sim.llc_miss_ratio, mf_sim.llc_miss_ratio);
+  const auto mf_ana = met::component_metrics(rf.trace, {0, 0});
+  const auto mc_ana = met::component_metrics(rc.trace, {0, 0});
+  EXPECT_GT(mc_ana.llc_miss_ratio, mf_ana.llc_miss_ratio);
+}
+
+TEST(SimulatedExecutor, RemoteReadSlowerThanLocalRead) {
+  const auto cf = wl::paper_config("Cf");  // remote analysis
+  const auto cc = wl::paper_config("Cc");  // co-located analysis
+  const auto rf = executor().run(cf.spec);
+  const auto rc = executor().run(cc.spec);
+  const double remote_r =
+      met::steady_stage_duration(rf.trace, {0, 0}, StageKind::kRead);
+  const double local_r =
+      met::steady_stage_duration(rc.trace, {0, 0}, StageKind::kRead);
+  EXPECT_GT(remote_r, 100.0 * local_r);
+}
+
+TEST(SimulatedExecutor, InterferenceAblationRemovesContention) {
+  plat::PlatformSpec platform = wl::cori_like_platform();
+  platform.interference.enabled = false;
+  SimulatedExecutor quiet(platform);
+  const auto cc = wl::paper_config("Cc");
+  const auto result = quiet.run(cc.spec);
+  const auto sim = met::component_metrics(result.trace, {0, -1});
+  // Without interference the miss ratio stays at the baseline.
+  EXPECT_NEAR(sim.llc_miss_ratio, 0.04, 1e-9);
+}
+
+TEST(SimulatedExecutor, IdleAnalyzerRegimeHasNearZeroSimIdle) {
+  // In the calibrated co-location-free baseline the coupling is feasible
+  // (Eq. 4), so the simulation never waits on readers.
+  const auto cf = wl::paper_config("Cf");
+  const auto result = executor().run(cf.spec);
+  EXPECT_LT(result.trace.total_in_stage({0, -1}, StageKind::kSimIdle), 1e-6);
+  EXPECT_GT(result.trace.total_in_stage({0, 0}, StageKind::kAnaIdle), 1.0);
+}
+
+TEST(SimulatedExecutor, TwoAnalysesShareOneWrite) {
+  // K = 2 readers read the same chunk: exactly one W per step, two Rs.
+  const ExecutionResult result = executor().run(small_spec(1, 2, 3));
+  int writes = 0, reads = 0;
+  for (const auto& r : result.trace.records()) {
+    if (r.kind == StageKind::kWrite) ++writes;
+    if (r.kind == StageKind::kRead) ++reads;
+  }
+  EXPECT_EQ(writes, 3);
+  EXPECT_EQ(reads, 6);
+}
+
+}  // namespace
+}  // namespace wfe::rt

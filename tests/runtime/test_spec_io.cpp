@@ -1,0 +1,130 @@
+// WFES spec persistence.
+#include "runtime/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "support/error.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+bool structurally_equal(const EnsembleSpec& a, const EnsembleSpec& b) {
+  if (a.name != b.name || a.n_steps != b.n_steps ||
+      a.members.size() != b.members.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    const MemberSpec& x = a.members[i];
+    const MemberSpec& y = b.members[i];
+    if (x.buffer_capacity != y.buffer_capacity) return false;
+    if (x.sim.nodes != y.sim.nodes || x.sim.cores != y.sim.cores ||
+        x.sim.stride != y.sim.stride || x.sim.natoms != y.sim.natoms) {
+      return false;
+    }
+    if (x.analyses.size() != y.analyses.size()) return false;
+    for (std::size_t j = 0; j < x.analyses.size(); ++j) {
+      if (x.analyses[j].nodes != y.analyses[j].nodes ||
+          x.analyses[j].cores != y.analyses[j].cores ||
+          x.analyses[j].kernel != y.analyses[j].kernel) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(SpecIo, PaperConfigsRoundTrip) {
+  for (const auto& c : wl::paper_table2()) {
+    const EnsembleSpec back = spec_from_text(spec_to_text(c.spec));
+    EXPECT_TRUE(structurally_equal(c.spec, back)) << c.name;
+    EXPECT_NO_THROW(back.validate(wl::cori_like_platform())) << c.name;
+  }
+  for (const auto& c : wl::paper_table4()) {
+    EXPECT_TRUE(
+        structurally_equal(c.spec, spec_from_text(spec_to_text(c.spec))))
+        << c.name;
+  }
+}
+
+TEST(SpecIo, PreservesBufferCapacityAndKernels) {
+  auto spec = wl::paper_config("C2.8").spec;
+  spec.members[0].buffer_capacity = 3;
+  spec.members[1].analyses[1].kernel = "rgyr";
+  const EnsembleSpec back = spec_from_text(spec_to_text(spec));
+  EXPECT_EQ(back.members[0].buffer_capacity, 3);
+  EXPECT_EQ(back.members[1].analyses[1].kernel, "rgyr");
+}
+
+TEST(SpecIo, PreservesMultiNodeSets) {
+  auto spec = wl::paper_config("Cc").spec;
+  spec.members[0].sim.nodes = {0, 2, 5};
+  const EnsembleSpec back = spec_from_text(spec_to_text(spec));
+  EXPECT_EQ(back.members[0].sim.nodes, (std::set<int>{0, 2, 5}));
+}
+
+TEST(SpecIo, PreservesNameWithSpaces) {
+  auto spec = wl::paper_config("Cc").spec;
+  spec.name = "my ensemble v2";
+  EXPECT_EQ(spec_from_text(spec_to_text(spec)).name, "my ensemble v2");
+}
+
+TEST(SpecIo, RejectsBadHeader) {
+  EXPECT_THROW((void)spec_from_text("WFES 9\nend 0\n"), SerializationError);
+  EXPECT_THROW((void)spec_from_text(""), SerializationError);
+}
+
+TEST(SpecIo, RejectsTruncation) {
+  std::string text = spec_to_text(wl::paper_config("C1.5").spec);
+  text.resize(text.rfind("end"));
+  EXPECT_THROW((void)spec_from_text(text), SerializationError);
+}
+
+TEST(SpecIo, RejectsCountMismatch) {
+  EXPECT_THROW((void)spec_from_text("WFES 1\nname x\nsteps 5\nend 2\n"),
+               SerializationError);
+}
+
+TEST(SpecIo, RejectsOrphanComponentLines) {
+  EXPECT_THROW((void)spec_from_text(
+                   "WFES 1\nname x\nsteps 5\nsim cores 1 stride 1 natoms 1 "
+                   "nodes 0\nend 0\n"),
+               SerializationError);
+  EXPECT_THROW((void)spec_from_text(
+                   "WFES 1\nname x\nsteps 5\nanalysis kernel rgyr cores 1 "
+                   "nodes 0\nend 0\n"),
+               SerializationError);
+}
+
+TEST(SpecIo, RejectsMemberWithoutSim) {
+  EXPECT_THROW(
+      (void)spec_from_text("WFES 1\nname x\nsteps 5\nmember buffer 1\nend 1\n"),
+      SerializationError);
+}
+
+TEST(SpecIo, RejectsMissingSteps) {
+  EXPECT_THROW((void)spec_from_text("WFES 1\nname x\nend 0\n"),
+               SerializationError);
+}
+
+TEST(SpecIo, RejectsNegativeNode) {
+  EXPECT_THROW(
+      (void)spec_from_text("WFES 1\nname x\nsteps 5\nmember buffer 1\nsim "
+                           "cores 1 stride 1 natoms 1 nodes -3\nend 1\n"),
+      SerializationError);
+}
+
+TEST(SpecIo, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "wfens-spec-io-test.wfes";
+  const EnsembleSpec original = wl::paper_config("C1.3").spec;
+  save_spec(path, original);
+  EXPECT_TRUE(structurally_equal(original, load_spec(path)));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace wfe::rt

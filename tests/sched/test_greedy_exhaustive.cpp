@@ -1,0 +1,144 @@
+// Behaviour of the individual scheduling algorithms.
+#include <gtest/gtest.h>
+
+#include "sched/baselines.hpp"
+#include "sched/evaluator.hpp"
+#include "sched/exhaustive.hpp"
+#include "sched/greedy.hpp"
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::sched {
+namespace {
+
+plat::PlatformSpec platform() { return wl::cori_like_platform(); }
+
+TEST(GreedyColocation, ReproducesC15ForTheTable2Shape) {
+  // 2 x (16+8) over 3 nodes: each member fits a node whole -> CP = 1,
+  // M = 2 — exactly C1.5.
+  const auto schedule =
+      GreedyColocation().plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  EXPECT_EQ(schedule.spec.total_nodes(), 2);
+  for (const auto& m : schedule.spec.members) {
+    EXPECT_EQ(m.sim.nodes, m.analyses[0].nodes);
+  }
+  EXPECT_NE(schedule.spec.members[0].sim.nodes,
+            schedule.spec.members[1].sim.nodes);
+  EXPECT_EQ(schedule.evaluations, 0u);
+}
+
+TEST(GreedyColocation, ReproducesC28ForTheTable4Shape) {
+  const auto schedule =
+      GreedyColocation().plan(EnsembleShape::paper_like(2, 2), platform(), {3});
+  EXPECT_EQ(schedule.spec.total_nodes(), 2);
+  for (const auto& m : schedule.spec.members) {
+    for (const auto& a : m.analyses) {
+      EXPECT_EQ(m.sim.nodes, a.nodes);
+    }
+  }
+}
+
+TEST(GreedyColocation, SplitsWhenAMemberExceedsANode) {
+  // 16 + 3x8 = 40 cores > 32: the member must split, with the simulation
+  // keeping as many analyses as fit beside it.
+  auto shape = EnsembleShape::paper_like(1, 3);
+  const auto schedule = GreedyColocation().plan(shape, platform(), {2});
+  const auto& m = schedule.spec.members[0];
+  int colocated = 0;
+  for (const auto& a : m.analyses) {
+    if (a.nodes == m.sim.nodes) ++colocated;
+  }
+  EXPECT_EQ(colocated, 2);  // 16 + 8 + 8 = 32 fills the simulation's node
+  EXPECT_EQ(schedule.spec.total_nodes(), 2);
+}
+
+TEST(GreedyColocation, PacksMembersOntoSharedNodesUnderTightBudget) {
+  // 4 members x 24 cores over 3 nodes (96/96 cores): feasible only by
+  // pairing members; the greedy packer must find it.
+  const auto schedule =
+      GreedyColocation().plan(EnsembleShape::paper_like(4, 1), platform(), {3});
+  EXPECT_NO_THROW(schedule.spec.validate(platform()));
+  EXPECT_EQ(schedule.spec.total_nodes(), 3);
+}
+
+TEST(Exhaustive, MatchesGreedyOnPaperShape) {
+  // On the Table 2 shape the oracle and the heuristic agree (C1.5).
+  Evaluator evaluator(platform());
+  const auto exhaustive =
+      Exhaustive().plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  const auto greedy =
+      GreedyColocation().plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  const double f_ex = evaluator.score(exhaustive.spec).objective;
+  const double f_gr = evaluator.score(greedy.spec).objective;
+  EXPECT_NEAR(f_ex, f_gr, 1e-12);
+  EXPECT_GT(exhaustive.evaluations, 0u);
+}
+
+TEST(Exhaustive, NeverWorseThanAnyBaseline) {
+  Evaluator evaluator(platform());
+  const auto shape = EnsembleShape::paper_like(2, 2);
+  const auto oracle = Exhaustive().plan(shape, platform(), {3});
+  const double f_oracle = evaluator.score(oracle.spec).objective;
+  for (const char* name : {"greedy-colocate", "round-robin", "random"}) {
+    const auto other = make_scheduler(name)->plan(shape, platform(), {3});
+    EXPECT_GE(f_oracle + 1e-12, evaluator.score(other.spec).objective)
+        << name;
+  }
+}
+
+TEST(Exhaustive, CapsComponentCount) {
+  EXPECT_THROW(
+      (void)Exhaustive().plan(EnsembleShape::paper_like(7, 1), platform(),
+                              {3}),
+      InvalidArgument);
+}
+
+TEST(RoundRobin, SpreadsComponents) {
+  const auto schedule =
+      RoundRobin().plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  // Scatter: sim0 -> n0, ana0 -> n1, sim1 -> n2, ana1 -> n0.
+  EXPECT_EQ(schedule.spec.members[0].sim.nodes, (std::set<int>{0}));
+  EXPECT_EQ(schedule.spec.members[0].analyses[0].nodes, (std::set<int>{1}));
+  EXPECT_EQ(schedule.spec.members[1].sim.nodes, (std::set<int>{2}));
+  EXPECT_EQ(schedule.spec.members[1].analyses[0].nodes, (std::set<int>{0}));
+}
+
+TEST(RoundRobin, SkipsFullNodes) {
+  // Pool of 2: components cycle but respect capacity.
+  const auto schedule =
+      RoundRobin().plan(EnsembleShape::paper_like(2, 1), platform(), {2});
+  EXPECT_NO_THROW(schedule.spec.validate(platform()));
+}
+
+TEST(RandomPlacement, DeterministicGivenSeed) {
+  const auto a =
+      RandomPlacement(7).plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  const auto b =
+      RandomPlacement(7).plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  EXPECT_EQ(a.spec.members[0].sim.nodes, b.spec.members[0].sim.nodes);
+  EXPECT_EQ(a.spec.members[1].analyses[0].nodes,
+            b.spec.members[1].analyses[0].nodes);
+}
+
+TEST(Evaluator, CountsAndScores) {
+  Evaluator evaluator(platform());
+  const auto schedule =
+      GreedyColocation().plan(EnsembleShape::paper_like(2, 1), platform(), {3});
+  EXPECT_EQ(evaluator.evaluations(), 0u);
+  const Evaluation e = evaluator.score(schedule.spec);
+  EXPECT_EQ(evaluator.evaluations(), 1u);
+  EXPECT_GT(e.objective, 0.0);
+  EXPECT_GT(e.ensemble_makespan, 0.0);
+  EXPECT_EQ(e.nodes_used, 2);
+  EXPECT_GT(e.min_member_efficiency, 0.0);
+}
+
+TEST(Evaluator, RejectsSillyProbe) {
+  Evaluator evaluator(platform());
+  const auto schedule =
+      GreedyColocation().plan(EnsembleShape::paper_like(1, 1), platform(), {2});
+  EXPECT_THROW((void)evaluator.score(schedule.spec, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wfe::sched

@@ -1,0 +1,202 @@
+// Tests for the discrete-event engine: ordering, determinism, cancellation.
+#include "simengine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace wfe::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine e;
+  std::string log;
+  e.schedule_at(1.0, [&] { log += 'a'; });
+  e.schedule_at(1.0, [&] { log += 'b'; });
+  e.schedule_at(1.0, [&] { log += 'c'; });
+  e.run();
+  EXPECT_EQ(log, "abc");
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(5.0, [&] {
+    e.schedule_in(2.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(0.5, [] {}), InvalidArgument);
+}
+
+TEST(Engine, RejectsNegativeDelay) {
+  Engine e;
+  EXPECT_THROW(e.schedule_in(-1.0, [] {}), InvalidArgument);
+}
+
+TEST(Engine, RejectsNonFiniteTime) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               InvalidArgument);
+  EXPECT_THROW(e.schedule_at(std::nan(""), [] {}), InvalidArgument);
+}
+
+TEST(Engine, RejectsEmptyCallback) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, Engine::Callback{}), InvalidArgument);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelFiredEventIsNoop) {
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClock) {
+  Engine e;
+  const EventId id = e.schedule_at(10.0, [] {});
+  e.schedule_at(1.0, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, StepRunsExactlyOneEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.5);
+  EXPECT_EQ(e.pending(), 2u);
+}
+
+TEST(Engine, RunUntilIncludesBoundaryEvents) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(2.0, [&] { fired = true; });
+  e.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilRejectsPast) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.run_until(1.0), InvalidArgument);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) e.schedule_in(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, ClearDropsPendingEvents) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.clear();
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 5u);
+}
+
+TEST(Engine, PendingCountTracksScheduleAndCancel) {
+  Engine e;
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, ZeroDelaySelfSchedulingTerminates) {
+  // Events at the same timestamp run FIFO, so a zero-delay chain still
+  // drains in bounded steps.
+  Engine e;
+  int n = 0;
+  std::function<void()> f = [&] {
+    if (++n < 100) e.schedule_in(0.0, f);
+  };
+  e.schedule_at(0.0, f);
+  e.run();
+  EXPECT_EQ(n, 100);
+  EXPECT_EQ(e.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace wfe::sim

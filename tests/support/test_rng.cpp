@@ -1,0 +1,106 @@
+// Tests for the deterministic RNG stack.
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wfe {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicGivenSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, Uniform01StaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanIsAboutHalf) {
+  Xoshiro256 rng(10);
+  double sum = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRespectsBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Xoshiro, BelowIsAlwaysInRange) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversAllResidues) {
+  Xoshiro256 rng(14);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro, NormalHasZeroMeanUnitVariance) {
+  Xoshiro256 rng(15);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependentlyDeterministic) {
+  Xoshiro256 parent1(42), parent2(42);
+  Xoshiro256 child1 = parent1.split();
+  Xoshiro256 child2 = parent2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1(), child2());
+  // Child and parent produce different streams.
+  Xoshiro256 parent(42);
+  Xoshiro256 child = parent.split();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (parent() != child()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wfe

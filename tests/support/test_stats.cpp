@@ -1,0 +1,178 @@
+// Unit and property tests for the statistics helpers (Eq. 9 depends on the
+// population standard deviation being exact).
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace wfe {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanSingleValue) {
+  const std::vector<double> xs{7.25};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.25);
+}
+
+TEST(Stats, PopulationStddevMatchesHandComputation) {
+  // Values 2, 4, 4, 4, 5, 5, 7, 9: classic example with stddev exactly 2.
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stddev_population(xs), 2.0);
+}
+
+TEST(Stats, PopulationStddevOfConstantIsZero) {
+  const std::vector<double> xs{3.3, 3.3, 3.3};
+  EXPECT_NEAR(stddev_population(xs), 0.0, 1e-12);
+}
+
+TEST(Stats, SampleStddevLargerThanPopulation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 10.0};
+  EXPECT_GT(stddev_sample(xs), stddev_population(xs));
+}
+
+TEST(Stats, SampleStddevNeedsTwoValues) {
+  const std::vector<double> xs{5.0};
+  EXPECT_EQ(stddev_sample(xs), 0.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  const std::vector<double> copy = xs;
+  (void)median(xs);
+  EXPECT_EQ(xs, copy);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, -0.1), InvalidArgument);
+  EXPECT_THROW((void)quantile(xs, 1.1), InvalidArgument);
+}
+
+TEST(Stats, SummarizeConsistency) {
+  const std::vector<double> xs{2.0, 8.0, 4.0, 6.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Xoshiro256 rng(11);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev_population(), stddev_population(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Xoshiro256 rng(12);
+  RunningStats a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    (i % 2 == 0 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance_population(), whole.variance_population(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats rs;
+  rs.add(4.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.sum(), 0.0);
+}
+
+// Property sweep: mean - stddev <= mean <= max for random samples of
+// several sizes (the inequality Eq. 9's objective relies on).
+class StatsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsPropertyTest, MeanMinusStddevBelowMeanBelowMax) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < GetParam(); ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  const double m = mean(xs);
+  const double sd = stddev_population(xs);
+  EXPECT_LE(m - sd, m);
+  EXPECT_LE(m, *std::max_element(xs.begin(), xs.end()) + 1e-12);
+  EXPECT_GE(sd, 0.0);
+}
+
+TEST_P(StatsPropertyTest, QuantileIsMonotoneInQ) {
+  Xoshiro256 rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  for (int i = 0; i < GetParam(); ++i) xs.push_back(rng.normal());
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double v = quantile(xs, q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 33, 100, 257));
+
+}  // namespace
+}  // namespace wfe

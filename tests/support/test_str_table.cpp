@@ -1,0 +1,89 @@
+// Tests for string helpers and the table renderer used by the benches.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace wfe {
+namespace {
+
+TEST(Str, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Str, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-1.0, 0), "-1");
+}
+
+TEST(Str, Sci) { EXPECT_EQ(sci(0.000123, 2), "1.23e-04"); }
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(6.0 * 1024 * 1024), "6.0 MiB");
+  EXPECT_EQ(human_bytes(1024.0 * 1024 * 1024), "1.0 GiB");
+}
+
+TEST(Str, HumanSeconds) {
+  EXPECT_EQ(human_seconds(1.25), "1.250 s");
+  EXPECT_EQ(human_seconds(0.31), "310.000 ms");
+  EXPECT_EQ(human_seconds(42e-6), "42.000 us");
+  EXPECT_EQ(human_seconds(5e-9), "5.0 ns");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), InvalidArgument); }
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"c"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  t.add_row({"", "", ""});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace wfe

@@ -1,0 +1,101 @@
+// Campaign (repeated-trials) aggregation.
+#include "workload/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::wl {
+namespace {
+
+std::vector<NamedConfig> two_configs() {
+  return {paper_config("Cc"), paper_config("Cf")};
+}
+
+CampaignOptions quick(int trials = 3, double cv = 0.05) {
+  CampaignOptions o;
+  o.trials = trials;
+  o.jitter_cv = cv;
+  o.n_steps = 5;
+  return o;
+}
+
+TEST(Campaign, RejectsDegenerateInputs) {
+  EXPECT_THROW(
+      (void)run_campaign({}, cori_like_platform(), quick()),
+      InvalidArgument);
+  CampaignOptions o = quick();
+  o.trials = 0;
+  EXPECT_THROW((void)run_campaign(two_configs(), cori_like_platform(), o),
+               InvalidArgument);
+}
+
+TEST(Campaign, ResultOrderMatchesInputAndCountsTrials) {
+  const auto stats =
+      run_campaign(two_configs(), cori_like_platform(), quick(4));
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "Cc");
+  EXPECT_EQ(stats[1].name, "Cf");
+  EXPECT_EQ(stats[0].objective.count, 4u);
+  EXPECT_EQ(stats[0].makespan.count, 4u);
+}
+
+TEST(Campaign, WinsSumToTrials) {
+  const auto stats =
+      run_campaign(two_configs(), cori_like_platform(), quick(6));
+  EXPECT_EQ(stats[0].wins + stats[1].wins, 6);
+}
+
+TEST(Campaign, ZeroJitterGivesZeroSpread) {
+  const auto stats =
+      run_campaign(two_configs(), cori_like_platform(), quick(3, 0.0));
+  EXPECT_NEAR(stats[0].objective.stddev, 0.0, 1e-15);
+  EXPECT_NEAR(stats[0].makespan.stddev, 0.0, 1e-12);
+}
+
+TEST(Campaign, JitterProducesSpread) {
+  const auto stats =
+      run_campaign(two_configs(), cori_like_platform(), quick(5, 0.08));
+  EXPECT_GT(stats[0].objective.stddev, 0.0);
+  EXPECT_GT(stats[0].makespan.stddev, 0.0);
+}
+
+TEST(Campaign, DeterministicGivenBaseSeed) {
+  const auto a =
+      run_campaign(two_configs(), cori_like_platform(), quick(3));
+  const auto b =
+      run_campaign(two_configs(), cori_like_platform(), quick(3));
+  EXPECT_EQ(a[0].objective.mean, b[0].objective.mean);
+  EXPECT_EQ(a[1].makespan.mean, b[1].makespan.mean);
+  EXPECT_EQ(a[0].wins, b[0].wins);
+}
+
+TEST(Campaign, CcBeatsCfOnTheFinalIndicatorEveryTrial) {
+  // The deterministic gap (3.3x) dwarfs 5% noise.
+  const auto stats =
+      run_campaign(two_configs(), cori_like_platform(), quick(5, 0.05));
+  EXPECT_EQ(stats[0].wins, 5);  // Cc
+  EXPECT_EQ(stats[1].wins, 0);  // Cf
+}
+
+TEST(Campaign, IndicatorStageIsConfigurable) {
+  // At the raw-usage stage (P^U) Cf wins instead (higher E, same cores).
+  CampaignOptions o = quick(3, 0.0);
+  o.indicator = core::IndicatorKind::kU;
+  const auto stats = run_campaign(two_configs(), cori_like_platform(), o);
+  EXPECT_EQ(stats[1].wins, 3);  // Cf
+}
+
+TEST(Campaign, MeanTracksDeterministicValueUnderMildNoise) {
+  CampaignOptions o = quick(10, 0.04);
+  const auto noisy = run_campaign(two_configs(), cori_like_platform(), o);
+  o.trials = 1;
+  o.jitter_cv = 0.0;
+  const auto clean = run_campaign(two_configs(), cori_like_platform(), o);
+  EXPECT_NEAR(noisy[0].objective.mean, clean[0].objective.mean,
+              0.05 * clean[0].objective.mean);
+}
+
+}  // namespace
+}  // namespace wfe::wl

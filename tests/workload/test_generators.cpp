@@ -1,0 +1,120 @@
+// Placement enumeration generators.
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::wl {
+namespace {
+
+plat::PlatformSpec platform() { return cori_like_platform(4); }
+
+TEST(Generators, RejectsDegenerateOptions) {
+  EnumerationOptions opt;
+  opt.members = 0;
+  EXPECT_THROW((void)enumerate_placements(platform(), opt), InvalidArgument);
+  opt = {};
+  opt.node_pool = 99;
+  EXPECT_THROW((void)enumerate_placements(platform(), opt), InvalidArgument);
+  opt = {};
+  opt.members = 7;  // 7 * 2 = 14 slots > cap
+  EXPECT_THROW((void)enumerate_placements(platform(), opt), InvalidArgument);
+}
+
+TEST(Generators, SingleMemberSingleNode) {
+  EnumerationOptions opt;
+  opt.members = 1;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 1;
+  const auto all = enumerate_placements(platform(), opt);
+  ASSERT_EQ(all.size(), 1u);  // only s0a0
+  EXPECT_EQ(all[0].nodes, 1);
+}
+
+TEST(Generators, CanonicalizationCollapsesRelabelings) {
+  EnumerationOptions opt;
+  opt.members = 1;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 2;
+  const auto all = enumerate_placements(platform(), opt);
+  // Raw: 4 assignments; canonical: {s0a0, s0a1} only.
+  ASSERT_EQ(all.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& c : all) names.insert(c.name);
+  EXPECT_TRUE(names.contains("s0a0"));
+  EXPECT_TRUE(names.contains("s0a1"));
+}
+
+TEST(Generators, WithoutCanonicalizationAllAssignmentsAppear) {
+  EnumerationOptions opt;
+  opt.members = 1;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 2;
+  opt.canonicalize = false;
+  const auto all = enumerate_placements(platform(), opt);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(Generators, PaperScenarioSpaceContainsTable2Shapes) {
+  // 2 members x (sim + 1 analysis) over 3 nodes: the canonical space must
+  // contain the shapes of C1.1 ... C1.5.
+  EnumerationOptions opt;
+  opt.members = 2;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 3;
+  const auto all = enumerate_placements(platform(), opt);
+  std::set<std::string> names;
+  for (const auto& c : all) names.insert(c.name);
+  EXPECT_TRUE(names.contains("s0a1|s2a1"));  // C1.1 canonical form
+  EXPECT_TRUE(names.contains("s0a1|s0a2"));  // C1.2
+  EXPECT_TRUE(names.contains("s0a0|s1a2"));  // C1.3
+  EXPECT_TRUE(names.contains("s0a1|s0a1"));  // C1.4
+  EXPECT_TRUE(names.contains("s0a0|s1a1"));  // C1.5
+}
+
+TEST(Generators, OversubscriptionFilterDropsInfeasiblePlacements) {
+  // A 2-core-node platform cannot host 16+8-core components at all.
+  plat::PlatformSpec tiny = platform();
+  tiny.node.cores = 2;
+  EnumerationOptions opt;
+  opt.members = 1;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 2;
+  EXPECT_TRUE(enumerate_placements(tiny, opt).empty());
+
+  opt.skip_oversubscribed = false;
+  EXPECT_FALSE(enumerate_placements(tiny, opt).empty());
+}
+
+TEST(Generators, AllGeneratedSpecsValidate) {
+  EnumerationOptions opt;
+  opt.members = 2;
+  opt.analyses_per_member = 2;
+  opt.node_pool = 3;
+  const auto all = enumerate_placements(platform(), opt);
+  EXPECT_GT(all.size(), 10u);
+  for (const auto& c : all) {
+    EXPECT_NO_THROW(c.spec.validate(platform())) << c.name;
+    EXPECT_EQ(c.spec.total_nodes(), c.nodes) << c.name;
+    EXPECT_EQ(c.spec.members.size(), 2u);
+  }
+}
+
+TEST(Generators, NamesAreUnique) {
+  EnumerationOptions opt;
+  opt.members = 2;
+  opt.analyses_per_member = 1;
+  opt.node_pool = 3;
+  const auto all = enumerate_placements(platform(), opt);
+  std::set<std::string> names;
+  for (const auto& c : all) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace wfe::wl

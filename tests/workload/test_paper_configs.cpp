@@ -1,0 +1,175 @@
+// Tables 2 and 4 are encoded exactly: node assignments, node counts,
+// member counts, and the placement indicators they imply.
+#include "workload/paper_configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/placement.hpp"
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::wl {
+namespace {
+
+std::set<int> sim_nodes(const NamedConfig& c, std::size_t member) {
+  return c.spec.members[member].sim.nodes;
+}
+std::set<int> ana_nodes(const NamedConfig& c, std::size_t member,
+                        std::size_t j) {
+  return c.spec.members[member].analyses[j].nodes;
+}
+
+TEST(Table2, HasSevenConfigurations) {
+  const auto t2 = paper_table2();
+  ASSERT_EQ(t2.size(), 7u);
+  EXPECT_EQ(t2[0].name, "Cf");
+  EXPECT_EQ(t2[6].name, "C1.5");
+}
+
+TEST(Table2, NodeCountsMatchTheTable) {
+  for (const auto& c : paper_table2()) {
+    EXPECT_EQ(c.spec.total_nodes(), c.nodes) << c.name;
+  }
+  EXPECT_EQ(paper_config("Cf").nodes, 2);
+  EXPECT_EQ(paper_config("Cc").nodes, 1);
+  EXPECT_EQ(paper_config("C1.1").nodes, 3);
+  EXPECT_EQ(paper_config("C1.4").nodes, 2);
+}
+
+TEST(Table2, MemberCounts) {
+  EXPECT_EQ(paper_config("Cf").spec.members.size(), 1u);
+  EXPECT_EQ(paper_config("Cc").spec.members.size(), 1u);
+  for (const auto& c : paper_set1()) {
+    EXPECT_EQ(c.spec.members.size(), 2u) << c.name;
+    for (const auto& m : c.spec.members) {
+      EXPECT_EQ(m.analyses.size(), 1u);
+    }
+  }
+}
+
+TEST(Table2, ExactNodeAssignments) {
+  // Row by row from Table 2.
+  const auto cf = paper_config("Cf");
+  EXPECT_EQ(sim_nodes(cf, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(cf, 0, 0), (std::set<int>{1}));
+
+  const auto c11 = paper_config("C1.1");
+  EXPECT_EQ(sim_nodes(c11, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c11, 0, 0), (std::set<int>{2}));
+  EXPECT_EQ(sim_nodes(c11, 1), (std::set<int>{1}));
+  EXPECT_EQ(ana_nodes(c11, 1, 0), (std::set<int>{2}));
+
+  const auto c13 = paper_config("C1.3");
+  EXPECT_EQ(sim_nodes(c13, 0), ana_nodes(c13, 0, 0));  // member 1 co-located
+  EXPECT_NE(sim_nodes(c13, 1), ana_nodes(c13, 1, 0));  // member 2 spread
+
+  const auto c15 = paper_config("C1.5");
+  EXPECT_EQ(sim_nodes(c15, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c15, 0, 0), (std::set<int>{0}));
+  EXPECT_EQ(sim_nodes(c15, 1), (std::set<int>{1}));
+  EXPECT_EQ(ana_nodes(c15, 1, 0), (std::set<int>{1}));
+}
+
+TEST(Table2, PlacementIndicators) {
+  // CP = 1 for fully co-located members; 1/2 for dedicated analysis nodes
+  // (§4.1 example: C1.1 has s1 = {0}, a1 = {2}).
+  auto cp = [](const NamedConfig& c, std::size_t member) {
+    return core::placement_indicator(c.spec.members[member].placement());
+  };
+  EXPECT_DOUBLE_EQ(cp(paper_config("Cc"), 0), 1.0);
+  EXPECT_DOUBLE_EQ(cp(paper_config("Cf"), 0), 0.5);
+  EXPECT_DOUBLE_EQ(cp(paper_config("C1.1"), 0), 0.5);
+  EXPECT_DOUBLE_EQ(cp(paper_config("C1.3"), 0), 1.0);
+  EXPECT_DOUBLE_EQ(cp(paper_config("C1.3"), 1), 0.5);
+  EXPECT_DOUBLE_EQ(cp(paper_config("C1.5"), 0), 1.0);
+  EXPECT_DOUBLE_EQ(cp(paper_config("C1.5"), 1), 1.0);
+}
+
+TEST(Table4, HasEightConfigurations) {
+  const auto t4 = paper_table4();
+  ASSERT_EQ(t4.size(), 8u);
+  EXPECT_EQ(t4[0].name, "C2.1");
+  EXPECT_EQ(t4[7].name, "C2.8");
+}
+
+TEST(Table4, EveryMemberHasTwoAnalyses) {
+  for (const auto& c : paper_table4()) {
+    ASSERT_EQ(c.spec.members.size(), 2u) << c.name;
+    for (const auto& m : c.spec.members) {
+      EXPECT_EQ(m.analyses.size(), 2u) << c.name;
+    }
+  }
+}
+
+TEST(Table4, NodeCountsMatchTheTable) {
+  for (const auto& c : paper_table4()) {
+    EXPECT_EQ(c.spec.total_nodes(), c.nodes) << c.name;
+  }
+  EXPECT_EQ(paper_config("C2.1").nodes, 3);
+  EXPECT_EQ(paper_config("C2.6").nodes, 2);
+  EXPECT_EQ(paper_config("C2.8").nodes, 2);
+}
+
+TEST(Table4, ExactAssignmentsForKeyRows) {
+  const auto c27 = paper_config("C2.7");
+  EXPECT_EQ(sim_nodes(c27, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c27, 0, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c27, 0, 1), (std::set<int>{1}));
+  EXPECT_EQ(sim_nodes(c27, 1), (std::set<int>{1}));
+  EXPECT_EQ(ana_nodes(c27, 1, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c27, 1, 1), (std::set<int>{1}));
+
+  const auto c28 = paper_config("C2.8");
+  EXPECT_EQ(ana_nodes(c28, 0, 0), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c28, 0, 1), (std::set<int>{0}));
+  EXPECT_EQ(ana_nodes(c28, 1, 0), (std::set<int>{1}));
+  EXPECT_EQ(ana_nodes(c28, 1, 1), (std::set<int>{1}));
+}
+
+TEST(Table4, C28IsFullyCoLocated) {
+  const auto c28 = paper_config("C2.8");
+  for (const auto& m : c28.spec.members) {
+    EXPECT_DOUBLE_EQ(core::placement_indicator(m.placement()), 1.0);
+  }
+  // C2.7 members mix one local and one remote analysis: CP = 0.75.
+  const auto c27 = paper_config("C2.7");
+  for (const auto& m : c27.spec.members) {
+    EXPECT_DOUBLE_EQ(core::placement_indicator(m.placement()), 0.75);
+  }
+}
+
+TEST(Configs, AllValidateAgainstTheCoriPlatform) {
+  const auto platform = cori_like_platform();
+  for (const auto& c : paper_table2()) {
+    EXPECT_NO_THROW(c.spec.validate(platform)) << c.name;
+  }
+  for (const auto& c : paper_table4()) {
+    EXPECT_NO_THROW(c.spec.validate(platform)) << c.name;
+  }
+}
+
+TEST(Configs, AllUsePaperResourceSettings) {
+  for (const auto& c : paper_table2()) {
+    EXPECT_EQ(c.spec.n_steps, kPaperInSituSteps);
+    for (const auto& m : c.spec.members) {
+      EXPECT_EQ(m.sim.cores, 16);
+      EXPECT_EQ(m.sim.stride, 800);
+      for (const auto& a : m.analyses) EXPECT_EQ(a.cores, 8);
+    }
+  }
+}
+
+TEST(Configs, LookupByNameThrowsOnUnknown) {
+  EXPECT_THROW((void)paper_config("C9.9"), InvalidArgument);
+  EXPECT_EQ(paper_config("C2.4").name, "C2.4");
+}
+
+TEST(Configs, Set1IsC11ThroughC15) {
+  const auto set1 = paper_set1();
+  ASSERT_EQ(set1.size(), 5u);
+  EXPECT_EQ(set1.front().name, "C1.1");
+  EXPECT_EQ(set1.back().name, "C1.5");
+}
+
+}  // namespace
+}  // namespace wfe::wl

@@ -1,0 +1,83 @@
+// Preset sanity: the calibrated platform and workload presets.
+#include "workload/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.hpp"
+#include "mdsim/cost_model.hpp"
+#include "platform/topology.hpp"
+
+namespace wfe::wl {
+namespace {
+
+TEST(Presets, PlatformValidates) {
+  EXPECT_NO_THROW(cori_like_platform().validate());
+  EXPECT_NO_THROW(cori_like_platform(2).validate());
+}
+
+TEST(Presets, PlatformIsCoriShaped) {
+  const auto p = cori_like_platform();
+  EXPECT_EQ(p.node.cores, 32);
+  EXPECT_GT(p.node.llc_bytes, 16e6);
+  EXPECT_TRUE(p.interference.enabled);
+}
+
+TEST(Presets, SimulationUsesPaperSettings) {
+  const auto sim = gltph_like_simulation({0});
+  EXPECT_EQ(sim.cores, 16);
+  EXPECT_EQ(sim.stride, 800);
+  EXPECT_EQ(sim.nodes, (std::set<int>{0}));
+}
+
+TEST(Presets, AnalysisUsesPaperSettings) {
+  const auto ana = bipartite_like_analysis({1});
+  EXPECT_EQ(ana.cores, 8);
+  EXPECT_EQ(ana.kernel, "bipartite-eigen");
+}
+
+TEST(Presets, PaperStepCountMatchesStrideMath) {
+  // 30 000 MD steps at stride 800 -> 37 complete frames.
+  EXPECT_EQ(kPaperInSituSteps, 30'000u / 800u);
+}
+
+TEST(Presets, SimulationProfileIsComputeBound) {
+  const auto sim = gltph_like_simulation({0});
+  const auto prof = md::md_stage_profile(sim.cost, sim.natoms, sim.stride);
+  const auto ana = bipartite_like_analysis({0});
+  const auto aprof = ana::analysis_stage_profile(ana.cost, sim.natoms);
+  // Analyses are more memory-intensive than simulations (paper §2.3).
+  EXPECT_GT(aprof.llc_refs_per_instr * aprof.base_miss_ratio,
+            5.0 * prof.llc_refs_per_instr * prof.base_miss_ratio);
+  EXPECT_GT(aprof.cache_sensitivity, prof.cache_sensitivity);
+}
+
+TEST(Presets, RemoteStagingReadCostsSeconds) {
+  // The DIMES-like data-locality asymmetry: a frame read across nodes
+  // costs seconds; a local copy costs milliseconds.
+  const auto p = cori_like_platform();
+  const auto sim = gltph_like_simulation({0});
+  const double frame = md::frame_payload_bytes(sim.natoms);
+  const double remote =
+      plat::network_transfer_time(p.interconnect, 0, 1, frame);
+  const double local = plat::local_copy_time(p.node, frame);
+  EXPECT_GT(remote, 1.0);
+  EXPECT_LT(local, 0.1);
+}
+
+TEST(Presets, NativeConfigIsSmallAndThermostatted) {
+  const auto cfg = native_md_config();
+  EXPECT_LE(cfg.fcc_cells, 6);
+  EXPECT_GT(cfg.integrator.thermostat_tau, 0.0);
+}
+
+TEST(Presets, SmallNativeEnsembleShape) {
+  const auto spec = small_native_ensemble(2, 2, 5);
+  EXPECT_EQ(spec.members.size(), 2u);
+  EXPECT_EQ(spec.members[0].analyses.size(), 2u);
+  EXPECT_EQ(spec.n_steps, 5u);
+  // Distinct seeds per member so trajectories differ.
+  EXPECT_NE(spec.members[0].sim.native.seed, spec.members[1].sim.native.seed);
+}
+
+}  // namespace
+}  // namespace wfe::wl

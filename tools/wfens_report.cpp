@@ -1,0 +1,111 @@
+// wfens_report: offline assessment of a WFET trace artifact.
+//
+// Prints the Table 1 traditional metrics, the steady-state stage profile,
+// the non-overlapped in situ step sigma* (Eq. 1) and the computational
+// efficiency E (Eq. 3) for every member found in the trace — everything
+// the paper derives that does not require the placement. With
+// --spec <file.wfes> (saved by `wfens_run --save-spec`) the placement is
+// known too, so the full indicator chain (Eqs. 5-8) and the ensemble
+// objective F (Eq. 9) are reported as well.
+//
+// Usage:  wfens_report <trace.wfet> [--csv] [--spec spec.wfes]
+#include <iostream>
+#include <string>
+
+#include "core/efficiency.hpp"
+#include "core/insitu.hpp"
+#include "metrics/steady_state.hpp"
+#include "metrics/trace_io.hpp"
+#include "metrics/traditional.hpp"
+#include "runtime/bridge.hpp"
+#include "runtime/spec_io.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+  if (argc < 2) {
+    std::cerr
+        << "usage: wfens_report <trace.wfet> [--csv] [--spec spec.wfes]\n";
+    return 2;
+  }
+  bool csv = false;
+  std::string spec_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const met::Trace trace = met::load_trace(argv[1]);
+    if (csv) {
+      std::cout << met::trace_to_csv(trace);
+      return 0;
+    }
+
+    std::cout << "trace: " << trace.size() << " stage records, "
+              << trace.members().size() << " members\n\n";
+
+    Table components({"component", "exec time", "LLC miss ratio",
+                      "memory intensity", "IPC"});
+    for (const auto& m : met::all_component_metrics(trace)) {
+      components.add_row({m.component.str(), human_seconds(m.execution_time),
+                          fixed(m.llc_miss_ratio, 4),
+                          sci(m.memory_intensity, 2), fixed(m.ipc, 3)});
+    }
+    std::cout << "Table 1 component metrics:\n" << components.render();
+
+    Table members({"member", "S*", "W*", "R*^j", "A*^j", "sigma*", "E",
+                   "makespan"});
+    for (std::uint32_t member : trace.members()) {
+      const core::MemberSteady steady =
+          met::member_steady_state(trace, member);
+      std::vector<std::string> rs, as;
+      for (const auto& a : steady.analyses) {
+        rs.push_back(human_seconds(a.r));
+        as.push_back(human_seconds(a.a));
+      }
+      members.add_row({strprintf("EM%u", member + 1),
+                       human_seconds(steady.sim.s),
+                       human_seconds(steady.sim.w), join(rs, " "),
+                       join(as, " "),
+                       human_seconds(core::non_overlapped_segment(steady)),
+                       fixed(core::computational_efficiency(steady), 3),
+                       human_seconds(met::member_makespan(trace, member))});
+    }
+    std::cout << "\nmember model (Eqs. 1 and 3):\n" << members.render();
+    std::cout << "\nensemble makespan: "
+              << human_seconds(met::ensemble_makespan(trace)) << "\n";
+
+    if (!spec_path.empty()) {
+      // With the placement spec the full indicator chain is computable.
+      rt::EnsembleSpec spec = rt::load_spec(spec_path);
+      rt::ExecutionResult result;
+      result.trace = trace;
+      result.n_steps = trace.step_count({trace.members().front(), -1});
+      const rt::Assessment a = rt::assess(spec, result);
+      Table indicators({"stage", "F(P)"});
+      for (const auto kind :
+           {core::IndicatorKind::kU, core::IndicatorKind::kUP,
+            core::IndicatorKind::kUA, core::IndicatorKind::kUAP}) {
+        indicators.add_row(
+            {core::to_string(kind), sci(a.objective(kind), 3)});
+      }
+      std::cout << "\nindicator chain for spec '" << spec.name
+                << "' (M = " << a.total_nodes << "):\n"
+                << indicators.render();
+    }
+    return 0;
+  } catch (const wfe::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

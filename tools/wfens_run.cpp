@@ -1,0 +1,90 @@
+// wfens_run: execute a workflow-ensemble configuration on the modelled
+// platform and save the execution trace as a WFET artifact for offline
+// analysis (wfens_report).
+//
+// Usage:  wfens_run <config|spec.wfes> <out.wfet>
+//                   [--native] [--steps N] [--save-spec out.wfes]
+//   <config>      a paper configuration (Cf, Cc, C1.1 ... C2.8), or a path
+//                 ending in .wfes holding a saved ensemble spec
+//   --native      run the real threaded executor (small MD) instead of the
+//                 simulated one (placements are ignored in native mode)
+//   --steps N     override the in situ step count
+//   --save-spec   also write the (possibly adjusted) spec, so wfens_report
+//                 can compute the placement-aware indicators
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "metrics/trace_io.hpp"
+#include "runtime/native_executor.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "runtime/spec_io.hpp"
+#include "support/error.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+  if (argc < 3) {
+    std::cerr << "usage: wfens_run <config|spec.wfes> <out.wfet> "
+                 "[--native] [--steps N] [--save-spec out.wfes]\n";
+    return 2;
+  }
+  const std::string source = argv[1];
+  const std::string out_path = argv[2];
+  bool native = false;
+  std::uint64_t steps = 0;
+  std::string save_spec_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--native") {
+      native = true;
+    } else if (arg == "--steps" && i + 1 < argc) {
+      steps = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--save-spec" && i + 1 < argc) {
+      save_spec_path = argv[++i];
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    rt::EnsembleSpec spec;
+    if (source.size() > 5 && source.substr(source.size() - 5) == ".wfes") {
+      spec = rt::load_spec(source);
+    } else {
+      spec = wl::paper_config(source).spec;
+    }
+    if (steps > 0) spec.n_steps = steps;
+
+    rt::ExecutionResult result;
+    if (native) {
+      // Swap in the really-runnable small MD workload.
+      for (auto& m : spec.members) {
+        m.sim.natoms = 256;
+        m.sim.stride = 10;
+        m.sim.cores = 1;
+        m.sim.native = wl::native_md_config();
+        for (auto& a : m.analyses) a.cores = 1;
+      }
+      if (steps == 0) spec.n_steps = 4;
+      result = rt::NativeExecutor().run(spec);
+    } else {
+      rt::SimulatedExecutor exec(wl::cori_like_platform());
+      result = exec.run(spec);
+    }
+
+    met::save_trace(out_path, result.trace);
+    std::cout << "wrote " << result.trace.size() << " stage records for "
+              << spec.name << " to " << out_path << "\n";
+    if (!save_spec_path.empty()) {
+      rt::save_spec(save_spec_path, spec);
+      std::cout << "wrote the spec to " << save_spec_path << "\n";
+    }
+    return 0;
+  } catch (const wfe::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
