@@ -1,0 +1,94 @@
+// Extension — resilience of the ensemble under node crashes.
+//
+// The paper assesses fault-free executions; real campaigns at the scale of
+// Cori lose nodes. This experiment sweeps the per-node MTBF across orders
+// of magnitude around the ensemble makespan and replays the paper's C1.5
+// configuration under each recovery policy (retry with backoff,
+// checkpoint/restart, fail-member). For every (MTBF, policy) cell it
+// reports the effective makespan, the slowdown versus the fault-free run,
+// the recovery work performed (retries, restarts, checkpoints) and the
+// wasted core-hours — the resource-provisioning cost of resilience that
+// the paper's F indicators would have to absorb.
+#include "bench_common.hpp"
+
+#include "metrics/traditional.hpp"
+#include "resilience/fault_spec.hpp"
+
+int main() {
+  using namespace wfe;
+  bench::print_banner(
+      "Extension: fault injection and recovery (MTBF sweep)",
+      "Per-node exponential crashes swept across MTBF values, C1.5 spec,\n"
+      "one row per (MTBF, recovery policy). Makespan is the effective\n"
+      "(post-recovery) ensemble makespan; wasted core-h counts killed\n"
+      "partial stages.");
+
+  auto spec = wl::paper_config("C1.5").spec;
+  spec.n_steps = 12;
+  const auto platform = wl::cori_like_platform();
+
+  // Fault-free reference.
+  rt::SimulatedExecutor clean(platform);
+  const rt::ExecutionResult base = clean.run(spec);
+  const double base_makespan = met::ensemble_makespan(base.trace);
+  std::cout << "Fault-free ensemble makespan: "
+            << strprintf("%.1f s", base_makespan) << "\n\n";
+
+  const double mtbfs[] = {8 * base_makespan, 2 * base_makespan,
+                          base_makespan / 2, base_makespan / 8};
+  const struct {
+    res::RecoveryKind kind;
+    const char* name;
+  } policies[] = {
+      {res::RecoveryKind::kRetry, "retry"},
+      {res::RecoveryKind::kCheckpointRestart, "checkpoint"},
+      {res::RecoveryKind::kFailMember, "fail-member"},
+  };
+
+  Table table({"MTBF/makespan", "policy", "makespan [s]", "slowdown",
+               "crashes", "retries", "restarts", "ckpts", "wasted core-h",
+               "members done"});
+  for (const double mtbf : mtbfs) {
+    for (const auto& p : policies) {
+      rt::SimulatedOptions options;
+      options.faults = wl::node_crashes(mtbf, /*repair_s=*/60.0);
+      options.recovery.kind = p.kind;
+      options.recovery.max_retries = 6;
+      options.recovery.backoff_base_s = 1.0;
+      options.recovery.checkpoint_period = 3;
+      rt::SimulatedExecutor exec(platform, options);
+      const rt::ExecutionResult r = exec.run(spec);
+      const res::FailureSummary& fs = r.failure_summary;
+      // Table 1's ensemble_makespan presumes every member produced analysis
+      // records; under fail-member a member may die before its first one,
+      // so fall back to the trace-wide span (last stage end).
+      double makespan = 0.0;
+      for (const met::StageRecord& rec : r.trace.records()) {
+        makespan = std::max(makespan, rec.end);
+      }
+      const auto members = spec.members.size();
+      table.add_row(
+          {strprintf("%.2f", mtbf / base_makespan), p.name,
+           strprintf("%.1f", makespan),
+           strprintf("%.2fx", makespan / base_makespan),
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 fs.crash_stage_kills)),
+           strprintf("%llu",
+                     static_cast<unsigned long long>(fs.stage_retries)),
+           strprintf("%llu",
+                     static_cast<unsigned long long>(fs.member_restarts)),
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 fs.checkpoints_written)),
+           strprintf("%.2f", fs.wasted_core_hours()),
+           strprintf("%zu/%zu", members - fs.failed_members.size(),
+                     members)});
+    }
+  }
+  std::cout << table.render();
+  std::cout <<
+      "\nReading: with MTBF well above the makespan every policy is nearly\n"
+      "free; as it approaches the makespan checkpoint/restart bounds the\n"
+      "re-computed work while plain retry re-runs whole stages and\n"
+      "fail-member trades completion for resources returned early.\n";
+  return 0;
+}

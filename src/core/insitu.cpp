@@ -20,6 +20,14 @@ const char* to_string(StageKind kind) {
       return "A";
     case StageKind::kAnaIdle:
       return "I^A";
+    case StageKind::kFault:
+      return "F";
+    case StageKind::kBackoff:
+      return "B";
+    case StageKind::kCheckpoint:
+      return "C";
+    case StageKind::kRestart:
+      return "X";
   }
   return "?";
 }

@@ -13,14 +13,22 @@
 
 namespace wfe::core {
 
-/// The six fine-grained stages of Figure 6.
+/// The six fine-grained stages of Figure 6, plus the failure-semantics
+/// stages of the resilience extension (docs/RESILIENCE.md). The extra kinds
+/// are first-class trace citizens so effective makespan/efficiency under
+/// faults fall out of the same Table 1 computations, while steady-state
+/// extraction (which selects by kind) ignores them untouched.
 enum class StageKind : std::uint8_t {
-  kSimulate,  ///< S: the simulation computes
-  kSimIdle,   ///< I^S: the simulation waits for readers to drain
-  kWrite,     ///< W: the simulation stages data out
-  kRead,      ///< R: an analysis fetches staged data
-  kAnalyze,   ///< A: an analysis computes
-  kAnaIdle,   ///< I^A: an analysis waits for the next chunk
+  kSimulate,    ///< S: the simulation computes
+  kSimIdle,     ///< I^S: the simulation waits for readers to drain
+  kWrite,       ///< W: the simulation stages data out
+  kRead,        ///< R: an analysis fetches staged data
+  kAnalyze,     ///< A: an analysis computes
+  kAnaIdle,     ///< I^A: an analysis waits for the next chunk
+  kFault,       ///< F: work killed by an injected fault (wasted partial stage)
+  kBackoff,     ///< B: retry backoff / node-repair wait before a re-attempt
+  kCheckpoint,  ///< C: the simulation persists a restart checkpoint
+  kRestart,     ///< X: a member re-enters its state machine from a checkpoint
 };
 
 const char* to_string(StageKind kind);

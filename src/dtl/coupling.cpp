@@ -1,16 +1,39 @@
 #include "dtl/coupling.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "support/error.hpp"
 #include "support/str.hpp"
 
 namespace wfe::dtl {
 
-CouplingChannel::CouplingChannel(int reader_count, int capacity)
-    : capacity_(capacity) {
+namespace {
+
+/// Wait on `cv` until `pred` holds — bounded by `timeout_s` when positive.
+/// Returns false (instead of throwing here) on expiry so callers can add
+/// context to the TimeoutError.
+template <typename Pred>
+bool bounded_wait(std::condition_variable& cv,
+                  std::unique_lock<std::mutex>& lock, double timeout_s,
+                  Pred pred) {
+  if (timeout_s <= 0.0) {
+    cv.wait(lock, pred);
+    return true;
+  }
+  return cv.wait_for(lock, std::chrono::duration<double>(timeout_s), pred);
+}
+
+}  // namespace
+
+CouplingChannel::CouplingChannel(int reader_count, int capacity,
+                                 double wait_timeout_s)
+    : capacity_(capacity), wait_timeout_s_(wait_timeout_s) {
   WFE_REQUIRE(reader_count > 0, "a coupling needs at least one reader");
   WFE_REQUIRE(capacity >= 1, "the staging buffer holds at least one chunk");
+  WFE_REQUIRE(std::isfinite(wait_timeout_s) && wait_timeout_s >= 0.0,
+              "coupling wait timeout must be finite and non-negative");
   consumed_.assign(static_cast<std::size_t>(reader_count), -1);
 }
 
@@ -36,11 +59,17 @@ void CouplingChannel::begin_write(std::uint64_t step) {
   // wait until every reader consumed step - capacity.
   const std::int64_t horizon =
       static_cast<std::int64_t>(step) - static_cast<std::int64_t>(capacity_);
-  writer_cv_.wait(lock, [&] {
+  const bool drained = bounded_wait(writer_cv_, lock, wait_timeout_s_, [&] {
     return closed_ ||
            std::all_of(consumed_.begin(), consumed_.end(),
                        [&](std::int64_t c) { return c >= horizon; });
   });
+  if (!drained) {
+    throw TimeoutError(strprintf(
+        "begin_write(step %llu) timed out after %.3f s awaiting readers "
+        "(a reader hung or died)",
+        static_cast<unsigned long long>(step), wait_timeout_s_));
+  }
   if (closed_) throw ProtocolError("channel closed while awaiting readers");
   writing_ = static_cast<std::int64_t>(step);
 }
@@ -73,9 +102,15 @@ bool CouplingChannel::await_step(int reader, std::uint64_t step) {
         static_cast<unsigned long long>(step),
         static_cast<unsigned long long>(expected)));
   }
-  readers_cv_.wait(lock, [&] {
+  const bool arrived = bounded_wait(readers_cv_, lock, wait_timeout_s_, [&] {
     return closed_ || committed_ >= static_cast<std::int64_t>(step);
   });
+  if (!arrived) {
+    throw TimeoutError(strprintf(
+        "reader %d timed out after %.3f s awaiting step %llu "
+        "(the writer hung or died)",
+        reader, wait_timeout_s_, static_cast<unsigned long long>(step)));
+  }
   return committed_ >= static_cast<std::int64_t>(step);
 }
 

@@ -20,6 +20,12 @@
 // published-but-undrained chunks in flight (a bounded staging buffer).
 // capacity == 1 reproduces the paper's protocol exactly; the buffering
 // ablation (bench_ext_buffering) studies what relaxing it changes.
+//
+// Bounded waits (resilience extension): a `wait_timeout_s` > 0 turns every
+// blocking call (begin_write, await_step) into a bounded wait raising
+// wfe::TimeoutError when the peer fails to make progress in time — a hung
+// or dead component then surfaces as a catchable error instead of
+// deadlocking the whole ensemble. 0 keeps the historical unbounded waits.
 #pragma once
 
 #include <condition_variable>
@@ -33,16 +39,21 @@ class CouplingChannel {
  public:
   /// A channel for one writer and `reader_count` readers holding at most
   /// `capacity` published-but-undrained steps (1 = the paper's protocol).
-  explicit CouplingChannel(int reader_count, int capacity = 1);
+  /// `wait_timeout_s` > 0 bounds every blocking call (wfe::TimeoutError on
+  /// expiry); 0 waits forever.
+  explicit CouplingChannel(int reader_count, int capacity = 1,
+                           double wait_timeout_s = 0.0);
 
   int reader_count() const { return static_cast<int>(consumed_.size()); }
   int capacity() const { return capacity_; }
+  double wait_timeout_s() const { return wait_timeout_s_; }
 
   // -- writer side ----------------------------------------------------------
 
   /// Block until every reader has acknowledged step - capacity (no-op for
   /// the first `capacity` steps). `step` must be exactly one past the last
-  /// committed step. Throws ProtocolError on out-of-order calls.
+  /// committed step. Throws ProtocolError on out-of-order calls and
+  /// TimeoutError when a bounded wait expires before readers drain.
   void begin_write(std::uint64_t step);
 
   /// Publish step (readers blocked in await_step wake up). Must follow the
@@ -57,6 +68,8 @@ class CouplingChannel {
 
   /// Block until `step` is committed (returns true) or the channel closes
   /// without it (returns false). Readers must consume steps in order.
+  /// Throws TimeoutError when a bounded wait expires before the writer
+  /// commits.
   bool await_step(int reader, std::uint64_t step);
 
   /// Acknowledge that `reader` finished reading `step`; may unblock the
@@ -77,6 +90,7 @@ class CouplingChannel {
   std::condition_variable writer_cv_;
   std::condition_variable readers_cv_;
   int capacity_ = 1;
+  double wait_timeout_s_ = 0.0;  // 0 = unbounded
   std::int64_t committed_ = -1;  // last committed step
   std::int64_t writing_ = -1;    // step currently between begin/commit
   std::vector<std::int64_t> consumed_;  // per-reader last acked step

@@ -1,9 +1,23 @@
 #include "dtl/plugin.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
 #include "dtl/serde.hpp"
 #include "support/error.hpp"
+#include "support/str.hpp"
 
 namespace wfe::dtl {
+
+void FetchRetry::validate() const {
+  WFE_REQUIRE(max_attempts >= 1, "fetch needs at least one attempt");
+  WFE_REQUIRE(std::isfinite(backoff_base_s) && backoff_base_s >= 0.0,
+              "fetch backoff base must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(backoff_cap_s) && backoff_cap_s >= backoff_base_s,
+              "fetch backoff cap must be finite and at least the base");
+}
 
 void DtlPlugin::write(const Chunk& chunk) {
   backend_->put(chunk.key().str(), serialize(chunk));
@@ -13,6 +27,24 @@ Chunk DtlPlugin::read(const ChunkKey& key) const {
   auto bytes = backend_->get(key.str());
   if (!bytes) throw Error("DtlPlugin: no staged chunk under " + key.str());
   return deserialize(*bytes);
+}
+
+Chunk DtlPlugin::read(const ChunkKey& key, const FetchRetry& retry) const {
+  retry.validate();
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (auto bytes = backend_->get(key.str())) return deserialize(*bytes);
+    if (attempt == retry.max_attempts) break;
+    const double backoff =
+        std::min(retry.backoff_base_s *
+                     std::pow(2.0, static_cast<double>(attempt - 1)),
+                 retry.backoff_cap_s);
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+  throw TimeoutError(strprintf(
+      "DtlPlugin: chunk %s still absent after %d fetch attempts",
+      key.str().c_str(), retry.max_attempts));
 }
 
 bool DtlPlugin::exists(const ChunkKey& key) const {

@@ -19,6 +19,21 @@
 
 namespace wfe::dtl {
 
+/// Bounded retry/backoff schedule for staged-chunk fetches: under a real
+/// DTL a get can transiently miss (metadata propagation lag, in-flight
+/// RDMA, a restarted staging server repopulating). Instead of failing on
+/// the first miss or blocking forever, a fetch re-polls with exponential
+/// backoff and raises wfe::TimeoutError once the budget is exhausted.
+struct FetchRetry {
+  int max_attempts = 1;           ///< 1 = historical single-shot behavior
+  double backoff_base_s = 1e-4;   ///< sleep before attempt k: base * 2^(k-2)
+  double backoff_cap_s = 0.05;    ///< ceiling on one backoff sleep
+
+  /// Throws wfe::InvalidArgument on a non-positive attempt budget or
+  /// negative/non-finite backoff bounds.
+  void validate() const;
+};
+
 /// Chunk-level view of a staging backend.
 class DtlPlugin {
  public:
@@ -31,6 +46,11 @@ class DtlPlugin {
   /// Fetch and unmarshal the chunk stored under `key`.
   /// Throws wfe::Error if the key is absent.
   Chunk read(const ChunkKey& key) const;
+
+  /// Fetch with bounded retry/backoff: re-polls the backend up to
+  /// `retry.max_attempts` times, sleeping exponentially between attempts,
+  /// and throws wfe::TimeoutError once the budget is exhausted.
+  Chunk read(const ChunkKey& key, const FetchRetry& retry) const;
 
   bool exists(const ChunkKey& key) const;
 

@@ -14,9 +14,11 @@ namespace {
 
 using core::StageKind;
 
-const StageKind kAllKinds[] = {StageKind::kSimulate, StageKind::kSimIdle,
-                               StageKind::kWrite, StageKind::kRead,
-                               StageKind::kAnalyze, StageKind::kAnaIdle};
+const StageKind kAllKinds[] = {
+    StageKind::kSimulate, StageKind::kSimIdle,    StageKind::kWrite,
+    StageKind::kRead,     StageKind::kAnalyze,    StageKind::kAnaIdle,
+    StageKind::kFault,    StageKind::kBackoff,    StageKind::kCheckpoint,
+    StageKind::kRestart};
 
 StageKind kind_from_mnemonic(std::string_view m) {
   for (StageKind k : kAllKinds) {
@@ -42,6 +44,14 @@ std::string_view stage_mnemonic(StageKind kind) {
       return "A";
     case StageKind::kAnaIdle:
       return "IA";
+    case StageKind::kFault:
+      return "F";
+    case StageKind::kBackoff:
+      return "B";
+    case StageKind::kCheckpoint:
+      return "CP";
+    case StageKind::kRestart:
+      return "RS";
   }
   throw SerializationError("WFET: unknown stage kind");
 }

@@ -7,7 +7,8 @@
 //   ... <instructions> <cycles> <llc_refs> <llc_misses>
 //   ...
 //   end <record_count>
-// `kind` is the stage mnemonic (S, IS, W, R, A, IA). Parsing rejects any
+// `kind` is the stage mnemonic (S, IS, W, R, A, IA, and the resilience
+// stages F, B, CP, RS). Parsing rejects any
 // malformation with wfe::SerializationError. A CSV renderer is provided
 // for spreadsheet-side analysis (one-way).
 #pragma once

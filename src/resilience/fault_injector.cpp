@@ -1,0 +1,125 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::res {
+
+namespace {
+
+/// SplitMix64 finalizer used as a stateless mixing step for counter-based
+/// hashing (no generator state, so verdicts are order-independent).
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Map 64 bits to a uniform double in (0, 1) — never exactly 0 so a faulty
+/// attempt always wastes some work.
+double to_unit(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSpec& spec, int node_count)
+    : spec_(spec) {
+  spec_.validate();
+  WFE_REQUIRE(node_count > 0, "fault injector needs at least one node");
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int n = 0; n < node_count; ++n) {
+    nodes_.emplace_back(
+        mix(spec_.seed ^ mix(0xc4a54ULL + static_cast<std::uint64_t>(n))));
+  }
+}
+
+void FaultInjector::ensure_until(int node, double t) {
+  NodeTimeline& tl = nodes_[static_cast<std::size_t>(node)];
+  // Crashes cannot occur while the node is already down: each inter-arrival
+  // starts counting at the end of the previous repair window.
+  double horizon =
+      tl.crashes.empty() ? 0.0 : tl.crashes.back() + spec_.node_repair_s;
+  while (tl.crashes.empty() || tl.crashes.back() <= t) {
+    const double gap =
+        -spec_.node_mtbf_s * std::log(1.0 - tl.rng.uniform01());
+    horizon += gap;
+    tl.crashes.push_back(horizon);
+    horizon += spec_.node_repair_s;
+  }
+}
+
+double FaultInjector::first_crash_in(const std::vector<int>& nodes, double t0,
+                                     double t1) {
+  if (spec_.node_mtbf_s <= 0.0) return kNever;
+  double first = kNever;
+  for (int node : nodes) {
+    WFE_REQUIRE(node >= 0 && node < static_cast<int>(nodes_.size()),
+                "node index outside the fault injector's platform");
+    ensure_until(node, t1);
+    const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
+    const auto it = std::upper_bound(crashes.begin(), crashes.end(), t0);
+    if (it != crashes.end() && *it < t1) first = std::min(first, *it);
+  }
+  return first;
+}
+
+double FaultInjector::all_up_at(const std::vector<int>& nodes, double t) {
+  if (spec_.node_mtbf_s <= 0.0) return t;
+  // Waiting out one node's repair window may run into another's; iterate to
+  // a fixpoint (windows are finite and strictly advance, so this converges).
+  double ready = t;
+  for (;;) {
+    double pushed = ready;
+    for (int node : nodes) {
+      WFE_REQUIRE(node >= 0 && node < static_cast<int>(nodes_.size()),
+                  "node index outside the fault injector's platform");
+      ensure_until(node, pushed);
+      const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
+      // Only the latest crash at or before `pushed` can still cover it.
+      const auto it = std::upper_bound(crashes.begin(), crashes.end(), pushed);
+      if (it != crashes.begin() &&
+          pushed < *(it - 1) + spec_.node_repair_s) {
+        pushed = *(it - 1) + spec_.node_repair_s;
+      }
+    }
+    if (pushed == ready) return ready;
+    ready = pushed;
+  }
+}
+
+std::optional<double> FaultInjector::transient_point(std::uint32_t member,
+                                                     std::int32_t analysis,
+                                                     std::uint64_t step,
+                                                     core::StageKind kind,
+                                                     int attempt) {
+  double prob = 0.0;
+  switch (kind) {
+    case core::StageKind::kSimulate:
+    case core::StageKind::kAnalyze:
+      prob = spec_.stage_error_prob;
+      break;
+    case core::StageKind::kWrite:
+    case core::StageKind::kRead:
+      prob = spec_.transfer_loss_prob;
+      break;
+    default:
+      return std::nullopt;  // idle/bookkeeping stages never fault
+  }
+  if (prob <= 0.0) return std::nullopt;
+
+  std::uint64_t h = mix(spec_.seed ^ 0x7472616e73ULL);  // "trans" domain tag
+  h = mix(h ^ member);
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(analysis) +
+                                         1));
+  h = mix(h ^ step);
+  h = mix(h ^ static_cast<std::uint64_t>(kind));
+  h = mix(h ^ static_cast<std::uint64_t>(attempt));
+  if (to_unit(h) >= prob) return std::nullopt;
+  return to_unit(mix(h ^ 0x66726163ULL));  // "frac": where the attempt dies
+}
+
+}  // namespace wfe::res

@@ -1,0 +1,71 @@
+// FaultInjector: the deterministic fault timeline behind a FaultSpec.
+//
+// Two independent randomness domains, both derived from FaultSpec::seed:
+//
+//  * Node crashes — one lazily-extended Poisson schedule per node (its own
+//    SplitMix64-seeded xoshiro stream), so the crash timeline of node k is
+//    identical no matter which components run on it, in what order the
+//    executor queries it, or how far the replay gets.
+//  * Per-attempt stage verdicts — counter-based hashing of
+//    (member, analysis, step, kind, attempt): no generator state is
+//    consumed, so verdicts are independent of event ordering and two runs
+//    with the same seed agree attempt-by-attempt.
+//
+// The injector knows nothing about the discrete-event engine; the executor
+// asks it "when does this stage die?" and schedules the corresponding kill
+// events itself (cancelling in-flight completions via sim::Engine::cancel).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/stages.hpp"
+#include "resilience/fault_spec.hpp"
+#include "support/rng.hpp"
+
+namespace wfe::res {
+
+class FaultInjector {
+ public:
+  /// `node_count` bounds the node indexes that may be queried.
+  FaultInjector(const FaultSpec& spec, int node_count);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Earliest crash of any node in `nodes` strictly inside (t0, t1), or
+  /// +infinity if the interval is crash-free. A stage spanning [t0, t1)
+  /// survives a crash at exactly t0 (it starts after the node came up).
+  double first_crash_in(const std::vector<int>& nodes, double t0, double t1);
+
+  /// Earliest time >= t at which every node in `nodes` is up (outside all
+  /// repair windows). Returns t itself when all nodes are healthy.
+  double all_up_at(const std::vector<int>& nodes, double t);
+
+  /// Transient verdict for one stage attempt: nullopt if the attempt runs
+  /// clean, otherwise the fraction in (0, 1) of the stage duration at which
+  /// it dies. Compute stages (S, A) draw from stage_error_prob, transfer
+  /// stages (W, R) from transfer_loss_prob, everything else never faults.
+  /// Pure function of (seed, member, analysis, step, kind, attempt).
+  std::optional<double> transient_point(std::uint32_t member,
+                                        std::int32_t analysis,
+                                        std::uint64_t step,
+                                        core::StageKind kind, int attempt);
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+ private:
+  /// Extend node's crash schedule until its last crash strictly exceeds t.
+  void ensure_until(int node, double t);
+
+  struct NodeTimeline {
+    Xoshiro256 rng;
+    std::vector<double> crashes;  ///< sorted crash instants
+    explicit NodeTimeline(std::uint64_t seed) : rng(seed) {}
+  };
+
+  FaultSpec spec_;
+  std::vector<NodeTimeline> nodes_;
+};
+
+}  // namespace wfe::res

@@ -1,0 +1,71 @@
+#include "resilience/fault_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::res {
+
+void FaultSpec::validate() const {
+  WFE_REQUIRE(std::isfinite(node_mtbf_s) && node_mtbf_s >= 0.0,
+              "node MTBF must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(node_repair_s) && node_repair_s > 0.0,
+              "node repair time must be finite and positive");
+  WFE_REQUIRE(std::isfinite(stage_error_prob) && stage_error_prob >= 0.0 &&
+                  stage_error_prob <= 1.0,
+              "stage error probability must be in [0, 1]");
+  WFE_REQUIRE(std::isfinite(transfer_loss_prob) && transfer_loss_prob >= 0.0 &&
+                  transfer_loss_prob <= 1.0,
+              "transfer loss probability must be in [0, 1]");
+}
+
+const char* to_string(RecoveryKind kind) {
+  switch (kind) {
+    case RecoveryKind::kRetry:
+      return "retry";
+    case RecoveryKind::kCheckpointRestart:
+      return "checkpoint-restart";
+    case RecoveryKind::kFailMember:
+      return "fail-member";
+  }
+  return "?";
+}
+
+double RecoveryPolicy::backoff(int attempt) const {
+  const double unbounded =
+      backoff_base_s * std::pow(2.0, static_cast<double>(attempt - 1));
+  return std::min(unbounded, backoff_cap_s);
+}
+
+void RecoveryPolicy::validate() const {
+  WFE_REQUIRE(max_retries >= 0, "retry budget must be non-negative");
+  WFE_REQUIRE(std::isfinite(backoff_base_s) && backoff_base_s >= 0.0,
+              "backoff base must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(backoff_cap_s) && backoff_cap_s >= backoff_base_s,
+              "backoff cap must be finite and at least the base");
+  WFE_REQUIRE(checkpoint_period >= 1,
+              "checkpoint period must be at least one step");
+  WFE_REQUIRE(std::isfinite(checkpoint_cost_s) && checkpoint_cost_s >= 0.0,
+              "checkpoint cost must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(restart_cost_s) && restart_cost_s >= 0.0,
+              "restart cost must be finite and non-negative");
+  WFE_REQUIRE(max_restarts >= 0, "restart budget must be non-negative");
+}
+
+std::string FailureSummary::str() const {
+  return strprintf(
+      "faults=%llu (crash=%llu transient=%llu) retries=%llu checkpoints=%llu "
+      "restarts=%llu recovered=%llu failed=%llu wasted=%.3f core-h",
+      static_cast<unsigned long long>(faults_injected()),
+      static_cast<unsigned long long>(crash_stage_kills),
+      static_cast<unsigned long long>(transient_stage_faults),
+      static_cast<unsigned long long>(stage_retries),
+      static_cast<unsigned long long>(checkpoints_written),
+      static_cast<unsigned long long>(member_restarts),
+      static_cast<unsigned long long>(members_recovered),
+      static_cast<unsigned long long>(members_failed), wasted_core_hours());
+}
+
+}  // namespace wfe::res

@@ -1,0 +1,117 @@
+// Fault model and recovery policies for ensembles of in situ workflows.
+//
+// The paper's execution model (§3.1) — like Do et al. 2022 and SIM-SITU —
+// assumes every component of every member runs to completion. This module
+// drops that assumption: a FaultSpec describes *what* can go wrong (node
+// crashes from a per-node exponential MTBF process, transient stage errors,
+// staging-transfer losses), a RecoveryPolicy describes *how* the runtime
+// responds (retry with exponential backoff, restart from a checkpoint, or
+// abandon the member), and a FailureSummary accounts for what it all cost.
+//
+// Everything is seeded and deterministic: the same FaultSpec + seed yields
+// the same fault timeline regardless of host, so faulty executions are as
+// reproducible as fault-free ones (see docs/RESILIENCE.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wfe::res {
+
+/// What can go wrong, and how often. All-zero rates (the default) disable
+/// injection entirely; the executor then takes its pristine fast path and
+/// produces bit-identical traces to a build without this module.
+struct FaultSpec {
+  /// Mean time between failures of one node, seconds of virtual time.
+  /// Crashes follow a per-node Poisson process (exponential inter-arrival
+  /// times); 0 disables node crashes.
+  double node_mtbf_s = 0.0;
+
+  /// Downtime after a crash before the node serves compute again.
+  double node_repair_s = 120.0;
+
+  /// Probability that one compute-stage attempt (S or A) dies mid-stage
+  /// from a transient error (bit flip, OOM kill, ...). Per attempt.
+  double stage_error_prob = 0.0;
+
+  /// Probability that one staging-transfer attempt (W or R) is lost in the
+  /// DTL and must be redone. Per attempt.
+  double transfer_loss_prob = 0.0;
+
+  /// Seed of the fault timeline; independent of the executor's jitter seed
+  /// so enabling faults never perturbs the fault-free stage durations.
+  std::uint64_t seed = 0xfa117u;
+
+  /// True if any failure mode has a nonzero rate.
+  bool enabled() const {
+    return node_mtbf_s > 0.0 || stage_error_prob > 0.0 ||
+           transfer_loss_prob > 0.0;
+  }
+
+  /// Throws wfe::InvalidArgument on negative/non-finite rates, a
+  /// probability outside [0, 1], or a non-positive repair time.
+  void validate() const;
+};
+
+/// How the runtime reacts to an injected fault.
+enum class RecoveryKind : std::uint8_t {
+  kRetry,              ///< re-run the killed stage after exponential backoff
+  kCheckpointRestart,  ///< roll the whole member back to its last checkpoint
+  kFailMember,         ///< abandon the member; the rest of the ensemble runs on
+};
+
+const char* to_string(RecoveryKind kind);
+
+struct RecoveryPolicy {
+  RecoveryKind kind = RecoveryKind::kRetry;
+
+  /// kRetry: attempts beyond the first per stage before the member is
+  /// declared failed.
+  int max_retries = 3;
+  /// kRetry: backoff before attempt k is min(base * 2^(k-1), cap).
+  double backoff_base_s = 0.5;
+  double backoff_cap_s = 30.0;
+
+  /// kCheckpointRestart: a checkpoint is written every this many committed
+  /// in situ steps...
+  std::uint64_t checkpoint_period = 5;
+  /// ...at this cost (recorded as a kCheckpoint stage on the simulation).
+  double checkpoint_cost_s = 0.5;
+  /// Restart overhead on top of any node-repair wait (kRestart stage).
+  double restart_cost_s = 2.0;
+  /// Restarts per member before it is declared failed.
+  int max_restarts = 8;
+
+  /// Backoff before retry attempt `attempt` (1-based): exponential, capped.
+  double backoff(int attempt) const;
+
+  /// Throws wfe::InvalidArgument on non-positive budgets/periods or
+  /// negative/non-finite costs.
+  void validate() const;
+};
+
+/// What the faults cost one execution; attached to every ExecutionResult.
+struct FailureSummary {
+  std::uint64_t crash_stage_kills = 0;    ///< stages killed by node crashes
+  std::uint64_t transient_stage_faults = 0;  ///< stages killed by transient errors
+  std::uint64_t stage_retries = 0;        ///< re-attempts issued (kRetry)
+  std::uint64_t checkpoints_written = 0;  ///< kCheckpoint stages recorded
+  std::uint64_t member_restarts = 0;      ///< checkpoint rollbacks performed
+  std::uint64_t members_recovered = 0;    ///< members that saw >=1 fault yet finished
+  std::uint64_t members_failed = 0;       ///< members abandoned before completion
+  double wasted_core_seconds = 0.0;       ///< cores x killed partial-stage time
+  std::vector<std::uint32_t> failed_members;  ///< ids of abandoned members
+
+  std::uint64_t faults_injected() const {
+    return crash_stage_kills + transient_stage_faults;
+  }
+  double wasted_core_hours() const { return wasted_core_seconds / 3600.0; }
+  /// True when every member ran to completion.
+  bool complete() const { return members_failed == 0; }
+
+  /// One-line human-readable digest for tools and benches.
+  std::string str() const;
+};
+
+}  // namespace wfe::res

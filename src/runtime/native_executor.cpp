@@ -26,6 +26,27 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// First-exception latch shared by all component threads. A thread that
+/// throws (TimeoutError from a bounded coupling wait, a DTL fetch failure,
+/// a protocol violation) parks its exception here and closes its member's
+/// channel so the coupled peers unblock; run() rethrows the first captured
+/// exception after joining instead of letting std::thread call
+/// std::terminate.
+struct FailureLatch {
+  std::mutex mutex;
+  std::exception_ptr first;
+
+  void capture(std::exception_ptr error) {
+    std::lock_guard lock(mutex);
+    if (!first) first = error;
+  }
+
+  void rethrow_if_set() {
+    std::lock_guard lock(mutex);
+    if (first) std::rethrow_exception(first);
+  }
+};
+
 void run_simulation(const SimulationSpec& spec, std::uint32_t member,
                     std::uint64_t n_steps, dtl::DtlPlugin plugin,
                     std::shared_ptr<dtl::CouplingChannel> channel,
@@ -63,7 +84,7 @@ void run_simulation(const SimulationSpec& spec, std::uint32_t member,
 
 void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
                   std::int32_t index, std::uint64_t n_steps,
-                  dtl::DtlPlugin plugin,
+                  dtl::DtlPlugin plugin, dtl::FetchRetry fetch,
                   std::shared_ptr<dtl::CouplingChannel> channel,
                   met::TraceRecorder& recorder, Clock::time_point epoch,
                   std::vector<ana::AnalysisResult>& outputs,
@@ -79,7 +100,7 @@ void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
     recorder.record({id, step, StageKind::kAnaIdle, t0, t1, {}});
     if (!available) break;  // writer finished early
 
-    const dtl::Chunk chunk = plugin.read(dtl::ChunkKey{member, step});
+    const dtl::Chunk chunk = plugin.read(dtl::ChunkKey{member, step}, fetch);
     channel->ack_read(index, step);
     const double t2 = seconds_since(epoch);
     recorder.record({id, step, StageKind::kRead, t1, t2, {}});
@@ -123,31 +144,55 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
   };
   std::vector<std::unique_ptr<AnalysisSlot>> slots;
   std::vector<std::thread> threads;
+  FailureLatch latch;
+
+  // Run a component body, trapping any exception: the first one is latched
+  // for rethrow after join, and the member's channel closes so every peer
+  // blocked on the failed component unwinds instead of waiting forever.
+  const auto guarded = [&latch](std::shared_ptr<dtl::CouplingChannel> channel,
+                                auto body) {
+    return [&latch, channel = std::move(channel),
+            body = std::move(body)]() mutable {
+      try {
+        body();
+      } catch (...) {
+        latch.capture(std::current_exception());
+        channel->close();
+      }
+    };
+  };
 
   for (std::size_t i = 0; i < spec.members.size(); ++i) {
     const MemberSpec& ms = spec.members[i];
     WFE_REQUIRE(!ms.analyses.empty(), "member couples no analysis");
     const auto member = static_cast<std::uint32_t>(i);
     auto channel = std::make_shared<dtl::CouplingChannel>(
-        static_cast<int>(ms.analyses.size()), ms.buffer_capacity);
+        static_cast<int>(ms.analyses.size()), ms.buffer_capacity,
+        options_.coupling_timeout_s);
     dtl::DtlPlugin plugin(*staging);
 
-    threads.emplace_back(run_simulation, std::cref(ms.sim), member, n_steps,
-                         plugin, channel, std::ref(recorder), epoch);
+    threads.emplace_back(guarded(channel, [&, member, plugin, channel] {
+      run_simulation(spec.members[member].sim, member, n_steps, plugin,
+                     channel, recorder, epoch);
+    }));
 
     for (std::size_t j = 0; j < ms.analyses.size(); ++j) {
       auto slot = std::make_unique<AnalysisSlot>();
       slot->id = met::ComponentId{member, static_cast<std::int32_t>(j)};
       AnalysisSlot* raw = slot.get();
       slots.push_back(std::move(slot));
-      threads.emplace_back(run_analysis, std::cref(ms.analyses[j]), member,
-                           static_cast<std::int32_t>(j), n_steps, plugin,
-                           channel, std::ref(recorder), epoch,
-                           std::ref(raw->outputs), std::ref(raw->mutex));
+      threads.emplace_back(guarded(channel, [&, member, j, plugin, channel,
+                                             raw] {
+        run_analysis(spec.members[member].analyses[j], member,
+                     static_cast<std::int32_t>(j), n_steps, plugin,
+                     options_.chunk_fetch, channel, recorder, epoch,
+                     raw->outputs, raw->mutex);
+      }));
     }
   }
 
   for (std::thread& t : threads) t.join();
+  latch.rethrow_if_set();
 
   ExecutionResult result;
   result.trace = recorder.take();

@@ -14,6 +14,7 @@
 // stay zero — Table 1 cache metrics are a simulated-mode product.
 #pragma once
 
+#include "dtl/plugin.hpp"
 #include "runtime/result.hpp"
 #include "runtime/spec.hpp"
 
@@ -29,6 +30,13 @@ struct NativeOptions {
   enum class StagingTier { kMemory, kFile } staging = StagingTier::kMemory;
   /// Spool directory for the file tier (empty = std temp dir).
   std::string spool_dir;
+  /// Bound every coupling handshake wait (I^S, I^A) to this many seconds;
+  /// a hung or dead peer component then surfaces as wfe::TimeoutError from
+  /// run() instead of deadlocking the ensemble. 0 = wait forever.
+  double coupling_timeout_s = 0.0;
+  /// Retry/backoff schedule for staged-chunk fetches (see dtl::FetchRetry);
+  /// the default is the historical single-shot read.
+  dtl::FetchRetry chunk_fetch;
 };
 
 class NativeExecutor {

@@ -6,6 +6,7 @@
 
 #include "analysis/kernel.hpp"
 #include "metrics/trace.hpp"
+#include "resilience/fault_spec.hpp"
 
 namespace wfe::rt {
 
@@ -22,6 +23,12 @@ struct ExecutionResult {
   };
   /// Empty in simulated mode (no real kernels run there).
   std::vector<AnalysisSeries> analysis_outputs;
+
+  /// What fault injection did to this run (all zeros when injection was
+  /// disabled or in native mode). `failure_summary.complete()` is false
+  /// when at least one member was abandoned — its trace and indicators
+  /// then describe a partial execution.
+  res::FailureSummary failure_summary;
 };
 
 }  // namespace wfe::rt

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "analysis/cost_model.hpp"
 #include "dtl/serde.hpp"
 #include "mdsim/cost_model.hpp"
 #include "platform/cluster.hpp"
+#include "resilience/fault_injector.hpp"
 #include "simengine/engine.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -21,6 +24,8 @@ namespace {
 using core::StageKind;
 using sim::Engine;
 
+struct MemberRun;
+
 /// Whole-replay context shared by all component state machines.
 struct Replay {
   const EnsembleSpec& spec;
@@ -30,6 +35,13 @@ struct Replay {
   Xoshiro256 rng;
   double jitter_sigma = 0.0;  ///< lognormal sigma; 0 = deterministic
 
+  /// Fault layer; null while injection is disabled, in which case every
+  /// stage takes the pristine code path (bit-identical to the fault-free
+  /// replay: no extra RNG draws, no extra events, no extra records).
+  std::unique_ptr<res::FaultInjector> injector;
+  res::RecoveryPolicy policy;
+  res::FailureSummary summary;
+
   Replay(const EnsembleSpec& s, const plat::PlatformSpec& platform,
          const SimulatedOptions& options)
       : spec(s), cluster(platform), rng(options.seed) {
@@ -38,7 +50,14 @@ struct Replay {
       jitter_sigma =
           std::sqrt(std::log1p(options.jitter_cv * options.jitter_cv));
     }
+    if (options.faults.enabled()) {
+      injector = std::make_unique<res::FaultInjector>(options.faults,
+                                                      platform.node_count);
+      policy = options.recovery;
+    }
   }
+
+  bool faulty() const { return injector != nullptr; }
 
   /// Mean-preserving multiplicative noise factor for one stage duration.
   double jitter() {
@@ -100,6 +119,12 @@ struct ComponentFootprint {
     return std::any_of(partitions.begin(), partitions.end(),
                        [&](const Partition& p) { return p.node == node; });
   }
+  std::vector<int> node_list() const {
+    std::vector<int> nodes;
+    nodes.reserve(partitions.size());
+    for (const Partition& p : partitions) nodes.push_back(p.node);
+    return nodes;
+  }
 
   /// Price one compute stage at the current cluster state.
   plat::StageCost priced(Replay& rp) const;
@@ -129,13 +154,42 @@ plat::StageCost ComponentFootprint::priced(Replay& rp) const {
   return total;
 }
 
-struct MemberRun;
+/// One fault-killable execution slot: the component's pending engine event
+/// (stage completion, scheduled fault, or retry re-attempt) plus everything
+/// a recovery needs to account for it or re-run it.
+struct InFlight {
+  bool active = false;
+  sim::EventId event{};
+  StageKind kind = StageKind::kSimulate;
+  std::uint64_t step = 0;
+  double start = 0.0;
+  double duration = 0.0;
+  plat::HwCounters counters;
+  int attempt = 1;
+  std::function<void()> done;
+};
+
+/// The fault-visible identity of one component's execution: who it is,
+/// where it computes, which member recovery escalates to, and its in-flight
+/// slot. Embedded in MemberRun (simulation side) and AnalysisRun.
+struct StageExec {
+  met::ComponentId id;
+  MemberRun* member = nullptr;
+  const ComponentFootprint* footprint = nullptr;
+  std::vector<int> nodes;  ///< cached node list for crash queries
+  InFlight fl;
+};
+
+void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
+                double seconds, const plat::HwCounters& counters,
+                std::function<void()> done);
 
 /// One analysis component's state machine.
 struct AnalysisRun {
   MemberRun* member = nullptr;
   met::ComponentId id;
   ComponentFootprint footprint;
+  StageExec sx;
   std::uint64_t next_step = 0;
   double idle_since = 0.0;  ///< when the current I^A wait began
   bool waiting = false;     ///< parked until the chunk is committed
@@ -148,6 +202,7 @@ struct AnalysisRun {
 struct MemberRun {
   met::ComponentId sim_id;
   ComponentFootprint sim;
+  StageExec sim_sx;
   double chunk_bytes = 0.0;
 
   std::uint64_t sim_step = 0;
@@ -158,6 +213,13 @@ struct MemberRun {
   std::vector<std::int64_t> consumed;  ///< per-reader last finished R
 
   std::vector<AnalysisRun> analyses;
+
+  // -- resilience state (untouched while injection is disabled) -----------
+  bool faulted = false;   ///< saw at least one injected fault
+  bool failed = false;    ///< abandoned by policy; schedules nothing more
+  int restarts = 0;       ///< checkpoint rollbacks performed so far
+  std::uint64_t checkpoint_step = 0;  ///< sim re-enters here on restart
+  std::vector<int> union_nodes;       ///< all nodes any component touches
 
   /// Bounded-buffer rule: W of `step` may start once every reader drained
   /// step - capacity (capacity 1 = the paper's no-buffering protocol).
@@ -205,7 +267,199 @@ struct MemberRun {
   void start_write(Replay& rp);
   void commit(Replay& rp);
   void on_read_done(Replay& rp, int reader, std::uint64_t step);
+
+  // -- recovery entry points (fault mode only) ----------------------------
+  void kill_all_in_flight(Replay& rp);
+  void restart_from_checkpoint(Replay& rp);
+  void fail(Replay& rp);
 };
+
+/// Cancel one component's pending event. Killed work (anything but a
+/// pending retry backoff) is recorded as a kFault stage and priced into the
+/// wasted-work account; the cancelled event never fires.
+void kill_in_flight(Replay& rp, StageExec& se) {
+  if (!se.fl.active) return;
+  rp.engine.cancel(se.fl.event);
+  se.fl.active = false;
+  if (se.fl.kind == StageKind::kBackoff) return;  // no work was in flight
+  const double now = rp.engine.now();
+  rp.recorder.record(
+      {se.id, se.fl.step, StageKind::kFault, se.fl.start, now, {}});
+  rp.summary.wasted_core_seconds +=
+      (now - se.fl.start) * static_cast<double>(se.footprint->total_cores);
+}
+
+void on_stage_fault(Replay& rp, StageExec& se, bool is_crash);
+
+/// One attempt of one fault-killable stage. Consults the injector for the
+/// first crash or transient error landing inside the attempt and schedules
+/// either the completion or the kill, whichever comes first.
+void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
+                   StageKind kind, double seconds,
+                   const plat::HwCounters& counters,
+                   std::function<void()> done, int attempt) {
+  if (se.member->failed) return;
+  const double t0 = rp.engine.now();
+
+  // A node mid-repair defers the attempt until the whole node set is up.
+  const double up = rp.injector->all_up_at(se.nodes, t0);
+  if (up > t0) {
+    se.fl = InFlight{true, {}, StageKind::kBackoff, step, t0,
+                     up - t0,  counters, attempt, done};
+    se.fl.event = rp.engine.schedule_at(
+        up, [&rp, &se, step, kind, seconds, counters, done, attempt, t0,
+             up] {
+          se.fl.active = false;
+          rp.recorder.record(
+              {se.id, step, StageKind::kBackoff, t0, up, {}});
+          attempt_stage(rp, se, step, kind, seconds, counters, done,
+                        attempt);
+        });
+    return;
+  }
+
+  // When does this attempt die, if at all?
+  double fail_t = rp.injector->first_crash_in(se.nodes, t0, t0 + seconds);
+  bool is_crash = true;
+  if (const auto frac = rp.injector->transient_point(
+          se.id.member, se.id.analysis, step, kind, attempt)) {
+    const double tt = t0 + *frac * seconds;
+    if (tt < fail_t) {
+      fail_t = tt;
+      is_crash = false;
+    }
+  }
+
+  if (fail_t == res::FaultInjector::kNever) {
+    se.fl = InFlight{true, {}, kind, step, t0, seconds, counters, attempt,
+                     done};
+    se.fl.event = rp.engine.schedule_in(
+        seconds, [&rp, &se, step, kind, seconds, counters, done, t0] {
+          se.fl.active = false;
+          rp.recorder.record(
+              {se.id, step, kind, t0, t0 + seconds, counters});
+          done();
+        });
+    return;
+  }
+
+  se.fl = InFlight{true, {}, kind, step, t0, seconds, counters, attempt,
+                   done};
+  se.fl.event = rp.engine.schedule_at(fail_t, [&rp, &se, is_crash] {
+    se.fl.active = false;
+    on_stage_fault(rp, se, is_crash);
+  });
+}
+
+/// Run one stage to completion, recording it in the trace. Fault-free mode
+/// is byte-for-byte the original replay (record at start, one completion
+/// event); fault mode routes through attempt_stage.
+void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
+                double seconds, const plat::HwCounters& counters,
+                std::function<void()> done) {
+  if (!rp.faulty()) {
+    const double now = rp.engine.now();
+    rp.recorder.record({se.id, step, kind, now, now + seconds, counters});
+    rp.engine.schedule_in(seconds, std::move(done));
+    return;
+  }
+  attempt_stage(rp, se, step, kind, seconds, counters, std::move(done), 1);
+}
+
+/// An injected fault killed `se`'s in-flight stage: account for the lost
+/// work and dispatch the member's recovery policy.
+void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
+  const InFlight fl = se.fl;  // copy: recovery below overwrites the slot
+  const double now = rp.engine.now();
+  rp.recorder.record({se.id, fl.step, StageKind::kFault, fl.start, now, {}});
+  rp.summary.wasted_core_seconds +=
+      (now - fl.start) * static_cast<double>(se.footprint->total_cores);
+  if (is_crash) {
+    ++rp.summary.crash_stage_kills;
+  } else {
+    ++rp.summary.transient_stage_faults;
+  }
+  se.member->faulted = true;
+
+  switch (rp.policy.kind) {
+    case res::RecoveryKind::kRetry: {
+      if (fl.attempt > rp.policy.max_retries) {
+        se.member->fail(rp);
+        return;
+      }
+      ++rp.summary.stage_retries;
+      const int next_attempt = fl.attempt + 1;
+      // Wait out any repair window, then the exponential backoff.
+      const double resume =
+          rp.injector->all_up_at(se.nodes, now) + rp.policy.backoff(fl.attempt);
+      se.fl = InFlight{true, {}, StageKind::kBackoff, fl.step, now,
+                       resume - now, fl.counters, next_attempt, fl.done};
+      se.fl.event = rp.engine.schedule_at(
+          resume, [&rp, &se, fl, now, resume, next_attempt] {
+            se.fl.active = false;
+            rp.recorder.record(
+                {se.id, fl.step, StageKind::kBackoff, now, resume, {}});
+            attempt_stage(rp, se, fl.step, fl.kind, fl.duration, fl.counters,
+                          fl.done, next_attempt);
+          });
+      return;
+    }
+    case res::RecoveryKind::kCheckpointRestart:
+      se.member->restart_from_checkpoint(rp);
+      return;
+    case res::RecoveryKind::kFailMember:
+      se.member->fail(rp);
+      return;
+  }
+}
+
+void MemberRun::kill_all_in_flight(Replay& rp) {
+  kill_in_flight(rp, sim_sx);
+  for (AnalysisRun& a : analyses) kill_in_flight(rp, a.sx);
+}
+
+void MemberRun::restart_from_checkpoint(Replay& rp) {
+  faulted = true;
+  if (restarts >= rp.policy.max_restarts) {
+    fail(rp);
+    return;
+  }
+  ++restarts;
+  ++rp.summary.member_restarts;
+  kill_all_in_flight(rp);
+
+  const double now = rp.engine.now();
+  const double resume =
+      rp.injector->all_up_at(union_nodes, now) + rp.policy.restart_cost_s;
+  rp.recorder.record(
+      {sim_id, checkpoint_step, StageKind::kRestart, now, resume, {}});
+
+  // Roll the member back: the simulation re-enters at the checkpointed
+  // step and re-commits from there. Analyses keep their own progress —
+  // one that already consumed step k simply waits until the simulation
+  // catches back up to k (re-reads after a rollback are idempotent in
+  // on_read_done).
+  sim_step = checkpoint_step;
+  committed = static_cast<std::int64_t>(checkpoint_step) - 1;
+  sim_blocked = false;
+  for (AnalysisRun& a : analyses) a.waiting = false;
+
+  rp.engine.schedule_at(resume, [this, &rp] {
+    if (failed) return;
+    if (sim_step < rp.spec.n_steps) start_sim_step(rp);
+    for (AnalysisRun& a : analyses) {
+      if (a.next_step < rp.spec.n_steps) a.try_read(rp);
+    }
+  });
+}
+
+void MemberRun::fail(Replay& rp) {
+  if (failed) return;
+  failed = true;
+  kill_all_in_flight(rp);
+  ++rp.summary.members_failed;
+  rp.summary.failed_members.push_back(sim_id.member);
+}
 
 void MemberRun::start_sim_step(Replay& rp) {
   // Residency-based contention: price against the other components that
@@ -214,10 +468,8 @@ void MemberRun::start_sim_step(Replay& rp) {
   const double factor = rp.jitter();
   cost.seconds *= factor;
   cost.counters.cycles *= factor;  // time noise shows up as cycle noise
-  const double now = rp.engine.now();
-  rp.recorder.record({sim_id, sim_step, StageKind::kSimulate, now,
-                      now + cost.seconds, cost.counters});
-  rp.engine.schedule_in(cost.seconds, [this, &rp] { after_sim_compute(rp); });
+  exec_stage(rp, sim_sx, sim_step, StageKind::kSimulate, cost.seconds,
+             cost.counters, [this, &rp] { after_sim_compute(rp); });
 }
 
 void MemberRun::after_sim_compute(Replay& rp) {
@@ -234,8 +486,8 @@ void MemberRun::start_write(Replay& rp) {
   rp.recorder.record(
       {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
   const double w = write_time(rp) * rp.jitter();
-  rp.recorder.record({sim_id, sim_step, StageKind::kWrite, now, now + w, {}});
-  rp.engine.schedule_in(w, [this, &rp] { commit(rp); });
+  exec_stage(rp, sim_sx, sim_step, StageKind::kWrite, w, {},
+             [this, &rp] { commit(rp); });
 }
 
 void MemberRun::commit(Replay& rp) {
@@ -248,6 +500,23 @@ void MemberRun::commit(Replay& rp) {
       a.start_read(rp);
     }
   }
+  // Under checkpoint-restart, persist a restart point every
+  // checkpoint_period committed steps before computing on (the checkpoint
+  // itself is a killable stage; only its completion moves the rollback
+  // target forward).
+  if (rp.faulty() &&
+      rp.policy.kind == res::RecoveryKind::kCheckpointRestart &&
+      sim_step < rp.spec.n_steps &&
+      sim_step % rp.policy.checkpoint_period == 0) {
+    const std::uint64_t target = sim_step;
+    exec_stage(rp, sim_sx, sim_step - 1, StageKind::kCheckpoint,
+               rp.policy.checkpoint_cost_s, {}, [this, &rp, target] {
+                 checkpoint_step = target;
+                 ++rp.summary.checkpoints_written;
+                 start_sim_step(rp);
+               });
+    return;
+  }
   if (sim_step < rp.spec.n_steps) {
     start_sim_step(rp);
   }
@@ -255,6 +524,11 @@ void MemberRun::commit(Replay& rp) {
 
 void MemberRun::on_read_done(Replay& rp, int reader, std::uint64_t step) {
   auto& last = consumed[static_cast<std::size_t>(reader)];
+  if (last == static_cast<std::int64_t>(step)) {
+    // A checkpoint rollback re-committed a step this reader had already
+    // consumed before the fault; the repeated read is idempotent.
+    return;
+  }
   WFE_REQUIRE(last + 1 == static_cast<std::int64_t>(step),
               "reader finished a step out of order");
   last = static_cast<std::int64_t>(step);
@@ -281,21 +555,18 @@ void AnalysisRun::start_read(Replay& rp) {
   // co-located partitions pay memory copies, remote ones network
   // transfers).
   const double r = member->read_time(rp, footprint) * rp.jitter();
-  rp.recorder.record({id, next_step, StageKind::kRead, now, now + r, {}});
-  rp.engine.schedule_in(r, [this, &rp] {
+  exec_stage(rp, sx, next_step, StageKind::kRead, r, {}, [this, &rp] {
     member->on_read_done(rp, id.analysis, next_step);
     // Analyze.
     plat::StageCost cost = footprint.priced(rp);
     const double factor = rp.jitter();
     cost.seconds *= factor;
     cost.counters.cycles *= factor;
-    const double t = rp.engine.now();
-    rp.recorder.record({id, next_step, StageKind::kAnalyze, t,
-                        t + cost.seconds, cost.counters});
-    rp.engine.schedule_in(cost.seconds, [this, &rp] {
-      ++next_step;
-      if (next_step < rp.spec.n_steps) try_read(rp);
-    });
+    exec_stage(rp, sx, next_step, StageKind::kAnalyze, cost.seconds,
+               cost.counters, [this, &rp] {
+                 ++next_step;
+                 if (next_step < rp.spec.n_steps) try_read(rp);
+               });
   });
 }
 
@@ -305,8 +576,12 @@ SimulatedExecutor::SimulatedExecutor(plat::PlatformSpec platform,
                                      SimulatedOptions options)
     : platform_(std::move(platform)), options_(options) {
   platform_.validate();
+  WFE_REQUIRE(std::isfinite(options_.jitter_cv),
+              "jitter coefficient of variation must be finite");
   WFE_REQUIRE(options_.jitter_cv >= 0.0,
               "jitter coefficient of variation must be non-negative");
+  options_.faults.validate();
+  options_.recovery.validate();
 }
 
 ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
@@ -331,6 +606,9 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
         static_cast<double>(dtl::kChunkHeaderBytes);
     run->buffer_capacity = ms.buffer_capacity;
     run->consumed.assign(ms.analyses.size(), -1);
+    run->sim_sx =
+        StageExec{run->sim_id, run.get(), &run->sim, run->sim.node_list(), {}};
+    run->union_nodes = run->sim.node_list();
 
     for (std::size_t j = 0; j < ms.analyses.size(); ++j) {
       const AnalysisSpec& as = ms.analyses[j];
@@ -340,7 +618,19 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
                               static_cast<std::int32_t>(j)};
       a.footprint.init(rp, as.nodes, as.cores,
                        ana::analysis_stage_profile(as.cost, ms.sim.natoms));
-      run->analyses.push_back(a);
+      run->analyses.push_back(std::move(a));
+    }
+    // AnalysisRun addresses are stable from here on; wire the back-pointers
+    // used by the fault layer.
+    for (AnalysisRun& a : run->analyses) {
+      a.sx = StageExec{a.id, run.get(), &a.footprint, a.footprint.node_list(),
+                       {}};
+      for (int n : a.sx.nodes) {
+        if (std::find(run->union_nodes.begin(), run->union_nodes.end(), n) ==
+            run->union_nodes.end()) {
+          run->union_nodes.push_back(n);
+        }
+      }
     }
     members.push_back(std::move(run));
   }
@@ -358,9 +648,16 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
 
   rp.engine.run();
 
+  if (rp.faulty()) {
+    for (const auto& m : members) {
+      if (m->faulted && !m->failed) ++rp.summary.members_recovered;
+    }
+  }
+
   ExecutionResult result;
   result.trace = rp.recorder.take();
   result.n_steps = spec.n_steps;
+  result.failure_summary = std::move(rp.summary);
   return result;
 }
 

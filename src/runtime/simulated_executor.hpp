@@ -20,6 +20,7 @@
 #pragma once
 
 #include "platform/spec.hpp"
+#include "resilience/fault_spec.hpp"
 #include "runtime/result.hpp"
 #include "runtime/spec.hpp"
 
@@ -33,6 +34,14 @@ struct SimulatedOptions {
   /// reproducible given `seed`.
   double jitter_cv = 0.0;
   std::uint64_t seed = 0x5eed;
+
+  /// Fault model (docs/RESILIENCE.md). The default spec is all-zero rates:
+  /// injection fully disabled, and the replay takes the pristine code path
+  /// producing bit-identical traces to a fault-unaware build.
+  res::FaultSpec faults;
+  /// How the replay recovers when `faults` injects one. Ignored while
+  /// injection is disabled.
+  res::RecoveryPolicy recovery;
 };
 
 class SimulatedExecutor {

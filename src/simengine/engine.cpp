@@ -1,5 +1,6 @@
 #include "simengine/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -12,7 +13,8 @@ EventId Engine::schedule_at(SimTime t, Callback fn) {
   WFE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
   WFE_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
   const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_ids_.insert(id);
   return EventId{id};
 }
@@ -23,21 +25,37 @@ EventId Engine::schedule_in(SimTime delay, Callback fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  // Lazy deletion: forget the id; the queue entry is dropped when popped.
-  return pending_ids_.erase(id.value) > 0;
+  // Lazy deletion: forget the id; the heap entry is dropped when it reaches
+  // the top or at the next compaction. Stale ids — already fired, already
+  // cancelled, or wiped by clear() — are a no-op returning false.
+  if (pending_ids_.erase(id.value) == 0) return false;
+  compact_if_mostly_dead();
+  return true;
+}
+
+void Engine::compact_if_mostly_dead() {
+  // A cancelled far-future event would otherwise sit in the heap until the
+  // clock reaches it. Rebuilding once dead entries outnumber live ones
+  // keeps memory proportional to pending() at amortized O(1) per cancel.
+  if (heap_.size() < 64 || heap_.size() < 2 * pending_ids_.size()) return;
+  std::erase_if(heap_,
+                [&](const Entry& e) { return !pending_ids_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Engine::drop_dead_entries() {
-  while (!queue_.empty() && !pending_ids_.contains(queue_.top().id)) {
-    queue_.pop();
+  while (!heap_.empty() && !pending_ids_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 bool Engine::step() {
   drop_dead_entries();
-  if (queue_.empty()) return false;
-  Entry e = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   pending_ids_.erase(e.id);
   now_ = e.time;
   ++processed_;
@@ -55,14 +73,14 @@ void Engine::run_until(SimTime t) {
   WFE_REQUIRE(t >= now_, "run_until target must not be in the past");
   for (;;) {
     drop_dead_entries();
-    if (queue_.empty() || queue_.top().time > t) break;
+    if (heap_.empty() || heap_.front().time > t) break;
     step();
   }
   now_ = t;
 }
 
 void Engine::clear() {
-  queue_ = {};
+  heap_.clear();
   pending_ids_.clear();
 }
 

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -59,6 +58,12 @@ class Engine {
   std::size_t pending() const { return pending_ids_.size(); }
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Heap entries held, including cancelled ones not yet collected.
+  /// Diagnostics only: cancellation is lazy, but compaction bounds this at
+  /// a constant factor of pending() so cancel-heavy runs (fault injection
+  /// kills in-flight events en masse) cannot grow the heap without bound.
+  std::size_t queue_depth() const { return heap_.size(); }
+
   /// Abort: drop all pending events without running them.
   void clear();
 
@@ -76,14 +81,17 @@ class Engine {
     }
   };
 
-  /// Pop queue entries whose ids are no longer pending (lazy deletion).
+  /// Pop heap entries whose ids are no longer pending (lazy deletion).
   void drop_dead_entries();
+
+  /// Rebuild the heap from live entries when dead ones dominate it.
+  void compact_if_mostly_dead();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;  // min-heap under Later
   std::unordered_set<std::uint64_t> pending_ids_;
 };
 

@@ -41,6 +41,21 @@ class SerializationError : public Error {
   explicit SerializationError(const std::string& what) : Error(what) {}
 };
 
+/// A bounded wait expired (coupling handshake, staged-chunk fetch, ...)
+/// before the awaited condition became true. Raised instead of blocking
+/// forever when a peer component hangs or dies.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// An injected or detected fault could not be recovered from (retry budget
+/// exhausted, restart limit reached, member abandoned by policy).
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid_argument(const char* expr,
                                                 const char* file, int line,

@@ -95,4 +95,25 @@ rt::EnsembleSpec small_native_ensemble(int members, int analyses_per_member,
   return spec;
 }
 
+res::FaultSpec fault_free() { return {}; }
+
+res::FaultSpec transient_noise(double stage_error_prob, std::uint64_t seed) {
+  res::FaultSpec faults;
+  faults.stage_error_prob = stage_error_prob;
+  faults.transfer_loss_prob = stage_error_prob / 2.0;
+  faults.seed = seed;
+  faults.validate();
+  return faults;
+}
+
+res::FaultSpec node_crashes(double mtbf_s, double repair_s,
+                            std::uint64_t seed) {
+  res::FaultSpec faults;
+  faults.node_mtbf_s = mtbf_s;
+  faults.node_repair_s = repair_s;
+  faults.seed = seed;
+  faults.validate();
+  return faults;
+}
+
 }  // namespace wfe::wl

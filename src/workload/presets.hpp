@@ -14,6 +14,7 @@
 #pragma once
 
 #include "platform/spec.hpp"
+#include "resilience/fault_spec.hpp"
 #include "runtime/spec.hpp"
 
 namespace wfe::wl {
@@ -44,5 +45,23 @@ md::MdConfig native_md_config(std::uint64_t seed = 42);
 rt::EnsembleSpec small_native_ensemble(int members = 2,
                                        int analyses_per_member = 1,
                                        std::uint64_t n_steps = 4);
+
+// -- fault scenarios (resilience study) -------------------------------------
+
+/// The all-zeros fault spec: injection disabled, traces bit-identical to a
+/// run without the resilience layer at all.
+res::FaultSpec fault_free();
+
+/// Transient-noise scenario: no node crashes, each compute stage fails with
+/// probability `stage_error_prob` and each transfer with half of it (soft
+/// errors / flaky staging fabric).
+res::FaultSpec transient_noise(double stage_error_prob = 0.02,
+                               std::uint64_t seed = 0xfa117u);
+
+/// Node-crash scenario: exponential per-node MTBF of `mtbf_s` seconds and
+/// `repair_s` repair windows, no transient errors — the classic
+/// crash/repair availability model.
+res::FaultSpec node_crashes(double mtbf_s, double repair_s = 120.0,
+                            std::uint64_t seed = 0xfa117u);
 
 }  // namespace wfe::wl

@@ -1,0 +1,119 @@
+// Bounded waits in the coupling protocol and retrying DTL fetches: a hung
+// or dead peer must surface as wfe::TimeoutError, not a deadlock.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "dtl/coupling.hpp"
+#include "dtl/memory_staging.hpp"
+#include "dtl/plugin.hpp"
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+TEST(CouplingTimeout, ConstructorValidatesTimeout) {
+  EXPECT_NO_THROW(CouplingChannel(1, 1, 0.0));
+  EXPECT_NO_THROW(CouplingChannel(1, 1, 2.5));
+  EXPECT_THROW(CouplingChannel(1, 1, -1.0), InvalidArgument);
+  EXPECT_THROW(CouplingChannel(1, 1, std::nan("")), InvalidArgument);
+}
+
+TEST(CouplingTimeout, AwaitStepTimesOutWhenWriterHangs) {
+  CouplingChannel channel(1, 1, 0.05);
+  EXPECT_THROW((void)channel.await_step(0, 0), TimeoutError);
+}
+
+TEST(CouplingTimeout, BeginWriteTimesOutWhenReaderHangs) {
+  CouplingChannel channel(1, 1, 0.05);
+  channel.begin_write(0);  // no wait: nothing published yet
+  channel.commit_write(0);
+  // The reader never acks step 0, so the capacity-1 horizon blocks step 1.
+  EXPECT_THROW(channel.begin_write(1), TimeoutError);
+}
+
+TEST(CouplingTimeout, InTimeProgressDoesNotTimeOut) {
+  CouplingChannel channel(1, 1, 5.0);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    channel.begin_write(0);
+    channel.commit_write(0);
+    channel.close();
+  });
+  EXPECT_TRUE(channel.await_step(0, 0));
+  channel.ack_read(0, 0);
+  writer.join();
+  EXPECT_FALSE(channel.await_step(0, 1));  // closed, no timeout needed
+}
+
+TEST(CouplingTimeout, ZeroTimeoutKeepsUnboundedSemantics) {
+  CouplingChannel channel(1, 1, 0.0);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    channel.begin_write(0);
+    channel.commit_write(0);
+  });
+  EXPECT_TRUE(channel.await_step(0, 0));
+  writer.join();
+}
+
+TEST(FetchRetry, Validation) {
+  FetchRetry retry;
+  EXPECT_NO_THROW(retry.validate());
+  retry.max_attempts = 0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = {};
+  retry.backoff_base_s = -1.0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = {};
+  retry.backoff_cap_s = retry.backoff_base_s / 2.0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+}
+
+TEST(FetchRetry, SingleAttemptMatchesPlainRead) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  plugin.write(Chunk(ChunkKey{1, 0}, PayloadKind::kScalarSeries, {1.0, 2.0}));
+  FetchRetry once;
+  const Chunk chunk = plugin.read(ChunkKey{1, 0}, once);
+  EXPECT_EQ(chunk.values().size(), 2u);
+  EXPECT_THROW((void)plugin.read(ChunkKey{1, 9}, once), TimeoutError);
+}
+
+TEST(FetchRetry, SucceedsOnceTheChunkAppears) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  FetchRetry retry;
+  retry.max_attempts = 200;
+  retry.backoff_base_s = 1e-3;
+  retry.backoff_cap_s = 1e-3;
+  std::thread late_writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    DtlPlugin(staging).write(
+        Chunk(ChunkKey{2, 5}, PayloadKind::kScalarSeries, {42.0}));
+  });
+  const Chunk chunk = plugin.read(ChunkKey{2, 5}, retry);
+  late_writer.join();
+  ASSERT_EQ(chunk.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(chunk.values()[0], 42.0);
+}
+
+TEST(FetchRetry, ExhaustionRaisesTimeoutError) {
+  MemoryStaging staging;
+  DtlPlugin plugin(staging);
+  FetchRetry retry;
+  retry.max_attempts = 3;
+  retry.backoff_base_s = 1e-4;
+  try {
+    (void)plugin.read(ChunkKey{0, 0}, retry);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("3 fetch attempts"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wfe::dtl

@@ -53,6 +53,47 @@ TEST(TraceIo, MnemonicsAreStable) {
   EXPECT_EQ(stage_mnemonic(StageKind::kRead), "R");
   EXPECT_EQ(stage_mnemonic(StageKind::kAnalyze), "A");
   EXPECT_EQ(stage_mnemonic(StageKind::kAnaIdle), "IA");
+  EXPECT_EQ(stage_mnemonic(StageKind::kFault), "F");
+  EXPECT_EQ(stage_mnemonic(StageKind::kBackoff), "B");
+  EXPECT_EQ(stage_mnemonic(StageKind::kCheckpoint), "CP");
+  EXPECT_EQ(stage_mnemonic(StageKind::kRestart), "RS");
+}
+
+TEST(TraceIo, ResilienceKindsRoundTripExactly) {
+  // A trace as the fault-injecting executor would emit it: killed stages,
+  // backoffs, checkpoints and a restart, interleaved with normal stages.
+  std::vector<StageRecord> records{
+      {{0, -1}, 0, StageKind::kSimulate, 0.0, 1.5,
+       plat::HwCounters{1e9, 2e9, 1e7, 4e5}},
+      {{0, -1}, 1, StageKind::kFault, 1.5, 1.9, {}},
+      {{0, -1}, 1, StageKind::kBackoff, 1.9, 2.4, {}},
+      {{0, -1}, 1, StageKind::kCheckpoint, 2.4, 2.9, {}},
+      {{0, 0}, 1, StageKind::kFault, 2.0, 2.2, {}},
+      {{0, -1}, 0, StageKind::kRestart, 3.0, 5.0, {}},
+      {{0, -1}, 1, StageKind::kSimulate, 5.0, 6.5,
+       plat::HwCounters{1e9, 2e9, 1e7, 4e5}},
+  };
+  const Trace original(std::move(records));
+  const Trace back = trace_from_text(trace_to_text(original));
+  EXPECT_TRUE(traces_equal(original, back));
+  const Trace file_back = trace_from_text(trace_to_text(back));
+  EXPECT_TRUE(traces_equal(original, file_back));
+}
+
+TEST(TraceIo, FaultyExecutionRoundTripsBitExactly) {
+  rt::SimulatedOptions options;
+  options.faults = wl::node_crashes(150.0, 15.0);
+  options.recovery.kind = res::RecoveryKind::kCheckpointRestart;
+  options.recovery.checkpoint_period = 2;
+  options.recovery.max_restarts = 50;
+  rt::SimulatedExecutor exec(wl::cori_like_platform(), options);
+  auto cfg = wl::paper_config("C1.5");
+  cfg.spec.n_steps = 6;
+  const rt::ExecutionResult result = exec.run(cfg.spec);
+  ASSERT_GT(result.failure_summary.faults_injected(), 0u)
+      << "scenario did not exercise the resilience kinds";
+  const Trace back = trace_from_text(trace_to_text(result.trace));
+  EXPECT_TRUE(traces_equal(result.trace, back));
 }
 
 TEST(TraceIo, TextRoundTripIsExact) {

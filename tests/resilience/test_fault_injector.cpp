@@ -1,0 +1,184 @@
+// FaultInjector: deterministic crash timelines and counter-based verdicts.
+#include "resilience/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wfe::res {
+namespace {
+
+using core::StageKind;
+
+FaultSpec crash_spec(double mtbf = 500.0, double repair = 60.0,
+                     std::uint64_t seed = 7) {
+  FaultSpec spec;
+  spec.node_mtbf_s = mtbf;
+  spec.node_repair_s = repair;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FaultInjector, DisabledSpecNeverCrashes) {
+  FaultInjector inj({}, 4);
+  EXPECT_EQ(inj.first_crash_in({0, 1, 2, 3}, 0.0, 1e9),
+            FaultInjector::kNever);
+  EXPECT_DOUBLE_EQ(inj.all_up_at({0, 1, 2, 3}, 123.0), 123.0);
+  EXPECT_FALSE(
+      inj.transient_point(0, -1, 0, StageKind::kSimulate, 1).has_value());
+}
+
+TEST(FaultInjector, SameSeedSameCrashTimeline) {
+  FaultInjector a(crash_spec(), 4);
+  FaultInjector b(crash_spec(), 4);
+  for (double t = 0.0; t < 5000.0; t += 250.0) {
+    EXPECT_DOUBLE_EQ(a.first_crash_in({2}, t, t + 250.0),
+                     b.first_crash_in({2}, t, t + 250.0));
+  }
+}
+
+TEST(FaultInjector, QueryOrderDoesNotChangeTheTimeline) {
+  // Ask injector `a` far into the future first, then near; `b` the other
+  // way round. The lazily-extended schedules must agree.
+  FaultInjector a(crash_spec(), 4);
+  FaultInjector b(crash_spec(), 4);
+  const double far = a.first_crash_in({1}, 5000.0, 20000.0);
+  const double near_a = a.first_crash_in({1}, 0.0, 5000.0);
+  const double near_b = b.first_crash_in({1}, 0.0, 5000.0);
+  const double far_b = b.first_crash_in({1}, 5000.0, 20000.0);
+  EXPECT_DOUBLE_EQ(near_a, near_b);
+  EXPECT_DOUBLE_EQ(far, far_b);
+}
+
+TEST(FaultInjector, NodesHaveIndependentTimelines) {
+  FaultInjector inj(crash_spec(), 4);
+  const double c0 = inj.first_crash_in({0}, 0.0, 1e6);
+  const double c1 = inj.first_crash_in({1}, 0.0, 1e6);
+  EXPECT_NE(c0, c1);  // astronomically unlikely to collide
+}
+
+TEST(FaultInjector, CrashBoundariesAreStrict) {
+  FaultInjector inj(crash_spec(), 2);
+  const double crash = inj.first_crash_in({0}, 0.0, 1e6);
+  ASSERT_TRUE(std::isfinite(crash));
+  // A stage starting exactly at the crash instant survives it...
+  EXPECT_GT(inj.first_crash_in({0}, crash, crash + 1e-6), crash);
+  // ...and a stage ending exactly at it dies only strictly inside.
+  EXPECT_EQ(inj.first_crash_in({0}, crash - 1e-6, crash),
+            FaultInjector::kNever);
+}
+
+TEST(FaultInjector, AllUpAtWaitsOutRepairWindows) {
+  FaultInjector inj(crash_spec(500.0, 60.0), 2);
+  const double crash = inj.first_crash_in({0}, 0.0, 1e6);
+  ASSERT_TRUE(std::isfinite(crash));
+  // Mid-repair: resume at crash + repair. Before the crash: no wait.
+  EXPECT_DOUBLE_EQ(inj.all_up_at({0}, crash + 1.0), crash + 60.0);
+  EXPECT_DOUBLE_EQ(inj.all_up_at({0}, crash - 1.0), crash - 1.0);
+  // The other node is unaffected by node 0's repair.
+  EXPECT_DOUBLE_EQ(inj.all_up_at({1}, crash + 1.0), crash + 1.0);
+}
+
+TEST(FaultInjector, NoCrashesDuringRepair) {
+  FaultInjector inj(crash_spec(200.0, 100.0), 1);
+  const double crash = inj.first_crash_in({0}, 0.0, 1e6);
+  ASSERT_TRUE(std::isfinite(crash));
+  EXPECT_EQ(inj.first_crash_in({0}, crash, crash + 100.0),
+            FaultInjector::kNever);
+}
+
+TEST(FaultInjector, TransientVerdictIsPureAndPerAttempt) {
+  FaultSpec spec;
+  spec.stage_error_prob = 0.5;
+  spec.seed = 11;
+  FaultInjector a(spec, 1);
+  FaultInjector b(spec, 1);
+  int faulted = 0;
+  for (std::uint64_t step = 0; step < 200; ++step) {
+    const auto va = a.transient_point(3, -1, step, StageKind::kSimulate, 1);
+    const auto vb = b.transient_point(3, -1, step, StageKind::kSimulate, 1);
+    ASSERT_EQ(va.has_value(), vb.has_value());
+    if (va) {
+      EXPECT_DOUBLE_EQ(*va, *vb);
+      EXPECT_GT(*va, 0.0);
+      EXPECT_LT(*va, 1.0);
+      ++faulted;
+    }
+    // Re-asking the same attempt does not consume state.
+    const auto again = a.transient_point(3, -1, step, StageKind::kSimulate, 1);
+    ASSERT_EQ(va.has_value(), again.has_value());
+  }
+  // ~50% fault rate over 200 attempts: a generous 5-sigma band.
+  EXPECT_GT(faulted, 60);
+  EXPECT_LT(faulted, 140);
+}
+
+TEST(FaultInjector, VerdictsKeyOnEveryCoordinate) {
+  FaultSpec spec;
+  spec.stage_error_prob = 0.5;
+  spec.transfer_loss_prob = 0.5;
+  FaultInjector inj(spec, 1);
+  // Distinct coordinates give (almost surely, over 64 trials) at least one
+  // differing verdict in each dimension.
+  auto differs = [&](auto probe) {
+    for (int k = 0; k < 64; ++k) {
+      const auto base = inj.transient_point(0, -1, static_cast<std::uint64_t>(k),
+                                            StageKind::kSimulate, 1);
+      if (base.has_value() != probe(k).has_value()) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs([&](int k) {
+    return inj.transient_point(1, -1, static_cast<std::uint64_t>(k),
+                               StageKind::kSimulate, 1);
+  }));
+  EXPECT_TRUE(differs([&](int k) {
+    return inj.transient_point(0, -1, static_cast<std::uint64_t>(k),
+                               StageKind::kSimulate, 2);
+  }));
+}
+
+TEST(FaultInjector, OnlyComputeAndTransferStagesFault) {
+  FaultSpec spec;
+  spec.stage_error_prob = 1.0;
+  spec.transfer_loss_prob = 1.0;
+  FaultInjector inj(spec, 1);
+  EXPECT_TRUE(inj.transient_point(0, -1, 0, StageKind::kSimulate, 1));
+  EXPECT_TRUE(inj.transient_point(0, 0, 0, StageKind::kAnalyze, 1));
+  EXPECT_TRUE(inj.transient_point(0, -1, 0, StageKind::kWrite, 1));
+  EXPECT_TRUE(inj.transient_point(0, 0, 0, StageKind::kRead, 1));
+  EXPECT_FALSE(inj.transient_point(0, -1, 0, StageKind::kSimIdle, 1));
+  EXPECT_FALSE(inj.transient_point(0, 0, 0, StageKind::kAnaIdle, 1));
+  EXPECT_FALSE(inj.transient_point(0, -1, 0, StageKind::kCheckpoint, 1));
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentTimelines) {
+  FaultInjector a(crash_spec(500.0, 60.0, 1), 1);
+  FaultInjector b(crash_spec(500.0, 60.0, 2), 1);
+  EXPECT_NE(a.first_crash_in({0}, 0.0, 1e6),
+            b.first_crash_in({0}, 0.0, 1e6));
+}
+
+TEST(FaultInjector, MeanInterArrivalTracksMtbf) {
+  // Over many crashes the empirical inter-arrival mean (minus repair) should
+  // land near the configured MTBF.
+  FaultInjector inj(crash_spec(300.0, 50.0, 99), 1);
+  std::vector<double> crashes;
+  double t = 0.0;
+  while (crashes.size() < 400) {
+    const double c = inj.first_crash_in({0}, t, t + 1e7);
+    ASSERT_TRUE(std::isfinite(c));
+    crashes.push_back(c);
+    t = c;
+  }
+  double sum = crashes.front();
+  for (std::size_t i = 1; i < crashes.size(); ++i) {
+    sum += crashes[i] - crashes[i - 1] - 50.0;  // subtract the repair window
+  }
+  const double mean = sum / static_cast<double>(crashes.size());
+  EXPECT_NEAR(mean, 300.0, 60.0);  // ~4 sigma at n=400
+}
+
+}  // namespace
+}  // namespace wfe::res

@@ -1,0 +1,113 @@
+// FaultSpec / RecoveryPolicy validation and the backoff schedule.
+#include "resilience/fault_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace wfe::res {
+namespace {
+
+TEST(FaultSpec, DefaultIsDisabledAndValid) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(FaultSpec, AnyNonzeroRateEnables) {
+  FaultSpec spec;
+  spec.node_mtbf_s = 100.0;
+  EXPECT_TRUE(spec.enabled());
+  spec = {};
+  spec.stage_error_prob = 0.01;
+  EXPECT_TRUE(spec.enabled());
+  spec = {};
+  spec.transfer_loss_prob = 0.01;
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(FaultSpec, RejectsBadRates) {
+  FaultSpec spec;
+  spec.node_mtbf_s = -1.0;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = {};
+  spec.node_mtbf_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = {};
+  spec.node_repair_s = 0.0;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = {};
+  spec.stage_error_prob = 1.5;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = {};
+  spec.stage_error_prob = -0.1;
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+  spec = {};
+  spec.transfer_loss_prob = std::nan("");
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(RecoveryPolicy, DefaultIsValid) {
+  RecoveryPolicy policy;
+  EXPECT_NO_THROW(policy.validate());
+}
+
+TEST(RecoveryPolicy, BackoffIsExponentialAndCapped) {
+  RecoveryPolicy policy;
+  policy.backoff_base_s = 1.0;
+  policy.backoff_cap_s = 5.0;
+  EXPECT_DOUBLE_EQ(policy.backoff(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(4), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.backoff(10), 5.0);
+}
+
+TEST(RecoveryPolicy, RejectsBadBudgets) {
+  RecoveryPolicy policy;
+  policy.max_retries = -1;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = {};
+  policy.backoff_base_s = -0.5;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = {};
+  policy.backoff_cap_s = 0.1;  // below the 0.5 base
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = {};
+  policy.checkpoint_period = 0;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = {};
+  policy.checkpoint_cost_s = std::nan("");
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+  policy = {};
+  policy.max_restarts = -1;
+  EXPECT_THROW(policy.validate(), InvalidArgument);
+}
+
+TEST(RecoveryKind, NamesAreStable) {
+  EXPECT_STREQ(to_string(RecoveryKind::kRetry), "retry");
+  EXPECT_STREQ(to_string(RecoveryKind::kCheckpointRestart),
+               "checkpoint-restart");
+  EXPECT_STREQ(to_string(RecoveryKind::kFailMember), "fail-member");
+}
+
+TEST(FailureSummary, Accounting) {
+  FailureSummary fs;
+  EXPECT_TRUE(fs.complete());
+  EXPECT_EQ(fs.faults_injected(), 0u);
+  fs.crash_stage_kills = 3;
+  fs.transient_stage_faults = 2;
+  fs.wasted_core_seconds = 7200.0;
+  fs.members_failed = 1;
+  fs.failed_members = {4};
+  EXPECT_EQ(fs.faults_injected(), 5u);
+  EXPECT_DOUBLE_EQ(fs.wasted_core_hours(), 2.0);
+  EXPECT_FALSE(fs.complete());
+  EXPECT_FALSE(fs.str().empty());
+}
+
+}  // namespace
+}  // namespace wfe::res

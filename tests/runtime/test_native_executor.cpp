@@ -8,6 +8,7 @@
 #include "metrics/steady_state.hpp"
 #include "metrics/traditional.hpp"
 #include "runtime/bridge.hpp"
+#include "support/error.hpp"
 #include "workload/presets.hpp"
 
 namespace wfe::rt {
@@ -126,6 +127,26 @@ TEST(NativeExecutor, MixedKernelsRun) {
   ASSERT_EQ(result.analysis_outputs.size(), 2u);
   EXPECT_EQ(result.analysis_outputs[0].results[0].kernel, "rmsd");
   EXPECT_EQ(result.analysis_outputs[1].results[0].kernel, "contacts");
+}
+
+TEST(NativeExecutor, GenerousCouplingTimeoutStillCompletes) {
+  NativeOptions options;
+  options.coupling_timeout_s = 60.0;  // far above any real wait here
+  const EnsembleSpec spec = wl::small_native_ensemble(1, 1, 3);
+  const ExecutionResult result = NativeExecutor(options).run(spec);
+  for (const auto& id : result.trace.components()) {
+    EXPECT_EQ(result.trace.step_count(id), 3u) << id.str();
+  }
+}
+
+TEST(NativeExecutor, HungPeerSurfacesAsTimeoutError) {
+  // A nanosecond budget cannot cover the first real MD step, so the
+  // analysis times out awaiting step 0; the exception must propagate out
+  // of run() (captured thread exception) instead of killing the process.
+  NativeOptions options;
+  options.coupling_timeout_s = 1e-9;
+  const EnsembleSpec spec = wl::small_native_ensemble(1, 1, 3);
+  EXPECT_THROW((void)NativeExecutor(options).run(spec), TimeoutError);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -182,6 +183,79 @@ TEST(Engine, PendingCountTracksScheduleAndCancel) {
   EXPECT_EQ(e.pending(), 2u);
   e.cancel(a);
   EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, CancelAfterClearReturnsFalse) {
+  // Regression: a stale id from before clear() must report "not pending",
+  // not resurrect or double-count anything.
+  Engine e;
+  const EventId id = e.schedule_at(1.0, [] {});
+  e.clear();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_TRUE(e.empty());
+  e.run();
+  EXPECT_EQ(e.now(), 0.0);
+}
+
+TEST(Engine, ClearThenRescheduleIsClean) {
+  Engine e;
+  const EventId stale = e.schedule_at(50.0, [] {});
+  e.clear();
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_FALSE(e.cancel(stale));  // stale id must not hit the new event
+  e.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 1.0);
+}
+
+TEST(Engine, MassCancellationCompactsTheHeap) {
+  // Regression for the lazy-deletion leak: cancelled far-future entries
+  // used to sit in the queue until the clock reached them. Fault-injection
+  // kills events en masse, so the heap must stay proportional to pending().
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(e.schedule_at(1e6 + i, [] {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+  // Compaction collected the corpses down to the small-heap threshold — a
+  // constant, not the 1000 entries the leak would have kept resident.
+  EXPECT_LT(e.queue_depth(), 64u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, QueueDepthStaysBoundedUnderChurn) {
+  // Steady schedule/cancel churn with a small live set: depth may lag
+  // pending() (lazy deletion) but must stay under the compaction bound.
+  Engine e;
+  std::vector<EventId> live;
+  for (int round = 0; round < 200; ++round) {
+    live.push_back(e.schedule_at(1e9 + round, [] {}));
+    if (live.size() > 8) {
+      EXPECT_TRUE(e.cancel(live.front()));
+      live.erase(live.begin());
+    }
+    ASSERT_LE(e.queue_depth(), std::max<std::size_t>(64, 2 * e.pending()));
+  }
+  EXPECT_EQ(e.pending(), live.size());
+}
+
+TEST(Engine, CancelDuringMassChurnKeepsOrdering) {
+  // Cancelling interleaved with firing must not disturb (time, seq) order.
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventId> cancel_me;
+  for (int i = 0; i < 50; ++i) {
+    e.schedule_at(i + 1.0, [&order, i] { order.push_back(i); });
+    cancel_me.push_back(
+        e.schedule_at(i + 1.5, [&order] { order.push_back(-1); }));
+  }
+  for (const EventId id : cancel_me) e.cancel(id);
+  e.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
 TEST(Engine, ZeroDelaySelfSchedulingTerminates) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build WFEns with AddressSanitizer + UndefinedBehaviorSanitizer and run the
+# tier-1 test suite under them.
+#
+#   tools/check_sanitize.sh [sanitizers] [ctest-args...]
+#
+# The first argument (default "address,undefined") feeds the WFE_SANITIZE
+# CMake cache variable; everything after it is passed to ctest. The
+# instrumented tree lives in build-sanitize/ so it never disturbs the
+# regular build/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+sanitizers="${1:-address,undefined}"
+shift || true
+
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DWFE_SANITIZE="${sanitizers}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j
+
+# abort_on_error=0: let gtest report which test tripped the sanitizer.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

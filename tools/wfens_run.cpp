@@ -4,13 +4,22 @@
 //
 // Usage:  wfens_run <config|spec.wfes> <out.wfet>
 //                   [--native] [--steps N] [--save-spec out.wfes]
-//   <config>      a paper configuration (Cf, Cc, C1.1 ... C2.8), or a path
-//                 ending in .wfes holding a saved ensemble spec
-//   --native      run the real threaded executor (small MD) instead of the
-//                 simulated one (placements are ignored in native mode)
-//   --steps N     override the in situ step count
-//   --save-spec   also write the (possibly adjusted) spec, so wfens_report
-//                 can compute the placement-aware indicators
+//                   [--faults MTBF_S] [--stage-error-p P]
+//                   [--fault-policy retry|checkpoint|fail] [--fault-seed N]
+//   <config>         a paper configuration (Cf, Cc, C1.1 ... C2.8), or a
+//                    path ending in .wfes holding a saved ensemble spec
+//   --native         run the real threaded executor (small MD) instead of
+//                    the simulated one (placements are ignored in native
+//                    mode)
+//   --steps N        override the in situ step count
+//   --save-spec      also write the (possibly adjusted) spec, so
+//                    wfens_report can compute the placement-aware
+//                    indicators
+//   --faults MTBF_S  inject node crashes with this per-node MTBF (seconds);
+//                    simulated mode only
+//   --stage-error-p  per-stage transient error probability (simulated mode)
+//   --fault-policy   recovery policy when faults are on (default: retry)
+//   --fault-seed N   fault-injection seed (independent of the jitter seed)
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -27,7 +36,10 @@ int main(int argc, char** argv) {
   using namespace wfe;
   if (argc < 3) {
     std::cerr << "usage: wfens_run <config|spec.wfes> <out.wfet> "
-                 "[--native] [--steps N] [--save-spec out.wfes]\n";
+                 "[--native] [--steps N] [--save-spec out.wfes]\n"
+                 "                 [--faults MTBF_S] [--stage-error-p P]\n"
+                 "                 [--fault-policy retry|checkpoint|fail] "
+                 "[--fault-seed N]\n";
     return 2;
   }
   const std::string source = argv[1];
@@ -35,6 +47,8 @@ int main(int argc, char** argv) {
   bool native = false;
   std::uint64_t steps = 0;
   std::string save_spec_path;
+  res::FaultSpec faults;
+  res::RecoveryPolicy recovery;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--native") {
@@ -43,10 +57,34 @@ int main(int argc, char** argv) {
       steps = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--save-spec" && i + 1 < argc) {
       save_spec_path = argv[++i];
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults.node_mtbf_s = std::atof(argv[++i]);
+    } else if (arg == "--stage-error-p" && i + 1 < argc) {
+      faults.stage_error_prob = std::atof(argv[++i]);
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      faults.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--fault-policy" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      if (policy == "retry") {
+        recovery.kind = res::RecoveryKind::kRetry;
+      } else if (policy == "checkpoint") {
+        recovery.kind = res::RecoveryKind::kCheckpointRestart;
+      } else if (policy == "fail") {
+        recovery.kind = res::RecoveryKind::kFailMember;
+      } else {
+        std::cerr << "unknown fault policy: " << policy
+                  << " (want retry|checkpoint|fail)\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
     }
+  }
+  if (native && faults.enabled()) {
+    std::cerr << "--faults / --stage-error-p need the simulated executor "
+                 "(drop --native)\n";
+    return 2;
   }
 
   try {
@@ -71,13 +109,24 @@ int main(int argc, char** argv) {
       if (steps == 0) spec.n_steps = 4;
       result = rt::NativeExecutor().run(spec);
     } else {
-      rt::SimulatedExecutor exec(wl::cori_like_platform());
+      rt::SimulatedOptions options;
+      options.faults = faults;
+      options.recovery = recovery;
+      rt::SimulatedExecutor exec(wl::cori_like_platform(), options);
       result = exec.run(spec);
     }
 
     met::save_trace(out_path, result.trace);
     std::cout << "wrote " << result.trace.size() << " stage records for "
               << spec.name << " to " << out_path << "\n";
+    if (faults.enabled()) {
+      std::cout << result.failure_summary.str() << "\n";
+      if (!result.failure_summary.complete()) {
+        std::cout << "note: " << result.failure_summary.failed_members.size()
+                  << " member(s) did not finish; Table 1 / indicator "
+                     "computations over this trace are partial\n";
+      }
+    }
     if (!save_spec_path.empty()) {
       rt::save_spec(save_spec_path, spec);
       std::cout << "wrote the spec to " << save_spec_path << "\n";
