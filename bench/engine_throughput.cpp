@@ -1,0 +1,105 @@
+// Event-core throughput — measures the engine hot path the placement
+// search leans on: dispatch rate of the generation-stamped heap with
+// SmallFn callbacks, cancellation churn, and end-to-end replay rate of a
+// full paper configuration. Writes BENCH_engine.json for regression diffs.
+#include "bench_common.hpp"
+
+#include "simengine/engine.hpp"
+
+namespace {
+
+/// Self-scheduling chains: the dominant engine pattern (every component
+/// stage re-arms itself). `chains` concurrent chains, `hops` events each.
+double chain_dispatch_rate(std::uint64_t chains, std::uint64_t hops,
+                           std::uint64_t* events_out) {
+  wfe::sim::Engine engine;
+  const wfe::bench::Stopwatch timer;
+  struct Chain {
+    wfe::sim::Engine* engine;
+    std::uint64_t hops_left;
+    double period;
+    void operator()() const {
+      if (hops_left == 0) return;
+      engine->schedule_in(period, Chain{engine, hops_left - 1, period});
+    }
+  };
+  for (std::uint64_t c = 0; c < chains; ++c) {
+    engine.schedule_at(static_cast<double>(c) * 1e-3,
+                       Chain{&engine, hops - 1, 1.0 + 1e-4 * c});
+  }
+  engine.run();
+  const double wall = timer.seconds();
+  *events_out = engine.events_processed();
+  return static_cast<double>(engine.events_processed()) / wall;
+}
+
+/// Schedule/cancel churn: timeout-style events that almost never fire —
+/// the pattern that makes lazy deletion and slot recycling earn their keep.
+double cancel_churn_rate(std::uint64_t rounds, std::uint64_t* cancels_out) {
+  wfe::sim::Engine engine;
+  const wfe::bench::Stopwatch timer;
+  std::uint64_t cancelled = 0;
+  std::vector<wfe::sim::EventId> batch;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    batch.clear();
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(engine.schedule_at(1e12, [] {}));
+    }
+    for (const wfe::sim::EventId id : batch) {
+      if (engine.cancel(id)) ++cancelled;
+    }
+  }
+  const double wall = timer.seconds();
+  *cancels_out = cancelled;
+  return static_cast<double>(cancelled) / wall;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wfe;
+  bench::print_banner(
+      "Event-core throughput",
+      "Dispatch and cancellation rates of the discrete-event engine, plus\n"
+      "the end-to-end replay rate of paper configuration C1.5. These are\n"
+      "the per-candidate costs the parallel placement search multiplies.");
+
+  std::uint64_t chain_events = 0;
+  const double dispatch_rate = chain_dispatch_rate(64, 20000, &chain_events);
+  std::cout << "self-scheduling chains: " << chain_events << " events, "
+            << sci(dispatch_rate, 3) << " events/s\n";
+
+  std::uint64_t cancels = 0;
+  const double churn_rate = cancel_churn_rate(20000, &cancels);
+  std::cout << "schedule+cancel churn:  " << cancels << " cancellations, "
+            << sci(churn_rate, 3) << " cancels/s\n";
+
+  // Full replay: C1.5 (the paper's best 2-member placement), per-replay
+  // event count and sustained event rate through the whole runtime stack.
+  const auto c15 = wl::paper_config("C1.5");
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+  const int replays = 50;
+  const bench::Stopwatch timer;
+  std::uint64_t replay_events = 0;
+  for (int i = 0; i < replays; ++i) {
+    replay_events += exec.run(c15.spec).events_processed;
+  }
+  const double replay_wall = timer.seconds();
+  const double replay_rate = static_cast<double>(replay_events) / replay_wall;
+  std::cout << "full replay (" << c15.name << " x" << replays
+            << "): " << replay_events << " events, " << sci(replay_rate, 3)
+            << " events/s\n";
+
+  bench::JsonReport report;
+  report.add("bench", "engine_throughput");
+  report.add("chain_events", chain_events);
+  report.add("chain_events_per_s", dispatch_rate);
+  report.add("churn_cancellations", cancels);
+  report.add("churn_cancels_per_s", churn_rate);
+  report.add("replay_config", c15.name);
+  report.add("replay_count", replays);
+  report.add("replay_events", replay_events);
+  report.add("replay_events_per_s", replay_rate);
+  report.write("BENCH_engine.json");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "platform/spec.hpp"
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace wfe::plat {
 
@@ -45,6 +46,34 @@ void PlatformSpec::validate() const {
     throw SpecError("max miss ratio must be in (0, 1]");
   if (interference.capacity_sharing_strength < 0.0)
     throw SpecError("capacity sharing strength must be non-negative");
+}
+
+std::uint64_t PlatformSpec::fingerprint() const {
+  Fnv1a h;
+  h.add(std::string_view(name));
+  h.add(node_count);
+  h.add(node.cores);
+  h.add(node.core_freq_hz);
+  h.add(node.llc_bytes);
+  h.add(node.mem_bw_bytes_per_s);
+  h.add(node.copy_bw_bytes_per_s);
+  h.add(node.cacheline_bytes);
+  h.add(node.llc_miss_penalty_cycles);
+  h.add(interconnect.latency_per_hop_s);
+  h.add(interconnect.link_bw_bytes_per_s);
+  h.add(interconnect.group_size);
+  h.add(interconnect.intra_group_hops);
+  h.add(interconnect.inter_group_hops);
+  h.add(interconnect.per_message_overhead_s);
+  h.add(interconnect.message_bytes);
+  h.add(interconnect.stream_efficiency);
+  h.add(interconnect.cross_node_compute_penalty);
+  h.add(staging.write_overhead_s);
+  h.add(staging.read_overhead_s);
+  h.add(interference.enabled);
+  h.add(interference.max_miss_ratio);
+  h.add(interference.capacity_sharing_strength);
+  return h.digest();
 }
 
 }  // namespace wfe::plat

@@ -91,6 +91,11 @@ struct PlatformSpec {
 
   /// Throws wfe::SpecError if any field is out of range.
   void validate() const;
+
+  /// Deterministic digest of every model constant. Two platforms with equal
+  /// fingerprints price stages identically, which is what lets evaluation
+  /// caches (sched::BatchEvaluator) key memoized scores on it.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace wfe::plat

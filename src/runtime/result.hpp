@@ -17,6 +17,11 @@ struct ExecutionResult {
   met::Trace trace;
   std::uint64_t n_steps = 0;
 
+  /// Discrete events the simulation engine dispatched to produce this run
+  /// (0 in native mode). Deterministic for equal inputs; the perf benches
+  /// report it as events/sec.
+  std::uint64_t events_processed = 0;
+
   struct AnalysisSeries {
     met::ComponentId component;
     std::vector<ana::AnalysisResult> results;

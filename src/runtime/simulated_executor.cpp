@@ -657,6 +657,7 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
   ExecutionResult result;
   result.trace = rp.recorder.take();
   result.n_steps = spec.n_steps;
+  result.events_processed = rp.engine.events_processed();
   result.failure_summary = std::move(rp.summary);
   return result;
 }

@@ -2,18 +2,13 @@
 
 #include <vector>
 
+#include "sched/candidates.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace wfe::sched {
 
 namespace {
-
-std::size_t slot_count(const EnsembleShape& shape) {
-  std::size_t slots = 0;
-  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
-  return slots;
-}
 
 std::vector<int> component_cores(const EnsembleShape& shape) {
   std::vector<int> cores;
@@ -28,7 +23,8 @@ std::vector<int> component_cores(const EnsembleShape& shape) {
 
 Schedule RoundRobin::plan(const EnsembleShape& shape,
                           const plat::PlatformSpec& platform,
-                          const ResourceBudget& budget) const {
+                          const ResourceBudget& budget,
+                          const PlanOptions& /*options*/) const {
   WFE_REQUIRE(!shape.members.empty(), "shape has no members");
   const std::vector<int> cores = component_cores(shape);
   std::vector<int> free(static_cast<std::size_t>(budget.node_pool),
@@ -59,14 +55,18 @@ Schedule RoundRobin::plan(const EnsembleShape& shape,
 
 Schedule RandomPlacement::plan(const EnsembleShape& shape,
                                const plat::PlatformSpec& platform,
-                               const ResourceBudget& budget) const {
+                               const ResourceBudget& budget,
+                               const PlanOptions& /*options*/) const {
   WFE_REQUIRE(!shape.members.empty(), "shape has no members");
   const std::size_t slots = slot_count(shape);
   Xoshiro256 rng(seed_);
+  // Candidate generator + first-feasible selection: attempts are drawn in
+  // a fixed seed-determined order, so the outcome is reproducible.
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     std::vector<int> assignment(slots);
     for (auto& node : assignment) {
-      node = static_cast<int>(rng.below(static_cast<std::uint64_t>(budget.node_pool)));
+      node = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(budget.node_pool)));
     }
     rt::EnsembleSpec spec = place(shape, assignment);
     try {

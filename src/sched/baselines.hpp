@@ -1,4 +1,8 @@
 // Baseline schedulers the indicator-guided ones are compared against.
+//
+// Both are pure candidate generators: they emit assignments in a fixed,
+// deterministic order and commit to the first feasible one — no replays,
+// so `threads` has nothing to parallelize and the PlanOptions are unused.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +20,8 @@ class RoundRobin final : public Scheduler {
   std::string name() const override { return "round-robin"; }
 
   Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
-                const ResourceBudget& budget) const override;
+                const ResourceBudget& budget,
+                const PlanOptions& options = {}) const override;
 };
 
 /// Uniform random feasible assignment (deterministic given the seed);
@@ -29,7 +34,8 @@ class RandomPlacement final : public Scheduler {
   std::string name() const override { return "random"; }
 
   Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
-                const ResourceBudget& budget) const override;
+                const ResourceBudget& budget,
+                const PlanOptions& options = {}) const override;
 
  private:
   std::uint64_t seed_;

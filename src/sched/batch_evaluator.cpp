@@ -1,0 +1,183 @@
+#include "sched/batch_evaluator.hpp"
+
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+void add_cost(Fnv1a& h, const md::MdCostParams& c) {
+  h.add(c.instr_per_atom_step);
+  h.add(c.base_ipc);
+  h.add(c.llc_refs_per_instr);
+  h.add(c.base_miss_ratio);
+  h.add(c.bytes_per_atom);
+  h.add(c.parallel_fraction);
+  h.add(c.cache_sensitivity);
+}
+
+void add_cost(Fnv1a& h, const ana::AnalysisCostParams& c) {
+  h.add(c.instr_per_element_sweep);
+  h.add(c.power_iterations);
+  h.add(c.subsample_stride);
+  h.add(c.base_ipc);
+  h.add(c.llc_refs_per_instr);
+  h.add(c.base_miss_ratio);
+  h.add(c.fixed_working_set_bytes);
+  h.add(c.max_cache_footprint_bytes);
+  h.add(c.parallel_fraction);
+  h.add(c.cache_sensitivity);
+}
+
+/// Memo key: (canonical placement, probe steps, platform fingerprint) plus
+/// a digest of the demand itself (core counts, workload scale, cost-model
+/// constants) so one evaluator can serve different shapes safely. The
+/// spec's name and n_steps are deliberately excluded — probes override the
+/// step count, and names only label placements. Node ids are relabeled in
+/// first-appearance order: on the modelled homogeneous pool, placements
+/// differing only by node naming replay identically.
+std::uint64_t memo_key(const rt::EnsembleSpec& spec,
+                       std::uint64_t probe_steps,
+                       std::uint64_t platform_fp) {
+  Fnv1a h;
+  h.add(platform_fp);
+  h.add(probe_steps);
+  std::unordered_map<int, int> relabel;
+  const auto canon_node = [&](int node) {
+    const auto [it, _] =
+        relabel.emplace(node, static_cast<int>(relabel.size()));
+    return it->second;
+  };
+  h.add(spec.members.size());
+  for (const rt::MemberSpec& m : spec.members) {
+    h.add(m.buffer_capacity);
+    h.add(m.sim.cores);
+    h.add(m.sim.natoms);
+    h.add(m.sim.stride);
+    add_cost(h, m.sim.cost);
+    h.add(m.sim.nodes.size());
+    for (int node : m.sim.nodes) h.add(canon_node(node));
+    h.add(m.analyses.size());
+    for (const rt::AnalysisSpec& a : m.analyses) {
+      h.add(a.cores);
+      h.add(std::string_view(a.kernel));
+      add_cost(h, a.cost);
+      h.add(a.nodes.size());
+      for (int node : a.nodes) h.add(canon_node(node));
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(plat::PlatformSpec platform, int threads)
+    : pool_(threads) {
+  platform.validate();
+  platform_fp_ = platform.fingerprint();
+  evaluators_.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) evaluators_.emplace_back(platform);
+}
+
+std::vector<BatchScore> BatchEvaluator::score_keyed(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<const rt::EnsembleSpec*>& specs,
+    std::uint64_t probe_steps) {
+  const std::size_t n = keys.size();
+  std::vector<BatchScore> out(n);
+
+  // Sequential phase 1: resolve cache hits and within-batch duplicates;
+  // collect the unique misses to simulate.
+  std::vector<std::size_t> miss;       // batch indices to simulate
+  std::vector<std::size_t> dup_of(n);  // same-batch duplicate -> first index
+  std::unordered_map<std::uint64_t, std::size_t> inflight;
+  for (std::size_t i = 0; i < n; ++i) {
+    dup_of[i] = i;
+    if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
+      out[i] = it->second;
+      out[i].cached = true;
+      ++cache_hits_;
+    } else if (const auto in = inflight.find(keys[i]);
+               in != inflight.end()) {
+      dup_of[i] = in->second;
+      ++cache_hits_;
+    } else {
+      inflight.emplace(keys[i], i);
+      miss.push_back(i);
+    }
+  }
+
+  // Parallel phase: each worker replays with its own evaluator and writes
+  // only its claimed indices' slots. Infeasible specs are marked, not run.
+  pool_.for_each_index(miss.size(), [&](std::size_t j, int worker) {
+    const std::size_t i = miss[j];
+    BatchScore& score = out[i];
+    try {
+      specs[i]->validate(evaluators_[static_cast<std::size_t>(worker)]
+                             .platform());
+    } catch (const SpecError&) {
+      score.feasible = false;
+      return;
+    }
+    score.eval = evaluators_[static_cast<std::size_t>(worker)].score(
+        *specs[i], probe_steps);
+    score.feasible = true;
+  });
+
+  // Sequential phase 2: memoize fresh scores, then resolve duplicates.
+  for (const std::size_t i : miss) cache_.emplace(keys[i], out[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dup_of[i] != i) {
+      out[i] = out[dup_of[i]];
+      out[i].cached = true;
+    }
+  }
+  return out;
+}
+
+std::vector<BatchScore> BatchEvaluator::score_assignments(
+    const EnsembleShape& shape, const std::vector<Assignment>& assignments,
+    std::uint64_t probe_steps) {
+  std::vector<rt::EnsembleSpec> specs;
+  specs.reserve(assignments.size());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(assignments.size());
+  std::vector<const rt::EnsembleSpec*> spec_ptrs;
+  spec_ptrs.reserve(assignments.size());
+  for (const Assignment& a : assignments) {
+    specs.push_back(place(shape, a));
+    keys.push_back(memo_key(specs.back(), probe_steps, platform_fp_));
+  }
+  for (const rt::EnsembleSpec& s : specs) spec_ptrs.push_back(&s);
+  return score_keyed(keys, spec_ptrs, probe_steps);
+}
+
+std::vector<BatchScore> BatchEvaluator::score_specs(
+    const std::vector<rt::EnsembleSpec>& specs, std::uint64_t probe_steps) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(specs.size());
+  std::vector<const rt::EnsembleSpec*> spec_ptrs;
+  spec_ptrs.reserve(specs.size());
+  for (const rt::EnsembleSpec& s : specs) {
+    keys.push_back(memo_key(s, probe_steps, platform_fp_));
+    spec_ptrs.push_back(&s);
+  }
+  return score_keyed(keys, spec_ptrs, probe_steps);
+}
+
+std::size_t BatchEvaluator::evaluations() const {
+  std::size_t total = 0;
+  for (const Evaluator& e : evaluators_) total += e.evaluations();
+  return total;
+}
+
+std::uint64_t BatchEvaluator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const Evaluator& e : evaluators_) total += e.events_processed();
+  return total;
+}
+
+}  // namespace wfe::sched

@@ -1,0 +1,84 @@
+// BatchEvaluator: parallel, memoized candidate scoring.
+//
+// Fans a batch of candidate placements out to per-worker SimulatedExecutors
+// (via wfe::exec::ThreadPool) and returns the scores in candidate order, so
+// callers can reduce deterministically (see candidates.hpp::pick_winner).
+//
+// An evaluation memo-cache keyed on (canonical placement, probe steps,
+// platform fingerprint, demand fingerprint) ensures a placement is never
+// re-simulated once scored: exhaustive enumeration, greedy refinement
+// rounds, and repeated bench sweeps all hit the cache instead. Cache
+// lookups and inserts happen only on the calling thread, before and after
+// the parallel section — workers touch nothing but their own evaluator and
+// their own result slots, which keeps the whole layer race-free and the
+// results bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "platform/spec.hpp"
+#include "sched/candidates.hpp"
+#include "sched/evaluator.hpp"
+
+namespace wfe::sched {
+
+/// Score of one candidate. `feasible == false` means the placement failed
+/// spec validation (oversubscribed node, out-of-range index) and was not
+/// replayed. `cached` marks scores served without a fresh simulation.
+struct BatchScore {
+  bool feasible = false;
+  bool cached = false;
+  Evaluation eval;
+
+  ScoredCandidate scored() const { return {feasible, eval.objective}; }
+};
+
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(plat::PlatformSpec platform, int threads = 1);
+
+  /// Score place(shape, assignment) for every assignment, in order.
+  /// Assignments should be canonical (see candidates.hpp); equal canonical
+  /// forms in one batch are simulated once.
+  std::vector<BatchScore> score_assignments(
+      const EnsembleShape& shape, const std::vector<Assignment>& assignments,
+      std::uint64_t probe_steps = 6);
+
+  /// Score pre-built specs (the enumeration benches). Memoization keys on
+  /// the spec's canonicalized placement and content, not its name.
+  std::vector<BatchScore> score_specs(
+      const std::vector<rt::EnsembleSpec>& specs,
+      std::uint64_t probe_steps = 6);
+
+  /// Simulated replays actually run (cache misses). Deterministic for a
+  /// given call sequence, independent of the thread count.
+  std::size_t evaluations() const;
+  /// Scores served from the memo-cache (including within-batch duplicates).
+  std::size_t cache_hits() const { return cache_hits_; }
+  /// Engine events dispatched across all replays (throughput metric).
+  std::uint64_t events_processed() const;
+  std::size_t cache_size() const { return cache_.size(); }
+  int threads() const { return pool_.threads(); }
+  const plat::PlatformSpec& platform() const {
+    return evaluators_.front().platform();
+  }
+
+ private:
+  /// Convert candidate i of the batch into a spec to replay. Infeasible
+  /// candidates throw wfe::SpecError from validate().
+  std::vector<BatchScore> score_keyed(
+      const std::vector<std::uint64_t>& keys,
+      const std::vector<const rt::EnsembleSpec*>& specs,
+      std::uint64_t probe_steps);
+
+  exec::ThreadPool pool_;
+  std::vector<Evaluator> evaluators_;  // one per worker, index = worker id
+  std::uint64_t platform_fp_ = 0;
+  std::unordered_map<std::uint64_t, BatchScore> cache_;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace wfe::sched

@@ -1,0 +1,104 @@
+#include "sched/candidates.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+struct AssignmentHash {
+  std::size_t operator()(const Assignment& a) const {
+    Fnv1a h;
+    for (int v : a) h.add(v);
+    return static_cast<std::size_t>(h.digest());
+  }
+};
+
+}  // namespace
+
+std::size_t slot_count(const EnsembleShape& shape) {
+  std::size_t slots = 0;
+  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
+  return slots;
+}
+
+Assignment canonical(const Assignment& assignment, int node_pool) {
+  WFE_REQUIRE(node_pool >= 1, "need at least one node in the pool");
+  // Flat relabel table indexed by node id; -1 = not seen yet.
+  std::vector<int> relabel(static_cast<std::size_t>(node_pool), -1);
+  int next = 0;
+  Assignment out;
+  out.reserve(assignment.size());
+  for (int node : assignment) {
+    WFE_REQUIRE(node >= 0 && node < node_pool, "node outside the pool");
+    int& label = relabel[static_cast<std::size_t>(node)];
+    if (label < 0) label = next++;
+    out.push_back(label);
+  }
+  return out;
+}
+
+std::vector<Assignment> enumerate_assignments(std::size_t slots,
+                                              int node_pool) {
+  WFE_REQUIRE(slots >= 1, "need at least one slot");
+  WFE_REQUIRE(node_pool >= 1, "need at least one node in the pool");
+  std::vector<Assignment> out;
+  std::unordered_set<Assignment, AssignmentHash> seen;
+  Assignment assignment(slots, 0);
+  for (;;) {
+    Assignment canon = canonical(assignment, node_pool);
+    if (seen.insert(canon).second) out.push_back(std::move(canon));
+    // Odometer increment: last slot fastest, i.e. lexicographic order. The
+    // canonical form of a class is its lexicographically smallest member,
+    // so classes are discovered in lex order of their canonical forms.
+    std::size_t pos = slots;
+    while (pos > 0) {
+      if (++assignment[pos - 1] < node_pool) break;
+      assignment[pos - 1] = 0;
+      --pos;
+    }
+    if (pos == 0) break;
+  }
+  return out;
+}
+
+std::vector<Assignment> neighbor_assignments(const Assignment& from,
+                                             int node_pool) {
+  const Assignment self = canonical(from, node_pool);
+  std::vector<Assignment> out;
+  out.reserve(from.size() * static_cast<std::size_t>(node_pool - 1));
+  Assignment probe = from;
+  for (std::size_t slot = 0; slot < from.size(); ++slot) {
+    const int original = probe[slot];
+    for (int node = 0; node < node_pool; ++node) {
+      if (node == original) continue;
+      probe[slot] = node;
+      Assignment canon = canonical(probe, node_pool);
+      if (canon != self) out.push_back(std::move(canon));
+    }
+    probe[slot] = original;
+  }
+  return out;
+}
+
+std::optional<std::size_t> pick_winner(
+    const std::vector<ScoredCandidate>& scored,
+    const std::vector<Assignment>& candidates) {
+  WFE_REQUIRE(scored.size() == candidates.size(),
+              "one score per candidate required");
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (!scored[i].feasible) continue;
+    if (!best || scored[i].objective > scored[*best].objective ||
+        (scored[i].objective == scored[*best].objective &&
+         candidates[i] < candidates[*best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace wfe::sched

@@ -2,23 +2,27 @@
 
 #include <algorithm>
 
-#include "runtime/simulated_executor.hpp"
 #include "support/error.hpp"
 
 namespace wfe::sched {
 
 Evaluator::Evaluator(plat::PlatformSpec platform)
-    : platform_(std::move(platform)) {
-  platform_.validate();
-}
+    : exec_(std::move(platform)) {}  // the executor validates the platform
 
-Evaluation Evaluator::score(rt::EnsembleSpec spec,
+Evaluation Evaluator::score(const rt::EnsembleSpec& spec,
                             std::uint64_t probe_steps) const {
   WFE_REQUIRE(probe_steps >= 2, "probes need at least two steps");
-  spec.n_steps = probe_steps;
-  rt::SimulatedExecutor exec(platform_);
-  const rt::ExecutionResult result = exec.run(spec);
-  const rt::Assessment a = rt::assess(spec, result);
+
+  rt::EnsembleSpec adjusted;
+  const rt::EnsembleSpec* probe = &spec;
+  if (spec.n_steps != probe_steps) {
+    adjusted = spec;  // copy only for the n_steps override
+    adjusted.n_steps = probe_steps;
+    probe = &adjusted;
+  }
+  const rt::ExecutionResult result = exec_.run(*probe);
+  events_ += result.events_processed;
+  const rt::Assessment a = rt::assess(*probe, result);
   ++evaluations_;
 
   Evaluation out;

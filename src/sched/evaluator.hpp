@@ -4,6 +4,7 @@
 
 #include "platform/spec.hpp"
 #include "runtime/bridge.hpp"
+#include "runtime/simulated_executor.hpp"
 #include "runtime/spec.hpp"
 
 namespace wfe::sched {
@@ -16,21 +17,27 @@ struct Evaluation {
 };
 
 /// Replays specs on one platform and scores them; counts evaluations so
-/// schedulers' planning cost is measurable.
+/// schedulers' planning cost is measurable. The executor (and its platform
+/// validation) is built once per evaluator, not once per score.
 class Evaluator {
  public:
   explicit Evaluator(plat::PlatformSpec platform);
 
   /// Validate + replay + assess. Short replays suffice: the simulated
   /// steady state is immediate, so `probe_steps` keeps planning cheap.
-  Evaluation score(rt::EnsembleSpec spec, std::uint64_t probe_steps = 6) const;
+  /// The spec is only copied when its step count differs from the probe.
+  Evaluation score(const rt::EnsembleSpec& spec,
+                   std::uint64_t probe_steps = 6) const;
 
   std::size_t evaluations() const { return evaluations_; }
-  const plat::PlatformSpec& platform() const { return platform_; }
+  /// Engine events dispatched across all replays so far (throughput metric).
+  std::uint64_t events_processed() const { return events_; }
+  const plat::PlatformSpec& platform() const { return exec_.platform(); }
 
  private:
-  plat::PlatformSpec platform_;
+  rt::SimulatedExecutor exec_;
   mutable std::size_t evaluations_ = 0;
+  mutable std::uint64_t events_ = 0;
 };
 
 }  // namespace wfe::sched

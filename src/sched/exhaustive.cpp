@@ -1,86 +1,47 @@
 #include "sched/exhaustive.hpp"
 
-#include <map>
-#include <set>
+#include <vector>
 
-#include "sched/evaluator.hpp"
+#include "sched/batch_evaluator.hpp"
+#include "sched/candidates.hpp"
 #include "support/error.hpp"
 
 namespace wfe::sched {
 
-namespace {
-
-/// Relabel nodes in first-appearance order (placements differing only by
-/// node naming are equivalent on a homogeneous pool).
-std::vector<int> canonical(const std::vector<int>& assignment) {
-  std::map<int, int> relabel;
-  std::vector<int> out;
-  out.reserve(assignment.size());
-  for (int node : assignment) {
-    auto [it, _] = relabel.emplace(node, static_cast<int>(relabel.size()));
-    out.push_back(it->second);
-  }
-  return out;
-}
-
-}  // namespace
-
 Schedule Exhaustive::plan(const EnsembleShape& shape,
                           const plat::PlatformSpec& platform,
-                          const ResourceBudget& budget) const {
+                          const ResourceBudget& budget,
+                          const PlanOptions& options) const {
   WFE_REQUIRE(!shape.members.empty(), "shape has no members");
   WFE_REQUIRE(budget.node_pool >= 1 &&
                   budget.node_pool <= platform.node_count,
               "node pool must fit the platform");
-  std::size_t slots = 0;
-  for (const MemberShape& m : shape.members) slots += 1 + m.analyses.size();
+  const std::size_t slots = slot_count(shape);
   WFE_REQUIRE(slots <= 12, "exhaustive search capped at 12 components");
 
-  Evaluator evaluator(platform);
-  std::set<std::vector<int>> seen;
-  std::vector<int> assignment(slots, 0);
+  // Generate: every canonically distinct assignment, in lexicographic
+  // order. Score: fan out to the worker pool, memoized. Reduce: canonical
+  // winner — identical to scoring one assignment at a time in this order.
+  const std::vector<Assignment> candidates =
+      enumerate_assignments(slots, budget.node_pool);
+  BatchEvaluator evaluator(platform, options.threads);
+  const std::vector<BatchScore> scores =
+      evaluator.score_assignments(shape, candidates, options.probe_steps);
 
-  bool found = false;
-  double best_f = 0.0;
-  rt::EnsembleSpec best_spec;
-
-  for (;;) {
-    const std::vector<int> canon = canonical(assignment);
-    if (seen.insert(canon).second) {
-      rt::EnsembleSpec spec = place(shape, canon);
-      bool feasible = true;
-      try {
-        spec.validate(platform);
-      } catch (const SpecError&) {
-        feasible = false;
-      }
-      if (feasible) {
-        const Evaluation e = evaluator.score(spec);
-        if (!found || e.objective > best_f) {
-          found = true;
-          best_f = e.objective;
-          best_spec = std::move(spec);
-        }
-      }
-    }
-    // Odometer increment.
-    std::size_t pos = slots;
-    while (pos > 0) {
-      if (++assignment[pos - 1] < budget.node_pool) break;
-      assignment[pos - 1] = 0;
-      --pos;
-    }
-    if (pos == 0) break;
-  }
-
-  if (!found) {
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(scores.size());
+  for (const BatchScore& s : scores) scored.push_back(s.scored());
+  const auto winner = pick_winner(scored, candidates);
+  if (!winner) {
     throw SpecError("exhaustive: no feasible placement within the budget");
   }
+
   Schedule schedule;
-  best_spec.n_steps = shape.n_steps;  // probes used fewer steps
-  schedule.spec = std::move(best_spec);
+  schedule.spec = place(shape, candidates[*winner]);
+  schedule.spec.n_steps = shape.n_steps;  // probes used fewer steps
   schedule.scheduler = name();
   schedule.evaluations = evaluator.evaluations();
+  schedule.cache_hits = evaluator.cache_hits();
   return schedule;
 }
 

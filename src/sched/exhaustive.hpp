@@ -6,6 +6,11 @@
 // enumeration is capped), but exact — it bounds what any other scheduler
 // can achieve, which is what the comparison bench measures the greedy
 // heuristic against.
+//
+// Candidate evaluation fans out to `options.threads` workers through the
+// BatchEvaluator; the reduction's canonical tie-break (objective, then
+// lexicographic canonical placement) makes the result bit-identical to the
+// sequential search for any thread count.
 #pragma once
 
 #include "sched/scheduler.hpp"
@@ -17,7 +22,8 @@ class Exhaustive final : public Scheduler {
   std::string name() const override { return "exhaustive"; }
 
   Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
-                const ResourceBudget& budget) const override;
+                const ResourceBudget& budget,
+                const PlanOptions& options = {}) const override;
 };
 
 }  // namespace wfe::sched

@@ -85,10 +85,9 @@ std::vector<NodeState> fresh_pool(const plat::PlatformSpec& platform,
   return nodes;
 }
 
-/// Primary strategy: whole members on single nodes (CP = 1) where they
-/// fit, split members hugging their simulation otherwise. Returns nullopt
-/// when a component cannot be placed.
-std::optional<std::vector<int>> plan_colocated(
+}  // namespace
+
+std::optional<std::vector<int>> colocated_assignment(
     const EnsembleShape& shape, const plat::PlatformSpec& platform,
     const ResourceBudget& budget) {
   const Layout l = layout_of(shape);
@@ -135,10 +134,9 @@ std::optional<std::vector<int>> plan_colocated(
 }
 
 /// Feasibility fallback for tight bin-packing cases the co-location-first
-/// pass cannot solve: place every simulation first (they are the big
-/// rigid items), then every analysis (preferring its simulation's node).
-/// Sacrifices CP where it must, in exchange for fitting the budget.
-std::optional<std::vector<int>> plan_sims_first(
+/// pass cannot solve. Sacrifices CP where it must, in exchange for fitting
+/// the budget.
+std::optional<std::vector<int>> sims_first_assignment(
     const EnsembleShape& shape, const plat::PlatformSpec& platform,
     const ResourceBudget& budget) {
   const Layout l = layout_of(shape);
@@ -164,19 +162,18 @@ std::optional<std::vector<int>> plan_sims_first(
   return assignment;
 }
 
-}  // namespace
-
 Schedule GreedyColocation::plan(const EnsembleShape& shape,
                                 const plat::PlatformSpec& platform,
-                                const ResourceBudget& budget) const {
+                                const ResourceBudget& budget,
+                                const PlanOptions& /*options*/) const {
   WFE_REQUIRE(!shape.members.empty(), "shape has no members");
   WFE_REQUIRE(budget.node_pool >= 1 &&
                   budget.node_pool <= platform.node_count,
               "node pool must fit the platform");
 
   std::optional<std::vector<int>> assignment =
-      plan_colocated(shape, platform, budget);
-  if (!assignment) assignment = plan_sims_first(shape, platform, budget);
+      colocated_assignment(shape, platform, budget);
+  if (!assignment) assignment = sims_first_assignment(shape, platform, budget);
   if (!assignment) {
     throw SpecError(strprintf(
         "greedy-colocate: the ensemble does not fit the %d-node budget "

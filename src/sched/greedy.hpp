@@ -12,6 +12,9 @@
 // Planning cost: O(components * nodes); zero simulated replays.
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "sched/scheduler.hpp"
 
 namespace wfe::sched {
@@ -21,7 +24,21 @@ class GreedyColocation final : public Scheduler {
   std::string name() const override { return "greedy-colocate"; }
 
   Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
-                const ResourceBudget& budget) const override;
+                const ResourceBudget& budget,
+                const PlanOptions& options = {}) const override;
 };
+
+/// The two constructive candidate generators behind GreedyColocation,
+/// exposed so replay-guided schedulers (GreedyRefine) can seed from them.
+/// Primary: whole members on single nodes (CP = 1) where they fit, split
+/// members hugging their simulation otherwise. Fallback: every simulation
+/// first (the big rigid items), then every analysis. Either returns
+/// nullopt when a component cannot be placed.
+std::optional<std::vector<int>> colocated_assignment(
+    const EnsembleShape& shape, const plat::PlatformSpec& platform,
+    const ResourceBudget& budget);
+std::optional<std::vector<int>> sims_first_assignment(
+    const EnsembleShape& shape, const plat::PlatformSpec& platform,
+    const ResourceBudget& budget);
 
 }  // namespace wfe::sched

@@ -1,0 +1,85 @@
+#include "sched/greedy_refine.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "sched/batch_evaluator.hpp"
+#include "sched/candidates.hpp"
+#include "sched/greedy.hpp"
+#include "support/error.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+std::vector<ScoredCandidate> scored_of(const std::vector<BatchScore>& batch) {
+  std::vector<ScoredCandidate> out;
+  out.reserve(batch.size());
+  for (const BatchScore& s : batch) out.push_back(s.scored());
+  return out;
+}
+
+}  // namespace
+
+Schedule GreedyRefine::plan(const EnsembleShape& shape,
+                            const plat::PlatformSpec& platform,
+                            const ResourceBudget& budget,
+                            const PlanOptions& options) const {
+  WFE_REQUIRE(!shape.members.empty(), "shape has no members");
+  WFE_REQUIRE(budget.node_pool >= 1 &&
+                  budget.node_pool <= platform.node_count,
+              "node pool must fit the platform");
+
+  // Seeds: the constructive passes, canonicalized.
+  std::vector<Assignment> seeds;
+  for (auto* build : {&colocated_assignment, &sims_first_assignment}) {
+    if (auto a = (*build)(shape, platform, budget)) {
+      Assignment canon = canonical(*a, budget.node_pool);
+      if (seeds.empty() || seeds.front() != canon) {
+        seeds.push_back(std::move(canon));
+      }
+    }
+  }
+  if (seeds.empty()) {
+    throw SpecError(
+        "greedy-refine: the ensemble does not fit the node budget (no "
+        "constructive seed placement exists)");
+  }
+
+  BatchEvaluator evaluator(platform, options.threads);
+  std::vector<BatchScore> scores =
+      evaluator.score_assignments(shape, seeds, options.probe_steps);
+  auto winner = pick_winner(scored_of(scores), seeds);
+  if (!winner) {
+    throw SpecError("greedy-refine: no seed placement validates");
+  }
+  Assignment incumbent = seeds[*winner];
+  double incumbent_objective = scores[*winner].eval.objective;
+
+  // Hill-climb: strictly improving, so each incumbent is visited once and
+  // the loop terminates (the candidate space is finite). The neighborhood
+  // overlap between rounds is served from the memo-cache.
+  for (;;) {
+    const std::vector<Assignment> neighbors =
+        neighbor_assignments(incumbent, budget.node_pool);
+    if (neighbors.empty()) break;
+    scores = evaluator.score_assignments(shape, neighbors,
+                                         options.probe_steps);
+    winner = pick_winner(scored_of(scores), neighbors);
+    if (!winner || scores[*winner].eval.objective <= incumbent_objective) {
+      break;
+    }
+    incumbent = neighbors[*winner];
+    incumbent_objective = scores[*winner].eval.objective;
+  }
+
+  Schedule schedule;
+  schedule.spec = place(shape, incumbent);
+  schedule.spec.n_steps = shape.n_steps;
+  schedule.scheduler = name();
+  schedule.evaluations = evaluator.evaluations();
+  schedule.cache_hits = evaluator.cache_hits();
+  return schedule;
+}
+
+}  // namespace wfe::sched

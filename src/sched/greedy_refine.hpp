@@ -1,0 +1,28 @@
+// GreedyRefine: replay-guided local search seeded by the constructive
+// greedy passes.
+//
+// Scores the greedy-colocate and sims-first seeds, then hill-climbs over
+// single-component moves: each round, every "move one component to another
+// node" neighbor of the incumbent is batch-scored on the worker pool and
+// the canonical winner (objective, then lexicographic canonical placement)
+// replaces the incumbent if it is strictly better. The evaluation
+// memo-cache makes revisited placements free — consecutive rounds share
+// most of their neighborhoods — and the canonical reduction makes the
+// trajectory, the winner, and the evaluation count identical for any
+// thread count.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace wfe::sched {
+
+class GreedyRefine final : public Scheduler {
+ public:
+  std::string name() const override { return "greedy-refine"; }
+
+  Schedule plan(const EnsembleShape& shape, const plat::PlatformSpec& platform,
+                const ResourceBudget& budget,
+                const PlanOptions& options = {}) const override;
+};
+
+}  // namespace wfe::sched

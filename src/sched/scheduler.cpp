@@ -3,6 +3,7 @@
 #include "sched/baselines.hpp"
 #include "sched/exhaustive.hpp"
 #include "sched/greedy.hpp"
+#include "sched/greedy_refine.hpp"
 #include "support/error.hpp"
 #include "workload/presets.hpp"
 
@@ -26,6 +27,26 @@ EnsembleShape EnsembleShape::paper_like(int members, int analyses_per_member,
   return shape;
 }
 
+EnsembleShape EnsembleShape::of(const rt::EnsembleSpec& spec) {
+  WFE_REQUIRE(!spec.members.empty(), "spec has no members");
+  EnsembleShape shape;
+  shape.name = spec.name;
+  shape.n_steps = spec.n_steps;
+  for (const rt::MemberSpec& m : spec.members) {
+    MemberShape ms;
+    ms.buffer_capacity = m.buffer_capacity;
+    ms.sim = m.sim;
+    ms.sim.nodes.clear();
+    for (const rt::AnalysisSpec& a : m.analyses) {
+      rt::AnalysisSpec as = a;
+      as.nodes.clear();
+      ms.analyses.push_back(std::move(as));
+    }
+    shape.members.push_back(std::move(ms));
+  }
+  return shape;
+}
+
 rt::EnsembleSpec place(const EnsembleShape& shape,
                        const std::vector<int>& assignment) {
   std::size_t slots = 0;
@@ -39,6 +60,7 @@ rt::EnsembleSpec place(const EnsembleShape& shape,
   std::size_t idx = 0;
   for (const MemberShape& m : shape.members) {
     rt::MemberSpec placed;
+    placed.buffer_capacity = m.buffer_capacity;
     placed.sim = m.sim;
     placed.sim.nodes = {assignment[idx++]};
     for (const rt::AnalysisSpec& a : m.analyses) {
@@ -53,6 +75,7 @@ rt::EnsembleSpec place(const EnsembleShape& shape,
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
   if (name == "greedy-colocate") return std::make_unique<GreedyColocation>();
+  if (name == "greedy-refine") return std::make_unique<GreedyRefine>();
   if (name == "exhaustive") return std::make_unique<Exhaustive>();
   if (name == "round-robin") return std::make_unique<RoundRobin>();
   if (name == "random") return std::make_unique<RandomPlacement>();

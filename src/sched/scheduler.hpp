@@ -25,6 +25,7 @@ namespace wfe::sched {
 struct MemberShape {
   rt::SimulationSpec sim;               ///< nodes field ignored
   std::vector<rt::AnalysisSpec> analyses;  ///< nodes fields ignored
+  int buffer_capacity = 1;              ///< carried through to the placement
 };
 
 /// A whole ensemble's demand.
@@ -37,6 +38,10 @@ struct EnsembleShape {
   /// 8-core bipartite analyses).
   static EnsembleShape paper_like(int members, int analyses_per_member,
                                   std::uint64_t n_steps = 37);
+
+  /// Strip the placement off an already-placed ensemble: the demand that
+  /// spec answers, ready to be re-planned (e.g. wfens_run --schedule).
+  static EnsembleShape of(const rt::EnsembleSpec& spec);
 };
 
 /// The resources a schedule may use.
@@ -44,11 +49,24 @@ struct ResourceBudget {
   int node_pool = 3;  ///< nodes 0 .. node_pool-1 are available
 };
 
+/// Knobs of the planning run itself (not of the schedule it produces).
+/// Thread count never changes the outcome: search evaluations fan out to a
+/// worker pool but are reduced with a canonical tie-break (objective, then
+/// lexicographic canonical placement), so any `threads` yields the same
+/// winning schedule, objective, and evaluation count as `threads == 1`.
+struct PlanOptions {
+  int threads = 1;                ///< evaluation workers (>= 1)
+  std::uint64_t probe_steps = 6;  ///< in situ steps per probe replay
+};
+
 /// A placement decision with provenance.
 struct Schedule {
   rt::EnsembleSpec spec;    ///< fully placed, validated ensemble
   std::string scheduler;    ///< which algorithm produced it
   std::size_t evaluations = 0;  ///< simulated replays spent planning
+  /// Probe scores served from the evaluation memo-cache instead of being
+  /// re-simulated (0 for schedulers that never replay).
+  std::size_t cache_hits = 0;
 };
 
 class Scheduler {
@@ -61,7 +79,8 @@ class Scheduler {
   /// Throws wfe::SpecError if the demand cannot fit the budget at all.
   virtual Schedule plan(const EnsembleShape& shape,
                         const plat::PlatformSpec& platform,
-                        const ResourceBudget& budget) const = 0;
+                        const ResourceBudget& budget,
+                        const PlanOptions& options = {}) const = 0;
 };
 
 /// Build the placed spec from per-component node choices, in the fixed
@@ -70,7 +89,8 @@ class Scheduler {
 rt::EnsembleSpec place(const EnsembleShape& shape,
                        const std::vector<int>& assignment);
 
-/// Factory: "greedy-colocate", "exhaustive", "round-robin", "random".
+/// Factory: "greedy-colocate", "greedy-refine", "exhaustive",
+/// "round-robin", "random".
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
 
 }  // namespace wfe::sched

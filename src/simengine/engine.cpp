@@ -8,15 +8,31 @@
 
 namespace wfe::sim {
 
+namespace {
+
+constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+
+}  // namespace
+
 EventId Engine::schedule_at(SimTime t, Callback fn) {
   WFE_REQUIRE(std::isfinite(t), "event time must be finite");
   WFE_REQUIRE(t >= now_, "cannot schedule an event in the virtual past");
   WFE_REQUIRE(static_cast<bool>(fn), "event callback must be callable");
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{t, next_seq_++, id, std::move(fn)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(generations_.size());
+    generations_.push_back(1);  // start at 1 so EventId{0} never matches
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  const std::uint32_t gen = generations_[slot];
+  heap_.push_back(Entry{t, next_seq_++, slot, gen, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_ids_.insert(id);
-  return EventId{id};
+  ++pending_;
+  return EventId{pack(slot, gen)};
 }
 
 EventId Engine::schedule_in(SimTime delay, Callback fn) {
@@ -24,11 +40,23 @@ EventId Engine::schedule_in(SimTime delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Engine::retire(std::uint32_t slot) {
+  ++generations_[slot];
+  free_slots_.push_back(slot);
+  --pending_;
+}
+
 bool Engine::cancel(EventId id) {
-  // Lazy deletion: forget the id; the heap entry is dropped when it reaches
-  // the top or at the next compaction. Stale ids — already fired, already
-  // cancelled, or wiped by clear() — are a no-op returning false.
-  if (pending_ids_.erase(id.value) == 0) return false;
+  // Lazy deletion: bump the slot's generation so the heap entry is seen as
+  // dead when it reaches the top or at the next compaction. Stale ids —
+  // already fired, already cancelled, or wiped by clear() — fail the
+  // generation check and are a no-op returning false.
+  const auto slot = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (gen == 0 || slot >= generations_.size() || generations_[slot] != gen) {
+    return false;
+  }
+  retire(slot);
   compact_if_mostly_dead();
   return true;
 }
@@ -37,14 +65,13 @@ void Engine::compact_if_mostly_dead() {
   // A cancelled far-future event would otherwise sit in the heap until the
   // clock reaches it. Rebuilding once dead entries outnumber live ones
   // keeps memory proportional to pending() at amortized O(1) per cancel.
-  if (heap_.size() < 64 || heap_.size() < 2 * pending_ids_.size()) return;
-  std::erase_if(heap_,
-                [&](const Entry& e) { return !pending_ids_.contains(e.id); });
+  if (heap_.size() < 64 || heap_.size() < 2 * pending_) return;
+  std::erase_if(heap_, [&](const Entry& e) { return !live(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Engine::drop_dead_entries() {
-  while (!heap_.empty() && !pending_ids_.contains(heap_.front().id)) {
+  while (!heap_.empty() && !live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -56,7 +83,7 @@ bool Engine::step() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  pending_ids_.erase(e.id);
+  retire(e.slot);
   now_ = e.time;
   ++processed_;
   e.fn();
@@ -80,8 +107,10 @@ void Engine::run_until(SimTime t) {
 }
 
 void Engine::clear() {
+  for (const Entry& e : heap_) {
+    if (live(e)) retire(e.slot);
+  }
   heap_.clear();
-  pending_ids_.clear();
 }
 
 }  // namespace wfe::sim

@@ -9,12 +9,18 @@
 // Determinism: events at equal timestamps fire in scheduling order (a
 // monotonically increasing sequence number breaks ties), so simulations are
 // reproducible bit-for-bit regardless of container or load.
+//
+// Hot-path layout: pending-membership is tracked by generation-stamped
+// slots (an EventId is a (slot, generation) pair; cancellation bumps the
+// slot's generation) instead of a per-event hash-set entry, and callbacks
+// use a small-buffer type (SmallFn) instead of std::function, so scheduling
+// an event allocates nothing beyond amortized vector growth.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
+
+#include "simengine/small_fn.hpp"
 
 namespace wfe::sim {
 
@@ -22,6 +28,9 @@ namespace wfe::sim {
 using SimTime = double;
 
 /// Handle to a scheduled event; valid until the event fires or is cancelled.
+/// Encodes a slot index (low 32 bits) and that slot's generation at
+/// scheduling time (high 32 bits): stale handles — fired, cancelled, or
+/// wiped by clear() — simply fail the generation check.
 struct EventId {
   std::uint64_t value = 0;
   friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
@@ -30,7 +39,7 @@ struct EventId {
 /// Event-driven virtual-time engine.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Current virtual time. Starts at 0.
   SimTime now() const { return now_; }
@@ -54,8 +63,8 @@ class Engine {
   /// Run events with time <= t, then advance the clock to exactly t.
   void run_until(SimTime t);
 
-  bool empty() const { return pending_ids_.empty(); }
-  std::size_t pending() const { return pending_ids_.size(); }
+  bool empty() const { return pending_ == 0; }
+  std::size_t pending() const { return pending_; }
   std::uint64_t events_processed() const { return processed_; }
 
   /// Heap entries held, including cancelled ones not yet collected.
@@ -71,7 +80,8 @@ class Engine {
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     Callback fn;
   };
   struct Later {
@@ -81,7 +91,13 @@ class Engine {
     }
   };
 
-  /// Pop heap entries whose ids are no longer pending (lazy deletion).
+  /// A slot's entry is pending iff its stamped generation is current.
+  bool live(const Entry& e) const { return generations_[e.slot] == e.gen; }
+
+  /// Invalidate a slot's outstanding id and recycle it.
+  void retire(std::uint32_t slot);
+
+  /// Pop heap entries whose slots are no longer pending (lazy deletion).
   void drop_dead_entries();
 
   /// Rebuild the heap from live entries when dead ones dominate it.
@@ -89,10 +105,11 @@ class Engine {
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t pending_ = 0;
   std::vector<Entry> heap_;  // min-heap under Later
-  std::unordered_set<std::uint64_t> pending_ids_;
+  std::vector<std::uint32_t> generations_;  // per-slot current generation
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace wfe::sim

@@ -1,0 +1,113 @@
+// SmallFn: a move-only `void()` callable with small-buffer storage.
+//
+// The event engine schedules hundreds of thousands of closures per replay;
+// with std::function each of them may heap-allocate. The engine's callbacks
+// are almost all tiny lambdas (a couple of pointers), so SmallFn stores
+// callables up to kInlineBytes in-place and only falls back to the heap for
+// oversized or throwing-move types. Move-only is deliberate: heap entries
+// are moved, never copied, and dropping copyability keeps captured state
+// unambiguous.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wfe::sim {
+
+class SmallFn {
+ public:
+  /// In-place capacity. Sized for the executor's stage closures (a few
+  /// pointers plus a small amount of state) while keeping heap entries
+  /// cache-friendly.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    constexpr bool kInline = sizeof(D) <= kInlineBytes &&
+                             alignof(D) <= alignof(std::max_align_t) &&
+                             std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kInline) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the payload into `dst` and destroy it in `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<D*>(p))(); }
+    static void relocate(void* src, void* dst) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* p) { static_cast<D*>(p)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* ptr(void* p) { return *static_cast<D**>(p); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* src, void* dst) {
+      ::new (dst) D*(ptr(src));
+    }
+    static void destroy(void* p) { delete ptr(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wfe::sim

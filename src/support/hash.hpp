@@ -1,0 +1,58 @@
+// FNV-1a streaming hasher for fingerprinting value objects.
+//
+// Used to build stable cache keys (the scheduler's evaluation memo-cache
+// keys placements by platform/spec fingerprint). Not cryptographic; the
+// point is a cheap, deterministic digest of plain-old-data fields that is
+// identical across runs and thread counts.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace wfe {
+
+class Fnv1a {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  /// Signed and narrower integrals all widen through int64 so the digest
+  /// does not depend on the declared type of a field.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::uint64_t>)
+  void add(T v) {
+    add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  void add(bool v) { byte(v ? 1 : 0); }
+  /// Doubles are hashed by bit pattern: distinct values (including -0.0 vs
+  /// 0.0) digest differently, equal values digest equally.
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(std::string_view s) {
+    add(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) byte(static_cast<unsigned char>(c));
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+  /// Combine two digests (e.g. a platform and a spec fingerprint).
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    Fnv1a h;
+    h.add(a);
+    h.add(b);
+    return h.digest();
+  }
+
+ private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace wfe

@@ -1,6 +1,5 @@
 #include "workload/generators.hpp"
 
-#include <map>
 #include <set>
 #include <string>
 
@@ -13,15 +12,19 @@ namespace wfe::wl {
 namespace {
 
 /// Relabel nodes in first-appearance order so placements that differ only
-/// by node naming collapse to one canonical assignment vector.
-std::vector<int> canonical_form(const std::vector<int>& assignment) {
-  std::map<int, int> relabel;
+/// by node naming collapse to one canonical assignment vector. The relabel
+/// table is a flat array indexed by node id (-1 = unseen) — this runs once
+/// per enumerated candidate, so no per-candidate tree allocations.
+std::vector<int> canonical_form(const std::vector<int>& assignment,
+                                int node_pool) {
+  std::vector<int> relabel(static_cast<std::size_t>(node_pool), -1);
+  int next = 0;
   std::vector<int> out;
   out.reserve(assignment.size());
   for (int node : assignment) {
-    auto [it, inserted] =
-        relabel.emplace(node, static_cast<int>(relabel.size()));
-    out.push_back(it->second);
+    int& label = relabel[static_cast<std::size_t>(node)];
+    if (label < 0) label = next++;
+    out.push_back(label);
   }
   return out;
 }
@@ -59,7 +62,8 @@ std::vector<NamedConfig> enumerate_placements(
 
   for (;;) {
     const std::vector<int> canon =
-        options.canonicalize ? canonical_form(assignment) : assignment;
+        options.canonicalize ? canonical_form(assignment, options.node_pool)
+                             : assignment;
     if (seen.insert(canon).second) {
       // Build the spec for this assignment.
       rt::EnsembleSpec spec;

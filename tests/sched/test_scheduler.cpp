@@ -40,8 +40,8 @@ TEST(Place, RejectsWrongSlotCount) {
 }
 
 TEST(Factory, KnowsAllSchedulers) {
-  for (const char* name :
-       {"greedy-colocate", "exhaustive", "round-robin", "random"}) {
+  for (const char* name : {"greedy-colocate", "greedy-refine", "exhaustive",
+                           "round-robin", "random"}) {
     const auto s = make_scheduler(name);
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(s->name(), name);
@@ -85,8 +85,9 @@ TEST_P(AllSchedulers, RespectsNodeBudget) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Everyone, AllSchedulers,
-                         ::testing::Values("greedy-colocate", "exhaustive",
-                                           "round-robin", "random"));
+                         ::testing::Values("greedy-colocate", "greedy-refine",
+                                           "exhaustive", "round-robin",
+                                           "random"));
 
 }  // namespace
 }  // namespace wfe::sched

@@ -258,6 +258,45 @@ TEST(Engine, CancelDuringMassChurnKeepsOrdering) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(Engine, StaleHandleCannotCancelRecycledSlot) {
+  // After an event fires or is cancelled its slot is recycled for new
+  // events; the generation stamp must make the old handle inert instead of
+  // cancelling the slot's new occupant.
+  Engine e;
+  int fired = 0;
+  const EventId first = e.schedule_at(1.0, [&] { ++fired; });
+  ASSERT_TRUE(e.cancel(first));
+  // The freed slot is reused immediately.
+  const EventId second = e.schedule_at(2.0, [&] { fired += 10; });
+  EXPECT_FALSE(e.cancel(first));  // stale generation: no-op
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(e.cancel(second));  // already fired
+}
+
+TEST(Engine, DefaultEventIdNeverCancels) {
+  // EventId{} (value 0) must never alias a live event, even the very first
+  // one scheduled on a fresh engine.
+  Engine e;
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_FALSE(e.cancel(EventId{}));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, HandlesStayDistinctAcrossHeavySlotReuse) {
+  // Thousands of schedule/cancel cycles funnel through a handful of slots;
+  // every handle must stay bound to exactly its own event.
+  Engine e;
+  for (int round = 0; round < 5000; ++round) {
+    const EventId id = e.schedule_at(1e6, [] {});
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_FALSE(e.cancel(id));
+  }
+  EXPECT_TRUE(e.empty());
+}
+
 TEST(Engine, ZeroDelaySelfSchedulingTerminates) {
   // Events at the same timestamp run FIFO, so a zero-delay chain still
   // drains in bounded steps.

@@ -1,28 +1,46 @@
 #!/usr/bin/env bash
-# Build WFEns with AddressSanitizer + UndefinedBehaviorSanitizer and run the
-# tier-1 test suite under them.
+# Build WFEns under sanitizers and run the tier-1 test suite.
 #
 #   tools/check_sanitize.sh [sanitizers] [ctest-args...]
 #
 # The first argument (default "address,undefined") feeds the WFE_SANITIZE
-# CMake cache variable; everything after it is passed to ctest. The
-# instrumented tree lives in build-sanitize/ so it never disturbs the
-# regular build/.
+# CMake cache variable; everything after it is passed to ctest. Each
+# sanitizer set gets its own tree (build-sanitize-<set>/) so switching
+# between them never forces a full rebuild, and none disturbs the regular
+# build/.
+#
+# "thread" is special-cased: ThreadSanitizer is incompatible with ASan, so
+# it builds its own tree and runs only the concurrency-relevant suites
+# (the exec thread pool and the parallel scheduler layer). The default
+# invocation chains both phases: ASan+UBSan over everything, then TSan
+# over the concurrency tests.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-sanitizers="${1:-address,undefined}"
+sanitizers="${1:-}"
 shift || true
-
-build_dir="${repo_root}/build-sanitize"
-
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DWFE_SANITIZE="${sanitizers}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${build_dir}" -j
 
 # abort_on_error=0: let gtest report which test tripped the sanitizer.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+run_phase() {
+  local sans="$1"
+  shift
+  local build_dir="${repo_root}/build-sanitize-${sans//,/-}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DWFE_SANITIZE="${sans}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${build_dir}" -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+}
+
+if [[ -z "${sanitizers}" ]]; then
+  run_phase "address,undefined" "$@"
+  run_phase "thread" -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine' "$@"
+elif [[ "${sanitizers}" == "thread" ]]; then
+  run_phase thread -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine' "$@"
+else
+  run_phase "${sanitizers}" "$@"
+fi

@@ -2,9 +2,13 @@
 // report the expected assessment — the paper's future-work scheduling use
 // case as a command-line tool.
 //
-// Usage:  wfens_sched <members> <analyses_per_member> <node_pool>
-//                     [--scheduler greedy-colocate|exhaustive|round-robin|random]
-//                     [--save-spec out.wfes]
+// Usage:  wfens_plan <members> <analyses_per_member> <node_pool>
+//                    [--scheduler greedy-colocate|greedy-refine|exhaustive|
+//                                 round-robin|random]
+//                    [--threads N] [--save-spec out.wfes]
+//
+// --threads parallelizes the replay-driven schedulers' candidate scoring;
+// the chosen placement is identical for every N (see docs/PERF.md).
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -21,7 +25,8 @@ int main(int argc, char** argv) {
   using namespace wfe;
   if (argc < 4) {
     std::cerr << "usage: wfens_plan <members> <analyses_per_member> "
-                 "<node_pool> [--scheduler NAME] [--save-spec out.wfes]\n";
+                 "<node_pool> [--scheduler NAME] [--threads N] "
+                 "[--save-spec out.wfes]\n";
     return 2;
   }
   const int members = std::atoi(argv[1]);
@@ -29,10 +34,14 @@ int main(int argc, char** argv) {
   const int pool = std::atoi(argv[3]);
   std::string scheduler_name = "greedy-colocate";
   std::string save_spec_path;
+  int threads = 1;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scheduler" && i + 1 < argc) {
       scheduler_name = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
     } else if (arg == "--save-spec" && i + 1 < argc) {
       save_spec_path = argv[++i];
     } else {
@@ -45,8 +54,8 @@ int main(int argc, char** argv) {
     const auto platform = wl::cori_like_platform();
     const auto shape = sched::EnsembleShape::paper_like(members, analyses);
     const auto scheduler = sched::make_scheduler(scheduler_name);
-    const sched::Schedule schedule =
-        scheduler->plan(shape, platform, {pool});
+    const sched::Schedule schedule = scheduler->plan(
+        shape, platform, {pool}, sched::PlanOptions{.threads = threads});
 
     Table placement({"member", "simulation", "analyses"});
     for (std::size_t i = 0; i < schedule.spec.members.size(); ++i) {
@@ -60,8 +69,11 @@ int main(int argc, char** argv) {
                          join(ana_nodes, " ")});
     }
     std::cout << "scheduler: " << schedule.scheduler << " ("
-              << schedule.evaluations << " planning replays)\n"
-              << placement.render();
+              << schedule.evaluations << " planning replays";
+    if (schedule.cache_hits > 0) {
+      std::cout << ", " << schedule.cache_hits << " served from cache";
+    }
+    std::cout << ")\n" << placement.render();
 
     sched::Evaluator evaluator(platform);
     const sched::Evaluation e = evaluator.score(schedule.spec);

@@ -4,6 +4,7 @@
 //
 // Usage:  wfens_run <config|spec.wfes> <out.wfet>
 //                   [--native] [--steps N] [--save-spec out.wfes]
+//                   [--schedule NAME] [--pool M] [--threads N]
 //                   [--faults MTBF_S] [--stage-error-p P]
 //                   [--fault-policy retry|checkpoint|fail] [--fault-seed N]
 //   <config>         a paper configuration (Cf, Cc, C1.1 ... C2.8), or a
@@ -15,6 +16,13 @@
 //   --save-spec      also write the (possibly adjusted) spec, so
 //                    wfens_report can compute the placement-aware
 //                    indicators
+//   --schedule NAME  discard the config's placement and re-plan it with the
+//                    named scheduler (greedy-colocate, greedy-refine,
+//                    exhaustive, round-robin, random) before running;
+//                    simulated mode only
+//   --pool M         node budget for --schedule (default: the platform)
+//   --threads N      worker threads for --schedule's candidate scoring;
+//                    the chosen placement is identical for every N
 //   --faults MTBF_S  inject node crashes with this per-node MTBF (seconds);
 //                    simulated mode only
 //   --stage-error-p  per-stage transient error probability (simulated mode)
@@ -28,6 +36,7 @@
 #include "runtime/native_executor.hpp"
 #include "runtime/simulated_executor.hpp"
 #include "runtime/spec_io.hpp"
+#include "sched/scheduler.hpp"
 #include "support/error.hpp"
 #include "workload/paper_configs.hpp"
 #include "workload/presets.hpp"
@@ -37,6 +46,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::cerr << "usage: wfens_run <config|spec.wfes> <out.wfet> "
                  "[--native] [--steps N] [--save-spec out.wfes]\n"
+                 "                 [--schedule NAME] [--pool M] [--threads N]\n"
                  "                 [--faults MTBF_S] [--stage-error-p P]\n"
                  "                 [--fault-policy retry|checkpoint|fail] "
                  "[--fault-seed N]\n";
@@ -47,6 +57,9 @@ int main(int argc, char** argv) {
   bool native = false;
   std::uint64_t steps = 0;
   std::string save_spec_path;
+  std::string schedule_name;
+  int pool = 0;
+  int threads = 1;
   res::FaultSpec faults;
   res::RecoveryPolicy recovery;
   for (int i = 3; i < argc; ++i) {
@@ -57,6 +70,13 @@ int main(int argc, char** argv) {
       steps = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--save-spec" && i + 1 < argc) {
       save_spec_path = argv[++i];
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      schedule_name = argv[++i];
+    } else if (arg == "--pool" && i + 1 < argc) {
+      pool = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
     } else if (arg == "--faults" && i + 1 < argc) {
       faults.node_mtbf_s = std::atof(argv[++i]);
     } else if (arg == "--stage-error-p" && i + 1 < argc) {
@@ -86,6 +106,11 @@ int main(int argc, char** argv) {
                  "(drop --native)\n";
     return 2;
   }
+  if (native && !schedule_name.empty()) {
+    std::cerr << "--schedule plans placements, which native mode ignores "
+                 "(drop --native)\n";
+    return 2;
+  }
 
   try {
     rt::EnsembleSpec spec;
@@ -95,6 +120,27 @@ int main(int argc, char** argv) {
       spec = wl::paper_config(source).spec;
     }
     if (steps > 0) spec.n_steps = steps;
+
+    if (!schedule_name.empty()) {
+      // Strip the config's placement down to its demand and re-plan it.
+      const auto platform = wl::cori_like_platform();
+      const auto shape = sched::EnsembleShape::of(spec);
+      const sched::ResourceBudget budget{pool > 0 ? pool
+                                                  : platform.node_count};
+      const sched::Schedule schedule =
+          sched::make_scheduler(schedule_name)
+              ->plan(shape, platform, budget,
+                     sched::PlanOptions{.threads = threads});
+      const std::string name = spec.name;
+      spec = schedule.spec;
+      spec.name = name + "+" + schedule_name;
+      std::cout << "re-planned " << name << " with " << schedule_name << " ("
+                << schedule.evaluations << " planning replays";
+      if (schedule.cache_hits > 0) {
+        std::cout << ", " << schedule.cache_hits << " served from cache";
+      }
+      std::cout << ") on " << budget.node_pool << " nodes\n";
+    }
 
     rt::ExecutionResult result;
     if (native) {
