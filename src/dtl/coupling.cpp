@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -23,6 +24,15 @@ bool bounded_wait(std::condition_variable& cv,
     return true;
   }
   return cv.wait_for(lock, std::chrono::duration<double>(timeout_s), pred);
+}
+
+/// Current published-but-undrained chunk count of a channel (its staging
+/// buffer occupancy). Caller holds the channel mutex.
+double occupancy(std::int64_t committed,
+                 const std::vector<std::int64_t>& consumed) {
+  std::int64_t drained = committed;
+  for (std::int64_t c : consumed) drained = std::min(drained, c);
+  return static_cast<double>(committed - drained);
 }
 
 }  // namespace
@@ -59,11 +69,18 @@ void CouplingChannel::begin_write(std::uint64_t step) {
   // wait until every reader consumed step - capacity.
   const std::int64_t horizon =
       static_cast<std::int64_t>(step) - static_cast<std::int64_t>(capacity_);
+  const bool traced = obs::enabled();
+  const double w0 = traced ? obs::now_s() : 0.0;
   const bool drained = bounded_wait(writer_cv_, lock, wait_timeout_s_, [&] {
     return closed_ ||
            std::all_of(consumed_.begin(), consumed_.end(),
                        [&](std::int64_t c) { return c >= horizon; });
   });
+  if (traced) {
+    const double w1 = obs::now_s();
+    if (w1 > w0) obs::span("dtl/channel", "wait_writer", w0, w1);
+    if (!drained) obs::add_counter("dtl.wait_timeouts", w1, 1.0);
+  }
   if (!drained) {
     throw TimeoutError(strprintf(
         "begin_write(step %llu) timed out after %.3f s awaiting readers "
@@ -81,6 +98,11 @@ void CouplingChannel::commit_write(std::uint64_t step) {
   }
   committed_ = writing_;
   writing_ = -1;
+  if (obs::enabled()) {
+    obs::add_counter("dtl.commits", obs::now_s(), 1.0);
+    obs::set_counter("dtl.channel_occupancy", obs::now_s(),
+                     occupancy(committed_, consumed_));
+  }
   readers_cv_.notify_all();
 }
 
@@ -102,9 +124,16 @@ bool CouplingChannel::await_step(int reader, std::uint64_t step) {
         static_cast<unsigned long long>(step),
         static_cast<unsigned long long>(expected)));
   }
+  const bool traced = obs::enabled();
+  const double w0 = traced ? obs::now_s() : 0.0;
   const bool arrived = bounded_wait(readers_cv_, lock, wait_timeout_s_, [&] {
     return closed_ || committed_ >= static_cast<std::int64_t>(step);
   });
+  if (traced) {
+    const double w1 = obs::now_s();
+    if (w1 > w0) obs::span("dtl/channel", "wait_reader", w0, w1);
+    if (!arrived) obs::add_counter("dtl.wait_timeouts", w1, 1.0);
+  }
   if (!arrived) {
     throw TimeoutError(strprintf(
         "reader %d timed out after %.3f s awaiting step %llu "
@@ -127,6 +156,10 @@ void CouplingChannel::ack_read(int reader, std::uint64_t step) {
                                   static_cast<unsigned long long>(step)));
   }
   consumed = static_cast<std::int64_t>(step);
+  if (obs::enabled()) {
+    obs::set_counter("dtl.channel_occupancy", obs::now_s(),
+                     occupancy(committed_, consumed_));
+  }
   writer_cv_.notify_all();
 }
 

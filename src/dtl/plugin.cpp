@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "dtl/serde.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -34,6 +35,7 @@ Chunk DtlPlugin::read(const ChunkKey& key, const FetchRetry& retry) const {
   for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
     if (auto bytes = backend_->get(key.str())) return deserialize(*bytes);
     if (attempt == retry.max_attempts) break;
+    obs::add_counter("dtl.fetch_retries", obs::now_s(), 1.0);
     const double backoff =
         std::min(retry.backoff_base_s *
                      std::pow(2.0, static_cast<double>(attempt - 1)),

@@ -1,0 +1,87 @@
+#include "obs/counters.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::obs {
+
+const char* to_string(CounterKind kind) {
+  switch (kind) {
+    case CounterKind::kMonotonic:
+      return "monotonic";
+    case CounterKind::kGauge:
+      return "gauge";
+  }
+  return "?";
+}
+
+std::string snapshot_to_text(const CounterSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot) {
+    out += strprintf("%s = %.17g (%s)\n", c.name.c_str(), c.value,
+                     to_string(c.kind));
+  }
+  return out;
+}
+
+double CounterRegistry::add(std::string_view name, double delta) {
+  WFE_REQUIRE(std::isfinite(delta) && delta >= 0.0,
+              "monotonic counter deltas must be finite and non-negative");
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Slot{}).first;
+  } else {
+    WFE_REQUIRE(it->second.kind == CounterKind::kMonotonic,
+                "counter '" + std::string(name) +
+                    "' is a gauge; use set(), not add()");
+  }
+  it->second.value += delta;
+  return it->second.value;
+}
+
+double CounterRegistry::set(std::string_view name, double value) {
+  WFE_REQUIRE(std::isfinite(value), "gauge values must be finite");
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Slot{CounterKind::kGauge, 0.0})
+             .first;
+  } else {
+    WFE_REQUIRE(it->second.kind == CounterKind::kGauge,
+                "counter '" + std::string(name) +
+                    "' is monotonic; use add(), not set()");
+  }
+  it->second.value = value;
+  return value;
+}
+
+double CounterRegistry::value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value;
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  CounterSnapshot out;
+  out.reserve(counters_.size());
+  for (const auto& [name, slot] : counters_) {
+    out.push_back({name, slot.kind, slot.value});
+  }
+  return out;
+}
+
+std::size_t CounterRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size();
+}
+
+void CounterRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+}
+
+}  // namespace wfe::obs

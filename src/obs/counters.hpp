@@ -1,0 +1,75 @@
+// Named run counters: the scalar side of the observability layer.
+//
+// Every instrumented subsystem accounts what it did into a CounterRegistry
+// — engine events dispatched, scheduler memo hits, DTL puts/gets/waits,
+// faults injected — under dotted names ("engine.events",
+// "sched.memo_hits"). Counters are declared at first touch as either
+// monotonic (only ever added to; the registry enforces non-negative deltas)
+// or gauge (freely set), and the whole registry snapshots into the run's
+// ExecutionResult so tools and tests can read the totals without replaying
+// the event log. See docs/OBSERVABILITY.md for the counter catalog.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfe::obs {
+
+enum class CounterKind : std::uint8_t {
+  kMonotonic,  ///< accumulates non-negative deltas; never decreases
+  kGauge,      ///< tracks a last-written level; may move both ways
+};
+
+const char* to_string(CounterKind kind);
+
+/// One counter's final value, as captured by CounterRegistry::snapshot().
+struct CounterValue {
+  std::string name;
+  CounterKind kind = CounterKind::kMonotonic;
+  double value = 0.0;
+
+  friend bool operator==(const CounterValue&, const CounterValue&) = default;
+};
+
+/// All counters of one run, sorted by name.
+using CounterSnapshot = std::vector<CounterValue>;
+
+/// Render a snapshot as a small human-readable table body (name = value
+/// lines, monotonic counters marked). Deterministic; used by tools.
+std::string snapshot_to_text(const CounterSnapshot& snapshot);
+
+/// Thread-safe registry of named counters. A name's kind is fixed by its
+/// first touch: `add` declares monotonic, `set` declares gauge, and mixing
+/// the two on one name throws wfe::InvalidArgument — as does a negative or
+/// non-finite monotonic delta.
+class CounterRegistry {
+ public:
+  /// Accumulate `delta` (>= 0) into monotonic counter `name`; returns the
+  /// post-add total.
+  double add(std::string_view name, double delta);
+
+  /// Set gauge `name` to `value`; returns `value`.
+  double set(std::string_view name, double value);
+
+  /// Current value, or 0.0 for a counter never touched.
+  double value(std::string_view name) const;
+
+  CounterSnapshot snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Slot {
+    CounterKind kind = CounterKind::kMonotonic;
+    double value = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot, std::less<>> counters_;
+};
+
+}  // namespace wfe::obs

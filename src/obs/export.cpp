@@ -1,0 +1,249 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace wfe::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+/// Deterministic track -> tid map, in order of first appearance.
+std::unordered_map<std::uint32_t, int> assign_tids(const RunLog& log) {
+  std::unordered_map<std::uint32_t, int> tids;
+  for (const Event& e : log.events) {
+    if (e.kind == EventKind::kCounter) continue;
+    tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+  }
+  return tids;
+}
+
+std::string jsonl_counter_trailer(const RunLog& log) {
+  std::string line = "{\"type\":\"counters\",\"values\":[";
+  bool first = true;
+  for (const CounterValue& c : log.counters) {
+    if (!first) line += ",";
+    first = false;
+    line += strprintf("{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%.17g}",
+                      json::escape(c.name).c_str(), to_string(c.kind),
+                      c.value);
+  }
+  line += "]}\n";
+  return line;
+}
+
+CounterKind kind_from_name(const std::string& s) {
+  if (s == "monotonic") return CounterKind::kMonotonic;
+  if (s == "gauge") return CounterKind::kGauge;
+  throw SerializationError("obs jsonl: unknown counter kind '" + s + "'");
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const RunLog& log) {
+  const auto tids = assign_tids(log);
+  // Tracks in tid order for the metadata block.
+  std::vector<std::pair<int, std::uint32_t>> by_tid;
+  by_tid.reserve(tids.size());
+  for (const auto& [track, tid] : tids) by_tid.emplace_back(tid, track);
+  std::sort(by_tid.begin(), by_tid.end());
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](std::string event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  emit(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"wfens\"}}");
+  for (const auto& [tid, track] : by_tid) {
+    emit(strprintf(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        tid, json::escape(log.str(track)).c_str()));
+    emit(strprintf(
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+        "\"args\":{\"sort_index\":%d}}",
+        tid, tid));
+  }
+
+  for (const Event& e : log.events) {
+    switch (e.kind) {
+      case EventKind::kSpan:
+        emit(strprintf(
+            "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+            "\"ts\":%.17g,\"dur\":%.17g}",
+            json::escape(log.str(e.name)).c_str(), tids.at(e.track),
+            e.start * kMicrosPerSecond, e.duration() * kMicrosPerSecond));
+        break;
+      case EventKind::kInstant:
+        emit(strprintf(
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+            "\"tid\":%d,\"ts\":%.17g}",
+            json::escape(log.str(e.name)).c_str(), tids.at(e.track),
+            e.start * kMicrosPerSecond));
+        break;
+      case EventKind::kCounter:
+        emit(strprintf(
+            "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"ts\":%.17g,"
+            "\"args\":{\"value\":%.17g}}",
+            json::escape(log.str(e.name)).c_str(),
+            e.start * kMicrosPerSecond, e.value));
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string runlog_to_jsonl(const RunLog& log) {
+  std::string out = strprintf(
+      "{\"jsonl\":\"wfens-obs\",\"version\":1,\"events\":%zu}\n",
+      log.events.size());
+  for (const Event& e : log.events) {
+    switch (e.kind) {
+      case EventKind::kSpan:
+        out += strprintf(
+            "{\"type\":\"span\",\"seq\":%" PRIu64
+            ",\"track\":\"%s\",\"name\":\"%s\",\"start\":%.17g,"
+            "\"end\":%.17g}\n",
+            e.seq, json::escape(log.str(e.track)).c_str(),
+            json::escape(log.str(e.name)).c_str(), e.start, e.end);
+        break;
+      case EventKind::kInstant:
+        out += strprintf(
+            "{\"type\":\"instant\",\"seq\":%" PRIu64
+            ",\"track\":\"%s\",\"name\":\"%s\",\"at\":%.17g}\n",
+            e.seq, json::escape(log.str(e.track)).c_str(),
+            json::escape(log.str(e.name)).c_str(), e.start);
+        break;
+      case EventKind::kCounter:
+        out += strprintf(
+            "{\"type\":\"counter\",\"seq\":%" PRIu64
+            ",\"name\":\"%s\",\"at\":%.17g,\"value\":%.17g}\n",
+            e.seq, json::escape(log.str(e.name)).c_str(), e.start, e.value);
+        break;
+    }
+  }
+  out += jsonl_counter_trailer(log);
+  return out;
+}
+
+RunLog runlog_from_jsonl(std::string_view text) {
+  RunLog log;
+  std::unordered_map<std::string, std::uint32_t> ids;
+  const auto intern = [&](const std::string& s) {
+    const auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(log.strings.size());
+    log.strings.push_back(s);
+    ids.emplace(s, id);
+    return id;
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool saw_header = false;
+  bool saw_trailer = false;
+  std::uint64_t expect_seq = 0;
+  std::size_t declared_events = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (saw_trailer) {
+      throw SerializationError("obs jsonl: content after counters trailer");
+    }
+    const json::Value v = json::parse(line);
+    if (!saw_header) {
+      if (v.find("jsonl") == nullptr ||
+          v.at("jsonl").as_string() != "wfens-obs") {
+        throw SerializationError("obs jsonl: missing wfens-obs header line");
+      }
+      if (v.at("version").as_number() != 1.0) {
+        throw SerializationError("obs jsonl: unsupported version");
+      }
+      declared_events = static_cast<std::size_t>(v.at("events").as_number());
+      saw_header = true;
+      continue;
+    }
+    const std::string& type = v.at("type").as_string();
+    if (type == "counters") {
+      for (const json::Value& c : v.at("values").as_array()) {
+        log.counters.push_back({c.at("name").as_string(),
+                                kind_from_name(c.at("kind").as_string()),
+                                c.at("value").as_number()});
+      }
+      saw_trailer = true;
+      continue;
+    }
+    Event e;
+    e.seq = static_cast<std::uint64_t>(v.at("seq").as_number());
+    if (e.seq != expect_seq) {
+      throw SerializationError("obs jsonl: out-of-order sequence number");
+    }
+    ++expect_seq;
+    if (type == "span") {
+      e.kind = EventKind::kSpan;
+      e.track = intern(v.at("track").as_string());
+      e.name = intern(v.at("name").as_string());
+      e.start = v.at("start").as_number();
+      e.end = v.at("end").as_number();
+      if (e.end < e.start) {
+        throw SerializationError("obs jsonl: span ends before it starts");
+      }
+    } else if (type == "instant") {
+      e.kind = EventKind::kInstant;
+      e.track = intern(v.at("track").as_string());
+      e.name = intern(v.at("name").as_string());
+      e.start = e.end = v.at("at").as_number();
+    } else if (type == "counter") {
+      e.kind = EventKind::kCounter;
+      e.name = intern(v.at("name").as_string());
+      e.start = e.end = v.at("at").as_number();
+      e.value = v.at("value").as_number();
+    } else {
+      throw SerializationError("obs jsonl: unknown event type '" + type +
+                               "'");
+    }
+    log.events.push_back(e);
+  }
+  if (!saw_header) {
+    throw SerializationError("obs jsonl: empty document");
+  }
+  if (!saw_trailer) {
+    throw SerializationError("obs jsonl: missing counters trailer");
+  }
+  if (log.events.size() != declared_events) {
+    throw SerializationError("obs jsonl: event count mismatch with header");
+  }
+  return log;
+}
+
+void write_runlog(const std::filesystem::path& path, const RunLog& log) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  out << (path.extension() == ".jsonl" ? runlog_to_jsonl(log)
+                                       : chrome_trace_json(log));
+  if (!out) throw Error("short write to " + path.string());
+}
+
+RunLog read_runlog_jsonl(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return runlog_from_jsonl(buffer.str());
+}
+
+}  // namespace wfe::obs

@@ -1,0 +1,53 @@
+// RunLog exporters and the JSONL importer.
+//
+// Two serializations of one RunLog:
+//  * Chrome trace_event JSON ("run.json") — the interchange format of
+//    chrome://tracing and ui.perfetto.dev. Tracks become named threads of
+//    one process (one per component plus engine/scheduler/dtl/resilience
+//    tracks), spans become complete ("X") events, instants "i" events, and
+//    counter samples "C" events that the viewers plot as area charts.
+//    Timestamps are exported in microseconds, as the format requires.
+//  * A compact JSONL span log ("run.jsonl") — one self-describing JSON
+//    object per line, in emission order, with a trailing counter-snapshot
+//    line. This one round-trips: parse_jsonl() rebuilds a RunLog such that
+//    re-export is byte-identical, which is what the golden-trace harness
+//    and the fuzz tests pin down.
+//
+// Both emitters format floating-point fields with "%.17g", so output is
+// deterministic and full-precision; both escape strings through
+// wfe::json::escape.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "obs/recorder.hpp"
+
+namespace wfe::obs {
+
+/// Serialize to Chrome trace_event JSON (the "JSON Object Format":
+/// {"traceEvents": [...], "displayTimeUnit": "ms"}). Track-to-tid
+/// assignment follows first appearance in the event log, so equal logs
+/// serialize identically.
+std::string chrome_trace_json(const RunLog& log);
+
+/// Serialize to the JSONL span log (one event per line; a final "counters"
+/// line carries the registry snapshot).
+std::string runlog_to_jsonl(const RunLog& log);
+
+/// Parse a JSONL span log back into a RunLog. Throws
+/// wfe::SerializationError on malformed input (bad JSON, unknown type
+/// tags, missing fields, out-of-order sequence numbers).
+RunLog runlog_from_jsonl(std::string_view text);
+
+/// Write `log` to `path`, choosing the format by extension: ".jsonl" gets
+/// the span log, anything else the Chrome trace. Throws wfe::Error on I/O
+/// failure.
+void write_runlog(const std::filesystem::path& path, const RunLog& log);
+
+/// Read a ".jsonl" span log from disk. Throws wfe::Error on I/O failure,
+/// wfe::SerializationError on malformation.
+RunLog read_runlog_jsonl(const std::filesystem::path& path);
+
+}  // namespace wfe::obs

@@ -1,0 +1,126 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::obs {
+
+double Timeline::t_min() const {
+  double lo = 0.0;
+  bool any = false;
+  for (const TimelineTrack& t : tracks) {
+    for (const TimelineSpan& s : t.spans) {
+      lo = any ? std::min(lo, s.start) : s.start;
+      any = true;
+    }
+  }
+  return lo;
+}
+
+double Timeline::t_max() const {
+  double hi = 0.0;
+  for (const TimelineTrack& t : tracks) {
+    for (const TimelineSpan& s : t.spans) hi = std::max(hi, s.end);
+  }
+  return hi;
+}
+
+void Timeline::add(std::string_view track, std::string_view label,
+                   double start, double end) {
+  WFE_REQUIRE(std::isfinite(start) && std::isfinite(end) && end >= start,
+              "timeline span bounds must be finite with end >= start");
+  for (TimelineTrack& t : tracks) {
+    if (t.name == track) {
+      t.spans.push_back({std::string(label), start, end});
+      return;
+    }
+  }
+  tracks.push_back({std::string(track), {{std::string(label), start, end}}});
+}
+
+Timeline timeline_from_runlog(const RunLog& log) {
+  Timeline tl;
+  for (const Event& e : log.events) {
+    if (e.kind != EventKind::kSpan) continue;
+    tl.add(log.str(e.track), log.str(e.name), e.start, e.end);
+  }
+  return tl;
+}
+
+namespace {
+
+/// Cell glyph for a span label: first character, lowercased for idle
+/// stages ("IS"/"IA" show as 'i' so they read as gaps next to S/W/R/A).
+char glyph_for(const std::string& label) {
+  if (label.empty()) return '?';
+  if (label == "IS" || label == "IA") return 'i';
+  return label[0];
+}
+
+}  // namespace
+
+std::string render_gantt(const Timeline& timeline, int width) {
+  WFE_REQUIRE(width >= 8, "gantt width must be at least 8 columns");
+  const double lo = timeline.t_min();
+  const double hi = timeline.t_max();
+  if (timeline.tracks.empty() || hi <= lo) {
+    return "(empty timeline)\n";
+  }
+
+  std::size_t gutter = 0;
+  for (const TimelineTrack& t : timeline.tracks) {
+    gutter = std::max(gutter, t.name.size());
+  }
+  gutter = std::min<std::size_t>(gutter, 28) + 2;
+
+  const double scale = static_cast<double>(width) / (hi - lo);
+  const auto col = [&](double t) {
+    const int c = static_cast<int>((t - lo) * scale);
+    return std::clamp(c, 0, width - 1);
+  };
+
+  std::string out;
+  // Time axis: tick marks every width/4 columns.
+  out += std::string(gutter, ' ');
+  std::string axis(static_cast<std::size_t>(width), '-');
+  out += "t = " + human_seconds(lo) + " .. " + human_seconds(hi) + "\n";
+  out += std::string(gutter, ' ') + "|" + axis + "|\n";
+
+  std::map<char, std::set<std::string>> legend;
+  for (const TimelineTrack& t : timeline.tracks) {
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (const TimelineSpan& s : t.spans) {
+      const char g = glyph_for(s.label);
+      legend[g].insert(s.label);
+      // Zero-length spans still mark their start cell.
+      const int c0 = col(s.start);
+      const int c1 = std::max(c0, col(s.end));
+      for (int c = c0; c <= c1; ++c) {
+        auto& cell = row[static_cast<std::size_t>(c)];
+        if (cell == ' ' || cell == g) {
+          cell = g;
+        } else {
+          cell = '#';
+        }
+      }
+    }
+    std::string name = t.name;
+    if (name.size() > gutter - 2) name.resize(gutter - 2);
+    out += name + std::string(gutter - name.size(), ' ') + "|" + row + "|\n";
+  }
+
+  out += "legend:";
+  for (const auto& [g, labels] : legend) {
+    out += strprintf(" %c=%s", g,
+                     join({labels.begin(), labels.end()}, "/").c_str());
+  }
+  out += " #=overlap\n";
+  return out;
+}
+
+}  // namespace wfe::obs

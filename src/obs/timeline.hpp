@@ -1,0 +1,54 @@
+// ASCII Gantt rendering of execution timelines.
+//
+// A Timeline is the lowest common denominator of the two trace sources —
+// the obs RunLog (span events) and the met::Trace stage records (adapted by
+// wfens_report) — so one renderer serves `wfens_report --timeline`
+// regardless of where the data came from. Each track renders as one row;
+// span cells show the first character of the span's label (S, W, R, A, i
+// for idle, ...), and cells where differently-labeled spans collide show
+// '#'. Rendering is deterministic: same timeline, same string.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace wfe::obs {
+
+struct TimelineSpan {
+  std::string label;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct TimelineTrack {
+  std::string name;
+  std::vector<TimelineSpan> spans;
+};
+
+struct Timeline {
+  std::vector<TimelineTrack> tracks;
+
+  /// Earliest span start / latest span end over all tracks (0/0 if empty).
+  double t_min() const;
+  double t_max() const;
+
+  /// Add a span, creating the track on first use (tracks keep insertion
+  /// order — callers control grouping, e.g. per member).
+  void add(std::string_view track, std::string_view label, double start,
+           double end);
+};
+
+/// Build a timeline from a RunLog's span events, tracks in first-appearance
+/// order.
+Timeline timeline_from_runlog(const RunLog& log);
+
+/// Render as an ASCII Gantt chart `width` columns wide (the plot area;
+/// track-name gutters come on top of that). Includes a time-axis header in
+/// seconds and a legend of the labels encountered. Throws
+/// wfe::InvalidArgument for width < 8.
+std::string render_gantt(const Timeline& timeline, int width = 72);
+
+}  // namespace wfe::obs

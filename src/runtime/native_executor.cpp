@@ -13,7 +13,10 @@
 #include "dtl/memory_staging.hpp"
 #include "dtl/plugin.hpp"
 #include "mdsim/engine.hpp"
+#include "metrics/trace_io.hpp"
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
+#include "support/str.hpp"
 
 namespace wfe::rt {
 
@@ -24,6 +27,35 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Observability context of one native run. Trace records carry seconds
+/// since the run epoch; the recorder's clock started earlier, so spans are
+/// shifted by the epoch's position on that clock (`t0`). Both clocks are
+/// the same steady_clock, making the shift exact.
+struct ObsCtx {
+  bool traced = false;
+  double t0 = 0.0;
+};
+
+/// Append one stage record to the trace and mirror it into the
+/// observability layer (component track; staging stages also onto the
+/// member's DTL-view track), matching the simulated executor's shape.
+void record_stage(met::TraceRecorder& recorder, const ObsCtx& octx,
+                  const met::StageRecord& r) {
+  recorder.record(r);
+  if (!octx.traced) return;
+  obs::span(r.component.str(), met::stage_mnemonic(r.kind), octx.t0 + r.start,
+            octx.t0 + r.end);
+  if (r.kind == StageKind::kWrite) {
+    obs::span(strprintf("dtl/m%u", r.component.member), "put",
+              octx.t0 + r.start, octx.t0 + r.end);
+    obs::add_counter("dtl.puts", octx.t0 + r.end, 1.0);
+  } else if (r.kind == StageKind::kRead) {
+    obs::span(strprintf("dtl/m%u", r.component.member), "get",
+              octx.t0 + r.start, octx.t0 + r.end);
+    obs::add_counter("dtl.gets", octx.t0 + r.end, 1.0);
+  }
 }
 
 /// First-exception latch shared by all component threads. A thread that
@@ -50,7 +82,8 @@ struct FailureLatch {
 void run_simulation(const SimulationSpec& spec, std::uint32_t member,
                     std::uint64_t n_steps, dtl::DtlPlugin plugin,
                     std::shared_ptr<dtl::CouplingChannel> channel,
-                    met::TraceRecorder& recorder, Clock::time_point epoch) {
+                    met::TraceRecorder& recorder, Clock::time_point epoch,
+                    const ObsCtx& octx) {
   const met::ComponentId id{member, -1};
   md::MdEngine engine(spec.native);
 
@@ -58,11 +91,11 @@ void run_simulation(const SimulationSpec& spec, std::uint32_t member,
     const double t0 = seconds_since(epoch);
     engine.advance(spec.stride);  // stage S: real MD compute
     const double t1 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kSimulate, t0, t1, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kSimulate, t0, t1, {}});
 
     channel->begin_write(step);  // stage I^S: wait for readers to drain
     const double t2 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kSimIdle, t1, t2, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kSimIdle, t1, t2, {}});
 
     // begin_write guarantees step - capacity is drained by every reader.
     const auto capacity = static_cast<std::uint64_t>(channel->capacity());
@@ -76,7 +109,7 @@ void run_simulation(const SimulationSpec& spec, std::uint32_t member,
     // that a reader's R start (taken after the commit) never precedes the
     // recorded W end.
     const double t3 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kWrite, t2, t3, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kWrite, t2, t3, {}});
     channel->commit_write(step);
   }
   channel->close();
@@ -87,6 +120,7 @@ void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
                   dtl::DtlPlugin plugin, dtl::FetchRetry fetch,
                   std::shared_ptr<dtl::CouplingChannel> channel,
                   met::TraceRecorder& recorder, Clock::time_point epoch,
+                  const ObsCtx& octx,
                   std::vector<ana::AnalysisResult>& outputs,
                   std::mutex& outputs_mutex) {
   const met::ComponentId id{member, index};
@@ -97,17 +131,17 @@ void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
     const double t0 = seconds_since(epoch);
     const bool available = channel->await_step(index, step);  // I^A
     const double t1 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kAnaIdle, t0, t1, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kAnaIdle, t0, t1, {}});
     if (!available) break;  // writer finished early
 
     const dtl::Chunk chunk = plugin.read(dtl::ChunkKey{member, step}, fetch);
     channel->ack_read(index, step);
     const double t2 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kRead, t1, t2, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kRead, t1, t2, {}});
 
     ana::AnalysisResult result = kernel->analyze(chunk);  // stage A
     const double t3 = seconds_since(epoch);
-    recorder.record({id, step, StageKind::kAnalyze, t2, t3, {}});
+    record_stage(recorder, octx, {id, step, StageKind::kAnalyze, t2, t3, {}});
     {
       std::lock_guard lock(outputs_mutex);
       outputs.push_back(std::move(result));
@@ -136,6 +170,7 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
   }
   met::TraceRecorder recorder;
   const Clock::time_point epoch = Clock::now();
+  const ObsCtx octx{obs::enabled(), obs::enabled() ? obs::now_s() : 0.0};
 
   struct AnalysisSlot {
     met::ComponentId id;
@@ -173,7 +208,7 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
 
     threads.emplace_back(guarded(channel, [&, member, plugin, channel] {
       run_simulation(spec.members[member].sim, member, n_steps, plugin,
-                     channel, recorder, epoch);
+                     channel, recorder, epoch, octx);
     }));
 
     for (std::size_t j = 0; j < ms.analyses.size(); ++j) {
@@ -185,7 +220,7 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
                                              raw] {
         run_analysis(spec.members[member].analyses[j], member,
                      static_cast<std::int32_t>(j), n_steps, plugin,
-                     options_.chunk_fetch, channel, recorder, epoch,
+                     options_.chunk_fetch, channel, recorder, epoch, octx,
                      raw->outputs, raw->mutex);
       }));
     }
@@ -200,6 +235,14 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
   for (auto& slot : slots) {
     result.analysis_outputs.push_back(
         {slot->id, std::move(slot->outputs)});
+  }
+  if (octx.traced) {
+    if (obs::Recorder* rec = obs::current()) {
+      const double t_end = obs::now_s();
+      obs::add_counter("run.stage_records", t_end,
+                       static_cast<double>(result.trace.size()));
+      result.counters = rec->counters().snapshot();
+    }
   }
   return result;
 }

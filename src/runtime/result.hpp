@@ -6,6 +6,7 @@
 
 #include "analysis/kernel.hpp"
 #include "metrics/trace.hpp"
+#include "obs/counters.hpp"
 #include "resilience/fault_spec.hpp"
 
 namespace wfe::rt {
@@ -34,6 +35,10 @@ struct ExecutionResult {
   /// when at least one member was abandoned — its trace and indicators
   /// then describe a partial execution.
   res::FailureSummary failure_summary;
+
+  /// Snapshot of the observability counter registry at the end of the run.
+  /// Empty unless an obs::Session was active while the executor ran.
+  obs::CounterSnapshot counters;
 };
 
 }  // namespace wfe::rt

@@ -11,11 +11,14 @@
 #include "analysis/cost_model.hpp"
 #include "dtl/serde.hpp"
 #include "mdsim/cost_model.hpp"
+#include "metrics/trace_io.hpp"
+#include "obs/recorder.hpp"
 #include "platform/cluster.hpp"
 #include "resilience/fault_injector.hpp"
 #include "simengine/engine.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/str.hpp"
 
 namespace wfe::rt {
 
@@ -35,6 +38,10 @@ struct Replay {
   Xoshiro256 rng;
   double jitter_sigma = 0.0;  ///< lognormal sigma; 0 = deterministic
 
+  /// Observability, decided once per run: emission is passive (no events,
+  /// no RNG draws), so traced and untraced replays are bit-identical.
+  const bool traced;
+
   /// Fault layer; null while injection is disabled, in which case every
   /// stage takes the pristine code path (bit-identical to the fault-free
   /// replay: no extra RNG draws, no extra events, no extra records).
@@ -44,7 +51,11 @@ struct Replay {
 
   Replay(const EnsembleSpec& s, const plat::PlatformSpec& platform,
          const SimulatedOptions& options)
-      : spec(s), cluster(platform), rng(options.seed) {
+      : spec(s),
+        cluster(platform),
+        rng(options.seed),
+        traced(options.trace_obs && obs::enabled()) {
+    engine.set_obs(traced);
     if (options.jitter_cv > 0.0) {
       // For lognormal noise, CV^2 = exp(sigma^2) - 1.
       jitter_sigma =
@@ -152,6 +163,43 @@ plat::StageCost ComponentFootprint::priced(Replay& rp) const {
   total.slowdown = worst_slowdown * penalty;
   total.seconds = free_whole.seconds * total.slowdown;
   return total;
+}
+
+/// Append one stage record to the member trace and mirror it into the
+/// observability layer: always onto the component's own track, staging
+/// stages additionally onto the member's DTL-view track, and
+/// failure-semantics stages onto the shared resilience track. All
+/// timestamps are virtual seconds, so traced runs replay bit-identically.
+void record_stage(Replay& rp, const met::StageRecord& r) {
+  rp.recorder.record(r);
+  if (!rp.traced) return;
+  obs::span(r.component.str(), met::stage_mnemonic(r.kind), r.start, r.end);
+  switch (r.kind) {
+    case StageKind::kWrite:
+      obs::span(strprintf("dtl/m%u", r.component.member), "put", r.start,
+                r.end);
+      obs::add_counter("dtl.puts", r.end, 1.0);
+      break;
+    case StageKind::kRead:
+      obs::span(strprintf("dtl/m%u", r.component.member), "get", r.start,
+                r.end);
+      obs::add_counter("dtl.gets", r.end, 1.0);
+      break;
+    case StageKind::kFault:
+      obs::span("resilience", "fault", r.start, r.end);
+      break;
+    case StageKind::kBackoff:
+      obs::span("resilience", "backoff", r.start, r.end);
+      break;
+    case StageKind::kCheckpoint:
+      obs::span("resilience", "checkpoint", r.start, r.end);
+      break;
+    case StageKind::kRestart:
+      obs::span("resilience", "restart", r.start, r.end);
+      break;
+    default:
+      break;
+  }
 }
 
 /// One fault-killable execution slot: the component's pending engine event
@@ -283,8 +331,8 @@ void kill_in_flight(Replay& rp, StageExec& se) {
   se.fl.active = false;
   if (se.fl.kind == StageKind::kBackoff) return;  // no work was in flight
   const double now = rp.engine.now();
-  rp.recorder.record(
-      {se.id, se.fl.step, StageKind::kFault, se.fl.start, now, {}});
+  record_stage(rp,
+               {se.id, se.fl.step, StageKind::kFault, se.fl.start, now, {}});
   rp.summary.wasted_core_seconds +=
       (now - se.fl.start) * static_cast<double>(se.footprint->total_cores);
 }
@@ -310,8 +358,7 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
         up, [&rp, &se, step, kind, seconds, counters, done, attempt, t0,
              up] {
           se.fl.active = false;
-          rp.recorder.record(
-              {se.id, step, StageKind::kBackoff, t0, up, {}});
+          record_stage(rp, {se.id, step, StageKind::kBackoff, t0, up, {}});
           attempt_stage(rp, se, step, kind, seconds, counters, done,
                         attempt);
         });
@@ -336,8 +383,7 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
     se.fl.event = rp.engine.schedule_in(
         seconds, [&rp, &se, step, kind, seconds, counters, done, t0] {
           se.fl.active = false;
-          rp.recorder.record(
-              {se.id, step, kind, t0, t0 + seconds, counters});
+          record_stage(rp, {se.id, step, kind, t0, t0 + seconds, counters});
           done();
         });
     return;
@@ -359,7 +405,7 @@ void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
                 std::function<void()> done) {
   if (!rp.faulty()) {
     const double now = rp.engine.now();
-    rp.recorder.record({se.id, step, kind, now, now + seconds, counters});
+    record_stage(rp, {se.id, step, kind, now, now + seconds, counters});
     rp.engine.schedule_in(seconds, std::move(done));
     return;
   }
@@ -371,13 +417,18 @@ void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
 void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
   const InFlight fl = se.fl;  // copy: recovery below overwrites the slot
   const double now = rp.engine.now();
-  rp.recorder.record({se.id, fl.step, StageKind::kFault, fl.start, now, {}});
+  record_stage(rp, {se.id, fl.step, StageKind::kFault, fl.start, now, {}});
   rp.summary.wasted_core_seconds +=
       (now - fl.start) * static_cast<double>(se.footprint->total_cores);
   if (is_crash) {
     ++rp.summary.crash_stage_kills;
   } else {
     ++rp.summary.transient_stage_faults;
+  }
+  if (rp.traced) {
+    obs::instant("resilience", is_crash ? "crash" : "transient", now);
+    obs::add_counter(is_crash ? "res.crash_kills" : "res.transient_faults",
+                     now, 1.0);
   }
   se.member->faulted = true;
 
@@ -388,6 +439,7 @@ void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
         return;
       }
       ++rp.summary.stage_retries;
+      if (rp.traced) obs::add_counter("res.retries", now, 1.0);
       const int next_attempt = fl.attempt + 1;
       // Wait out any repair window, then the exponential backoff.
       const double resume =
@@ -397,8 +449,8 @@ void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
       se.fl.event = rp.engine.schedule_at(
           resume, [&rp, &se, fl, now, resume, next_attempt] {
             se.fl.active = false;
-            rp.recorder.record(
-                {se.id, fl.step, StageKind::kBackoff, now, resume, {}});
+            record_stage(
+                rp, {se.id, fl.step, StageKind::kBackoff, now, resume, {}});
             attempt_stage(rp, se, fl.step, fl.kind, fl.duration, fl.counters,
                           fl.done, next_attempt);
           });
@@ -431,8 +483,9 @@ void MemberRun::restart_from_checkpoint(Replay& rp) {
   const double now = rp.engine.now();
   const double resume =
       rp.injector->all_up_at(union_nodes, now) + rp.policy.restart_cost_s;
-  rp.recorder.record(
-      {sim_id, checkpoint_step, StageKind::kRestart, now, resume, {}});
+  record_stage(rp,
+               {sim_id, checkpoint_step, StageKind::kRestart, now, resume, {}});
+  if (rp.traced) obs::add_counter("res.restarts", now, 1.0);
 
   // Roll the member back: the simulation re-enters at the checkpointed
   // step and re-commits from there. Analyses keep their own progress —
@@ -459,6 +512,11 @@ void MemberRun::fail(Replay& rp) {
   kill_all_in_flight(rp);
   ++rp.summary.members_failed;
   rp.summary.failed_members.push_back(sim_id.member);
+  if (rp.traced) {
+    const double now = rp.engine.now();
+    obs::instant("resilience", "member_failed", now);
+    obs::add_counter("res.members_failed", now, 1.0);
+  }
 }
 
 void MemberRun::start_sim_step(Replay& rp) {
@@ -483,8 +541,7 @@ void MemberRun::after_sim_compute(Replay& rp) {
 
 void MemberRun::start_write(Replay& rp) {
   const double now = rp.engine.now();
-  rp.recorder.record(
-      {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
+  record_stage(rp, {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
   const double w = write_time(rp) * rp.jitter();
   exec_stage(rp, sim_sx, sim_step, StageKind::kWrite, w, {},
              [this, &rp] { commit(rp); });
@@ -493,6 +550,15 @@ void MemberRun::start_write(Replay& rp) {
 void MemberRun::commit(Replay& rp) {
   committed = static_cast<std::int64_t>(sim_step);
   ++sim_step;
+  if (rp.traced) {
+    // Staging-buffer occupancy: chunks committed but not yet drained by
+    // every reader of this member.
+    std::int64_t drained = committed;
+    for (std::int64_t c : consumed) drained = std::min(drained, c);
+    obs::set_counter(strprintf("dtl.m%u.occupancy", sim_id.member),
+                     rp.engine.now(),
+                     static_cast<double>(committed - drained));
+  }
   // Wake readers parked on this chunk.
   for (AnalysisRun& a : analyses) {
     if (a.waiting && static_cast<std::int64_t>(a.next_step) <= committed) {
@@ -513,6 +579,9 @@ void MemberRun::commit(Replay& rp) {
                rp.policy.checkpoint_cost_s, {}, [this, &rp, target] {
                  checkpoint_step = target;
                  ++rp.summary.checkpoints_written;
+                 if (rp.traced) {
+                   obs::add_counter("res.checkpoints", rp.engine.now(), 1.0);
+                 }
                  start_sim_step(rp);
                });
     return;
@@ -549,8 +618,7 @@ void AnalysisRun::try_read(Replay& rp) {
 
 void AnalysisRun::start_read(Replay& rp) {
   const double now = rp.engine.now();
-  rp.recorder.record(
-      {id, next_step, StageKind::kAnaIdle, idle_since, now, {}});
+  record_stage(rp, {id, next_step, StageKind::kAnaIdle, idle_since, now, {}});
   // Fetch the chunk from the producer's node(s) (data locality:
   // co-located partitions pay memory copies, remote ones network
   // transfers).
@@ -659,6 +727,15 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
   result.n_steps = spec.n_steps;
   result.events_processed = rp.engine.events_processed();
   result.failure_summary = std::move(rp.summary);
+  if (rp.traced) {
+    if (obs::Recorder* rec = obs::current()) {
+      const double t_end = rp.engine.now();
+      obs::set_counter("run.makespan_s", t_end, t_end);
+      obs::add_counter("run.stage_records", t_end,
+                       static_cast<double>(result.trace.size()));
+      result.counters = rec->counters().snapshot();
+    }
+  }
   return result;
 }
 

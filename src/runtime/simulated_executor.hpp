@@ -35,6 +35,12 @@ struct SimulatedOptions {
   double jitter_cv = 0.0;
   std::uint64_t seed = 0x5eed;
 
+  /// Mirror this run into an active obs::Session (spans, counters). On by
+  /// default; the scheduler turns it off for its probe replays so a
+  /// planning trace shows scheduler activity, not thousands of overlapping
+  /// candidate replays. Never affects results — emission is passive.
+  bool trace_obs = true;
+
   /// Fault model (docs/RESILIENCE.md). The default spec is all-zero rates:
   /// injection fully disabled, and the replay takes the pristine code path
   /// producing bit-identical traces to a fault-unaware build.

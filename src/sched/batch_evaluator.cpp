@@ -2,8 +2,10 @@
 
 #include <unordered_map>
 
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
+#include "support/str.hpp"
 
 namespace wfe::sched {
 
@@ -88,6 +90,9 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
     std::uint64_t probe_steps) {
   const std::size_t n = keys.size();
   std::vector<BatchScore> out(n);
+  const bool traced = obs::enabled();
+  const double b0 = traced ? obs::now_s() : 0.0;
+  const std::size_t hits_before = cache_hits_;
 
   // Sequential phase 1: resolve cache hits and within-batch duplicates;
   // collect the unique misses to simulate.
@@ -115,16 +120,23 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
   pool_.for_each_index(miss.size(), [&](std::size_t j, int worker) {
     const std::size_t i = miss[j];
     BatchScore& score = out[i];
+    const double w0 = traced ? obs::now_s() : 0.0;
+    score.feasible = true;
     try {
       specs[i]->validate(evaluators_[static_cast<std::size_t>(worker)]
                              .platform());
     } catch (const SpecError&) {
-      score.feasible = false;
-      return;
+      score.feasible = false;  // infeasible placements are marked, not run
     }
-    score.eval = evaluators_[static_cast<std::size_t>(worker)].score(
-        *specs[i], probe_steps);
-    score.feasible = true;
+    if (score.feasible) {
+      score.eval = evaluators_[static_cast<std::size_t>(worker)].score(
+          *specs[i], probe_steps);
+    }
+    if (traced) {
+      const double w1 = obs::now_s();
+      obs::span(strprintf("sched/w%d", worker), "evaluate", w0, w1);
+      obs::add_counter(strprintf("sched.w%d.busy_s", worker), w1, w1 - w0);
+    }
   });
 
   // Sequential phase 2: memoize fresh scores, then resolve duplicates.
@@ -134,6 +146,15 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
       out[i] = out[dup_of[i]];
       out[i].cached = true;
     }
+  }
+  if (traced) {
+    const double b1 = obs::now_s();
+    obs::span("scheduler", "batch", b0, b1);
+    obs::add_counter("sched.candidates", b1, static_cast<double>(n));
+    obs::add_counter("sched.evaluations", b1,
+                     static_cast<double>(miss.size()));
+    obs::add_counter("sched.memo_hits", b1,
+                     static_cast<double>(cache_hits_ - hits_before));
   }
   return out;
 }

@@ -6,8 +6,22 @@
 
 namespace wfe::sched {
 
+namespace {
+
+rt::SimulatedOptions probe_options() {
+  rt::SimulatedOptions options;
+  // Probe replays are an implementation detail of scoring: a planning
+  // trace wants scheduler-level activity, not thousands of overlapping
+  // candidate replays on the component tracks.
+  options.trace_obs = false;
+  return options;
+}
+
+}  // namespace
+
 Evaluator::Evaluator(plat::PlatformSpec platform)
-    : exec_(std::move(platform)) {}  // the executor validates the platform
+    : exec_(std::move(platform),
+            probe_options()) {}  // the executor validates the platform
 
 Evaluation Evaluator::score(const rt::EnsembleSpec& spec,
                             std::uint64_t probe_steps) const {

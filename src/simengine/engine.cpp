@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "support/error.hpp"
 
 namespace wfe::sim {
@@ -13,6 +14,10 @@ namespace {
 constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
   return (static_cast<std::uint64_t>(gen) << 32) | slot;
 }
+
+/// Counter-sample cadence of a traced run(): amortizes emission to one
+/// registry touch per this many dispatched events.
+constexpr std::uint64_t kObsEventStride = 64;
 
 }  // namespace
 
@@ -91,8 +96,30 @@ bool Engine::step() {
 }
 
 SimTime Engine::run() {
-  while (step()) {
+  // The untraced path is byte-for-byte the historical loop: tracing is
+  // decided once per run() (one atomic load), never per event.
+  if (!obs_ || !obs::enabled()) {
+    while (step()) {
+    }
+    return now_;
   }
+  const SimTime t0 = now_;
+  std::uint64_t last = processed_;
+  while (step()) {
+    if (processed_ - last >= kObsEventStride) {
+      obs::add_counter("engine.events", now_,
+                       static_cast<double>(processed_ - last));
+      obs::set_counter("engine.queue_depth", now_,
+                       static_cast<double>(queue_depth()));
+      last = processed_;
+    }
+  }
+  if (processed_ != last) {
+    obs::add_counter("engine.events", now_,
+                     static_cast<double>(processed_ - last));
+    obs::set_counter("engine.queue_depth", now_, 0.0);
+  }
+  obs::span("engine", "run", t0, now_);
   return now_;
 }
 

@@ -76,6 +76,13 @@ class Engine {
   /// Abort: drop all pending events without running them.
   void clear();
 
+  /// Opt this engine out of (or back into) observability emission. Run
+  /// traces only want the foreground replay; background engines (the
+  /// scheduler's probe replays) stay quiet. No effect on results either
+  /// way — emission is passive.
+  void set_obs(bool on) { obs_ = on; }
+  bool obs() const { return obs_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -107,6 +114,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t pending_ = 0;
+  bool obs_ = true;
   std::vector<Entry> heap_;  // min-heap under Later
   std::vector<std::uint32_t> generations_;  // per-slot current generation
   std::vector<std::uint32_t> free_slots_;

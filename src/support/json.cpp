@@ -1,0 +1,373 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t at, const std::string& what) {
+  throw SerializationError("JSON: " + what + " at offset " +
+                           std::to_string(at));
+}
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail(pos_, "nesting too deep");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Value();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (!members.emplace(std::move(key), parse_value(depth + 1)).second) {
+        fail(pos_, "duplicate object key");
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(members));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          out += parse_unicode_escape();
+          break;
+        }
+        default:
+          fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  /// \uXXXX escapes, encoded back to UTF-8. Surrogate pairs are accepted;
+  /// a lone surrogate throws.
+  std::string parse_unicode_escape() {
+    const unsigned first = parse_hex4();
+    unsigned cp = first;
+    if (first >= 0xD800 && first <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail(pos_, "lone high surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail(pos_, "bad low surrogate");
+      cp = 0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00);
+    } else if (first >= 0xDC00 && first <= 0xDFFF) {
+      fail(pos_, "lone low surrogate");
+    }
+    std::string out;
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail(pos_, "truncated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(
+                                    text_[pos_]))) {
+      fail(start, "invalid value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail(pos_, "digits required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail(pos_, "digits required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail(start, "invalid number");
+    return Value(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value::Value(Array a)
+    : type_(Type::kArray),
+      array_(std::make_shared<const Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : type_(Type::kObject),
+      object_(std::make_shared<const Object>(std::move(o))) {}
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw SerializationError("JSON: value is not a boolean");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw SerializationError("JSON: value is not a number");
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw SerializationError("JSON: value is not a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw SerializationError("JSON: value is not an array");
+  return *array_;
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw SerializationError("JSON: value is not an object");
+  return *object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw SerializationError("JSON: missing object key '" + key + "'");
+  }
+  return *v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) throw SerializationError("JSON: value is not an object");
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace wfe::json

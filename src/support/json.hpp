@@ -1,0 +1,77 @@
+// A minimal JSON reader (RFC 8259 subset, DOM style).
+//
+// WFEns emits JSON in two places — the Chrome trace_event exporter and the
+// JSONL span log (src/obs) — and the observability test harness must prove
+// that what we emit actually parses. Rather than pull in a dependency for
+// that one job, this is a small recursive-descent parser: objects, arrays,
+// strings (with the standard escapes), numbers, booleans and null, with a
+// depth guard. Malformed input throws wfe::SerializationError, never
+// crashes; numbers are parsed as double (adequate for trace timestamps and
+// counter values).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfe::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// One JSON value. Containers hold their children by value; the tree is
+/// immutable after parsing.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), number_(d) {}
+  explicit Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  explicit Value(Array a);
+  explicit Value(Object o);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw wfe::SerializationError on a type mismatch so
+  /// shape errors in parsed documents surface as parse-family errors.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access; throws wfe::SerializationError when this is not
+  /// an object or the key is absent. `find` returns nullptr instead.
+  const Value& at(const std::string& key) const;
+  const Value* find(const std::string& key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<const Array> array_;
+  std::shared_ptr<const Object> object_;
+};
+
+/// Parse one complete JSON document. Leading/trailing whitespace is
+/// allowed; any trailing non-whitespace throws. Throws
+/// wfe::SerializationError on malformed input.
+Value parse(std::string_view text);
+
+/// Escape a string for embedding in a JSON document (adds no quotes).
+std::string escape(std::string_view s);
+
+}  // namespace wfe::json

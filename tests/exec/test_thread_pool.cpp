@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace wfe::exec {
@@ -124,6 +127,91 @@ TEST(ThreadPool, FirstExceptionPropagatesAfterDrain) {
 TEST(ThreadPool, RejectsNonPositiveThreadCounts) {
   EXPECT_THROW(ThreadPool(0), std::exception);
   EXPECT_THROW(ThreadPool(-2), std::exception);
+}
+
+TEST(ThreadPool, CallerParticipatesAsWorkerZero) {
+  // Worker 0 is the calling thread by contract — every index claimed under
+  // worker id 0 must execute on the caller's own thread, and ids claimed by
+  // dedicated workers must not.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mutex;
+  std::vector<std::pair<int, std::thread::id>> seen;
+  pool.for_each_index(256, [&](std::size_t, int worker) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.emplace_back(worker, std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 256u);
+  bool caller_ran_something = false;
+  for (const auto& [worker, tid] : seen) {
+    if (worker == 0) {
+      EXPECT_EQ(tid, caller);
+      caller_ran_something = true;
+    } else {
+      EXPECT_NE(tid, caller);
+    }
+  }
+  // The caller never just waits: it drains the queue alongside the crew,
+  // so at least one index lands on it.
+  EXPECT_TRUE(caller_ran_something);
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoThreads) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.for_each_index(32, [&](std::size_t, int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ExceptionTypeAndMessageSurviveRethrow) {
+  ThreadPool pool(3);
+  try {
+    pool.for_each_index(50, [&](std::size_t i, int) {
+      if (i == 7) throw std::runtime_error("probe replay failed");
+    });
+    FAIL() << "expected the task's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "probe replay failed");
+  }
+}
+
+TEST(ThreadPool, SurvivesRepeatedThrowingBatches) {
+  // Alternate failing and clean batches on one pool: the error slot must
+  // reset between batches, and no worker may be lost to a stale exception.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.for_each_index(20,
+                                     [&](std::size_t i, int) {
+                                       if (i % 5 == 0) {
+                                         throw std::runtime_error("x");
+                                       }
+                                     }),
+                 std::runtime_error);
+    std::atomic<int> clean{0};
+    pool.for_each_index(20, [&](std::size_t, int) {
+      clean.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(clean.load(), 20) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ManySmallBatchesOnManyPools) {
+  // Construction/destruction churn: pools must join their crews cleanly
+  // even when batches are tiny relative to the thread count.
+  for (int i = 0; i < 25; ++i) {
+    ThreadPool pool(1 + i % 5);
+    std::atomic<int> n{0};
+    pool.for_each_index(3, [&](std::size_t, int) { ++n; });
+    EXPECT_EQ(n.load(), 3);
+  }
+}
+
+TEST(ThreadPool, DestructionWithoutAnyBatchIsClean) {
+  // A pool that never ran work must still shut its idle workers down.
+  ThreadPool pool(6);
+  SUCCEED();
 }
 
 }  // namespace

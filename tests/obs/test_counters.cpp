@@ -1,0 +1,122 @@
+// CounterRegistry semantics: kind declaration at first touch, monotonicity
+// enforcement, snapshot determinism.
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace wfe::obs {
+namespace {
+
+TEST(CounterRegistry, StartsEmpty) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_EQ(reg.value("never.touched"), 0.0);
+}
+
+TEST(CounterRegistry, AddAccumulatesAndReturnsTotal) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.add("engine.events", 3.0), 3.0);
+  EXPECT_EQ(reg.add("engine.events", 2.0), 5.0);
+  EXPECT_EQ(reg.value("engine.events"), 5.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(CounterRegistry, SetOverwritesGauge) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.set("queue.depth", 7.0), 7.0);
+  EXPECT_EQ(reg.set("queue.depth", 2.0), 2.0);  // gauges may move down
+  EXPECT_EQ(reg.value("queue.depth"), 2.0);
+}
+
+TEST(CounterRegistry, ZeroDeltaIsLegal) {
+  CounterRegistry reg;
+  EXPECT_EQ(reg.add("n", 0.0), 0.0);
+  EXPECT_EQ(reg.value("n"), 0.0);
+  EXPECT_EQ(reg.size(), 1u);  // the touch still declares the counter
+}
+
+TEST(CounterRegistry, NegativeMonotonicDeltaThrows) {
+  CounterRegistry reg;
+  reg.add("n", 1.0);
+  EXPECT_THROW(reg.add("n", -0.5), InvalidArgument);
+  EXPECT_EQ(reg.value("n"), 1.0);  // failed add leaves the total untouched
+}
+
+TEST(CounterRegistry, NonFiniteMonotonicDeltaThrows) {
+  CounterRegistry reg;
+  EXPECT_THROW(reg.add("n", std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+  EXPECT_THROW(reg.add("n", std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgument);
+}
+
+TEST(CounterRegistry, KindIsFixedAtFirstTouch) {
+  CounterRegistry reg;
+  reg.add("mono", 1.0);
+  reg.set("gauge", 1.0);
+  EXPECT_THROW(reg.set("mono", 2.0), InvalidArgument);
+  EXPECT_THROW(reg.add("gauge", 1.0), InvalidArgument);
+}
+
+TEST(CounterRegistry, SnapshotIsSortedByName) {
+  CounterRegistry reg;
+  reg.add("zeta", 1.0);
+  reg.set("alpha", 2.0);
+  reg.add("mid", 3.0);
+  const CounterSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[0].kind, CounterKind::kGauge);
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+  EXPECT_EQ(snap[2].kind, CounterKind::kMonotonic);
+}
+
+TEST(CounterRegistry, ClearForgetsKinds) {
+  CounterRegistry reg;
+  reg.add("n", 1.0);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  reg.set("n", 4.0);  // re-declarable with the other kind after clear
+  EXPECT_EQ(reg.value("n"), 4.0);
+}
+
+TEST(CounterRegistry, ConcurrentAddsSumExactly) {
+  CounterRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kAdds; ++i) reg.add("shared", 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.value("shared"), static_cast<double>(kThreads * kAdds));
+}
+
+TEST(CounterSnapshot, TextRenderingIsDeterministic) {
+  CounterRegistry reg;
+  reg.add("dtl.puts", 6.0);
+  reg.set("engine.queue_depth", 0.0);
+  const std::string text = snapshot_to_text(reg.snapshot());
+  EXPECT_EQ(text, snapshot_to_text(reg.snapshot()));
+  EXPECT_NE(text.find("dtl.puts"), std::string::npos);
+  EXPECT_NE(text.find("engine.queue_depth"), std::string::npos);
+}
+
+TEST(CounterKindName, RoundTripNames) {
+  EXPECT_STREQ(to_string(CounterKind::kMonotonic), "monotonic");
+  EXPECT_STREQ(to_string(CounterKind::kGauge), "gauge");
+}
+
+}  // namespace
+}  // namespace wfe::obs

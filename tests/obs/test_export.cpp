@@ -1,0 +1,240 @@
+// Exporter contracts: Chrome trace_event structure, JSONL round-trip
+// fidelity, and the JSONL parser's rejection of every malformed shape.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace wfe::obs {
+namespace {
+
+/// A small but representative log: two tracks, an instant, two counters
+/// (one monotonic, one gauge), and a name that needs JSON escaping.
+RunLog sample_log() {
+  Recorder rec;
+  rec.span("sim0", "S", 0.0, 1.5);
+  rec.span("ana0.0", "A", 0.5, 2.0);
+  rec.instant("resilience", "crash \"hard\"", 1.0);
+  rec.add_counter("dtl.puts", 1.5, 1.0);
+  rec.set_counter("engine.queue_depth", 1.75, 3.0);
+  rec.span("sim0", "W", 1.5, 1.75);
+  return rec.take();
+}
+
+// -- Chrome trace_event ------------------------------------------------------
+
+TEST(ChromeTrace, IsValidJsonWithTraceEventsArray) {
+  const json::Value doc = json::parse(chrome_trace_json(sample_log()));
+  const auto& events = doc.at("traceEvents").as_array();
+  EXPECT_GT(events.size(), 0u);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST(ChromeTrace, EmitsThreadMetadataPerTrack) {
+  const json::Value doc = json::parse(chrome_trace_json(sample_log()));
+  std::vector<std::string> thread_names;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "M") continue;
+    if (e.at("name").as_string() == "thread_name") {
+      thread_names.push_back(e.at("args").at("name").as_string());
+    } else if (e.at("name").as_string() == "process_name") {
+      EXPECT_EQ(e.at("args").at("name").as_string(), "wfens");
+    }
+  }
+  // One thread_name record per track, in first-appearance order.
+  const std::vector<std::string> expected = {"sim0", "ana0.0", "resilience"};
+  EXPECT_EQ(thread_names, expected);
+}
+
+TEST(ChromeTrace, SpansBecomeCompleteEventsInMicroseconds) {
+  const json::Value doc = json::parse(chrome_trace_json(sample_log()));
+  bool found = false;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "X" || e.at("name").as_string() != "S")
+      continue;
+    found = true;
+    EXPECT_EQ(e.at("ts").as_number(), 0.0);
+    EXPECT_EQ(e.at("dur").as_number(), 1.5e6);  // 1.5 s in microseconds
+    EXPECT_EQ(e.at("pid").as_number(), 1.0);
+    EXPECT_GE(e.at("tid").as_number(), 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, CountersBecomeCounterEvents) {
+  const json::Value doc = json::parse(chrome_trace_json(sample_log()));
+  bool found = false;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "C") continue;
+    if (e.at("name").as_string() != "dtl.puts") continue;
+    found = true;
+    EXPECT_EQ(e.at("args").at("value").as_number(), 1.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, SameLogSerializesIdentically) {
+  const RunLog log = sample_log();
+  EXPECT_EQ(chrome_trace_json(log), chrome_trace_json(log));
+}
+
+// -- JSONL round trip --------------------------------------------------------
+
+TEST(Jsonl, RoundTripIsByteIdentical) {
+  const RunLog log = sample_log();
+  const std::string text = runlog_to_jsonl(log);
+  const RunLog parsed = runlog_from_jsonl(text);
+  EXPECT_EQ(runlog_to_jsonl(parsed), text);
+}
+
+TEST(Jsonl, RoundTripPreservesEventsAndCounters) {
+  const RunLog log = sample_log();
+  const RunLog parsed = runlog_from_jsonl(runlog_to_jsonl(log));
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(parsed.events[i].seq, log.events[i].seq);
+    EXPECT_EQ(parsed.events[i].kind, log.events[i].kind);
+    EXPECT_EQ(parsed.events[i].start, log.events[i].start);
+    EXPECT_EQ(parsed.events[i].end, log.events[i].end);
+    EXPECT_EQ(parsed.events[i].value, log.events[i].value);
+  }
+  EXPECT_EQ(parsed.counters, log.counters);
+  EXPECT_EQ(parsed.tracks(), log.tracks());
+}
+
+TEST(Jsonl, EmptyLogRoundTrips) {
+  Recorder rec;
+  const RunLog log = rec.take();
+  const std::string text = runlog_to_jsonl(log);
+  const RunLog parsed = runlog_from_jsonl(text);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(runlog_to_jsonl(parsed), text);
+}
+
+TEST(Jsonl, HeaderAnnouncesEventCount) {
+  const std::string text = runlog_to_jsonl(sample_log());
+  std::istringstream lines(text);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  const json::Value h = json::parse(header);
+  EXPECT_EQ(h.at("jsonl").as_string(), "wfens-obs");
+  EXPECT_EQ(h.at("version").as_number(), 1.0);
+  EXPECT_EQ(h.at("events").as_number(), 6.0);
+}
+
+// -- JSONL malformed input ---------------------------------------------------
+
+TEST(JsonlMalformed, MissingHeaderThrows) {
+  EXPECT_THROW(
+      runlog_from_jsonl(R"({"type":"counters","values":[]})" "\n"),
+      SerializationError);
+  EXPECT_THROW(runlog_from_jsonl(""), SerializationError);
+}
+
+TEST(JsonlMalformed, WrongMagicThrows) {
+  EXPECT_THROW(runlog_from_jsonl(
+                   R"({"jsonl":"other","version":1,"events":0})" "\n"
+                   R"({"type":"counters","values":[]})" "\n"),
+               SerializationError);
+}
+
+TEST(JsonlMalformed, UnsupportedVersionThrows) {
+  EXPECT_THROW(runlog_from_jsonl(
+                   R"({"jsonl":"wfens-obs","version":2,"events":0})" "\n"
+                   R"({"type":"counters","values":[]})" "\n"),
+               SerializationError);
+}
+
+TEST(JsonlMalformed, OutOfOrderSequenceThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":2})" "\n"
+      R"({"type":"instant","seq":0,"track":"t","name":"a","at":0})" "\n"
+      R"({"type":"instant","seq":2,"track":"t","name":"b","at":1})" "\n"
+      R"({"type":"counters","values":[]})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, SpanEndingBeforeStartThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":1})" "\n"
+      R"({"type":"span","seq":0,"track":"t","name":"s","start":2,"end":1})"
+      "\n"
+      R"({"type":"counters","values":[]})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, UnknownTypeTagThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":1})" "\n"
+      R"({"type":"mystery","seq":0,"track":"t","name":"s","at":0})" "\n"
+      R"({"type":"counters","values":[]})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, MissingTrailerThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":1})" "\n"
+      R"({"type":"instant","seq":0,"track":"t","name":"a","at":0})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, ContentAfterTrailerThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":0})" "\n"
+      R"({"type":"counters","values":[]})" "\n"
+      R"({"type":"counters","values":[]})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, EventCountMismatchThrows) {
+  const std::string text =
+      R"({"jsonl":"wfens-obs","version":1,"events":5})" "\n"
+      R"({"type":"instant","seq":0,"track":"t","name":"a","at":0})" "\n"
+      R"({"type":"counters","values":[]})" "\n";
+  EXPECT_THROW(runlog_from_jsonl(text), SerializationError);
+}
+
+TEST(JsonlMalformed, BareGarbageThrows) {
+  EXPECT_THROW(runlog_from_jsonl("not json at all\n"), SerializationError);
+  EXPECT_THROW(runlog_from_jsonl("[1,2,3]\n"), SerializationError);
+}
+
+// -- file I/O ----------------------------------------------------------------
+
+TEST(RunlogFiles, WriteThenReadJsonl) {
+  const RunLog log = sample_log();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "wfens_test_export.jsonl";
+  write_runlog(path, log);
+  const RunLog parsed = read_runlog_jsonl(path);
+  EXPECT_EQ(runlog_to_jsonl(parsed), runlog_to_jsonl(log));
+  std::filesystem::remove(path);
+}
+
+TEST(RunlogFiles, NonJsonlExtensionGetsChromeFormat) {
+  const RunLog log = sample_log();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "wfens_test_export.json";
+  write_runlog(path, log);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), chrome_trace_json(log));
+  std::filesystem::remove(path);
+}
+
+TEST(RunlogFiles, MissingFileThrows) {
+  EXPECT_THROW(read_runlog_jsonl("/nonexistent/dir/none.jsonl"), Error);
+}
+
+}  // namespace
+}  // namespace wfe::obs

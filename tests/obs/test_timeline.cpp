@@ -1,0 +1,121 @@
+// Timeline model + ASCII Gantt renderer.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "support/error.hpp"
+
+namespace wfe::obs {
+namespace {
+
+TEST(Timeline, EmptyHasZeroExtent) {
+  const Timeline t;
+  EXPECT_TRUE(t.tracks.empty());
+  EXPECT_EQ(t.t_min(), 0.0);
+  EXPECT_EQ(t.t_max(), 0.0);
+}
+
+TEST(Timeline, AddCreatesTracksInInsertionOrder) {
+  Timeline t;
+  t.add("beta", "S", 0.0, 1.0);
+  t.add("alpha", "A", 1.0, 2.0);
+  t.add("beta", "W", 2.0, 3.0);
+  ASSERT_EQ(t.tracks.size(), 2u);
+  EXPECT_EQ(t.tracks[0].name, "beta");  // insertion order, not sorted
+  EXPECT_EQ(t.tracks[1].name, "alpha");
+  ASSERT_EQ(t.tracks[0].spans.size(), 2u);
+  EXPECT_EQ(t.tracks[0].spans[1].label, "W");
+}
+
+TEST(Timeline, ExtentSpansAllTracks) {
+  Timeline t;
+  t.add("a", "x", 2.0, 5.0);
+  t.add("b", "y", -1.0, 3.0);
+  EXPECT_EQ(t.t_min(), -1.0);
+  EXPECT_EQ(t.t_max(), 5.0);
+}
+
+TEST(TimelineFromRunlog, KeepsSpansDropsInstantsAndCounters) {
+  Recorder rec;
+  rec.span("sim0", "S", 0.0, 1.0);
+  rec.instant("sim0", "tick", 0.5);
+  rec.add_counter("n", 0.5, 1.0);
+  rec.span("engine", "run", 0.0, 2.0);
+  const Timeline t = timeline_from_runlog(rec.take());
+  ASSERT_EQ(t.tracks.size(), 2u);
+  EXPECT_EQ(t.tracks[0].name, "sim0");
+  EXPECT_EQ(t.tracks[1].name, "engine");
+  EXPECT_EQ(t.tracks[0].spans.size(), 1u);
+  EXPECT_EQ(t.tracks[1].spans[0].label, "run");
+}
+
+TEST(RenderGantt, EmptyTimelineRendersSomethingFinite) {
+  const std::string out = render_gantt(Timeline{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(RenderGantt, EveryTrackGetsARow) {
+  Timeline t;
+  t.add("sim0", "S", 0.0, 4.0);
+  t.add("ana0.0", "A", 2.0, 6.0);
+  const std::string out = render_gantt(t, 40);
+  EXPECT_NE(out.find("sim0"), std::string::npos);
+  EXPECT_NE(out.find("ana0.0"), std::string::npos);
+}
+
+TEST(RenderGantt, SpanGlyphIsFirstLabelCharacter) {
+  Timeline t;
+  t.add("sim0", "S", 0.0, 10.0);
+  const std::string out = render_gantt(t, 32);
+  EXPECT_NE(out.find('S'), std::string::npos);
+}
+
+TEST(RenderGantt, OverlappingLabelsCollideIntoHash) {
+  Timeline t;
+  // Two differently-labeled spans covering the same interval on one track.
+  t.add("x", "A", 0.0, 10.0);
+  t.add("x", "B", 0.0, 10.0);
+  const std::string out = render_gantt(t, 32);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(RenderGantt, DeterministicAndWidthSensitive) {
+  Timeline t;
+  t.add("a", "S", 0.0, 3.0);
+  t.add("b", "W", 1.0, 4.0);
+  EXPECT_EQ(render_gantt(t, 48), render_gantt(t, 48));
+  EXPECT_NE(render_gantt(t, 16), render_gantt(t, 64));
+}
+
+TEST(RenderGantt, TinyWidthThrows) {
+  Timeline t;
+  t.add("a", "S", 0.0, 1.0);
+  EXPECT_THROW(render_gantt(t, 7), InvalidArgument);
+  EXPECT_THROW(render_gantt(t, 0), InvalidArgument);
+  EXPECT_THROW(render_gantt(t, -5), InvalidArgument);
+  EXPECT_NO_THROW(render_gantt(t, 8));
+}
+
+TEST(RenderGantt, LegendListsLabels) {
+  Timeline t;
+  t.add("a", "S", 0.0, 1.0);
+  t.add("a", "W", 1.0, 2.0);
+  const std::string out = render_gantt(t, 32);
+  // Legend mentions both labels somewhere beyond the glyph cells.
+  EXPECT_NE(out.find("S"), std::string::npos);
+  EXPECT_NE(out.find("W"), std::string::npos);
+}
+
+TEST(RenderGantt, ZeroDurationTimelineDoesNotDivideByZero) {
+  Timeline t;
+  t.add("a", "i", 1.0, 1.0);  // single zero-length span
+  EXPECT_NO_THROW(render_gantt(t, 32));
+}
+
+}  // namespace
+}  // namespace wfe::obs

@@ -1,0 +1,178 @@
+// Round-trip fuzzing for WFES spec persistence.
+//
+// Seeded random EnsembleSpecs must serialize -> parse -> re-serialize
+// byte-identically, and random mutations of well-formed WFES text must
+// either parse or throw a wfe:: error — never crash (exercised under
+// ASan/UBSan by tools/sanitize.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/spec_io.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::rt {
+namespace {
+
+std::string random_name(Xoshiro256& rng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 ._-";
+  const std::size_t len = 1 + rng() % 16;
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng() % (sizeof(kAlphabet) - 1)]);
+  }
+  // WFES is line-oriented: names are free text minus newlines, and the
+  // format trims exterior whitespace — keep the generator inside that.
+  while (!s.empty() && s.front() == ' ') s.front() = 'x';
+  while (!s.empty() && s.back() == ' ') s.back() = 'x';
+  return s;
+}
+
+std::set<int> random_nodes(Xoshiro256& rng) {
+  std::set<int> nodes;
+  const std::size_t n = 1 + rng() % 3;
+  while (nodes.size() < n) nodes.insert(static_cast<int>(rng() % 12));
+  return nodes;
+}
+
+EnsembleSpec random_spec(std::uint64_t seed) {
+  static const char* kKernels[] = {"msd", "rgyr", "rdf", "voronoi"};
+  Xoshiro256 rng(seed);
+  EnsembleSpec spec;
+  spec.name = random_name(rng);
+  spec.n_steps = 1 + rng() % 100;
+  const std::size_t members = 1 + rng() % 4;
+  for (std::size_t m = 0; m < members; ++m) {
+    MemberSpec member;
+    member.buffer_capacity = 1 + static_cast<int>(rng() % 4);
+    member.sim.cores = 1 + static_cast<int>(rng() % 32);
+    member.sim.stride = 1 + rng() % 10;
+    member.sim.natoms = 100 + rng() % 100000;
+    member.sim.nodes = random_nodes(rng);
+    const std::size_t analyses = 1 + rng() % 3;
+    for (std::size_t a = 0; a < analyses; ++a) {
+      AnalysisSpec analysis;
+      analysis.kernel = kKernels[rng() % 4];
+      analysis.cores = 1 + static_cast<int>(rng() % 16);
+      analysis.nodes = random_nodes(rng);
+      member.analyses.push_back(analysis);
+    }
+    spec.members.push_back(member);
+  }
+  return spec;
+}
+
+TEST(SpecIoFuzz, RandomSpecsRoundTripByteIdentically) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const EnsembleSpec spec = random_spec(seed);
+    const std::string text = spec_to_text(spec);
+    EnsembleSpec parsed;
+    try {
+      parsed = spec_from_text(text);
+    } catch (const Error& e) {
+      FAIL() << "seed " << seed << ": emitted WFES rejected: " << e.what()
+             << "\n" << text;
+    }
+    EXPECT_EQ(spec_to_text(parsed), text) << "seed " << seed;
+  }
+}
+
+std::string mutate(const std::string& text, Xoshiro256& rng) {
+  std::string out = text;
+  if (out.empty()) return "W";
+  const std::size_t pos = rng() % out.size();
+  switch (rng() % 5) {
+    case 0:
+      out[pos] = static_cast<char>(rng() % 128);
+      break;
+    case 1:
+      out.erase(pos, 1 + rng() % 8);
+      break;
+    case 2:
+      out.insert(pos, 1, static_cast<char>('0' + rng() % 10));
+      break;
+    case 3: {  // swap two lines' worth of bytes crudely
+      const std::size_t pos2 = rng() % out.size();
+      std::swap(out[pos], out[pos2]);
+      break;
+    }
+    default:
+      out.resize(pos);
+      break;
+  }
+  return out;
+}
+
+TEST(SpecIoFuzz, MutatedSpecsNeverCrashTheParser) {
+  const std::string base = spec_to_text(wl::paper_config("C2.4").spec);
+  Xoshiro256 rng(0x5bec);
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string text = base;
+    const int rounds = 1 + static_cast<int>(rng() % 4);
+    for (int r = 0; r < rounds; ++r) text = mutate(text, rng);
+    try {
+      const EnsembleSpec parsed = spec_from_text(text);
+      // Accepted mutants must re-serialize without crashing either.
+      (void)spec_to_text(parsed);
+      ++accepted;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted + rejected, 500);
+  EXPECT_GT(rejected, 0);  // tame mutations would prove nothing
+}
+
+TEST(SpecIoFuzz, RandomGarbageNeverCrashesTheParser) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    const std::size_t len = rng() % 200;
+    for (std::size_t j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>(rng() % 256));
+    }
+    try {
+      (void)spec_from_text(text);
+    } catch (const Error&) {
+      // the only acceptable failure mode
+    }
+  }
+}
+
+TEST(SpecIoFuzz, HostileNumbersAreRejectedNotTrusted) {
+  // Oversized or negative fields must surface as wfe:: errors, not wrap
+  // around into absurd-but-accepted specs that crash the executor later.
+  const char* cases[] = {
+      "WFES 1\nname n\nsteps 99999999999999999999\nmember buffer 1\n"
+      "sim cores 1 stride 1 natoms 10 nodes 0\n"
+      "analysis kernel msd cores 1 nodes 0\nend 1\n",
+      "WFES 1\nname n\nsteps 5\nmember buffer 1\n"
+      "sim cores -5 stride 1 natoms 10 nodes 0\n"
+      "analysis kernel msd cores 1 nodes 0\nend 1\n",
+      "WFES 1\nname n\nsteps 5\nmember buffer 0\n"
+      "sim cores 1 stride 1 natoms 10 nodes 0\n"
+      "analysis kernel msd cores 1 nodes 0\nend 1\n",
+  };
+  for (const char* text : cases) {
+    try {
+      const EnsembleSpec spec = spec_from_text(text);
+      // If the format layer is lenient, validation must still catch it.
+      EXPECT_THROW(spec.validate(wl::cori_like_platform()),
+                   Error)
+          << text;
+    } catch (const Error&) {
+      // rejected at parse time: fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wfe::rt

@@ -1,0 +1,105 @@
+// The minimal JSON reader: accepted grammar, typed access, rejection of
+// malformed documents, and the escape helper the exporters rely on.
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace wfe::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-3.5").as_number(), -3.5);
+  EXPECT_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse("\"\"").as_string(), "");
+}
+
+TEST(JsonParse, FullPrecisionRoundTrip) {
+  // %.17g output of an awkward double must come back exactly.
+  EXPECT_EQ(parse("0.10000000000000001").as_number(), 0.1);
+  EXPECT_EQ(parse("8006000.0000000009").as_number(), 8006000.0000000009);
+}
+
+TEST(JsonParse, Arrays) {
+  const Value v = parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_EQ(parse("[[\"x\"]]").as_array()[0].as_array()[0].as_string(), "x");
+}
+
+TEST(JsonParse, Objects) {
+  const Value v = parse(R"({"a": 1, "b": {"c": [true]}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_EQ(v.at("b").at("c").as_array()[0].as_bool(), true);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_THROW(v.at("missing"), SerializationError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse(R"("a\nb\tc")").as_string(), "a\nb\tc");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  EXPECT_EQ(parse("  \n\t {\"a\": 1}  \n").at("a").as_number(), 1.0);
+}
+
+TEST(JsonParse, MalformedThrows) {
+  const char* cases[] = {
+      "",          "{",           "}",        "[1,",     "[1,]",
+      "{\"a\":}",  "{\"a\" 1}",   "{a: 1}",   "tru",     "nul",
+      "01x",       "\"unterminated", "1 2",   "[1] x",   "{\"a\":1,}",
+      "\"bad\\q\"",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(parse(text), SerializationError) << "input: " << text;
+  }
+}
+
+TEST(JsonParse, DeepNestingIsGuardedNotCrashing) {
+  std::string deep;
+  for (int i = 0; i < 10000; ++i) deep += "[";
+  EXPECT_THROW(parse(deep), SerializationError);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_string(), SerializationError);
+  EXPECT_THROW(v.as_number(), SerializationError);
+  EXPECT_THROW(v.as_object(), SerializationError);
+  EXPECT_THROW(v.at("k"), SerializationError);
+  EXPECT_THROW(parse("3").as_array(), SerializationError);
+  EXPECT_THROW(parse("3").as_bool(), SerializationError);
+}
+
+TEST(JsonEscape, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb"), "a\\nb");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscape, RoundTripsThroughParse) {
+  const std::string nasty = "quote\" slash\\ nl\n tab\t ctl\x02 end";
+  const Value v = parse("\"" + escape(nasty) + "\"");
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace wfe::json

@@ -38,9 +38,9 @@ run_phase() {
 
 if [[ -z "${sanitizers}" ]]; then
   run_phase "address,undefined" "$@"
-  run_phase "thread" -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine' "$@"
+  run_phase "thread" -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine|Recorder|CounterRegistry' "$@"
 elif [[ "${sanitizers}" == "thread" ]]; then
-  run_phase thread -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine' "$@"
+  run_phase thread -R 'ThreadPool|SmallFn|BatchEvaluator|ParallelEquivalence|GreedyRefine|Recorder|CounterRegistry' "$@"
 else
   run_phase "${sanitizers}" "$@"
 fi

@@ -6,13 +6,20 @@
 //                    [--scheduler greedy-colocate|greedy-refine|exhaustive|
 //                                 round-robin|random]
 //                    [--threads N] [--save-spec out.wfes]
+//                    [--trace-out trace.json|trace.jsonl]
 //
 // --threads parallelizes the replay-driven schedulers' candidate scoring;
 // the chosen placement is identical for every N (see docs/PERF.md).
+// --trace-out records scheduler activity (batch spans, per-worker
+// utilization, memo hits) as a structured run trace: .jsonl = compact span
+// log, anything else = Chrome trace_event JSON.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/spec_io.hpp"
 #include "sched/evaluator.hpp"
 #include "sched/scheduler.hpp"
@@ -26,7 +33,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: wfens_plan <members> <analyses_per_member> "
                  "<node_pool> [--scheduler NAME] [--threads N] "
-                 "[--save-spec out.wfes]\n";
+                 "[--save-spec out.wfes] [--trace-out trace.json]\n";
     return 2;
   }
   const int members = std::atoi(argv[1]);
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
   const int pool = std::atoi(argv[3]);
   std::string scheduler_name = "greedy-colocate";
   std::string save_spec_path;
+  std::string trace_out_path;
   int threads = 1;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,6 +52,8 @@ int main(int argc, char** argv) {
       if (threads < 1) threads = 1;
     } else if (arg == "--save-spec" && i + 1 < argc) {
       save_spec_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_path = argv[++i];
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
@@ -51,6 +61,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    std::unique_ptr<obs::Recorder> obs_recorder;
+    std::unique_ptr<obs::Session> obs_session;
+    if (!trace_out_path.empty()) {
+      obs_recorder = std::make_unique<obs::Recorder>();
+      obs_session = std::make_unique<obs::Session>(*obs_recorder);
+    }
+
     const auto platform = wl::cori_like_platform();
     const auto shape = sched::EnsembleShape::paper_like(members, analyses);
     const auto scheduler = sched::make_scheduler(scheduler_name);
@@ -84,6 +101,13 @@ int main(int argc, char** argv) {
     if (!save_spec_path.empty()) {
       rt::save_spec(save_spec_path, schedule.spec);
       std::cout << "wrote the spec to " << save_spec_path << "\n";
+    }
+    if (obs_recorder) {
+      const obs::RunLog log = obs_recorder->take();
+      obs::write_runlog(trace_out_path, log);
+      std::cout << "wrote " << log.size() << " trace events on "
+                << log.tracks().size() << " tracks to " << trace_out_path
+                << "\n";
     }
     return 0;
   } catch (const wfe::Error& e) {

@@ -8,7 +8,15 @@
 // known too, so the full indicator chain (Eqs. 5-8) and the ensemble
 // objective F (Eq. 9) are reported as well.
 //
-// Usage:  wfens_report <trace.wfet> [--csv] [--spec spec.wfes]
+// Usage:  wfens_report <trace.wfet|trace.jsonl> [--csv] [--spec spec.wfes]
+//                      [--timeline] [--width N]
+//
+// --timeline renders an ASCII Gantt chart of the execution instead of the
+// metric tables. It accepts either trace source: a WFET stage trace (one
+// track per component, stage mnemonics as glyphs) or an obs .jsonl span
+// log saved by `wfens_run --trace-out` (tracks as recorded, including
+// engine/scheduler/DTL activity). --width sets the plot width in columns.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -17,25 +25,55 @@
 #include "metrics/steady_state.hpp"
 #include "metrics/trace_io.hpp"
 #include "metrics/traditional.hpp"
+#include "obs/export.hpp"
+#include "obs/timeline.hpp"
 #include "runtime/bridge.hpp"
 #include "runtime/spec_io.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Adapt a WFET stage trace to the Gantt timeline: one track per component
+/// in component order, labels = stage mnemonics (S, W, R, A, IS, IA, ...).
+wfe::obs::Timeline timeline_from_trace(const wfe::met::Trace& trace) {
+  wfe::obs::Timeline timeline;
+  for (const wfe::met::ComponentId& id : trace.components()) {
+    for (const wfe::met::StageRecord& r : trace.for_component(id)) {
+      timeline.add(id.str(), wfe::met::stage_mnemonic(r.kind), r.start,
+                   r.end);
+    }
+  }
+  return timeline;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace wfe;
   if (argc < 2) {
-    std::cerr
-        << "usage: wfens_report <trace.wfet> [--csv] [--spec spec.wfes]\n";
+    std::cerr << "usage: wfens_report <trace.wfet|trace.jsonl> [--csv] "
+                 "[--spec spec.wfes] [--timeline] [--width N]\n";
     return 2;
   }
   bool csv = false;
+  bool timeline = false;
+  int width = 72;
   std::string spec_path;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--width" && i + 1 < argc) {
+      width = std::atoi(argv[++i]);
     } else if (arg == "--spec" && i + 1 < argc) {
       spec_path = argv[++i];
     } else {
@@ -43,9 +81,26 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  const std::string trace_path = argv[1];
 
   try {
-    const met::Trace trace = met::load_trace(argv[1]);
+    if (ends_with(trace_path, ".jsonl")) {
+      // An obs span log supports only the timeline view.
+      if (!timeline) {
+        std::cerr << "a .jsonl span log needs --timeline (metric tables "
+                     "require a .wfet stage trace)\n";
+        return 2;
+      }
+      const obs::RunLog log = obs::read_runlog_jsonl(trace_path);
+      std::cout << obs::render_gantt(obs::timeline_from_runlog(log), width);
+      return 0;
+    }
+
+    const met::Trace trace = met::load_trace(trace_path);
+    if (timeline) {
+      std::cout << obs::render_gantt(timeline_from_trace(trace), width);
+      return 0;
+    }
     if (csv) {
       std::cout << met::trace_to_csv(trace);
       return 0;

@@ -28,11 +28,18 @@
 //   --stage-error-p  per-stage transient error probability (simulated mode)
 //   --fault-policy   recovery policy when faults are on (default: retry)
 //   --fault-seed N   fault-injection seed (independent of the jitter seed)
+//   --trace-out F    also record a structured run trace (engine, DTL,
+//                    scheduler, resilience activity) and write it to F:
+//                    .jsonl = compact span log, anything else = Chrome
+//                    trace_event JSON (chrome://tracing, Perfetto)
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "metrics/trace_io.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/native_executor.hpp"
 #include "runtime/simulated_executor.hpp"
 #include "runtime/spec_io.hpp"
@@ -49,7 +56,8 @@ int main(int argc, char** argv) {
                  "                 [--schedule NAME] [--pool M] [--threads N]\n"
                  "                 [--faults MTBF_S] [--stage-error-p P]\n"
                  "                 [--fault-policy retry|checkpoint|fail] "
-                 "[--fault-seed N]\n";
+                 "[--fault-seed N]\n"
+                 "                 [--trace-out trace.json|trace.jsonl]\n";
     return 2;
   }
   const std::string source = argv[1];
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   res::FaultSpec faults;
   res::RecoveryPolicy recovery;
+  std::string trace_out_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--native") {
@@ -83,6 +92,8 @@ int main(int argc, char** argv) {
       faults.stage_error_prob = std::atof(argv[++i]);
     } else if (arg == "--fault-seed" && i + 1 < argc) {
       faults.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out_path = argv[++i];
     } else if (arg == "--fault-policy" && i + 1 < argc) {
       const std::string policy = argv[++i];
       if (policy == "retry") {
@@ -113,6 +124,15 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Install the observability session before planning so scheduler
+    // activity lands in the trace alongside the run itself.
+    std::unique_ptr<obs::Recorder> obs_recorder;
+    std::unique_ptr<obs::Session> obs_session;
+    if (!trace_out_path.empty()) {
+      obs_recorder = std::make_unique<obs::Recorder>();
+      obs_session = std::make_unique<obs::Session>(*obs_recorder);
+    }
+
     rt::EnsembleSpec spec;
     if (source.size() > 5 && source.substr(source.size() - 5) == ".wfes") {
       spec = rt::load_spec(source);
@@ -165,6 +185,13 @@ int main(int argc, char** argv) {
     met::save_trace(out_path, result.trace);
     std::cout << "wrote " << result.trace.size() << " stage records for "
               << spec.name << " to " << out_path << "\n";
+    if (obs_recorder) {
+      const obs::RunLog log = obs_recorder->take();
+      obs::write_runlog(trace_out_path, log);
+      std::cout << "wrote " << log.size() << " trace events on "
+                << log.tracks().size() << " tracks to " << trace_out_path
+                << "\n";
+    }
     if (faults.enabled()) {
       std::cout << result.failure_summary.str() << "\n";
       if (!result.failure_summary.complete()) {
