@@ -14,11 +14,10 @@ namespace {
 
 /// Wait on `cv` until `pred` holds — bounded by `timeout_s` when positive.
 /// Returns false (instead of throwing here) on expiry so callers can add
-/// context to the TimeoutError.
-template <typename Pred>
-bool bounded_wait(std::condition_variable& cv,
-                  std::unique_lock<std::mutex>& lock, double timeout_s,
-                  Pred pred) {
+/// context to the TimeoutError. Generic over the cv/lock pair so the ranked
+/// debug types and the plain release types both fit.
+template <typename Cv, typename Lock, typename Pred>
+bool bounded_wait(Cv& cv, Lock& lock, double timeout_s, Pred pred) {
   if (timeout_s <= 0.0) {
     cv.wait(lock, pred);
     return true;
@@ -53,7 +52,7 @@ void CouplingChannel::check_reader(int reader) const {
 }
 
 void CouplingChannel::begin_write(std::uint64_t step) {
-  std::unique_lock lock(mutex_);
+  Lock lock(mutex_);
   if (closed_) throw ProtocolError("begin_write on a closed channel");
   if (writing_ != -1) {
     throw ProtocolError("begin_write while a write is already in progress");
@@ -92,7 +91,7 @@ void CouplingChannel::begin_write(std::uint64_t step) {
 }
 
 void CouplingChannel::commit_write(std::uint64_t step) {
-  std::lock_guard lock(mutex_);
+  Guard lock(mutex_);
   if (writing_ != static_cast<std::int64_t>(step)) {
     throw ProtocolError("commit_write without matching begin_write");
   }
@@ -107,7 +106,7 @@ void CouplingChannel::commit_write(std::uint64_t step) {
 }
 
 void CouplingChannel::close() {
-  std::lock_guard lock(mutex_);
+  Guard lock(mutex_);
   closed_ = true;
   readers_cv_.notify_all();
   writer_cv_.notify_all();
@@ -115,7 +114,7 @@ void CouplingChannel::close() {
 
 bool CouplingChannel::await_step(int reader, std::uint64_t step) {
   check_reader(reader);
-  std::unique_lock lock(mutex_);
+  Lock lock(mutex_);
   const auto expected =
       static_cast<std::uint64_t>(consumed_[static_cast<std::size_t>(reader)] + 1);
   if (step != expected) {
@@ -145,7 +144,7 @@ bool CouplingChannel::await_step(int reader, std::uint64_t step) {
 
 void CouplingChannel::ack_read(int reader, std::uint64_t step) {
   check_reader(reader);
-  std::lock_guard lock(mutex_);
+  Guard lock(mutex_);
   if (committed_ < static_cast<std::int64_t>(step)) {
     throw ProtocolError("ack of a step that was never committed");
   }
@@ -164,12 +163,12 @@ void CouplingChannel::ack_read(int reader, std::uint64_t step) {
 }
 
 std::int64_t CouplingChannel::committed_step() const {
-  std::lock_guard lock(mutex_);
+  Guard lock(mutex_);
   return committed_;
 }
 
 bool CouplingChannel::closed() const {
-  std::lock_guard lock(mutex_);
+  Guard lock(mutex_);
   return closed_;
 }
 

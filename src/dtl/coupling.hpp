@@ -28,10 +28,10 @@
 // deadlocking the whole ensemble. 0 keeps the historical unbounded waits.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "support/lock_rank.hpp"
 
 namespace wfe::dtl {
 
@@ -84,11 +84,17 @@ class CouplingChannel {
   bool closed() const;
 
  private:
+  // Held while emitting obs spans/counters, hence the lowest rank in the
+  // table (see support/lock_rank.hpp).
+  using Mutex = support::RankedMutex<support::kRankDtlChannel>;
+  using Guard = support::RankGuard<Mutex>;
+  using Lock = support::RankLock<Mutex>;
+
   void check_reader(int reader) const;
 
-  mutable std::mutex mutex_;
-  std::condition_variable writer_cv_;
-  std::condition_variable readers_cv_;
+  mutable Mutex mutex_;
+  support::RankedCv writer_cv_;
+  support::RankedCv readers_cv_;
   int capacity_ = 1;
   double wait_timeout_s_ = 0.0;  // 0 = unbounded
   std::int64_t committed_ = -1;  // last committed step

@@ -24,7 +24,7 @@ fs::path FileStaging::path_for(const std::string& key) const {
 
 void FileStaging::put(const std::string& key,
                       std::span<const std::byte> bytes) {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   const fs::path p = path_for(key);
   std::ofstream out(p, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("FileStaging: cannot open " + p.string());
@@ -35,7 +35,7 @@ void FileStaging::put(const std::string& key,
 
 std::optional<std::vector<std::byte>> FileStaging::get(
     const std::string& key) const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   const fs::path p = path_for(key);
   std::ifstream in(p, std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
@@ -48,17 +48,17 @@ std::optional<std::vector<std::byte>> FileStaging::get(
 }
 
 bool FileStaging::contains(const std::string& key) const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return fs::exists(path_for(key));
 }
 
 bool FileStaging::erase(const std::string& key) {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return fs::remove(path_for(key));
 }
 
 std::size_t FileStaging::size() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   std::size_t n = 0;
   for (const auto& e : fs::directory_iterator(root_)) {
     if (e.is_regular_file() && e.path().extension() == ".chunk") ++n;
@@ -67,7 +67,7 @@ std::size_t FileStaging::size() const {
 }
 
 std::size_t FileStaging::bytes_stored() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& e : fs::directory_iterator(root_)) {
     if (e.is_regular_file() && e.path().extension() == ".chunk") {
@@ -78,7 +78,7 @@ std::size_t FileStaging::bytes_stored() const {
 }
 
 void FileStaging::clear() {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   for (const auto& e : fs::directory_iterator(root_)) {
     if (e.is_regular_file() && e.path().extension() == ".chunk") {
       fs::remove(e.path());

@@ -6,9 +6,9 @@
 #pragma once
 
 #include <filesystem>
-#include <mutex>
 
 #include "dtl/staging.hpp"
+#include "support/lock_rank.hpp"
 
 namespace wfe::dtl {
 
@@ -33,8 +33,10 @@ class FileStaging final : public StagingBackend {
  private:
   std::filesystem::path path_for(const std::string& key) const;
 
+  using Mutex = support::RankedMutex<support::kRankDtlStaging>;
+
   std::filesystem::path root_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
 };
 
 }  // namespace wfe::dtl

@@ -5,42 +5,42 @@ namespace wfe::dtl {
 void MemoryStaging::put(const std::string& key,
                         std::span<const std::byte> bytes) {
   std::vector<std::byte> copy(bytes.begin(), bytes.end());
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   store_[key] = std::move(copy);
 }
 
 std::optional<std::vector<std::byte>> MemoryStaging::get(
     const std::string& key) const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   auto it = store_.find(key);
   if (it == store_.end()) return std::nullopt;
   return it->second;
 }
 
 bool MemoryStaging::contains(const std::string& key) const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return store_.contains(key);
 }
 
 bool MemoryStaging::erase(const std::string& key) {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return store_.erase(key) > 0;
 }
 
 std::size_t MemoryStaging::size() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return store_.size();
 }
 
 std::size_t MemoryStaging::bytes_stored() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [_, buf] : store_) total += buf.size();
   return total;
 }
 
 void MemoryStaging::clear() {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   store_.clear();
 }
 

@@ -8,10 +8,10 @@
 // real data plane for native mode.
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
 #include "dtl/staging.hpp"
+#include "support/lock_rank.hpp"
 
 namespace wfe::dtl {
 
@@ -29,7 +29,9 @@ class MemoryStaging final : public StagingBackend {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
+  using Mutex = support::RankedMutex<support::kRankDtlStaging>;
+
+  mutable Mutex mutex_;
   std::unordered_map<std::string, std::vector<std::byte>> store_;
 };
 

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Guard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -29,7 +29,7 @@ void ThreadPool::drain(const std::function<void(std::size_t, int)>& fn,
     try {
       fn(i, worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      Guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -37,7 +37,7 @@ void ThreadPool::drain(const std::function<void(std::size_t, int)>& fn,
 
 void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  Lock lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
     if (stop_) return;
@@ -63,7 +63,7 @@ void ThreadPool::for_each_index(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Guard lock(mutex_);
     batch_fn_ = &fn;
     batch_n_ = n;
     next_index_.store(0, std::memory_order_relaxed);
@@ -73,7 +73,7 @@ void ThreadPool::for_each_index(
   }
   work_cv_.notify_all();
   drain(fn, n, /*worker=*/0);
-  std::unique_lock<std::mutex> lock(mutex_);
+  Lock lock(mutex_);
   done_cv_.wait(lock, [&] { return checked_out_ == threads_ - 1; });
   batch_fn_ = nullptr;
   if (first_error_) {

@@ -10,13 +10,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/lock_rank.hpp"
 
 namespace wfe::exec {
 
@@ -45,6 +46,10 @@ class ThreadPool {
                       const std::function<void(std::size_t, int)>& fn);
 
  private:
+  using Mutex = support::RankedMutex<support::kRankExecPool>;
+  using Guard = support::RankGuard<Mutex>;
+  using Lock = support::RankLock<Mutex>;
+
   void worker_loop(int worker);
   /// Claim-and-run loop shared by the caller and the workers.
   void drain(const std::function<void(std::size_t, int)>& fn, std::size_t n,
@@ -53,9 +58,9 @@ class ThreadPool {
   const int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait here for a batch
-  std::condition_variable done_cv_;   // the caller waits here for check-out
+  Mutex mutex_;
+  support::RankedCv work_cv_;         // workers wait here for a batch
+  support::RankedCv done_cv_;         // the caller waits here for check-out
   bool stop_ = false;
   std::uint64_t epoch_ = 0;           // bumped once per batch
   const std::function<void(std::size_t, int)>* batch_fn_ = nullptr;

@@ -16,14 +16,14 @@ std::string ComponentId::str() const {
 void TraceRecorder::record(StageRecord record) {
   WFE_REQUIRE(record.end >= record.start,
               "a stage cannot end before it starts");
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   records_.push_back(std::move(record));
 }
 
 Trace TraceRecorder::take() {
   std::vector<StageRecord> out;
   {
-    std::lock_guard lock(mutex_);
+    const support::RankGuard<Mutex> lock(mutex_);
     out.swap(records_);
   }
   return Trace(std::move(out));

@@ -9,13 +9,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/stages.hpp"
 #include "platform/counters.hpp"
+#include "support/lock_rank.hpp"
 
 namespace wfe::met {
 
@@ -58,7 +58,9 @@ class TraceRecorder {
   Trace take();
 
  private:
-  std::mutex mutex_;
+  using Mutex = support::RankedMutex<support::kRankMetricsTrace>;
+
+  Mutex mutex_;
   std::vector<StageRecord> records_;
 };
 

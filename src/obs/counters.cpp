@@ -29,7 +29,7 @@ std::string snapshot_to_text(const CounterSnapshot& snapshot) {
 double CounterRegistry::add(std::string_view name, double delta) {
   WFE_REQUIRE(std::isfinite(delta) && delta >= 0.0,
               "monotonic counter deltas must be finite and non-negative");
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), Slot{}).first;
@@ -44,7 +44,7 @@ double CounterRegistry::add(std::string_view name, double delta) {
 
 double CounterRegistry::set(std::string_view name, double value) {
   WFE_REQUIRE(std::isfinite(value), "gauge values must be finite");
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), Slot{CounterKind::kGauge, 0.0})
@@ -59,13 +59,13 @@ double CounterRegistry::set(std::string_view name, double value) {
 }
 
 double CounterRegistry::value(std::string_view name) const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0.0 : it->second.value;
 }
 
 CounterSnapshot CounterRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   CounterSnapshot out;
   out.reserve(counters_.size());
   for (const auto& [name, slot] : counters_) {
@@ -75,12 +75,12 @@ CounterSnapshot CounterRegistry::snapshot() const {
 }
 
 std::size_t CounterRegistry::size() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return counters_.size();
 }
 
 void CounterRegistry::clear() {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   counters_.clear();
 }
 

@@ -12,10 +12,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/lock_rank.hpp"
 
 namespace wfe::obs {
 
@@ -63,12 +64,14 @@ class CounterRegistry {
   void clear();
 
  private:
+  using Mutex = support::RankedMutex<support::kRankObsCounters>;
+
   struct Slot {
     CounterKind kind = CounterKind::kMonotonic;
     double value = 0.0;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, Slot, std::less<>> counters_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 
@@ -16,9 +17,11 @@ namespace {
 
 constexpr double kMicrosPerSecond = 1e6;
 
-/// Deterministic track -> tid map, in order of first appearance.
-std::unordered_map<std::uint32_t, int> assign_tids(const RunLog& log) {
-  std::unordered_map<std::uint32_t, int> tids;
+/// Deterministic track -> tid map, tids assigned in order of first
+/// appearance. An ordered map: exporters iterate it, and hash-order
+/// iteration would leak into golden traces (wfens_lint: unordered-iter).
+std::map<std::uint32_t, int> assign_tids(const RunLog& log) {
+  std::map<std::uint32_t, int> tids;
   for (const Event& e : log.events) {
     if (e.kind == EventKind::kCounter) continue;
     tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
@@ -143,6 +146,8 @@ std::string runlog_to_jsonl(const RunLog& log) {
 
 RunLog runlog_from_jsonl(std::string_view text) {
   RunLog log;
+  // Lookup-only intern index (importer side, never iterated).
+  // wfens-lint: allow(unordered-iter)
   std::unordered_map<std::string, std::uint32_t> ids;
   const auto intern = [&](const std::string& s) {
     const auto it = ids.find(s);

@@ -68,7 +68,7 @@ void Recorder::span(std::string_view track, std::string_view name,
                     double start, double end) {
   WFE_REQUIRE(std::isfinite(start) && std::isfinite(end) && end >= start,
               "span bounds must be finite with end >= start");
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   events_.push_back(Event{next_seq_++, EventKind::kSpan,
                           intern_locked(track), intern_locked(name), start,
                           end, 0.0});
@@ -77,7 +77,7 @@ void Recorder::span(std::string_view track, std::string_view name,
 void Recorder::instant(std::string_view track, std::string_view name,
                        double at) {
   WFE_REQUIRE(std::isfinite(at), "instant timestamp must be finite");
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   events_.push_back(Event{next_seq_++, EventKind::kInstant,
                           intern_locked(track), intern_locked(name), at, at,
                           0.0});
@@ -86,7 +86,7 @@ void Recorder::instant(std::string_view track, std::string_view name,
 void Recorder::add_counter(std::string_view name, double at, double delta) {
   WFE_REQUIRE(std::isfinite(at), "counter timestamp must be finite");
   const double total = registry_.add(name, delta);
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   events_.push_back(Event{next_seq_++, EventKind::kCounter, 0,
                           intern_locked(name), at, at, total});
 }
@@ -94,13 +94,13 @@ void Recorder::add_counter(std::string_view name, double at, double delta) {
 void Recorder::set_counter(std::string_view name, double at, double value) {
   WFE_REQUIRE(std::isfinite(at), "counter timestamp must be finite");
   const double level = registry_.set(name, value);
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   events_.push_back(Event{next_seq_++, EventKind::kCounter, 0,
                           intern_locked(name), at, at, level});
 }
 
 std::uint64_t Recorder::events_recorded() const {
-  std::lock_guard lock(mutex_);
+  const support::RankGuard<Mutex> lock(mutex_);
   return static_cast<std::uint64_t>(events_.size());
 }
 
@@ -113,7 +113,7 @@ double Recorder::now_s() const {
 RunLog Recorder::take() {
   RunLog log;
   {
-    std::lock_guard lock(mutex_);
+    const support::RankGuard<Mutex> lock(mutex_);
     log.strings = std::move(strings_);
     log.events = std::move(events_);
     strings_.clear();

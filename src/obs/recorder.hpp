@@ -30,13 +30,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "support/lock_rank.hpp"
 
 namespace wfe::obs {
 
@@ -110,10 +110,14 @@ class Recorder {
   RunLog take();
 
  private:
+  using Mutex = support::RankedMutex<support::kRankObsRecorder>;
+
   std::uint32_t intern_locked(std::string_view s);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::vector<std::string> strings_;
+  // Lookup-only intern index; emission order lives in strings_/events_.
+  // wfens-lint: allow(unordered-iter)
   std::unordered_map<std::string, std::uint32_t> ids_;
   std::vector<Event> events_;
   std::uint64_t next_seq_ = 0;

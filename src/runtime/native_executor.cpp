@@ -3,7 +3,6 @@
 #include <chrono>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "metrics/trace_io.hpp"
 #include "obs/recorder.hpp"
 #include "support/error.hpp"
+#include "support/lock_rank.hpp"
 #include "support/str.hpp"
 
 namespace wfe::rt {
@@ -65,16 +65,18 @@ void record_stage(met::TraceRecorder& recorder, const ObsCtx& octx,
 /// exception after joining instead of letting std::thread call
 /// std::terminate.
 struct FailureLatch {
-  std::mutex mutex;
+  using Mutex = support::RankedMutex<support::kRankRunLatch>;
+
+  Mutex mutex;
   std::exception_ptr first;
 
   void capture(std::exception_ptr error) {
-    std::lock_guard lock(mutex);
+    const support::RankGuard<Mutex> lock(mutex);
     if (!first) first = error;
   }
 
   void rethrow_if_set() {
-    std::lock_guard lock(mutex);
+    const support::RankGuard<Mutex> lock(mutex);
     if (first) std::rethrow_exception(first);
   }
 };
@@ -122,7 +124,7 @@ void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
                   met::TraceRecorder& recorder, Clock::time_point epoch,
                   const ObsCtx& octx,
                   std::vector<ana::AnalysisResult>& outputs,
-                  std::mutex& outputs_mutex) {
+                  support::RankedMutex<support::kRankRunOutputs>& outputs_mutex) {
   const met::ComponentId id{member, index};
   const std::unique_ptr<ana::AnalysisKernel> kernel =
       ana::make_kernel(spec.kernel);
@@ -143,7 +145,8 @@ void run_analysis(const AnalysisSpec& spec, std::uint32_t member,
     const double t3 = seconds_since(epoch);
     record_stage(recorder, octx, {id, step, StageKind::kAnalyze, t2, t3, {}});
     {
-      std::lock_guard lock(outputs_mutex);
+      const support::RankGuard<support::RankedMutex<support::kRankRunOutputs>>
+          lock(outputs_mutex);
       outputs.push_back(std::move(result));
     }
   }
@@ -175,7 +178,7 @@ ExecutionResult NativeExecutor::run(const EnsembleSpec& spec) const {
   struct AnalysisSlot {
     met::ComponentId id;
     std::vector<ana::AnalysisResult> outputs;
-    std::mutex mutex;
+    support::RankedMutex<support::kRankRunOutputs> mutex;
   };
   std::vector<std::unique_ptr<AnalysisSlot>> slots;
   std::vector<std::thread> threads;

@@ -1,0 +1,51 @@
+#include "support/lock_rank.hpp"
+
+#if defined(WFENS_LOCK_RANK_ACTIVE)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfe::support::lock_rank_detail {
+
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+void fail(int rank, const std::source_location& site, const Held& top) {
+  // fprintf, not iostream: this runs on any thread, possibly mid-unwind,
+  // and must stay signal-ish simple so the message always lands before the
+  // abort that death tests match on.
+  std::fprintf(stderr,
+               "wfens lock-rank violation: acquiring rank %d at %s:%u while "
+               "holding rank %d locked at %s:%u%s\n",
+               rank, site.file_name(), site.line(), top.rank,
+               top.site.file_name(), top.site.line(),
+               rank == top.rank ? " (re-entrant acquisition of the same rank)"
+                                : "");
+  std::abort();
+}
+
+void push(int rank, const std::source_location& site) {
+  std::vector<Held>& stack = held_stack();
+  if (!stack.empty() && stack.back().rank >= rank) {
+    fail(rank, site, stack.back());
+  }
+  stack.push_back(Held{rank, site});
+}
+
+void pop(int rank) noexcept {
+  std::vector<Held>& stack = held_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].rank == rank) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Unlock of a rank never pushed: only reachable by misusing the raw
+  // Lockable interface; tolerate it (the std types would UB here instead).
+}
+
+}  // namespace wfe::support::lock_rank_detail
+
+#endif  // WFENS_LOCK_RANK_ACTIVE

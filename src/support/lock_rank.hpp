@@ -1,0 +1,230 @@
+// Lock ranking: a debug-build deadlock checker for WFEns' concurrent core.
+//
+// Every long-lived mutex in the runtime is wrapped in a RankedMutex<Rank>.
+// A thread may only acquire a mutex whose rank is STRICTLY GREATER than the
+// highest rank it already holds; acquiring downward (or re-acquiring the
+// same rank) is, somewhere in some schedule, a potential deadlock — so the
+// checker reports it deterministically on the very first occurrence, in any
+// schedule, long before the timing-dependent hang would reproduce. On a
+// violation the process prints both acquisition sites (the held lock's and
+// the offending one's) to stderr and aborts, which makes the failure
+// death-testable and unmissable in CI.
+//
+// The rank table (keep in sync with docs/ANALYSIS.md):
+//
+//   rank 10  kRankDtlChannel    dtl::CouplingChannel::mutex_ — held while
+//                               emitting obs spans/counters, so it must be
+//                               acquired before any obs rank.
+//   rank 15  kRankDtlStaging    dtl::MemoryStaging / dtl::FileStaging store
+//                               mutexes (leaf: no lock taken while held).
+//   rank 20  kRankExecPool      exec::ThreadPool scheduling state (leaf;
+//                               batch fns run with the pool unlocked).
+//   rank 25  kRankMetricsTrace  met::TraceRecorder append lock (leaf).
+//   rank 30  kRankObsRecorder   obs::Recorder event log. Never held while
+//                               touching the counter registry (emission
+//                               accumulates into the registry first).
+//   rank 40  kRankObsCounters   obs::CounterRegistry slots (leaf).
+//   rank 50  kRankRunLatch      runtime failure latch (NativeExecutor).
+//   rank 55  kRankRunOutputs    runtime per-analysis output slots (leaf).
+//
+// Build modes:
+//   * WFENS_LOCK_RANK defined (Debug / RelWithDebInfo / sanitizer trees by
+//     default, see the top-level CMakeLists): full checking. RankedMutex
+//     wraps std::mutex plus a thread-local stack of (rank, source site);
+//     RankGuard / RankLock capture their construction site so violation
+//     reports show real code locations, and RankedCv is a
+//     std::condition_variable_any that keeps the bookkeeping consistent
+//     across waits (each wait pops the rank on unlock, re-pushes on wake).
+//   * Otherwise (Release): RankedMutex<R> is an alias for std::mutex,
+//     RankGuard/RankLock are std::lock_guard/std::unique_lock and RankedCv
+//     is std::condition_variable — byte-for-byte the pre-checker types, so
+//     the checker costs nothing where it is compiled out.
+//
+// A TU can force the pass-through flavour with WFENS_LOCK_RANK_FORCE_OFF
+// (the release-mode unit test does); such a TU must not exchange ranked
+// types with checked TUs.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(WFENS_LOCK_RANK) && !defined(WFENS_LOCK_RANK_FORCE_OFF)
+#define WFENS_LOCK_RANK_ACTIVE 1
+#include <cstddef>
+#include <source_location>
+#include <vector>
+#endif
+
+namespace wfe::support {
+
+// The rank table. Gaps are deliberate: new mutexes slot in without
+// renumbering the world. See the header comment for what each guards.
+inline constexpr int kRankDtlChannel = 10;
+inline constexpr int kRankDtlStaging = 15;
+inline constexpr int kRankExecPool = 20;
+inline constexpr int kRankMetricsTrace = 25;
+inline constexpr int kRankObsRecorder = 30;
+inline constexpr int kRankObsCounters = 40;
+inline constexpr int kRankRunLatch = 50;
+inline constexpr int kRankRunOutputs = 55;
+
+#if defined(WFENS_LOCK_RANK_ACTIVE)
+
+inline constexpr bool kLockRankChecked = true;
+
+namespace lock_rank_detail {
+
+/// One acquisition a thread currently holds.
+struct Held {
+  int rank = 0;
+  std::source_location site;
+};
+
+/// The calling thread's held-lock stack, innermost acquisition last.
+std::vector<Held>& held_stack();
+
+/// Report a rank-order violation (acquiring `rank` at `site` while `top`
+/// is held) to stderr and abort. Never returns.
+[[noreturn]] void fail(int rank, const std::source_location& site,
+                       const Held& top);
+
+/// Record an acquisition; aborts via fail() unless `rank` is strictly
+/// above everything the thread already holds.
+void push(int rank, const std::source_location& site);
+
+/// Record a release. Out-of-stack-order unlocks are legal (std::unique_lock
+/// allows them), so this removes the innermost entry of `rank`.
+void pop(int rank) noexcept;
+
+}  // namespace lock_rank_detail
+
+/// std::mutex plus rank bookkeeping. Satisfies Lockable, so the std guards
+/// work with it — but prefer RankGuard/RankLock, whose default
+/// source_location argument captures the user's call site instead of the
+/// guts of <mutex>.
+template <int Rank>
+class RankedMutex {
+ public:
+  static constexpr int rank = Rank;
+
+  RankedMutex() = default;
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock(std::source_location site = std::source_location::current()) {
+    lock_rank_detail::push(Rank, site);
+    mutex_.lock();
+  }
+
+  bool try_lock(std::source_location site = std::source_location::current()) {
+    // Rank-checked like lock(): a try_lock that *would* have blocked on a
+    // lower rank is the same latent inversion, just racier.
+    if (!mutex_.try_lock()) return false;
+    lock_rank_detail::push(Rank, site);
+    return true;
+  }
+
+  void unlock() {
+    mutex_.unlock();
+    lock_rank_detail::pop(Rank);
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock (std::lock_guard shape) capturing the construction site.
+template <class Mutex>
+class [[nodiscard]] RankGuard {
+ public:
+  explicit RankGuard(
+      Mutex& mutex,
+      std::source_location site = std::source_location::current())
+      : mutex_(mutex) {
+    mutex_.lock(site);
+  }
+  ~RankGuard() { mutex_.unlock(); }
+
+  RankGuard(const RankGuard&) = delete;
+  RankGuard& operator=(const RankGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Movable owning lock (std::unique_lock shape) capturing the construction
+/// site; the site is re-used when a condition-variable wait re-locks, so a
+/// violation inside a wait still points at the waiting frame.
+template <class Mutex>
+class [[nodiscard]] RankLock {
+ public:
+  explicit RankLock(
+      Mutex& mutex,
+      std::source_location site = std::source_location::current())
+      : mutex_(&mutex), site_(site) {
+    mutex_->lock(site_);
+    owns_ = true;
+  }
+  ~RankLock() {
+    if (owns_) mutex_->unlock();
+  }
+
+  RankLock(RankLock&& other) noexcept
+      : mutex_(other.mutex_), owns_(other.owns_), site_(other.site_) {
+    other.mutex_ = nullptr;
+    other.owns_ = false;
+  }
+  RankLock& operator=(RankLock&& other) noexcept {
+    if (this != &other) {
+      if (owns_) mutex_->unlock();
+      mutex_ = other.mutex_;
+      owns_ = other.owns_;
+      site_ = other.site_;
+      other.mutex_ = nullptr;
+      other.owns_ = false;
+    }
+    return *this;
+  }
+  RankLock(const RankLock&) = delete;
+  RankLock& operator=(const RankLock&) = delete;
+
+  void lock() {
+    mutex_->lock(site_);
+    owns_ = true;
+  }
+  void unlock() {
+    mutex_->unlock();
+    owns_ = false;
+  }
+  bool owns_lock() const noexcept { return owns_; }
+
+ private:
+  Mutex* mutex_ = nullptr;
+  bool owns_ = false;
+  std::source_location site_;
+};
+
+/// Works with RankLock (any Lockable); waits unlock/relock through the
+/// ranked wrapper so the held-rank stack stays truthful across blocking.
+using RankedCv = std::condition_variable_any;
+
+#else  // !WFENS_LOCK_RANK_ACTIVE
+
+inline constexpr bool kLockRankChecked = false;
+
+// Pass-through flavour: the ranked names ARE the plain std types, so
+// Release builds pay nothing — no wrapper, no branch, no extra member.
+template <int Rank>
+using RankedMutex = std::mutex;
+
+template <class Mutex>
+using RankGuard = std::lock_guard<Mutex>;
+
+template <class Mutex>
+using RankLock = std::unique_lock<Mutex>;
+
+using RankedCv = std::condition_variable;
+
+#endif  // WFENS_LOCK_RANK_ACTIVE
+
+}  // namespace wfe::support

@@ -1,0 +1,274 @@
+// Self-tests of the wfens_lint rule engine (tools/wfens_lint) on fixture
+// sources: every rule fires on a seeded violation, stays quiet on clean
+// and annotated code, and the comment/string masker never lets prose
+// trigger identifier rules.
+#include "wfens_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace lint = wfe::lint;
+
+namespace {
+
+// -- banned identifiers ------------------------------------------------------
+
+TEST(LintBannedIdent, RandCallCaught) {
+  const auto fs = lint::lint_source("src/core/x.cpp", "int f(){return rand();}");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "banned-ident");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[0].file, "src/core/x.cpp");
+}
+
+TEST(LintBannedIdent, SrandCaught) {
+  const auto fs = lint::lint_source("src/core/x.cpp", "void f(){srand(7);}");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "banned-ident");
+}
+
+TEST(LintBannedIdent, RandomDeviceCaughtEvenUnqualified) {
+  const auto fs = lint::lint_source(
+      "src/sched/x.cpp", "#include <random>\nstd::random_device rd;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintBannedIdent, TimeCallCaught) {
+  const auto fs =
+      lint::lint_source("tools/x.cpp", "long t = time(nullptr);\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "banned-ident");
+}
+
+TEST(LintBannedIdent, IdentifiersContainingTimeNotCaught) {
+  const auto fs = lint::lint_source(
+      "src/dtl/x.cpp",
+      "double wait_time(int x);\n"       // declaration of OUR identifier
+      "double timeout(int);\n"
+      "int y = obj.time();\n"            // member call
+      "int z = ptr->time();\n");
+  // `wait_time(`/`timeout(` are different identifiers; `.time(`/`->time(`
+  // are member calls. Only a free time() call is the wall clock.
+  EXPECT_TRUE(fs.empty()) << fs[0].message;
+}
+
+TEST(LintBannedIdent, SystemClockBannedOutsideSupport) {
+  const std::string src = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_EQ(lint::lint_source("src/runtime/x.cpp", src).size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/support/x.cpp", src).empty());
+}
+
+TEST(LintBannedIdent, SteadyClockIsFine) {
+  const auto fs = lint::lint_source(
+      "src/obs/x.cpp", "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- std::function in the event core -----------------------------------------
+
+TEST(LintSimengine, StdFunctionBannedInSimengine) {
+  const std::string src =
+      "#include <functional>\n#pragma once\nstd::function<void()> cb;\n";
+  const auto fs = lint::lint_source("src/simengine/x.hpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "simengine-std-function");
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintSimengine, StdFunctionFineElsewhere) {
+  const auto fs = lint::lint_source(
+      "src/exec/x.cpp", "#include <functional>\nstd::function<void()> cb;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintSimengine, UnqualifiedFunctionIdentifierFine) {
+  const auto fs = lint::lint_source(
+      "src/simengine/x.cpp", "int function = 3;\nint y = function + 1;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- unordered containers in exporters ---------------------------------------
+
+TEST(LintUnordered, UseInExporterCaught) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "void g() { std::unordered_map<int, int> m; for (auto& kv : m) {} }\n";
+  const auto fs = lint::lint_source("src/obs/x.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
+  EXPECT_EQ(fs[0].line, 2);  // the include line is exempt
+}
+
+TEST(LintUnordered, TraceIoIsAnExporterTu) {
+  const auto fs = lint::lint_source("src/metrics/trace_io.cpp",
+                                    "std::unordered_set<int> s;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
+}
+
+TEST(LintUnordered, FineOutsideExporters) {
+  const auto fs = lint::lint_source("src/sched/x.cpp",
+                                    "std::unordered_map<int, int> memo;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- allow() escape hatch ----------------------------------------------------
+
+TEST(LintAllow, SameLineAnnotationSuppresses) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp",
+      "int f(){return rand();}  // wfens-lint: allow(banned-ident)\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintAllow, StandaloneAnnotationCoversNextLine) {
+  const auto fs = lint::lint_source(
+      "src/obs/x.cpp",
+      "// wfens-lint: allow(unordered-iter)\n"
+      "std::unordered_map<int, int> lookup_only;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintAllow, WrongRuleStillFires) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp",
+      "int f(){return rand();}  // wfens-lint: allow(unordered-iter)\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "banned-ident");
+}
+
+TEST(LintAllow, AnnotationDoesNotLeakPastNextLine) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp",
+      "// wfens-lint: allow(banned-ident)\n"
+      "int a = 0;\n"
+      "int f(){return rand();}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintAllow, CommaSeparatedRules) {
+  const auto fs = lint::lint_source(
+      "src/obs/x.cpp",
+      "// wfens-lint: allow(banned-ident, unordered-iter)\n"
+      "std::unordered_map<int, long> m; long t = time(nullptr);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- masking: comments, strings, raw strings ---------------------------------
+
+TEST(LintMask, CommentsAndStringsNeverFire) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp",
+      "// this comment mentions rand() and time() and system_clock\n"
+      "/* block: std::random_device */\n"
+      "const char* s = \"rand() time() unordered_map\";\n"
+      "const char* r = R\"(srand(1) system_clock)\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintMask, CodeAfterCommentOnSameLineStillScanned) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp", "/* note */ int f(){return rand();}\n");
+  ASSERT_EQ(fs.size(), 1u);
+}
+
+TEST(LintMask, DigitSeparatorsAreNotCharLiterals) {
+  // A buggy masker treats 1'000'000 as opening a char literal and blanks
+  // the rest of the file — hiding the rand() on the next line.
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp", "int big = 1'000'000;\nint f(){return rand();}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+// -- include hygiene ---------------------------------------------------------
+
+TEST(LintIncludes, PragmaOnceRequiredInHeaders) {
+  EXPECT_EQ(lint::lint_source("src/core/x.hpp", "int x;\n").size(), 1u);
+  EXPECT_TRUE(
+      lint::lint_source("src/core/x.hpp", "#pragma once\nint x;\n").empty());
+  // Not a header: no pragma needed.
+  EXPECT_TRUE(lint::lint_source("src/core/x.cpp", "int x;\n").empty());
+}
+
+TEST(LintIncludes, ParentRelativeIncludeCaught) {
+  const auto fs = lint::lint_source(
+      "src/core/x.cpp", "#include \"../obs/recorder.hpp\"\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "include-parent");
+}
+
+TEST(LintIncludes, IostreamInHeaderCaught) {
+  const auto fs = lint::lint_source(
+      "src/core/x.hpp", "#pragma once\n#include <iostream>\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "iostream-in-header");
+  // Fine in a TU.
+  EXPECT_TRUE(
+      lint::lint_source("src/core/x.cpp", "#include <iostream>\n").empty());
+}
+
+// -- classification / report / tree walker -----------------------------------
+
+TEST(LintClassify, PathsScopeTheRules) {
+  EXPECT_TRUE(lint::classify_path("src/support/rng.hpp").in_support);
+  EXPECT_TRUE(lint::classify_path("src/simengine/engine.cpp").in_simengine);
+  EXPECT_TRUE(lint::classify_path("src/obs/export.cpp").exporter);
+  EXPECT_TRUE(lint::classify_path("src/metrics/trace_io.cpp").exporter);
+  EXPECT_FALSE(lint::classify_path("src/metrics/trace.cpp").exporter);
+  EXPECT_TRUE(lint::classify_path("src/core/x.hpp").header);
+  EXPECT_FALSE(lint::classify_path("src/core/x.cpp").header);
+}
+
+TEST(LintReport, JsonShape) {
+  std::vector<lint::Finding> fs{
+      {"src/a.cpp", 3, "banned-ident", "rand() is \"bad\""}};
+  const std::string json = lint::findings_to_json(fs);
+  EXPECT_NE(json.find("\"file\":\"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"banned-ident\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"bad\\\""), std::string::npos);
+  EXPECT_EQ(lint::findings_to_json({}), "[]\n");
+}
+
+TEST(LintTree, WalksSrcAndToolsSortedAndScoped) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "wfens_lint_tree_fixture";
+  fs::remove_all(root);
+  fs::create_directories(root / "src/core");
+  fs::create_directories(root / "tools");
+  fs::create_directories(root / "bench");
+  const auto write = [](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+  write(root / "src/core/bad.cpp", "int f(){return rand();}\n");
+  write(root / "src/core/good.cpp", "int g(){return 4;}\n");
+  write(root / "tools/also_bad.cpp", "long t = time(nullptr);\n");
+  write(root / "bench/ignored.cpp", "int h(){return rand();}\n");  // not scanned
+
+  const auto findings = lint::lint_tree(root);
+  ASSERT_EQ(findings.size(), 2u);
+  // Sorted path order: src/... before tools/...
+  EXPECT_EQ(findings[0].file, "src/core/bad.cpp");
+  EXPECT_EQ(findings[1].file, "tools/also_bad.cpp");
+  fs::remove_all(root);
+}
+
+TEST(LintTree, TheRealTreeIsClean) {
+  // The same invariant the lint.tree ctest enforces, reachable from the
+  // test binary so a violation names the culprit in this suite too.
+  const std::filesystem::path root = WFENS_REPO_ROOT;
+  const auto findings = lint::lint_tree(root);
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Self-tests of the lock-rank deadlock checker (support/lock_rank.hpp),
+// checked flavour: in-order acquisition passes, rank inversion and
+// re-entrancy abort with both sites in the message (death tests), and the
+// bookkeeping stays truthful across condition-variable waits and
+// out-of-stack-order unlocks.
+#include "support/lock_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace ws = wfe::support;
+
+namespace {
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!ws::kLockRankChecked) {
+      GTEST_SKIP() << "lock-rank checking compiled out in this build";
+    }
+    // Death tests fork; with threads potentially alive in the parent the
+    // threadsafe style (re-exec instead of plain fork) is the safe one.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+using LockRankDeathTest = LockRankTest;
+
+TEST_F(LockRankTest, InOrderAcquisitionPasses) {
+  ws::RankedMutex<10> low;
+  ws::RankedMutex<30> high;
+  int witnessed = 0;
+  {
+    ws::RankGuard<ws::RankedMutex<10>> a(low);
+    ws::RankGuard<ws::RankedMutex<30>> b(high);
+    witnessed = 1;
+  }
+  // Release order does not matter; re-acquiring after full release is fine.
+  {
+    ws::RankGuard<ws::RankedMutex<30>> b(high);
+  }
+  {
+    ws::RankGuard<ws::RankedMutex<10>> a(low);
+  }
+  EXPECT_EQ(witnessed, 1);
+}
+
+TEST_F(LockRankDeathTest, RankInversionAborts) {
+  EXPECT_DEATH(
+      {
+        ws::RankedMutex<30> high;
+        ws::RankedMutex<10> low;
+        ws::RankGuard<ws::RankedMutex<30>> a(high);
+        ws::RankGuard<ws::RankedMutex<10>> b(low);  // 10 while holding 30
+      },
+      "lock-rank violation.*acquiring rank 10.*holding rank 30");
+}
+
+TEST_F(LockRankDeathTest, ViolationReportNamesBothSites) {
+  // Both acquisition sites must be real code locations (this file), not
+  // the guts of <mutex>.
+  EXPECT_DEATH(
+      {
+        ws::RankedMutex<20> outer;
+        ws::RankedMutex<10> inner;
+        ws::RankGuard<ws::RankedMutex<20>> a(outer);
+        ws::RankGuard<ws::RankedMutex<10>> b(inner);
+      },
+      "test_lock_rank.cpp.*test_lock_rank.cpp");
+}
+
+TEST_F(LockRankDeathTest, SameRankReentrancyAborts) {
+  EXPECT_DEATH(
+      {
+        ws::RankedMutex<25> a;
+        ws::RankedMutex<25> b;  // distinct mutex, same rank
+        ws::RankGuard<ws::RankedMutex<25>> ga(a);
+        ws::RankGuard<ws::RankedMutex<25>> gb(b);
+      },
+      "re-entrant acquisition of the same rank");
+}
+
+TEST_F(LockRankDeathTest, TryLockHonorsRanks) {
+  EXPECT_DEATH(
+      {
+        ws::RankedMutex<30> high;
+        ws::RankedMutex<10> low;
+        ws::RankGuard<ws::RankedMutex<30>> a(high);
+        if (low.try_lock()) low.unlock();
+      },
+      "lock-rank violation.*acquiring rank 10");
+}
+
+TEST_F(LockRankTest, RankLockUnlockPopsTheRank) {
+  ws::RankedMutex<30> high;
+  ws::RankedMutex<10> low;
+  ws::RankLock<ws::RankedMutex<30>> l(high);
+  ASSERT_TRUE(l.owns_lock());
+  l.unlock();
+  ASSERT_FALSE(l.owns_lock());
+  // With rank 30 released, taking rank 10 must pass — proving unlock()
+  // really popped the held-rank stack.
+  {
+    ws::RankGuard<ws::RankedMutex<10>> g(low);
+  }
+  l.lock();
+  EXPECT_TRUE(l.owns_lock());
+}
+
+TEST_F(LockRankTest, OutOfStackOrderUnlockTolerated) {
+  ws::RankedMutex<10> low;
+  ws::RankedMutex<20> mid;
+  ws::RankLock<ws::RankedMutex<10>> a(low);
+  ws::RankLock<ws::RankedMutex<20>> b(mid);
+  a.unlock();  // releases the *bottom* of the held stack first
+  // Thread still holds rank 20 only; acquiring rank 30 must pass.
+  ws::RankedMutex<30> high;
+  {
+    ws::RankGuard<ws::RankedMutex<30>> g(high);
+  }
+  b.unlock();
+}
+
+TEST_F(LockRankTest, CvWaitKeepsBookkeepingTruthful) {
+  // A worker waits on a ranked mutex; while it is parked inside the wait
+  // (lock released), the main thread takes the same mutex. After wake-up
+  // the worker re-holds the rank and can still lock upward. Any
+  // bookkeeping drift would abort one of the acquisitions.
+  ws::RankedMutex<10> m;
+  ws::RankedCv cv;
+  bool go = false;
+  std::atomic<bool> worker_done{false};
+
+  std::thread worker([&] {
+    ws::RankLock<ws::RankedMutex<10>> lock(m);
+    cv.wait(lock, [&] { return go; });
+    ws::RankedMutex<30> high;
+    {
+      ws::RankGuard<ws::RankedMutex<30>> g(high);  // 30 over held 10: fine
+    }
+    worker_done.store(true);
+  });
+
+  {
+    ws::RankLock<ws::RankedMutex<10>> lock(m);
+    go = true;
+  }
+  cv.notify_one();
+  worker.join();
+  EXPECT_TRUE(worker_done.load());
+}
+
+TEST_F(LockRankTest, RanksAreIndependentPerThread) {
+  // Thread A holding a high rank must not poison thread B's stack.
+  ws::RankedMutex<30> high;
+  ws::RankedMutex<10> low;
+  ws::RankGuard<ws::RankedMutex<30>> a(high);
+  std::thread other([&] {
+    ws::RankGuard<ws::RankedMutex<10>> b(low);  // fresh thread: fine
+  });
+  other.join();
+  SUCCEED();
+}
+
+TEST_F(LockRankTest, ProjectRankTableIsStrictlyOrdered) {
+  // The documented acquisition chains must be strictly increasing.
+  static_assert(ws::kRankDtlChannel < ws::kRankObsRecorder);
+  static_assert(ws::kRankDtlChannel < ws::kRankObsCounters);
+  static_assert(ws::kRankObsRecorder < ws::kRankObsCounters);
+  static_assert(ws::kRankDtlChannel < ws::kRankDtlStaging);
+  static_assert(ws::kRankExecPool < ws::kRankObsRecorder);
+  static_assert(ws::kRankMetricsTrace < ws::kRankObsRecorder);
+  static_assert(ws::kRankRunLatch < ws::kRankRunOutputs);
+  SUCCEED();
+}
+
+}  // namespace

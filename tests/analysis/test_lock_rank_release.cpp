@@ -1,0 +1,57 @@
+// Release pass-through flavour of support/lock_rank.hpp: this TU forces
+// WFENS_LOCK_RANK_FORCE_OFF (its own binary — the two flavours must not
+// mix in one program), and proves the ranked names compile down to the
+// plain std types with zero bookkeeping: same types, same sizes, and a
+// rank inversion passes silently because there is nothing left to check.
+#include "support/lock_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <type_traits>
+
+namespace ws = wfe::support;
+
+namespace {
+
+TEST(LockRankRelease, CheckingIsCompiledOut) {
+  EXPECT_FALSE(ws::kLockRankChecked);
+}
+
+TEST(LockRankRelease, RankedTypesAreThePlainStdTypes) {
+  static_assert(std::is_same_v<ws::RankedMutex<7>, std::mutex>);
+  static_assert(std::is_same_v<ws::RankedMutex<40>, std::mutex>);
+  static_assert(
+      std::is_same_v<ws::RankGuard<std::mutex>, std::lock_guard<std::mutex>>);
+  static_assert(
+      std::is_same_v<ws::RankLock<std::mutex>, std::unique_lock<std::mutex>>);
+  static_assert(std::is_same_v<ws::RankedCv, std::condition_variable>);
+  SUCCEED();
+}
+
+TEST(LockRankRelease, ZeroSizeOverhead) {
+  static_assert(sizeof(ws::RankedMutex<10>) == sizeof(std::mutex));
+  SUCCEED();
+}
+
+TEST(LockRankRelease, InversionPassesWithoutChecking) {
+  // The checked flavour aborts here; pass-through must sail straight
+  // through (two distinct mutexes, no real deadlock in this order).
+  ws::RankedMutex<30> high;
+  ws::RankedMutex<10> low;
+  ws::RankGuard<ws::RankedMutex<30>> a(high);
+  ws::RankGuard<ws::RankedMutex<10>> b(low);
+  SUCCEED();
+}
+
+TEST(LockRankRelease, CvWaitWorksWithPlainTypes) {
+  ws::RankedMutex<10> m;
+  ws::RankedCv cv;
+  bool ready = true;
+  ws::RankLock<ws::RankedMutex<10>> lock(m);
+  cv.wait(lock, [&] { return ready; });
+  SUCCEED();
+}
+
+}  // namespace

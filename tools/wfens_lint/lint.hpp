@@ -1,0 +1,100 @@
+// wfens_lint — the project's in-tree invariant scanner.
+//
+// WFEns' headline correctness claims (bit-identical replay, zero observer
+// effect, deterministic pick_winner) are properties of the *source*, not of
+// any one test run: a single stray rand() or an iteration over an
+// unordered_map in an exporter breaks them silently on the next platform.
+// This scanner mechanically enforces the invariants over src/ and tools/,
+// runs as a ctest (lint.tree) and as a CLI, and emits a machine-readable
+// findings report for CI.
+//
+// Rule catalogue (ids are what allow() annotations name; details in
+// docs/ANALYSIS.md):
+//
+//   banned-ident          rand/srand/random_device calls anywhere, time()
+//                         calls anywhere, std::chrono system_clock outside
+//                         src/support/. Deterministic code must draw time
+//                         and entropy from the engine or support/rng.
+//   simengine-std-function
+//                         std::function inside src/simengine/ — the event
+//                         core uses SmallFn; std::function reintroduces
+//                         per-callback heap traffic on the hot path.
+//   unordered-iter        any unordered_map/unordered_set use in an
+//                         exporter/trace-emitting TU (src/obs/,
+//                         src/metrics/trace_io.*): hash-order iteration
+//                         leaks into golden traces. #include lines are
+//                         exempt; lookup-only maps carry an allow().
+//   pragma-once           every header opens with #pragma once.
+//   include-parent        no #include "../..." — includes are rooted at
+//                         src/ so self-containment checks and tooling see
+//                         one canonical path per header.
+//   iostream-in-header    headers must not include <iostream> (global
+//                         stream objects drag static initializers into
+//                         every TU; stream in .cpp files only).
+//
+// Escape hatch: a comment `// wfens-lint: allow(rule-id)` (comma-separated
+// for several rules) suppresses findings of those rules on its own line,
+// or — when the comment stands alone on a line — on the following line.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wfe::lint {
+
+struct Finding {
+  std::string file;  ///< path as passed in (repo-relative for lint_tree)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// What a path is, for rule scoping. Derived from the repo-relative path
+/// with forward slashes (e.g. "src/obs/export.cpp").
+struct FileClass {
+  bool header = false;        ///< *.hpp
+  bool in_support = false;    ///< under src/support/
+  bool in_simengine = false;  ///< under src/simengine/
+  bool exporter = false;      ///< trace-emitting TU set (src/obs/,
+                              ///< src/metrics/trace_io.*)
+};
+
+FileClass classify_path(std::string_view relative_path);
+
+/// Lint one source text. `relative_path` scopes the rules and labels the
+/// findings; findings come back in line order.
+std::vector<Finding> lint_source(std::string_view relative_path,
+                                 std::string_view content);
+
+/// Lint every *.hpp / *.cpp under `repo_root`/src and `repo_root`/tools,
+/// in sorted path order. Throws wfe::lint errors as std::runtime_error on
+/// unreadable files.
+std::vector<Finding> lint_tree(const std::filesystem::path& repo_root);
+
+/// The findings as a JSON array (stable field order, sorted input order
+/// preserved) for CI consumption.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+namespace detail {
+
+/// Replace comment, string-literal and char-literal bytes with spaces
+/// (newlines kept) so rule matching only ever sees code. Handles //, block
+/// comments, escapes, and R"delim(...)delim" raw strings.
+std::string code_mask(std::string_view content);
+
+/// Per-line allow() annotations harvested from comments: allowed[rule]
+/// holds the 1-based lines on which that rule is suppressed (the comment's
+/// line, plus the next line for stand-alone annotation comments).
+struct AllowMap {
+  std::vector<std::pair<std::string, int>> entries;
+  bool allows(std::string_view rule, int line) const;
+};
+AllowMap collect_allows(std::string_view content);
+
+}  // namespace detail
+
+}  // namespace wfe::lint

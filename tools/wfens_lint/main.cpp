@@ -1,0 +1,81 @@
+// wfens_lint CLI — scan the tree (or explicit files) and report findings.
+//
+//   wfens_lint --root <repo>            lint <repo>/src and <repo>/tools
+//   wfens_lint --root <repo> --json F   also write the findings report to F
+//   wfens_lint --file <rel> < source    lint stdin as the given path
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error. The ctest
+// `lint.tree` runs the first form over the source tree.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wfens_lint --root <repo-root> [--json <out>]\n"
+               "       wfens_lint --file <relative-path>   (source on stdin)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root;
+  std::filesystem::path json_out;
+  std::string stdin_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--file" && i + 1 < argc) {
+      stdin_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (root.empty() == stdin_path.empty()) return usage();
+
+  std::vector<wfe::lint::Finding> findings;
+  try {
+    if (!stdin_path.empty()) {
+      std::stringstream buffer;
+      buffer << std::cin.rdbuf();
+      findings = wfe::lint::lint_source(stdin_path, buffer.str());
+    } else {
+      findings = wfe::lint::lint_tree(root);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wfens_lint: %s\n", e.what());
+    return 2;
+  }
+
+  for (const wfe::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "wfens_lint: cannot write %s\n",
+                   json_out.string().c_str());
+      return 2;
+    }
+    out << wfe::lint::findings_to_json(findings);
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "wfens_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "wfens_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}
