@@ -1,0 +1,57 @@
+#include "campaign.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "sched/batch_evaluator.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::bench {
+
+std::vector<CampaignUnit> campaign_units() {
+  std::vector<CampaignUnit> units;
+  units.push_back({"table2", "Table 2: one-analysis configurations",
+                   wl::paper_table2(), 37});
+  units.push_back({"table4", "Table 4: two-analysis configurations",
+                   wl::paper_table4(), 37});
+  units.push_back({"set1", "Figures 3-5/8: the C1.x sweep",
+                   wl::paper_set1(), 37});
+  return units;
+}
+
+std::vector<CampaignUnitResult> run_campaign(
+    const std::vector<CampaignUnit>& units, int threads,
+    sched::EvalCache* shared) {
+  std::vector<CampaignUnitResult> results;
+  results.reserve(units.size());
+  const auto platform = wl::cori_like_platform();
+  for (const CampaignUnit& unit : units) {
+    // One evaluator per unit: the local memo covers within-unit repeats,
+    // the shared store carries scores across units and processes.
+    sched::BatchEvaluator evaluator(platform, threads);
+    evaluator.attach_shared_cache(shared);
+
+    std::vector<rt::EnsembleSpec> specs;
+    specs.reserve(unit.configs.size());
+    for (const wl::NamedConfig& c : unit.configs) specs.push_back(c.spec);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto scores = evaluator.score_specs(specs, unit.probe_steps);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    CampaignUnitResult result;
+    result.unit = unit.name;
+    result.rows.reserve(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      result.rows.push_back({unit.configs[i].name, scores[i].feasible,
+                             scores[i].cached, scores[i].eval});
+    }
+    result.evaluations = evaluator.evaluations();
+    result.cache_hits = evaluator.cache_hits();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace wfe::bench

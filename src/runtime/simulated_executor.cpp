@@ -34,7 +34,12 @@ struct Replay {
   const EnsembleSpec& spec;
   plat::Cluster cluster;
   Engine engine;
-  met::TraceRecorder recorder;
+  /// Replay is single-threaded by construction (one engine, one clock), so
+  /// stages accumulate in a plain vector — no TraceRecorder mutex on the
+  /// per-stage hot path. Trace's constructor applies the same
+  /// (start, component) stable sort as TraceRecorder::take(), so the
+  /// resulting trace is bit-identical.
+  std::vector<met::StageRecord> records;
   Xoshiro256 rng;
   double jitter_sigma = 0.0;  ///< lognormal sigma; 0 = deterministic
 
@@ -56,6 +61,11 @@ struct Replay {
         rng(options.seed),
         traced(options.trace_obs && obs::enabled()) {
     engine.set_obs(traced);
+    // ~4 stages per simulation step + ~3 per analysis step; overshooting
+    // slightly keeps the record stream out of the allocator entirely.
+    std::size_t components = 0;
+    for (const MemberSpec& m : s.members) components += 1 + m.analyses.size();
+    records.reserve(components * (s.n_steps + 1) * 4);
     if (options.jitter_cv > 0.0) {
       // For lognormal noise, CV^2 = exp(sigma^2) - 1.
       jitter_sigma =
@@ -171,7 +181,8 @@ plat::StageCost ComponentFootprint::priced(Replay& rp) const {
 /// failure-semantics stages onto the shared resilience track. All
 /// timestamps are virtual seconds, so traced runs replay bit-identically.
 void record_stage(Replay& rp, const met::StageRecord& r) {
-  rp.recorder.record(r);
+  WFE_REQUIRE(r.end >= r.start, "a stage cannot end before it starts");
+  rp.records.push_back(r);
   if (!rp.traced) return;
   obs::span(r.component.str(), met::stage_mnemonic(r.kind), r.start, r.end);
   switch (r.kind) {
@@ -723,7 +734,7 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
   }
 
   ExecutionResult result;
-  result.trace = rp.recorder.take();
+  result.trace = met::Trace(std::move(rp.records));
   result.n_steps = spec.n_steps;
   result.events_processed = rp.engine.events_processed();
   result.failure_summary = std::move(rp.summary);

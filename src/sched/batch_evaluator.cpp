@@ -99,11 +99,20 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
   std::vector<std::size_t> miss;       // batch indices to simulate
   std::vector<std::size_t> dup_of(n);  // same-batch duplicate -> first index
   std::unordered_map<std::uint64_t, std::size_t> inflight;
+  CachedEval shared_entry;
   for (std::size_t i = 0; i < n; ++i) {
     dup_of[i] = i;
     if (const auto it = cache_.find(keys[i]); it != cache_.end()) {
       out[i] = it->second;
       out[i].cached = true;
+      ++cache_hits_;
+    } else if (shared_ && shared_->lookup(keys[i], &shared_entry)) {
+      // Second tier: scored by another evaluator (possibly another
+      // process, via EvalCache::load). Promote into the local memo so
+      // later batches skip the lock.
+      out[i] = {shared_entry.feasible, true, shared_entry.eval};
+      cache_.emplace(keys[i], BatchScore{shared_entry.feasible, false,
+                                         shared_entry.eval});
       ++cache_hits_;
     } else if (const auto in = inflight.find(keys[i]);
                in != inflight.end()) {
@@ -140,7 +149,10 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
   });
 
   // Sequential phase 2: memoize fresh scores, then resolve duplicates.
-  for (const std::size_t i : miss) cache_.emplace(keys[i], out[i]);
+  for (const std::size_t i : miss) {
+    cache_.emplace(keys[i], out[i]);
+    if (shared_) shared_->insert(keys[i], {out[i].feasible, out[i].eval});
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (dup_of[i] != i) {
       out[i] = out[dup_of[i]];

@@ -21,6 +21,7 @@
 #include "exec/thread_pool.hpp"
 #include "platform/spec.hpp"
 #include "sched/candidates.hpp"
+#include "sched/eval_cache.hpp"
 #include "sched/evaluator.hpp"
 
 namespace wfe::sched {
@@ -62,6 +63,16 @@ class BatchEvaluator {
   std::uint64_t events_processed() const;
   std::size_t cache_size() const { return cache_.size(); }
   int threads() const { return pool_.threads(); }
+
+  /// Attach a shared evaluation store (campaign runs pass
+  /// EvalCache::process()). Misses of the local memo consult it before
+  /// simulating and fresh scores are published back, so placements scored
+  /// by any evaluator — including one in a previous process, via
+  /// EvalCache::load — are never re-simulated. Pass nullptr to detach.
+  /// Keys are identical in both tiers, so attachment cannot change any
+  /// score, only where it is found.
+  void attach_shared_cache(EvalCache* shared) { shared_ = shared; }
+  EvalCache* shared_cache() const { return shared_; }
   const plat::PlatformSpec& platform() const {
     return evaluators_.front().platform();
   }
@@ -79,6 +90,7 @@ class BatchEvaluator {
   std::uint64_t platform_fp_ = 0;
   std::unordered_map<std::uint64_t, BatchScore> cache_;
   std::size_t cache_hits_ = 0;
+  EvalCache* shared_ = nullptr;  // optional second tier; not owned
 };
 
 }  // namespace wfe::sched

@@ -1,0 +1,128 @@
+#include "sched/eval_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::sched {
+
+namespace {
+
+constexpr const char* kMagic = "wfens-eval-cache";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+bool EvalCache::lookup(std::uint64_t key, CachedEval* out) const {
+  const support::RankGuard<Mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  ++hits_;
+  return true;
+}
+
+void EvalCache::insert(std::uint64_t key, const CachedEval& value) {
+  const support::RankGuard<Mutex> lock(mutex_);
+  entries_[key] = value;
+}
+
+std::size_t EvalCache::size() const {
+  const support::RankGuard<Mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t EvalCache::hits() const {
+  const support::RankGuard<Mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t EvalCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;  // no cache yet: cold start, not an error
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != kMagic || version != kVersion) {
+    throw SerializationError(
+        strprintf("%s: not a wfens-eval-cache v%d file", path.c_str(),
+                  kVersion));
+  }
+  std::size_t read = 0;
+  std::string line;
+  std::getline(in, line);  // consume the header's newline
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::uint64_t key = 0;
+    int feasible = 0;
+    CachedEval entry;
+    // %la scans the hex-float fields save() emits: exact round-trip with
+    // no decimal detour.
+    if (std::sscanf(line.c_str(),
+                    "%" SCNx64 " %d %la %la %la %d", &key, &feasible,
+                    &entry.eval.objective, &entry.eval.ensemble_makespan,
+                    &entry.eval.min_member_efficiency,
+                    &entry.eval.nodes_used) != 6) {
+      throw SerializationError(
+          strprintf("%s: malformed cache line: %s", path.c_str(),
+                    line.c_str()));
+    }
+    entry.feasible = feasible != 0;
+    {
+      const support::RankGuard<Mutex> lock(mutex_);
+      entries_[key] = entry;
+    }
+    ++read;
+  }
+  return read;
+}
+
+std::size_t EvalCache::save(const std::string& path) const {
+  std::ostringstream body;
+  std::size_t written = 0;
+  {
+    const support::RankGuard<Mutex> lock(mutex_);
+    body << kMagic << ' ' << kVersion << '\n';
+    for (const auto& [key, entry] : entries_) {
+      body << strprintf("%016" PRIx64 " %d %a %a %a %d\n", key,
+                        entry.feasible ? 1 : 0, entry.eval.objective,
+                        entry.eval.ensemble_makespan,
+                        entry.eval.min_member_efficiency,
+                        entry.eval.nodes_used);
+      ++written;
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw Error(strprintf("cannot write %s", tmp.c_str()));
+    out << body.str();
+    if (!out.flush()) {
+      throw Error(strprintf("short write to %s", tmp.c_str()));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error(strprintf("cannot move %s into place", tmp.c_str()));
+  }
+  return written;
+}
+
+std::string EvalCache::default_path() {
+  if (const char* env = std::getenv("WFENS_CACHE")) return env;
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.wfens_cache";
+  }
+  return ".wfens_cache";
+}
+
+EvalCache& EvalCache::process() {
+  static EvalCache instance;
+  return instance;
+}
+
+}  // namespace wfe::sched

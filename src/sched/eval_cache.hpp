@@ -1,0 +1,85 @@
+// EvalCache: a process-wide, optionally disk-persisted store of placement
+// evaluations.
+//
+// BatchEvaluator's memo-cache (PR 2) deduplicates within one evaluator's
+// lifetime. Campaign runs build many evaluators — one per figure/table
+// unit — and re-score overlapping (platform, placement, demand) probes
+// across units and across repeated campaign regenerations. EvalCache is
+// the shared tier behind those local memos: keys are the same FNV-1a
+// digests (platform fingerprint + probe steps + canonical placement +
+// demand digest, see batch_evaluator.cpp::memo_key), values are the
+// Evaluation plus the feasibility verdict.
+//
+// Persistence is a line-oriented text format ("wfens-eval-cache 1"), one
+// entry per line, written sorted by key via tmp+rename so concurrent
+// writers cannot tear the file and repeated saves of equal content are
+// byte-identical. Doubles round-trip through %.17g, so a reloaded entry
+// reproduces the in-memory score bit-for-bit. Invalidation is automatic:
+// any change to the platform, the cost-model constants, or the probe depth
+// changes the key, so stale entries are simply never looked up again (and
+// can be dropped by deleting the file).
+//
+// Thread safety: all operations take one leaf-ranked mutex
+// (support::kRankEvalCache); callers never hold it while simulating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sched/evaluator.hpp"
+#include "support/lock_rank.hpp"
+
+namespace wfe::sched {
+
+/// One cached scoring outcome. `feasible == false` records that the
+/// placement failed spec validation — remembering that is as valuable as
+/// remembering a score, since validation also costs a replay slot.
+struct CachedEval {
+  bool feasible = false;
+  Evaluation eval;
+};
+
+class EvalCache {
+ public:
+  EvalCache() = default;
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Look up `key`; copies the entry into `*out` and returns true on a hit.
+  bool lookup(std::uint64_t key, CachedEval* out) const;
+
+  /// Insert (or overwrite) an entry.
+  void insert(std::uint64_t key, const CachedEval& value);
+
+  std::size_t size() const;
+  /// Hits served since construction (lookup() returning true).
+  std::size_t hits() const;
+
+  /// Merge entries from a cache file into memory. Returns the number of
+  /// entries read; a missing file is an empty cache (returns 0). Throws
+  /// wfe::SerializationError on a malformed or wrong-version file.
+  std::size_t load(const std::string& path);
+
+  /// Write every entry to `path` (sorted by key, tmp+rename). Returns the
+  /// number of entries written. Throws wfe::Error when unwritable.
+  std::size_t save(const std::string& path) const;
+
+  /// Default on-disk location: $WFENS_CACHE if set, else $HOME/.wfens_cache,
+  /// else ".wfens_cache" in the working directory.
+  static std::string default_path();
+
+  /// The process-wide instance shared by campaign runs.
+  static EvalCache& process();
+
+ private:
+  using Mutex = support::RankedMutex<support::kRankEvalCache>;
+
+  mutable Mutex mutex_;
+  // std::map: iteration is key-sorted, which save() relies on for
+  // deterministic bytes.
+  std::map<std::uint64_t, CachedEval> entries_;
+  mutable std::size_t hits_ = 0;
+};
+
+}  // namespace wfe::sched

@@ -19,6 +19,9 @@
 //                               mutexes (leaf: no lock taken while held).
 //   rank 20  kRankExecPool      exec::ThreadPool scheduling state (leaf;
 //                               batch fns run with the pool unlocked).
+//   rank 22  kRankEvalCache     sched::EvalCache shared evaluation store
+//                               (leaf: lookups/inserts happen on scoring
+//                               threads with no other lock held).
 //   rank 25  kRankMetricsTrace  met::TraceRecorder append lock (leaf).
 //   rank 30  kRankObsRecorder   obs::Recorder event log. Never held while
 //                               touching the counter registry (emission
@@ -62,6 +65,7 @@ namespace wfe::support {
 inline constexpr int kRankDtlChannel = 10;
 inline constexpr int kRankDtlStaging = 15;
 inline constexpr int kRankExecPool = 20;
+inline constexpr int kRankEvalCache = 22;
 inline constexpr int kRankMetricsTrace = 25;
 inline constexpr int kRankObsRecorder = 30;
 inline constexpr int kRankObsCounters = 40;

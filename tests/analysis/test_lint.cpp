@@ -90,6 +90,41 @@ TEST(LintSimengine, UnqualifiedFunctionIdentifierFine) {
   EXPECT_TRUE(fs.empty());
 }
 
+// -- event queues outside the engine -----------------------------------------
+
+TEST(LintEventQueue, PriorityQueueBannedOutsideSimengine) {
+  const std::string src =
+      "#include <queue>\n"
+      "std::priority_queue<int> q;\n";
+  const auto fs = lint::lint_source("src/sched/x.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "event-queue-outside-simengine");
+  EXPECT_EQ(fs[0].line, 2);  // the include line is exempt
+}
+
+TEST(LintEventQueue, RawHeapAlgorithmsBannedOutsideSimengine) {
+  const std::string src =
+      "void f(std::vector<int>& v) {\n"
+      "  std::push_heap(v.begin(), v.end());\n"
+      "  std::pop_heap(v.begin(), v.end());\n"
+      "  std::make_heap(v.begin(), v.end());\n"
+      "  std::sort_heap(v.begin(), v.end());\n"
+      "}\n";
+  const auto fs = lint::lint_source("tools/x.cpp", src);
+  ASSERT_EQ(fs.size(), 4u);
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.rule, "event-queue-outside-simengine");
+  }
+}
+
+TEST(LintEventQueue, FineInsideSimengine) {
+  const auto fs = lint::lint_source(
+      "src/simengine/engine.cpp",
+      "void f(std::vector<int>& v) { std::push_heap(v.begin(), v.end()); }\n"
+      "std::priority_queue<int> q;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // -- unordered containers in exporters ---------------------------------------
 
 TEST(LintUnordered, UseInExporterCaught) {

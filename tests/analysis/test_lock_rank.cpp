@@ -171,6 +171,8 @@ TEST_F(LockRankTest, ProjectRankTableIsStrictlyOrdered) {
   static_assert(ws::kRankObsRecorder < ws::kRankObsCounters);
   static_assert(ws::kRankDtlChannel < ws::kRankDtlStaging);
   static_assert(ws::kRankExecPool < ws::kRankObsRecorder);
+  static_assert(ws::kRankExecPool < ws::kRankEvalCache);
+  static_assert(ws::kRankEvalCache < ws::kRankMetricsTrace);
   static_assert(ws::kRankMetricsTrace < ws::kRankObsRecorder);
   static_assert(ws::kRankRunLatch < ws::kRankRunOutputs);
   SUCCEED();

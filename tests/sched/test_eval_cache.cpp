@@ -1,0 +1,275 @@
+// EvalCache: the process-wide, disk-persistable evaluation store behind
+// BatchEvaluator's local memo (the campaign driver's cross-unit and
+// cross-run dedup tier).
+#include "sched/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/batch_evaluator.hpp"
+#include "sched/candidates.hpp"
+#include "support/error.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe::sched {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wfens_eval_cache_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+using EvalCacheFiles = TempDir;
+
+CachedEval sample(double objective) {
+  CachedEval e;
+  e.feasible = true;
+  e.eval.objective = objective;
+  e.eval.ensemble_makespan = objective * 2.0 + 0.125;
+  e.eval.min_member_efficiency = 0.7310585786300049;  // full-mantissa value
+  e.eval.nodes_used = 3;
+  return e;
+}
+
+TEST(EvalCache, LookupMissesOnEmptyAndHitsAfterInsert) {
+  EvalCache cache;
+  CachedEval out;
+  EXPECT_FALSE(cache.lookup(42, &out));
+  cache.insert(42, sample(1.5));
+  ASSERT_TRUE(cache.lookup(42, &out));
+  EXPECT_TRUE(out.feasible);
+  EXPECT_EQ(out.eval.objective, 1.5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(EvalCache, InsertOverwrites) {
+  EvalCache cache;
+  cache.insert(7, sample(1.0));
+  cache.insert(7, sample(2.0));
+  CachedEval out;
+  ASSERT_TRUE(cache.lookup(7, &out));
+  EXPECT_EQ(out.eval.objective, 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(EvalCacheFiles, SaveLoadRoundTripsBitExactly) {
+  EvalCache cache;
+  cache.insert(0x1234, sample(0.1));  // 0.1: not exactly representable
+  CachedEval infeasible;
+  infeasible.feasible = false;
+  cache.insert(0xffffffffffffffffull, infeasible);
+  EXPECT_EQ(cache.save(path("c")), 2u);
+
+  EvalCache loaded;
+  EXPECT_EQ(loaded.load(path("c")), 2u);
+  EXPECT_EQ(loaded.size(), 2u);
+  CachedEval out;
+  ASSERT_TRUE(loaded.lookup(0x1234, &out));
+  EXPECT_TRUE(out.feasible);
+  // Bit-exact doubles: the hex-float format must not lose mantissa bits.
+  EXPECT_EQ(out.eval.objective, 0.1);
+  EXPECT_EQ(out.eval.ensemble_makespan, 0.1 * 2.0 + 0.125);
+  EXPECT_EQ(out.eval.min_member_efficiency, 0.7310585786300049);
+  EXPECT_EQ(out.eval.nodes_used, 3);
+  ASSERT_TRUE(loaded.lookup(0xffffffffffffffffull, &out));
+  EXPECT_FALSE(out.feasible);
+}
+
+TEST_F(EvalCacheFiles, SavedBytesAreDeterministic) {
+  // Same entries inserted in different orders must serialize identically
+  // (sorted by key): campaign runs diff cache files across machines.
+  EvalCache a;
+  a.insert(3, sample(0.3));
+  a.insert(1, sample(0.1));
+  a.insert(2, sample(0.2));
+  EvalCache b;
+  b.insert(2, sample(0.2));
+  b.insert(3, sample(0.3));
+  b.insert(1, sample(0.1));
+  a.save(path("a"));
+  b.save(path("b"));
+  std::ifstream fa(path("a")), fb(path("b"));
+  const std::string ba((std::istreambuf_iterator<char>(fa)), {});
+  const std::string bb((std::istreambuf_iterator<char>(fb)), {});
+  EXPECT_EQ(ba, bb);
+  EXPECT_FALSE(ba.empty());
+}
+
+TEST_F(EvalCacheFiles, LoadMergesIntoExistingEntries) {
+  EvalCache first;
+  first.insert(1, sample(0.1));
+  first.save(path("c"));
+  EvalCache second;
+  second.insert(2, sample(0.2));
+  EXPECT_EQ(second.load(path("c")), 1u);
+  EXPECT_EQ(second.size(), 2u);
+  CachedEval out;
+  EXPECT_TRUE(second.lookup(1, &out));
+  EXPECT_TRUE(second.lookup(2, &out));
+}
+
+TEST_F(EvalCacheFiles, MissingFileLoadsAsEmpty) {
+  EvalCache cache;
+  EXPECT_EQ(cache.load(path("nonexistent")), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(EvalCacheFiles, RejectsForeignAndMalformedFiles) {
+  {
+    std::ofstream out(path("foreign"));
+    out << "not-a-cache 1\n";
+  }
+  {
+    std::ofstream out(path("torn"));
+    out << "wfens-eval-cache 1\ndeadbeef 1\n";  // truncated line
+  }
+  EvalCache cache;
+  EXPECT_THROW(cache.load(path("foreign")), SerializationError);
+  EXPECT_THROW(cache.load(path("torn")), SerializationError);
+}
+
+TEST_F(EvalCacheFiles, SaveLeavesNoTempFileBehind) {
+  EvalCache cache;
+  cache.insert(1, sample(0.5));
+  cache.save(path("c"));
+  EXPECT_TRUE(std::filesystem::exists(path("c")));
+  EXPECT_FALSE(std::filesystem::exists(path("c") + ".tmp"));
+}
+
+TEST(EvalCache, DefaultPathHonorsEnvOverride) {
+  // WFENS_CACHE wins over $HOME; restore the environment afterwards.
+  const char* old = std::getenv("WFENS_CACHE");
+  const std::string saved = old ? old : "";
+  ::setenv("WFENS_CACHE", "/tmp/custom.cache", 1);
+  EXPECT_EQ(EvalCache::default_path(), "/tmp/custom.cache");
+  if (old) {
+    ::setenv("WFENS_CACHE", saved.c_str(), 1);
+  } else {
+    ::unsetenv("WFENS_CACHE");
+  }
+  // Without the override the path is rooted somewhere stable, not empty.
+  EXPECT_FALSE(EvalCache::default_path().empty());
+}
+
+TEST(EvalCache, ConcurrentInsertLookupIsSafe) {
+  // The store is shared across scoring threads in a campaign; hammer it
+  // from several writers+readers (TSan covers this via the concurrency
+  // label).
+  EvalCache cache;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      CachedEval out;
+      for (int i = 0; i < 500; ++i) {
+        const auto key = static_cast<std::uint64_t>(t * 1000 + i);
+        cache.insert(key, sample(static_cast<double>(i)));
+        cache.lookup(key, &out);
+        cache.lookup(static_cast<std::uint64_t>(i), &out);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.size(), 2000u);
+}
+
+// ------------------------------------------------- BatchEvaluator two-tier
+
+TEST(EvalCacheBatch, WarmSharedCacheSkipsAllSimulations) {
+  const auto platform = wl::cori_like_platform();
+  const auto shape = EnsembleShape::paper_like(2, 1);
+  const auto assignments = enumerate_assignments(slot_count(shape), 3);
+
+  EvalCache shared;
+  BatchEvaluator cold(platform, /*threads=*/2);
+  cold.attach_shared_cache(&shared);
+  const auto first = cold.score_assignments(shape, assignments);
+  EXPECT_GT(cold.evaluations(), 0u);
+  // Every unique miss is published, including infeasible placements
+  // (cached without a simulation), so the store is at least as big as the
+  // simulation count.
+  EXPECT_GE(shared.size(), cold.evaluations());
+
+  // A fresh evaluator with the warm store must not simulate anything.
+  BatchEvaluator warm(platform, /*threads=*/2);
+  warm.attach_shared_cache(&shared);
+  const auto second = warm.score_assignments(shape, assignments);
+  EXPECT_EQ(warm.evaluations(), 0u);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].feasible, first[i].feasible);
+    EXPECT_EQ(second[i].eval.objective, first[i].eval.objective) << i;
+    EXPECT_TRUE(second[i].cached);
+  }
+}
+
+TEST(EvalCacheBatch, AttachmentDoesNotChangeScores) {
+  const auto platform = wl::cori_like_platform();
+  const auto shape = EnsembleShape::paper_like(2, 1);
+  const auto assignments = enumerate_assignments(slot_count(shape), 3);
+
+  BatchEvaluator plain(platform, /*threads=*/2);
+  const auto reference = plain.score_assignments(shape, assignments);
+
+  EvalCache shared;
+  BatchEvaluator attached(platform, /*threads=*/2);
+  attached.attach_shared_cache(&shared);
+  const auto scored = attached.score_assignments(shape, assignments);
+  ASSERT_EQ(scored.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(scored[i].feasible, reference[i].feasible);
+    EXPECT_EQ(scored[i].eval.objective, reference[i].eval.objective) << i;
+  }
+}
+
+TEST_F(EvalCacheFiles, PersistedCacheWarmsAFreshProcessStandIn) {
+  // Simulate a second campaign run: score, save, "restart" (new cache +
+  // new evaluator), load, score again — zero fresh simulations.
+  const auto platform = wl::cori_like_platform();
+  const auto shape = EnsembleShape::paper_like(1, 1);
+  const auto assignments = enumerate_assignments(slot_count(shape), 3);
+
+  {
+    EvalCache shared;
+    BatchEvaluator run1(platform, /*threads=*/1);
+    run1.attach_shared_cache(&shared);
+    (void)run1.score_assignments(shape, assignments);
+    EXPECT_GT(shared.size(), 0u);
+    shared.save(path("c"));
+  }
+  {
+    EvalCache shared;
+    EXPECT_GT(shared.load(path("c")), 0u);
+    BatchEvaluator run2(platform, /*threads=*/1);
+    run2.attach_shared_cache(&shared);
+    (void)run2.score_assignments(shape, assignments);
+    EXPECT_EQ(run2.evaluations(), 0u) << "disk-warmed cache must serve all";
+  }
+}
+
+}  // namespace
+}  // namespace wfe::sched

@@ -212,7 +212,8 @@ TEST(Engine, ClearThenRescheduleIsClean) {
 TEST(Engine, MassCancellationCompactsTheHeap) {
   // Regression for the lazy-deletion leak: cancelled far-future entries
   // used to sit in the queue until the clock reached them. Fault-injection
-  // kills events en masse, so the heap must stay proportional to pending().
+  // kills events en masse, so the queue's internal refs must stay
+  // proportional to pending().
   Engine e;
   std::vector<EventId> ids;
   for (int i = 0; i < 1000; ++i) {
@@ -220,15 +221,15 @@ TEST(Engine, MassCancellationCompactsTheHeap) {
   }
   for (const EventId id : ids) EXPECT_TRUE(e.cancel(id));
   EXPECT_EQ(e.pending(), 0u);
-  // Compaction collected the corpses down to the small-heap threshold — a
+  // The sweep collected the corpses down to the small-queue threshold — a
   // constant, not the 1000 entries the leak would have kept resident.
-  EXPECT_LT(e.queue_depth(), 64u);
+  EXPECT_LT(e.refs_held(), 64u);
   EXPECT_TRUE(e.empty());
 }
 
 TEST(Engine, QueueDepthStaysBoundedUnderChurn) {
-  // Steady schedule/cancel churn with a small live set: depth may lag
-  // pending() (lazy deletion) but must stay under the compaction bound.
+  // Steady schedule/cancel churn with a small live set: internal refs may
+  // lag pending() (lazy deletion) but must stay under the sweep bound.
   Engine e;
   std::vector<EventId> live;
   for (int round = 0; round < 200; ++round) {
@@ -237,9 +238,28 @@ TEST(Engine, QueueDepthStaysBoundedUnderChurn) {
       EXPECT_TRUE(e.cancel(live.front()));
       live.erase(live.begin());
     }
-    ASSERT_LE(e.queue_depth(), std::max<std::size_t>(64, 2 * e.pending()));
+    ASSERT_LE(e.refs_held(), std::max<std::size_t>(64, 2 * e.pending()));
   }
   EXPECT_EQ(e.pending(), live.size());
+}
+
+TEST(Engine, QueueDepthDropsImmediatelyOnCancel) {
+  // Regression: queue_depth() used to report internal queue entries, so a
+  // lazily-deleted event still counted toward the depth until the clock
+  // reached it. The depth is the *live* pending count and must drop the
+  // moment cancel() returns.
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(e.schedule_at(1e3 + i, [] {}));
+  }
+  EXPECT_EQ(e.queue_depth(), 100u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(e.cancel(ids[i]));
+    ASSERT_EQ(e.queue_depth(), 100u - i - 1);  // immediate, not lazy
+  }
+  EXPECT_EQ(e.queue_depth(), 0u);
+  EXPECT_TRUE(e.empty());
 }
 
 TEST(Engine, CancelDuringMassChurnKeepsOrdering) {

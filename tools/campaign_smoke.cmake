@@ -1,0 +1,33 @@
+# Campaign smoke test (ctest -R campaign.smoke).
+#
+# Runs wfens_campaign twice against a fresh cache file: the first pass must
+# simulate, the second must be served entirely from the persisted cache
+# (0 fresh simulations). Uses the smallest unit (set1) to stay quick.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(cache ${WORK_DIR}/cache)
+
+execute_process(
+  COMMAND ${CAMPAIGN_BIN} --units set1 --cache ${cache}
+          --out ${WORK_DIR}/campaign1.json
+  RESULT_VARIABLE rc1 OUTPUT_VARIABLE out1 ERROR_VARIABLE out1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "first campaign run failed (${rc1}):\n${out1}")
+endif()
+if(NOT out1 MATCHES "campaign total: [1-9][0-9]* fresh simulations")
+  message(FATAL_ERROR "first run should simulate:\n${out1}")
+endif()
+if(NOT EXISTS ${cache})
+  message(FATAL_ERROR "campaign did not persist its cache to ${cache}")
+endif()
+
+execute_process(
+  COMMAND ${CAMPAIGN_BIN} --units set1 --cache ${cache}
+          --out ${WORK_DIR}/campaign2.json
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2 ERROR_VARIABLE out2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "second campaign run failed (${rc2}):\n${out2}")
+endif()
+if(NOT out2 MATCHES "campaign total: 0 fresh simulations")
+  message(FATAL_ERROR "warm cache should serve everything:\n${out2}")
+endif()

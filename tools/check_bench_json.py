@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validate BENCH_engine.json against the schema the perf trajectory relies on.
+
+Usage: check_bench_json.py BENCH_engine.json
+
+Checks that every expected field is present with the right JSON type and
+that rates/counts are positive, so a refactor that drops a series (or emits
+NaN) fails the bench-smoke CI job instead of silently thinning the
+trajectory. Schema additions are fine; removals are not.
+"""
+import json
+import math
+import sys
+
+EXPECTED = {
+    "bench": str,
+    "queue_policy": str,
+    "mode": str,
+    "chain_events": int,
+    "chain_events_per_s": float,
+    "churn_cancellations": int,
+    "churn_cancels_per_s": float,
+    "cancel_heavy_events": int,
+    "cancel_heavy_events_per_s": float,
+    "mixed_horizon_events": int,
+    "mixed_horizon_events_per_s": float,
+    "replay_config": str,
+    "replay_count": int,
+    "replay_events": int,
+    "replay_events_per_s": float,
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_engine.json")
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if not isinstance(data, dict):
+        fail(f"{path}: top level must be an object")
+
+    for key, want in EXPECTED.items():
+        if key not in data:
+            fail(f"{path}: missing field {key!r}")
+        value = data[key]
+        if want is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{path}: {key!r} must be a number, got {value!r}")
+            if not math.isfinite(value) or value <= 0:
+                fail(f"{path}: {key!r} must be finite and positive, "
+                     f"got {value!r}")
+        elif want is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{path}: {key!r} must be an integer, got {value!r}")
+            if value <= 0:
+                fail(f"{path}: {key!r} must be positive, got {value!r}")
+        else:
+            if not isinstance(value, str) or not value:
+                fail(f"{path}: {key!r} must be a non-empty string, "
+                     f"got {value!r}")
+
+    if data["bench"] != "engine_throughput":
+        fail(f"{path}: bench must be 'engine_throughput'")
+    if data["mode"] not in ("full", "quick"):
+        fail(f"{path}: mode must be 'full' or 'quick', got {data['mode']!r}")
+
+    print(f"check_bench_json: OK ({path}: queue_policy={data['queue_policy']},"
+          f" mode={data['mode']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -282,6 +282,15 @@ void scan_identifiers(const RuleContext& ctx) {
       ctx.report(line, "simengine-std-function",
                  "std::function heap-allocates per callback; the event core "
                  "uses SmallFn");
+    } else if ((ident == "priority_queue" || ident == "push_heap" ||
+                ident == "pop_heap" || ident == "make_heap" ||
+                ident == "sort_heap") &&
+               !ctx.cls.in_simengine && !on_include_line(s, i)) {
+      ctx.report(line, "event-queue-outside-simengine",
+                 std::string(ident) +
+                     ": ad-hoc event queues fragment the schedule semantics "
+                     "(seq tie-break, cancellation); schedule through "
+                     "sim::Engine instead");
     } else if ((ident == "unordered_map" || ident == "unordered_set") &&
                ctx.cls.exporter && !on_include_line(s, i)) {
       ctx.report(line, "unordered-iter",

@@ -19,6 +19,13 @@
 //                         std::function inside src/simengine/ — the event
 //                         core uses SmallFn; std::function reintroduces
 //                         per-callback heap traffic on the hot path.
+//   event-queue-outside-simengine
+//                         std::priority_queue or the raw heap algorithms
+//                         (push_heap/pop_heap/make_heap/sort_heap) outside
+//                         src/simengine/ — sim::Engine is the single event
+//                         scheduler; ad-hoc queues would fork the ordering
+//                         semantics (seq tie-break, cancellation).
+//                         #include lines are exempt.
 //   unordered-iter        any unordered_map/unordered_set use in an
 //                         exporter/trace-emitting TU (src/obs/,
 //                         src/metrics/trace_io.*): hash-order iteration
