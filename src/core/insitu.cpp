@@ -28,6 +28,8 @@ const char* to_string(StageKind kind) {
       return "C";
     case StageKind::kRestart:
       return "X";
+    case StageKind::kMigrate:
+      return "M";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ enum class StageKind : std::uint8_t {
   kBackoff,     ///< B: retry backoff / node-repair wait before a re-attempt
   kCheckpoint,  ///< C: the simulation persists a restart checkpoint
   kRestart,     ///< X: a member re-enters its state machine from a checkpoint
+  kMigrate,     ///< M: a member re-homes onto surviving nodes after a death
 };
 
 const char* to_string(StageKind kind);

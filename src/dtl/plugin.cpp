@@ -8,6 +8,7 @@
 #include "dtl/serde.hpp"
 #include "obs/recorder.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/str.hpp"
 
 namespace wfe::dtl {
@@ -18,6 +19,37 @@ void FetchRetry::validate() const {
               "fetch backoff base must be finite and non-negative");
   WFE_REQUIRE(std::isfinite(backoff_cap_s) && backoff_cap_s >= backoff_base_s,
               "fetch backoff cap must be finite and at least the base");
+  WFE_REQUIRE(std::isfinite(jitter_frac) && jitter_frac >= 0.0 &&
+                  jitter_frac < 1.0,
+              "fetch backoff jitter fraction must be in [0, 1)");
+}
+
+double FetchRetry::backoff_delay(const ChunkKey& key, int attempt) const {
+  WFE_REQUIRE(attempt >= 2, "the first fetch attempt never backs off");
+  const double ladder =
+      std::min(backoff_base_s * std::pow(2.0, static_cast<double>(attempt - 2)),
+               backoff_cap_s);
+  if (jitter_frac <= 0.0) return ladder;
+  // Counter-based hash (no generator state) so the factor for a given
+  // (key, attempt) is independent of how many other fetches ran before.
+  Fnv1a h;
+  h.add(seed);
+  h.add(key.member_id);
+  h.add(key.step);
+  h.add(attempt);
+  const double unit =
+      (static_cast<double>(h.digest() >> 11) + 0.5) * 0x1.0p-53;
+  return ladder * (1.0 + jitter_frac * (2.0 * unit - 1.0));
+}
+
+std::vector<double> FetchRetry::schedule(const ChunkKey& key) const {
+  validate();
+  std::vector<double> delays;
+  delays.reserve(static_cast<std::size_t>(max_attempts - 1));
+  for (int attempt = 2; attempt <= max_attempts; ++attempt) {
+    delays.push_back(backoff_delay(key, attempt));
+  }
+  return delays;
 }
 
 void DtlPlugin::write(const Chunk& chunk) {
@@ -36,10 +68,7 @@ Chunk DtlPlugin::read(const ChunkKey& key, const FetchRetry& retry) const {
     if (auto bytes = backend_->get(key.str())) return deserialize(*bytes);
     if (attempt == retry.max_attempts) break;
     obs::add_counter("dtl.fetch_retries", obs::now_s(), 1.0);
-    const double backoff =
-        std::min(retry.backoff_base_s *
-                     std::pow(2.0, static_cast<double>(attempt - 1)),
-                 retry.backoff_cap_s);
+    const double backoff = retry.backoff_delay(key, attempt + 1);
     if (backoff > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     }

@@ -24,13 +24,33 @@ namespace wfe::dtl {
 /// RDMA, a restarted staging server repopulating). Instead of failing on
 /// the first miss or blocking forever, a fetch re-polls with exponential
 /// backoff and raises wfe::TimeoutError once the budget is exhausted.
+///
+/// The whole schedule is a pure function of (spec, key): the optional
+/// jitter is counter-hashed from `seed` and the chunk key — no generator
+/// state, no wall clock — so two reruns of the same fetch sleep the exact
+/// same sequence of delays regardless of thread interleaving.
 struct FetchRetry {
   int max_attempts = 1;           ///< 1 = historical single-shot behavior
   double backoff_base_s = 1e-4;   ///< sleep before attempt k: base * 2^(k-2)
-  double backoff_cap_s = 0.05;    ///< ceiling on one backoff sleep
+  double backoff_cap_s = 0.05;    ///< ceiling on one backoff sleep (pre-jitter)
+  /// Spread of the deterministic jitter: each delay is scaled by a factor
+  /// in [1 - jitter_frac, 1 + jitter_frac] hashed from (seed, key,
+  /// attempt). 0 (default) keeps the exact exponential ladder.
+  double jitter_frac = 0.0;
+  std::uint64_t seed = 0xfe7c4u;  ///< jitter stream seed
 
-  /// Throws wfe::InvalidArgument on a non-positive attempt budget or
-  /// negative/non-finite backoff bounds.
+  /// Delay slept before re-attempt `attempt` (2-based: the first attempt
+  /// never waits): min(base * 2^(attempt-2), cap) scaled by the key's
+  /// jitter factor. Pure — never consults the clock.
+  double backoff_delay(const ChunkKey& key, int attempt) const;
+
+  /// The full ladder of delays a fetch of `key` would sleep (one entry per
+  /// re-attempt, max_attempts - 1 entries). Bounded by
+  /// cap * (1 + jitter_frac) per entry.
+  std::vector<double> schedule(const ChunkKey& key) const;
+
+  /// Throws wfe::InvalidArgument on a non-positive attempt budget,
+  /// negative/non-finite backoff bounds, or jitter_frac outside [0, 1).
   void validate() const;
 };
 

@@ -1,0 +1,40 @@
+#include "dtl/replication.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+
+void ReplicationSpec::validate() const {
+  WFE_REQUIRE(factor >= 1, "replication factor must be at least 1");
+}
+
+std::vector<int> ReplicationSpec::replica_nodes(int primary,
+                                                int node_count) const {
+  validate();
+  WFE_REQUIRE(node_count > 0 && primary >= 0 && primary < node_count,
+              "replica primary node outside the platform");
+  const int copies = std::min(factor, node_count);
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(copies));
+  for (int k = 0; k < copies; ++k) {
+    nodes.push_back((primary + k) % node_count);
+  }
+  return nodes;
+}
+
+bool ReplicationSpec::survives(int dead_node, int primary,
+                               int node_count) const {
+  const std::vector<int> nodes = replica_nodes(primary, node_count);
+  return std::any_of(nodes.begin(), nodes.end(),
+                     [dead_node](int n) { return n != dead_node; });
+}
+
+int ReplicationSpec::extra_copies(int node_count) const {
+  validate();
+  WFE_REQUIRE(node_count > 0, "replication needs at least one node");
+  return std::min(factor, node_count) - 1;
+}
+
+}  // namespace wfe::dtl

@@ -1,0 +1,35 @@
+// Staged-chunk replication across node-level fault domains.
+//
+// DIMES-style staging keeps a chunk in the producer's node-local memory, so
+// a permanent node death takes every chunk staged there with it. A
+// ReplicationSpec mirrors each committed chunk onto `factor - 1` neighbour
+// nodes (ring layout: replica k lives on (primary + k) mod node_count), so
+// consumers can keep reading across a producer-node death — at the price of
+// extra staging transfers on every write, which the executor and scheduler
+// probes price identically (docs/RESILIENCE.md).
+#pragma once
+
+#include <vector>
+
+namespace wfe::dtl {
+
+struct ReplicationSpec {
+  /// Copies of each staged chunk, the primary included. 1 = no replication.
+  int factor = 1;
+
+  /// The nodes holding a chunk whose producer runs on `primary`, primary
+  /// first: min(factor, node_count) distinct nodes on the ring.
+  std::vector<int> replica_nodes(int primary, int node_count) const;
+
+  /// True when a chunk staged from `primary` is still readable after
+  /// `dead_node` permanently fails (some replica lives elsewhere).
+  bool survives(int dead_node, int primary, int node_count) const;
+
+  /// Extra off-node copies each write pays for: min(factor, node_count) - 1.
+  int extra_copies(int node_count) const;
+
+  /// Throws wfe::InvalidArgument unless factor >= 1.
+  void validate() const;
+};
+
+}  // namespace wfe::dtl

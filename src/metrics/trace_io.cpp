@@ -18,7 +18,7 @@ const StageKind kAllKinds[] = {
     StageKind::kSimulate, StageKind::kSimIdle,    StageKind::kWrite,
     StageKind::kRead,     StageKind::kAnalyze,    StageKind::kAnaIdle,
     StageKind::kFault,    StageKind::kBackoff,    StageKind::kCheckpoint,
-    StageKind::kRestart};
+    StageKind::kRestart,  StageKind::kMigrate};
 
 StageKind kind_from_mnemonic(std::string_view m) {
   for (StageKind k : kAllKinds) {
@@ -52,6 +52,8 @@ std::string_view stage_mnemonic(StageKind kind) {
       return "CP";
     case StageKind::kRestart:
       return "RS";
+    case StageKind::kMigrate:
+      return "MG";
   }
   throw SerializationError("WFET: unknown stage kind");
 }

@@ -1,0 +1,55 @@
+#include "platform/health.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::plat {
+
+const char* to_string(NodeHealth h) {
+  switch (h) {
+    case NodeHealth::kHealthy:
+      return "healthy";
+    case NodeHealth::kDegraded:
+      return "degraded";
+    case NodeHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+HealthTracker::HealthTracker(int node_count) {
+  WFE_REQUIRE(node_count > 0, "health tracker needs at least one node");
+  state_.assign(static_cast<std::size_t>(node_count), NodeHealth::kHealthy);
+}
+
+NodeHealth HealthTracker::state(int node) const {
+  WFE_REQUIRE(node >= 0 && node < node_count(),
+              "node index outside the health tracker's platform");
+  return state_[static_cast<std::size_t>(node)];
+}
+
+void HealthTracker::transition(double t_s, int node, NodeHealth to) {
+  WFE_REQUIRE(std::isfinite(t_s) && t_s >= 0.0,
+              "health transition time must be finite and non-negative");
+  const NodeHealth from = state(node);
+  if (from == to) return;
+  WFE_REQUIRE(from != NodeHealth::kDown,
+              "a permanently failed node cannot change health again");
+  state_[static_cast<std::size_t>(node)] = to;
+  if (to == NodeHealth::kDown) ++down_count_;
+  events_.push_back(HealthEvent{t_s, node, from, to});
+}
+
+std::vector<int> HealthTracker::up_nodes() const {
+  std::vector<int> up;
+  up.reserve(state_.size() - down_count_);
+  for (int n = 0; n < node_count(); ++n) {
+    if (state_[static_cast<std::size_t>(n)] != NodeHealth::kDown) {
+      up.push_back(n);
+    }
+  }
+  return up;
+}
+
+}  // namespace wfe::plat

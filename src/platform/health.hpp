@@ -1,0 +1,69 @@
+// Per-node health state machine for node-level fault domains.
+//
+// The platform spec describes the machine as provisioned; this module tracks
+// what each node is worth *right now* during one execution: fully healthy,
+// degraded (straggling compute or in a network-degradation window — still
+// correct, just slower), or permanently down (a whole-node fault domain has
+// failed: its cores are gone and any data staged only there is lost).
+//
+// The tracker is purely observational — transitions are recorded by the
+// executor as it discovers them from the deterministic FaultInjector
+// timeline, so a zero-fault run records nothing and stays bit-identical to a
+// build without this module. Schedulers consult `up_nodes()` when
+// re-planning around a death; tools replay `events()` for reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wfe::plat {
+
+/// Health of one node at a point in virtual time.
+enum class NodeHealth : std::uint8_t {
+  kHealthy = 0,   ///< full service
+  kDegraded = 1,  ///< straggling or network-degraded: slower, not wrong
+  kDown = 2,      ///< permanently failed; never returns to service
+};
+
+const char* to_string(NodeHealth h);
+
+/// One recorded transition of one node.
+struct HealthEvent {
+  double t_s = 0.0;  ///< virtual time of the transition
+  int node = 0;
+  NodeHealth from = NodeHealth::kHealthy;
+  NodeHealth to = NodeHealth::kHealthy;
+};
+
+/// Tracks the health of every node of one platform across one execution.
+class HealthTracker {
+ public:
+  explicit HealthTracker(int node_count);
+
+  int node_count() const { return static_cast<int>(state_.size()); }
+
+  NodeHealth state(int node) const;
+
+  /// Record a transition at virtual time `t_s`. Transitions out of kDown
+  /// are rejected (a dead fault domain never rejoins); recording the
+  /// current state again is a no-op (no event emitted). Events must be
+  /// recorded in non-decreasing time order per node.
+  void transition(double t_s, int node, NodeHealth to);
+
+  /// Nodes currently not kDown, ascending — the capacity a re-planner may
+  /// still place work on.
+  std::vector<int> up_nodes() const;
+
+  std::size_t down_count() const { return down_count_; }
+
+  /// All transitions recorded so far, in recording order.
+  const std::vector<HealthEvent>& events() const { return events_; }
+
+ private:
+  std::vector<NodeHealth> state_;
+  std::vector<HealthEvent> events_;
+  std::size_t down_count_ = 0;
+};
+
+}  // namespace wfe::plat

@@ -27,14 +27,43 @@ double to_unit(std::uint64_t h) {
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultSpec& spec, int node_count)
-    : spec_(spec) {
+    : spec_(spec),
+      net_(mix(spec.seed ^ 0x6e657477ULL)) {  // "netw" domain tag
   spec_.validate();
   WFE_REQUIRE(node_count > 0, "fault injector needs at least one node");
   nodes_.reserve(static_cast<std::size_t>(node_count));
+  stragglers_.reserve(static_cast<std::size_t>(node_count));
   for (int n = 0; n < node_count; ++n) {
     nodes_.emplace_back(
         mix(spec_.seed ^ mix(0xc4a54ULL + static_cast<std::uint64_t>(n))));
+    // Independent domain: enabling stragglers never perturbs the crash
+    // timeline of any node.
+    stragglers_.emplace_back(
+        mix(spec_.seed ^ mix(0x57a991ULL + static_cast<std::uint64_t>(n))));
   }
+  scripted_down_.assign(static_cast<std::size_t>(node_count), kNever);
+  for (const NodeDown& d : spec_.node_down) {
+    WFE_REQUIRE(d.node < node_count,
+                "scripted node death names a node outside the platform");
+    scripted_down_[static_cast<std::size_t>(d.node)] = d.at_s;
+  }
+}
+
+bool FaultInjector::WindowTimeline::covers(double t, double mtbf_s,
+                                           double duration_s) {
+  double horizon = windows.empty() ? 0.0 : windows.back().second;
+  while (windows.empty() || windows.back().first <= t) {
+    const double gap = -mtbf_s * std::log(1.0 - rng.uniform01());
+    const double start = horizon + gap;
+    windows.emplace_back(start, start + duration_s);
+    horizon = start + duration_s;
+  }
+  // Only the last window starting at or before t can cover it (windows are
+  // disjoint and sorted by construction).
+  const auto it = std::upper_bound(
+      windows.begin(), windows.end(), t,
+      [](double v, const std::pair<double, double>& w) { return v < w.first; });
+  return it != windows.begin() && t < (it - 1)->second;
 }
 
 void FaultInjector::ensure_until(int node, double t) {
@@ -54,21 +83,29 @@ void FaultInjector::ensure_until(int node, double t) {
 
 double FaultInjector::first_crash_in(const std::vector<int>& nodes, double t0,
                                      double t1) {
-  if (spec_.node_mtbf_s <= 0.0) return kNever;
+  if (spec_.node_mtbf_s <= 0.0 && spec_.node_down.empty()) return kNever;
   double first = kNever;
   for (int node : nodes) {
     WFE_REQUIRE(node >= 0 && node < static_cast<int>(nodes_.size()),
                 "node index outside the fault injector's platform");
-    ensure_until(node, t1);
-    const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
-    const auto it = std::upper_bound(crashes.begin(), crashes.end(), t0);
-    if (it != crashes.end() && *it < t1) first = std::min(first, *it);
+    const double down = down_at(node);
+    if (spec_.node_mtbf_s > 0.0) {
+      ensure_until(node, t1);
+      const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
+      const auto it = std::upper_bound(crashes.begin(), crashes.end(), t0);
+      // Transient crashes stop at the node's death: past it the node is not
+      // cycling through repair, it is gone (the death itself counts below).
+      if (it != crashes.end() && *it < t1 && *it < down) {
+        first = std::min(first, *it);
+      }
+    }
+    if (down > t0 && down < t1) first = std::min(first, down);
   }
   return first;
 }
 
 double FaultInjector::all_up_at(const std::vector<int>& nodes, double t) {
-  if (spec_.node_mtbf_s <= 0.0) return t;
+  if (spec_.node_mtbf_s <= 0.0 && spec_.node_down.empty()) return t;
   // Waiting out one node's repair window may run into another's; iterate to
   // a fixpoint (windows are finite and strictly advance, so this converges).
   double ready = t;
@@ -77,6 +114,10 @@ double FaultInjector::all_up_at(const std::vector<int>& nodes, double t) {
     for (int node : nodes) {
       WFE_REQUIRE(node >= 0 && node < static_cast<int>(nodes_.size()),
                   "node index outside the fault injector's platform");
+      // A permanently dead node never comes back up; waiting is futile and
+      // the caller must take the node-loss path instead.
+      if (down_at(node) <= pushed) return kNever;
+      if (spec_.node_mtbf_s <= 0.0) continue;
       ensure_until(node, pushed);
       const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
       // Only the latest crash at or before `pushed` can still cover it.
@@ -89,6 +130,80 @@ double FaultInjector::all_up_at(const std::vector<int>& nodes, double t) {
     if (pushed == ready) return ready;
     ready = pushed;
   }
+}
+
+double FaultInjector::down_at(int node) {
+  WFE_REQUIRE(node >= 0 && node < static_cast<int>(nodes_.size()),
+              "node index outside the fault injector's platform");
+  double down = scripted_down_[static_cast<std::size_t>(node)];
+  if (spec_.crashes_are_fatal && spec_.node_mtbf_s > 0.0) {
+    ensure_until(node, 0.0);
+    down = std::min(down,
+                    nodes_[static_cast<std::size_t>(node)].crashes.front());
+  }
+  return down;
+}
+
+std::optional<int> FaultInjector::first_down_node(const std::vector<int>& nodes,
+                                                  double t) {
+  std::optional<int> best;
+  double best_t = kNever;
+  for (int node : nodes) {
+    const double d = down_at(node);
+    if (d > t) continue;
+    if (!best || d < best_t || (d == best_t && node < *best)) {
+      best = node;
+      best_t = d;
+    }
+  }
+  return best;
+}
+
+double FaultInjector::first_down_time(const std::vector<int>& nodes) {
+  double first = kNever;
+  for (int node : nodes) first = std::min(first, down_at(node));
+  return first;
+}
+
+std::optional<int> FaultInjector::crash_node_at(const std::vector<int>& nodes,
+                                                double t) {
+  std::optional<int> found;
+  for (int node : nodes) {
+    const double down = down_at(node);
+    bool hit = down == t;
+    if (!hit && spec_.node_mtbf_s > 0.0) {
+      ensure_until(node, t);
+      const auto& crashes = nodes_[static_cast<std::size_t>(node)].crashes;
+      hit = t < down &&
+            std::binary_search(crashes.begin(), crashes.end(), t);
+    }
+    if (hit && (!found || node < *found)) found = node;
+  }
+  return found;
+}
+
+bool FaultInjector::straggling(int node, double t) {
+  if (spec_.straggler_mtbf_s <= 0.0) return false;
+  WFE_REQUIRE(node >= 0 && node < static_cast<int>(stragglers_.size()),
+              "node index outside the fault injector's platform");
+  return stragglers_[static_cast<std::size_t>(node)].covers(
+      t, spec_.straggler_mtbf_s, spec_.straggler_duration_s);
+}
+
+double FaultInjector::compute_slowdown(const std::vector<int>& nodes,
+                                       double t) {
+  if (spec_.straggler_mtbf_s <= 0.0) return 1.0;
+  for (int node : nodes) {
+    if (straggling(node, t)) return spec_.straggler_factor;
+  }
+  return 1.0;
+}
+
+double FaultInjector::transfer_slowdown(double t) {
+  if (spec_.net_degrade_mtbf_s <= 0.0) return 1.0;
+  return net_.covers(t, spec_.net_degrade_mtbf_s, spec_.net_degrade_duration_s)
+             ? spec_.net_degrade_factor
+             : 1.0;
 }
 
 std::optional<double> FaultInjector::transient_point(std::uint32_t member,

@@ -1,11 +1,17 @@
 // FaultInjector: the deterministic fault timeline behind a FaultSpec.
 //
-// Two independent randomness domains, both derived from FaultSpec::seed:
+// Four independent randomness domains, all derived from FaultSpec::seed:
 //
 //  * Node crashes — one lazily-extended Poisson schedule per node (its own
 //    SplitMix64-seeded xoshiro stream), so the crash timeline of node k is
 //    identical no matter which components run on it, in what order the
-//    executor queries it, or how far the replay gets.
+//    executor queries it, or how far the replay gets. With
+//    crashes_are_fatal, a node's first crash is a permanent death;
+//    scripted node_down entries add permanent deaths independent of MTBF.
+//  * Straggler windows — per-node degraded intervals (own streams) during
+//    which compute stages start `straggler_factor` slower.
+//  * Network-degradation windows — one platform-wide stream of intervals
+//    stretching staging transfers by `net_degrade_factor`.
 //  * Per-attempt stage verdicts — counter-based hashing of
 //    (member, analysis, step, kind, attempt): no generator state is
 //    consumed, so verdicts are independent of event ordering and two runs
@@ -36,11 +42,43 @@ class FaultInjector {
   /// Earliest crash of any node in `nodes` strictly inside (t0, t1), or
   /// +infinity if the interval is crash-free. A stage spanning [t0, t1)
   /// survives a crash at exactly t0 (it starts after the node came up).
+  /// Permanent deaths (scripted or fatal first crashes) count as crashes;
+  /// transient crashes at or after a node's death time do not.
   double first_crash_in(const std::vector<int>& nodes, double t0, double t1);
 
   /// Earliest time >= t at which every node in `nodes` is up (outside all
-  /// repair windows). Returns t itself when all nodes are healthy.
+  /// repair windows). Returns t itself when all nodes are healthy, and
+  /// kNever when a node in the set is (or becomes, while the others are
+  /// waited out) permanently dead — callers must branch to the node-loss
+  /// path instead of waiting.
   double all_up_at(const std::vector<int>& nodes, double t);
+
+  /// When `node` dies for good: the earlier of its scripted death and (with
+  /// crashes_are_fatal) its first Poisson crash; kNever otherwise.
+  double down_at(int node);
+
+  /// The node in `nodes` that is permanently dead at time `t` with the
+  /// earliest death (ties toward the lower node id), or nullopt when every
+  /// node in the set is still alive (possibly mid-repair) at `t`.
+  std::optional<int> first_down_node(const std::vector<int>& nodes, double t);
+
+  /// Earliest permanent death among `nodes` (kNever if none ever dies).
+  double first_down_time(const std::vector<int>& nodes);
+
+  /// Node whose crash instant equals `t` exactly (the node that killed a
+  /// stage scheduled to die at `t`), or nullopt. Ties toward lower ids.
+  std::optional<int> crash_node_at(const std::vector<int>& nodes, double t);
+
+  /// True while `node` sits inside one of its straggler windows at `t`.
+  bool straggling(int node, double t);
+
+  /// Max straggler factor over `nodes` at time `t` (1.0 when none is
+  /// degraded or the straggler model is off).
+  double compute_slowdown(const std::vector<int>& nodes, double t);
+
+  /// Transfer stretch factor at time `t` (1.0 outside degradation windows
+  /// or when the network model is off).
+  double transfer_slowdown(double t);
 
   /// Transient verdict for one stage attempt: nullopt if the attempt runs
   /// clean, otherwise the fraction in (0, 1) of the stage duration at which
@@ -64,8 +102,23 @@ class FaultInjector {
     explicit NodeTimeline(std::uint64_t seed) : rng(seed) {}
   };
 
+  /// Lazily-extended sequence of [start, end) degraded windows drawn from
+  /// an exponential inter-arrival process (its own stream).
+  struct WindowTimeline {
+    Xoshiro256 rng;
+    std::vector<std::pair<double, double>> windows;  ///< sorted, disjoint
+    explicit WindowTimeline(std::uint64_t seed) : rng(seed) {}
+
+    /// Extend until the last window starts strictly after t, then report
+    /// whether t falls inside a window.
+    bool covers(double t, double mtbf_s, double duration_s);
+  };
+
   FaultSpec spec_;
   std::vector<NodeTimeline> nodes_;
+  std::vector<double> scripted_down_;       ///< per node; kNever = never
+  std::vector<WindowTimeline> stragglers_;  ///< lazily built, per node
+  WindowTimeline net_;                      ///< platform-wide degradation
 };
 
 }  // namespace wfe::res

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/str.hpp"
 
 namespace wfe::res {
@@ -19,6 +20,63 @@ void FaultSpec::validate() const {
   WFE_REQUIRE(std::isfinite(transfer_loss_prob) && transfer_loss_prob >= 0.0 &&
                   transfer_loss_prob <= 1.0,
               "transfer loss probability must be in [0, 1]");
+  WFE_REQUIRE(std::isfinite(straggler_mtbf_s) && straggler_mtbf_s >= 0.0,
+              "straggler MTBF must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(straggler_duration_s) &&
+                  straggler_duration_s > 0.0,
+              "straggler window duration must be finite and positive");
+  WFE_REQUIRE(std::isfinite(straggler_factor) && straggler_factor >= 1.0,
+              "straggler slowdown factor must be finite and at least 1");
+  WFE_REQUIRE(std::isfinite(net_degrade_mtbf_s) && net_degrade_mtbf_s >= 0.0,
+              "network-degradation MTBF must be finite and non-negative");
+  WFE_REQUIRE(std::isfinite(net_degrade_duration_s) &&
+                  net_degrade_duration_s > 0.0,
+              "network-degradation window duration must be finite and "
+              "positive");
+  WFE_REQUIRE(std::isfinite(net_degrade_factor) && net_degrade_factor >= 1.0,
+              "network-degradation factor must be finite and at least 1");
+  for (std::size_t i = 0; i < node_down.size(); ++i) {
+    WFE_REQUIRE(node_down[i].node >= 0,
+                "scripted node death names a negative node");
+    WFE_REQUIRE(std::isfinite(node_down[i].at_s) && node_down[i].at_s >= 0.0,
+                "scripted node death time must be finite and non-negative");
+    for (std::size_t j = i + 1; j < node_down.size(); ++j) {
+      WFE_REQUIRE(node_down[i].node != node_down[j].node,
+                  "scripted node deaths must name distinct nodes");
+    }
+  }
+}
+
+FaultSpec FaultSpec::probe_view() const {
+  FaultSpec probe = *this;
+  probe.node_mtbf_s = 0.0;
+  probe.crashes_are_fatal = false;
+  probe.node_down.clear();
+  probe.stage_error_prob = 0.0;
+  probe.transfer_loss_prob = 0.0;
+  return probe;
+}
+
+std::uint64_t FaultSpec::digest() const {
+  Fnv1a h;
+  h.add(node_mtbf_s);
+  h.add(node_repair_s);
+  h.add(crashes_are_fatal);
+  h.add(node_down.size());
+  for (const NodeDown& d : node_down) {
+    h.add(d.node);
+    h.add(d.at_s);
+  }
+  h.add(straggler_mtbf_s);
+  h.add(straggler_duration_s);
+  h.add(straggler_factor);
+  h.add(net_degrade_mtbf_s);
+  h.add(net_degrade_duration_s);
+  h.add(net_degrade_factor);
+  h.add(stage_error_prob);
+  h.add(transfer_loss_prob);
+  h.add(seed);
+  return h.digest();
 }
 
 const char* to_string(RecoveryKind kind) {
@@ -39,8 +97,27 @@ double RecoveryPolicy::backoff(int attempt) const {
   return std::min(unbounded, backoff_cap_s);
 }
 
+std::uint64_t RecoveryPolicy::digest() const {
+  Fnv1a h;
+  h.add(static_cast<std::uint64_t>(kind));
+  h.add(max_retries);
+  h.add(backoff_base_s);
+  h.add(backoff_cap_s);
+  h.add(checkpoint_period);
+  h.add(checkpoint_cost_s);
+  h.add(restart_cost_s);
+  h.add(max_restarts);
+  h.add(chunk_replication);
+  h.add(migration_cost_s);
+  return h.digest();
+}
+
 void RecoveryPolicy::validate() const {
   WFE_REQUIRE(max_retries >= 0, "retry budget must be non-negative");
+  WFE_REQUIRE(chunk_replication >= 1,
+              "chunk replication factor must be at least 1");
+  WFE_REQUIRE(std::isfinite(migration_cost_s) && migration_cost_s >= 0.0,
+              "migration cost must be finite and non-negative");
   WFE_REQUIRE(std::isfinite(backoff_base_s) && backoff_base_s >= 0.0,
               "backoff base must be finite and non-negative");
   WFE_REQUIRE(std::isfinite(backoff_cap_s) && backoff_cap_s >= backoff_base_s,
@@ -55,7 +132,7 @@ void RecoveryPolicy::validate() const {
 }
 
 std::string FailureSummary::str() const {
-  return strprintf(
+  std::string out = strprintf(
       "faults=%llu (crash=%llu transient=%llu) retries=%llu checkpoints=%llu "
       "restarts=%llu recovered=%llu failed=%llu wasted=%.3f core-h",
       static_cast<unsigned long long>(faults_injected()),
@@ -66,6 +143,15 @@ std::string FailureSummary::str() const {
       static_cast<unsigned long long>(member_restarts),
       static_cast<unsigned long long>(members_recovered),
       static_cast<unsigned long long>(members_failed), wasted_core_hours());
+  if (node_downs > 0 || migrations > 0 || replans > 0 || chunks_lost > 0) {
+    out += strprintf(" node_downs=%llu migrations=%llu replans=%llu "
+                     "chunks_lost=%llu",
+                     static_cast<unsigned long long>(node_downs),
+                     static_cast<unsigned long long>(migrations),
+                     static_cast<unsigned long long>(replans),
+                     static_cast<unsigned long long>(chunks_lost));
+  }
+  return out;
 }
 
 }  // namespace wfe::res

@@ -19,6 +19,14 @@
 
 namespace wfe::res {
 
+/// One scripted permanent node failure: `node` dies for good at `at_s`
+/// seconds of virtual time (a node-level fault domain event, as opposed to
+/// the crash/repair availability cycle of node_mtbf_s).
+struct NodeDown {
+  int node = 0;
+  double at_s = 0.0;
+};
+
 /// What can go wrong, and how often. All-zero rates (the default) disable
 /// injection entirely; the executor then takes its pristine fast path and
 /// produces bit-identical traces to a build without this module.
@@ -30,6 +38,32 @@ struct FaultSpec {
 
   /// Downtime after a crash before the node serves compute again.
   double node_repair_s = 120.0;
+
+  /// When true, a node's FIRST Poisson crash is permanent: the node never
+  /// repairs, its staged chunks are lost (subject to replication), and
+  /// members touching it must migrate or fail. Models whole-node fault
+  /// domains driven by the same seeded MTBF process.
+  bool crashes_are_fatal = false;
+
+  /// Scripted permanent node deaths, independent of node_mtbf_s. Useful
+  /// for presets and tests that need a specific node to die at a specific
+  /// time. Entries must name distinct nodes.
+  std::vector<NodeDown> node_down;
+
+  /// Straggler model: per-node degraded windows with exponential
+  /// inter-arrival times of this mean (0 disables). While a window is
+  /// open, compute stages starting on the node run `straggler_factor`
+  /// slower.
+  double straggler_mtbf_s = 0.0;
+  double straggler_duration_s = 300.0;
+  double straggler_factor = 1.5;
+
+  /// Network-degradation model: platform-wide windows (exponential
+  /// inter-arrivals, 0 disables) during which staging transfers (W, R)
+  /// starting inside the window run `net_degrade_factor` slower.
+  double net_degrade_mtbf_s = 0.0;
+  double net_degrade_duration_s = 120.0;
+  double net_degrade_factor = 2.0;
 
   /// Probability that one compute-stage attempt (S or A) dies mid-stage
   /// from a transient error (bit flip, OOM kill, ...). Per attempt.
@@ -46,11 +80,30 @@ struct FaultSpec {
   /// True if any failure mode has a nonzero rate.
   bool enabled() const {
     return node_mtbf_s > 0.0 || stage_error_prob > 0.0 ||
-           transfer_loss_prob > 0.0;
+           transfer_loss_prob > 0.0 || !node_down.empty() ||
+           straggler_mtbf_s > 0.0 || net_degrade_mtbf_s > 0.0;
   }
 
+  /// True if whole nodes can die permanently (scripted deaths or fatal
+  /// MTBF crashes) — the failure mode that triggers migration.
+  bool node_faults() const {
+    return !node_down.empty() || (crashes_are_fatal && node_mtbf_s > 0.0);
+  }
+
+  /// The scenario as priced by scheduler probe replays: deterministic
+  /// capacity effects (stragglers, network degradation) stay; stochastic
+  /// crash/transient injection is stripped — the risk-aware objective
+  /// accounts for those analytically instead of sampling them.
+  FaultSpec probe_view() const;
+
+  /// FNV-1a digest of every field, for folding the active scenario into
+  /// evaluation cache keys (scores memoized under one scenario must never
+  /// serve another).
+  std::uint64_t digest() const;
+
   /// Throws wfe::InvalidArgument on negative/non-finite rates, a
-  /// probability outside [0, 1], or a non-positive repair time.
+  /// probability outside [0, 1], a non-positive repair time, out-of-order
+  /// straggler/degradation parameters, or duplicate node_down entries.
   void validate() const;
 };
 
@@ -80,11 +133,27 @@ struct RecoveryPolicy {
   double checkpoint_cost_s = 0.5;
   /// Restart overhead on top of any node-repair wait (kRestart stage).
   double restart_cost_s = 2.0;
-  /// Restarts per member before it is declared failed.
+  /// Restarts per member before it is declared failed. Migrations after a
+  /// node death draw from the same budget.
   int max_restarts = 8;
+
+  /// Staged-chunk replication factor: each shard of a committed chunk is
+  /// mirrored onto `chunk_replication - 1` neighbour nodes, so a permanent
+  /// producer-node death loses no staged data (at a per-write transfer
+  /// cost). 1 (default) = no replication: chunks staged on a dead node are
+  /// gone and the member re-produces them from its last checkpoint.
+  int chunk_replication = 1;
+
+  /// Fixed overhead of migrating a member's components to surviving nodes
+  /// after a node death (state transfer, re-registration with the DTL); a
+  /// kMigrate stage of this length plus restart_cost_s is recorded.
+  double migration_cost_s = 3.0;
 
   /// Backoff before retry attempt `attempt` (1-based): exponential, capped.
   double backoff(int attempt) const;
+
+  /// FNV-1a digest of every field, for evaluation cache keys.
+  std::uint64_t digest() const;
 
   /// Throws wfe::InvalidArgument on non-positive budgets/periods or
   /// negative/non-finite costs.
@@ -100,6 +169,10 @@ struct FailureSummary {
   std::uint64_t member_restarts = 0;      ///< checkpoint rollbacks performed
   std::uint64_t members_recovered = 0;    ///< members that saw >=1 fault yet finished
   std::uint64_t members_failed = 0;       ///< members abandoned before completion
+  std::uint64_t node_downs = 0;           ///< nodes observed permanently dead
+  std::uint64_t migrations = 0;           ///< member migrations performed
+  std::uint64_t replans = 0;              ///< online re-planning requests issued
+  std::uint64_t chunks_lost = 0;          ///< staged chunks lost to dead nodes
   double wasted_core_seconds = 0.0;       ///< cores x killed partial-stage time
   std::vector<std::uint32_t> failed_members;  ///< ids of abandoned members
 

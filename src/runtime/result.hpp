@@ -7,6 +7,7 @@
 #include "analysis/kernel.hpp"
 #include "metrics/trace.hpp"
 #include "obs/counters.hpp"
+#include "platform/health.hpp"
 #include "resilience/fault_spec.hpp"
 
 namespace wfe::rt {
@@ -35,6 +36,12 @@ struct ExecutionResult {
   /// when at least one member was abandoned — its trace and indicators
   /// then describe a partial execution.
   res::FailureSummary failure_summary;
+
+  /// Node health transitions observed during the replay, in discovery
+  /// order (empty when injection was disabled or no node ever left
+  /// kHealthy). Degradations are recorded when a stage first prices them;
+  /// deaths when a component first trips over them.
+  std::vector<plat::HealthEvent> health_events;
 
   /// Snapshot of the observability counter registry at the end of the run.
   /// Empty unless an obs::Session was active while the executor ran.

@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "analysis/cost_model.hpp"
+#include "dtl/replication.hpp"
 #include "dtl/serde.hpp"
 #include "mdsim/cost_model.hpp"
 #include "metrics/trace_io.hpp"
 #include "obs/recorder.hpp"
 #include "platform/cluster.hpp"
+#include "platform/health.hpp"
 #include "resilience/fault_injector.hpp"
 #include "simengine/engine.hpp"
 #include "support/error.hpp"
@@ -53,6 +55,14 @@ struct Replay {
   std::unique_ptr<res::FaultInjector> injector;
   res::RecoveryPolicy policy;
   res::FailureSummary summary;
+  /// Non-null exactly when `injector` is: node health as the replay
+  /// discovers it from the injector's deterministic timeline.
+  std::unique_ptr<plat::HealthTracker> health;
+  /// Staged-chunk replication; priced whenever factor > 1 even without an
+  /// injector so scheduler probes see the same write cost as fault runs.
+  dtl::ReplicationSpec replication;
+  /// Online re-planning hook (null = built-in migration policy).
+  MigrationPlanner migrate;
 
   Replay(const EnsembleSpec& s, const plat::PlatformSpec& platform,
          const SimulatedOptions& options)
@@ -71,20 +81,49 @@ struct Replay {
       jitter_sigma =
           std::sqrt(std::log1p(options.jitter_cv * options.jitter_cv));
     }
+    replication.factor = options.recovery.chunk_replication;
     if (options.faults.enabled()) {
       injector = std::make_unique<res::FaultInjector>(options.faults,
                                                       platform.node_count);
       policy = options.recovery;
+      health = std::make_unique<plat::HealthTracker>(platform.node_count);
+      migrate = options.migrate;
     }
   }
 
   bool faulty() const { return injector != nullptr; }
+
+  int node_count() const { return cluster.node_count(); }
 
   /// Mean-preserving multiplicative noise factor for one stage duration.
   double jitter() {
     if (jitter_sigma == 0.0) return 1.0;
     return std::exp(jitter_sigma * rng.normal() -
                     0.5 * jitter_sigma * jitter_sigma);
+  }
+
+  /// Straggler stretch for a compute stage starting now on `nodes`, with
+  /// the health bookkeeping that makes degradation observable. Exactly 1.0
+  /// (bit-safe to multiply by) while injection is off.
+  double compute_stretch(const std::vector<int>& nodes) {
+    if (!injector) return 1.0;
+    const double now = engine.now();
+    double f = 1.0;
+    for (int n : nodes) {
+      const bool slow = injector->straggling(n, now);
+      if (slow) f = injector->spec().straggler_factor;
+      if (health->state(n) != plat::NodeHealth::kDown) {
+        health->transition(now, n,
+                           slow ? plat::NodeHealth::kDegraded
+                                : plat::NodeHealth::kHealthy);
+      }
+    }
+    return f;
+  }
+
+  /// Network-degradation stretch for a transfer starting now.
+  double transfer_stretch() {
+    return injector ? injector->transfer_slowdown(engine.now()) : 1.0;
   }
 };
 
@@ -134,6 +173,18 @@ struct ComponentFootprint {
     }
   }
 
+  /// Move every partition resident on `from` to `to` (after a permanent
+  /// node death): release the dead residency, re-register on the survivor.
+  /// Partitions already elsewhere are untouched.
+  void rehome(Replay& rp, int from, int to) {
+    for (Partition& p : partitions) {
+      if (p.node != from) continue;
+      rp.cluster.end_compute(p.residency);
+      p.node = to;
+      p.residency = rp.cluster.begin_compute(to, p.profile, p.cores);
+    }
+  }
+
   int primary_node() const { return partitions.front().node; }
   std::size_t node_count() const { return partitions.size(); }
   bool resides_on(int node) const {
@@ -167,9 +218,24 @@ plat::StageCost ComponentFootprint::priced(Replay& rp) const {
   // allocation up), stretched by contention and the cross-node penalty.
   const plat::StageCost free_whole =
       plat::compute_stage_cost(rp.cluster.spec(), whole, total_cores, {});
+  // Count distinct nodes, not partitions: a migration may fold two
+  // partitions onto one survivor, and co-located partitions pay no
+  // cross-node penalty against each other. Equal to partitions.size() for
+  // any un-migrated footprint (node sets are distinct by construction).
+  std::size_t distinct_nodes = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (partitions[j].node == partitions[i].node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ++distinct_nodes;
+  }
   const double penalty =
       1.0 + rp.cluster.spec().interconnect.cross_node_compute_penalty *
-                static_cast<double>(partitions.size() - 1);
+                static_cast<double>(distinct_nodes - 1);
   total.slowdown = worst_slowdown * penalty;
   total.seconds = free_whole.seconds * total.slowdown;
   return total;
@@ -207,6 +273,9 @@ void record_stage(Replay& rp, const met::StageRecord& r) {
       break;
     case StageKind::kRestart:
       obs::span("resilience", "restart", r.start, r.end);
+      break;
+    case StageKind::kMigrate:
+      obs::span("resilience", "migrate", r.start, r.end);
       break;
     default:
       break;
@@ -291,13 +360,21 @@ struct MemberRun {
   }
 
   /// DIMES-style distributed write: each simulation partition publishes
-  /// its shard into node-local memory, in parallel.
+  /// its shard into node-local memory, in parallel. With replication the
+  /// shard is additionally pushed to its ring neighbours — the transfer
+  /// cost of surviving a producer-node death.
   double write_time(Replay& rp) const {
     const double shard = chunk_bytes / static_cast<double>(sim.node_count());
     double w = 0.0;
     for (const auto& p : sim.partitions) {
       w = std::max(w, rp.cluster.spec().staging.write_overhead_s +
                           rp.cluster.transfer_time(p.node, p.node, shard));
+      if (rp.replication.factor > 1) {
+        for (int dst : rp.replication.replica_nodes(p.node, rp.node_count())) {
+          w = std::max(w, rp.cluster.spec().staging.write_overhead_s +
+                              rp.cluster.transfer_time(p.node, dst, shard));
+        }
+      }
     }
     return w;
   }
@@ -330,6 +407,7 @@ struct MemberRun {
   // -- recovery entry points (fault mode only) ----------------------------
   void kill_all_in_flight(Replay& rp);
   void restart_from_checkpoint(Replay& rp);
+  void handle_node_loss(Replay& rp);
   void fail(Replay& rp);
 };
 
@@ -360,8 +438,13 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
   if (se.member->failed) return;
   const double t0 = rp.engine.now();
 
-  // A node mid-repair defers the attempt until the whole node set is up.
+  // A node mid-repair defers the attempt until the whole node set is up; a
+  // permanently dead node makes waiting futile — migrate instead.
   const double up = rp.injector->all_up_at(se.nodes, t0);
+  if (up == res::FaultInjector::kNever) {
+    se.member->handle_node_loss(rp);
+    return;
+  }
   if (up > t0) {
     se.fl = InFlight{true, {}, StageKind::kBackoff, step, t0,
                      up - t0,  counters, attempt, done};
@@ -443,6 +526,14 @@ void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
   }
   se.member->faulted = true;
 
+  // A crash kill at a node's death instant is a whole-node fault-domain
+  // loss, not a transient availability gap: route to migration instead of
+  // the per-stage policy.
+  if (is_crash && rp.injector->first_down_node(se.nodes, now).has_value()) {
+    se.member->handle_node_loss(rp);
+    return;
+  }
+
   switch (rp.policy.kind) {
     case res::RecoveryKind::kRetry: {
       if (fl.attempt > rp.policy.max_retries) {
@@ -487,13 +578,17 @@ void MemberRun::restart_from_checkpoint(Replay& rp) {
     fail(rp);
     return;
   }
+  const double now = rp.engine.now();
+  const double up = rp.injector->all_up_at(union_nodes, now);
+  if (up == res::FaultInjector::kNever) {
+    handle_node_loss(rp);
+    return;
+  }
   ++restarts;
   ++rp.summary.member_restarts;
   kill_all_in_flight(rp);
 
-  const double now = rp.engine.now();
-  const double resume =
-      rp.injector->all_up_at(union_nodes, now) + rp.policy.restart_cost_s;
+  const double resume = up + rp.policy.restart_cost_s;
   record_stage(rp,
                {sim_id, checkpoint_step, StageKind::kRestart, now, resume, {}});
   if (rp.traced) obs::add_counter("res.restarts", now, 1.0);
@@ -530,11 +625,164 @@ void MemberRun::fail(Replay& rp) {
   }
 }
 
+/// A node in this member's set died permanently: record the fault-domain
+/// loss, ask the re-planner (or the built-in policy) for a new home among
+/// the survivors, account staged chunks lost with the dead node, and resume
+/// through the checkpoint-restart tail behind a kMigrate stage. Migrations
+/// draw from the same budget as restarts.
+void MemberRun::handle_node_loss(Replay& rp) {
+  if (failed) return;
+  const double now = rp.engine.now();
+  std::vector<int> dead;
+  for (int n : union_nodes) {
+    if (rp.injector->down_at(n) <= now) dead.push_back(n);
+  }
+  // Another component of this member already migrated us this instant.
+  if (dead.empty()) return;
+  faulted = true;
+
+  for (int n : dead) {
+    if (rp.health->state(n) == plat::NodeHealth::kDown) continue;
+    rp.health->transition(now, n, plat::NodeHealth::kDown);
+    ++rp.summary.node_downs;
+    if (rp.traced) {
+      obs::instant("resilience", "node_down", now);
+      obs::add_counter("res.node_downs", now, 1.0);
+    }
+  }
+
+  if (restarts >= rp.policy.max_restarts) {
+    fail(rp);
+    return;
+  }
+  // Survivors across the whole platform. Mid-repair nodes count: the next
+  // attempt on one simply waits the repair window out.
+  std::vector<int> up;
+  for (int n = 0; n < rp.node_count(); ++n) {
+    if (rp.injector->down_at(n) > now) up.push_back(n);
+  }
+  if (up.empty()) {
+    fail(rp);
+    return;
+  }
+
+  // Staged-chunk survival, judged against the pre-migration layout: the
+  // shard on a dead partition is gone unless some ring replica is alive.
+  const bool sim_hit = std::any_of(dead.begin(), dead.end(),
+                                   [&](int d) { return sim.resides_on(d); });
+  bool chunks_survive = true;
+  if (sim_hit) {
+    for (const auto& p : sim.partitions) {
+      bool shard_ok = false;
+      for (int r : rp.replication.replica_nodes(p.node, rp.node_count())) {
+        if (rp.injector->down_at(r) > now) {
+          shard_ok = true;
+          break;
+        }
+      }
+      if (!shard_ok) {
+        chunks_survive = false;
+        break;
+      }
+    }
+  }
+
+  ++restarts;
+  ++rp.summary.migrations;
+
+  for (int d : dead) {
+    int target = -1;
+    if (rp.migrate) {
+      ++rp.summary.replans;
+      if (rp.traced) {
+        obs::instant("sched", "replan", now);
+        obs::add_counter("sched.replans", now, 1.0);
+      }
+      target =
+          rp.migrate(MigrationRequest{sim_id.member, d, now, union_nodes, up});
+    }
+    if (target < 0) {
+      // Built-in policy: least-loaded survivor (by active cores),
+      // preferring nodes outside the member's own set; ties to lower ids.
+      int best = -1;
+      int best_load = 0;
+      bool best_outside = false;
+      for (int n : up) {
+        const bool outside = std::find(union_nodes.begin(), union_nodes.end(),
+                                       n) == union_nodes.end();
+        const int load = rp.cluster.active_cores(n);
+        if (best < 0 || (outside && !best_outside) ||
+            (outside == best_outside && load < best_load)) {
+          best = n;
+          best_load = load;
+          best_outside = outside;
+        }
+      }
+      target = best;
+    }
+    WFE_REQUIRE(std::find(up.begin(), up.end(), target) != up.end(),
+                "migration target must be a surviving node");
+    sim.rehome(rp, d, target);
+    for (AnalysisRun& a : analyses) a.footprint.rehome(rp, d, target);
+    std::replace(union_nodes.begin(), union_nodes.end(), d, target);
+  }
+  std::sort(union_nodes.begin(), union_nodes.end());
+  union_nodes.erase(std::unique(union_nodes.begin(), union_nodes.end()),
+                    union_nodes.end());
+  sim_sx.nodes = sim.node_list();
+  for (AnalysisRun& a : analyses) a.sx.nodes = a.footprint.node_list();
+
+  std::int64_t drained = committed;
+  for (std::int64_t c : consumed) drained = std::min(drained, c);
+  if (sim_hit && !chunks_survive && committed > drained) {
+    const auto lost = static_cast<std::uint64_t>(committed - drained);
+    rp.summary.chunks_lost += lost;
+    if (rp.traced) {
+      obs::add_counter("res.chunks_lost", now, static_cast<double>(lost));
+    }
+  }
+
+  kill_all_in_flight(rp);
+
+  // Losing a sim partition loses the simulation state: roll back to the
+  // checkpoint. Lost staged chunks additionally pull the target back to
+  // the newest checkpoint no later than the earliest lost chunk, so
+  // stranded readers get their steps re-produced (the retained-checkpoint
+  // window is bounded by the staging-buffer capacity). With replication
+  // the staged data survives and the rollback re-commits idempotently.
+  if (sim_hit) {
+    std::uint64_t target = checkpoint_step;
+    if (!chunks_survive) {
+      target = std::min(target, static_cast<std::uint64_t>(drained + 1));
+    }
+    if (sim_step < rp.spec.n_steps || !chunks_survive) {
+      sim_step = target;
+      committed = static_cast<std::int64_t>(target) - 1;
+      checkpoint_step = std::min(checkpoint_step, target);
+    }
+  }
+  sim_blocked = false;
+  for (AnalysisRun& a : analyses) a.waiting = false;
+
+  const double resume =
+      now + rp.policy.migration_cost_s + rp.policy.restart_cost_s;
+  record_stage(rp, {sim_id, sim_step, StageKind::kMigrate, now, resume, {}});
+  if (rp.traced) obs::add_counter("res.migrations", now, 1.0);
+  rp.engine.schedule_at(resume, [this, &rp] {
+    if (failed) return;
+    if (sim_step < rp.spec.n_steps) start_sim_step(rp);
+    for (AnalysisRun& a : analyses) {
+      if (a.next_step < rp.spec.n_steps) a.try_read(rp);
+    }
+  });
+}
+
 void MemberRun::start_sim_step(Replay& rp) {
   // Residency-based contention: price against the other components that
   // live on these nodes for the whole run.
   plat::StageCost cost = sim.priced(rp);
-  const double factor = rp.jitter();
+  double factor = rp.jitter();
+  factor *= rp.compute_stretch(sim_sx.nodes);  // straggling nodes run slower
   cost.seconds *= factor;
   cost.counters.cycles *= factor;  // time noise shows up as cycle noise
   exec_stage(rp, sim_sx, sim_step, StageKind::kSimulate, cost.seconds,
@@ -553,7 +801,8 @@ void MemberRun::after_sim_compute(Replay& rp) {
 void MemberRun::start_write(Replay& rp) {
   const double now = rp.engine.now();
   record_stage(rp, {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
-  const double w = write_time(rp) * rp.jitter();
+  double w = write_time(rp) * rp.jitter();
+  w *= rp.transfer_stretch();  // network-degradation windows stretch staging
   exec_stage(rp, sim_sx, sim_step, StageKind::kWrite, w, {},
              [this, &rp] { commit(rp); });
 }
@@ -633,12 +882,14 @@ void AnalysisRun::start_read(Replay& rp) {
   // Fetch the chunk from the producer's node(s) (data locality:
   // co-located partitions pay memory copies, remote ones network
   // transfers).
-  const double r = member->read_time(rp, footprint) * rp.jitter();
+  double r = member->read_time(rp, footprint) * rp.jitter();
+  r *= rp.transfer_stretch();
   exec_stage(rp, sx, next_step, StageKind::kRead, r, {}, [this, &rp] {
     member->on_read_done(rp, id.analysis, next_step);
     // Analyze.
     plat::StageCost cost = footprint.priced(rp);
-    const double factor = rp.jitter();
+    double factor = rp.jitter();
+    factor *= rp.compute_stretch(sx.nodes);
     cost.seconds *= factor;
     cost.counters.cycles *= factor;
     exec_stage(rp, sx, next_step, StageKind::kAnalyze, cost.seconds,
@@ -738,6 +989,7 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
   result.n_steps = spec.n_steps;
   result.events_processed = rp.engine.events_processed();
   result.failure_summary = std::move(rp.summary);
+  if (rp.health) result.health_events = rp.health->events();
   if (rp.traced) {
     if (obs::Recorder* rec = obs::current()) {
       const double t_end = rp.engine.now();

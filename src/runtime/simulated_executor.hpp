@@ -19,12 +19,34 @@
 // Zero-length idle intervals are recorded so every step carries all stages.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "platform/spec.hpp"
 #include "resilience/fault_spec.hpp"
 #include "runtime/result.hpp"
 #include "runtime/spec.hpp"
 
 namespace wfe::rt {
+
+/// One online re-planning request: a node died permanently and `member`'s
+/// components on it need a new home among the survivors.
+struct MigrationRequest {
+  std::uint32_t member = 0;
+  int dead_node = -1;
+  double now_s = 0.0;             ///< virtual time of the death
+  std::vector<int> member_nodes;  ///< the member's union node set (pre-move)
+  std::vector<int> up_nodes;      ///< surviving platform nodes, ascending
+};
+
+/// Picks the surviving node that adopts the dead node's partitions, or
+/// returns a negative value to fall back to the executor's built-in policy
+/// (least-loaded survivor, preferring nodes outside the member's own set).
+/// Must be a deterministic function of the request — it runs inside the
+/// deterministic replay. sched::RePlanner provides the EvalCache-backed
+/// implementation.
+using MigrationPlanner = std::function<int(const MigrationRequest&)>;
 
 struct SimulatedOptions {
   /// Coefficient of variation of multiplicative, mean-preserving lognormal
@@ -46,8 +68,13 @@ struct SimulatedOptions {
   /// producing bit-identical traces to a fault-unaware build.
   res::FaultSpec faults;
   /// How the replay recovers when `faults` injects one. Ignored while
-  /// injection is disabled.
+  /// injection is disabled — except chunk_replication, whose staging cost
+  /// is priced whenever it exceeds 1 (scheduler probes must see it too).
   res::RecoveryPolicy recovery;
+
+  /// Online re-planning hook consulted on every permanent node death.
+  /// Null (default) = the executor's built-in migration policy.
+  MigrationPlanner migrate;
 };
 
 class SimulatedExecutor {

@@ -1,6 +1,7 @@
 #include "sched/batch_evaluator.hpp"
 
 #include <unordered_map>
+#include <utility>
 
 #include "obs/recorder.hpp"
 #include "support/error.hpp"
@@ -43,9 +44,11 @@ void add_cost(Fnv1a& h, const ana::AnalysisCostParams& c) {
 /// differing only by node naming replay identically.
 std::uint64_t memo_key(const rt::EnsembleSpec& spec,
                        std::uint64_t probe_steps,
-                       std::uint64_t platform_fp) {
+                       std::uint64_t platform_fp,
+                       std::uint64_t scenario_fp) {
   Fnv1a h;
   h.add(platform_fp);
+  h.add(scenario_fp);
   h.add(probe_steps);
   std::unordered_map<int, int> relabel;
   const auto canon_node = [&](int node) {
@@ -77,11 +80,18 @@ std::uint64_t memo_key(const rt::EnsembleSpec& spec,
 }  // namespace
 
 BatchEvaluator::BatchEvaluator(plat::PlatformSpec platform, int threads)
+    : BatchEvaluator(std::move(platform), rt::SimulatedOptions{}, threads) {}
+
+BatchEvaluator::BatchEvaluator(plat::PlatformSpec platform,
+                               rt::SimulatedOptions scenario, int threads)
     : pool_(threads) {
   platform.validate();
   platform_fp_ = platform.fingerprint();
+  scenario_fp_ = scenario_fingerprint(scenario);
   evaluators_.reserve(static_cast<std::size_t>(threads));
-  for (int w = 0; w < threads; ++w) evaluators_.emplace_back(platform);
+  for (int w = 0; w < threads; ++w) {
+    evaluators_.emplace_back(platform, scenario);
+  }
 }
 
 std::vector<BatchScore> BatchEvaluator::score_keyed(
@@ -182,7 +192,8 @@ std::vector<BatchScore> BatchEvaluator::score_assignments(
   spec_ptrs.reserve(assignments.size());
   for (const Assignment& a : assignments) {
     specs.push_back(place(shape, a));
-    keys.push_back(memo_key(specs.back(), probe_steps, platform_fp_));
+    keys.push_back(
+        memo_key(specs.back(), probe_steps, platform_fp_, scenario_fp_));
   }
   for (const rt::EnsembleSpec& s : specs) spec_ptrs.push_back(&s);
   return score_keyed(keys, spec_ptrs, probe_steps);
@@ -195,7 +206,7 @@ std::vector<BatchScore> BatchEvaluator::score_specs(
   std::vector<const rt::EnsembleSpec*> spec_ptrs;
   spec_ptrs.reserve(specs.size());
   for (const rt::EnsembleSpec& s : specs) {
-    keys.push_back(memo_key(s, probe_steps, platform_fp_));
+    keys.push_back(memo_key(s, probe_steps, platform_fp_, scenario_fp_));
     spec_ptrs.push_back(&s);
   }
   return score_keyed(keys, spec_ptrs, probe_steps);

@@ -41,6 +41,13 @@ class BatchEvaluator {
  public:
   explicit BatchEvaluator(plat::PlatformSpec platform, int threads = 1);
 
+  /// Score under a probe scenario (see Evaluator's scenario constructor).
+  /// The scenario's fingerprint is folded into every memo key — local and
+  /// shared tier alike — so scores memoized under one fault/recovery
+  /// configuration are never reused for another.
+  BatchEvaluator(plat::PlatformSpec platform, rt::SimulatedOptions scenario,
+                 int threads);
+
   /// Score place(shape, assignment) for every assignment, in order.
   /// Assignments should be canonical (see candidates.hpp); equal canonical
   /// forms in one batch are simulated once.
@@ -88,6 +95,7 @@ class BatchEvaluator {
   exec::ThreadPool pool_;
   std::vector<Evaluator> evaluators_;  // one per worker, index = worker id
   std::uint64_t platform_fp_ = 0;
+  std::uint64_t scenario_fp_ = 0;
   std::unordered_map<std::uint64_t, BatchScore> cache_;
   std::size_t cache_hits_ = 0;
   EvalCache* shared_ = nullptr;  // optional second tier; not owned

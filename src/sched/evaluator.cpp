@@ -1,15 +1,16 @@
 #include "sched/evaluator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace wfe::sched {
 
 namespace {
 
-rt::SimulatedOptions probe_options() {
-  rt::SimulatedOptions options;
+rt::SimulatedOptions probe_options(rt::SimulatedOptions options = {}) {
   // Probe replays are an implementation detail of scoring: a planning
   // trace wants scheduler-level activity, not thousands of overlapping
   // candidate replays on the component tracks.
@@ -22,6 +23,18 @@ rt::SimulatedOptions probe_options() {
 Evaluator::Evaluator(plat::PlatformSpec platform)
     : exec_(std::move(platform),
             probe_options()) {}  // the executor validates the platform
+
+Evaluator::Evaluator(plat::PlatformSpec platform, rt::SimulatedOptions scenario)
+    : exec_(std::move(platform), probe_options(std::move(scenario))) {}
+
+std::uint64_t scenario_fingerprint(const rt::SimulatedOptions& options) {
+  Fnv1a h;
+  h.add(options.jitter_cv);
+  h.add(options.seed);
+  h.add(options.faults.digest());
+  h.add(options.recovery.digest());
+  return h.digest();
+}
 
 Evaluation Evaluator::score(const rt::EnsembleSpec& spec,
                             std::uint64_t probe_steps) const {

@@ -23,6 +23,13 @@ class Evaluator {
  public:
   explicit Evaluator(plat::PlatformSpec platform);
 
+  /// Probe under a scenario: deterministic capacity effects (stragglers,
+  /// degradation windows, replication write cost) are priced into every
+  /// score. Callers pass FaultSpec::probe_view() — stochastic crash and
+  /// transient injection belongs to the risk model, not the probes.
+  /// trace_obs is forced off regardless of the passed value.
+  Evaluator(plat::PlatformSpec platform, rt::SimulatedOptions scenario);
+
   /// Validate + replay + assess. Short replays suffice: the simulated
   /// steady state is immediate, so `probe_steps` keeps planning cheap.
   /// The spec is only copied when its step count differs from the probe.
@@ -39,5 +46,10 @@ class Evaluator {
   mutable std::size_t evaluations_ = 0;
   mutable std::uint64_t events_ = 0;
 };
+
+/// FNV-1a digest of everything in `options` that can change a probe score
+/// (jitter, seed, fault scenario, recovery policy). Folded into evaluation
+/// cache keys so scores memoized under one scenario never serve another.
+std::uint64_t scenario_fingerprint(const rt::SimulatedOptions& options);
 
 }  // namespace wfe::sched

@@ -4,6 +4,7 @@
 
 #include "sched/batch_evaluator.hpp"
 #include "sched/candidates.hpp"
+#include "sched/risk.hpp"
 #include "support/error.hpp"
 
 namespace wfe::sched {
@@ -18,26 +19,39 @@ Schedule Exhaustive::plan(const EnsembleShape& shape,
               "node pool must fit the platform");
   const std::size_t slots = slot_count(shape);
   WFE_REQUIRE(slots <= 12, "exhaustive search capped at 12 components");
+  // Spare nodes are held back from placement as migration headroom.
+  const ResourceBudget pool{effective_pool(budget, options)};
+  const RiskModel risk = RiskModel::of(options, shape.n_steps);
 
   // Generate: every canonically distinct assignment, in lexicographic
   // order. Score: fan out to the worker pool, memoized. Reduce: canonical
   // winner — identical to scoring one assignment at a time in this order.
+  // Under --risk-aware the reduction ranks by risk-adjusted objective.
   const std::vector<Assignment> candidates =
-      enumerate_assignments(slots, budget.node_pool);
-  BatchEvaluator evaluator(platform, options.threads);
+      enumerate_assignments(slots, pool.node_pool);
+  BatchEvaluator evaluator(platform, probe_scenario(options),
+                           options.threads);
   const std::vector<BatchScore> scores =
       evaluator.score_assignments(shape, candidates, options.probe_steps);
 
-  std::vector<ScoredCandidate> scored;
-  scored.reserve(scores.size());
-  for (const BatchScore& s : scores) scored.push_back(s.scored());
+  // Canonical candidates are relabelled off scripted-downtime nodes after
+  // the reduction (avoid_doomed), so charge each one the doomed overflow
+  // its node count would leave after that mapping.
+  std::vector<int> doomed_used(scores.size(), 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    doomed_used[i] = doomed_used_after_avoidance(
+        risk, scores[i].eval.nodes_used, pool.node_pool);
+  }
+  const std::vector<ScoredCandidate> scored =
+      risk_scored(scores, risk, options.probe_steps, doomed_used);
   const auto winner = pick_winner(scored, candidates);
   if (!winner) {
     throw SpecError("exhaustive: no feasible placement within the budget");
   }
 
   Schedule schedule;
-  schedule.spec = place(shape, candidates[*winner]);
+  schedule.spec = place(
+      shape, avoid_doomed(candidates[*winner], pool.node_pool, risk));
   schedule.spec.n_steps = shape.n_steps;  // probes used fewer steps
   schedule.scheduler = name();
   schedule.evaluations = evaluator.evaluations();

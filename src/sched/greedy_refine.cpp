@@ -6,20 +6,10 @@
 #include "sched/batch_evaluator.hpp"
 #include "sched/candidates.hpp"
 #include "sched/greedy.hpp"
+#include "sched/risk.hpp"
 #include "support/error.hpp"
 
 namespace wfe::sched {
-
-namespace {
-
-std::vector<ScoredCandidate> scored_of(const std::vector<BatchScore>& batch) {
-  std::vector<ScoredCandidate> out;
-  out.reserve(batch.size());
-  for (const BatchScore& s : batch) out.push_back(s.scored());
-  return out;
-}
-
-}  // namespace
 
 Schedule GreedyRefine::plan(const EnsembleShape& shape,
                             const plat::PlatformSpec& platform,
@@ -29,12 +19,16 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
   WFE_REQUIRE(budget.node_pool >= 1 &&
                   budget.node_pool <= platform.node_count,
               "node pool must fit the platform");
+  // Spare nodes are held back from placement as migration headroom; the
+  // search only sees the remaining pool.
+  const ResourceBudget pool{effective_pool(budget, options)};
+  const RiskModel risk = RiskModel::of(options, shape.n_steps);
 
   // Seeds: the constructive passes, canonicalized.
   std::vector<Assignment> seeds;
   for (auto* build : {&colocated_assignment, &sims_first_assignment}) {
-    if (auto a = (*build)(shape, platform, budget)) {
-      Assignment canon = canonical(*a, budget.node_pool);
+    if (auto a = (*build)(shape, platform, pool)) {
+      Assignment canon = canonical(*a, pool.node_pool);
       if (seeds.empty() || seeds.front() != canon) {
         seeds.push_back(std::move(canon));
       }
@@ -46,35 +40,53 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
         "constructive seed placement exists)");
   }
 
-  BatchEvaluator evaluator(platform, options.threads);
+  BatchEvaluator evaluator(platform, probe_scenario(options),
+                           options.threads);
+  // Canonical incumbents are relabelled off scripted-downtime nodes at the
+  // end (avoid_doomed); charge each candidate the doomed overflow its node
+  // count would leave after that mapping.
+  const auto doomed_charges = [&](const std::vector<BatchScore>& batch) {
+    std::vector<int> charges(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      charges[i] = doomed_used_after_avoidance(
+          risk, batch[i].eval.nodes_used, pool.node_pool);
+    }
+    return charges;
+  };
   std::vector<BatchScore> scores =
       evaluator.score_assignments(shape, seeds, options.probe_steps);
-  auto winner = pick_winner(scored_of(scores), seeds);
+  std::vector<ScoredCandidate> scored =
+      risk_scored(scores, risk, options.probe_steps, doomed_charges(scores));
+  auto winner = pick_winner(scored, seeds);
   if (!winner) {
     throw SpecError("greedy-refine: no seed placement validates");
   }
   Assignment incumbent = seeds[*winner];
-  double incumbent_objective = scores[*winner].eval.objective;
+  double incumbent_objective = scored[*winner].objective;
 
   // Hill-climb: strictly improving, so each incumbent is visited once and
   // the loop terminates (the candidate space is finite). The neighborhood
-  // overlap between rounds is served from the memo-cache.
+  // overlap between rounds is served from the memo-cache. Under
+  // --risk-aware the climb follows the risk-adjusted objective.
   for (;;) {
     const std::vector<Assignment> neighbors =
-        neighbor_assignments(incumbent, budget.node_pool);
+        neighbor_assignments(incumbent, pool.node_pool);
     if (neighbors.empty()) break;
     scores = evaluator.score_assignments(shape, neighbors,
                                          options.probe_steps);
-    winner = pick_winner(scored_of(scores), neighbors);
-    if (!winner || scores[*winner].eval.objective <= incumbent_objective) {
+    scored = risk_scored(scores, risk, options.probe_steps,
+                         doomed_charges(scores));
+    winner = pick_winner(scored, neighbors);
+    if (!winner || scored[*winner].objective <= incumbent_objective) {
       break;
     }
     incumbent = neighbors[*winner];
-    incumbent_objective = scores[*winner].eval.objective;
+    incumbent_objective = scored[*winner].objective;
   }
 
   Schedule schedule;
-  schedule.spec = place(shape, incumbent);
+  schedule.spec =
+      place(shape, avoid_doomed(incumbent, pool.node_pool, risk));
   schedule.spec.n_steps = shape.n_steps;
   schedule.scheduler = name();
   schedule.evaluations = evaluator.evaluations();

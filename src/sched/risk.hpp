@@ -1,0 +1,97 @@
+// Risk-aware scoring: expected makespan under a node failure distribution.
+//
+// Probe replays deliberately strip stochastic crash injection (sampling a
+// handful of fault timelines per candidate would make planning both
+// expensive and noisy). Instead the risk model folds failures in
+// analytically: each node a candidate occupies is an independent
+// exponential failure domain with the FaultSpec's MTBF, and every failure
+// costs one migration plus the re-execution back to the last checkpoint.
+// The risk-aware objective discounts the fault-free score by the expected
+// inflation, so placements on fewer fault domains — and budgets that hold
+// spare nodes back as migration headroom — win exactly when failures are
+// frequent enough to pay for them.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/batch_evaluator.hpp"
+#include "sched/scheduler.hpp"
+
+namespace wfe::sched {
+
+struct RiskModel {
+  double node_mtbf_s = 0.0;  ///< 0 = no stochastic crash term
+  double migration_cost_s = 3.0;
+  double restart_cost_s = 2.0;
+  std::uint64_t checkpoint_period = 5;
+  std::uint64_t campaign_steps = 37;  ///< the length the plan will run for
+  /// Nodes with scripted permanent downtime (FaultSpec::node_down):
+  /// occupying one guarantees a migration, so risk-aware placement maps
+  /// off them (avoid_doomed) and the model charges placements that can't.
+  std::vector<int> doomed;
+
+  /// The model PlanOptions describes: active only under --risk-aware with
+  /// a crash-bearing or scripted-downtime FaultSpec.
+  static RiskModel of(const PlanOptions& options, std::uint64_t campaign_steps);
+
+  bool active() const { return node_mtbf_s > 0.0 || !doomed.empty(); }
+
+  /// Expected stochastic node failures striking `nodes_used` independent
+  /// fault domains over `t_campaign` seconds (linearized Poisson rate).
+  /// Scripted deaths are charged separately via `doomed_used`.
+  double expected_failures(double t_campaign, int nodes_used) const;
+
+  /// Cost of recovering from one node loss: migration + restart + half a
+  /// checkpoint period of re-execution at `per_step` seconds per step.
+  double recovery_cost_s(double per_step) const;
+
+  /// Expected campaign makespan for a candidate whose probe measured
+  /// `probe_makespan` over `probe_steps` steps on `nodes_used` nodes, of
+  /// which `doomed_used` have scripted downtime: nominal time scaled to
+  /// campaign_steps, plus per-failure recovery for the expected stochastic
+  /// crashes and one guaranteed recovery per doomed node occupied.
+  double expected_makespan(double probe_makespan, std::uint64_t probe_steps,
+                           int nodes_used, int doomed_used = 0) const;
+
+  /// Discount a fault-oblivious objective by the expected inflation:
+  /// objective * nominal / expected. Identity while inactive.
+  double adjust_objective(double objective, double probe_makespan,
+                          std::uint64_t probe_steps, int nodes_used,
+                          int doomed_used = 0) const;
+};
+
+/// The probe scenario PlanOptions describes: deterministic capacity effects
+/// only (FaultSpec::probe_view strips crashes and transients).
+rt::SimulatedOptions probe_scenario(const PlanOptions& options);
+
+/// BatchScores -> ScoredCandidates, risk-adjusted when `risk.active()`.
+/// `doomed_used` gives the scripted-downtime node count charged to each
+/// candidate (empty = zero for all).
+std::vector<ScoredCandidate> risk_scored(const std::vector<BatchScore>& batch,
+                                         const RiskModel& risk,
+                                         std::uint64_t probe_steps,
+                                         const std::vector<int>& doomed_used =
+                                             {});
+
+/// Doomed nodes a canonical `nodes_used`-node placement still occupies
+/// after avoid_doomed() maps it into a pool of `pool` nodes: 0 while the
+/// healthy nodes suffice, the overflow otherwise.
+int doomed_used_after_avoidance(const RiskModel& risk, int nodes_used,
+                                int pool);
+
+/// Scripted-downtime nodes `assignment` occupies (distinct count).
+int doomed_used_of(const RiskModel& risk, const Assignment& assignment);
+
+/// Relabel a canonical assignment away from the scripted-downtime nodes:
+/// canonical node i becomes the i-th node of [healthy pool nodes
+/// ascending, then doomed nodes ascending]. Identity when nothing is
+/// doomed. Sound only for node-symmetric probe scenarios (the probe view
+/// strips node-keyed faults, so scores are relabel-invariant).
+Assignment avoid_doomed(const Assignment& assignment, int pool,
+                        const RiskModel& risk);
+
+/// The node pool left after holding back the spare-node headroom.
+/// Throws wfe::SpecError when no node remains.
+int effective_pool(const ResourceBudget& budget, const PlanOptions& options);
+
+}  // namespace wfe::sched

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "platform/spec.hpp"
+#include "resilience/fault_spec.hpp"
 #include "runtime/spec.hpp"
 
 namespace wfe::sched {
@@ -57,6 +58,23 @@ struct ResourceBudget {
 struct PlanOptions {
   int threads = 1;                ///< evaluation workers (>= 1)
   std::uint64_t probe_steps = 6;  ///< in situ steps per probe replay
+
+  /// Scenario the probe replays price (replay-guided schedulers only):
+  /// stragglers, network-degradation windows, and the replication write
+  /// cost. Stochastic crash/transient injection is stripped via
+  /// FaultSpec::probe_view() — the risk model accounts for it analytically.
+  res::FaultSpec faults;
+  res::RecoveryPolicy recovery;
+
+  /// Risk-aware objective variant (--risk-aware): discount each candidate
+  /// by its expected makespan under the node failure distribution (MTBF
+  /// from `faults`, recovery costs from `recovery`) instead of ranking by
+  /// the fault-free objective alone.
+  bool risk_aware = false;
+
+  /// Spare-node provisioning knob: hold this many nodes of the budget back
+  /// from placement as migration headroom for node deaths.
+  int spare_nodes = 0;
 };
 
 /// A placement decision with provenance.

@@ -64,6 +64,9 @@ namespace wfe::support {
 // renumbering the world. See the header comment for what each guards.
 inline constexpr int kRankDtlChannel = 10;
 inline constexpr int kRankDtlStaging = 15;
+// The RePlanner's mutex sits below the evaluation machinery: a re-plan
+// holds it across scoring, which acquires kRankExecPool / kRankEvalCache.
+inline constexpr int kRankRePlanner = 18;
 inline constexpr int kRankExecPool = 20;
 inline constexpr int kRankEvalCache = 22;
 inline constexpr int kRankMetricsTrace = 25;

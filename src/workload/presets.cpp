@@ -116,4 +116,32 @@ res::FaultSpec node_crashes(double mtbf_s, double repair_s,
   return faults;
 }
 
+res::FaultSpec node_down_at(int node, double at_s, std::uint64_t seed) {
+  res::FaultSpec faults;
+  faults.node_down.push_back({node, at_s});
+  faults.seed = seed;
+  faults.validate();
+  return faults;
+}
+
+res::FaultSpec fatal_node_crashes(double mtbf_s, std::uint64_t seed) {
+  res::FaultSpec faults;
+  faults.node_mtbf_s = mtbf_s;
+  faults.crashes_are_fatal = true;
+  faults.seed = seed;
+  faults.validate();
+  return faults;
+}
+
+res::FaultSpec degraded_nodes(double mtbf_s, double factor,
+                              std::uint64_t seed) {
+  res::FaultSpec faults;
+  faults.straggler_mtbf_s = mtbf_s;
+  faults.straggler_factor = factor;
+  faults.net_degrade_mtbf_s = mtbf_s * 2.0;
+  faults.seed = seed;
+  faults.validate();
+  return faults;
+}
+
 }  // namespace wfe::wl

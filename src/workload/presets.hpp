@@ -64,4 +64,22 @@ res::FaultSpec transient_noise(double stage_error_prob = 0.02,
 res::FaultSpec node_crashes(double mtbf_s, double repair_s = 120.0,
                             std::uint64_t seed = 0xfa117u);
 
+/// Scripted node-death scenario: node `node` goes down permanently at
+/// `at_s` virtual seconds, no stochastic injection at all — the
+/// deterministic backbone of the migration tests and goldens.
+res::FaultSpec node_down_at(int node, double at_s,
+                            std::uint64_t seed = 0xfa117u);
+
+/// Fatal-crash scenario: exponential per-node MTBF as node_crashes(), but
+/// the first crash of each node is permanent (no repair) — every crash
+/// costs a migration.
+res::FaultSpec fatal_node_crashes(double mtbf_s,
+                                  std::uint64_t seed = 0xfa117u);
+
+/// Degraded-mode scenario: no crashes; nodes straggle (compute stretched
+/// by `factor`) in exponential windows of mean arrival `mtbf_s`, and the
+/// interconnect degrades in windows half as frequent.
+res::FaultSpec degraded_nodes(double mtbf_s, double factor = 1.5,
+                              std::uint64_t seed = 0xfa117u);
+
 }  // namespace wfe::wl

@@ -150,6 +150,46 @@ TEST(LintUnordered, FineOutsideExporters) {
   EXPECT_TRUE(fs.empty());
 }
 
+// -- raw concurrency primitives ----------------------------------------------
+
+TEST(LintRawMutex, StdMutexBannedInSrc) {
+  const auto fs = lint::lint_source(
+      "src/sched/x.cpp", "#include <mutex>\nstd::mutex m;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "raw-mutex");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintRawMutex, ConditionVariableAndVariantsBanned) {
+  const auto fs = lint::lint_source(
+      "src/runtime/x.cpp",
+      "std::condition_variable cv;\nstd::shared_mutex sm;\n"
+      "std::recursive_timed_mutex rtm;\n");
+  ASSERT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "raw-mutex");
+}
+
+TEST(LintRawMutex, SupportAndToolsAndRankedTypesFine) {
+  // support/ implements the ranked wrappers, tools/ is out of scope, and
+  // unqualified identifiers (RankedMutex's own members, locals named
+  // `mutex`) never fire.
+  EXPECT_TRUE(lint::lint_source("src/support/lock_rank.hpp",
+                                "#pragma once\nstd::mutex raw_;\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint::lint_source("tools/wfens_x.cpp", "std::mutex m;\n").empty());
+  EXPECT_TRUE(lint::lint_source("src/sched/x.cpp",
+                                "support::RankedMutex<3> mutex;\n")
+                  .empty());
+}
+
+TEST(LintRawMutex, AllowAnnotationSuppresses) {
+  const auto fs = lint::lint_source(
+      "src/sched/x.cpp",
+      "std::mutex m;  // wfens-lint: allow(raw-mutex)\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // -- allow() escape hatch ----------------------------------------------------
 
 TEST(LintAllow, SameLineAnnotationSuppresses) {

@@ -1,0 +1,94 @@
+// FetchRetry backoff determinism: the whole retry ladder is a pure function
+// of (spec, key) — jitter included — so two reruns of the same fetch sleep
+// the exact same delays regardless of thread interleaving.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dtl/plugin.hpp"
+#include "support/error.hpp"
+
+namespace wfe::dtl {
+namespace {
+
+FetchRetry jittered_retry() {
+  FetchRetry retry;
+  retry.max_attempts = 6;
+  retry.backoff_base_s = 1e-3;
+  retry.backoff_cap_s = 0.02;
+  retry.jitter_frac = 0.3;
+  retry.seed = 0xabcd;
+  return retry;
+}
+
+TEST(FetchRetryBackoff, ScheduleIsIdenticalAcrossReruns) {
+  const ChunkKey key{3, 17};
+  const std::vector<double> first = jittered_retry().schedule(key);
+  ASSERT_EQ(first.size(), 5u);  // max_attempts - 1
+  for (int rerun = 0; rerun < 3; ++rerun) {
+    const std::vector<double> again = jittered_retry().schedule(key);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i], first[i]) << "attempt " << i + 2;  // exact
+      EXPECT_EQ(jittered_retry().backoff_delay(key, static_cast<int>(i) + 2),
+                first[i]);
+    }
+  }
+}
+
+TEST(FetchRetryBackoff, JitterStaysInsideItsBand) {
+  const FetchRetry retry = jittered_retry();
+  const ChunkKey key{1, 4};
+  const std::vector<double> delays = retry.schedule(key);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double ladder =
+        std::min(retry.backoff_base_s * std::pow(2.0, static_cast<double>(i)),
+                 retry.backoff_cap_s);
+    EXPECT_GE(delays[i], ladder * (1.0 - retry.jitter_frac));
+    EXPECT_LE(delays[i], ladder * (1.0 + retry.jitter_frac));
+  }
+}
+
+TEST(FetchRetryBackoff, ZeroJitterIsTheExactExponentialLadder) {
+  FetchRetry retry = jittered_retry();
+  retry.jitter_frac = 0.0;
+  const std::vector<double> delays = retry.schedule({0, 0});
+  ASSERT_EQ(delays.size(), 5u);
+  EXPECT_DOUBLE_EQ(delays[0], 1e-3);
+  EXPECT_DOUBLE_EQ(delays[1], 2e-3);
+  EXPECT_DOUBLE_EQ(delays[2], 4e-3);
+  EXPECT_DOUBLE_EQ(delays[3], 8e-3);
+  EXPECT_DOUBLE_EQ(delays[4], 16e-3);
+}
+
+TEST(FetchRetryBackoff, KeysAndSeedsGetIndependentJitterStreams) {
+  const FetchRetry retry = jittered_retry();
+  const std::vector<double> a = retry.schedule({0, 1});
+  const std::vector<double> b = retry.schedule({0, 2});
+  EXPECT_NE(a, b);
+
+  FetchRetry reseeded = retry;
+  reseeded.seed += 1;
+  EXPECT_NE(reseeded.schedule({0, 1}), a);
+}
+
+TEST(FetchRetryBackoff, ValidateRejectsBadConfigs) {
+  FetchRetry retry;
+  retry.jitter_frac = 1.0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = {};
+  retry.jitter_frac = -0.1;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = {};
+  retry.max_attempts = 0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = {};
+  retry.backoff_base_s = -1.0;
+  EXPECT_THROW(retry.validate(), InvalidArgument);
+  retry = jittered_retry();
+  EXPECT_NO_THROW(retry.validate());
+}
+
+}  // namespace
+}  // namespace wfe::dtl

@@ -1,0 +1,72 @@
+// HealthTracker: the per-node health state machine behind node-level fault
+// domains. Down is absorbing, repeats are no-ops, and the event log is the
+// exact transition history tools replay.
+#include <gtest/gtest.h>
+
+#include "platform/health.hpp"
+#include "support/error.hpp"
+
+namespace wfe::plat {
+namespace {
+
+TEST(Health, StartsHealthyAndRecordsTransitions) {
+  HealthTracker tracker(3);
+  EXPECT_EQ(tracker.node_count(), 3);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(tracker.state(n), NodeHealth::kHealthy);
+  }
+  EXPECT_EQ(tracker.up_nodes(), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(tracker.events().empty());
+
+  tracker.transition(10.0, 1, NodeHealth::kDegraded);
+  tracker.transition(20.0, 1, NodeHealth::kHealthy);
+  tracker.transition(30.0, 2, NodeHealth::kDown);
+
+  ASSERT_EQ(tracker.events().size(), 3u);
+  const HealthEvent& down = tracker.events()[2];
+  EXPECT_DOUBLE_EQ(down.t_s, 30.0);
+  EXPECT_EQ(down.node, 2);
+  EXPECT_EQ(down.from, NodeHealth::kHealthy);
+  EXPECT_EQ(down.to, NodeHealth::kDown);
+  EXPECT_EQ(tracker.down_count(), 1u);
+  EXPECT_EQ(tracker.up_nodes(), (std::vector<int>{0, 1}));
+}
+
+TEST(Health, RepeatedStateIsANoOp) {
+  HealthTracker tracker(2);
+  tracker.transition(5.0, 0, NodeHealth::kDegraded);
+  tracker.transition(6.0, 0, NodeHealth::kDegraded);
+  EXPECT_EQ(tracker.events().size(), 1u);
+}
+
+TEST(Health, DownIsAbsorbing) {
+  HealthTracker tracker(2);
+  tracker.transition(5.0, 0, NodeHealth::kDown);
+  EXPECT_THROW(tracker.transition(6.0, 0, NodeHealth::kHealthy),
+               InvalidArgument);
+  EXPECT_THROW(tracker.transition(6.0, 0, NodeHealth::kDegraded),
+               InvalidArgument);
+  // Re-recording down stays a no-op, not an error.
+  tracker.transition(7.0, 0, NodeHealth::kDown);
+  EXPECT_EQ(tracker.events().size(), 1u);
+  EXPECT_EQ(tracker.down_count(), 1u);
+}
+
+TEST(Health, RejectsBadInputs) {
+  EXPECT_THROW(HealthTracker(0), InvalidArgument);
+  HealthTracker tracker(2);
+  EXPECT_THROW(tracker.state(2), InvalidArgument);
+  EXPECT_THROW(tracker.transition(-1.0, 0, NodeHealth::kDown),
+               InvalidArgument);
+  EXPECT_THROW(tracker.transition(1.0, 5, NodeHealth::kDown),
+               InvalidArgument);
+}
+
+TEST(Health, StringNames) {
+  EXPECT_STREQ(to_string(NodeHealth::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(NodeHealth::kDegraded), "degraded");
+  EXPECT_STREQ(to_string(NodeHealth::kDown), "down");
+}
+
+}  // namespace
+}  // namespace wfe::plat

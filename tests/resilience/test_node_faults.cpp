@@ -1,0 +1,142 @@
+// Node-level fault domains: scripted and fatal permanent deaths, straggler
+// and network-degradation windows. Everything here is about determinism —
+// the timelines must be pure functions of (spec, node), independent of
+// query order, so fault runs replay identically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "resilience/fault_injector.hpp"
+
+namespace wfe::res {
+namespace {
+
+FaultSpec scripted_death(int node, double at_s) {
+  FaultSpec spec;
+  spec.node_down.push_back({node, at_s});
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(NodeFaults, ScriptedDeathIsPermanent) {
+  FaultInjector inj(scripted_death(1, 100.0), 4);
+  EXPECT_DOUBLE_EQ(inj.down_at(1), 100.0);
+  EXPECT_EQ(inj.down_at(0), FaultInjector::kNever);
+
+  // Before the death nothing is wrong; after it the node never comes back.
+  EXPECT_FALSE(inj.first_down_node({0, 1, 2}, 50.0).has_value());
+  ASSERT_TRUE(inj.first_down_node({0, 1, 2}, 150.0).has_value());
+  EXPECT_EQ(*inj.first_down_node({0, 1, 2}, 150.0), 1);
+  EXPECT_EQ(inj.all_up_at({1}, 150.0), FaultInjector::kNever);
+  EXPECT_DOUBLE_EQ(inj.all_up_at({0, 2}, 150.0), 150.0);
+
+  // The death shows up as a crash for stages spanning it.
+  EXPECT_DOUBLE_EQ(inj.first_crash_in({1}, 50.0, 200.0), 100.0);
+  EXPECT_EQ(inj.first_crash_in({0}, 50.0, 200.0), FaultInjector::kNever);
+  EXPECT_DOUBLE_EQ(inj.first_down_time({0, 1, 2, 3}), 100.0);
+}
+
+TEST(NodeFaults, FatalCrashesPromoteTheFirstCrashToADeath) {
+  FaultSpec spec;
+  spec.node_mtbf_s = 300.0;
+  spec.crashes_are_fatal = true;
+  spec.seed = 21;
+  FaultInjector inj(spec, 4);
+
+  const double death = inj.down_at(2);
+  ASSERT_NE(death, FaultInjector::kNever);
+  EXPECT_GT(death, 0.0);
+  // The death is the node's first crash...
+  EXPECT_DOUBLE_EQ(inj.first_crash_in({2}, 0.0, 1e9), death);
+  // ...and afterwards the dead node emits no further crashes.
+  EXPECT_EQ(inj.first_crash_in({2}, death, 1e9), FaultInjector::kNever);
+  EXPECT_EQ(inj.all_up_at({2}, death + 1.0), FaultInjector::kNever);
+}
+
+TEST(NodeFaults, DeathScheduleIsQueryOrderIndependent) {
+  FaultSpec spec;
+  spec.node_mtbf_s = 250.0;
+  spec.crashes_are_fatal = true;
+  spec.seed = 5;
+  FaultInjector a(spec, 4);
+  FaultInjector b(spec, 4);
+
+  // `a` asks node-by-node ascending; `b` descending, after first probing
+  // far into the future. The per-node streams must not interfere.
+  std::vector<double> deaths_a, deaths_b(4);
+  for (int n = 0; n < 4; ++n) deaths_a.push_back(a.down_at(n));
+  b.first_crash_in({0, 1, 2, 3}, 5000.0, 50000.0);
+  for (int n = 3; n >= 0; --n) deaths_b[static_cast<std::size_t>(n)] = b.down_at(n);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(deaths_a[static_cast<std::size_t>(n)],
+                     deaths_b[static_cast<std::size_t>(n)])
+        << "node " << n;
+  }
+}
+
+TEST(NodeFaults, StragglerWindowsAreDeterministicAndPerNode) {
+  FaultSpec spec;
+  spec.straggler_mtbf_s = 120.0;
+  spec.straggler_duration_s = 30.0;
+  spec.straggler_factor = 2.0;
+  spec.seed = 9;
+  FaultInjector a(spec, 3);
+  FaultInjector b(spec, 3);
+
+  bool node_divergence = false;
+  for (double t = 0.0; t < 3000.0; t += 7.0) {
+    for (int n = 0; n < 3; ++n) {
+      EXPECT_EQ(a.straggling(n, t), b.straggling(n, t)) << n << "@" << t;
+    }
+    const double s = a.compute_slowdown({0, 1, 2}, t);
+    EXPECT_TRUE(s == 1.0 || s == 2.0) << "slowdown " << s;
+    node_divergence =
+        node_divergence || a.straggling(0, t) != a.straggling(1, t);
+  }
+  // Per-node streams: the two nodes' window patterns differ somewhere.
+  EXPECT_TRUE(node_divergence);
+}
+
+TEST(NodeFaults, NetworkDegradationIsDeterministic) {
+  FaultSpec spec;
+  spec.net_degrade_mtbf_s = 200.0;
+  spec.net_degrade_duration_s = 40.0;
+  spec.net_degrade_factor = 3.0;
+  spec.seed = 13;
+  FaultInjector a(spec, 2);
+  FaultInjector b(spec, 2);
+
+  bool saw_window = false;
+  for (double t = 0.0; t < 5000.0; t += 11.0) {
+    const double s = a.transfer_slowdown(t);
+    EXPECT_DOUBLE_EQ(s, b.transfer_slowdown(t)) << "t=" << t;
+    EXPECT_TRUE(s == 1.0 || s == 3.0);
+    saw_window = saw_window || s > 1.0;
+  }
+  EXPECT_TRUE(saw_window);
+}
+
+TEST(NodeFaults, ProbeViewKeepsCapacityEffectsStripsInjection) {
+  FaultSpec spec;
+  spec.node_mtbf_s = 100.0;
+  spec.crashes_are_fatal = true;
+  spec.node_down.push_back({0, 50.0});
+  spec.straggler_mtbf_s = 120.0;
+  spec.net_degrade_mtbf_s = 150.0;
+  spec.stage_error_prob = 0.1;
+  spec.transfer_loss_prob = 0.1;
+
+  const FaultSpec probe = spec.probe_view();
+  EXPECT_EQ(probe.node_mtbf_s, 0.0);
+  EXPECT_FALSE(probe.crashes_are_fatal);
+  EXPECT_TRUE(probe.node_down.empty());
+  EXPECT_EQ(probe.stage_error_prob, 0.0);
+  EXPECT_EQ(probe.transfer_loss_prob, 0.0);
+  EXPECT_DOUBLE_EQ(probe.straggler_mtbf_s, 120.0);
+  EXPECT_DOUBLE_EQ(probe.net_degrade_mtbf_s, 150.0);
+  EXPECT_FALSE(probe.node_faults());
+  EXPECT_NE(probe.digest(), spec.digest());
+}
+
+}  // namespace
+}  // namespace wfe::res

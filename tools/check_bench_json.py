@@ -1,33 +1,54 @@
 #!/usr/bin/env python3
-"""Validate BENCH_engine.json against the schema the perf trajectory relies on.
+"""Validate a BENCH_*.json report against its bench's schema.
 
-Usage: check_bench_json.py BENCH_engine.json
+Usage: check_bench_json.py BENCH_file.json
 
+The report's "bench" field selects the schema from the registry below.
 Checks that every expected field is present with the right JSON type and
-that rates/counts are positive, so a refactor that drops a series (or emits
-NaN) fails the bench-smoke CI job instead of silently thinning the
-trajectory. Schema additions are fine; removals are not.
+that rates/counts satisfy the bench's invariants, so a refactor that drops
+a series (or emits NaN) fails the bench-smoke CI job instead of silently
+thinning the trajectory. Schema additions are fine; removals are not.
+
+Field markers: a plain type means "finite and strictly positive" for
+numbers; ("nonneg", type) allows zero — for counters that legitimately
+stay at zero in a healthy run (e.g. chunks lost with replication on).
 """
 import json
 import math
 import sys
 
-EXPECTED = {
-    "bench": str,
-    "queue_policy": str,
-    "mode": str,
-    "chain_events": int,
-    "chain_events_per_s": float,
-    "churn_cancellations": int,
-    "churn_cancels_per_s": float,
-    "cancel_heavy_events": int,
-    "cancel_heavy_events_per_s": float,
-    "mixed_horizon_events": int,
-    "mixed_horizon_events_per_s": float,
-    "replay_config": str,
-    "replay_count": int,
-    "replay_events": int,
-    "replay_events_per_s": float,
+# Per-bench schemas, keyed on the report's "bench" field.
+SCHEMAS = {
+    "engine_throughput": {
+        "queue_policy": str,
+        "mode": str,
+        "chain_events": int,
+        "chain_events_per_s": float,
+        "churn_cancellations": int,
+        "churn_cancels_per_s": float,
+        "cancel_heavy_events": int,
+        "cancel_heavy_events_per_s": float,
+        "mixed_horizon_events": int,
+        "mixed_horizon_events_per_s": float,
+        "replay_config": str,
+        "replay_count": int,
+        "replay_events": int,
+        "replay_events_per_s": float,
+    },
+    # The node-fault sweep's headline acceptance rides on risk_aware_wins:
+    # risk-aware placement must beat fault-oblivious placement on expected
+    # makespan at >= 1 MTBF point, so the field is strictly positive.
+    "node_faults": {
+        "mode": str,
+        "mtbf_points": int,
+        "cells": int,
+        "risk_aware_wins": int,
+        "best_expected_gain_pct": float,
+        "migrations_total": int,
+        "chunks_lost_total": ("nonneg", int),
+        "base_makespan_s": float,
+        "wall_s": ("nonneg", float),
+    },
 }
 
 
@@ -36,9 +57,30 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_field(path, key, value, want):
+    nonneg = False
+    if isinstance(want, tuple):
+        nonneg, want = want[0] == "nonneg", want[1]
+    if want is float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"{path}: {key!r} must be a number, got {value!r}")
+        if not math.isfinite(value) or value < 0 or (value == 0 and not nonneg):
+            fail(f"{path}: {key!r} must be finite and "
+                 f"{'non-negative' if nonneg else 'positive'}, got {value!r}")
+    elif want is int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{path}: {key!r} must be an integer, got {value!r}")
+        if value < 0 or (value == 0 and not nonneg):
+            fail(f"{path}: {key!r} must be "
+                 f"{'non-negative' if nonneg else 'positive'}, got {value!r}")
+    else:
+        if not isinstance(value, str) or not value:
+            fail(f"{path}: {key!r} must be a non-empty string, got {value!r}")
+
+
 def main():
     if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_engine.json")
+        fail("usage: check_bench_json.py BENCH_file.json")
     path = sys.argv[1]
     try:
         with open(path) as f:
@@ -48,33 +90,19 @@ def main():
 
     if not isinstance(data, dict):
         fail(f"{path}: top level must be an object")
-
-    for key, want in EXPECTED.items():
+    bench = data.get("bench")
+    if bench not in SCHEMAS:
+        fail(f"{path}: unknown bench {bench!r} "
+             f"(registered: {sorted(SCHEMAS)})")
+    for key, want in SCHEMAS[bench].items():
         if key not in data:
             fail(f"{path}: missing field {key!r}")
-        value = data[key]
-        if want is float:
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                fail(f"{path}: {key!r} must be a number, got {value!r}")
-            if not math.isfinite(value) or value <= 0:
-                fail(f"{path}: {key!r} must be finite and positive, "
-                     f"got {value!r}")
-        elif want is int:
-            if not isinstance(value, int) or isinstance(value, bool):
-                fail(f"{path}: {key!r} must be an integer, got {value!r}")
-            if value <= 0:
-                fail(f"{path}: {key!r} must be positive, got {value!r}")
-        else:
-            if not isinstance(value, str) or not value:
-                fail(f"{path}: {key!r} must be a non-empty string, "
-                     f"got {value!r}")
+        check_field(path, key, data[key], want)
 
-    if data["bench"] != "engine_throughput":
-        fail(f"{path}: bench must be 'engine_throughput'")
     if data["mode"] not in ("full", "quick"):
         fail(f"{path}: mode must be 'full' or 'quick', got {data['mode']!r}")
 
-    print(f"check_bench_json: OK ({path}: queue_policy={data['queue_policy']},"
+    print(f"check_bench_json: OK ({path}: bench={bench},"
           f" mode={data['mode']})")
 
 

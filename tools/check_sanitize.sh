@@ -16,6 +16,11 @@
 # quick local loop. Known-benign reports are triaged in tools/tsan.supp —
 # every entry there carries a justification. The default invocation chains
 # both phases: ASan+UBSan over everything, then the full suite under TSan.
+#
+# "resilience" runs the fault-domain suites (ctest -L resilience: the
+# injector, node-loss/migration and re-planner tests) under ASan+UBSan and
+# then TSan — the recovery paths allocate and lock off the happy path, so
+# they get all three sanitizers in one focused invocation.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -51,6 +56,10 @@ case "${sanitizers}" in
     ;;
   thread-fast)
     run_phase thread -L concurrency "$@"
+    ;;
+  resilience)
+    run_phase "address,undefined" -L resilience "$@"
+    run_phase thread -L resilience "$@"
     ;;
   *)
     run_phase "${sanitizers}" "$@"

@@ -291,6 +291,17 @@ void scan_identifiers(const RuleContext& ctx) {
                      ": ad-hoc event queues fragment the schedule semantics "
                      "(seq tie-break, cancellation); schedule through "
                      "sim::Engine instead");
+    } else if ((ident == "mutex" || ident == "recursive_mutex" ||
+                ident == "timed_mutex" || ident == "recursive_timed_mutex" ||
+                ident == "shared_mutex" || ident == "shared_timed_mutex" ||
+                ident == "condition_variable" ||
+                ident == "condition_variable_any") &&
+               ctx.cls.in_src && !ctx.cls.in_support &&
+               qualified_by(s, i, "std") && !on_include_line(s, i)) {
+      ctx.report(line, "raw-mutex",
+                 "std::" + std::string(ident) +
+                     " bypasses the lock-rank checker; use RankedMutex / "
+                     "RankCv from support/lock_rank.hpp");
     } else if ((ident == "unordered_map" || ident == "unordered_set") &&
                ctx.cls.exporter && !on_include_line(s, i)) {
       ctx.report(line, "unordered-iter",
@@ -353,6 +364,7 @@ FileClass classify_path(std::string_view relative_path) {
   std::string p(relative_path);
   std::replace(p.begin(), p.end(), '\\', '/');
   cls.header = p.ends_with(".hpp");
+  cls.in_src = p.starts_with("src/");
   cls.in_support = p.starts_with("src/support/");
   cls.in_simengine = p.starts_with("src/simengine/");
   cls.exporter = p.starts_with("src/obs/") ||

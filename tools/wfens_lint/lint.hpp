@@ -31,6 +31,12 @@
 //                         src/metrics/trace_io.*): hash-order iteration
 //                         leaks into golden traces. #include lines are
 //                         exempt; lookup-only maps carry an allow().
+//   raw-mutex             std::mutex / std::condition_variable (and their
+//                         timed/recursive/shared variants) in src/ outside
+//                         src/support/ — concurrency primitives go through
+//                         support/lock_rank.hpp's RankedMutex/RankCv so
+//                         the lock-rank checker sees every acquisition.
+//                         #include lines are exempt.
 //   pragma-once           every header opens with #pragma once.
 //   include-parent        no #include "../..." — includes are rooted at
 //                         src/ so self-containment checks and tooling see
@@ -64,6 +70,7 @@ struct Finding {
 /// with forward slashes (e.g. "src/obs/export.cpp").
 struct FileClass {
   bool header = false;        ///< *.hpp
+  bool in_src = false;        ///< under src/
   bool in_support = false;    ///< under src/support/
   bool in_simengine = false;  ///< under src/simengine/
   bool exporter = false;      ///< trace-emitting TU set (src/obs/,

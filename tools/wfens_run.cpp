@@ -28,6 +28,25 @@
 //   --stage-error-p  per-stage transient error probability (simulated mode)
 //   --fault-policy   recovery policy when faults are on (default: retry)
 //   --fault-seed N   fault-injection seed (independent of the jitter seed)
+//   --node-down N@T  take node N down permanently at T virtual seconds
+//                    (repeatable; deterministic, no randomness involved)
+//   --fatal-crashes  make --faults crashes permanent: the first crash of a
+//                    node kills it for good and forces a migration
+//   --straggler M    per-node straggler windows with mean arrival M seconds
+//                    (compute stretched while a window covers a node)
+//   --net-degrade M  platform-wide network-degradation windows, mean
+//                    arrival M seconds (transfers stretched inside windows)
+//   --replication K  keep K copies of each staged chunk on a ring of nodes
+//                    (K > 1 prices the extra pushes and saves chunks when
+//                    the producer node dies)
+//   --migrate MODE   node-death migration targeting: 'builtin' (least
+//                    loaded surviving node) or 'replan' (online re-planner:
+//                    probe-scored incremental repair); default builtin
+//   --risk-aware     rank --schedule candidates by expected makespan under
+//                    the --faults failure distribution instead of the
+//                    fault-free objective
+//   --spare N        hold N nodes of the --schedule pool back from
+//                    placement as migration headroom
 //   --trace-out F    also record a structured run trace (engine, DTL,
 //                    scheduler, resilience activity) and write it to F:
 //                    .jsonl = compact span log, anything else = Chrome
@@ -43,6 +62,7 @@
 #include "runtime/native_executor.hpp"
 #include "runtime/simulated_executor.hpp"
 #include "runtime/spec_io.hpp"
+#include "sched/replanner.hpp"
 #include "sched/scheduler.hpp"
 #include "support/error.hpp"
 #include "workload/paper_configs.hpp"
@@ -57,6 +77,12 @@ int main(int argc, char** argv) {
                  "                 [--faults MTBF_S] [--stage-error-p P]\n"
                  "                 [--fault-policy retry|checkpoint|fail] "
                  "[--fault-seed N]\n"
+                 "                 [--node-down N@T] [--fatal-crashes]\n"
+                 "                 [--straggler MTBF_S] [--net-degrade "
+                 "MTBF_S]\n"
+                 "                 [--replication K] [--migrate "
+                 "builtin|replan]\n"
+                 "                 [--risk-aware] [--spare N]\n"
                  "                 [--trace-out trace.json|trace.jsonl]\n";
     return 2;
   }
@@ -70,6 +96,9 @@ int main(int argc, char** argv) {
   int threads = 1;
   res::FaultSpec faults;
   res::RecoveryPolicy recovery;
+  std::string migrate_mode = "builtin";
+  bool risk_aware = false;
+  int spare_nodes = 0;
   std::string trace_out_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +121,34 @@ int main(int argc, char** argv) {
       faults.stage_error_prob = std::atof(argv[++i]);
     } else if (arg == "--fault-seed" && i + 1 < argc) {
       faults.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--node-down" && i + 1 < argc) {
+      const std::string at = argv[++i];
+      const std::size_t sep = at.find('@');
+      if (sep == std::string::npos) {
+        std::cerr << "--node-down wants NODE@TIME (e.g. 1@40)\n";
+        return 2;
+      }
+      faults.node_down.push_back({std::atoi(at.substr(0, sep).c_str()),
+                                  std::atof(at.substr(sep + 1).c_str())});
+    } else if (arg == "--fatal-crashes") {
+      faults.crashes_are_fatal = true;
+    } else if (arg == "--straggler" && i + 1 < argc) {
+      faults.straggler_mtbf_s = std::atof(argv[++i]);
+    } else if (arg == "--net-degrade" && i + 1 < argc) {
+      faults.net_degrade_mtbf_s = std::atof(argv[++i]);
+    } else if (arg == "--replication" && i + 1 < argc) {
+      recovery.chunk_replication = std::atoi(argv[++i]);
+    } else if (arg == "--migrate" && i + 1 < argc) {
+      migrate_mode = argv[++i];
+      if (migrate_mode != "builtin" && migrate_mode != "replan") {
+        std::cerr << "unknown migrate mode: " << migrate_mode
+                  << " (want builtin|replan)\n";
+        return 2;
+      }
+    } else if (arg == "--risk-aware") {
+      risk_aware = true;
+    } else if (arg == "--spare" && i + 1 < argc) {
+      spare_nodes = std::atoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out_path = argv[++i];
     } else if (arg == "--fault-policy" && i + 1 < argc) {
@@ -141,6 +198,13 @@ int main(int argc, char** argv) {
     }
     if (steps > 0) spec.n_steps = steps;
 
+    sched::PlanOptions plan_options;
+    plan_options.threads = threads;
+    plan_options.faults = faults;
+    plan_options.recovery = recovery;
+    plan_options.risk_aware = risk_aware;
+    plan_options.spare_nodes = spare_nodes;
+
     if (!schedule_name.empty()) {
       // Strip the config's placement down to its demand and re-plan it.
       const auto platform = wl::cori_like_platform();
@@ -149,8 +213,7 @@ int main(int argc, char** argv) {
                                                   : platform.node_count};
       const sched::Schedule schedule =
           sched::make_scheduler(schedule_name)
-              ->plan(shape, platform, budget,
-                     sched::PlanOptions{.threads = threads});
+              ->plan(shape, platform, budget, plan_options);
       const std::string name = spec.name;
       spec = schedule.spec;
       spec.name = name + "+" + schedule_name;
@@ -178,8 +241,32 @@ int main(int argc, char** argv) {
       rt::SimulatedOptions options;
       options.faults = faults;
       options.recovery = recovery;
+      // The re-planner must outlive the executor holding its hook.
+      std::unique_ptr<sched::RePlanner> replanner;
+      if (migrate_mode == "replan" && faults.node_faults()) {
+        replanner = std::make_unique<sched::RePlanner>(
+            sched::EnsembleShape::of(spec), wl::cori_like_platform(),
+            plan_options);
+        // The running assignment: one node per component in slot order
+        // (multi-node components contribute their lowest node).
+        sched::Assignment assignment;
+        for (const auto& m : spec.members) {
+          assignment.push_back(*m.sim.nodes.begin());
+          for (const auto& a : m.analyses) {
+            assignment.push_back(*a.nodes.begin());
+          }
+        }
+        replanner->set_assignment(std::move(assignment));
+        options.migrate = replanner->hook();
+      }
       rt::SimulatedExecutor exec(wl::cori_like_platform(), options);
       result = exec.run(spec);
+      if (replanner && replanner->replans() > 0) {
+        std::cout << "re-planner repaired " << replanner->replans()
+                  << " placement(s) with " << replanner->evaluations()
+                  << " probe replays (last re-plan took "
+                  << replanner->last_latency_s() << " s)\n";
+      }
     }
 
     met::save_trace(out_path, result.trace);
@@ -194,6 +281,15 @@ int main(int argc, char** argv) {
     }
     if (faults.enabled()) {
       std::cout << result.failure_summary.str() << "\n";
+      if (!result.health_events.empty()) {
+        int downs = 0;
+        for (const auto& e : result.health_events) {
+          if (e.to == plat::NodeHealth::kDown) ++downs;
+        }
+        std::cout << result.health_events.size()
+                  << " node health transition(s), " << downs
+                  << " node(s) went down\n";
+      }
       if (!result.failure_summary.complete()) {
         std::cout << "note: " << result.failure_summary.failed_members.size()
                   << " member(s) did not finish; Table 1 / indicator "
