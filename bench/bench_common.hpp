@@ -81,6 +81,12 @@ class JsonReport {
   void add(const std::string& key, T value) {
     entries_.emplace_back(key, std::to_string(value));
   }
+  /// Pre-rendered JSON value (an array or nested object) emitted verbatim
+  /// under `key` — the caller is responsible for its validity. Used by
+  /// bench_micro to attach its per-benchmark results array.
+  void add_raw(const std::string& key, std::string json_value) {
+    entries_.emplace_back(key, std::move(json_value));
+  }
 
   std::string render() const {
     std::string out = "{\n";

@@ -1,10 +1,19 @@
 // Micro-benchmarks (google-benchmark): the engine, DTL and kernel costs
-// that underpin the macro experiments.
+// that underpin the macro experiments. A custom main (instead of
+// benchmark_main) captures every run into BENCH_micro.json so the
+// bench-smoke schema gate covers the microbenches too.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "analysis/bipartite_eigen.hpp"
+#include "bench_common.hpp"
 #include "dtl/coupling.hpp"
 #include "dtl/file_staging.hpp"
 #include "dtl/memory_staging.hpp"
@@ -130,4 +139,93 @@ void BM_ClusterStagePricing(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterStagePricing)->Arg(0)->Arg(2)->Arg(6);
 
+// -- JSON capture ------------------------------------------------------------
+
+/// Console output as usual, plus every per-iteration run captured as a
+/// (name, real ns/iter, iterations) row for the report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // real_accumulated_time is seconds over all iterations — convert
+      // directly rather than trusting the run's display time_unit.
+      const auto iters = static_cast<double>(
+          run.iterations > 0 ? run.iterations : 1);
+      rows.push_back({run.benchmark_name(),
+                      run.real_accumulated_time * 1e9 / iters,
+                      run.iterations});
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string rows_to_json(const std::vector<CapturingReporter::Row>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.17g", rows[i].real_time_ns);
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"name\": \"" + json_escape(rows[i].name) +
+           "\", \"real_time_ns\": " + num +
+           ", \"iterations\": " + std::to_string(rows[i].iterations) + "}";
+  }
+  out += "\n  ]";
+  return out;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip our own --quick before benchmark::Initialize sees (and rejects)
+  // it; quick mode shrinks the per-benchmark measuring window so the CI
+  // smoke run finishes in seconds.
+  std::vector<char*> args(argv, argv + argc);
+  const auto quick_end = std::remove_if(
+      args.begin(), args.end(),
+      [](char* a) { return std::string_view(a) == "--quick"; });
+  const bool quick = quick_end != args.end();
+  args.erase(quick_end, args.end());
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time.data());
+  args.push_back(nullptr);
+
+  int filtered_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (reporter.rows.empty()) {
+    std::fprintf(stderr, "bench_micro: no benchmarks ran; not writing "
+                         "BENCH_micro.json\n");
+    return 1;
+  }
+
+  wfe::bench::JsonReport report;
+  report.add("bench", "micro");
+  report.add("mode", quick ? "quick" : "full");
+  report.add_raw("benchmarks", rows_to_json(reporter.rows));
+  report.write("BENCH_micro.json");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Component-attributed replay profile — where does a replay's wall time go?
+//
+// Links the wfens_runtime_prof twin of the runtime library (the same
+// simulated executor TU compiled with WFENS_REPLAY_PROFILE=1), so the
+// replay hot path carries scoped section timers: interference pricing,
+// stage-model staging math, and metrics recording accumulate into the
+// obs::replay_profile counters, and everything left over is attributed to
+// engine dispatch (queue pops + callback invocation). Runs the same C1.5
+// replay series as bench_engine_throughput and writes
+// BENCH_replay_profile.json — the regression tripwire that tells future
+// PRs *which* component slowed down, not just that something did.
+//
+// Caveat: the section timers cost two steady-clock reads per scope, so the
+// instrumented replay is slower than the production one and short sections
+// (metrics pushes) read high. Percentages are for attribution trends, not
+// absolute cost accounting — compare against BENCH_engine.json for the
+// uninstrumented rate.
+//
+// `--quick` shrinks the series for CI smoke runs: the JSON keeps the full
+// schema (plus "mode": "quick") but the numbers are noisier.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/replay_profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::print_banner(
+      "Replay hot-path profile",
+      "Per-component wall-time attribution of the C1.5 replay series:\n"
+      "engine dispatch vs interference pricing vs stage model vs metrics.\n"
+      "Requires the profiled runtime twin (wfens_runtime_prof).");
+
+  const int replays = quick ? 3 : 50;
+  const auto c15 = wl::paper_config("C1.5");
+  rt::SimulatedExecutor exec(wl::cori_like_platform());
+
+  // Warm-up replay (allocator, code paths), then measure with clean
+  // accumulators.
+  (void)exec.run(c15.spec);
+  obs::replay_profile::reset();
+
+  const bench::Stopwatch timer;
+  std::uint64_t events = 0;
+  for (int i = 0; i < replays; ++i) {
+    events += exec.run(c15.spec).events_processed;
+  }
+  const double wall_s = timer.seconds();
+  const obs::ReplayProfileSnapshot snap = obs::replay_profile::snapshot();
+
+  // Self-check for the twin-library link order: if the uninstrumented
+  // simulated_executor.o won archive resolution, every section stays zero
+  // and the numbers below would silently lie.
+  if (snap.total_ns() == 0) {
+    std::cerr << "error: profiler sections are all zero - "
+                 "wfens_runtime_prof is not linked ahead of wfens_runtime\n";
+    return 1;
+  }
+
+  const double wall_ns = wall_s * 1e9;
+  const double section_ns = static_cast<double>(snap.total_ns());
+  // Engine dispatch is the remainder of the wall time; if timer overhead
+  // pushes the section sum past the wall clock, clamp to zero and let the
+  // sections own 100%.
+  const double engine_ns = std::max(0.0, wall_ns - section_ns);
+  const double denom = engine_ns + section_ns;
+
+  const auto pct = [&](double ns) { return 100.0 * ns / denom; };
+  const auto sect = [&](obs::ReplaySection s) {
+    return static_cast<double>(snap.ns[static_cast<std::size_t>(s)]);
+  };
+  const double interference_ns = sect(obs::ReplaySection::kInterference);
+  const double stage_model_ns = sect(obs::ReplaySection::kStageModel);
+  const double metrics_ns = sect(obs::ReplaySection::kMetrics);
+
+  std::cout << "replay series: " << c15.name << " x" << replays << ", "
+            << events << " events, " << sci(wall_s, 3) << " s wall\n\n";
+  const auto row = [](const char* name, double ns, double p,
+                      std::uint64_t calls) {
+    std::cout << "  " << name << ": " << sci(ns / 1e9, 3) << " s ("
+              << sci(p, 3) << " %), " << calls << " scopes\n";
+  };
+  row("engine dispatch ", engine_ns, pct(engine_ns), 0);
+  row("interference    ", interference_ns, pct(interference_ns),
+      snap.calls[0]);
+  row("stage model     ", stage_model_ns, pct(stage_model_ns), snap.calls[1]);
+  row("metrics         ", metrics_ns, pct(metrics_ns), snap.calls[2]);
+
+  bench::JsonReport report;
+  report.add("bench", "replay_profile");
+  report.add("mode", quick ? "quick" : "full");
+  report.add("replay_config", c15.name);
+  report.add("replay_count", replays);
+  report.add("replay_events", events);
+  report.add("wall_s", wall_s);
+  report.add("engine_dispatch_ns", engine_ns);
+  report.add("interference_ns", interference_ns);
+  report.add("stage_model_ns", stage_model_ns);
+  report.add("metrics_ns", metrics_ns);
+  report.add("engine_dispatch_pct", pct(engine_ns));
+  report.add("interference_pct", pct(interference_ns));
+  report.add("stage_model_pct", pct(stage_model_ns));
+  report.add("metrics_pct", pct(metrics_ns));
+  report.add("interference_calls", snap.calls[0]);
+  report.add("stage_model_calls", snap.calls[1]);
+  report.add("metrics_calls", snap.calls[2]);
+  report.write("BENCH_replay_profile.json");
+  return 0;
+}

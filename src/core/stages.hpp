@@ -8,6 +8,7 @@
 // steady-state durations and are the inputs of Eqs. (1)-(4).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,12 @@ enum class StageKind : std::uint8_t {
   kRestart,     ///< X: a member re-enters its state machine from a checkpoint
   kMigrate,     ///< M: a member re-homes onto surviving nodes after a death
 };
+
+/// Number of StageKind enumerators — kMigrate is the last one. Sized for
+/// per-kind count/duration arrays (e.g. met::StageColumns) so they can be
+/// flat arrays indexed by the enum value instead of maps.
+inline constexpr std::size_t kStageKindCount =
+    static_cast<std::size_t>(StageKind::kMigrate) + 1;
 
 const char* to_string(StageKind kind);
 

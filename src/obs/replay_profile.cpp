@@ -1,0 +1,57 @@
+#include "obs/replay_profile.hpp"
+
+namespace wfe::obs {
+
+namespace {
+
+struct Accumulators {
+  std::atomic<std::uint64_t> ns[kReplaySectionCount] = {};
+  std::atomic<std::uint64_t> calls[kReplaySectionCount] = {};
+};
+
+Accumulators& accs() {
+  static Accumulators a;
+  return a;
+}
+
+}  // namespace
+
+const char* to_string(ReplaySection section) {
+  switch (section) {
+    case ReplaySection::kInterference:
+      return "interference";
+    case ReplaySection::kStageModel:
+      return "stage_model";
+    case ReplaySection::kMetrics:
+      return "metrics";
+  }
+  return "?";
+}
+
+namespace replay_profile {
+
+void add(ReplaySection section, std::uint64_t ns) {
+  const auto i = static_cast<std::size_t>(section);
+  accs().ns[i].fetch_add(ns, std::memory_order_relaxed);
+  accs().calls[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+ReplayProfileSnapshot snapshot() {
+  ReplayProfileSnapshot out;
+  for (std::size_t i = 0; i < kReplaySectionCount; ++i) {
+    out.ns[i] = accs().ns[i].load(std::memory_order_relaxed);
+    out.calls[i] = accs().calls[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset() {
+  for (std::size_t i = 0; i < kReplaySectionCount; ++i) {
+    accs().ns[i].store(0, std::memory_order_relaxed);
+    accs().calls[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace replay_profile
+
+}  // namespace wfe::obs

@@ -1,0 +1,81 @@
+// Component-attributed replay profiler (PERF.md §7).
+//
+// The replay hot path divides into four cost components: engine dispatch
+// (the calendar queue popping and invoking callbacks), the stage model
+// (write/read/staging time computation), interference pricing (the
+// co-location batch kernel behind Cluster::resident_cost), and metrics
+// (stage-record pushes and trace materialization). This accumulator times
+// the last three with scoped timers and attributes the remainder of the
+// replay wall time to engine dispatch, so `bench_replay_profile` can report
+// which component a future PR slowed down.
+//
+// The accumulator itself is always compiled (it is tiny and testable); the
+// *call sites* in the simulated executor are compiled only into the
+// `wfens_runtime_prof` twin of `wfens_runtime` (see the WFE_REPLAY_PROF
+// macro in simulated_executor.cpp), so the production replay path carries
+// zero instrumentation — not even a branch. Counters are process-global
+// relaxed atomics: replays under ThreadPool fan-out accumulate safely, and
+// the bench resets between series.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace wfe::obs {
+
+/// The instrumented sections of the replay hot path. Engine dispatch is not
+/// a section: it is attributed as wall time minus the sum of sections.
+enum class ReplaySection : std::uint8_t {
+  kInterference,  ///< co-location pricing (batch kernel + cache lookups)
+  kStageModel,    ///< write/read/transfer time computation
+  kMetrics,       ///< stage-record pushes + trace materialization
+};
+inline constexpr std::size_t kReplaySectionCount = 3;
+
+const char* to_string(ReplaySection section);
+
+/// Accumulated nanoseconds and entry counts per section since last reset.
+struct ReplayProfileSnapshot {
+  std::uint64_t ns[kReplaySectionCount] = {0, 0, 0};
+  std::uint64_t calls[kReplaySectionCount] = {0, 0, 0};
+
+  std::uint64_t total_ns() const {
+    return ns[0] + ns[1] + ns[2];
+  }
+};
+
+namespace replay_profile {
+
+/// Add `ns` nanoseconds (and one call) to a section.
+void add(ReplaySection section, std::uint64_t ns);
+
+/// Read the current accumulators.
+ReplayProfileSnapshot snapshot();
+
+/// Zero every accumulator (between bench series).
+void reset();
+
+}  // namespace replay_profile
+
+/// RAII scope that adds its lifetime to one section's accumulator. Uses the
+/// steady clock (monotonic; wall-clock adjustments never go negative).
+class ReplaySectionTimer {
+ public:
+  explicit ReplaySectionTimer(ReplaySection section)
+      : section_(section), start_(std::chrono::steady_clock::now()) {}
+  ~ReplaySectionTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    replay_profile::add(section_, static_cast<std::uint64_t>(ns));
+  }
+  ReplaySectionTimer(const ReplaySectionTimer&) = delete;
+  ReplaySectionTimer& operator=(const ReplaySectionTimer&) = delete;
+
+ private:
+  ReplaySection section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wfe::obs

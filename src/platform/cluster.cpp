@@ -9,7 +9,10 @@ namespace wfe::plat {
 
 Cluster::Cluster(PlatformSpec spec) : spec_(std::move(spec)) {
   spec_.validate();
-  by_node_.resize(static_cast<std::size_t>(spec_.node_count));
+  const auto nodes = static_cast<std::size_t>(spec_.node_count);
+  by_node_.resize(nodes);
+  node_epoch_.assign(nodes, 1);
+  cache_.resize(nodes);
 }
 
 void Cluster::check_node(int node) const {
@@ -30,27 +33,62 @@ StageCost Cluster::stage_cost_excluding(int node,
   competitors.reserve(by_node_[static_cast<std::size_t>(node)].size());
   for (std::uint64_t h : by_node_[static_cast<std::size_t>(node)]) {
     if (h == self) continue;
-    competitors.push_back(active_.at(h).stage);
+    competitors.push_back(stage_of(h));
   }
   return compute_stage_cost(spec_, profile, cores, competitors);
+}
+
+const StageCost& Cluster::resident_cost(std::uint64_t handle) const {
+  WFE_REQUIRE(handle >= 1 && handle <= slots_.size() &&
+                  slots_[static_cast<std::size_t>(handle - 1)].live,
+              "unknown compute-stage handle");
+  const Record& rec = slots_[static_cast<std::size_t>(handle - 1)];
+  const auto node = static_cast<std::size_t>(rec.node);
+  NodeCache& cache = cache_[node];
+  const auto& handles = by_node_[node];
+  if (cache.epoch != node_epoch_[node]) {
+    // Reprice the whole co-location set in node order: the batch kernel's
+    // per-victim walk then sees competitors in exactly the order the scalar
+    // stage_cost_excluding() path would hand them.
+    cache.stages.clear();
+    cache.stages.reserve(handles.size());
+    for (std::uint64_t h : handles) cache.stages.push_back(stage_of(h));
+    cache.costs.resize(handles.size());
+    compute_stage_costs_batch(spec_, cache.stages, cache.costs);
+    cache.epoch = node_epoch_[node];
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i] == handle) return cache.costs[i];
+  }
+  WFE_REQUIRE(false, "active stage missing from its node's co-location set");
+  return cache.costs[0];  // unreachable
 }
 
 std::uint64_t Cluster::begin_compute(int node, const ComputeProfile& profile,
                                      int cores) {
   check_node(node);
   WFE_REQUIRE(cores > 0, "a compute stage needs at least one core");
-  const std::uint64_t h = next_handle_++;
-  active_.emplace(h, Record{node, ActiveStage{profile, cores}});
+  slots_.push_back(Record{node, true, ActiveStage{profile, cores}});
+  const auto h = static_cast<std::uint64_t>(slots_.size());
   by_node_[static_cast<std::size_t>(node)].push_back(h);
+  ++node_epoch_[static_cast<std::size_t>(node)];
   return h;
 }
 
 void Cluster::end_compute(std::uint64_t handle) {
-  auto it = active_.find(handle);
-  WFE_REQUIRE(it != active_.end(), "unknown compute-stage handle");
-  auto& vec = by_node_[static_cast<std::size_t>(it->second.node)];
+  WFE_REQUIRE(handle >= 1 && handle <= slots_.size() &&
+                  slots_[static_cast<std::size_t>(handle - 1)].live,
+              "unknown compute-stage handle");
+  Record& rec = slots_[static_cast<std::size_t>(handle - 1)];
+  auto& vec = by_node_[static_cast<std::size_t>(rec.node)];
   vec.erase(std::remove(vec.begin(), vec.end(), handle), vec.end());
-  active_.erase(it);
+  rec.live = false;
+  ++node_epoch_[static_cast<std::size_t>(rec.node)];
+}
+
+std::uint64_t Cluster::occupancy_epoch(int node) const {
+  check_node(node);
+  return node_epoch_[static_cast<std::size_t>(node)];
 }
 
 double Cluster::transfer_time(int src_node, int dst_node, double bytes) const {
@@ -69,7 +107,7 @@ int Cluster::active_cores(int node) const {
   check_node(node);
   int total = 0;
   for (std::uint64_t h : by_node_[static_cast<std::size_t>(node)]) {
-    total += active_.at(h).stage.cores;
+    total += stage_of(h).cores;
   }
   return total;
 }

@@ -11,10 +11,15 @@
 // active at that instant (a standard discrete-event approximation; the
 // steady-state phases the paper's model relies on make it accurate because
 // co-location sets are stable across in situ steps).
+//
+// Because co-location sets only change at begin/end_compute (residents are
+// registered once per run and move only on migration), each node carries an
+// occupancy epoch and a cached batch pricing of all its residents: the hot
+// replay path asks for `resident_cost(handle)`, which is a lookup unless the
+// node's occupancy changed since the last pricing — see PERF.md §7.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "platform/interference.hpp"
@@ -43,12 +48,25 @@ class Cluster {
   StageCost stage_cost_excluding(int node, const ComputeProfile& profile,
                                  int cores, std::uint64_t self) const;
 
+  /// Cached price of the active stage `handle` against the other active
+  /// stages of its node. Bit-identical to
+  /// `stage_cost_excluding(node, profile, cores, handle)` with the handle's
+  /// registered profile and cores; the node's whole co-location set is
+  /// priced in one `compute_stage_costs_batch` pass the first time any of
+  /// its residents asks after an occupancy change, then served from cache.
+  const StageCost& resident_cost(std::uint64_t handle) const;
+
   /// Mark a compute stage active; returns a handle for end_compute.
   std::uint64_t begin_compute(int node, const ComputeProfile& profile,
                               int cores);
 
   /// Mark a stage inactive. Throws InvalidArgument on an unknown handle.
   void end_compute(std::uint64_t handle);
+
+  /// Monotonic counter bumped every time `node`'s co-location set changes
+  /// (begin/end_compute). Cached pricings are valid exactly as long as this
+  /// does not move.
+  std::uint64_t occupancy_epoch(int node) const;
 
   /// Time to move `bytes` between two placements: same node -> memory copy;
   /// different nodes -> network transfer (topology model).
@@ -65,15 +83,31 @@ class Cluster {
 
  private:
   void check_node(int node) const;
+  const ActiveStage& stage_of(std::uint64_t handle) const {
+    return slots_[static_cast<std::size_t>(handle - 1)].stage;
+  }
 
   PlatformSpec spec_;
   struct Record {
-    int node;
+    int node = 0;
+    bool live = false;
     ActiveStage stage;
   };
-  std::unordered_map<std::uint64_t, Record> active_;
+  /// Slot storage indexed by handle-1; handles are never reused, so a slot
+  /// with live == false stays a tombstone. Replays create a fresh Cluster
+  /// each, and residents register once per run, so growth is bounded by the
+  /// partition count plus migrations — no free-list needed.
+  std::vector<Record> slots_;
   std::vector<std::vector<std::uint64_t>> by_node_;
-  std::uint64_t next_handle_ = 1;
+  /// Per-node occupancy epochs, starting at 1 so the never-priced cache
+  /// sentinel (epoch 0) is always stale.
+  std::vector<std::uint64_t> node_epoch_;
+  struct NodeCache {
+    std::uint64_t epoch = 0;
+    std::vector<ActiveStage> stages;
+    std::vector<StageCost> costs;
+  };
+  mutable std::vector<NodeCache> cache_;
 };
 
 }  // namespace wfe::plat

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -49,6 +50,87 @@ double effective_miss_ratio(const PlatformSpec& spec,
   return std::min(spec.interference.max_miss_ratio,
                   victim.base_miss_ratio +
                       headroom * victim.cache_sensitivity * pressure);
+}
+
+void compute_stage_costs_batch(const PlatformSpec& spec,
+                               std::span<const ActiveStage> stages,
+                               std::span<StageCost> out) {
+  WFE_REQUIRE(stages.size() == out.size(),
+              "batch pricing needs one output slot per stage");
+  const NodeSpec& node = spec.node;
+  const std::size_t n = stages.size();
+
+  // Victim-independent per-stage terms, hoisted once instead of once per
+  // victim×competitor pair: Amdahl effective-speedup, inverse base IPC,
+  // working set. Each is the exact value the scalar path computes inline,
+  // so reusing them cannot perturb a single bit of the result.
+  std::vector<double> amdahl(n);
+  std::vector<double> inv_ipc(n);
+  std::vector<double> ws(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WFE_REQUIRE(stages[i].cores > 0, "a compute stage needs at least one core");
+    WFE_REQUIRE(stages[i].profile.instructions >= 0.0,
+                "instruction count must be >= 0");
+    amdahl[i] =
+        amdahl_speedup(stages[i].cores, stages[i].profile.parallel_fraction);
+    inv_ipc[i] = 1.0 / stages[i].profile.base_ipc;
+    ws[i] = stages[i].profile.working_set_bytes;
+  }
+
+  // bw_demand() with the Amdahl factor pre-computed; the expression shape
+  // (association order) mirrors instr_rate()*refs*m*cacheline exactly.
+  const auto demand = [&node](const ComputeProfile& p, double a, double cpi,
+                              double m) {
+    return node.core_freq_hz * a / cpi * p.llc_refs_per_instr * m *
+           node.cacheline_bytes;
+  };
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const ComputeProfile& victim = stages[v].profile;
+    // Competitor working set, accumulated in set order skipping the victim
+    // — the same summation order the scalar path sees, so the rounding is
+    // identical.
+    double other_ws = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != v) other_ws += ws[j];
+    }
+    const double m_eff = effective_miss_ratio(spec, victim, other_ws);
+    const double cpi_v = inv_ipc[v] + victim.llc_refs_per_instr * m_eff *
+                                          node.llc_miss_penalty_cycles;
+    double total_demand = demand(victim, amdahl[v], cpi_v, m_eff);
+    if (spec.interference.enabled) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == v) continue;
+        const ComputeProfile& c = stages[j].profile;
+        const double ws_seen = other_ws - ws[j] + ws[v];
+        const double m_c = effective_miss_ratio(spec, c, ws_seen);
+        const double cpi_c = inv_ipc[j] + c.llc_refs_per_instr * m_c *
+                                              node.llc_miss_penalty_cycles;
+        total_demand += demand(c, amdahl[j], cpi_c, m_c);
+      }
+    }
+    const double bw_factor =
+        spec.interference.enabled
+            ? std::max(1.0, total_demand / node.mem_bw_bytes_per_s)
+            : 1.0;
+    const double cpi_eff = inv_ipc[v] + victim.llc_refs_per_instr * m_eff *
+                                            node.llc_miss_penalty_cycles *
+                                            bw_factor;
+    const double cpi_free = inv_ipc[v] + victim.llc_refs_per_instr *
+                                             victim.base_miss_ratio *
+                                             node.llc_miss_penalty_cycles;
+    StageCost& cost = out[v];
+    cost = StageCost{};
+    cost.effective_miss_ratio = m_eff;
+    cost.slowdown = cpi_eff / cpi_free;
+    cost.seconds =
+        victim.instructions * cpi_eff / (node.core_freq_hz * amdahl[v]);
+    cost.counters.instructions = victim.instructions;
+    cost.counters.cycles = victim.instructions * cpi_eff;
+    cost.counters.llc_references =
+        victim.instructions * victim.llc_refs_per_instr;
+    cost.counters.llc_misses = cost.counters.llc_references * m_eff;
+  }
 }
 
 StageCost compute_stage_cost(const PlatformSpec& spec,

@@ -22,6 +22,22 @@
 #include "support/rng.hpp"
 #include "support/str.hpp"
 
+// Per-component replay profiling (PERF.md §7): WFENS_REPLAY_PROFILE=1 —
+// defined only for the wfens_runtime_prof twin library that
+// bench_replay_profile links — compiles scoped section timers into the hot
+// path. The production build gets nothing, not even a branch.
+#if defined(WFENS_REPLAY_PROFILE) && WFENS_REPLAY_PROFILE
+#include "obs/replay_profile.hpp"
+#define WFE_REPLAY_PROF(section)                    \
+  const ::wfe::obs::ReplaySectionTimer wfe_replay_prof_scope { \
+    ::wfe::obs::ReplaySection::section                         \
+  }
+#else
+#define WFE_REPLAY_PROF(section) \
+  do {                           \
+  } while (false)
+#endif
+
 namespace wfe::rt {
 
 namespace {
@@ -31,17 +47,29 @@ using sim::Engine;
 
 struct MemberRun;
 
+/// Thread-local pool of columnar stage buffers. A replay checks one out for
+/// its lifetime and returns it cleared, so steady-state replays (campaign
+/// drivers and placement searches execute thousands back to back) reuse the
+/// high-water capacity of all seven columns instead of re-growing them every
+/// run. A pool — not a single slot — so a nested replay (a re-planning
+/// probe running inside an outer replay's callback) checks out its own
+/// buffer instead of corrupting its parent's.
+std::vector<met::StageColumns>& column_pool() {
+  thread_local std::vector<met::StageColumns> pool;
+  return pool;
+}
+
 /// Whole-replay context shared by all component state machines.
 struct Replay {
   const EnsembleSpec& spec;
   plat::Cluster cluster;
   Engine engine;
   /// Replay is single-threaded by construction (one engine, one clock), so
-  /// stages accumulate in a plain vector — no TraceRecorder mutex on the
-  /// per-stage hot path. Trace's constructor applies the same
-  /// (start, component) stable sort as TraceRecorder::take(), so the
-  /// resulting trace is bit-identical.
-  std::vector<met::StageRecord> records;
+  /// stages accumulate in a columnar SoA buffer — no TraceRecorder mutex
+  /// and no per-event StageRecord construction on the hot path.
+  /// StageColumns::take_trace() applies the same (start, component) stable
+  /// sort as TraceRecorder::take(), so the resulting trace is bit-identical.
+  met::StageColumns columns;
   Xoshiro256 rng;
   double jitter_sigma = 0.0;  ///< lognormal sigma; 0 = deterministic
 
@@ -71,11 +99,15 @@ struct Replay {
         rng(options.seed),
         traced(options.trace_obs && obs::enabled()) {
     engine.set_obs(traced);
+    if (auto& pool = column_pool(); !pool.empty()) {
+      columns = std::move(pool.back());
+      pool.pop_back();
+    }
     // ~4 stages per simulation step + ~3 per analysis step; overshooting
     // slightly keeps the record stream out of the allocator entirely.
     std::size_t components = 0;
     for (const MemberSpec& m : s.members) components += 1 + m.analyses.size();
-    records.reserve(components * (s.n_steps + 1) * 4);
+    columns.reserve(components * (s.n_steps + 1) * 4);
     if (options.jitter_cv > 0.0) {
       // For lognormal noise, CV^2 = exp(sigma^2) - 1.
       jitter_sigma =
@@ -89,6 +121,13 @@ struct Replay {
       health = std::make_unique<plat::HealthTracker>(platform.node_count);
       migrate = options.migrate;
     }
+  }
+
+  ~Replay() {
+    // Return the stage buffer to the pool with its capacity intact; the
+    // clear also covers replays abandoned mid-run by an exception.
+    columns.clear();
+    column_pool().push_back(std::move(columns));
   }
 
   bool faulty() const { return injector != nullptr; }
@@ -148,6 +187,17 @@ struct ComponentFootprint {
   plat::ComputeProfile whole;  ///< unscaled profile (total instructions)
   int total_cores = 1;
 
+  /// Bumped whenever the partition→node layout changes (init, rehome).
+  /// Downstream layout-dependent caches (write/read staging times) key on
+  /// it; 0 never matches, so fresh caches start stale.
+  std::uint64_t layout_epoch = 0;
+  /// Contention-free duration of the whole allocation — a pure function of
+  /// (spec, whole, total_cores), so priced once at init.
+  double free_seconds = 0.0;
+  /// Cross-node scaling penalty 1 + γ(distinct_nodes - 1), refreshed on
+  /// layout changes (a migration may fold two partitions onto one node).
+  double cross_penalty = 1.0;
+
   void init(Replay& rp, const std::set<int>& nodes, int cores,
             const plat::ComputeProfile& profile) {
     WFE_REQUIRE(!nodes.empty(), "a component needs at least one node");
@@ -171,6 +221,33 @@ struct ComponentFootprint {
       partitions.push_back(p);
       ++index;
     }
+    free_seconds =
+        plat::compute_stage_cost(rp.cluster.spec(), whole, total_cores, {})
+            .seconds;
+    refresh_layout(rp);
+  }
+
+  /// Re-derive the layout-dependent terms and invalidate downstream caches.
+  void refresh_layout(Replay& rp) {
+    ++layout_epoch;
+    // Count distinct nodes, not partitions: a migration may fold two
+    // partitions onto one survivor, and co-located partitions pay no
+    // cross-node penalty against each other. Equal to partitions.size() for
+    // any un-migrated footprint (node sets are distinct by construction).
+    std::size_t distinct_nodes = 0;
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (partitions[j].node == partitions[i].node) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ++distinct_nodes;
+    }
+    cross_penalty =
+        1.0 + rp.cluster.spec().interconnect.cross_node_compute_penalty *
+                  static_cast<double>(distinct_nodes - 1);
   }
 
   /// Move every partition resident on `from` to `to` (after a permanent
@@ -183,6 +260,7 @@ struct ComponentFootprint {
       p.node = to;
       p.residency = rp.cluster.begin_compute(to, p.profile, p.cores);
     }
+    refresh_layout(rp);
   }
 
   int primary_node() const { return partitions.front().node; }
@@ -203,11 +281,16 @@ struct ComponentFootprint {
 };
 
 plat::StageCost ComponentFootprint::priced(Replay& rp) const {
+  WFE_REPLAY_PROF(kInterference);
   plat::StageCost total;
   double worst_slowdown = 1.0;
   for (const Partition& p : partitions) {
-    const plat::StageCost c = rp.cluster.stage_cost_excluding(
-        p.node, p.profile, p.cores, p.residency);
+    // Cached co-location pricing: the cluster reprices a node's whole
+    // resident set in one batch pass only when its occupancy epoch moved
+    // (residencies change at init and migration, not per stage), so the
+    // steady-state cost here is a lookup — bit-identical to the scalar
+    // stage_cost_excluding call it replaces.
+    const plat::StageCost& c = rp.cluster.resident_cost(p.residency);
     worst_slowdown = std::max(worst_slowdown, c.slowdown);
     total.counters += c.counters;
     total.effective_miss_ratio =
@@ -215,71 +298,79 @@ plat::StageCost ComponentFootprint::priced(Replay& rp) const {
   }
   // Contention-free duration of the WHOLE allocation (Amdahl over the
   // total core count — splitting across nodes must never speed a fixed
-  // allocation up), stretched by contention and the cross-node penalty.
-  const plat::StageCost free_whole =
-      plat::compute_stage_cost(rp.cluster.spec(), whole, total_cores, {});
-  // Count distinct nodes, not partitions: a migration may fold two
-  // partitions onto one survivor, and co-located partitions pay no
-  // cross-node penalty against each other. Equal to partitions.size() for
-  // any un-migrated footprint (node sets are distinct by construction).
-  std::size_t distinct_nodes = 0;
-  for (std::size_t i = 0; i < partitions.size(); ++i) {
-    bool seen = false;
-    for (std::size_t j = 0; j < i; ++j) {
-      if (partitions[j].node == partitions[i].node) {
-        seen = true;
-        break;
-      }
-    }
-    if (!seen) ++distinct_nodes;
-  }
-  const double penalty =
-      1.0 + rp.cluster.spec().interconnect.cross_node_compute_penalty *
-                static_cast<double>(distinct_nodes - 1);
-  total.slowdown = worst_slowdown * penalty;
-  total.seconds = free_whole.seconds * total.slowdown;
+  // allocation up, priced once at init), stretched by contention and the
+  // cross-node penalty (refreshed on layout changes).
+  total.slowdown = worst_slowdown * cross_penalty;
+  total.seconds = free_seconds * total.slowdown;
   return total;
 }
 
-/// Append one stage record to the member trace and mirror it into the
-/// observability layer: always onto the component's own track, staging
-/// stages additionally onto the member's DTL-view track, and
-/// failure-semantics stages onto the shared resilience track. All
-/// timestamps are virtual seconds, so traced runs replay bit-identically.
-void record_stage(Replay& rp, const met::StageRecord& r) {
-  WFE_REQUIRE(r.end >= r.start, "a stage cannot end before it starts");
-  rp.records.push_back(r);
-  if (!rp.traced) return;
-  obs::span(r.component.str(), met::stage_mnemonic(r.kind), r.start, r.end);
-  switch (r.kind) {
+/// Mirror one stage into the observability layer: always onto the
+/// component's own track, staging stages additionally onto the member's
+/// DTL-view track, and failure-semantics stages onto the shared resilience
+/// track. All timestamps are virtual seconds, so traced runs replay
+/// bit-identically. Called only when tracing is on — emission order and
+/// content are unchanged from the AoS path.
+void trace_obs_stage(const met::ComponentId& component, StageKind kind,
+                     double start, double end) {
+  obs::span(component.str(), met::stage_mnemonic(kind), start, end);
+  switch (kind) {
     case StageKind::kWrite:
-      obs::span(strprintf("dtl/m%u", r.component.member), "put", r.start,
-                r.end);
-      obs::add_counter("dtl.puts", r.end, 1.0);
+      obs::span(strprintf("dtl/m%u", component.member), "put", start, end);
+      obs::add_counter("dtl.puts", end, 1.0);
       break;
     case StageKind::kRead:
-      obs::span(strprintf("dtl/m%u", r.component.member), "get", r.start,
-                r.end);
-      obs::add_counter("dtl.gets", r.end, 1.0);
+      obs::span(strprintf("dtl/m%u", component.member), "get", start, end);
+      obs::add_counter("dtl.gets", end, 1.0);
       break;
     case StageKind::kFault:
-      obs::span("resilience", "fault", r.start, r.end);
+      obs::span("resilience", "fault", start, end);
       break;
     case StageKind::kBackoff:
-      obs::span("resilience", "backoff", r.start, r.end);
+      obs::span("resilience", "backoff", start, end);
       break;
     case StageKind::kCheckpoint:
-      obs::span("resilience", "checkpoint", r.start, r.end);
+      obs::span("resilience", "checkpoint", start, end);
       break;
     case StageKind::kRestart:
-      obs::span("resilience", "restart", r.start, r.end);
+      obs::span("resilience", "restart", start, end);
       break;
     case StageKind::kMigrate:
-      obs::span("resilience", "migrate", r.start, r.end);
+      obs::span("resilience", "migrate", start, end);
       break;
     default:
       break;
   }
+}
+
+/// Append one counter-less stage (idle, I/O, fault bookkeeping) to the
+/// columnar member trace: five column writes, no StageRecord construction
+/// on the hot path.
+void record_stage(Replay& rp, const met::ComponentId& component,
+                  std::uint64_t step, StageKind kind, double start,
+                  double end) {
+  WFE_REPLAY_PROF(kMetrics);
+  WFE_REQUIRE(end >= start, "a stage cannot end before it starts");
+  rp.columns.push(component, step, kind, start, end);
+  if (rp.traced) trace_obs_stage(component, kind, start, end);
+}
+
+/// Compute-stage variant carrying synthesized counters. All-zero counters
+/// (W/R/checkpoint stages route through exec_stage with empty counters)
+/// take the counter-less column path, keeping the dense counter array S/A
+/// stages only — the materialized trace is identical either way.
+void record_stage(Replay& rp, const met::ComponentId& component,
+                  std::uint64_t step, StageKind kind, double start, double end,
+                  const plat::HwCounters& counters) {
+  WFE_REPLAY_PROF(kMetrics);
+  WFE_REQUIRE(end >= start, "a stage cannot end before it starts");
+  if (counters.instructions == 0.0 && counters.cycles == 0.0 &&
+      counters.llc_references == 0.0 && counters.llc_misses == 0.0) {
+    rp.columns.push(component, step, kind, start, end);
+  } else {
+    rp.columns.push(component, step, kind, start, end, counters);
+  }
+  if (rp.traced) trace_obs_stage(component, kind, start, end);
 }
 
 /// One fault-killable execution slot: the component's pending engine event
@@ -308,9 +399,28 @@ struct StageExec {
   InFlight fl;
 };
 
+void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
+                   StageKind kind, double seconds,
+                   const plat::HwCounters& counters,
+                   std::function<void()> done, int attempt);
+
+/// Run one stage to completion, recording it in the trace. Fault-free mode
+/// is byte-for-byte the original replay (record at start, one completion
+/// event) and hands the continuation lambda straight to the engine's
+/// SmallFn — no std::function materializes on the hot path. Fault mode
+/// wraps it for the retry machinery (InFlight re-runs need type erasure).
+template <typename F>
 void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
-                double seconds, const plat::HwCounters& counters,
-                std::function<void()> done);
+                double seconds, const plat::HwCounters& counters, F&& done) {
+  if (!rp.faulty()) {
+    const double now = rp.engine.now();
+    record_stage(rp, se.id, step, kind, now, now + seconds, counters);
+    rp.engine.schedule_in(seconds, std::forward<F>(done));
+    return;
+  }
+  attempt_stage(rp, se, step, kind, seconds, counters,
+                std::function<void()>(std::forward<F>(done)), 1);
+}
 
 /// One analysis component's state machine.
 struct AnalysisRun {
@@ -322,6 +432,14 @@ struct AnalysisRun {
   double idle_since = 0.0;  ///< when the current I^A wait began
   bool waiting = false;     ///< parked until the chunk is committed
 
+  /// Layout-keyed cache for the chunk gather time: valid while neither the
+  /// producer's nor this reader's partition layout changed (stamps 0 never
+  /// match, so the first read computes).
+  double read_cache = 0.0;
+  std::uint64_t read_stamp_sim = 0;
+  std::uint64_t read_stamp_self = 0;
+
+  double read_cost(Replay& rp);
   void try_read(Replay& rp);
   void start_read(Replay& rp);
 };
@@ -359,11 +477,21 @@ struct MemberRun {
     return true;
   }
 
+  /// Layout-keyed cache for write_time(): the staging cost is a pure
+  /// function of the producer layout (plus replay constants), so it only
+  /// needs recomputing after a migration. Stamp 0 never matches a layout
+  /// epoch, so the first call computes.
+  double write_cache = 0.0;
+  std::uint64_t write_stamp = 0;
+
   /// DIMES-style distributed write: each simulation partition publishes
   /// its shard into node-local memory, in parallel. With replication the
   /// shard is additionally pushed to its ring neighbours — the transfer
-  /// cost of surviving a producer-node death.
-  double write_time(Replay& rp) const {
+  /// cost of surviving a producer-node death. Jitter and degradation
+  /// stretches multiply *after* this, so the cached base stays valid.
+  double write_time(Replay& rp) {
+    WFE_REPLAY_PROF(kStageModel);
+    if (write_stamp == sim.layout_epoch) return write_cache;
     const double shard = chunk_bytes / static_cast<double>(sim.node_count());
     double w = 0.0;
     for (const auto& p : sim.partitions) {
@@ -376,6 +504,8 @@ struct MemberRun {
         }
       }
     }
+    write_cache = w;
+    write_stamp = sim.layout_epoch;
     return w;
   }
 
@@ -384,6 +514,7 @@ struct MemberRun {
   /// shard in parallel; the slowest pair dominates. Slices landing on
   /// their own shard's node are local copies.
   double read_time(Replay& rp, const ComponentFootprint& reader) const {
+    WFE_REPLAY_PROF(kStageModel);
     const double piece =
         chunk_bytes / static_cast<double>(sim.node_count() *
                                           reader.node_count());
@@ -420,8 +551,7 @@ void kill_in_flight(Replay& rp, StageExec& se) {
   se.fl.active = false;
   if (se.fl.kind == StageKind::kBackoff) return;  // no work was in flight
   const double now = rp.engine.now();
-  record_stage(rp,
-               {se.id, se.fl.step, StageKind::kFault, se.fl.start, now, {}});
+  record_stage(rp, se.id, se.fl.step, StageKind::kFault, se.fl.start, now);
   rp.summary.wasted_core_seconds +=
       (now - se.fl.start) * static_cast<double>(se.footprint->total_cores);
 }
@@ -452,7 +582,7 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
         up, [&rp, &se, step, kind, seconds, counters, done, attempt, t0,
              up] {
           se.fl.active = false;
-          record_stage(rp, {se.id, step, StageKind::kBackoff, t0, up, {}});
+          record_stage(rp, se.id, step, StageKind::kBackoff, t0, up);
           attempt_stage(rp, se, step, kind, seconds, counters, done,
                         attempt);
         });
@@ -477,7 +607,7 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
     se.fl.event = rp.engine.schedule_in(
         seconds, [&rp, &se, step, kind, seconds, counters, done, t0] {
           se.fl.active = false;
-          record_stage(rp, {se.id, step, kind, t0, t0 + seconds, counters});
+          record_stage(rp, se.id, step, kind, t0, t0 + seconds, counters);
           done();
         });
     return;
@@ -491,27 +621,12 @@ void attempt_stage(Replay& rp, StageExec& se, std::uint64_t step,
   });
 }
 
-/// Run one stage to completion, recording it in the trace. Fault-free mode
-/// is byte-for-byte the original replay (record at start, one completion
-/// event); fault mode routes through attempt_stage.
-void exec_stage(Replay& rp, StageExec& se, std::uint64_t step, StageKind kind,
-                double seconds, const plat::HwCounters& counters,
-                std::function<void()> done) {
-  if (!rp.faulty()) {
-    const double now = rp.engine.now();
-    record_stage(rp, {se.id, step, kind, now, now + seconds, counters});
-    rp.engine.schedule_in(seconds, std::move(done));
-    return;
-  }
-  attempt_stage(rp, se, step, kind, seconds, counters, std::move(done), 1);
-}
-
 /// An injected fault killed `se`'s in-flight stage: account for the lost
 /// work and dispatch the member's recovery policy.
 void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
   const InFlight fl = se.fl;  // copy: recovery below overwrites the slot
   const double now = rp.engine.now();
-  record_stage(rp, {se.id, fl.step, StageKind::kFault, fl.start, now, {}});
+  record_stage(rp, se.id, fl.step, StageKind::kFault, fl.start, now);
   rp.summary.wasted_core_seconds +=
       (now - fl.start) * static_cast<double>(se.footprint->total_cores);
   if (is_crash) {
@@ -551,8 +666,8 @@ void on_stage_fault(Replay& rp, StageExec& se, bool is_crash) {
       se.fl.event = rp.engine.schedule_at(
           resume, [&rp, &se, fl, now, resume, next_attempt] {
             se.fl.active = false;
-            record_stage(
-                rp, {se.id, fl.step, StageKind::kBackoff, now, resume, {}});
+            record_stage(rp, se.id, fl.step, StageKind::kBackoff, now,
+                         resume);
             attempt_stage(rp, se, fl.step, fl.kind, fl.duration, fl.counters,
                           fl.done, next_attempt);
           });
@@ -589,8 +704,8 @@ void MemberRun::restart_from_checkpoint(Replay& rp) {
   kill_all_in_flight(rp);
 
   const double resume = up + rp.policy.restart_cost_s;
-  record_stage(rp,
-               {sim_id, checkpoint_step, StageKind::kRestart, now, resume, {}});
+  record_stage(rp, sim_id, checkpoint_step, StageKind::kRestart, now,
+               resume);
   if (rp.traced) obs::add_counter("res.restarts", now, 1.0);
 
   // Roll the member back: the simulation re-enters at the checkpointed
@@ -766,7 +881,7 @@ void MemberRun::handle_node_loss(Replay& rp) {
 
   const double resume =
       now + rp.policy.migration_cost_s + rp.policy.restart_cost_s;
-  record_stage(rp, {sim_id, sim_step, StageKind::kMigrate, now, resume, {}});
+  record_stage(rp, sim_id, sim_step, StageKind::kMigrate, now, resume);
   if (rp.traced) obs::add_counter("res.migrations", now, 1.0);
   rp.engine.schedule_at(resume, [this, &rp] {
     if (failed) return;
@@ -800,7 +915,7 @@ void MemberRun::after_sim_compute(Replay& rp) {
 
 void MemberRun::start_write(Replay& rp) {
   const double now = rp.engine.now();
-  record_stage(rp, {sim_id, sim_step, StageKind::kSimIdle, s_end, now, {}});
+  record_stage(rp, sim_id, sim_step, StageKind::kSimIdle, s_end, now);
   double w = write_time(rp) * rp.jitter();
   w *= rp.transfer_stretch();  // network-degradation windows stretch staging
   exec_stage(rp, sim_sx, sim_step, StageKind::kWrite, w, {},
@@ -867,6 +982,16 @@ void MemberRun::on_read_done(Replay& rp, int reader, std::uint64_t step) {
   }
 }
 
+double AnalysisRun::read_cost(Replay& rp) {
+  if (read_stamp_sim != member->sim.layout_epoch ||
+      read_stamp_self != footprint.layout_epoch) {
+    read_cache = member->read_time(rp, footprint);
+    read_stamp_sim = member->sim.layout_epoch;
+    read_stamp_self = footprint.layout_epoch;
+  }
+  return read_cache;
+}
+
 void AnalysisRun::try_read(Replay& rp) {
   idle_since = rp.engine.now();
   if (static_cast<std::int64_t>(next_step) <= member->committed) {
@@ -878,11 +1003,11 @@ void AnalysisRun::try_read(Replay& rp) {
 
 void AnalysisRun::start_read(Replay& rp) {
   const double now = rp.engine.now();
-  record_stage(rp, {id, next_step, StageKind::kAnaIdle, idle_since, now, {}});
+  record_stage(rp, id, next_step, StageKind::kAnaIdle, idle_since, now);
   // Fetch the chunk from the producer's node(s) (data locality:
   // co-located partitions pay memory copies, remote ones network
   // transfers).
-  double r = member->read_time(rp, footprint) * rp.jitter();
+  double r = read_cost(rp) * rp.jitter();
   r *= rp.transfer_stretch();
   exec_stage(rp, sx, next_step, StageKind::kRead, r, {}, [this, &rp] {
     member->on_read_done(rp, id.analysis, next_step);
@@ -985,7 +1110,13 @@ ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
   }
 
   ExecutionResult result;
-  result.trace = met::Trace(std::move(rp.records));
+  // Flush the per-replay counter accumulator once, then materialize the
+  // columns (same (start, component) stable sort as the AoS constructor).
+  result.hw_totals = rp.columns.counter_total();
+  {
+    WFE_REPLAY_PROF(kMetrics);
+    result.trace = rp.columns.take_trace();
+  }
   result.n_steps = spec.n_steps;
   result.events_processed = rp.engine.events_processed();
   result.failure_summary = std::move(rp.summary);

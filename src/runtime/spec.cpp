@@ -1,6 +1,6 @@
 #include "runtime/spec.hpp"
 
-#include <map>
+#include <vector>
 
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -40,8 +40,11 @@ void EnsembleSpec::validate(const plat::PlatformSpec& platform) const {
   // Per-node concurrent core demand: components are all active in steady
   // state, so a node must fit the sum of its residents' core counts.
   // Components spanning several nodes contribute cores / |nodes| per node
-  // (even spread), matching how MPI ranks would be distributed.
-  std::map<int, double> demand;
+  // (even spread), matching how MPI ranks would be distributed. Flat
+  // per-node array, not a map — validation runs once per replay, and the
+  // campaign drivers replay thousands of specs back to back.
+  std::vector<double> demand(static_cast<std::size_t>(platform.node_count),
+                             0.0);
   auto place = [&](const std::set<int>& nodes, int cores, const char* what) {
     if (nodes.empty()) {
       throw SpecError(std::string(what) + " must run on at least one node");
@@ -54,8 +57,8 @@ void EnsembleSpec::validate(const plat::PlatformSpec& platform) const {
         throw SpecError(strprintf("%s placed on node %d outside platform (%d nodes)",
                                   what, n, platform.node_count));
       }
-      demand[n] += static_cast<double>(cores) /
-                   static_cast<double>(nodes.size());
+      demand[static_cast<std::size_t>(n)] +=
+          static_cast<double>(cores) / static_cast<double>(nodes.size());
     }
   };
 
@@ -80,7 +83,8 @@ void EnsembleSpec::validate(const plat::PlatformSpec& platform) const {
     }
   }
 
-  for (const auto& [node, cores] : demand) {
+  for (int node = 0; node < platform.node_count; ++node) {
+    const double cores = demand[static_cast<std::size_t>(node)];
     if (cores > static_cast<double>(platform.node.cores) + 1e-9) {
       throw SpecError(strprintf(
           "node %d oversubscribed: %.1f cores demanded, %d available", node,

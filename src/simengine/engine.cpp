@@ -76,10 +76,19 @@ void Engine::route(const Ref& r) {
   // Tier invariant: every ref outside `near_` is (time, seq)-after every
   // ref inside it. A new ref carries the globally largest seq, so it may
   // go outside whenever its time is at or beyond the latest near time.
-  if (!near_.empty() && r.time < near_.front().time) {
-    near_.insert(
-        std::lower_bound(near_.begin(), near_.end(), r, RefLater{}), r);
-    return;
+  if (!near_.empty()) {
+    // Fires before everything pending (back is the soonest): descending
+    // order means it appends in O(1) — the common case when a component
+    // schedules its next stage a short delay ahead.
+    if (RefLater{}(near_.back(), r)) {
+      near_.push_back(r);
+      return;
+    }
+    if (r.time < near_.front().time) {
+      near_.insert(
+          std::lower_bound(near_.begin(), near_.end(), r, RefLater{}), r);
+      return;
+    }
   }
   // Finest rung first: the first rung whose range still covers r.time owns
   // it. Times below the rung's unconsumed region clamp into the cursor

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -67,6 +68,12 @@ class SmallFn {
     /// Move-construct the payload into `dst` and destroy it in `src`.
     void (*relocate)(void* src, void* dst);
     void (*destroy)(void*);
+    /// Inline payload that is trivially copyable (hence trivially
+    /// destructible): relocation is a buffer memcpy and destruction a
+    /// no-op, so the move and reset paths skip the indirect calls. The
+    /// engine's stage closures capture a couple of raw pointers, so this
+    /// is the hot case.
+    bool trivial;
   };
 
   template <typename D>
@@ -77,7 +84,8 @@ class SmallFn {
       static_cast<D*>(src)->~D();
     }
     static void destroy(void* p) { static_cast<D*>(p)->~D(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    static constexpr Ops ops{&invoke, &relocate, &destroy,
+                             std::is_trivially_copyable_v<D>};
   };
 
   template <typename D>
@@ -88,20 +96,26 @@ class SmallFn {
       ::new (dst) D*(ptr(src));
     }
     static void destroy(void* p) { delete ptr(p); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    // Never trivial: destroy must free the heap payload.
+    static constexpr Ops ops{&invoke, &relocate, &destroy, false};
   };
 
   void move_from(SmallFn& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(other.buf_, buf_);
+      if (ops_->trivial) {
+        // Payload size is erased; copying the whole buffer is harmless.
+        std::memcpy(buf_, other.buf_, kInlineBytes);
+      } else {
+        ops_->relocate(other.buf_, buf_);
+      }
       other.ops_ = nullptr;
     }
   }
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (!ops_->trivial) ops_->destroy(buf_);
       ops_ = nullptr;
     }
   }

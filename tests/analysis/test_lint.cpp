@@ -150,6 +150,45 @@ TEST(LintUnordered, FineOutsideExporters) {
   EXPECT_TRUE(fs.empty());
 }
 
+// -- StageRecord outside the recording layers --------------------------------
+
+TEST(LintStageRecord, ConstructionOutsideRuntimeCaught) {
+  const std::string brace = "auto r = met::StageRecord{c, 0, k, 1.0, 2.0};\n";
+  const std::string decl = "met::StageRecord r;\n";
+  for (const std::string& src : {brace, decl}) {
+    const auto fs = lint::lint_source("src/sched/x.cpp", src);
+    ASSERT_EQ(fs.size(), 1u) << src;
+    EXPECT_EQ(fs[0].rule, "stage-record-outside-runtime");
+  }
+}
+
+TEST(LintStageRecord, RuntimeAndMetricsMayConstruct) {
+  const std::string src = "met::StageRecord r{};\n";
+  EXPECT_TRUE(lint::lint_source("src/runtime/x.cpp", src).empty());
+  EXPECT_TRUE(lint::lint_source("src/metrics/trace.cpp", src).empty());
+  // tools/ and tests are out of scope entirely.
+  EXPECT_TRUE(lint::lint_source("tools/wfens_x.cpp", src).empty());
+}
+
+TEST(LintStageRecord, ReadOnlyUsesAreFine) {
+  // References, template arguments, and range-for reads never construct.
+  const auto fs = lint::lint_source(
+      "src/sched/x.cpp",
+      "void f(const met::StageRecord& r);\n"
+      "std::vector<met::StageRecord> v = trace.for_component(id);\n"
+      "for (const met::StageRecord& r : v) { use(r); }\n"
+      "#include \"metrics/StageRecord.hpp\"\n");
+  EXPECT_TRUE(fs.empty()) << fs[0].message;
+}
+
+TEST(LintStageRecord, AllowAnnotationSuppresses) {
+  const auto fs = lint::lint_source(
+      "src/sched/x.cpp",
+      "met::StageRecord r;  "
+      "// wfens-lint: allow(stage-record-outside-runtime)\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // -- raw concurrency primitives ----------------------------------------------
 
 TEST(LintRawMutex, StdMutexBannedInSrc) {
@@ -295,6 +334,9 @@ TEST(LintClassify, PathsScopeTheRules) {
   EXPECT_TRUE(lint::classify_path("src/obs/export.cpp").exporter);
   EXPECT_TRUE(lint::classify_path("src/metrics/trace_io.cpp").exporter);
   EXPECT_FALSE(lint::classify_path("src/metrics/trace.cpp").exporter);
+  EXPECT_TRUE(lint::classify_path("src/runtime/x.cpp").in_runtime);
+  EXPECT_TRUE(lint::classify_path("src/metrics/trace.cpp").in_metrics);
+  EXPECT_FALSE(lint::classify_path("src/sched/x.cpp").in_runtime);
   EXPECT_TRUE(lint::classify_path("src/core/x.hpp").header);
   EXPECT_FALSE(lint::classify_path("src/core/x.cpp").header);
 }

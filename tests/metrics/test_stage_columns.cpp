@@ -1,0 +1,196 @@
+// Differential proof that the columnar (SoA) stage buffer is equivalent to
+// recording AoS StageRecords directly: fuzzed push streams materialize to a
+// Trace that is byte-identical to `Trace(std::vector<StageRecord>)` over the
+// same stages, the running counter total equals the sum over the merged
+// records, and the per-kind counts match. This is the contract that lets the
+// replay hot path (src/runtime/simulated_executor.cpp) swap representations
+// without disturbing golden traces or any paper table.
+//
+// This TU also overrides global operator new/delete with counting hooks to
+// prove the buffer's zero-allocation steady state: after the columns reach
+// their high-water capacity, a full replay-shaped cycle of pushes + clear()
+// must not touch the allocator. The override is process-wide, so — like
+// simengine/test_queue_equivalence.cpp — this TU gets its own test binary.
+#include "metrics/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace wfe::met {
+namespace {
+
+/// One fuzzed scenario: `n` stages with clustered start times (many exact
+/// ties, to exercise the stable sort's tie-break) across a few components.
+std::vector<StageRecord> fuzz_stages(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<StageRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StageRecord r;
+    r.component.member = static_cast<std::uint32_t>(rng.below(4));
+    r.component.analysis = static_cast<std::int32_t>(rng.below(3)) - 1;
+    r.step = rng.below(50);
+    r.kind = static_cast<core::StageKind>(rng.below(core::kStageKindCount));
+    // Quantized starts: roughly 1-in-8 stages share an exact start time
+    // with another, so the (start, component) tie-break and the stable
+    // insertion-order tie-break both carry weight.
+    r.start = static_cast<double>(rng.below(n / 8 + 1));
+    r.end = r.start + rng.uniform01();
+    const bool compute = r.kind == core::StageKind::kSimulate ||
+                         r.kind == core::StageKind::kAnalyze;
+    if (compute) {
+      r.counters.instructions = 1e9 * rng.uniform01();
+      r.counters.cycles = 1e9 * rng.uniform01();
+      r.counters.llc_references = 1e7 * rng.uniform01();
+      r.counters.llc_misses = 1e6 * rng.uniform01();
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// Push the scenario through a StageColumns exactly the way the replay
+/// does: the counters overload for compute stages, the plain one otherwise.
+void push_all(StageColumns& columns, const std::vector<StageRecord>& stages) {
+  for (const StageRecord& r : stages) {
+    const bool compute = r.kind == core::StageKind::kSimulate ||
+                         r.kind == core::StageKind::kAnalyze;
+    if (compute) {
+      columns.push(r.component, r.step, r.kind, r.start, r.end, r.counters);
+    } else {
+      columns.push(r.component, r.step, r.kind, r.start, r.end);
+    }
+  }
+}
+
+void expect_identical(const Trace& soa, const Trace& aos,
+                      std::uint64_t seed) {
+  ASSERT_EQ(soa.size(), aos.size()) << "seed " << seed;
+  const auto a = soa.records();
+  const auto b = aos.records();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise field comparison: the contract is byte identity, not
+    // tolerance — memcmp on the doubles distinguishes -0.0 and NaN too.
+    EXPECT_EQ(a[i].component, b[i].component) << "seed " << seed << " @" << i;
+    EXPECT_EQ(a[i].step, b[i].step) << "seed " << seed << " @" << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "seed " << seed << " @" << i;
+    EXPECT_EQ(std::memcmp(&a[i].start, &b[i].start, sizeof(double)), 0)
+        << "seed " << seed << " @" << i;
+    EXPECT_EQ(std::memcmp(&a[i].end, &b[i].end, sizeof(double)), 0)
+        << "seed " << seed << " @" << i;
+    EXPECT_EQ(std::memcmp(&a[i].counters, &b[i].counters,
+                          sizeof(plat::HwCounters)),
+              0)
+        << "seed " << seed << " @" << i;
+  }
+}
+
+TEST(StageColumns, FuzzedMergeIsByteIdenticalToAosTrace) {
+  StageColumns columns;  // reused across scenarios, like across replays
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const std::size_t n = 1 + static_cast<std::size_t>(seed * 37 % 600);
+    const std::vector<StageRecord> stages = fuzz_stages(seed, n);
+    push_all(columns, stages);
+    const Trace soa = columns.take_trace();
+    const Trace aos = Trace(stages);
+    expect_identical(soa, aos, seed);
+  }
+}
+
+TEST(StageColumns, CounterTotalAndKindCountsMatchTheMergedTrace) {
+  StageColumns columns;
+  const std::vector<StageRecord> stages = fuzz_stages(7, 400);
+  push_all(columns, stages);
+
+  plat::HwCounters expected_total;
+  std::array<std::uint64_t, core::kStageKindCount> expected_counts{};
+  for (const StageRecord& r : stages) {
+    expected_total += r.counters;
+    ++expected_counts[static_cast<std::size_t>(r.kind)];
+  }
+
+  // The running accumulator must equal the exact left-to-right push-order
+  // sum (bitwise: FP addition is order-sensitive and the replay flushes
+  // this total into ExecutionResult verbatim).
+  const plat::HwCounters& total = columns.counter_total();
+  EXPECT_EQ(std::memcmp(&total, &expected_total, sizeof total), 0);
+  for (std::size_t k = 0; k < core::kStageKindCount; ++k) {
+    EXPECT_EQ(columns.kind_count(static_cast<core::StageKind>(k)),
+              expected_counts[k])
+        << "kind " << k;
+  }
+
+  // take_trace resets both.
+  (void)columns.take_trace();
+  EXPECT_TRUE(columns.empty());
+  const plat::HwCounters& zero = columns.counter_total();
+  EXPECT_EQ(zero.instructions, 0.0);
+  EXPECT_EQ(columns.kind_count(core::StageKind::kSimulate), 0u);
+}
+
+TEST(StageColumns, ClearRetainsCapacityAcrossReplays) {
+  StageColumns columns;
+  const std::vector<StageRecord> stages = fuzz_stages(11, 500);
+  push_all(columns, stages);
+  columns.clear();
+  EXPECT_TRUE(columns.empty());
+  push_all(columns, stages);
+  EXPECT_EQ(columns.size(), stages.size());
+}
+
+TEST(StageColumns, SteadyStatePushesMakeZeroAllocations) {
+  // The zero-allocation acceptance hook for the replay push path: the
+  // warm-up replay drives every column (and the counters side array) to
+  // its high-water capacity; subsequent replay-shaped cycles of pushes +
+  // clear() must not touch the global allocator at all. take_trace() is
+  // excluded — materializing an owning Trace allocates by design; it runs
+  // once per replay, not per event.
+  StageColumns columns;
+  const std::vector<StageRecord> stages = fuzz_stages(23, 2000);
+
+  push_all(columns, stages);  // warm-up: reach high-water capacity
+  columns.clear();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int replay = 0; replay < 5; ++replay) {
+    push_all(columns, stages);
+    columns.clear();
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state stage pushes must not allocate";
+}
+
+}  // namespace
+}  // namespace wfe::met

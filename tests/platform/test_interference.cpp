@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace wfe::plat {
 namespace {
@@ -191,6 +193,58 @@ TEST(StageCost, EmptyCountersGiveZeroRatios) {
   EXPECT_EQ(z.ipc(), 0.0);
   EXPECT_EQ(z.llc_miss_ratio(), 0.0);
   EXPECT_EQ(z.memory_intensity(), 0.0);
+}
+
+// -- batched kernel ----------------------------------------------------------
+
+std::vector<ActiveStage> fuzzed_set(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<ActiveStage> set;
+  set.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ComputeProfile p = (rng.below(2) == 0) ? sim_like() : ana_like();
+    // Perturb so no two stages are identical: exercises the per-victim
+    // exclusion, not just symmetric sets.
+    p.working_set_bytes *= 0.5 + rng.uniform01();
+    p.llc_refs_per_instr *= 0.5 + rng.uniform01();
+    p.cache_sensitivity *= rng.uniform01();
+    set.push_back({p, static_cast<int>(1 + rng.below(16))});
+  }
+  return set;
+}
+
+TEST(StageCostBatch, BitIdenticalToScalarOnFuzzedSets) {
+  // The contract Cluster::resident_cost relies on: batch pricing of a
+  // node's whole co-location set must be BITWISE equal to pricing each
+  // victim with the scalar entry point against the others. memcmp on the
+  // full StageCost (all doubles, incl. synthesized counters) — any
+  // re-associated FP expression in the batch kernel fails here.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::size_t n = 1 + seed % 7;
+    const std::vector<ActiveStage> set = fuzzed_set(seed, n);
+    std::vector<StageCost> batch(n);
+    compute_stage_costs_batch(spec(), set, batch);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<ActiveStage> others;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != v) others.push_back(set[i]);
+      }
+      const StageCost scalar =
+          compute_stage_cost(spec(), set[v].profile, set[v].cores, others);
+      EXPECT_EQ(std::memcmp(&batch[v], &scalar, sizeof(StageCost)), 0)
+          << "seed " << seed << " victim " << v;
+    }
+  }
+}
+
+TEST(StageCostBatch, EmptyAndSingletonSets) {
+  std::vector<StageCost> none;
+  compute_stage_costs_batch(spec(), {}, none);  // no-op, must not crash
+  const std::vector<ActiveStage> one{{ana_like(), 8}};
+  std::vector<StageCost> out(1);
+  compute_stage_costs_batch(spec(), one, out);
+  const StageCost scalar = compute_stage_cost(spec(), ana_like(), 8, {});
+  EXPECT_EQ(std::memcmp(&out[0], &scalar, sizeof(StageCost)), 0);
 }
 
 // Property sweep: slowdown grows monotonically with the number of

@@ -35,6 +35,36 @@ SCHEMAS = {
         "replay_events": int,
         "replay_events_per_s": float,
     },
+    # Component-attributed replay profile (bench_replay_profile): wall time
+    # split into engine dispatch + the three instrumented sections. The
+    # percentage fields must sum to ~100 by construction; the invariant is
+    # re-checked below so a report edited by hand (or a future field rename)
+    # cannot silently desynchronize the breakdown.
+    "replay_profile": {
+        "mode": str,
+        "replay_config": str,
+        "replay_count": int,
+        "replay_events": int,
+        "wall_s": float,
+        "engine_dispatch_ns": ("nonneg", float),
+        "interference_ns": float,
+        "stage_model_ns": float,
+        "metrics_ns": float,
+        "engine_dispatch_pct": ("nonneg", float),
+        "interference_pct": float,
+        "stage_model_pct": float,
+        "metrics_pct": float,
+        "interference_calls": int,
+        "stage_model_calls": int,
+        "metrics_calls": int,
+    },
+    # Google-benchmark microbenches (bench_micro): per-benchmark wall times
+    # captured into one report so CI can schema-gate them alongside the
+    # handwritten benches.
+    "micro": {
+        "mode": str,
+        "benchmarks": list,
+    },
     # The node-fault sweep's headline acceptance rides on risk_aware_wins:
     # risk-aware placement must beat fault-oblivious placement on expected
     # makespan at >= 1 MTBF point, so the field is strictly positive.
@@ -61,7 +91,18 @@ def check_field(path, key, value, want):
     nonneg = False
     if isinstance(want, tuple):
         nonneg, want = want[0] == "nonneg", want[1]
-    if want is float:
+    if want is list:
+        if not isinstance(value, list) or not value:
+            fail(f"{path}: {key!r} must be a non-empty array, got {value!r}")
+        for i, entry in enumerate(value):
+            if not isinstance(entry, dict):
+                fail(f"{path}: {key}[{i}] must be an object, got {entry!r}")
+            check_field(path, f"{key}[{i}].name", entry.get("name"), str)
+            check_field(path, f"{key}[{i}].real_time_ns",
+                        entry.get("real_time_ns"), float)
+            check_field(path, f"{key}[{i}].iterations",
+                        entry.get("iterations"), int)
+    elif want is float:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             fail(f"{path}: {key!r} must be a number, got {value!r}")
         if not math.isfinite(value) or value < 0 or (value == 0 and not nonneg):
@@ -101,6 +142,25 @@ def main():
 
     if data["mode"] not in ("full", "quick"):
         fail(f"{path}: mode must be 'full' or 'quick', got {data['mode']!r}")
+
+    # Cross-field invariants.
+    if bench == "engine_throughput" and data["mode"] == "full":
+        # Perf floor for the committed full-mode baseline: the data-oriented
+        # replay hot path sustains >= 9.5M events/s on the C1.5 series
+        # (2x the pre-SoA baseline); a committed report below the floor
+        # means the hot path regressed and must be investigated, not
+        # re-baselined.
+        floor = 9.5e6
+        if data["replay_events_per_s"] < floor:
+            fail(f"{path}: replay_events_per_s "
+                 f"{data['replay_events_per_s']:.3e} below the committed "
+                 f"floor {floor:.1e}")
+    if bench == "replay_profile":
+        pct_sum = (data["engine_dispatch_pct"] + data["interference_pct"] +
+                   data["stage_model_pct"] + data["metrics_pct"])
+        if abs(pct_sum - 100.0) > 0.5:
+            fail(f"{path}: section percentages sum to {pct_sum:.3f}, "
+                 f"expected ~100")
 
     print(f"check_bench_json: OK ({path}: bench={bench},"
           f" mode={data['mode']})")

@@ -309,6 +309,20 @@ void scan_identifiers(const RuleContext& ctx) {
                      " in an exporter TU: hash-order iteration leaks into "
                      "golden traces (use std::map / a vector, or annotate a "
                      "lookup-only use)");
+    } else if (ident == "StageRecord" && ctx.cls.in_src &&
+               !ctx.cls.in_runtime && !ctx.cls.in_metrics &&
+               !on_include_line(s, i)) {
+      // Only constructions and declarations: `StageRecord{...}` or
+      // `StageRecord name`. References, pointers and template arguments
+      // (const StageRecord&, vector<StageRecord>) read existing records
+      // and stay legal everywhere.
+      const char next = next_nonspace(s, e);
+      if (next == '{' || is_ident_start(next)) {
+        ctx.report(line, "stage-record-outside-runtime",
+                   "per-event StageRecord construction outside src/runtime/ "
+                   "and src/metrics/ reintroduces the AoS hot path; record "
+                   "stages through met::StageColumns instead");
+      }
     }
     i = e;
   }
@@ -367,6 +381,8 @@ FileClass classify_path(std::string_view relative_path) {
   cls.in_src = p.starts_with("src/");
   cls.in_support = p.starts_with("src/support/");
   cls.in_simengine = p.starts_with("src/simengine/");
+  cls.in_runtime = p.starts_with("src/runtime/");
+  cls.in_metrics = p.starts_with("src/metrics/");
   cls.exporter = p.starts_with("src/obs/") ||
                  p.starts_with("src/metrics/trace_io.");
   return cls;

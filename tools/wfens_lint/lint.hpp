@@ -44,6 +44,16 @@
 //   iostream-in-header    headers must not include <iostream> (global
 //                         stream objects drag static initializers into
 //                         every TU; stream in .cpp files only).
+//   stage-record-outside-runtime
+//                         met::StageRecord construction (brace init or a
+//                         declaration) in src/ outside src/runtime/ and
+//                         src/metrics/ — the replay hot path records
+//                         stages through the columnar StageColumns
+//                         buffer; per-event StageRecord construction
+//                         elsewhere reintroduces the AoS path the
+//                         data-oriented refactor removed. References
+//                         (const StageRecord&, vector<StageRecord>) and
+//                         #include lines are exempt.
 //
 // Escape hatch: a comment `// wfens-lint: allow(rule-id)` (comma-separated
 // for several rules) suppresses findings of those rules on its own line,
@@ -73,6 +83,8 @@ struct FileClass {
   bool in_src = false;        ///< under src/
   bool in_support = false;    ///< under src/support/
   bool in_simengine = false;  ///< under src/simengine/
+  bool in_runtime = false;    ///< under src/runtime/
+  bool in_metrics = false;    ///< under src/metrics/
   bool exporter = false;      ///< trace-emitting TU set (src/obs/,
                               ///< src/metrics/trace_io.*)
 };
