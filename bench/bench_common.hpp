@@ -64,7 +64,7 @@ class Stopwatch {
 class JsonReport {
  public:
   void add(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + value + "\"");
+    upsert(key, "\"" + value + "\"");
   }
   void add(const std::string& key, const char* value) {
     add(key, std::string(value));
@@ -72,20 +72,49 @@ class JsonReport {
   void add(const std::string& key, double value) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", value);
-    entries_.emplace_back(key, buf);
+    upsert(key, buf);
   }
   /// One integral overload (counts, thread counts, event totals): distinct
   /// overloads for uint64/size_t would collide on LP64 platforms.
   template <typename T,
             typename = std::enable_if_t<std::is_integral_v<T>>>
   void add(const std::string& key, T value) {
-    entries_.emplace_back(key, std::to_string(value));
+    upsert(key, std::to_string(value));
   }
   /// Pre-rendered JSON value (an array or nested object) emitted verbatim
   /// under `key` — the caller is responsible for its validity. Used by
   /// bench_micro to attach its per-benchmark results array.
   void add_raw(const std::string& key, std::string json_value) {
-    entries_.emplace_back(key, std::move(json_value));
+    upsert(key, std::move(json_value));
+  }
+
+  /// Load a report previously written by render() so a bench can MERGE its
+  /// series into a shared BENCH_*.json instead of clobbering the other
+  /// benches' numbers (bench_lp_scaling adds its lp_* series to
+  /// BENCH_engine.json this way). Only the flat one-line-per-key format
+  /// render() emits is understood — add_raw() multi-line values (the
+  /// bench_micro array) do not round-trip. Returns false and leaves the
+  /// report empty when `path` is missing or holds no entries.
+  bool load(const std::string& path) {
+    entries_.clear();
+    std::ifstream in(path);
+    if (!in) return false;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t q0 = line.find('"');
+      if (q0 == std::string::npos) continue;  // "{" / "}" / blank
+      const std::size_t q1 = line.find('"', q0 + 1);
+      if (q1 == std::string::npos) continue;
+      const std::size_t colon = line.find(':', q1);
+      if (colon == std::string::npos) continue;
+      std::size_t b = line.find_first_not_of(" \t", colon + 1);
+      if (b == std::string::npos) continue;
+      std::size_t e = line.find_last_not_of(" \t");
+      if (line[e] == ',') --e;
+      entries_.emplace_back(line.substr(q0 + 1, q1 - q0 - 1),
+                            line.substr(b, e - b + 1));
+    }
+    return !entries_.empty();
   }
 
   std::string render() const {
@@ -106,6 +135,18 @@ class JsonReport {
   }
 
  private:
+  /// Replace an existing key in place (keeping its position) or append.
+  /// Makes merge-style benches idempotent across re-runs.
+  void upsert(const std::string& key, std::string rendered) {
+    for (auto& entry : entries_) {
+      if (entry.first == key) {
+        entry.second = std::move(rendered);
+        return;
+      }
+    }
+    entries_.emplace_back(key, std::move(rendered));
+  }
+
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 

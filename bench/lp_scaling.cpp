@@ -1,0 +1,139 @@
+// LP-scaling series — replay throughput of the LP-partitioned parallel
+// engine (sim::ParallelEngine, wfens_run --engine=lp:N) against the
+// sequential calendar-queue engine, on the same C1.5 x 500 replay workload
+// bench_engine_throughput reports, so the two series sit side by side in
+// BENCH_engine.json (this binary MERGES its lp_* keys into the existing
+// report rather than clobbering it — run bench_engine_throughput first).
+//
+// Both engines are bit-identical by contract, and this bench re-checks it:
+// the WFET trace bytes and event counts of every engine are compared
+// before any timing is reported, and a mismatch exits 1. On a multi-core
+// host lp:4 should clear ~1.5x the sequential rate on this workload; on a
+// single-core CI runner the parallel series loses (barrier + merge costs,
+// no parallelism to buy them back) and the bench's value is the
+// determinism gate — docs/PERF.md §8 discusses when lp:N wins and loses.
+//
+// `--quick` shrinks the series for CI smoke runs: same schema, numbers not
+// comparable to full-mode baselines.
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "metrics/trace_io.hpp"
+#include "simengine/engine.hpp"
+
+namespace {
+
+/// Sustained replay rate of `config` under `engine`, with one unmeasured
+/// warm-up replay (same protocol as bench_engine_throughput's series).
+double replay_rate(const wfe::wl::NamedConfig& config,
+                   const std::string& engine, int replays,
+                   std::uint64_t* events_out) {
+  wfe::rt::SimulatedOptions options;
+  options.engine = wfe::rt::EngineSelection::parse(engine);
+  options.trace_obs = false;
+  const wfe::rt::SimulatedExecutor exec(wfe::wl::cori_like_platform(),
+                                        options);
+  (void)exec.run(config.spec);
+  const wfe::bench::Stopwatch timer;
+  std::uint64_t events = 0;
+  for (int i = 0; i < replays; ++i) {
+    events += exec.run(config.spec).events_processed;
+  }
+  const double wall = timer.seconds();
+  *events_out = events;
+  return static_cast<double>(events) / wall;
+}
+
+/// The run both series must reproduce byte-for-byte.
+std::string reference_trace(const wfe::wl::NamedConfig& config,
+                            const std::string& engine) {
+  wfe::rt::SimulatedOptions options;
+  options.engine = wfe::rt::EngineSelection::parse(engine);
+  options.trace_obs = false;
+  const wfe::rt::SimulatedExecutor exec(wfe::wl::cori_like_platform(),
+                                        options);
+  return wfe::met::trace_to_text(exec.run(config.spec).trace);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::print_banner(
+      "LP-partitioned replay scaling",
+      "Replay throughput of the conservative LP runtime (--engine=lp:N)\n"
+      "vs the sequential engine on paper configuration C1.5, after a\n"
+      "bit-identity gate: every engine must reproduce the sequential\n"
+      "trace byte-for-byte before its rate is reported.");
+
+  const int replays = quick ? 3 : 500;
+  const auto c15 = wl::paper_config("C1.5");
+
+  // Bit-identity gate first; timing a diverging engine would be noise.
+  const std::string golden = reference_trace(c15, "seq");
+  for (const char* engine : {"lp:1", "lp:2", "lp:4"}) {
+    if (reference_trace(c15, engine) != golden) {
+      std::cerr << "FAIL: " << engine
+                << " trace diverged from the sequential engine\n";
+      return 1;
+    }
+  }
+  std::cout << "bit-identity gate: lp:1 / lp:2 / lp:4 all reproduce the\n"
+            << "sequential C1.5 trace byte-for-byte\n\n";
+
+  std::uint64_t seq_events = 0;
+  const double seq_rate = replay_rate(c15, "seq", replays, &seq_events);
+  std::cout << "seq   (" << c15.name << " x" << replays
+            << "): " << seq_events << " events, " << sci(seq_rate, 3)
+            << " events/s\n";
+
+  double lp_rates[3] = {0.0, 0.0, 0.0};
+  const char* lp_names[3] = {"lp:1", "lp:2", "lp:4"};
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t lp_events = 0;
+    lp_rates[i] = replay_rate(c15, lp_names[i], replays, &lp_events);
+    std::cout << lp_names[i] << "  (" << c15.name << " x" << replays
+              << "): " << lp_events << " events, " << sci(lp_rates[i], 3)
+              << " events/s\n";
+    if (lp_events != seq_events) {
+      std::cerr << "FAIL: " << lp_names[i]
+                << " processed a different event count\n";
+      return 1;
+    }
+  }
+  const double speedup = lp_rates[2] / seq_rate;
+  std::cout << "\nlp:4 speedup vs seq: " << speedup
+            << "x  (expect >= 1.5x on a multi-core host; < 1x on one core\n"
+            << "where the barrier and merge have no parallelism paying for\n"
+            << "them — see docs/PERF.md §8)\n";
+
+  // Merge the lp_* series into the shared engine report. Missing base file
+  // (bench_engine_throughput not run yet): start one, but warn — the
+  // schema gate wants both series.
+  bench::JsonReport report;
+  if (!report.load("BENCH_engine.json")) {
+    std::cout << "note: BENCH_engine.json not found; writing an lp-only "
+                 "report (run bench_engine_throughput for the full one)\n";
+    report.add("bench", "engine_throughput");
+    report.add("queue_policy", sim::Engine::kQueuePolicy);
+    report.add("mode", quick ? "quick" : "full");
+  }
+  report.add("lp_replay_config", c15.name);
+  report.add("lp_replay_count", replays);
+  report.add("lp_replay_events", seq_events);
+  report.add("lp_seq_events_per_s", seq_rate);
+  report.add("lp1_events_per_s", lp_rates[0]);
+  report.add("lp2_events_per_s", lp_rates[1]);
+  report.add("lp4_events_per_s", lp_rates[2]);
+  report.add("lp4_speedup_vs_seq", speedup);
+  report.add("lp_bit_identical", 1);
+  report.write("BENCH_engine.json");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "runtime/engine_select.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace wfe::rt {
+
+EngineSelection EngineSelection::parse(std::string_view text) {
+  if (text == "seq" || text == "sequential") {
+    return {Kind::kSequential, 1};
+  }
+  if (text == "lp") {
+    return {Kind::kLp, kDefaultLpThreads};
+  }
+  if (text.rfind("lp:", 0) == 0) {
+    const std::string_view count = text.substr(3);
+    int threads = 0;
+    bool ok = !count.empty() && count.size() <= 4;
+    for (char c : count) {
+      if (c < '0' || c > '9') {
+        ok = false;
+        break;
+      }
+      threads = threads * 10 + (c - '0');
+    }
+    if (!ok || threads < 1) {
+      throw SpecError(strprintf(
+          "invalid LP thread count in engine selection \"%.*s\" "
+          "(want lp:N with N >= 1)",
+          static_cast<int>(text.size()), text.data()));
+    }
+    return {Kind::kLp, threads};
+  }
+  throw SpecError(strprintf(
+      "unknown engine selection \"%.*s\" (want seq, sequential, lp, or lp:N)",
+      static_cast<int>(text.size()), text.data()));
+}
+
+EngineSelection EngineSelection::resolved() const {
+  if (kind != Kind::kDefault) return *this;
+  const char* env = std::getenv("WFENS_ENGINE");
+  if (env == nullptr || *env == '\0') return {Kind::kSequential, 1};
+  return parse(env);
+}
+
+std::string EngineSelection::str() const {
+  switch (kind) {
+    case Kind::kDefault:
+      return "default";
+    case Kind::kSequential:
+      return "seq";
+    case Kind::kLp:
+      return strprintf("lp:%d", threads);
+  }
+  return "default";
+}
+
+}  // namespace wfe::rt

@@ -1,0 +1,59 @@
+// Replay engine selection: sequential calendar queue vs LP-partitioned
+// parallel runtime.
+//
+// Both engines produce bit-identical ExecutionResults (traces, counters,
+// telemetry — the LP merge reconstructs the sequential (time, seq) order
+// exactly), so the knob is purely a throughput choice and is deliberately
+// excluded from the scheduler's scenario fingerprints: a cache entry scored
+// under one engine is valid under the other.
+//
+// Three ways to select, lowest to highest precedence within one process:
+//   * default      — sequential, unless the environment overrides;
+//   * WFENS_ENGINE — environment override ("seq", "lp", "lp:4"), consulted
+//     when an executor is constructed with Kind::kDefault, so every tool,
+//     bench and test can switch engines with zero code changes;
+//   * explicit     — SimulatedOptions::engine / PlanOptions::engine /
+//     wfens_run --engine=lp:N.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wfe::rt {
+
+struct EngineSelection {
+  enum class Kind {
+    kDefault,     ///< resolve from $WFENS_ENGINE, else sequential
+    kSequential,  ///< single calendar-queue engine (the PR 5 hot path)
+    kLp,          ///< LP-partitioned ParallelEngine with `threads` workers
+  };
+
+  Kind kind = Kind::kDefault;
+  /// LP worker threads (>= 1); meaningful only with Kind::kLp. The LP
+  /// count itself is one per ensemble member — threads only size the crew
+  /// driving the lanes, so results are identical at every thread count.
+  int threads = 1;
+
+  /// Parse "seq" / "sequential" / "lp" / "lp:N" (N >= 1). "lp" without a
+  /// count uses kDefaultLpThreads. Throws wfe::SpecError on anything else.
+  static EngineSelection parse(std::string_view text);
+
+  /// Worker count "lp" resolves to when no :N is given. A fixed constant,
+  /// not hardware_concurrency(): selection must not depend on the machine
+  /// (results never do, but fingerprint-adjacent knobs stay deterministic).
+  static constexpr int kDefaultLpThreads = 4;
+
+  /// Resolve kDefault against $WFENS_ENGINE (unset or empty: sequential).
+  /// Explicit selections pass through unchanged. Throws wfe::SpecError if
+  /// the environment value is malformed — a silent fallback would turn a
+  /// typo into a perf mystery.
+  EngineSelection resolved() const;
+
+  /// Render as the same syntax parse() accepts ("default" for kDefault).
+  std::string str() const;
+
+  friend bool operator==(const EngineSelection&,
+                         const EngineSelection&) = default;
+};
+
+}  // namespace wfe::rt

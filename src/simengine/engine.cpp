@@ -16,10 +16,6 @@ constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
   return (static_cast<std::uint64_t>(gen) << 32) | slot;
 }
 
-/// Counter-sample cadence of a traced run(): amortizes emission to one
-/// registry touch per this many dispatched events.
-constexpr std::uint64_t kObsEventStride = 64;
-
 /// Batch size the near tier aims for: a bucket (or the whole far tier) at
 /// or below this size is sorted straight into `near_` instead of being
 /// split further. Amortized ordering cost per event is one insertion into
@@ -61,6 +57,7 @@ EventId Engine::schedule_at(SimTime t, Callback fn) {
   }
   fns_[slot] = std::move(fn);
   const std::uint32_t gen = generations_[slot];
+  if (sched_log_) sched_log_->push_back(t);
   route(Ref{t, next_seq_++, slot, gen});
   ++pending_;
   return EventId{pack(slot, gen)};
@@ -272,6 +269,12 @@ void Engine::dispatch_back() {
 bool Engine::step() {
   if (!ensure_near()) return false;
   dispatch_back();
+  return true;
+}
+
+bool Engine::peek_time(SimTime* t) {
+  if (!ensure_near()) return false;
+  *t = near_.back().time;
   return true;
 }
 

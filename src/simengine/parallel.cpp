@@ -1,0 +1,158 @@
+#include "simengine/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace wfe::sim {
+
+ParallelEngine::ParallelEngine(std::size_t lps) : lanes_(lps) {
+  WFE_REQUIRE(lps >= 1, "an LP partition needs at least one lane");
+}
+
+EventId ParallelEngine::schedule_root(std::size_t lp, SimTime t,
+                                      Engine::Callback fn) {
+  WFE_REQUIRE(lp < lanes_.size(), "root scheduled onto a lane out of range");
+  WFE_REQUIRE(!ran_, "roots must be scheduled before run()");
+  roots_.push_back({static_cast<std::uint32_t>(lp), t});
+  return lanes_[lp].engine.schedule_at(t, std::move(fn));
+}
+
+void ParallelEngine::run_lane_window(std::size_t lp, SimTime horizon) {
+  LpLane& lane = lanes_[lp];
+  SimTime t = 0.0;
+  while (lane.engine.peek_time(&t) && t <= horizon) {
+    const auto child_first = static_cast<std::uint32_t>(lane.child_times.size());
+    lane.engine.step();
+    lane.done.push_back(
+        {lane.engine.now(), child_first,
+         static_cast<std::uint32_t>(lane.child_times.size()) - child_first});
+    if (boundary_) boundary_(boundary_ctx_, lp, lane.done.size() - 1);
+  }
+}
+
+void ParallelEngine::run(exec::ThreadPool* pool, SimTime lookahead) {
+  WFE_REQUIRE(lookahead > 0.0, "LP lookahead must be positive");
+  WFE_REQUIRE(!ran_, "a ParallelEngine runs its partition once");
+  ran_ = true;
+  // Log scheduling only while dispatching: the roots are already recorded
+  // in roots_, so child_times holds in-run children exclusively.
+  for (LpLane& lane : lanes_) lane.engine.set_schedule_log(&lane.child_times);
+
+  for (;;) {
+    // Conservative window bound: no lane may pass the globally soonest
+    // pending event by more than the lookahead. With independent lanes any
+    // positive lookahead is safe (there is no cross-LP traffic to wait
+    // for); the bound only shapes barrier granularity — and documents
+    // where a future cross-member DTL channel would hook its null-message
+    // constraint.
+    SimTime soonest = kUnbounded;
+    bool any = false;
+    for (LpLane& lane : lanes_) {
+      SimTime t = 0.0;
+      if (lane.engine.peek_time(&t)) {
+        any = true;
+        soonest = std::min(soonest, t);
+      }
+    }
+    if (!any) break;
+    const SimTime horizon = soonest + lookahead;  // inf lookahead: one window
+    ++windows_;
+    if (pool != nullptr && lanes_.size() > 1) {
+      // One batch per window; for_each_index's check-out is the rank-
+      // ordered barrier (kRankExecPool) every lane passes before the next
+      // window's horizon is derived.
+      pool->for_each_index(lanes_.size(), [this, horizon](std::size_t lp,
+                                                          int /*worker*/) {
+        run_lane_window(lp, horizon);
+      });
+    } else {
+      for (std::size_t lp = 0; lp < lanes_.size(); ++lp) {
+        run_lane_window(lp, horizon);
+      }
+    }
+  }
+
+  for (LpLane& lane : lanes_) lane.engine.set_schedule_log(nullptr);
+}
+
+void ParallelEngine::replay_order(VisitFn visit, void* ctx) const {
+  // Reconstruct the sequential engine's dispatch order by replaying its
+  // sequence-number assignment over the merged lanes: scheduled-not-fired
+  // events live in a min-heap ordered by the same (time, seq) FIFO
+  // tie-break the calendar queue uses; popping the minimum consumes the
+  // owning lane's next logged event and hands that event's children the
+  // next consecutive seqs — exactly what schedule_at would have done.
+  struct HeapRef {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t lp;
+  };
+  struct Later {
+    bool operator()(const HeapRef& a, const HeapRef& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<HeapRef> heap;
+  heap.reserve(roots_.size() + 16);
+  std::vector<std::size_t> cursor(lanes_.size(), 0);
+  std::uint64_t seq = 0;
+  for (const Root& r : roots_) heap.push_back({r.time, seq++, r.lp});
+  std::make_heap(heap.begin(), heap.end(), Later{});
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    const HeapRef top = heap.back();
+    heap.pop_back();
+    const std::size_t lp = top.lp;
+    const LpLane& lane = lanes_[lp];
+    WFE_REQUIRE(cursor[lp] < lane.done.size(),
+                "LP merge consumed more events than the lane executed "
+                "(was an event cancelled?)");
+    const LpLane::Done& e = lane.done[cursor[lp]];
+    WFE_REQUIRE(e.time == top.time,
+                "LP merge diverged from the lane's execution order");
+    for (std::uint32_t j = 0; j < e.child_count; ++j) {
+      heap.push_back({lane.child_times[e.child_first + j], seq++,
+                      static_cast<std::uint32_t>(lp)});
+      std::push_heap(heap.begin(), heap.end(), Later{});
+    }
+    const std::uint64_t index = cursor[lp]++;
+    visit(ctx, lp, index, e.time, heap.size());
+  }
+
+  for (std::size_t lp = 0; lp < lanes_.size(); ++lp) {
+    WFE_REQUIRE(cursor[lp] == lanes_[lp].done.size(),
+                "LP merge left lane events unvisited");
+  }
+}
+
+std::size_t ParallelEngine::queue_depth() const {
+  std::size_t depth = 0;
+  for (const LpLane& lane : lanes_) depth += lane.engine.queue_depth();
+  return depth;
+}
+
+std::size_t ParallelEngine::refs_held() const {
+  std::size_t refs = 0;
+  for (const LpLane& lane : lanes_) refs += lane.engine.refs_held();
+  return refs;
+}
+
+std::uint64_t ParallelEngine::events_processed() const {
+  std::uint64_t n = 0;
+  for (const LpLane& lane : lanes_) n += lane.engine.events_processed();
+  return n;
+}
+
+SimTime ParallelEngine::now() const {
+  SimTime t = 0.0;
+  for (const LpLane& lane : lanes_) t = std::max(t, lane.engine.now());
+  return t;
+}
+
+}  // namespace wfe::sim

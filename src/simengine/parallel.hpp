@@ -1,0 +1,189 @@
+// Conservative parallel discrete-event runtime: logical-process (LP)
+// partitioning of one replay.
+//
+// The coupling protocol W_i < R_i < W_{i+1} (paper §2.2) couples each
+// simulation only to its own analyses: with deterministic stage costs the
+// member pipelines of an ensemble never interact through the event queue,
+// so one replay partitions naturally into one LP per ensemble member (the
+// simulation plus its coupled analyses). Each LP owns its own calendar-
+// queue Engine (PR 5) and advances through null-message-free barrier
+// windows: every window runs each LP up to `soonest pending event +
+// lookahead`, where the lookahead is derived from the protocol's lower
+// bound on cross-LP interaction times (the minimum W+R turnaround; see
+// docs/PERF.md §8). Synchronization is a rank-ordered barrier — the
+// exec::ThreadPool batch barrier under support/lock_rank.hpp — one
+// for_each_index batch per window.
+//
+// Equivalence, not approximation: the merge (`replay_order`) reconstructs
+// the *exact* global (time, seq) FIFO order the sequential engine would
+// have dispatched, by re-assigning global sequence numbers over the
+// per-lane execution logs. Each lane records, per dispatched event, its
+// timestamp and the timestamps of the events it scheduled (the Engine's
+// schedule log); a min-heap seeded with the roots in their global
+// scheduling order then replays seq assignment: pop the (time, seq)
+// minimum, consume the owning lane's next logged event (a lane's local
+// execution order equals the global order restricted to that lane — both
+// engines break timestamp ties by scheduling order, and the lane schedules
+// its events in the same relative order the sequential engine does), and
+// hand its children the next consecutive seqs. Traces, counters, and
+// queue-depth telemetry replayed over this order are bit-identical to the
+// sequential engine's (tests/simengine/test_lp_equivalence.cpp).
+//
+// Requirements on the partitioned workload: no cross-lane scheduling and
+// no cancellation (a cancelled event consumes a sequence number but never
+// executes, which would desynchronize the log cursors — the merge detects
+// this and throws). The SimulatedExecutor therefore only routes
+// fault-free, jitter-free replays here and falls back to the sequential
+// engine otherwise (jitter draws from one shared RNG in global event
+// order; fault injection cancels in-flight events and mutates shared
+// recovery state).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "simengine/engine.hpp"
+
+namespace wfe::exec {
+class ThreadPool;
+}
+
+namespace wfe::sim {
+
+/// One logical process: a private calendar-queue engine plus the execution
+/// logs the merge consumes. Internal to the LP runtime — code outside
+/// src/simengine must drive lanes through ParallelEngine's interface
+/// (schedule_root / run / replay_order), never mutate one directly
+/// (enforced by wfens_lint rule lp-state-outside-simengine).
+struct LpLane {
+  Engine engine;
+
+  /// One entry per dispatched event, in this lane's execution order.
+  struct Done {
+    SimTime time;               ///< virtual time the event fired at
+    std::uint32_t child_first;  ///< index of its first child in child_times
+    std::uint32_t child_count;  ///< events it scheduled while dispatching
+  };
+  std::vector<Done> done;
+  /// The engine's schedule log while run() is active: timestamps of every
+  /// scheduled event, in per-lane seq order.
+  std::vector<SimTime> child_times;
+};
+
+/// Coordinator of an LP-partitioned replay. Usage:
+///   1. construct with the partition size (one LP per ensemble member),
+///   2. schedule the roots in the exact order the sequential engine would
+///      see them (their call order defines global seqs 0..R-1),
+///   3. run(pool, lookahead) — conservative barrier windows,
+///   4. replay_order(...) — visit every event in the sequential global
+///      (time, seq) order to rebuild traces / counters / telemetry.
+class ParallelEngine {
+ public:
+  /// Post-dispatch hook, called after every event a lane executes (on the
+  /// worker thread driving that lane; lanes never share a thread within a
+  /// window, so per-lane hook state needs no locking). A raw function
+  /// pointer: src/simengine bans std::function from the hot path.
+  using BoundaryFn = void (*)(void* ctx, std::size_t lp,
+                              std::uint64_t event_index);
+
+  /// replay_order visitor: one call per event in exact global dispatch
+  /// order. `time` is the event's virtual timestamp (the sequential
+  /// engine's clock at dispatch); `queue_depth` is the number of
+  /// scheduled-but-unfired events after this dispatch — equal to the
+  /// sequential Engine::queue_depth() at the same point, which is how
+  /// traced runs rebuild the `engine.queue_depth` telemetry bit-for-bit.
+  using VisitFn = void (*)(void* ctx, std::size_t lp,
+                           std::uint64_t event_index, SimTime time,
+                           std::size_t queue_depth);
+
+  /// Lookahead disabling the window protocol: one barrier-free window runs
+  /// every lane to completion.
+  static constexpr SimTime kUnbounded =
+      std::numeric_limits<SimTime>::infinity();
+
+  explicit ParallelEngine(std::size_t lps);
+
+  std::size_t lp_count() const { return lanes_.size(); }
+
+  /// The LP's own calendar queue. Valid for the ParallelEngine's lifetime;
+  /// the lane count is fixed at construction, so references never move.
+  Engine& lp_engine(std::size_t lp) { return lanes_[lp].engine; }
+  const Engine& lp_engine(std::size_t lp) const { return lanes_[lp].engine; }
+
+  void set_boundary(BoundaryFn fn, void* ctx) {
+    boundary_ = fn;
+    boundary_ctx_ = ctx;
+  }
+
+  /// Schedule one of the replay's root events onto `lp` at time `t`. Call
+  /// order across all lanes defines the roots' global sequence numbers,
+  /// exactly as consecutive schedule_at calls would on the sequential
+  /// engine. Roots must be scheduled before run().
+  EventId schedule_root(std::size_t lp, SimTime t, Engine::Callback fn);
+
+  /// Run every lane to completion through conservative barrier windows:
+  /// each window advances all lanes to `min pending timestamp + lookahead`
+  /// (inclusive), with one pool batch — and its check-out barrier — per
+  /// window. `pool == nullptr` (or a single lane) runs the windows inline,
+  /// lane-by-lane, producing identical logs: the merge order depends only
+  /// on per-lane execution, never on worker count or window shape.
+  /// Single-shot, like one sequential Engine::run().
+  void run(exec::ThreadPool* pool, SimTime lookahead = kUnbounded);
+
+  /// Visit every executed event in the exact global (time, seq) order the
+  /// sequential engine would have dispatched. Throws wfe::Error if the
+  /// logs are inconsistent with a cancellation-free sequential order.
+  void replay_order(VisitFn visit, void* ctx) const;
+
+  /// Convenience adapter over replay_order for callable objects.
+  template <typename F>
+  void replay(F&& f) const {
+    replay_order(
+        [](void* ctx, std::size_t lp, std::uint64_t index, SimTime time,
+           std::size_t depth) {
+          (*static_cast<F*>(ctx))(lp, index, time, depth);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+  // -- LP-aware aggregation of the per-engine telemetry ---------------------
+  // The sequential Engine reports its own queue; a partitioned replay is
+  // the sum over lanes. Semantics pinned by tests/simengine/
+  // test_parallel_engine.cpp on both engines.
+
+  /// Live pending events across all lanes (Σ Engine::queue_depth()).
+  std::size_t queue_depth() const;
+  /// Alias of queue_depth(), mirroring the sequential Engine's API.
+  std::size_t pending() const { return queue_depth(); }
+  /// Queue refs held across all lanes, including uncollected corpses
+  /// (Σ Engine::refs_held()).
+  std::size_t refs_held() const;
+  /// Events dispatched across all lanes (Σ Engine::events_processed()).
+  std::uint64_t events_processed() const;
+  /// Virtual time of the latest event any lane dispatched — after run(),
+  /// the same final time the sequential engine's clock ends at.
+  SimTime now() const;
+  bool empty() const { return queue_depth() == 0; }
+
+  /// Barrier windows the run() loop executed (diagnostics; 1 with
+  /// kUnbounded lookahead).
+  std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  void run_lane_window(std::size_t lp, SimTime horizon);
+
+  std::vector<LpLane> lanes_;
+  struct Root {
+    std::uint32_t lp;
+    SimTime time;
+  };
+  std::vector<Root> roots_;
+  BoundaryFn boundary_ = nullptr;
+  void* boundary_ctx_ = nullptr;
+  std::uint64_t windows_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace wfe::sim

@@ -1,0 +1,121 @@
+// Tests for the replay-engine selection knob (runtime/engine_select.hpp):
+// parse syntax, $WFENS_ENGINE resolution precedence, and rendering.
+#include "runtime/engine_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace wfe::rt {
+namespace {
+
+using Kind = EngineSelection::Kind;
+
+/// Scoped $WFENS_ENGINE override; restores the prior state on exit so the
+/// suite never leaks environment into other tests (or vice versa).
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* value) {
+    const char* prior = std::getenv("WFENS_ENGINE");
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    if (value != nullptr) {
+      ::setenv("WFENS_ENGINE", value, 1);
+    } else {
+      ::unsetenv("WFENS_ENGINE");
+    }
+  }
+  ~ScopedEnv() {
+    if (had_prior_) {
+      ::setenv("WFENS_ENGINE", prior_.c_str(), 1);
+    } else {
+      ::unsetenv("WFENS_ENGINE");
+    }
+  }
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+TEST(EngineSelect, ParsesSequentialSpellings) {
+  for (const char* text : {"seq", "sequential"}) {
+    const EngineSelection s = EngineSelection::parse(text);
+    EXPECT_EQ(s.kind, Kind::kSequential) << text;
+    EXPECT_EQ(s.threads, 1) << text;
+  }
+}
+
+TEST(EngineSelect, ParsesLpWithExplicitThreadCount) {
+  for (const int n : {1, 2, 8, 64, 1000}) {
+    const EngineSelection s =
+        EngineSelection::parse("lp:" + std::to_string(n));
+    EXPECT_EQ(s.kind, Kind::kLp);
+    EXPECT_EQ(s.threads, n);
+  }
+}
+
+TEST(EngineSelect, BareLpUsesTheFixedDefaultCrew) {
+  const EngineSelection s = EngineSelection::parse("lp");
+  EXPECT_EQ(s.kind, Kind::kLp);
+  EXPECT_EQ(s.threads, EngineSelection::kDefaultLpThreads);
+}
+
+TEST(EngineSelect, RejectsMalformedSelections) {
+  for (const char* text : {"", "lpx", "lp:", "lp:0", "lp:-1", "lp:abc",
+                           "lp:2x", "lp:99999", "parallel", "SEQ"}) {
+    EXPECT_THROW(EngineSelection::parse(text), SpecError) << text;
+  }
+}
+
+TEST(EngineSelect, RendersTheSameSyntaxItParses) {
+  EXPECT_EQ(EngineSelection{}.str(), "default");
+  EXPECT_EQ(EngineSelection::parse("seq").str(), "seq");
+  EXPECT_EQ(EngineSelection::parse("lp:6").str(), "lp:6");
+  // Round trip through str() for non-default selections.
+  const EngineSelection lp = EngineSelection::parse("lp:3");
+  EXPECT_EQ(EngineSelection::parse(lp.str()), lp);
+}
+
+TEST(EngineSelect, DefaultResolvesSequentialWithoutEnvironment) {
+  ScopedEnv env(nullptr);
+  const EngineSelection r = EngineSelection{}.resolved();
+  EXPECT_EQ(r.kind, Kind::kSequential);
+  EXPECT_EQ(r.threads, 1);
+}
+
+TEST(EngineSelect, EmptyEnvironmentMeansSequentialToo) {
+  ScopedEnv env("");
+  EXPECT_EQ(EngineSelection{}.resolved().kind, Kind::kSequential);
+}
+
+TEST(EngineSelect, DefaultResolvesFromEnvironment) {
+  ScopedEnv env("lp:2");
+  const EngineSelection r = EngineSelection{}.resolved();
+  EXPECT_EQ(r.kind, Kind::kLp);
+  EXPECT_EQ(r.threads, 2);
+}
+
+TEST(EngineSelect, ExplicitSelectionIgnoresTheEnvironment) {
+  ScopedEnv env("lp:8");
+  EXPECT_EQ(EngineSelection::parse("seq").resolved().kind, Kind::kSequential);
+  const EngineSelection lp4 = EngineSelection::parse("lp:4").resolved();
+  EXPECT_EQ(lp4.threads, 4);  // not the environment's 8
+}
+
+TEST(EngineSelect, MalformedEnvironmentThrowsInsteadOfFallingBack) {
+  ScopedEnv env("lp:zero");
+  EXPECT_THROW(EngineSelection{}.resolved(), SpecError);
+}
+
+TEST(EngineSelect, ResolvedIsIdempotent) {
+  ScopedEnv env("lp:2");
+  const EngineSelection once = EngineSelection{}.resolved();
+  EXPECT_EQ(once.resolved(), once);
+}
+
+}  // namespace
+}  // namespace wfe::rt

@@ -1,0 +1,122 @@
+// Determinism of the LP-partitioned replay under real concurrency: the
+// same replay repeated on a multi-worker crew must produce byte-identical
+// outputs every time, and the crew size must never leak into the result.
+//
+// These tests carry the `concurrency` ctest label (via test_runtime's
+// CONCURRENCY flag), so tools/check_sanitize.sh runs them under
+// ThreadSanitizer: a data race between LP lanes shows up either as a TSan
+// report or as a hash mismatch here. The LP barrier reuses the
+// exec::ThreadPool batch barrier (lock rank kRankExecPool — see the rank
+// table in docs/ANALYSIS.md), so lock-order violations surface here too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/trace_io.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe {
+namespace {
+
+/// FNV-1a over the run's observable bytes: stage trace, span/counter run
+/// log, and the counter snapshot rendering. One number per run makes the
+/// 50x repetition cheap to compare and the failure report small.
+std::uint64_t fingerprint(const std::string& trace_text,
+                          const std::string& runlog,
+                          const obs::CounterSnapshot& counters) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& bytes) {
+    for (const char c : bytes) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(trace_text);
+  mix(runlog);
+  mix(obs::snapshot_to_text(counters));
+  return h;
+}
+
+std::uint64_t run_fingerprint(const rt::EnsembleSpec& spec,
+                              const std::string& engine) {
+  rt::SimulatedOptions options;
+  options.engine = rt::EngineSelection::parse(engine);
+  obs::Recorder recorder;
+  std::uint64_t h = 0;
+  {
+    obs::Session session(recorder);
+    const rt::SimulatedExecutor exec(wl::cori_like_platform(), options);
+    const rt::ExecutionResult result = exec.run(spec);
+    h = fingerprint(met::trace_to_text(result.trace), "", result.counters);
+  }
+  // Fold the full run log in after the session closed.
+  const std::string runlog = obs::runlog_to_jsonl(recorder.take());
+  return h ^ fingerprint(runlog, "", {});
+}
+
+TEST(LpDeterminism, FiftyRepeatsOnAnEightWorkerCrewAreByteStable) {
+  const rt::EnsembleSpec spec = wl::paper_config("Cf").spec;
+  const std::uint64_t expected = run_fingerprint(spec, "lp:8");
+  // And the crew must not drift from the sequential engine either.
+  ASSERT_EQ(run_fingerprint(spec, "seq"), expected);
+  for (int rep = 0; rep < 50; ++rep) {
+    ASSERT_EQ(run_fingerprint(spec, "lp:8"), expected) << "repeat " << rep;
+  }
+}
+
+TEST(LpDeterminism, CrewSizeNeverChangesTheResult) {
+  const rt::EnsembleSpec spec = wl::paper_config("Cc").spec;
+  const std::uint64_t expected = run_fingerprint(spec, "seq");
+  for (const char* engine : {"lp:1", "lp:2", "lp:4", "lp:8", "lp:16"}) {
+    EXPECT_EQ(run_fingerprint(spec, engine), expected) << engine;
+  }
+}
+
+/// Compare two placed ensembles component-by-component (EnsembleSpec has
+/// no operator==; placement identity is what the planner promises).
+void expect_same_placement(const rt::EnsembleSpec& a,
+                           const rt::EnsembleSpec& b) {
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t m = 0; m < a.members.size(); ++m) {
+    EXPECT_EQ(a.members[m].sim.nodes, b.members[m].sim.nodes) << "m" << m;
+    ASSERT_EQ(a.members[m].analyses.size(), b.members[m].analyses.size());
+    for (std::size_t k = 0; k < a.members[m].analyses.size(); ++k) {
+      EXPECT_EQ(a.members[m].analyses[k].nodes,
+                b.members[m].analyses[k].nodes)
+          << "m" << m << ".a" << k;
+    }
+  }
+}
+
+TEST(LpDeterminism, SchedulerProbesPickTheSamePlanOnEitherEngine) {
+  // PlanOptions::engine routes every probe replay through the selected
+  // engine; the chosen placement, objective ordering, and evaluation count
+  // must be engine-invariant (that is why the engine is excluded from the
+  // EvalCache scenario fingerprint).
+  const auto shape = sched::EnsembleShape::paper_like(2, 2, 6);
+  const auto platform = wl::cori_like_platform(4);
+  const sched::ResourceBudget budget{4};
+  const auto scheduler = sched::make_scheduler("greedy-colocate");
+
+  sched::PlanOptions seq_options;
+  seq_options.engine = rt::EngineSelection::parse("seq");
+  const sched::Schedule a =
+      scheduler->plan(shape, platform, budget, seq_options);
+
+  sched::PlanOptions lp_options;
+  lp_options.engine = rt::EngineSelection::parse("lp:4");
+  const sched::Schedule b =
+      scheduler->plan(shape, platform, budget, lp_options);
+
+  expect_same_placement(a.spec, b.spec);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+}  // namespace
+}  // namespace wfe

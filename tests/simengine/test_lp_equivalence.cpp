@@ -1,0 +1,171 @@
+// Differential equivalence fuzz: the LP-partitioned ParallelEngine vs the
+// sequential calendar-queue engine, through the full SimulatedExecutor.
+//
+// 10 000 randomized ensembles (member count, analyses per member, node
+// placements, workload scales, step counts, buffer depths) per LP crew
+// size (1 / 2 / 4 / 8 worker threads), with fresh topologies per crew. Every round replays the same
+// spec on both engines and requires byte-identical outputs:
+//   * the WFET stage trace (met::trace_to_text bytes),
+//   * the synthesized hardware-counter totals,
+//   * the observability counter snapshot, and — on traced rounds — the
+//     full span/counter run log (obs::runlog_to_jsonl bytes), which pins
+//     the engine.events / engine.queue_depth telemetry stride and the
+//     dtl occupancy gauges to the sequential emission order.
+// A slice of rounds turns on jitter or fault injection: those replays are
+// un-partitionable (shared-RNG draws / event cancellation), so the
+// executor must take the sequential fallback and stay identical trivially
+// — the slice exists to keep the fallback path honest under fuzz too.
+//
+// Own binary: at 10k rounds x 2 replays this is the longest-running suite;
+// keeping it out of test_simengine keeps the inner-loop suites fast.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "metrics/trace_io.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/simulated_executor.hpp"
+#include "support/rng.hpp"
+#include "workload/paper_configs.hpp"
+#include "workload/presets.hpp"
+
+namespace wfe {
+namespace {
+
+rt::EnsembleSpec random_spec(Xoshiro256& rng) {
+  rt::EnsembleSpec spec;
+  spec.name = "lp-fuzz";
+  spec.n_steps = 1 + rng.below(4);
+  const int members = 1 + static_cast<int>(rng.below(4));
+  for (int m = 0; m < members; ++m) {
+    rt::MemberSpec mem;
+    mem.sim.nodes = {static_cast<int>(rng.below(8))};
+    if (rng.below(8) == 0) {
+      // Occasionally span two nodes (cross-node compute penalty path).
+      mem.sim.nodes.insert(static_cast<int>(rng.below(8)));
+    }
+    mem.sim.cores = 1 + static_cast<int>(rng.below(2));
+    mem.sim.natoms = 1000 + rng.below(50'000);
+    mem.sim.stride = 10 + static_cast<int>(rng.below(400));
+    mem.buffer_capacity = 1 + static_cast<int>(rng.below(2));
+    const int analyses = 1 + static_cast<int>(rng.below(3));
+    for (int a = 0; a < analyses; ++a) {
+      rt::AnalysisSpec as;
+      as.nodes = {static_cast<int>(rng.below(8))};
+      as.cores = 1 + static_cast<int>(rng.below(2));
+      mem.analyses.push_back(as);
+    }
+    spec.members.push_back(std::move(mem));
+  }
+  return spec;
+}
+
+struct RunOutput {
+  std::string trace_text;
+  std::string runlog;  ///< empty on untraced rounds
+  obs::CounterSnapshot counters;
+  std::uint64_t events = 0;
+  std::uint64_t n_steps = 0;
+  plat::HwCounters hw;
+};
+
+RunOutput run_once(const rt::EnsembleSpec& spec,
+                   const rt::SimulatedOptions& base,
+                   const rt::EngineSelection& engine, bool traced) {
+  rt::SimulatedOptions options = base;
+  options.engine = engine;
+  options.trace_obs = traced;
+  std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::Session> session;
+  if (traced) {
+    recorder = std::make_unique<obs::Recorder>();
+    session = std::make_unique<obs::Session>(*recorder);
+  }
+  const rt::SimulatedExecutor exec(wl::cori_like_platform(), options);
+  const rt::ExecutionResult result = exec.run(spec);
+  RunOutput out;
+  out.trace_text = met::trace_to_text(result.trace);
+  out.events = result.events_processed;
+  out.n_steps = result.n_steps;
+  out.hw = result.hw_totals;
+  out.counters = result.counters;
+  if (traced) {
+    session.reset();
+    out.runlog = obs::runlog_to_jsonl(recorder->take());
+  }
+  return out;
+}
+
+void fuzz_shard(int lp_threads, std::uint64_t seed, int rounds) {
+  const rt::EngineSelection seq = rt::EngineSelection::parse("seq");
+  const rt::EngineSelection lp =
+      rt::EngineSelection::parse("lp:" + std::to_string(lp_threads));
+  Xoshiro256 rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    const rt::EnsembleSpec spec = random_spec(rng);
+    rt::SimulatedOptions base;
+    switch (rng.below(10)) {
+      case 8:  // jitter: un-partitionable, exercises the seq fallback
+        base.jitter_cv = 0.05;
+        base.seed = rng();
+        break;
+      case 9:  // fault injection: likewise
+        base.faults.node_mtbf_s = 150.0;
+        base.faults.stage_error_prob = 0.01;
+        base.faults.seed = rng();
+        break;
+      default:
+        break;
+    }
+    // Tracing costs; sample it rather than paying it every round. The
+    // consumed random draw keeps topology streams independent of the
+    // sampling cadence.
+    const bool traced = round % 4 == 0;
+    const RunOutput a = run_once(spec, base, seq, traced);
+    const RunOutput b = run_once(spec, base, lp, traced);
+    ASSERT_EQ(a.trace_text, b.trace_text)
+        << "round " << round << " lp:" << lp_threads;
+    ASSERT_EQ(a.events, b.events) << "round " << round;
+    ASSERT_EQ(a.n_steps, b.n_steps) << "round " << round;
+    ASSERT_EQ(a.hw.instructions, b.hw.instructions) << "round " << round;
+    ASSERT_EQ(a.hw.cycles, b.hw.cycles) << "round " << round;
+    ASSERT_EQ(a.hw.llc_references, b.hw.llc_references) << "round " << round;
+    ASSERT_EQ(a.hw.llc_misses, b.hw.llc_misses) << "round " << round;
+    ASSERT_TRUE(a.counters == b.counters) << "round " << round;
+    ASSERT_EQ(a.runlog, b.runlog) << "round " << round;
+  }
+}
+
+// 10 000 randomized topologies per LP crew size. Distinct seeds per
+// shard: every topology is fresh, none is recycled across crews.
+
+TEST(LpEquivalenceFuzz, OneWorkerThread) { fuzz_shard(1, 0xA11CE, 10'000); }
+
+TEST(LpEquivalenceFuzz, TwoWorkerThreads) { fuzz_shard(2, 0xB0B, 10'000); }
+
+TEST(LpEquivalenceFuzz, FourWorkerThreads) { fuzz_shard(4, 0xCAFE, 10'000); }
+
+TEST(LpEquivalenceFuzz, EightWorkerThreads) { fuzz_shard(8, 0xD1CE, 10'000); }
+
+// Directed, not fuzzed: one full paper configuration (37 in situ steps,
+// traced) stays byte-identical through the LP engine. The golden-trace
+// corpus runs the whole table through lp:4 in the golden.lp ctest pass;
+// this pins one end-to-end case inside this binary for fast iteration.
+TEST(LpEquivalence, PaperConfigCfTracedBitIdentical) {
+  const rt::EnsembleSpec spec = wl::paper_config("Cf").spec;
+  const rt::SimulatedOptions base;
+  const RunOutput a =
+      run_once(spec, base, rt::EngineSelection::parse("seq"), true);
+  const RunOutput b =
+      run_once(spec, base, rt::EngineSelection::parse("lp:4"), true);
+  EXPECT_EQ(a.trace_text, b.trace_text);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.runlog, b.runlog);
+}
+
+}  // namespace
+}  // namespace wfe

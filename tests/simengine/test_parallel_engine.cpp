@@ -1,0 +1,342 @@
+// Tests for the LP-partitioned parallel runtime (simengine/parallel.hpp):
+// merge order vs the sequential engine, conservative-window invariance,
+// LP-aware telemetry aggregation, and misuse detection.
+#include "simengine/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "simengine/engine.hpp"
+#include "support/error.hpp"
+
+namespace wfe::sim {
+namespace {
+
+/// One dispatched event, as seen by either engine's visitation.
+struct Seen {
+  std::size_t lane;
+  SimTime time;
+  std::size_t depth;  ///< pending events after the dispatch
+  friend bool operator==(const Seen&, const Seen&) = default;
+};
+
+/// A deterministic cascade workload: each lane's root at `t0` schedules
+/// `fanout` children `dt` apart, each child recursing one level shallower.
+/// Identical code drives the sequential reference and the LP lanes, so any
+/// ordering difference is the runtime's fault, not the workload's.
+struct Cascade {
+  SimTime t0;
+  SimTime dt;
+  int depth;
+  int fanout;
+};
+
+void spawn(Engine& e, std::vector<Seen>* log, std::size_t lane,
+           const Cascade& c, int level) {
+  e.schedule_at(c.t0 + (c.depth - level) * c.dt, [&e, log, lane, c, level] {
+    log->push_back({lane, e.now(), 0});
+    if (level > 0) {
+      for (int k = 0; k < c.fanout; ++k) {
+        Cascade child = c;
+        child.t0 = e.now() + c.dt * (k + 1);
+        spawn(e, log, lane, child, 0);  // children are leaves
+      }
+      if (level > 1) {
+        Cascade deeper = c;
+        deeper.t0 = e.now() + c.dt / 2.0;
+        spawn(e, log, lane, deeper, level - 1);
+      }
+    }
+  });
+}
+
+/// The sequential reference: all lanes' cascades on ONE engine, roots in
+/// lane order, stepped manually to record the post-dispatch queue depth.
+std::vector<Seen> sequential_reference(const std::vector<Cascade>& lanes) {
+  Engine e;
+  std::vector<Seen> log;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    spawn(e, &log, i, lanes[i], lanes[i].depth);
+  }
+  while (e.step()) {
+    log.back().depth = e.queue_depth();
+  }
+  return log;
+}
+
+/// The same workload partitioned one-cascade-per-LP, merged by replay().
+std::vector<Seen> lp_run(const std::vector<Cascade>& lanes, int threads,
+                         SimTime lookahead = ParallelEngine::kUnbounded) {
+  ParallelEngine pe(lanes.size());
+  std::vector<std::vector<Seen>> lane_log(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    Engine& e = pe.lp_engine(i);
+    const Cascade c = lanes[i];
+    const int level = c.depth;
+    std::vector<Seen>* log = &lane_log[i];
+    const std::size_t lane = i;
+    // Roots go through schedule_root (global seq order); the cascade body
+    // re-schedules through the lane engine directly.
+    pe.schedule_root(i, c.t0, [&e, log, lane, c, level] {
+      log->push_back({lane, e.now(), 0});
+      if (level > 0) {
+        for (int k = 0; k < c.fanout; ++k) {
+          Cascade child = c;
+          child.t0 = e.now() + c.dt * (k + 1);
+          spawn(e, log, lane, child, 0);
+        }
+        if (level > 1) {
+          Cascade deeper = c;
+          deeper.t0 = e.now() + c.dt / 2.0;
+          spawn(e, log, lane, deeper, level - 1);
+        }
+      }
+    });
+  }
+  exec::ThreadPool pool(threads);
+  pe.run(threads > 1 ? &pool : nullptr, lookahead);
+
+  std::vector<Seen> merged;
+  pe.replay([&](std::size_t lp, std::uint64_t index, SimTime time,
+                std::size_t depth) {
+    const Seen& local = lane_log[lp][index];
+    EXPECT_EQ(local.time, time);
+    merged.push_back({lp, time, depth});
+  });
+  return merged;
+}
+
+const std::vector<Cascade> kTwoLanes = {{1.0, 0.5, 2, 3}, {1.25, 0.75, 3, 2}};
+const std::vector<Cascade> kFourLanes = {
+    {1.0, 0.5, 2, 3}, {1.0, 0.5, 2, 3}, {0.5, 0.25, 3, 2}, {2.0, 1.0, 1, 4}};
+
+// -- merge order --------------------------------------------------------------
+
+TEST(ParallelEngine, SingleLaneMatchesSequential) {
+  const std::vector<Cascade> one = {{1.0, 0.5, 3, 2}};
+  EXPECT_EQ(lp_run(one, 1), sequential_reference(one));
+}
+
+TEST(ParallelEngine, MergeMatchesSequentialOrderAndDepths) {
+  EXPECT_EQ(lp_run(kTwoLanes, 1), sequential_reference(kTwoLanes));
+  EXPECT_EQ(lp_run(kFourLanes, 1), sequential_reference(kFourLanes));
+}
+
+TEST(ParallelEngine, EqualTimestampsBreakTiesByRootOrder) {
+  // Lanes 0 and 1 run IDENTICAL cascades: every event collides in time
+  // with its twin on the other lane, so the merge is decided purely by the
+  // (time, seq) FIFO tie-break — root call order, then child seq order.
+  const std::vector<Cascade> twins = {{1.0, 0.5, 2, 2}, {1.0, 0.5, 2, 2}};
+  EXPECT_EQ(lp_run(twins, 1), sequential_reference(twins));
+}
+
+TEST(ParallelEngine, ThreadPoolRunMatchesInline) {
+  const std::vector<Seen> expected = sequential_reference(kFourLanes);
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(lp_run(kFourLanes, threads), expected)
+        << "at " << threads << " threads";
+  }
+}
+
+TEST(ParallelEngine, FiniteLookaheadDoesNotChangeTheMerge) {
+  const std::vector<Seen> expected = sequential_reference(kFourLanes);
+  for (const SimTime lookahead : {0.125, 0.5, 2.0, 100.0}) {
+    EXPECT_EQ(lp_run(kFourLanes, 1, lookahead), expected)
+        << "lookahead " << lookahead;
+    EXPECT_EQ(lp_run(kFourLanes, 4, lookahead), expected)
+        << "lookahead " << lookahead << " (pooled)";
+  }
+}
+
+TEST(ParallelEngine, UnboundedLookaheadRunsOneWindow) {
+  ParallelEngine pe(2);
+  pe.schedule_root(0, 1.0, [] {});
+  pe.schedule_root(1, 2.0, [] {});
+  pe.run(nullptr);
+  EXPECT_EQ(pe.windows_run(), 1u);
+}
+
+TEST(ParallelEngine, SmallLookaheadRunsManyWindowsSameResult) {
+  ParallelEngine pe(2);
+  std::vector<double> fired;
+  Engine& e0 = pe.lp_engine(0);
+  pe.schedule_root(0, 1.0, [&] {
+    fired.push_back(e0.now());
+    e0.schedule_in(10.0, [&] { fired.push_back(e0.now()); });
+  });
+  pe.schedule_root(1, 5.0, [&] { fired.push_back(-5.0); });
+  pe.run(nullptr, 0.5);
+  // Windows: {1.0}, {5.0}, {11.0} — one per isolated timestamp cluster.
+  EXPECT_EQ(pe.windows_run(), 3u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, -5.0, 11.0}));
+}
+
+// -- LP-aware telemetry aggregation ------------------------------------------
+
+TEST(ParallelEngine, QueueDepthSumsOverLanes) {
+  ParallelEngine pe(3);
+  pe.schedule_root(0, 1.0, [] {});
+  pe.schedule_root(0, 2.0, [] {});
+  pe.schedule_root(2, 1.0, [] {});
+  EXPECT_EQ(pe.queue_depth(), 3u);
+  EXPECT_EQ(pe.pending(), 3u);
+  EXPECT_FALSE(pe.empty());
+  // The per-lane view stays visible through lp_engine().
+  EXPECT_EQ(pe.lp_engine(0).queue_depth(), 2u);
+  EXPECT_EQ(pe.lp_engine(1).queue_depth(), 0u);
+  EXPECT_EQ(pe.lp_engine(2).queue_depth(), 1u);
+}
+
+TEST(ParallelEngine, QueueDepthMatchesSequentialSemantics) {
+  // Pin the shared semantics: queue_depth() counts LIVE pending events on
+  // both engines — cancellation drops out immediately, unlike refs_held().
+  Engine seq;
+  const EventId a = seq.schedule_at(1.0, [] {});
+  seq.schedule_at(2.0, [] {});
+  seq.cancel(a);
+  EXPECT_EQ(seq.queue_depth(), 1u);
+  EXPECT_EQ(seq.refs_held(), 2u);  // the corpse lingers until collected
+
+  ParallelEngine pe(2);
+  const EventId b = pe.lp_engine(0).schedule_at(1.0, [] {});
+  pe.schedule_root(1, 2.0, [] {});
+  pe.lp_engine(0).cancel(b);
+  EXPECT_EQ(pe.queue_depth(), 1u);
+  EXPECT_EQ(pe.refs_held(), 2u);
+}
+
+TEST(ParallelEngine, EventsProcessedSumsOverLanes) {
+  ParallelEngine pe(2);
+  pe.schedule_root(0, 1.0, [] {});
+  pe.schedule_root(0, 2.0, [] {});
+  pe.schedule_root(1, 1.0, [] {});
+  pe.run(nullptr);
+  EXPECT_EQ(pe.events_processed(), 3u);
+  EXPECT_EQ(pe.lp_engine(0).events_processed(), 2u);
+  EXPECT_TRUE(pe.empty());
+}
+
+TEST(ParallelEngine, NowIsTheLatestLaneClock) {
+  ParallelEngine pe(2);
+  pe.schedule_root(0, 7.0, [] {});
+  pe.schedule_root(1, 3.0, [] {});
+  pe.run(nullptr);
+  EXPECT_EQ(pe.now(), 7.0);
+}
+
+TEST(ParallelEngine, ReplayDepthEqualsSequentialQueueDepth) {
+  // The depth handed to the replay visitor must equal what the sequential
+  // engine's queue_depth() reads after the same dispatch — that is the
+  // contract the traced run's queue-depth telemetry is rebuilt from.
+  const std::vector<Seen> seq = sequential_reference(kTwoLanes);
+  const std::vector<Seen> lp = lp_run(kTwoLanes, 1);
+  ASSERT_EQ(seq.size(), lp.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].depth, lp[i].depth) << "event " << i;
+  }
+}
+
+// -- boundary hook ------------------------------------------------------------
+
+TEST(ParallelEngine, BoundaryHookFiresPerDispatchedEvent) {
+  ParallelEngine pe(2);
+  pe.schedule_root(0, 1.0, [] {});
+  pe.schedule_root(1, 1.0, [] {});
+  pe.schedule_root(1, 2.0, [] {});
+  std::vector<std::pair<std::size_t, std::uint64_t>> calls;
+  pe.set_boundary(
+      [](void* ctx, std::size_t lp, std::uint64_t index) {
+        static_cast<decltype(calls)*>(ctx)->push_back({lp, index});
+      },
+      &calls);
+  pe.run(nullptr);
+  // Inline execution order: lane 0 fully, then lane 1; indexes per lane.
+  EXPECT_EQ(calls, (std::vector<std::pair<std::size_t, std::uint64_t>>{
+                       {0, 0}, {1, 0}, {1, 1}}));
+}
+
+// -- misuse -------------------------------------------------------------------
+
+TEST(ParallelEngine, ZeroLanesThrows) {
+  EXPECT_THROW(ParallelEngine pe(0), Error);
+}
+
+TEST(ParallelEngine, RootOutOfRangeThrows) {
+  ParallelEngine pe(2);
+  EXPECT_THROW(pe.schedule_root(2, 1.0, [] {}), Error);
+}
+
+TEST(ParallelEngine, SecondRunThrows) {
+  ParallelEngine pe(1);
+  pe.schedule_root(0, 1.0, [] {});
+  pe.run(nullptr);
+  EXPECT_THROW(pe.run(nullptr), Error);
+}
+
+TEST(ParallelEngine, RootAfterRunThrows) {
+  ParallelEngine pe(1);
+  pe.run(nullptr);
+  EXPECT_THROW(pe.schedule_root(0, 1.0, [] {}), Error);
+}
+
+TEST(ParallelEngine, NonPositiveLookaheadThrows) {
+  ParallelEngine pe(1);
+  EXPECT_THROW(pe.run(nullptr, 0.0), Error);
+  EXPECT_THROW(pe.run(nullptr, -1.0), Error);
+}
+
+TEST(ParallelEngine, CancelledEventIsDetectedAtMerge) {
+  // Cancellation desynchronizes the merge's log cursors (a seq number was
+  // consumed but no event executed); the workload contract bans it, and
+  // replay_order must fail loudly rather than mis-merge.
+  ParallelEngine pe(1);
+  Engine& e = pe.lp_engine(0);
+  pe.schedule_root(0, 1.0, [&e] {
+    const EventId doomed = e.schedule_in(1.0, [] {});
+    e.schedule_in(2.0, [] {});
+    e.cancel(doomed);
+  });
+  pe.run(nullptr);
+  EXPECT_THROW(pe.replay([](std::size_t, std::uint64_t, SimTime,
+                            std::size_t) {}),
+               Error);
+}
+
+// -- peek_time / schedule log (Engine support surface for the LP runtime) ----
+
+TEST(EngineLpSupport, PeekTimeSeesTheNextLiveEvent) {
+  Engine e;
+  SimTime t = -1.0;
+  EXPECT_FALSE(e.peek_time(&t));
+  const EventId a = e.schedule_at(1.0, [] {});
+  e.schedule_at(2.0, [] {});
+  ASSERT_TRUE(e.peek_time(&t));
+  EXPECT_EQ(t, 1.0);
+  e.cancel(a);
+  ASSERT_TRUE(e.peek_time(&t));
+  EXPECT_EQ(t, 2.0);
+  // Peeking never dispatches.
+  EXPECT_EQ(e.events_processed(), 0u);
+  EXPECT_EQ(e.queue_depth(), 1u);
+}
+
+TEST(EngineLpSupport, ScheduleLogRecordsTimestampsInSeqOrder) {
+  Engine e;
+  std::vector<SimTime> log;
+  e.set_schedule_log(&log);
+  e.schedule_at(3.0, [] {});
+  e.schedule_at(1.0, [] {});
+  e.schedule_in(0.5, [] {});
+  EXPECT_EQ(log, (std::vector<SimTime>{3.0, 1.0, 0.5}));
+  e.set_schedule_log(nullptr);
+  e.schedule_at(9.0, [] {});
+  EXPECT_EQ(log.size(), 3u);  // detached: no further appends
+  e.run();
+}
+
+}  // namespace
+}  // namespace wfe::sim

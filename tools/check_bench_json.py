@@ -34,6 +34,21 @@ SCHEMAS = {
         "replay_count": int,
         "replay_events": int,
         "replay_events_per_s": float,
+        # LP-scaling series (bench_lp_scaling, merged into the same report):
+        # the conservative LP runtime on the same C1.5 replay workload.
+        # lp_bit_identical is the acceptance gate — the bench exits nonzero
+        # on divergence, so a committed report always carries 1; the raw
+        # speedup is informational (it depends on the host's core count,
+        # see docs/PERF.md §8).
+        "lp_replay_config": str,
+        "lp_replay_count": int,
+        "lp_replay_events": int,
+        "lp_seq_events_per_s": float,
+        "lp1_events_per_s": float,
+        "lp2_events_per_s": float,
+        "lp4_events_per_s": float,
+        "lp4_speedup_vs_seq": float,
+        "lp_bit_identical": int,
     },
     # Component-attributed replay profile (bench_replay_profile): wall time
     # split into engine dispatch + the three instrumented sections. The
