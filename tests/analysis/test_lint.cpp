@@ -408,6 +408,11 @@ TEST(LintTree, WalksSrcAndToolsSortedAndScoped) {
   write(root / "src/core/good.cpp", "int g(){return 4;}\n");
   write(root / "tools/also_bad.cpp", "long t = time(nullptr);\n");
   write(root / "bench/ignored.cpp", "int h(){return rand();}\n");  // not scanned
+  // A manifest declaring both modules, so the whole-project layering pass
+  // has nothing to add to the two banned-ident findings.
+  fs::create_directories(root / "tools/wfens_lint");
+  write(root / "tools/wfens_lint/layers.conf",
+        "module core\nmodule tools\n");
 
   const auto findings = lint::lint_tree(root);
   ASSERT_EQ(findings.size(), 2u);

@@ -1,0 +1,143 @@
+// Tests of `wfens_lint --fix` (tools/wfens_lint/fix.hpp): the pragma-once
+// and include-parent rewrites are correct, idempotent, mask-aware, and
+// leave the real tree untouched.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "wfens_lint/fix.hpp"
+#include "wfens_lint/lint.hpp"
+#include "wfens_lint/project.hpp"
+
+namespace lint = wfe::lint;
+
+namespace {
+
+TEST(LintFix, PragmaOnceInsertedAfterDocComment) {
+  const std::string before =
+      "// Doc comment line one.\n"
+      "// Line two.\n"
+      "\n"
+      "#include <vector>\n";
+  const lint::FixResult fixed = lint::fix_source("src/aa/x.hpp", before);
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content,
+            "// Doc comment line one.\n"
+            "// Line two.\n"
+            "#pragma once\n"
+            "\n"
+            "#include <vector>\n");
+}
+
+TEST(LintFix, PragmaOnceInsertedAtTopWithoutDocComment) {
+  const lint::FixResult fixed =
+      lint::fix_source("src/aa/x.hpp", "int f();\n");
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content, "#pragma once\nint f();\n");
+}
+
+TEST(LintFix, PragmaOnceNotInsertedInCppOrWhenPresent) {
+  EXPECT_EQ(lint::fix_source("src/aa/x.cpp", "int f(){return 1;}\n").edits,
+            0);
+  EXPECT_EQ(
+      lint::fix_source("src/aa/x.hpp", "#pragma once\nint f();\n").edits, 0);
+}
+
+TEST(LintFix, CommentedPragmaOnceDoesNotCount) {
+  const lint::FixResult fixed = lint::fix_source(
+      "src/aa/x.hpp", "/* #pragma once */\nint f();\n");
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content, "#pragma once\n/* #pragma once */\nint f();\n");
+}
+
+TEST(LintFix, ParentIncludeRewrittenToRootedPath) {
+  const lint::FixResult fixed = lint::fix_source(
+      "src/aa/x.cpp", "#include \"../bb/y.hpp\"\nint f(){return 1;}\n");
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content,
+            "#include \"bb/y.hpp\"\nint f(){return 1;}\n");
+}
+
+TEST(LintFix, ParentIncludeFromToolsSubdirectory) {
+  const lint::FixResult fixed = lint::fix_source(
+      "tools/wfens_lint/x.cpp", "#include \"../helper.hpp\"\n");
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content, "#include \"helper.hpp\"\n");
+}
+
+TEST(LintFix, DoubleParentHopResolved) {
+  const lint::FixResult fixed = lint::fix_source(
+      "src/aa/deep/x.cpp", "#include \"../../bb/y.hpp\"\n");
+  EXPECT_EQ(fixed.edits, 1);
+  EXPECT_EQ(fixed.content, "#include \"bb/y.hpp\"\n");
+}
+
+TEST(LintFix, IncludeInsideCommentOrStringUntouched) {
+  const std::string before =
+      "// #include \"../bb/y.hpp\"\n"
+      "const char* s = \"#include \\\"../bb/y.hpp\\\"\";\n";
+  const lint::FixResult fixed = lint::fix_source("src/aa/x.cpp", before);
+  EXPECT_EQ(fixed.edits, 0);
+  EXPECT_EQ(fixed.content, before);
+}
+
+TEST(LintFix, FixIsIdempotent) {
+  const std::string before =
+      "// Doc.\n"
+      "#include \"../bb/y.hpp\"\n"
+      "int f();\n";
+  const lint::FixResult once = lint::fix_source("src/aa/x.hpp", before);
+  EXPECT_EQ(once.edits, 2);  // pragma + include
+  const lint::FixResult twice =
+      lint::fix_source("src/aa/x.hpp", once.content);
+  EXPECT_EQ(twice.edits, 0);
+  EXPECT_EQ(twice.content, once.content);
+}
+
+TEST(LintFix, FixedSourceLintsCleanForBothRules) {
+  const std::string before = "#include \"../bb/y.hpp\"\nint f();\n";
+  const lint::FixResult fixed = lint::fix_source("src/aa/x.hpp", before);
+  for (const auto& f : lint::lint_source("src/aa/x.hpp", fixed.content)) {
+    EXPECT_NE(f.rule, "pragma-once") << f.message;
+    EXPECT_NE(f.rule, "include-parent") << f.message;
+  }
+}
+
+TEST(LintFix, FixTreeRewritesOnlyBrokenFilesAndConverges) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "wfens_fix_tree";
+  fs::remove_all(root);
+  fs::create_directories(root / "src/aa");
+  fs::create_directories(root / "src/bb");
+  const auto write = [](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+  write(root / "src/aa/broken.hpp", "#include \"../bb/y.hpp\"\n");
+  write(root / "src/bb/y.hpp", "#pragma once\nint y();\n");
+
+  EXPECT_EQ(lint::fix_tree(root), 1);
+  std::ifstream in(root / "src/aa/broken.hpp");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "#pragma once\n#include \"bb/y.hpp\"\n");
+  // Second run: nothing left to do.
+  EXPECT_EQ(lint::fix_tree(root), 0);
+  fs::remove_all(root);
+}
+
+TEST(LintFix, RealTreeNeedsNoFixes) {
+  // --fix on the committed tree must be a no-op: the same guarantee
+  // lint.tree gives for findings, for the rewriter.
+  const lint::Project project = lint::load_project(WFENS_REPO_ROOT);
+  for (const auto& file : project.files) {
+    const lint::FixResult fixed = lint::fix_source(file.path, file.content);
+    EXPECT_EQ(fixed.edits, 0) << file.path;
+    EXPECT_EQ(fixed.content, file.content) << file.path;
+  }
+}
+
+}  // namespace

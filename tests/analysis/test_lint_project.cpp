@@ -1,0 +1,556 @@
+// Whole-project pass tests (tools/wfens_lint: project model, layering
+// manifest, static lock-rank verification, determinism taint, stale
+// allows, SARIF) on in-memory fixture trees, plus the cross-checks the
+// ISSUE pins against the real tree: the rank table reproduced from source
+// must match docs/ANALYSIS.md, and the committed layers.conf must be
+// exactly exercised.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wfens_lint/layers.hpp"
+#include "wfens_lint/lint.hpp"
+#include "wfens_lint/project.hpp"
+#include "wfens_lint/ranks.hpp"
+
+namespace lint = wfe::lint;
+
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+lint::AnalyzeOptions only_layering() {
+  return {.file_rules = false,
+          .layering = true,
+          .lock_rank = false,
+          .taint = false,
+          .stale_allow = false};
+}
+
+lint::AnalyzeOptions only_lock_rank() {
+  return {.file_rules = false,
+          .layering = false,
+          .lock_rank = true,
+          .taint = false,
+          .stale_allow = false};
+}
+
+lint::AnalyzeOptions file_rules_and_stale_allow() {
+  return {.file_rules = true,
+          .layering = false,
+          .lock_rank = false,
+          .taint = false,
+          .stale_allow = true};
+}
+
+lint::AnalyzeOptions only_taint() {
+  return {.file_rules = false,
+          .layering = false,
+          .lock_rank = false,
+          .taint = true,
+          .stale_allow = false};
+}
+
+std::vector<lint::Finding> analyze(Sources sources,
+                                   std::optional<std::string> manifest,
+                                   const lint::AnalyzeOptions& options) {
+  lint::Project project =
+      lint::build_project(std::move(sources), std::move(manifest));
+  return lint::analyze_project(project, options);
+}
+
+std::size_t count_rule(const std::vector<lint::Finding>& findings,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const lint::Finding& f) { return f.rule == rule; }));
+}
+
+// -- project model -----------------------------------------------------------
+
+TEST(ProjectModel, IncludeClosureAndHeaderTwins) {
+  lint::Project p = lint::build_project({
+      {"src/aa/base.hpp", "#pragma once\nint base();\n"},
+      {"src/aa/base.cpp", "#include \"aa/base.hpp\"\nint base(){return 1;}\n"},
+      {"src/bb/mid.hpp", "#pragma once\n#include \"aa/base.hpp\"\n"},
+      {"src/cc/top.cpp", "#include \"bb/mid.hpp\"\nint t(){return base();}\n"},
+  });
+  const int top = p.file_index("src/cc/top.cpp");
+  const int base_hpp = p.file_index("src/aa/base.hpp");
+  const int base_cpp = p.file_index("src/aa/base.cpp");
+  ASSERT_GE(top, 0);
+  // The closure follows includes transitively; visible adds base.cpp as
+  // base.hpp's implementation twin.
+  EXPECT_TRUE(std::binary_search(p.closure[top].begin(),
+                                 p.closure[top].end(), base_hpp));
+  EXPECT_FALSE(std::binary_search(p.closure[top].begin(),
+                                  p.closure[top].end(), base_cpp));
+  EXPECT_TRUE(std::binary_search(p.visible[top].begin(),
+                                 p.visible[top].end(), base_cpp));
+  // base() in top.cpp resolves to the definition in the twin.
+  const auto candidates = p.visible_functions("base", top);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(p.functions[candidates[0]].file, base_cpp);
+}
+
+TEST(ProjectModel, CallsDoNotResolveAcrossInvisibleFiles) {
+  lint::Project p = lint::build_project({
+      {"src/aa/x.cpp", "int helper(){return 1;}\n"},
+      {"src/bb/y.cpp", "int helper(){return 2;}\nint f(){return helper();}\n"},
+  });
+  const int y = p.file_index("src/bb/y.cpp");
+  // y.cpp does not include x.cpp, so only its own helper() is a candidate.
+  const auto candidates = p.visible_functions("helper", y);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(p.functions[candidates[0]].file, y);
+}
+
+TEST(ProjectModel, ModuleMapping) {
+  EXPECT_EQ(lint::module_of("src/obs/export.cpp"), "obs");
+  EXPECT_EQ(lint::module_of("src/support/rng.hpp"), "support");
+  EXPECT_EQ(lint::module_of("tools/wfens_lint/lint.cpp"), "tools");
+  EXPECT_EQ(lint::module_of("bench/x.cpp"), "");
+}
+
+TEST(ProjectModel, MemberFunctionWithInitListScanned) {
+  lint::Project p = lint::build_project({
+      {"src/aa/x.cpp",
+       "struct S {\n"
+       "  S(int v) : v_(v), w_{v + 1} { body(); }\n"
+       "  int v_, w_;\n"
+       "};\n"},
+  });
+  const auto it = std::find_if(
+      p.functions.begin(), p.functions.end(),
+      [](const lint::FunctionDef& d) { return d.name == "S"; });
+  ASSERT_NE(it, p.functions.end());
+  EXPECT_EQ(it->line, 2);
+}
+
+// -- layering manifest -------------------------------------------------------
+
+TEST(LintLayering, MissingManifestReported) {
+  const auto fs = analyze({{"src/aa/x.cpp", "int f(){return 1;}\n"}},
+                          std::nullopt, only_layering());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "layer-manifest");
+  EXPECT_EQ(fs[0].file, "tools/wfens_lint/layers.conf");
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(LintLayering, UndeclaredEdgeReportedAtTheInclude) {
+  const auto fs = analyze(
+      {{"src/aa/low.hpp", "#pragma once\n"},
+       {"src/bb/high.cpp", "// uses aa\n#include \"aa/low.hpp\"\n"}},
+      "module aa\nmodule bb\n", only_layering());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "layer-undeclared-edge");
+  EXPECT_EQ(fs[0].file, "src/bb/high.cpp");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_NE(fs[0].message.find("bb -> aa"), std::string::npos);
+}
+
+TEST(LintLayering, DeclaredEdgeIsClean) {
+  const auto fs = analyze(
+      {{"src/aa/low.hpp", "#pragma once\n"},
+       {"src/bb/high.cpp", "#include \"aa/low.hpp\"\n"}},
+      "module aa\nmodule bb\nedge bb -> aa\n", only_layering());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLayering, StaleEdgeReportedAtTheManifestLine) {
+  const auto fs = analyze({{"src/aa/x.cpp", "int f(){return 1;}\n"},
+                           {"src/bb/y.cpp", "int g(){return 2;}\n"}},
+                          "module aa\nmodule bb\nedge bb -> aa\n",
+                          only_layering());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "layer-stale-edge");
+  EXPECT_EQ(fs[0].file, "tools/wfens_lint/layers.conf");
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintLayering, UpwardEdgeRejectedByTheParser) {
+  // aa is declared below bb, so aa -> bb points upward: the declaration
+  // order IS the layering.
+  const auto fs = analyze(
+      {{"src/aa/x.cpp", "#include \"bb/y.hpp\"\n"},
+       {"src/bb/y.hpp", "#pragma once\n"}},
+      "module aa\nmodule bb\nedge aa -> bb\n", only_layering());
+  EXPECT_EQ(count_rule(fs, "layer-manifest"), 1u);
+  // The edge declaration is void, so the include is also undeclared.
+  EXPECT_EQ(count_rule(fs, "layer-undeclared-edge"), 1u);
+}
+
+TEST(LintLayering, IncludeCycleReported) {
+  const auto fs = analyze(
+      {{"src/aa/x.hpp", "#pragma once\n#include \"bb/y.hpp\"\n"},
+       {"src/bb/y.hpp", "#pragma once\n#include \"aa/x.hpp\"\n"}},
+      "module aa\nmodule bb\n", only_layering());
+  EXPECT_EQ(count_rule(fs, "layer-cycle"), 1u);
+  EXPECT_EQ(count_rule(fs, "layer-undeclared-edge"), 2u);
+  const auto it = std::find_if(
+      fs.begin(), fs.end(),
+      [](const lint::Finding& f) { return f.rule == "layer-cycle"; });
+  EXPECT_NE(it->message.find("aa"), std::string::npos);
+  EXPECT_NE(it->message.find("bb"), std::string::npos);
+}
+
+TEST(LintLayering, UnknownModuleReportedOncePerModule) {
+  const auto fs = analyze({{"src/zz/a.cpp", "int f(){return 1;}\n"},
+                           {"src/zz/b.cpp", "int g(){return 2;}\n"}},
+                          "module aa\n", only_layering());
+  EXPECT_EQ(count_rule(fs, "layer-unknown-module"), 1u);
+}
+
+TEST(LintLayering, ManifestSyntaxErrorsReported) {
+  std::vector<lint::Finding> fs;
+  lint::parse_layer_manifest(
+      "module aa extra\n"   // bad module line
+      "module aa\n"         // fine (first valid declaration)
+      "module aa\n"         // duplicate
+      "edge aa => aa\n"     // bad arrow
+      "edge aa -> zz\n"     // undeclared module
+      "nonsense\n",         // unknown directive
+      "layers.conf", fs);
+  EXPECT_EQ(fs.size(), 5u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "layer-manifest");
+}
+
+TEST(LintLayering, CommittedManifestMatchesTheTreeExactly) {
+  // The acceptance bar: the real tree produces no layer findings at all,
+  // which simultaneously proves every declared edge is exercised (no
+  // stale-edge) and every observed edge is declared (no undeclared-edge).
+  lint::Project project = lint::load_project(WFENS_REPO_ROOT);
+  ASSERT_TRUE(project.manifest_text.has_value())
+      << "tools/wfens_lint/layers.conf is missing";
+  std::vector<lint::Finding> fs;
+  lint::run_layering_pass(project, fs);
+  for (const auto& f : fs) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+// -- static lock-rank verification -------------------------------------------
+
+// A minimal rank world: two ranks, aliases in the header, definitions and
+// uses split across header/impl the way the real tree writes them.
+Sources rank_fixture(const std::string& impl_body) {
+  return {
+      {"src/aa/locks.hpp",
+       "#pragma once\n"
+       "inline constexpr int kRankLow = 10;\n"
+       "inline constexpr int kRankHigh = 20;\n"
+       "using LowMutex = RankedMutex<kRankLow>;\n"
+       "using HighMutex = RankedMutex<kRankHigh>;\n"},
+      {"src/aa/impl.cpp",
+       "#include \"aa/locks.hpp\"\n"
+       "LowMutex low_m;\n"
+       "HighMutex high_m;\n" +
+           impl_body},
+  };
+}
+
+TEST(LintLockRank, DirectInversionInOneFunction) {
+  const auto fs = analyze(
+      rank_fixture("void f() {\n"
+                   "  RankGuard<HighMutex> a(high_m);\n"
+                   "  RankGuard<LowMutex> b(low_m);\n"
+                   "}\n"),
+      std::nullopt, only_lock_rank());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "lock-rank-static");
+  EXPECT_EQ(fs[0].file, "src/aa/impl.cpp");
+  EXPECT_NE(fs[0].message.find("rank 10"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("rank 20"), std::string::npos);
+}
+
+TEST(LintLockRank, InversionThroughOneCallLevel) {
+  // The case the runtime checker only catches when the path executes: f
+  // holds rank 20 and calls g, which acquires rank 10.
+  const auto fs = analyze(
+      rank_fixture("void g() { RankGuard<LowMutex> lock(low_m); }\n"
+                   "void f() {\n"
+                   "  RankGuard<HighMutex> lock(high_m);\n"
+                   "  g();\n"
+                   "}\n"),
+      std::nullopt, only_lock_rank());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "lock-rank-static");
+  EXPECT_EQ(fs[0].line, 7);  // the call to g()
+  // Both source sites are named: the reachable acquisition and the held
+  // lock's own site.
+  EXPECT_NE(fs[0].message.find("g()"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("src/aa/impl.cpp:4"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("src/aa/impl.cpp:6"), std::string::npos);
+}
+
+TEST(LintLockRank, IncreasingOrderIsClean) {
+  const auto fs = analyze(
+      rank_fixture("void g() { RankGuard<HighMutex> lock(high_m); }\n"
+                   "void f() {\n"
+                   "  RankGuard<LowMutex> lock(low_m);\n"
+                   "  g();\n"
+                   "}\n"),
+      std::nullopt, only_lock_rank());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLockRank, ScopeEndReleasesTheGuard) {
+  const auto fs = analyze(
+      rank_fixture("void f() {\n"
+                   "  { RankGuard<HighMutex> a(high_m); }\n"
+                   "  RankGuard<LowMutex> b(low_m);\n"
+                   "}\n"),
+      std::nullopt, only_lock_rank());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLockRank, ManualUnlockReleasesTheGuard) {
+  const auto fs = analyze(
+      rank_fixture("void f() {\n"
+                   "  RankLock<HighMutex> a(high_m);\n"
+                   "  a.unlock();\n"
+                   "  RankGuard<LowMutex> b(low_m);\n"
+                   "}\n"),
+      std::nullopt, only_lock_rank());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLockRank, GuardAliasesResolveThroughTheHeader) {
+  const auto fs = analyze(
+      {{"src/aa/locks.hpp",
+        "#pragma once\n"
+        "inline constexpr int kRankLow = 10;\n"
+        "inline constexpr int kRankHigh = 20;\n"
+        "using LowMutex = RankedMutex<kRankLow>;\n"
+        "using HighMutex = RankedMutex<kRankHigh>;\n"
+        "using LowGuard = RankGuard<LowMutex>;\n"
+        "using HighGuard = RankGuard<HighMutex>;\n"},
+       {"src/aa/impl.cpp",
+        "#include \"aa/locks.hpp\"\n"
+        "LowMutex low_m;\n"
+        "HighMutex high_m;\n"
+        "void f() {\n"
+        "  HighGuard a(high_m);\n"
+        "  LowGuard b(low_m);\n"
+        "}\n"}},
+      std::nullopt, only_lock_rank());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "lock-rank-static");
+  EXPECT_EQ(fs[0].line, 6);
+}
+
+TEST(LintLockRank, AllowSuppressesAndCountsAsUsed) {
+  lint::Project project = lint::build_project(rank_fixture(
+      "void f() {\n"
+      "  RankGuard<HighMutex> a(high_m);\n"
+      "  // wfens-lint: allow(lock-rank-static)\n"
+      "  RankGuard<LowMutex> b(low_m);\n"
+      "}\n"));
+  lint::AnalyzeOptions options = only_lock_rank();
+  options.stale_allow = true;
+  const auto fs = lint::analyze_project(project, options);
+  EXPECT_TRUE(fs.empty());  // suppressed, and the annotation is not stale
+}
+
+TEST(LintLockRank, RealTreeRankModelMatchesDocumentedTable) {
+  lint::Project project = lint::load_project(WFENS_REPO_ROOT);
+  const lint::RankModel model = lint::extract_rank_model(project);
+
+  // The full documented order, from source alone.
+  const std::vector<int> expected{10, 15, 18, 20, 22, 25, 30, 40, 50, 55};
+  EXPECT_EQ(model.rank_order(), expected);
+  EXPECT_EQ(model.constants.at("kRankDtlChannel"), 10);
+  EXPECT_EQ(model.constants.at("kRankDtlStaging"), 15);
+  EXPECT_EQ(model.constants.at("kRankRePlanner"), 18);
+  EXPECT_EQ(model.constants.at("kRankExecPool"), 20);
+  EXPECT_EQ(model.constants.at("kRankEvalCache"), 22);
+  EXPECT_EQ(model.constants.at("kRankMetricsTrace"), 25);
+  EXPECT_EQ(model.constants.at("kRankObsRecorder"), 30);
+  EXPECT_EQ(model.constants.at("kRankObsCounters"), 40);
+  EXPECT_EQ(model.constants.at("kRankRunLatch"), 50);
+  EXPECT_EQ(model.constants.at("kRankRunOutputs"), 55);
+  EXPECT_FALSE(model.sites.empty());
+
+  // Cross-check against the rank table in docs/ANALYSIS.md: every row
+  // `| <value> | \`kRank...\` | ...` must agree with the source model.
+  std::ifstream docs(std::filesystem::path(WFENS_REPO_ROOT) /
+                     "docs/ANALYSIS.md");
+  ASSERT_TRUE(docs.is_open());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(docs, line)) {
+    const std::size_t tick = line.find("`kRank");
+    if (line.find('|') != 0 || tick == std::string::npos) continue;
+    const std::size_t tick2 = line.find('`', tick + 1);
+    ASSERT_NE(tick2, std::string::npos);
+    const std::string name = line.substr(tick + 1, tick2 - tick - 1);
+    const int value = std::stoi(line.substr(1));
+    ASSERT_TRUE(model.constants.count(name)) << name;
+    EXPECT_EQ(model.constants.at(name), value) << name;
+    ++rows;
+  }
+  EXPECT_EQ(rows, expected.size());
+}
+
+TEST(LintLockRank, RealTreeHasNoStaticInversions) {
+  lint::Project project = lint::load_project(WFENS_REPO_ROOT);
+  std::vector<lint::Finding> fs;
+  lint::run_lock_rank_pass(project, fs);
+  for (const auto& f : fs) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+// -- determinism taint -------------------------------------------------------
+
+TEST(LintTaint, TaintThroughOneWrapperReported) {
+  const auto fs = analyze(
+      {{"src/aa/w.hpp", "#pragma once\nint jitter();\n"},
+       {"src/aa/w.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int jitter() { return rand(); }\n"},
+       {"src/bb/user.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int use() { return jitter(); }\n"}},
+      std::nullopt, only_taint());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "determinism-taint");
+  EXPECT_EQ(fs[0].file, "src/bb/user.cpp");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_NE(fs[0].message.find("jitter()"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("rand at src/aa/w.cpp:2"), std::string::npos);
+}
+
+TEST(LintTaint, DirectUseIsTheBannedIdentRulesJob) {
+  const auto fs =
+      analyze({{"src/aa/x.cpp", "int f() { return rand(); }\n"}},
+              std::nullopt, only_taint());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintTaint, SupportIsExempt) {
+  const auto fs = analyze(
+      {{"src/aa/w.hpp", "#pragma once\nint jitter();\n"},
+       {"src/aa/w.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int jitter() { return rand(); }\n"},
+       {"src/support/wrap.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int wrap() { return jitter(); }\n"}},
+      std::nullopt, only_taint());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintTaint, PropagatesThroughTwoLevels) {
+  const auto fs = analyze(
+      {{"src/aa/w.hpp", "#pragma once\nint jitter();\nint mid();\n"},
+       {"src/aa/w.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int jitter() { return rand(); }\n"
+        "int mid() { return jitter(); }\n"},
+       {"src/bb/user.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int use() { return mid(); }\n"}},
+      std::nullopt, only_taint());
+  // mid() is tainted via jitter(); use() is tainted via mid(). Both carry
+  // the ultimate source in their message.
+  ASSERT_EQ(fs.size(), 2u);
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.rule, "determinism-taint");
+    EXPECT_NE(f.message.find("rand at src/aa/w.cpp:2"), std::string::npos);
+  }
+}
+
+TEST(LintTaint, AllowSuppresses) {
+  const auto fs = analyze(
+      {{"src/aa/w.hpp", "#pragma once\nint jitter();\n"},
+       {"src/aa/w.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int jitter() { return rand(); }\n"},
+       {"src/bb/user.cpp",
+        "#include \"aa/w.hpp\"\n"
+        "int use() { return jitter(); }  // wfens-lint: allow(determinism-taint)\n"}},
+      std::nullopt, only_taint());
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- stale allow() sweep -----------------------------------------------------
+
+TEST(LintStaleAllow, UnusedAnnotationFlagged) {
+  lint::Project project = lint::build_project(
+      {{"src/aa/x.cpp",
+        "int f() { return 4; }  // wfens-lint: allow(banned-ident)\n"}});
+  const auto fs =
+      lint::analyze_project(project, file_rules_and_stale_allow());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "stale-allow");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("banned-ident"), std::string::npos);
+}
+
+TEST(LintStaleAllow, UsedAnnotationNotFlagged) {
+  lint::Project project = lint::build_project(
+      {{"src/aa/x.cpp",
+        "int f() { return rand(); }  // wfens-lint: allow(banned-ident)\n"}});
+  const auto fs =
+      lint::analyze_project(project, file_rules_and_stale_allow());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintStaleAllow, StandaloneAnnotationUsedOnNextLineNotFlagged) {
+  lint::Project project = lint::build_project(
+      {{"src/aa/x.cpp",
+        "// wfens-lint: allow(banned-ident)\n"
+        "int f() { return rand(); }\n"}});
+  const auto fs =
+      lint::analyze_project(project, file_rules_and_stale_allow());
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintStaleAllow, MentioningTheSyntaxIsNotAnAnnotation) {
+  // Trailing text after the closing paren makes it a mention (as in the
+  // rule catalogue's own doc comments), so nothing is flagged stale.
+  lint::Project project = lint::build_project(
+      {{"src/aa/x.cpp",
+        "// a comment quoting `// wfens-lint: allow(banned-ident)` syntax\n"
+        "int f() { return 4; }\n"}});
+  const auto fs =
+      lint::analyze_project(project, file_rules_and_stale_allow());
+  EXPECT_TRUE(fs.empty());
+}
+
+// -- SARIF output ------------------------------------------------------------
+
+TEST(LintSarif, FindingsBecomeResults) {
+  const std::vector<lint::Finding> fs = {
+      {"src/aa/x.cpp", 3, "banned-ident", "rand() is nondeterministic"},
+      {"src/bb/y.cpp", 7, "lock-rank-static", "say \"hi\"\nand more"},
+  };
+  const std::string sarif = lint::findings_to_sarif(fs);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"wfens_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"banned-ident\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lock-rank-static\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/aa/x.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  // Quotes and newlines in messages are escaped.
+  EXPECT_NE(sarif.find("say \\\"hi\\\"\\nand more"), std::string::npos);
+}
+
+TEST(LintSarif, EmptyFindingsStillAValidLog) {
+  const std::string sarif = lint::findings_to_sarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// The code masker (detail::code_mask) is the foundation every lint pass
+// stands on: if it misclassifies one byte, identifier rules fire on prose
+// or miss real code. These tests pin the documented edge cases directly
+// and then fuzz the masker against an independently written reference
+// implementation with deterministic Xoshiro256 streams.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "wfens_lint/lint.hpp"
+
+namespace lint = wfe::lint;
+
+namespace {
+
+constexpr std::size_t npos = std::string_view::npos;
+
+bool ref_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Length of a raw-string prefix (R, u8R, uR, UR, LR) ending just before
+/// the quote at `i`, 0 when the quote is not a raw-string opener.
+std::size_t ref_raw_prefix(std::string_view s, std::size_t i) {
+  if (i == 0 || s[i - 1] != 'R') return 0;
+  std::size_t p = i - 1;
+  if (p >= 2 && s[p - 2] == 'u' && s[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 &&
+             (s[p - 1] == 'u' || s[p - 1] == 'U' || s[p - 1] == 'L')) {
+    p -= 1;
+  }
+  if (p > 0 && ref_ident_char(s[p - 1])) return 0;
+  return i - p;
+}
+
+/// Reference masker: a region-oriented rewrite (find each construct's full
+/// extent, blank it wholesale) instead of the production byte-at-a-time
+/// state machine. Same contract: comments and literals become spaces,
+/// newlines and everything else survive byte-for-byte.
+std::string reference_mask(std::string_view in) {
+  const std::size_t n = in.size();
+  std::string out(in);
+  const auto blank_range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    if (in.compare(i, 2, "//") == 0) {
+      // Line comment; a backslash-newline splice extends it.
+      std::size_t j = i + 2;
+      while (j < n) {
+        if (in[j] == '\\' && j + 1 < n && in[j + 1] == '\n') {
+          j += 2;
+        } else if (in[j] == '\\' && j + 2 < n && in[j + 1] == '\r' &&
+                   in[j + 2] == '\n') {
+          j += 3;
+        } else if (in[j] == '\n') {
+          break;
+        } else {
+          ++j;
+        }
+      }
+      blank_range(i, j);
+      i = j;
+    } else if (in.compare(i, 2, "/*") == 0) {
+      std::size_t j = in.find("*/", i + 2);
+      j = j == npos ? n : j + 2;
+      blank_range(i, j);
+      i = j;
+    } else if (in[i] == '"' && ref_raw_prefix(in, i) > 0) {
+      std::size_t p = i + 1;
+      while (p < n && in[p] != '(') ++p;
+      std::string term = ")";
+      term.append(in.substr(i + 1, p - (i + 1)));
+      term += '"';
+      std::size_t j = p >= n ? npos : in.find(term, p + 1);
+      j = j == npos ? n : j + term.size();
+      blank_range(i, j);
+      i = j;
+    } else if (in[i] == '"' ||
+               (in[i] == '\'' &&
+                !(i > 0 && ref_ident_char(in[i - 1])))) {
+      const char close = in[i];
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (in[j] == '\\' && j + 1 < n) {
+          j += 2;
+        } else {
+          const bool done = in[j] == close;
+          ++j;
+          if (done) break;
+        }
+      }
+      blank_range(i, j);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+void expect_masks_agree(const std::string& in) {
+  const std::string got = lint::detail::code_mask(in);
+  const std::string want = reference_mask(in);
+  ASSERT_EQ(got.size(), in.size());
+  EXPECT_EQ(got, want) << "input: " << ::testing::PrintToString(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // Masking only ever blanks: every surviving byte is the original, and
+    // newlines always survive (line numbers stay stable).
+    if (got[i] != ' ') {
+      EXPECT_EQ(got[i], in[i]) << "offset " << i;
+    }
+    if (in[i] == '\n') {
+      EXPECT_EQ(got[i], '\n') << "offset " << i;
+    }
+  }
+}
+
+// -- directed edge cases -----------------------------------------------------
+
+TEST(MaskEdgeCases, RawStringWithFakeTerminatorsInside) {
+  const std::string in =
+      "auto s = R\"ab(content )a )x )ab stay)ab\";\nint live = 1;\n";
+  expect_masks_agree(in);
+  const std::string mask = lint::detail::code_mask(in);
+  EXPECT_EQ(mask.find("content"), npos);
+  EXPECT_EQ(mask.find("stay"), npos);
+  EXPECT_NE(mask.find("int live"), npos);
+}
+
+TEST(MaskEdgeCases, PrefixedRawStrings) {
+  for (const std::string prefix : {"R", "u8R", "uR", "UR", "LR"}) {
+    const std::string in =
+        "auto s = " + prefix + "\"(hidden rand();)\";\nint live;\n";
+    expect_masks_agree(in);
+    const std::string mask = lint::detail::code_mask(in);
+    EXPECT_EQ(mask.find("hidden"), npos) << prefix;
+    EXPECT_NE(mask.find("int live"), npos) << prefix;
+  }
+}
+
+TEST(MaskEdgeCases, IdentifierEndingInRIsNotARawPrefix) {
+  // myR"( opens a PLAIN string (R glued to an identifier), so its ')' is
+  // inside the literal and the literal ends at the next quote.
+  const std::string in = "auto x = myR\"(abc)\";\nint live;\n";
+  expect_masks_agree(in);
+  const std::string mask = lint::detail::code_mask(in);
+  EXPECT_EQ(mask.find("abc"), npos);
+  EXPECT_NE(mask.find("myR"), npos);
+  EXPECT_NE(mask.find("int live"), npos);
+}
+
+TEST(MaskEdgeCases, LineContinuationExtendsLineComment) {
+  const std::string in = "// note \\\nrand();\nint live;\n";
+  expect_masks_agree(in);
+  const std::string mask = lint::detail::code_mask(in);
+  EXPECT_EQ(mask.find("rand"), npos);  // still inside the spliced comment
+  EXPECT_NE(mask.find("int live"), npos);
+}
+
+TEST(MaskEdgeCases, CrLfLineContinuationExtendsLineComment) {
+  const std::string in = "// note \\\r\nrand();\r\nint live;\r\n";
+  expect_masks_agree(in);
+  const std::string mask = lint::detail::code_mask(in);
+  EXPECT_EQ(mask.find("rand"), npos);
+  EXPECT_NE(mask.find("int live"), npos);
+}
+
+TEST(MaskEdgeCases, AdjacentStringLiteralsConcatenated) {
+  const std::string in =
+      "const char* s = \"abc\" \"def\" \"g\\\"h\";\nint live;\n";
+  expect_masks_agree(in);
+  const std::string mask = lint::detail::code_mask(in);
+  EXPECT_EQ(mask.find("abc"), npos);
+  EXPECT_EQ(mask.find("def"), npos);
+  EXPECT_EQ(mask.find("g\\\"h"), npos);
+  EXPECT_NE(mask.find("const char* s"), npos);
+  EXPECT_NE(mask.find("int live"), npos);
+}
+
+TEST(MaskEdgeCases, DigitSeparatorsAreNotCharLiterals) {
+  const std::string in = "int n = 1'000'000;\nint live;\n";
+  expect_masks_agree(in);
+  EXPECT_EQ(lint::detail::code_mask(in), in);  // nothing to blank
+}
+
+TEST(MaskEdgeCases, UnterminatedConstructsBlankToEndOfFile) {
+  const std::vector<std::string> cases = {
+      "int a; /* open\nnever closed",
+      "int a; \"open\nstill string",
+      "int a; R\"xy(open\nnever closed",
+      "int a; R\"noparen",
+  };
+  for (const std::string& in : cases) expect_masks_agree(in);
+}
+
+// -- fuzz against the reference ----------------------------------------------
+
+TEST(MaskFuzz, AgreesWithReferenceOnRandomTokenSoup) {
+  // Token soup biased toward the masker's state transitions: quote kinds,
+  // raw-string delimiters (with fake terminators), splices, CR/LF.
+  static const std::vector<std::string> kTokens = {
+      "a",      "bb_c",  " ",     "\n",     "\r\n",  "\"",    "'",
+      "\\",     "\\\n",  "/",     "//",     "/*",    "*/",    "R\"(",
+      ")\"",    "R\"ab(", ")ab\"", "u8R\"(", "LR\"",  "(",     ")",
+      "0",      "1'000", "rand",  ";",      "=",     "R",     "*",
+      "myR\"(", "\\\"",  "'x'",   "\"s\"",
+  };
+  wfe::Xoshiro256 rng(20260809u);
+  for (int round = 0; round < 400; ++round) {
+    std::string in;
+    const std::size_t tokens = 20 + rng.below(120);
+    for (std::size_t t = 0; t < tokens; ++t) {
+      in += kTokens[rng.below(kTokens.size())];
+    }
+    expect_masks_agree(in);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace

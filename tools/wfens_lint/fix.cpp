@@ -1,0 +1,182 @@
+#include "wfens_lint/fix.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+
+namespace wfe::lint {
+
+namespace {
+
+constexpr std::size_t npos = std::string_view::npos;
+
+/// Normalize "a/b/../c" -> "a/c" (lexically; no filesystem access).
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t b = 0;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      const std::string_view part = path.substr(b, i - b);
+      if (part == ".." && !parts.empty() && parts.back() != "..") {
+        parts.pop_back();
+      } else if (!part.empty() && part != ".") {
+        parts.push_back(part);
+      }
+      b = i + 1;
+    }
+  }
+  std::string out;
+  for (const std::string_view part : parts) {
+    if (!out.empty()) out += '/';
+    out.append(part);
+  }
+  return out;
+}
+
+struct Line {
+  std::string_view content;  ///< without the trailing newline
+  std::string_view mask;
+  std::size_t begin = 0;  ///< offset of the line start in the file
+};
+
+std::vector<Line> split_lines(std::string_view content,
+                              std::string_view mask) {
+  std::vector<Line> lines;
+  std::size_t b = 0;
+  for (std::size_t i = 0; i <= content.size(); ++i) {
+    if (i == content.size() || content[i] == '\n') {
+      lines.push_back(
+          {content.substr(b, i - b), mask.substr(b, i - b), b});
+      b = i + 1;
+    }
+  }
+  return lines;
+}
+
+bool is_include_line(std::string_view mask_line) {
+  const std::size_t p = mask_line.find_first_not_of(" \t");
+  return p != npos && mask_line.compare(p, 8, "#include") == 0;
+}
+
+bool is_pragma_once_line(std::string_view mask_line) {
+  const std::size_t p = mask_line.find_first_not_of(" \t");
+  if (p == npos || mask_line[p] != '#') return false;
+  return mask_line.find("pragma") != npos && mask_line.find("once") != npos;
+}
+
+/// Rewrite one parent-relative include target, or return the line as-is.
+std::string fix_include_line(std::string_view path, const Line& line,
+                             int* edits) {
+  const std::string_view text = line.content;
+  const std::size_t q1 = text.find('"');
+  if (q1 == npos || text.compare(q1, 4, "\"../") != 0) {
+    return std::string(text);
+  }
+  const std::size_t q2 = text.find('"', q1 + 1);
+  if (q2 == npos) return std::string(text);
+  const std::string_view target = text.substr(q1 + 1, q2 - q1 - 1);
+
+  const std::size_t slash = path.rfind('/');
+  const std::string dir =
+      slash == npos ? std::string() : std::string(path.substr(0, slash));
+  std::string resolved = normalize_path(dir + "/" + std::string(target));
+  if (resolved.starts_with("src/")) {
+    resolved.erase(0, 4);
+  } else if (resolved.starts_with("tools/")) {
+    resolved.erase(0, 6);
+  } else if (resolved.starts_with("..")) {
+    return std::string(text);  // escapes the repo: nothing canonical to say
+  }
+  ++*edits;
+  return std::string(text.substr(0, q1 + 1)) + resolved +
+         std::string(text.substr(q2));
+}
+
+}  // namespace
+
+FixResult fix_source(std::string_view relative_path,
+                     std::string_view content) {
+  const FileClass cls = classify_path(relative_path);
+  const std::string mask = detail::code_mask(content);
+  const std::vector<Line> lines = split_lines(content, mask);
+
+  bool has_pragma_once = false;
+  for (const Line& line : lines) {
+    if (is_pragma_once_line(line.mask)) has_pragma_once = true;
+  }
+
+  FixResult result;
+  std::string out;
+  out.reserve(content.size() + 16);
+  bool pragma_inserted = !cls.header || has_pragma_once;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    if (!pragma_inserted) {
+      // The insertion point: after the leading // comment block (mask
+      // all-blank, content starting with //), before the first real line.
+      const std::size_t p = line.content.find_first_not_of(" \t");
+      const bool doc_comment =
+          p != npos && line.content.compare(p, 2, "//") == 0 &&
+          line.mask.find_first_not_of(" \t") == npos;
+      if (!doc_comment) {
+        out += "#pragma once\n";
+        pragma_inserted = true;
+        ++result.edits;
+      }
+    }
+    if (is_include_line(line.mask)) {
+      out += fix_include_line(relative_path, line, &result.edits);
+    } else {
+      out.append(line.content);
+    }
+    if (i + 1 < lines.size()) out += '\n';
+  }
+  if (!pragma_inserted) {  // comment-only file
+    out += "#pragma once\n";
+    ++result.edits;
+  }
+  result.content = std::move(out);
+  return result;
+}
+
+int fix_tree(const std::filesystem::path& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = repo_root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".hpp" || p.extension() == ".cpp") {
+        paths.push_back(p);
+      }
+    }
+  }
+
+  int changed = 0;
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("wfens_lint: cannot read " + p.string());
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string before = buffer.str();
+    const std::string relative = fs::relative(p, repo_root).generic_string();
+    FixResult fixed = fix_source(relative, before);
+    if (fixed.edits == 0 || fixed.content == before) continue;
+    std::ofstream outf(p, std::ios::binary | std::ios::trunc);
+    if (!outf) {
+      throw std::runtime_error("wfens_lint: cannot write " + p.string());
+    }
+    outf << fixed.content;
+    ++changed;
+  }
+  return changed;
+}
+
+}  // namespace wfe::lint

@@ -1,0 +1,37 @@
+// Mechanical fixes for the two findings with exactly one right answer.
+//
+//   pragma-once      insert `#pragma once` after a header's leading //
+//                    comment block (the file doc comment), before the
+//                    first code line;
+//   include-parent   rewrite `#include "../x/y.hpp"` to the src/-rooted
+//                    spelling by resolving the target against the
+//                    including file's directory and stripping the
+//                    src/ or tools/ prefix.
+//
+// Fixes are idempotent: running --fix on an already-fixed tree rewrites
+// nothing. Rewrites use the code mask, so directives inside comments,
+// strings or raw strings are never touched.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace wfe::lint {
+
+/// One file's fix outcome.
+struct FixResult {
+  std::string content;  ///< fixed text (== input when edits == 0)
+  int edits = 0;        ///< individual rewrites applied
+};
+
+/// Apply both fixes to one source text. `relative_path` scopes them the
+/// same way lint_source() scopes the rules.
+FixResult fix_source(std::string_view relative_path, std::string_view content);
+
+/// Fix every *.hpp / *.cpp under repo_root/src and repo_root/tools in
+/// place, writing only changed files. Returns the number of files
+/// rewritten; throws std::runtime_error on unreadable files.
+int fix_tree(const std::filesystem::path& repo_root);
+
+}  // namespace wfe::lint

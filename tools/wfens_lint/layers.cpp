@@ -1,0 +1,232 @@
+#include "wfens_lint/layers.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wfe::lint {
+
+namespace {
+
+/// Reporter that honors per-file allow() annotations for findings anchored
+/// in project files; manifest-anchored findings have no allow channel.
+void report(Project& project, std::vector<Finding>& findings,
+            const std::string& file, int line, std::string rule,
+            std::string message) {
+  const int index = project.file_index(file);
+  if (index >= 0 &&
+      project.files[index].allows.allows(rule, line)) {
+    return;
+  }
+  findings.push_back(Finding{file, line, std::move(rule), std::move(message)});
+}
+
+std::string trim(std::string_view s) {
+  const std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+int LayerManifest::layer_of(std::string_view module) const {
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (modules[i] == module) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+LayerManifest parse_layer_manifest(std::string_view text,
+                                   const std::string& manifest_path,
+                                   std::vector<Finding>& findings) {
+  LayerManifest manifest;
+  const auto bad = [&](int line, const std::string& message) {
+    findings.push_back(Finding{manifest_path, line, "layer-manifest",
+                               message});
+  };
+
+  int line_no = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    ++line_no;
+    std::string line(text.substr(begin, end - begin));
+    begin = end + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    std::istringstream tokens(line);
+    std::string directive;
+    tokens >> directive;
+    if (directive == "module") {
+      std::string name, extra;
+      tokens >> name;
+      if (name.empty() || (tokens >> extra)) {
+        bad(line_no, "expected `module <name>`, got: " + line);
+      } else if (manifest.layer_of(name) >= 0) {
+        bad(line_no, "module " + name + " declared twice");
+      } else {
+        manifest.modules.push_back(name);
+      }
+    } else if (directive == "edge") {
+      std::string from, arrow, to, extra;
+      tokens >> from >> arrow >> to;
+      if (from.empty() || arrow != "->" || to.empty() || (tokens >> extra)) {
+        bad(line_no, "expected `edge <from> -> <to>`, got: " + line);
+        continue;
+      }
+      const int from_layer = manifest.layer_of(from);
+      const int to_layer = manifest.layer_of(to);
+      if (from_layer < 0 || to_layer < 0) {
+        bad(line_no, "edge " + from + " -> " + to +
+                         " names a module not declared above it");
+        continue;
+      }
+      if (from_layer <= to_layer) {
+        bad(line_no, "edge " + from + " -> " + to +
+                         " points upward (or sideways) in the declared "
+                         "layer order; a lower layer must not include a "
+                         "higher one");
+        continue;
+      }
+      const bool duplicate = std::any_of(
+          manifest.edges.begin(), manifest.edges.end(),
+          [&](const LayerManifest::Edge& e) { return e.from == from && e.to == to; });
+      if (duplicate) {
+        bad(line_no, "edge " + from + " -> " + to + " declared twice");
+        continue;
+      }
+      manifest.edges.push_back(LayerManifest::Edge{from, to, line_no});
+    } else {
+      bad(line_no, "unknown directive `" + directive +
+                       "` (expected `module` or `edge`)");
+    }
+    if (end == text.size()) break;
+  }
+  return manifest;
+}
+
+void run_layering_pass(Project& project, std::vector<Finding>& findings) {
+  const std::string& manifest_path = project.manifest_path;
+  if (!project.manifest_text) {
+    findings.push_back(
+        Finding{manifest_path, 1, "layer-manifest",
+                "layering manifest not found; declare the module DAG "
+                "(see docs/ANALYSIS.md)"});
+    return;
+  }
+  const LayerManifest manifest =
+      parse_layer_manifest(*project.manifest_text, manifest_path, findings);
+
+  // Observed cross-module include edges: (from, to) -> first witness.
+  struct Witness {
+    std::string file;
+    int line = 0;
+    std::string target;
+  };
+  std::map<std::pair<std::string, std::string>, Witness> observed;
+  std::set<std::string> unknown_reported;
+  for (const ProjectFile& file : project.files) {
+    if (file.module.empty()) continue;  // not under src/ or tools/
+    if (manifest.layer_of(file.module) < 0 &&
+        unknown_reported.insert(file.module).second) {
+      report(project, findings, file.path, 1, "layer-unknown-module",
+             "module `" + file.module +
+                 "` is not declared in " + manifest_path);
+    }
+    for (const IncludeEdge& edge : file.includes) {
+      if (edge.resolved < 0) continue;
+      const std::string& to = project.files[edge.resolved].module;
+      if (to.empty() || to == file.module) continue;
+      const auto key = std::make_pair(file.module, to);
+      if (!observed.count(key)) {
+        observed.emplace(key, Witness{file.path, edge.line, edge.target});
+      }
+    }
+  }
+
+  // Undeclared edges, at the first #include that creates each.
+  for (const auto& [key, witness] : observed) {
+    const bool declared = std::any_of(
+        manifest.edges.begin(), manifest.edges.end(),
+        [&](const LayerManifest::Edge& e) {
+          return e.from == key.first && e.to == key.second;
+        });
+    if (!declared) {
+      report(project, findings, witness.file, witness.line,
+             "layer-undeclared-edge",
+             "#include \"" + witness.target + "\" creates module edge " +
+                 key.first + " -> " + key.second + " which " +
+                 manifest_path + " does not allow");
+    }
+  }
+
+  // Stale manifest entries: declared edges no include exercises.
+  for (const LayerManifest::Edge& edge : manifest.edges) {
+    if (!observed.count({edge.from, edge.to})) {
+      findings.push_back(Finding{
+          manifest_path, edge.line, "layer-stale-edge",
+          "declared edge " + edge.from + " -> " + edge.to +
+              " is used by no #include; remove it from the manifest"});
+    }
+  }
+
+  // Cycles in the observed module graph. Declared edges are forced
+  // downward by the parser, so any cycle runs through an undeclared edge
+  // — still worth its own finding: the cycle is the structural bug, the
+  // undeclared edge just one symptom.
+  std::vector<std::string> modules;
+  for (const auto& [key, witness] : observed) {
+    for (const std::string& m : {key.first, key.second}) {
+      if (std::find(modules.begin(), modules.end(), m) == modules.end()) {
+        modules.push_back(m);
+      }
+    }
+  }
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::set<std::string>> seen_cycles;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& at) {
+        state[at] = 1;
+        stack.push_back(at);
+        for (const auto& [key, witness] : observed) {
+          if (key.first != at) continue;
+          const std::string& next = key.second;
+          if (state[next] == 1) {
+            // Found a cycle: slice it out of the stack.
+            const auto begin =
+                std::find(stack.begin(), stack.end(), next);
+            std::vector<std::string> cycle(begin, stack.end());
+            if (seen_cycles
+                    .insert(std::set<std::string>(cycle.begin(), cycle.end()))
+                    .second) {
+              std::string path;
+              for (const std::string& m : cycle) path += m + " -> ";
+              path += next;
+              const Witness& w = observed.at(key);
+              report(project, findings, w.file, w.line, "layer-cycle",
+                     "module cycle: " + path);
+            }
+          } else if (state[next] == 0) {
+            dfs(next);
+          }
+        }
+        stack.pop_back();
+        state[at] = 2;
+      };
+  for (const std::string& m : modules) {
+    if (state[m] == 0) dfs(m);
+  }
+}
+
+}  // namespace wfe::lint

@@ -1,0 +1,67 @@
+// Layering-manifest conformance: the module DAG is an explicit, committed
+// contract, not an emergent property.
+//
+// tools/wfens_lint/layers.conf declares the project's modules in layer
+// order (low to high) and the allowed cross-module #include edges:
+//
+//   # comment
+//   module support
+//   module platform
+//   ...
+//   edge obs -> support
+//   edge sched -> runtime
+//
+// The pass maps every project file to its module (src/<m>/... -> m,
+// tools/... -> tools) and checks, in both directions:
+//
+//   layer-manifest        the manifest is missing, does not parse, declares
+//                         a module twice, names an undeclared module in an
+//                         edge, declares an edge twice, or declares an edge
+//                         that points upward in its own module order (the
+//                         declaration order IS the layering).
+//   layer-unknown-module  a file maps to a module the manifest does not
+//                         declare.
+//   layer-undeclared-edge an #include crosses modules on an edge the
+//                         manifest does not allow (reported at the
+//                         #include line).
+//   layer-stale-edge      a declared edge no #include uses (reported at
+//                         the manifest line) — the manifest never drifts
+//                         ahead of the tree.
+//   layer-cycle           the observed module graph has a cycle (the
+//                         manifest's order check makes this unreachable
+//                         for declared edges; it catches cycles running
+//                         through undeclared ones).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+#include "wfens_lint/project.hpp"
+
+namespace wfe::lint {
+
+/// Parsed layers.conf.
+struct LayerManifest {
+  struct Edge {
+    std::string from, to;
+    int line = 0;
+  };
+  std::vector<std::string> modules;  ///< declaration order = layer order
+  std::vector<Edge> edges;
+
+  /// Position of `module` in the declared order, or -1.
+  int layer_of(std::string_view module) const;
+};
+
+/// Parse manifest text; syntax and consistency problems become
+/// layer-manifest findings against `manifest_path`.
+LayerManifest parse_layer_manifest(std::string_view text,
+                                   const std::string& manifest_path,
+                                   std::vector<Finding>& findings);
+
+/// Run the layering pass over the project, appending findings.
+void run_layering_pass(Project& project, std::vector<Finding>& findings);
+
+}  // namespace wfe::lint

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "wfens_lint/project.hpp"
 
 namespace wfe::lint {
 
@@ -18,6 +21,25 @@ bool is_ident_char(char c) {
 
 bool is_ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+namespace {
+
+/// Length of the raw-string prefix ending just before the quote at `i`:
+/// `R`, `u8R`, `uR`, `UR` or `LR` preceded by a non-identifier character.
+/// 0 when the quote does not open a raw string.
+std::size_t raw_prefix_len(std::string_view s, std::size_t i) {
+  if (i == 0 || s[i - 1] != 'R') return 0;
+  std::size_t p = i - 1;  // the 'R'
+  if (p >= 2 && s[p - 2] == 'u' && s[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 && (s[p - 1] == 'u' || s[p - 1] == 'U' || s[p - 1] == 'L')) {
+    p -= 1;
+  }
+  if (p > 0 && is_ident_char(s[p - 1])) return 0;
+  return i - p;
 }
 
 }  // namespace
@@ -53,9 +75,7 @@ std::string code_mask(std::string_view content) {
           blank(i);
           blank(i + 1);
           i += 2;
-        } else if (c == '"' &&
-                   (i > 0 && content[i - 1] == 'R' &&
-                    (i < 2 || !is_ident_char(content[i - 2])))) {
+        } else if (c == '"' && raw_prefix_len(content, i) > 0) {
           // R"delim( ... )delim"
           std::size_t p = i + 1;
           while (p < n && content[p] != '(') ++p;
@@ -80,12 +100,23 @@ std::string code_mask(std::string_view content) {
         }
         break;
       case State::kLineComment:
-        if (c == '\n') {
+        if (c == '\\' && i + 1 < n &&
+            (content[i + 1] == '\n' ||
+             (content[i + 1] == '\r' && i + 2 < n && content[i + 2] == '\n'))) {
+          // A line continuation extends the // comment onto the next
+          // physical line (the preprocessor splices before tokenizing).
+          // Blank the backslash (and a CR), step past the newline, and
+          // stay in the comment.
+          blank(i);
+          blank(i + 1);
+          i += content[i + 1] == '\r' ? 3 : 2;
+        } else if (c == '\n') {
           state = State::kCode;
+          ++i;
         } else {
           blank(i);
+          ++i;
         }
-        ++i;
         break;
       case State::kBlockComment:
         if (c == '*' && i + 1 < n && content[i + 1] == '/') {
@@ -127,10 +158,15 @@ std::string code_mask(std::string_view content) {
   return mask;
 }
 
-bool AllowMap::allows(std::string_view rule, int line) const {
-  return std::any_of(entries.begin(), entries.end(), [&](const auto& e) {
-    return e.second == line && e.first == rule;
-  });
+bool AllowMap::allows(std::string_view rule, int line) {
+  bool hit = false;
+  for (Entry& e : entries) {
+    if (e.line == line && e.rule == rule) {
+      e.used = true;
+      hit = true;
+    }
+  }
+  return hit;
 }
 
 AllowMap collect_allows(std::string_view content) {
@@ -146,7 +182,14 @@ AllowMap collect_allows(std::string_view content) {
       if (at != std::string_view::npos) {
         const std::size_t open = at + kMarker.size();
         const std::size_t close = text.find(')', open);
-        if (close != std::string_view::npos) {
+        // The annotation must end its line: trailing text means the marker
+        // is being *mentioned* (a doc comment quoting the syntax), not
+        // written as an annotation.
+        const bool terminal =
+            close != std::string_view::npos &&
+            text.find_first_not_of(" \t\r", close + 1) ==
+                std::string_view::npos;
+        if (terminal) {
           // The annotation covers its own line; when the comment stands
           // alone (only whitespace and the comment opener before it), it
           // covers the next line too.
@@ -161,8 +204,8 @@ AllowMap collect_allows(std::string_view content) {
             const std::size_t e = rule.find_last_not_of(" \t");
             if (b == std::string::npos) continue;
             rule = rule.substr(b, e - b + 1);
-            out.entries.emplace_back(rule, line);
-            if (standalone) out.entries.emplace_back(rule, line + 1);
+            out.entries.push_back({rule, line, line, false});
+            if (standalone) out.entries.push_back({rule, line + 1, line, false});
           }
         }
       }
@@ -229,7 +272,7 @@ struct RuleContext {
   std::string_view content;
   std::string_view mask;
   FileClass cls;
-  const detail::AllowMap* allows = nullptr;
+  detail::AllowMap* allows = nullptr;
   std::vector<Finding>* out = nullptr;
 
   void report(int line, std::string rule, std::string message) const {
@@ -399,11 +442,12 @@ FileClass classify_path(std::string_view relative_path) {
   return cls;
 }
 
-std::vector<Finding> lint_source(std::string_view relative_path,
-                                 std::string_view content) {
+namespace detail {
+
+std::vector<Finding> run_file_rules(std::string_view relative_path,
+                                    std::string_view content,
+                                    std::string_view mask, AllowMap& allows) {
   std::vector<Finding> out;
-  const std::string mask = detail::code_mask(content);
-  const detail::AllowMap allows = detail::collect_allows(content);
   const RuleContext ctx{relative_path, content,          mask,
                         classify_path(relative_path), &allows, &out};
   scan_identifiers(ctx);
@@ -415,36 +459,21 @@ std::vector<Finding> lint_source(std::string_view relative_path,
   return out;
 }
 
-std::vector<Finding> lint_tree(const std::filesystem::path& repo_root) {
-  namespace fs = std::filesystem;
-  std::vector<fs::path> files;
-  for (const char* top : {"src", "tools"}) {
-    const fs::path dir = repo_root / top;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const fs::path& p = entry.path();
-      if (p.extension() == ".hpp" || p.extension() == ".cpp") {
-        files.push_back(p);
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
+}  // namespace detail
 
-  std::vector<Finding> out;
-  for (const fs::path& p : files) {
-    std::ifstream in(p, std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("wfens_lint: cannot read " + p.string());
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string rel =
-        fs::relative(p, repo_root).generic_string();
-    std::vector<Finding> found = lint_source(rel, buffer.str());
-    out.insert(out.end(), found.begin(), found.end());
-  }
-  return out;
+std::vector<Finding> lint_source(std::string_view relative_path,
+                                 std::string_view content) {
+  const std::string mask = detail::code_mask(content);
+  detail::AllowMap allows = detail::collect_allows(content);
+  return detail::run_file_rules(relative_path, content, mask, allows);
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& repo_root) {
+  // The whole-project analyzer (project.cpp) runs the single-file rules on
+  // every file plus the cross-file passes; lint_tree is the canonical
+  // entry the lint.tree ctest and the CLI share.
+  Project project = load_project(repo_root);
+  return analyze_project(project);
 }
 
 std::string findings_to_json(const std::vector<Finding>& findings) {
@@ -472,6 +501,66 @@ std::string findings_to_json(const std::vector<Finding>& findings) {
            escape(f.rule) + "\",\"message\":\"" + escape(f.message) + "\"}";
   }
   out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string findings_to_sarif(const std::vector<Finding>& findings) {
+  const auto escape = [](std::string_view s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+
+  // One reportingDescriptor per distinct rule, in first-seen order, so the
+  // results' ruleIds all resolve.
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) {
+    if (std::find(rules.begin(), rules.end(), f.rule) == rules.end()) {
+      rules.push_back(f.rule);
+    }
+  }
+
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"wfens_lint\","
+      " \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) out += ", ";
+    out += "{\"id\": \"" + escape(rules[i]) + "\"}";
+  }
+  out += "]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out += ",";
+    out += "\n      {\"ruleId\": \"" + escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n    ]\n";
+  out += "  }]\n}\n";
   return out;
 }
 

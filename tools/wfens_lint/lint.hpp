@@ -44,6 +44,9 @@
 //   iostream-in-header    headers must not include <iostream> (global
 //                         stream objects drag static initializers into
 //                         every TU; stream in .cpp files only).
+//   stale-allow            an `// wfens-lint: allow(rule)` annotation that
+//                         suppresses no finding (whole-project runs only:
+//                         the cross-file passes must see every use first).
 //   stage-record-outside-runtime
 //                         met::StageRecord construction (brace init or a
 //                         declaration) in src/ outside src/runtime/ and
@@ -55,9 +58,30 @@
 //                         (const StageRecord&, vector<StageRecord>) and
 //                         #include lines are exempt.
 //
+// Whole-project passes (wfens_lint --root; built on the project model in
+// project.hpp, documented in docs/ANALYSIS.md):
+//
+//   layer-*               layering manifest conformance: every cross-module
+//                         #include edge must be declared in
+//                         tools/wfens_lint/layers.conf (layer-undeclared-edge),
+//                         every declared edge must be used (layer-stale-edge),
+//                         the observed module graph must be acyclic
+//                         (layer-cycle), every file must map to a declared
+//                         module (layer-unknown-module), and the manifest
+//                         itself must parse (layer-manifest).
+//   lock-rank-static      a call path that can acquire a RankedMutex rank
+//                         <= a rank already held — the runtime abort in
+//                         src/support/lock_rank.hpp, found at lint time
+//                         with both source sites (see ranks.hpp).
+//   determinism-taint     a src/ function (outside src/support/) that
+//                         reaches rand/time/system_clock/random_device
+//                         through a chain of project calls (see taint.hpp).
+//
 // Escape hatch: a comment `// wfens-lint: allow(rule-id)` (comma-separated
 // for several rules) suppresses findings of those rules on its own line,
 // or — when the comment stands alone on a line — on the following line.
+// The annotation must end its line; text after the closing paren (as in
+// this very paragraph) makes it a mention, not an annotation.
 #pragma once
 
 #include <filesystem>
@@ -97,29 +121,52 @@ std::vector<Finding> lint_source(std::string_view relative_path,
                                  std::string_view content);
 
 /// Lint every *.hpp / *.cpp under `repo_root`/src and `repo_root`/tools,
-/// in sorted path order. Throws wfe::lint errors as std::runtime_error on
-/// unreadable files.
+/// in sorted path order, then run the whole-project passes (layering
+/// manifest, static lock rank, determinism taint, stale allows). Throws
+/// wfe::lint errors as std::runtime_error on unreadable files.
 std::vector<Finding> lint_tree(const std::filesystem::path& repo_root);
 
 /// The findings as a JSON array (stable field order, sorted input order
 /// preserved) for CI consumption.
 std::string findings_to_json(const std::vector<Finding>& findings);
 
+/// The findings as a SARIF 2.1.0 log (one run, one result per finding)
+/// for inline PR annotations in CI.
+std::string findings_to_sarif(const std::vector<Finding>& findings);
+
 namespace detail {
 
 /// Replace comment, string-literal and char-literal bytes with spaces
 /// (newlines kept) so rule matching only ever sees code. Handles //, block
-/// comments, escapes, and R"delim(...)delim" raw strings.
+/// comments (including line continuations that extend a // comment),
+/// escapes, adjacent literals, and (u8|u|U|L-prefixed)
+/// R"delim(...)delim" raw strings.
 std::string code_mask(std::string_view content);
 
-/// Per-line allow() annotations harvested from comments: allowed[rule]
-/// holds the 1-based lines on which that rule is suppressed (the comment's
-/// line, plus the next line for stand-alone annotation comments).
+/// Per-line allow() annotations harvested from comments. An annotation
+/// covers its own line, plus the next line when the comment stands alone.
+/// allows() records which entries actually suppressed something so
+/// whole-project runs can flag the rest as stale-allow.
 struct AllowMap {
-  std::vector<std::pair<std::string, int>> entries;
-  bool allows(std::string_view rule, int line) const;
+  struct Entry {
+    std::string rule;
+    int line = 0;             ///< a 1-based line this annotation covers
+    int annotation_line = 0;  ///< the comment's own line
+    bool used = false;        ///< suppressed at least one finding
+  };
+  std::vector<Entry> entries;
+
+  /// True when `rule` is suppressed on `line`; marks the entry used.
+  bool allows(std::string_view rule, int line);
 };
 AllowMap collect_allows(std::string_view content);
+
+/// Run the single-file rules (everything except the whole-project passes)
+/// with caller-owned mask/allow state, so the project analyzer can share
+/// one AllowMap per file across every pass.
+std::vector<Finding> run_file_rules(std::string_view relative_path,
+                                    std::string_view content,
+                                    std::string_view mask, AllowMap& allows);
 
 }  // namespace detail
 

@@ -2,6 +2,10 @@
 //
 //   wfens_lint --root <repo>            lint <repo>/src and <repo>/tools
 //   wfens_lint --root <repo> --json F   also write the findings report to F
+//   wfens_lint --root <repo> --sarif F  also write a SARIF 2.1.0 log to F
+//   wfens_lint --root <repo> --fix      apply mechanical fixes first
+//                                       (pragma-once, include-parent),
+//                                       then lint the fixed tree
 //   wfens_lint --file <rel> < source    lint stdin as the given path
 //
 // Exit status: 0 clean, 1 findings, 2 usage or I/O error. The ctest
@@ -14,14 +18,17 @@
 #include <string>
 #include <vector>
 
+#include "wfens_lint/fix.hpp"
 #include "wfens_lint/lint.hpp"
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: wfens_lint --root <repo-root> [--json <out>]\n"
-               "       wfens_lint --file <relative-path>   (source on stdin)\n");
+  std::fprintf(
+      stderr,
+      "usage: wfens_lint --root <repo-root> [--json <out>] [--sarif <out>]"
+      " [--fix]\n"
+      "       wfens_lint --file <relative-path>   (source on stdin)\n");
   return 2;
 }
 
@@ -30,13 +37,19 @@ int usage() {
 int main(int argc, char** argv) {
   std::filesystem::path root;
   std::filesystem::path json_out;
+  std::filesystem::path sarif_out;
   std::string stdin_path;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_out = argv[++i];
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--file" && i + 1 < argc) {
       stdin_path = argv[++i];
     } else {
@@ -44,6 +57,7 @@ int main(int argc, char** argv) {
     }
   }
   if (root.empty() == stdin_path.empty()) return usage();
+  if (fix && root.empty()) return usage();
 
   std::vector<wfe::lint::Finding> findings;
   try {
@@ -52,6 +66,10 @@ int main(int argc, char** argv) {
       buffer << std::cin.rdbuf();
       findings = wfe::lint::lint_source(stdin_path, buffer.str());
     } else {
+      if (fix) {
+        const int changed = wfe::lint::fix_tree(root);
+        std::fprintf(stderr, "wfens_lint: fixed %d file(s)\n", changed);
+      }
       findings = wfe::lint::lint_tree(root);
     }
   } catch (const std::exception& e) {
@@ -63,14 +81,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                  f.rule.c_str(), f.message.c_str());
   }
-  if (!json_out.empty()) {
-    std::ofstream out(json_out, std::ios::trunc);
+  const auto write_report = [](const std::filesystem::path& path,
+                               const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "wfens_lint: cannot write %s\n",
-                   json_out.string().c_str());
-      return 2;
+                   path.string().c_str());
+      return false;
     }
-    out << wfe::lint::findings_to_json(findings);
+    out << text;
+    return true;
+  };
+  if (!json_out.empty() &&
+      !write_report(json_out, wfe::lint::findings_to_json(findings))) {
+    return 2;
+  }
+  if (!sarif_out.empty() &&
+      !write_report(sarif_out, wfe::lint::findings_to_sarif(findings))) {
+    return 2;
   }
   if (findings.empty()) {
     std::fprintf(stderr, "wfens_lint: clean\n");

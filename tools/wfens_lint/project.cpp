@@ -1,0 +1,596 @@
+#include "wfens_lint/project.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "wfens_lint/layers.hpp"
+#include "wfens_lint/ranks.hpp"
+#include "wfens_lint/taint.hpp"
+
+namespace wfe::lint {
+
+namespace detail {
+
+namespace {
+
+constexpr std::size_t npos = std::string_view::npos;
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+/// Member-init list after the ':' of a constructor definition: a
+/// comma-separated run of `name(...)` / `name{...}` initializers (names
+/// possibly qualified or templated, packs allowed), then the body '{'.
+std::size_t init_list_body(std::string_view s, std::size_t i) {
+  const std::size_t n = s.size();
+  while (true) {
+    i = skip_ws(s, i);
+    if (i >= n || !is_ident_start(s[i])) return npos;
+    while (i < n) {
+      if (is_ident_char(s[i])) {
+        ++i;
+      } else if (s[i] == ':' && i + 1 < n && s[i + 1] == ':') {
+        i += 2;
+      } else if (s[i] == '<') {
+        const std::size_t m = match_bracket(s, i);
+        if (m == npos) return npos;
+        i = m + 1;
+      } else {
+        break;
+      }
+    }
+    i = skip_ws(s, i);
+    if (i >= n || (s[i] != '(' && s[i] != '{')) return npos;
+    const std::size_t m = match_bracket(s, i);
+    if (m == npos) return npos;
+    i = skip_ws(s, m + 1);
+    if (i + 3 <= n && s.compare(i, 3, "...") == 0) i = skip_ws(s, i + 3);
+    if (i < n && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < n && s[i] == '{') return i;
+    return npos;
+  }
+}
+
+}  // namespace
+
+std::size_t match_bracket(std::string_view mask, std::size_t open) {
+  const char o = mask[open];
+  const char c = o == '(' ? ')' : o == '[' ? ']' : o == '{' ? '}' : '>';
+  int depth = 0;
+  for (std::size_t i = open; i < mask.size(); ++i) {
+    if (mask[i] == o) {
+      ++depth;
+    } else if (mask[i] == c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return npos;
+}
+
+std::size_t find_body_brace(std::string_view mask, std::size_t close_paren) {
+  const std::string_view s = mask;
+  const std::size_t n = s.size();
+  std::size_t i = close_paren + 1;
+  while (i < n) {
+    i = skip_ws(s, i);
+    if (i >= n) return npos;
+    const char c = s[i];
+    if (c == '{') return i;
+    if (c == '(' || c == '[') {
+      // noexcept(...), a second parameter list (operator()), [[attr]].
+      const std::size_t m = match_bracket(s, i);
+      if (m == npos) return npos;
+      i = m + 1;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && s[i + 1] == '>') {
+      i += 2;  // trailing return type; its tokens fall through below
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < n && s[i + 1] == ':') {
+        i += 2;  // qualifier inside a trailing return type
+        continue;
+      }
+      return init_list_body(s, i + 1);
+    }
+    if (c == '<' || c == '>' || c == '*' || c == '&') {
+      ++i;  // template args / pointers / refs in a trailing return type
+      continue;
+    }
+    if (is_ident_start(c)) {
+      // const / noexcept / override / final / mutable / try / requires,
+      // or trailing-return-type tokens.
+      while (i < n && is_ident_char(s[i])) ++i;
+      continue;
+    }
+    return npos;  // ';' declaration, '=' default/delete/init, ',' ...
+  }
+  return npos;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::is_ident_char;
+using detail::is_ident_start;
+using detail::match_bracket;
+constexpr std::size_t npos = std::string_view::npos;
+
+/// Identifiers that introduce control flow or otherwise look like
+/// `name (...)` without ever being a project function definition or call.
+bool is_skipped_keyword(std::string_view ident) {
+  static const std::set<std::string_view> kSkip = {
+      "if",          "for",        "while",     "switch",      "catch",
+      "return",      "sizeof",     "alignof",   "alignas",     "decltype",
+      "noexcept",    "static_assert", "assert", "throw",       "new",
+      "delete",      "co_await",   "co_return", "co_yield",    "requires",
+      "defined",     "else",       "do",        "case",        "default",
+      "using",       "typedef",    "namespace", "template",    "typename",
+      "constexpr",   "consteval",  "constinit", "explicit",    "inline",
+      "static",      "virtual",    "operator",  "this",
+  };
+  return kSkip.count(ident) != 0;
+}
+
+/// Method names shared with the std containers / string / optional /
+/// atomic / stream families. A member-syntax call (`x.size()`, `p->find()`)
+/// with one of these names is overwhelmingly a std call that happens to
+/// collide with a project function of the same name; resolving it through
+/// the identifier-level graph would wire e.g. every `vec.size()` to any
+/// project `size()` that takes a lock. Such calls are dropped from the
+/// call graph — the runtime lock-rank checker stays the backstop for the
+/// rare project-member call this hides.
+bool is_std_member_name(std::string_view ident) {
+  static const std::set<std::string_view> kNames = {
+      "size",        "empty",       "clear",       "erase",
+      "contains",    "count",       "find",        "begin",
+      "end",         "cbegin",      "cend",        "rbegin",
+      "rend",        "front",       "back",        "at",
+      "data",        "push_back",   "pop_back",    "push_front",
+      "pop_front",   "insert",      "emplace",     "emplace_back",
+      "reserve",     "resize",      "assign",      "append",
+      "substr",      "c_str",       "str",         "length",
+      "capacity",    "compare",     "starts_with", "ends_with",
+      "lower_bound", "upper_bound", "equal_range", "swap",
+      "get",         "reset",       "release",     "load",
+      "store",       "exchange",    "value",       "value_or",
+      "has_value",   "lock",        "unlock",      "try_lock",
+      "wait",        "wait_for",    "wait_until",  "notify_one",
+      "notify_all",  "tellg",       "seekg",       "read",
+      "write",       "flush",       "open",        "close",
+      "good",        "fail",        "is_open",     "rdbuf",
+      "string",      "native",      "extension",   "filename",
+      "stem",        "time_since_epoch",
+  };
+  return kNames.count(ident) != 0;
+}
+
+/// True when the identifier at `i` is called with member syntax:
+/// `recv.name(...)` or `recv->name(...)`.
+bool is_member_call(std::string_view s, std::size_t i) {
+  std::size_t p = i;
+  while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t' || s[p - 1] == '\n'))
+    --p;
+  if (p == 0) return false;
+  if (s[p - 1] == '.') return true;
+  return s[p - 1] == '>' && p >= 2 && s[p - 2] == '-';
+}
+
+/// The root of the qualified-name chain ending just before the identifier
+/// at `i` — for `std::chrono::duration_cast` called at `duration_cast`,
+/// returns "std". Empty when the identifier is unqualified.
+std::string_view qualified_root(std::string_view s, std::size_t i) {
+  std::string_view root;
+  std::size_t p = i;
+  while (true) {
+    while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t' || s[p - 1] == '\n'))
+      --p;
+    if (p < 2 || s[p - 1] != ':' || s[p - 2] != ':') break;
+    p -= 2;
+    while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t' || s[p - 1] == '\n'))
+      --p;
+    const std::size_t end = p;
+    while (p > 0 && is_ident_char(s[p - 1])) --p;
+    if (end == p) break;  // global-qualified ::name
+    root = s.substr(p, end - p);
+  }
+  return root;
+}
+
+/// 1-based line of `offset` given the file's sorted line-start offsets.
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t offset) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> compute_line_starts(std::string_view content) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// Normalize "a/b/../c" -> "a/c" (lexically; no filesystem access).
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t b = 0;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      const std::string_view part = path.substr(b, i - b);
+      if (part == ".." && !parts.empty() && parts.back() != "..") {
+        parts.pop_back();
+      } else if (!part.empty() && part != ".") {
+        parts.push_back(part);
+      }
+      b = i + 1;
+    }
+  }
+  std::string out;
+  for (const std::string_view part : parts) {
+    if (!out.empty()) out += '/';
+    out.append(part);
+  }
+  return out;
+}
+
+void scan_includes(ProjectFile& file,
+                   const std::vector<std::size_t>& line_starts) {
+  const std::string_view mask = file.mask;
+  const std::string_view content = file.content;
+  std::size_t pos = 0;
+  while ((pos = mask.find("#include", pos)) != npos) {
+    // Must be the first token on its line (allowing indentation).
+    std::size_t b = pos;
+    while (b > 0 && mask[b - 1] != '\n') --b;
+    const std::size_t first = mask.find_first_not_of(" \t", b);
+    if (first != pos) {
+      pos += 8;
+      continue;
+    }
+    std::size_t line_end = content.find('\n', pos);
+    if (line_end == npos) line_end = content.size();
+    // The target survives only in the original content (the mask blanks
+    // quoted strings).
+    const std::string_view line = content.substr(pos, line_end - pos);
+    const std::size_t q1 = line.find('"');
+    if (q1 != npos) {
+      const std::size_t q2 = line.find('"', q1 + 1);
+      if (q2 != npos) {
+        IncludeEdge edge;
+        edge.line = line_of(line_starts, pos);
+        edge.target = std::string(line.substr(q1 + 1, q2 - q1 - 1));
+        file.includes.push_back(std::move(edge));
+      }
+    }
+    pos = line_end;
+  }
+}
+
+void resolve_includes(Project& project) {
+  std::map<std::string, int, std::less<>> by_path;
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    by_path.emplace(project.files[i].path, static_cast<int>(i));
+  }
+  for (ProjectFile& file : project.files) {
+    const std::size_t slash = file.path.rfind('/');
+    const std::string dir =
+        slash == npos ? std::string() : file.path.substr(0, slash);
+    for (IncludeEdge& edge : file.includes) {
+      const std::string candidates[] = {
+          "src/" + edge.target,
+          "tools/" + edge.target,
+          normalize_path(dir + "/" + edge.target),
+          edge.target,
+      };
+      for (const std::string& candidate : candidates) {
+        const auto it = by_path.find(candidate);
+        if (it != by_path.end()) {
+          edge.resolved = it->second;
+          break;
+        }
+      }
+      if (edge.resolved >= 0) continue;
+      // Last resort: a unique suffix match, for headers found through an
+      // extra include directory (e.g. "campaign.hpp" via src/workload).
+      const std::string suffix = "/" + edge.target;
+      int match = -1;
+      bool unique = true;
+      for (const auto& [path, index] : by_path) {
+        if (path.size() > suffix.size() &&
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+          unique = match < 0;
+          match = index;
+        }
+      }
+      if (match >= 0 && unique) edge.resolved = match;
+    }
+  }
+}
+
+void compute_closures(Project& project) {
+  const int n = static_cast<int>(project.files.size());
+  project.closure.assign(n, {});
+  project.visible.assign(n, {});
+
+  // Header <-> implementation twins: src/a/x.hpp pairs with src/a/x.cpp.
+  std::map<std::string, int, std::less<>> by_path;
+  for (int i = 0; i < n; ++i) by_path.emplace(project.files[i].path, i);
+  std::vector<int> twin(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const std::string& path = project.files[i].path;
+    if (path.ends_with(".hpp")) {
+      const auto it =
+          by_path.find(path.substr(0, path.size() - 4) + ".cpp");
+      if (it != by_path.end()) twin[i] = it->second;
+    }
+  }
+
+  for (int start = 0; start < n; ++start) {
+    std::vector<bool> seen(n, false);
+    std::vector<int> stack{start};
+    seen[start] = true;
+    while (!stack.empty()) {
+      const int at = stack.back();
+      stack.pop_back();
+      project.closure[start].push_back(at);
+      for (const IncludeEdge& edge : project.files[at].includes) {
+        if (edge.resolved >= 0 && !seen[edge.resolved]) {
+          seen[edge.resolved] = true;
+          stack.push_back(edge.resolved);
+        }
+      }
+    }
+    std::sort(project.closure[start].begin(), project.closure[start].end());
+
+    std::vector<int> vis = project.closure[start];
+    for (const int file : project.closure[start]) {
+      if (twin[file] >= 0 && !seen[twin[file]]) {
+        seen[twin[file]] = true;
+        vis.push_back(twin[file]);
+      }
+    }
+    std::sort(vis.begin(), vis.end());
+    project.visible[start] = std::move(vis);
+  }
+}
+
+void scan_functions(Project& project, int file_index,
+                    const std::vector<std::size_t>& line_starts) {
+  const ProjectFile& file = project.files[file_index];
+  const std::string_view s = file.mask;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (!is_ident_start(s[i]) || (i > 0 && is_ident_char(s[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t e = i;
+    while (e < s.size() && is_ident_char(s[e])) ++e;
+    const std::string_view name = s.substr(i, e - i);
+    if (!is_skipped_keyword(name)) {
+      const std::size_t p = detail::skip_ws(s, e);
+      if (p < s.size() && s[p] == '(') {
+        const std::size_t close = match_bracket(s, p);
+        if (close != npos) {
+          const std::size_t body = detail::find_body_brace(s, close);
+          if (body != npos) {
+            const std::size_t end = match_bracket(s, body);
+            if (end != npos) {
+              FunctionDef def;
+              def.file = file_index;
+              def.name = std::string(name);
+              def.line = line_of(line_starts, i);
+              def.body_begin = body;
+              def.body_end = end + 1;
+              project.functions.push_back(std::move(def));
+            }
+          }
+        }
+      }
+    }
+    i = e;  // keep scanning inside bodies: nested inline defs count too
+  }
+}
+
+void scan_calls(Project& project,
+                const std::vector<std::vector<std::size_t>>& line_starts) {
+  project.calls.assign(project.functions.size(), {});
+  for (std::size_t fn = 0; fn < project.functions.size(); ++fn) {
+    const FunctionDef& def = project.functions[fn];
+    const ProjectFile& file = project.files[def.file];
+    const std::string_view s = file.mask;
+    std::size_t i = def.body_begin;
+    while (i < def.body_end) {
+      if (!is_ident_start(s[i]) || (i > 0 && is_ident_char(s[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i;
+      while (e < s.size() && is_ident_char(s[e])) ++e;
+      const std::string_view name = s.substr(i, e - i);
+      const std::size_t p = detail::skip_ws(s, e);
+      if (p < s.size() && s[p] == '(' && !is_skipped_keyword(name) &&
+          qualified_root(s, i) != "std" &&
+          !(is_member_call(s, i) && is_std_member_name(name))) {
+        CallSite call;
+        call.name = std::string(name);
+        call.line = line_of(line_starts[def.file], i);
+        call.offset = i;
+        call.candidates = project.visible_functions(name, def.file);
+        project.calls[fn].push_back(std::move(call));
+      }
+      i = e;
+    }
+  }
+}
+
+}  // namespace
+
+int Project::file_index(std::string_view path) const {
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (files[i].path == path) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Project::visible_functions(std::string_view name,
+                                            int file) const {
+  std::vector<int> out;
+  const std::vector<int>& vis = visible[file];
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name &&
+        std::binary_search(vis.begin(), vis.end(), functions[i].file)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::string module_of(std::string_view path) {
+  if (path.substr(0, 6) == "tools/") return "tools";
+  if (path.substr(0, 4) == "src/") {
+    const std::size_t slash = path.find('/', 4);
+    if (slash != npos) return std::string(path.substr(4, slash - 4));
+  }
+  return "";
+}
+
+Project build_project(
+    std::vector<std::pair<std::string, std::string>> sources,
+    std::optional<std::string> manifest_text) {
+  std::sort(sources.begin(), sources.end());
+  Project project;
+  project.manifest_text = std::move(manifest_text);
+  project.manifest_path = "tools/wfens_lint/layers.conf";
+
+  std::vector<std::vector<std::size_t>> line_starts;
+  for (auto& [path, content] : sources) {
+    ProjectFile file;
+    file.path = std::move(path);
+    std::replace(file.path.begin(), file.path.end(), '\\', '/');
+    file.content = std::move(content);
+    file.mask = detail::code_mask(file.content);
+    file.cls = classify_path(file.path);
+    file.module = module_of(file.path);
+    file.allows = detail::collect_allows(file.content);
+    line_starts.push_back(compute_line_starts(file.content));
+    scan_includes(file, line_starts.back());
+    project.files.push_back(std::move(file));
+  }
+
+  resolve_includes(project);
+  compute_closures(project);
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    scan_functions(project, static_cast<int>(i), line_starts[i]);
+  }
+  scan_calls(project, line_starts);
+  return project;
+}
+
+Project load_project(const std::filesystem::path& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = repo_root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".hpp" || p.extension() == ".cpp") {
+        paths.push_back(p);
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("wfens_lint: cannot read " + p.string());
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    sources.emplace_back(fs::relative(p, repo_root).generic_string(),
+                         buffer.str());
+  }
+
+  std::optional<std::string> manifest;
+  const fs::path manifest_path = repo_root / "tools/wfens_lint/layers.conf";
+  if (fs::exists(manifest_path)) {
+    std::ifstream in(manifest_path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    manifest = buffer.str();
+  }
+  return build_project(std::move(sources), std::move(manifest));
+}
+
+std::vector<Finding> analyze_project(Project& project,
+                                     const AnalyzeOptions& options) {
+  std::vector<Finding> out;
+  if (options.file_rules) {
+    for (ProjectFile& file : project.files) {
+      std::vector<Finding> found = detail::run_file_rules(
+          file.path, file.content, file.mask, file.allows);
+      out.insert(out.end(), found.begin(), found.end());
+    }
+  }
+  if (options.layering) run_layering_pass(project, out);
+  if (options.lock_rank) run_lock_rank_pass(project, out);
+  if (options.taint) run_taint_pass(project, out);
+
+  if (options.stale_allow) {
+    for (const ProjectFile& file : project.files) {
+      // Entries of one annotation share (rule, annotation_line); the
+      // annotation is stale only when none of its entries suppressed
+      // anything across every pass above.
+      std::set<std::pair<int, std::string>> stale, used;
+      for (const auto& entry : file.allows.entries) {
+        (entry.used ? used : stale)
+            .insert({entry.annotation_line, entry.rule});
+      }
+      for (const auto& [line, rule] : stale) {
+        if (used.count({line, rule})) continue;
+        out.push_back(Finding{
+            file.path, line, "stale-allow",
+            "allow(" + rule +
+                ") suppresses no finding; remove the annotation or fix "
+                "the rule id"});
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace wfe::lint

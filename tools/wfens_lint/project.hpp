@@ -1,0 +1,146 @@
+// The shared whole-project model behind wfens_lint's cross-file passes.
+//
+// Every pass that reasons across translation units — the layering manifest
+// (layers.hpp), the static lock-rank verifier (ranks.hpp) and the
+// determinism taint audit (taint.hpp) — consumes the same three artifacts,
+// built once per run:
+//
+//   * per-TU token streams: each file's content plus its code_mask()
+//     (comments and literals blanked), so passes only ever match code;
+//   * the include graph: every `#include "..."` edge resolved to a project
+//     file, with the transitive closure per TU and each header's
+//     implementation twin (src/a/x.hpp <-> src/a/x.cpp), which bounds
+//     which definitions a TU can plausibly reach;
+//   * a conservative identifier-level call graph: function definitions
+//     found by a brace/paren-matching scan of the mask, call sites resolved
+//     by bare name against the caller's visible files. Calls through
+//     function pointers / std::function / templates-by-name are invisible,
+//     and same-named functions merge — the passes are designed so both
+//     stay conservative for their invariant.
+//
+// analyze_project() runs the single-file rules plus all cross-file passes
+// and the stale-allow sweep over one Project; lint_tree() is
+// load_project() + analyze_project().
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+
+namespace wfe::lint {
+
+/// One `#include "..."` edge out of a file. Angle includes are not
+/// recorded: only project-internal headers participate in the layering
+/// and visibility analyses.
+struct IncludeEdge {
+  int line = 0;        ///< 1-based line of the directive
+  std::string target;  ///< spelled include path (between the quotes)
+  int resolved = -1;   ///< index of the included project file, or -1
+};
+
+/// One source file of the project, with everything the passes share.
+struct ProjectFile {
+  std::string path;     ///< repo-relative, forward slashes
+  std::string content;  ///< raw bytes
+  std::string mask;     ///< code_mask(content)
+  FileClass cls;
+  std::string module;  ///< "support", ..., "tools"; "" when unmapped
+  detail::AllowMap allows;
+  std::vector<IncludeEdge> includes;
+};
+
+/// A function definition discovered in the mask: `name(...) ... { body }`.
+/// Qualified definitions (`Foo::bar`) keep only the last component, so the
+/// call graph resolves member calls (`obj.bar(...)`) by bare name.
+struct FunctionDef {
+  int file = -1;
+  std::string name;
+  int line = 1;                ///< 1-based line of the name
+  std::size_t body_begin = 0;  ///< offset of the body '{' in the mask
+  std::size_t body_end = 0;    ///< offset one past the matching '}'
+};
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;  ///< bare callee identifier
+  int line = 1;
+  std::size_t offset = 0;       ///< of the identifier in the mask
+  std::vector<int> candidates;  ///< FunctionDef indices the name may reach
+};
+
+struct Project {
+  std::vector<ProjectFile> files;  ///< sorted by path
+  std::vector<FunctionDef> functions;
+  std::vector<std::vector<CallSite>> calls;  ///< per function, offset order
+
+  /// Per file: indices of every project file transitively reachable
+  /// through resolved includes (self included).
+  std::vector<std::vector<int>> closure;
+  /// Per file: closure plus each closed-over header's implementation twin
+  /// — the files whose function definitions a call in this TU can
+  /// plausibly resolve to.
+  std::vector<std::vector<int>> visible;
+
+  /// Layering manifest (tools/wfens_lint/layers.conf) as loaded; nullopt
+  /// when the tree has none.
+  std::optional<std::string> manifest_text;
+  std::string manifest_path;
+
+  /// Index of `path` in files, or -1.
+  int file_index(std::string_view path) const;
+  /// Function definitions named `name` visible from file `file`.
+  std::vector<int> visible_functions(std::string_view name, int file) const;
+};
+
+/// Module a repo-relative path belongs to: "src/obs/export.cpp" -> "obs",
+/// anything under tools/ -> "tools", otherwise "".
+std::string module_of(std::string_view path);
+
+/// Build the model from in-memory (path, content) pairs — the test
+/// fixtures' entry point. Paths are repo-relative; order is normalized to
+/// sorted-by-path.
+Project build_project(
+    std::vector<std::pair<std::string, std::string>> sources,
+    std::optional<std::string> manifest_text = std::nullopt);
+
+/// Read every *.hpp/*.cpp under repo_root/src and repo_root/tools plus the
+/// layering manifest, and build the model. Throws std::runtime_error on
+/// unreadable files.
+Project load_project(const std::filesystem::path& repo_root);
+
+/// Which passes analyze_project() runs; all on by default.
+struct AnalyzeOptions {
+  bool file_rules = true;
+  bool layering = true;
+  bool lock_rank = true;
+  bool taint = true;
+  bool stale_allow = true;
+};
+
+/// Run the single-file rules on every file, then the layering / lock-rank
+/// / taint passes, then flag allow() annotations that suppressed nothing.
+/// Findings come back sorted by (file, line).
+std::vector<Finding> analyze_project(Project& project,
+                                     const AnalyzeOptions& options = {});
+
+namespace detail {
+
+/// Offset of the matching closer for the opener at `open` (one of ( [ { ),
+/// counting only that bracket kind — the mask has no literals to confuse
+/// the count. npos when unbalanced.
+std::size_t match_bracket(std::string_view mask, std::size_t open);
+
+/// Offsets in `mask` of the body '{' for a candidate whose parameter list
+/// closed at `close_paren`; npos when the construct is not a definition
+/// (declaration, call, initializer, ...). Skips cv/ref/noexcept trailers,
+/// trailing return types and constructor member-init lists.
+std::size_t find_body_brace(std::string_view mask, std::size_t close_paren);
+
+}  // namespace detail
+
+}  // namespace wfe::lint

@@ -1,0 +1,587 @@
+#include "wfens_lint/ranks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <tuple>
+
+namespace wfe::lint {
+
+namespace {
+
+using detail::match_bracket;
+constexpr std::size_t npos = std::string_view::npos;
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t skip_ws_back(std::string_view s, std::size_t i) {
+  while (i > 0 &&
+         (s[i - 1] == ' ' || s[i - 1] == '\t' || s[i - 1] == '\n' ||
+          s[i - 1] == '\r')) {
+    --i;
+  }
+  return i;
+}
+
+/// Start offset of the qualified-name chain whose last component begins at
+/// `i` — for `support::RankedMutex` with `i` at RankedMutex, the offset of
+/// `support`.
+std::size_t qual_chain_start(std::string_view s, std::size_t i) {
+  std::size_t p = i;
+  while (true) {
+    const std::size_t q = skip_ws_back(s, p);
+    if (q < 2 || s[q - 1] != ':' || s[q - 2] != ':') return p;
+    std::size_t r = skip_ws_back(s, q - 2);
+    const std::size_t end = r;
+    while (r > 0 && is_ident_char(s[r - 1])) --r;
+    if (r == end) return p;  // global-qualified ::name
+    p = r;
+  }
+}
+
+int line_of(std::string_view content, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(content.begin(), content.begin() + offset, '\n'));
+}
+
+/// The last identifier in `text` ("support::kRankExecPool" -> "kRankExecPool").
+std::string_view last_identifier(std::string_view text) {
+  std::size_t end = text.size();
+  while (end > 0 && !is_ident_char(text[end - 1])) --end;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+/// Everything the extraction sweeps accumulate besides the public model.
+struct RankWorld {
+  RankModel model;
+  /// Per file: mutex alias name -> rank.
+  std::vector<std::map<std::string, int>> mutex_alias;
+  /// Per file: guard alias name -> possible ranks.
+  std::vector<std::map<std::string, std::vector<int>>> guard_alias;
+};
+
+/// Rank named by a RankedMutex template argument: an integer literal or a
+/// (possibly qualified) kRank constant. -1 when unresolvable.
+int resolve_rank_arg(const RankModel& model, std::string_view arg) {
+  const std::string_view ident = last_identifier(arg);
+  if (ident.empty()) return -1;
+  if (std::isdigit(static_cast<unsigned char>(ident[0]))) {
+    int value = 0;
+    for (const char c : ident) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+      value = value * 10 + (c - '0');
+    }
+    return value;
+  }
+  const auto it = model.constants.find(std::string(ident));
+  return it == model.constants.end() ? -1 : it->second;
+}
+
+/// Index of the header twin of `file` (src/a/x.cpp -> src/a/x.hpp), or -1.
+/// Alias lookups prefer the twin before falling back to every visible
+/// file: a .cpp's unqualified `Mutex` / `Guard` names its own class's
+/// alias, not one from some other included header.
+int header_twin(const Project& project, int file) {
+  const std::string& path = project.files[file].path;
+  if (!path.ends_with(".cpp")) return -1;
+  return project.file_index(path.substr(0, path.size() - 4) + ".hpp");
+}
+
+/// Ranks a guard template argument `T` can name: a nested RankedMutex<R>,
+/// or a mutex alias resolved in `file` first, then its header twin, then
+/// every visible file.
+std::vector<int> resolve_mutex_type(const Project& project,
+                                    const RankWorld& world, int file,
+                                    std::string_view type_text) {
+  const std::size_t at = type_text.find("RankedMutex");
+  if (at != npos) {
+    const std::size_t open = type_text.find('<', at);
+    if (open == npos) return {};
+    const std::size_t close = match_bracket(type_text, open);
+    if (close == npos) return {};
+    const int rank = resolve_rank_arg(
+        world.model, type_text.substr(open + 1, close - open - 1));
+    return rank < 0 ? std::vector<int>{} : std::vector<int>{rank};
+  }
+  const std::string name(last_identifier(type_text));
+  if (name.empty()) return {};
+  const auto own = world.mutex_alias[file].find(name);
+  if (own != world.mutex_alias[file].end()) return {own->second};
+  if (const int twin = header_twin(project, file); twin >= 0) {
+    const auto it = world.mutex_alias[twin].find(name);
+    if (it != world.mutex_alias[twin].end()) return {it->second};
+  }
+  std::vector<int> ranks;
+  for (const int other : project.visible[file]) {
+    const auto it = world.mutex_alias[other].find(name);
+    if (it != world.mutex_alias[other].end() &&
+        std::find(ranks.begin(), ranks.end(), it->second) == ranks.end()) {
+      ranks.push_back(it->second);
+    }
+  }
+  return ranks;
+}
+
+/// True when the qualified chain starting at `qstart` is the right-hand
+/// side of `using NAME = ...`; extracts NAME.
+bool is_alias_rhs(std::string_view s, std::size_t qstart, std::string* name) {
+  std::size_t p = skip_ws_back(s, qstart);
+  // Skip cv-qualifiers between '=' and the type.
+  while (true) {
+    const std::size_t end = p;
+    std::size_t b = end;
+    while (b > 0 && is_ident_char(s[b - 1])) --b;
+    if (b == end) break;
+    const std::string_view word = s.substr(b, end - b);
+    if (word == "const" || word == "typename") {
+      p = skip_ws_back(s, b);
+    } else {
+      return false;  // some other identifier: not directly after '='
+    }
+  }
+  if (p == 0 || s[p - 1] != '=') return false;
+  p = skip_ws_back(s, p - 1);
+  std::size_t b = p;
+  while (b > 0 && is_ident_char(s[b - 1])) --b;
+  if (b == p) return false;
+  const std::string_view alias = s.substr(b, p - b);
+  const std::size_t before = skip_ws_back(s, b);
+  std::size_t u = before;
+  while (u > 0 && is_ident_char(s[u - 1])) --u;
+  if (s.substr(u, before - u) != "using") return false;
+  *name = std::string(alias);
+  return true;
+}
+
+void extract_constants(const Project& project, RankModel& model) {
+  for (const ProjectFile& file : project.files) {
+    const std::string_view s = file.mask;
+    std::size_t pos = 0;
+    while ((pos = s.find("kRank", pos)) != npos) {
+      if (pos > 0 && is_ident_char(s[pos - 1])) {
+        ++pos;
+        continue;
+      }
+      std::size_t e = pos;
+      while (e < s.size() && is_ident_char(s[e])) ++e;
+      const std::string name(s.substr(pos, e - pos));
+      std::size_t p = skip_ws(s, e);
+      if (p < s.size() && s[p] == '=') {
+        p = skip_ws(s, p + 1);
+        int value = 0;
+        bool any = false;
+        while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p]))) {
+          value = value * 10 + (s[p] - '0');
+          ++p;
+          any = true;
+        }
+        p = skip_ws(s, p);
+        if (any && p < s.size() && s[p] == ';') {
+          model.constants[name] = value;
+        }
+      }
+      pos = e;
+    }
+  }
+}
+
+void extract_mutexes(const Project& project, RankWorld& world) {
+  world.mutex_alias.assign(project.files.size(), {});
+  for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
+    const ProjectFile& file = project.files[fi];
+    const std::string_view s = file.mask;
+    std::size_t pos = 0;
+    while ((pos = s.find("RankedMutex", pos)) != npos) {
+      const std::size_t e = pos + 11;
+      if ((pos > 0 && is_ident_char(s[pos - 1])) ||
+          (e < s.size() && is_ident_char(s[e]))) {
+        pos = e;
+        continue;
+      }
+      const std::size_t open = skip_ws(s, e);
+      if (open >= s.size() || s[open] != '<') {
+        pos = e;
+        continue;
+      }
+      const std::size_t close = match_bracket(s, open);
+      if (close == npos) {
+        pos = e;
+        continue;
+      }
+      const int rank = resolve_rank_arg(
+          world.model, s.substr(open + 1, close - open - 1));
+      if (rank < 0) {
+        pos = close;
+        continue;
+      }
+      const std::size_t qstart = qual_chain_start(s, pos);
+      std::string alias;
+      if (is_alias_rhs(s, qstart, &alias)) {
+        world.mutex_alias[fi][alias] = rank;
+        world.model.declarations.push_back(
+            {static_cast<int>(fi), line_of(file.content, pos), rank});
+      } else {
+        const char prev =
+            qstart > 0 ? s[skip_ws_back(s, qstart) - 1] : '\0';
+        const std::size_t next = skip_ws(s, close + 1);
+        if (prev != '<' && next < s.size() && is_ident_start(s[next])) {
+          // A member / variable declaration: RankedMutex<R> name;
+          world.model.declarations.push_back(
+              {static_cast<int>(fi), line_of(file.content, pos), rank});
+        }
+      }
+      pos = close;
+    }
+  }
+}
+
+void extract_guard_aliases(const Project& project, RankWorld& world) {
+  world.guard_alias.assign(project.files.size(), {});
+  for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
+    const ProjectFile& file = project.files[fi];
+    const std::string_view s = file.mask;
+    for (const char* kind : {"RankGuard", "RankLock"}) {
+      std::size_t pos = 0;
+      const std::size_t len = std::string_view(kind).size();
+      while ((pos = s.find(kind, pos)) != npos) {
+        const std::size_t e = pos + len;
+        if ((pos > 0 && is_ident_char(s[pos - 1])) ||
+            (e < s.size() && is_ident_char(s[e]))) {
+          pos = e;
+          continue;
+        }
+        const std::size_t open = skip_ws(s, e);
+        if (open >= s.size() || s[open] != '<') {
+          pos = e;
+          continue;
+        }
+        const std::size_t close = match_bracket(s, open);
+        if (close == npos) {
+          pos = e;
+          continue;
+        }
+        const std::size_t qstart = qual_chain_start(s, pos);
+        std::string alias;
+        if (is_alias_rhs(s, qstart, &alias)) {
+          world.guard_alias[fi][alias] = resolve_mutex_type(
+              project, world, static_cast<int>(fi),
+              s.substr(open + 1, close - open - 1));
+        }
+        pos = close;
+      }
+    }
+  }
+}
+
+void record_site(const Project& project, const RankWorld& /*world*/,
+                 RankModel& model, int fi, std::size_t name_offset,
+                 std::size_t after, const std::vector<int>& ranks) {
+  // A site is `<guard-type> var(expr)` or `<guard-type> var{expr}` or an
+  // unnamed temporary `<guard-type>(expr)`.
+  const std::string_view s = project.files[fi].mask;
+  std::size_t j = skip_ws(s, after);
+  std::string variable;
+  if (j < s.size() && is_ident_start(s[j])) {
+    std::size_t k = j;
+    while (k < s.size() && is_ident_char(s[k])) ++k;
+    variable = std::string(s.substr(j, k - j));
+    j = skip_ws(s, k);
+  }
+  if (j >= s.size() || (s[j] != '(' && s[j] != '{')) return;
+  for (const int rank : ranks) {
+    model.sites.push_back({fi, line_of(project.files[fi].content, name_offset),
+                           name_offset, rank, variable});
+  }
+}
+
+void extract_sites(const Project& project, RankWorld& world) {
+  RankModel& model = world.model;
+  for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
+    const ProjectFile& file = project.files[fi];
+    if (file.path.starts_with("src/support/")) continue;
+    const std::string_view s = file.mask;
+
+    // Explicit RankGuard<T> / RankLock<T> constructions.
+    for (const char* kind : {"RankGuard", "RankLock"}) {
+      std::size_t pos = 0;
+      const std::size_t len = std::string_view(kind).size();
+      while ((pos = s.find(kind, pos)) != npos) {
+        const std::size_t e = pos + len;
+        if ((pos > 0 && is_ident_char(s[pos - 1])) ||
+            (e < s.size() && is_ident_char(s[e]))) {
+          pos = e;
+          continue;
+        }
+        const std::size_t open = skip_ws(s, e);
+        if (open >= s.size() || s[open] != '<') {
+          pos = e;
+          continue;
+        }
+        const std::size_t close = match_bracket(s, open);
+        if (close == npos) {
+          pos = e;
+          continue;
+        }
+        const std::size_t qstart = qual_chain_start(s, pos);
+        std::string alias;
+        if (!is_alias_rhs(s, qstart, &alias)) {
+          record_site(project, world, model, static_cast<int>(fi), pos,
+                      close + 1,
+                      resolve_mutex_type(project, world, static_cast<int>(fi),
+                                         s.substr(open + 1, close - open - 1)));
+        }
+        pos = close;
+      }
+    }
+
+    // Guard-alias constructions: `Guard lock(mutex_);` where Guard is a
+    // RankGuard/RankLock alias defined here, in the header twin, or in a
+    // visible file. Own and twin definitions shadow everything else — the
+    // unioned fallback only fires for an alias visible through some other
+    // header.
+    std::map<std::string, std::vector<int>> effective;
+    for (const int other : project.visible[fi]) {
+      if (other == static_cast<int>(fi)) continue;
+      for (const auto& [name, ranks] : world.guard_alias[other]) {
+        auto& into = effective[name];
+        for (const int rank : ranks) {
+          if (std::find(into.begin(), into.end(), rank) == into.end()) {
+            into.push_back(rank);
+          }
+        }
+      }
+    }
+    if (const int twin = header_twin(project, static_cast<int>(fi));
+        twin >= 0) {
+      for (const auto& [name, ranks] : world.guard_alias[twin]) {
+        effective[name] = ranks;
+      }
+    }
+    for (const auto& [name, ranks] : world.guard_alias[fi]) {
+      effective[name] = ranks;
+    }
+    if (effective.empty()) continue;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      if (!is_ident_start(s[i]) || (i > 0 && is_ident_char(s[i - 1]))) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i;
+      while (e < s.size() && is_ident_char(s[e])) ++e;
+      const auto it = effective.find(std::string(s.substr(i, e - i)));
+      if (it != effective.end() && !it->second.empty()) {
+        record_site(project, world, model, static_cast<int>(fi), i, e,
+                    it->second);
+      }
+      i = e;
+    }
+  }
+}
+
+/// AcqStar: for every function, each rank a call to it can acquire at any
+/// depth, with one witness site per rank.
+using AcqStarMap = std::vector<std::map<int, const RankModel::AcquisitionSite*>>;
+
+AcqStarMap compute_acq_star(const Project& project, const RankModel& model) {
+  const std::size_t n = project.functions.size();
+  AcqStarMap star(n);
+
+  // Local acquisitions.
+  for (std::size_t fn = 0; fn < n; ++fn) {
+    const FunctionDef& def = project.functions[fn];
+    for (const auto& site : model.sites) {
+      if (site.file == def.file && site.offset >= def.body_begin &&
+          site.offset < def.body_end) {
+        star[fn].emplace(site.rank, &site);
+      }
+    }
+  }
+
+  // Propagate over the call graph to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t fn = 0; fn < n; ++fn) {
+      for (const CallSite& call : project.calls[fn]) {
+        for (const int callee : call.candidates) {
+          for (const auto& [rank, site] : star[callee]) {
+            if (star[fn].emplace(rank, site).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+  return star;
+}
+
+void walk_function(Project& project, const RankModel& model,
+                   const AcqStarMap& star, std::size_t fn,
+                   std::set<std::tuple<std::string, int, std::string>>& seen,
+                   std::vector<Finding>& findings) {
+  const FunctionDef& def = project.functions[fn];
+  ProjectFile& file = project.files[def.file];
+  if (file.path.starts_with("src/support/")) return;
+  const std::string_view s = file.mask;
+
+  std::map<std::size_t, std::vector<const RankModel::AcquisitionSite*>>
+      sites_at;
+  for (const auto& site : model.sites) {
+    if (site.file == def.file && site.offset >= def.body_begin &&
+        site.offset < def.body_end) {
+      sites_at[site.offset].push_back(&site);
+    }
+  }
+  std::map<std::size_t, const CallSite*> calls_at;
+  for (const CallSite& call : project.calls[fn]) {
+    if (!call.candidates.empty()) calls_at.emplace(call.offset, &call);
+  }
+  if (sites_at.empty()) return;  // nothing can be held in this function
+
+  const auto site_name = [&](const RankModel::AcquisitionSite& site) {
+    return project.files[site.file].path + ":" + std::to_string(site.line);
+  };
+  const auto emit = [&](int line, std::string message) {
+    if (!seen.insert({file.path, line, message}).second) return;
+    if (file.allows.allows("lock-rank-static", line)) return;
+    findings.push_back(
+        Finding{file.path, line, "lock-rank-static", std::move(message)});
+  };
+
+  struct Held {
+    int rank = 0;
+    const RankModel::AcquisitionSite* site = nullptr;
+    int depth = 0;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+    const char c = s[i];
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      std::erase_if(held, [&](const Held& h) { return h.depth > depth; });
+      continue;
+    }
+
+    const auto max_held = [&]() -> const Held* {
+      const Held* top = nullptr;
+      for (const Held& h : held) {
+        if (!top || h.rank > top->rank) top = &h;
+      }
+      return top;
+    };
+
+    if (const auto at = sites_at.find(i); at != sites_at.end()) {
+      for (const RankModel::AcquisitionSite* site : at->second) {
+        if (const Held* top = max_held(); top && site->rank <= top->rank) {
+          emit(site->line,
+               "acquiring rank " + std::to_string(site->rank) + " at " +
+                   site_name(*site) + " while rank " +
+                   std::to_string(top->rank) + " is held (acquired at " +
+                   site_name(*top->site) +
+                   "); lock ranks must strictly increase");
+        }
+        held.push_back({site->rank, site, depth});
+      }
+      continue;
+    }
+
+    if (const auto at = calls_at.find(i); at != calls_at.end()) {
+      const Held* top = max_held();
+      if (top) {
+        const CallSite& call = *at->second;
+        std::set<int> reported;
+        for (const int callee : call.candidates) {
+          for (const auto& [rank, site] : star[callee]) {
+            if (rank <= top->rank && reported.insert(rank).second) {
+              emit(call.line,
+                   "call to " + call.name + "() may acquire rank " +
+                       std::to_string(rank) + " (at " + site_name(*site) +
+                       ") while rank " + std::to_string(top->rank) +
+                       " is held (acquired at " + site_name(*top->site) +
+                       "); lock ranks must strictly increase");
+            }
+          }
+        }
+      }
+    }
+
+    // `var.unlock()` releases a held guard before scope exit; `var.lock()`
+    // re-acquires it (RankLock's manual interface).
+    if (is_ident_start(c) && !(i > 0 && is_ident_char(s[i - 1]))) {
+      std::size_t e = i;
+      while (e < s.size() && is_ident_char(s[e])) ++e;
+      const std::string_view word = s.substr(i, e - i);
+      if (word == "unlock") {
+        const std::size_t dot = skip_ws_back(s, i);
+        if (dot > 0 && s[dot - 1] == '.') {
+          std::size_t b = skip_ws_back(s, dot - 1);
+          const std::size_t end = b;
+          while (b > 0 && is_ident_char(s[b - 1])) --b;
+          const std::string_view var = s.substr(b, end - b);
+          for (std::size_t h = held.size(); h-- > 0;) {
+            if (held[h].site->variable == var) {
+              held.erase(held.begin() + static_cast<std::ptrdiff_t>(h));
+              break;
+            }
+          }
+        }
+      }
+      i = e - 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> RankModel::rank_order() const {
+  std::vector<int> order;
+  for (const MutexDecl& decl : declarations) {
+    if (std::find(order.begin(), order.end(), decl.rank) == order.end()) {
+      order.push_back(decl.rank);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+RankModel extract_rank_model(const Project& project) {
+  RankWorld world;
+  extract_constants(project, world.model);
+  extract_mutexes(project, world);
+  extract_guard_aliases(project, world);
+  extract_sites(project, world);
+  return std::move(world.model);
+}
+
+void run_lock_rank_pass(Project& project, std::vector<Finding>& findings) {
+  const RankModel model = extract_rank_model(project);
+  if (model.sites.empty()) return;
+  const AcqStarMap star = compute_acq_star(project, model);
+  std::set<std::tuple<std::string, int, std::string>> seen;
+  for (std::size_t fn = 0; fn < project.functions.size(); ++fn) {
+    walk_function(project, model, star, fn, seen, findings);
+  }
+}
+
+}  // namespace wfe::lint

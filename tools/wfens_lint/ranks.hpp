@@ -1,0 +1,76 @@
+// Static lock-rank verification: the runtime abort in
+// src/support/lock_rank.hpp, found at lint time.
+//
+// The runtime checker catches a rank inversion only when a schedule
+// actually executes the offending path; this pass finds any path the
+// source admits. It rebuilds the rank world from source alone:
+//
+//   * rank constants    `inline constexpr int kRankX = N;` anywhere in the
+//                       project (in practice src/support/lock_rank.hpp);
+//   * mutex aliases     `using M = support::RankedMutex<kRankX>;` and
+//                       direct `RankedMutex<kRankX> member;` declarations;
+//   * guard aliases     `using G = support::RankGuard<M>;` (and RankLock);
+//   * acquisition sites `RankGuard<M> lock(m);`, `Guard lock(m);`, ... —
+//                       template arguments and aliases resolved through
+//                       the TU's visible files (include closure + twins).
+//
+// Held-rank sets then propagate over the conservative call graph:
+// AcqStar(F) is every rank a call to F can acquire at any depth (with one
+// witness site per rank). Walking each function body in order with
+// brace-scoped guard lifetimes (`.unlock()` releases early), the pass
+// reports `lock-rank-static` whenever
+//
+//   * an acquisition site takes a rank <= one already held in the same
+//     function (the runtime checker's exact condition), or
+//   * a call site can reach an acquisition of a rank <= one held here —
+//     the two-calls-away inversion the per-file rules cannot see.
+//
+// Both source sites (the held lock's and the offending acquisition's) are
+// in the message, mirroring the runtime abort report. src/support/ is
+// exempt (it implements the machinery).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+#include "wfens_lint/project.hpp"
+
+namespace wfe::lint {
+
+/// The rank world as rebuilt from source.
+struct RankModel {
+  /// kRankX -> value, sorted by name.
+  std::map<std::string, int> constants;
+
+  /// One RankedMutex<R> declaration (alias or member/variable).
+  struct MutexDecl {
+    int file = -1;
+    int line = 0;
+    int rank = 0;
+  };
+  std::vector<MutexDecl> declarations;
+
+  /// One guard construction that acquires a rank.
+  struct AcquisitionSite {
+    int file = -1;
+    int line = 0;
+    std::size_t offset = 0;  ///< in the file's mask
+    int rank = 0;
+    std::string variable;  ///< guard variable name ("" when unnamed)
+  };
+  std::vector<AcquisitionSite> sites;
+
+  /// Ranks with at least one declaration, ascending — the documented rank
+  /// table, reproduced from source.
+  std::vector<int> rank_order() const;
+};
+
+/// Rebuild the rank world from the project's masked sources.
+RankModel extract_rank_model(const Project& project);
+
+/// Run the static verification, appending lock-rank-static findings.
+void run_lock_rank_pass(Project& project, std::vector<Finding>& findings);
+
+}  // namespace wfe::lint

@@ -1,0 +1,152 @@
+#include "wfens_lint/taint.hpp"
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace wfe::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+char next_nonspace(std::string_view s, std::size_t i) {
+  while (i < s.size()) {
+    if (s[i] != ' ' && s[i] != '\t' && s[i] != '\n') return s[i];
+    ++i;
+  }
+  return '\0';
+}
+
+char prev_nonspace(std::string_view s, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (s[i] != ' ' && s[i] != '\t' && s[i] != '\n') return s[i];
+  }
+  return '\0';
+}
+
+/// The direct banned use in [begin, end) of `mask`, if any — same token
+/// heuristics as the banned-ident file rule. Returns the identifier and its
+/// offset via out-params.
+bool find_direct_use(std::string_view mask, std::size_t begin,
+                     std::size_t end, std::string_view* ident_out,
+                     std::size_t* offset_out) {
+  std::size_t i = begin;
+  while (i < end) {
+    if (!is_ident_start(mask[i]) || (i > 0 && is_ident_char(mask[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t e = i;
+    while (e < mask.size() && is_ident_char(mask[e])) ++e;
+    const std::string_view ident = mask.substr(i, e - i);
+    bool hit = false;
+    if ((ident == "rand" || ident == "srand") &&
+        next_nonspace(mask, e) == '(') {
+      hit = true;
+    } else if (ident == "random_device" || ident == "system_clock") {
+      hit = true;
+    } else if (ident == "time" && next_nonspace(mask, e) == '(') {
+      const char prev = prev_nonspace(mask, i);
+      hit = prev != '.' && prev != '>';  // obj.time(...) is not the libc call
+    }
+    if (hit) {
+      *ident_out = ident;
+      *offset_out = i;
+      return true;
+    }
+    i = e;
+  }
+  return false;
+}
+
+int line_of(std::string_view content, std::size_t offset) {
+  int line = 1;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (content[i] == '\n') ++line;
+  }
+  return line;
+}
+
+}  // namespace
+
+void run_taint_pass(Project& project, std::vector<Finding>& findings) {
+  const std::size_t n = project.functions.size();
+
+  // Sources: bodies with a direct banned use, described by "<ident> at
+  // <file>:<line>" for the eventual finding message.
+  std::vector<std::string> source(n);  // "" = not a direct source
+  std::vector<std::string> witness(n);  // ultimate direct-use site
+  for (std::size_t fn = 0; fn < n; ++fn) {
+    const FunctionDef& def = project.functions[fn];
+    const ProjectFile& file = project.files[def.file];
+    std::string_view ident;
+    std::size_t offset = 0;
+    if (find_direct_use(file.mask, def.body_begin, def.body_end, &ident,
+                        &offset)) {
+      source[fn] = std::string(ident);
+      witness[fn] = std::string(ident) + " at " + file.path + ":" +
+                    std::to_string(line_of(file.content, offset));
+    }
+  }
+
+  // Fixpoint: taint flows caller-ward over the call graph; each newly
+  // tainted function inherits its callee's witness.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t fn = 0; fn < n; ++fn) {
+      if (!witness[fn].empty()) continue;
+      for (const CallSite& call : project.calls[fn]) {
+        for (const int callee : call.candidates) {
+          if (callee != static_cast<int>(fn) &&
+              !witness[callee].empty()) {
+            witness[fn] = witness[callee];
+            changed = true;
+            break;
+          }
+        }
+        if (!witness[fn].empty()) break;
+      }
+    }
+  }
+
+  // Findings: transitively tainted src/ functions outside src/support/.
+  for (std::size_t fn = 0; fn < n; ++fn) {
+    if (witness[fn].empty() || !source[fn].empty()) continue;
+    const FunctionDef& def = project.functions[fn];
+    ProjectFile& file = project.files[def.file];
+    if (!file.cls.in_src || file.cls.in_support) continue;
+
+    // Anchor at the first call that imports the taint.
+    for (const CallSite& call : project.calls[fn]) {
+      const bool imports = [&] {
+        for (const int callee : call.candidates) {
+          if (callee != static_cast<int>(fn) && !witness[callee].empty()) {
+            return true;
+          }
+        }
+        return false;
+      }();
+      if (!imports) continue;
+      if (!file.allows.allows("determinism-taint", call.line)) {
+        findings.push_back(Finding{
+            file.path, call.line, "determinism-taint",
+            "call to " + call.name + "() makes " + def.name +
+                "() reach " + witness[fn] +
+                " through project calls; draw from support/rng or virtual "
+                "time, or justify with allow(determinism-taint)"});
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace wfe::lint

@@ -1,0 +1,36 @@
+// Determinism taint audit: the banned-ident rules, made transitive.
+//
+// The per-file rules catch a function that calls rand() / time() /
+// system_clock / random_device directly. They cannot catch the laundered
+// version: a helper that wraps the banned call and a src/ function that
+// innocently calls the helper. This pass closes that hole over the
+// conservative call graph:
+//
+//   * sources    every function body whose mask contains a direct banned
+//                use (same token heuristics as the banned-ident rule),
+//                anywhere in the project — src/, src/support/ and tools/
+//                all propagate;
+//   * fixpoint   a function is tainted when any candidate of any of its
+//                calls is tainted; each tainted function keeps one witness
+//                (the ultimate direct-use site, through which call);
+//   * findings  `determinism-taint`, for src/ functions outside
+//                src/support/ that are tainted only transitively (direct
+//                uses stay the banned-ident rule's report), anchored at the
+//                first call that imports the taint. src/support/ is exempt
+//                as the designated home of the clock/rng wrappers;
+//                `// wfens-lint: allow(determinism-taint)` on the call line
+//                documents a justified exception.
+#pragma once
+
+#include <vector>
+
+#include "wfens_lint/lint.hpp"
+#include "wfens_lint/project.hpp"
+
+namespace wfe::lint {
+
+/// Run the transitive determinism audit, appending determinism-taint
+/// findings.
+void run_taint_pass(Project& project, std::vector<Finding>& findings);
+
+}  // namespace wfe::lint
