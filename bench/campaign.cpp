@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "sched/batch_evaluator.hpp"
+#include "sched/scheduler.hpp"
+#include "support/str.hpp"
 #include "workload/presets.hpp"
 
 namespace wfe::bench {
@@ -52,6 +54,52 @@ std::vector<CampaignUnitResult> run_campaign(
     results.push_back(std::move(result));
   }
   return results;
+}
+
+std::vector<PlanRow> run_plan_campaign(
+    const std::vector<std::string>& schedulers, int threads,
+    sched::EvalCache* shared) {
+  // The standard demand set: small enough for exhaustive/bai enumeration,
+  // varied enough that the shared tier has real cross-shape misses.
+  struct Demand {
+    int members;
+    int analyses;
+    int pool;
+  };
+  const std::vector<Demand> demands = {{2, 1, 3}, {2, 2, 4}, {3, 1, 4}};
+
+  const auto platform = wl::cori_like_platform();
+  std::vector<PlanRow> rows;
+  rows.reserve(schedulers.size() * demands.size());
+  for (const std::string& name : schedulers) {
+    const auto scheduler = sched::make_scheduler(name);
+    for (const Demand& d : demands) {
+      const auto shape =
+          sched::EnsembleShape::paper_like(d.members, d.analyses);
+      sched::PlanOptions options;
+      options.threads = threads;
+      options.shared_cache = shared;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const sched::Schedule schedule =
+          scheduler->plan(shape, platform, {d.pool}, options);
+      const auto t1 = std::chrono::steady_clock::now();
+
+      sched::Evaluator evaluator(platform);
+      PlanRow row;
+      row.scheduler = schedule.scheduler;
+      row.shape = strprintf("paper-%dx%d/pool%d", d.members, d.analyses,
+                            d.pool);
+      row.objective = evaluator.score(schedule.spec).objective;
+      row.evaluations = schedule.evaluations;
+      row.cache_hits = schedule.cache_hits;
+      row.shared_hits = schedule.shared_hits;
+      row.samples = schedule.samples;
+      row.seconds = std::chrono::duration<double>(t1 - t0).count();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
 }
 
 }  // namespace wfe::bench

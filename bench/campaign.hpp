@@ -59,4 +59,28 @@ std::vector<CampaignUnitResult> run_campaign(
     const std::vector<CampaignUnit>& units, int threads,
     sched::EvalCache* shared);
 
+/// One planned placement of a plan campaign (wfens_campaign --plan): the
+/// named scheduler run over one paper-shaped demand, with its cost split
+/// (fresh replays / memo hits / shared-tier hits / samples issued).
+struct PlanRow {
+  std::string scheduler;
+  std::string shape;  ///< demand handle, e.g. "paper-2x1/pool3"
+  double objective = 0.0;  ///< full-depth score of the planned placement
+  std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;
+  std::size_t shared_hits = 0;
+  std::size_t samples = 0;
+  double seconds = 0.0;
+};
+
+/// Plan the standard paper-shaped demands with each named scheduler, all
+/// through one shared EvalCache (PlanOptions::shared_cache): a probe any
+/// scheduler has already paid for — exhaustive before bai-search, or a
+/// previous process via EvalCache::load — is served from the shared tier,
+/// which the rows' shared_hits column makes visible. Row order is
+/// (scheduler, shape) in argument order; deterministic for any `threads`.
+std::vector<PlanRow> run_plan_campaign(
+    const std::vector<std::string>& schedulers, int threads,
+    sched::EvalCache* shared);
+
 }  // namespace wfe::bench

@@ -1,0 +1,191 @@
+// Adaptive search efficiency — fresh replays to equal placement quality.
+//
+// The claim behind sched::BaiSearch ("bai-search") is that confidence-bound
+// sampling finds the same winner as fixed-budget probing while paying for
+// far fewer fresh replays: the budget concentrates on the top arms and the
+// provably-beaten rest is eliminated after a couple of draws. This bench
+// measures that on stochastic scenarios (probe jitter on, multiple seeded
+// samples per candidate):
+//
+//   headline  paper_like(2,1) / pool 3, jitter_cv 0.1, probe_samples 8 —
+//             bai-search vs the fixed-budget greedy-refine baseline. Both
+//             winners are re-scored with the deterministic full-depth
+//             Evaluator; the bench FAILS (exit 1) if bai's winner is worse
+//             or if it saved no replays.
+//   scale     (full mode) bigger shapes vs fixed-budget exhaustive, where
+//             the candidate set grows and elimination pays off hardest.
+//
+// Writes BENCH_search.json (schema-gated by tools/check_bench_json.py:
+// sims_saved_pct must stay positive — >= 30 for a committed full-mode
+// report — and objective_delta non-negative). `--quick` runs the headline
+// scenario only for the CI bench-smoke job.
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sched/evaluator.hpp"
+#include "sched/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace wfe;
+
+struct PlanOutcome {
+  double objective = 0.0;     // deterministic full-depth score of the winner
+  std::size_t fresh = 0;      // fresh probe replays paid
+  std::uint64_t samples = 0;  // probe samples issued (fresh + cached)
+};
+
+PlanOutcome run_plan(const char* scheduler_name, int members, int analyses,
+                     int pool, const sched::PlanOptions& options,
+                     const plat::PlatformSpec& platform) {
+  const auto shape = sched::EnsembleShape::paper_like(members, analyses);
+  const auto scheduler = sched::make_scheduler(scheduler_name);
+  const sched::Schedule schedule =
+      scheduler->plan(shape, platform, {pool}, options);
+  sched::Evaluator evaluator(platform);
+  PlanOutcome out;
+  out.objective = evaluator.score(schedule.spec).objective;
+  out.fresh = schedule.evaluations;
+  out.samples = schedule.samples;
+  return out;
+}
+
+double saved_pct(std::size_t baseline_fresh, std::size_t bai_fresh) {
+  if (baseline_fresh == 0) return 0.0;
+  return 100.0 *
+         (static_cast<double>(baseline_fresh) -
+          static_cast<double>(bai_fresh)) /
+         static_cast<double>(baseline_fresh);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfe;
+
+  bool quick = false;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) threads = 1;
+    }
+  }
+
+  bench::print_banner(
+      "Adaptive search efficiency (bai-search)",
+      "Fresh probe replays needed to match fixed-budget placement quality\n"
+      "on stochastic scenarios. Expected shape: identical winners, with\n"
+      "bai-search eliminating dominated candidates instead of probing them\n"
+      "probe_samples times each.");
+
+  const auto platform = wl::cori_like_platform();
+  sched::PlanOptions options;
+  options.threads = threads;
+  options.jitter_cv = 0.1;
+  options.probe_samples = 8;
+
+  bench::Stopwatch watch;
+  bench::JsonReport report;
+  report.add("bench", "search_efficiency");
+  report.add("mode", quick ? "quick" : "full");
+  report.add("threads", threads);
+  report.add("jitter_cv", options.jitter_cv);
+  report.add("probe_samples", options.probe_samples);
+
+  // Headline: the paper's 2x1 demand on a 3-node pool. greedy-refine is the
+  // fixed-budget baseline (probe_samples seeded draws for every candidate
+  // it visits); exhaustive shows the full-enumeration cost for context.
+  const PlanOutcome bai =
+      run_plan("bai-search", 2, 1, 3, options, platform);
+  const PlanOutcome greedy =
+      run_plan("greedy-refine", 2, 1, 3, options, platform);
+  const PlanOutcome exhaustive =
+      run_plan("exhaustive", 2, 1, 3, options, platform);
+
+  const double headline_saved = saved_pct(greedy.fresh, bai.fresh);
+  const double objective_delta = bai.objective - greedy.objective;
+
+  Table table({"scenario", "scheduler", "F(P^{U,A,P})", "fresh replays",
+               "probe samples"});
+  const auto add_outcome = [&table](const std::string& scenario,
+                                    const char* name,
+                                    const PlanOutcome& outcome) {
+    table.add_row({scenario, name, sci(outcome.objective, 6),
+                   strprintf("%zu", outcome.fresh),
+                   strprintf("%llu", static_cast<unsigned long long>(
+                                         outcome.samples))});
+  };
+  add_outcome("2x1/pool3", "bai-search", bai);
+  add_outcome("2x1/pool3", "greedy-refine", greedy);
+  add_outcome("2x1/pool3", "exhaustive", exhaustive);
+
+  report.add("baseline_scheduler", "greedy-refine");
+  report.add("bai_fresh_sims", bai.fresh);
+  report.add("baseline_fresh_sims", greedy.fresh);
+  report.add("exhaustive_fresh_sims", exhaustive.fresh);
+  report.add("bai_samples", bai.samples);
+  report.add("baseline_samples", greedy.samples);
+  report.add("sims_saved_pct", headline_saved);
+  report.add("bai_objective", bai.objective);
+  report.add("baseline_objective", greedy.objective);
+  report.add("objective_delta", objective_delta);
+
+  if (!quick) {
+    // Scale rows: bigger candidate sets, fixed-budget exhaustive baseline.
+    // Elimination grows with the arm count, so the savings should too.
+    struct Scale {
+      const char* key;
+      int members, analyses, pool;
+    };
+    const Scale scales[] = {{"scale_3x1_pool3", 3, 1, 3},
+                            {"scale_2x2_pool4", 2, 2, 4}};
+    for (const Scale& s : scales) {
+      table.add_separator();
+      const PlanOutcome sb = run_plan("bai-search", s.members, s.analyses,
+                                      s.pool, options, platform);
+      const PlanOutcome se = run_plan("exhaustive", s.members, s.analyses,
+                                      s.pool, options, platform);
+      const std::string scenario =
+          strprintf("%dx%d/pool%d", s.members, s.analyses, s.pool);
+      add_outcome(scenario, "bai-search", sb);
+      add_outcome(scenario, "exhaustive", se);
+      report.add(std::string(s.key) + "_bai_fresh", sb.fresh);
+      report.add(std::string(s.key) + "_exhaustive_fresh", se.fresh);
+      report.add(std::string(s.key) + "_saved_pct",
+                 saved_pct(se.fresh, sb.fresh));
+      report.add(std::string(s.key) + "_objective_delta",
+                 sb.objective - se.objective);
+    }
+  }
+
+  std::cout << table.render();
+  std::cout << strprintf(
+      "\nheadline: bai-search %zu fresh replays vs greedy-refine %zu "
+      "(%.1f%% saved), objective delta %+.3e\n",
+      bai.fresh, greedy.fresh, headline_saved, objective_delta);
+
+  report.add("wall_s", watch.seconds());
+  report.write("BENCH_search.json");
+
+  // Acceptance gate: adaptive search must match (or beat) the fixed-budget
+  // winner while actually saving replays — otherwise the bench itself is
+  // the regression signal, not just the committed JSON.
+  if (objective_delta < 0.0) {
+    std::cerr << "FAIL: bai-search winner objective below the fixed-budget "
+                 "baseline\n";
+    return 1;
+  }
+  if (headline_saved <= 0.0) {
+    std::cerr << "FAIL: bai-search saved no fresh replays vs the "
+                 "fixed-budget baseline\n";
+    return 1;
+  }
+  return 0;
+}

@@ -117,11 +117,12 @@ struct Replay {
   std::vector<ObsOp>* obs_log = nullptr;
 
   Replay(const EnsembleSpec& s, const plat::PlatformSpec& platform,
-         const SimulatedOptions& options, Engine* lane_engine = nullptr)
+         const SimulatedOptions& options, std::uint64_t seed,
+         Engine* lane_engine = nullptr)
       : spec(s),
         cluster(platform),
         engine(lane_engine != nullptr ? *lane_engine : own_engine),
-        rng(options.seed),
+        rng(seed),
         traced(options.trace_obs && obs::enabled()) {
     engine.set_obs(traced);
     if (auto& pool = column_pool(); !pool.empty()) {
@@ -1138,22 +1139,29 @@ SimulatedExecutor::SimulatedExecutor(plat::PlatformSpec platform,
 }
 
 ExecutionResult SimulatedExecutor::run(const EnsembleSpec& spec) const {
+  return run_seeded(spec, options_.seed);
+}
+
+ExecutionResult SimulatedExecutor::run_seeded(const EnsembleSpec& spec,
+                                              std::uint64_t seed) const {
   spec.validate(platform_);
   // The LP runtime only takes replays it can partition into independent
   // member pipelines: jitter draws from one shared RNG in global event
   // order, and fault injection cancels events and mutates shared recovery
   // state, so both fall back to the sequential engine (results are
   // bit-identical either way — the fallback costs nothing but speedup).
+  // The seed override never reaches the LP path: with jitter disabled (the
+  // precondition for partitioning) no replay consults the RNG at all.
   if (options_.engine.kind == EngineSelection::Kind::kLp &&
       options_.jitter_cv == 0.0 && !options_.faults.enabled()) {
     return run_lp(spec);
   }
-  return run_sequential(spec);
+  return run_sequential(spec, seed);
 }
 
 ExecutionResult SimulatedExecutor::run_sequential(
-    const EnsembleSpec& spec) const {
-  Replay rp(spec, platform_, options_);
+    const EnsembleSpec& spec, std::uint64_t seed) const {
+  Replay rp(spec, platform_, options_, seed);
   std::vector<std::unique_ptr<MemberRun>> members = build_members(rp);
 
   // All simulations start simultaneously (paper §2.1); analyses begin
@@ -1222,7 +1230,7 @@ ExecutionResult SimulatedExecutor::run_lp(const EnsembleSpec& spec) const {
   std::vector<LaneCtx> lanes(lps);
   for (std::size_t i = 0; i < lps; ++i) {
     lanes[i].rp = std::make_unique<Replay>(spec, platform_, options_,
-                                           &pe.lp_engine(i));
+                                           options_.seed, &pe.lp_engine(i));
     lanes[i].rp->obs_log = &lanes[i].obs_ops;
     lanes[i].members = build_members(*lanes[i].rp);
   }

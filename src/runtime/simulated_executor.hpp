@@ -96,12 +96,23 @@ class SimulatedExecutor {
   /// traces.
   ExecutionResult run(const EnsembleSpec& spec) const;
 
+  /// Replay with the jitter RNG seeded from `seed` instead of
+  /// `options().seed`, leaving every other knob untouched. This is how the
+  /// adaptive scheduler draws independent samples of a stochastic probe
+  /// objective: one executor, many deterministic draws. With jitter
+  /// disabled the seed is never consulted, so run_seeded(spec, s) ==
+  /// run(spec) bit-for-bit for every s.
+  ExecutionResult run_seeded(const EnsembleSpec& spec,
+                             std::uint64_t seed) const;
+
   const plat::PlatformSpec& platform() const { return platform_; }
   const SimulatedOptions& options() const { return options_; }
 
  private:
-  /// The classic single-engine replay loop.
-  ExecutionResult run_sequential(const EnsembleSpec& spec) const;
+  /// The classic single-engine replay loop. `seed` feeds the jitter RNG
+  /// (normally options().seed; run_seeded passes its override).
+  ExecutionResult run_sequential(const EnsembleSpec& spec,
+                                 std::uint64_t seed) const;
   /// LP-partitioned replay (simengine/parallel.hpp): one logical process
   /// per ensemble member, merged back into the exact sequential event
   /// order — bit-identical results, chosen via options().engine.

@@ -1,0 +1,47 @@
+#include "sched/arm_stats.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace wfe::sched {
+
+void ArmStats::add(double x) {
+  WFE_REQUIRE(std::isfinite(x), "arm samples must be finite");
+  ++n;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(n);
+  m2 += delta * (x - mean);
+}
+
+double ArmStats::variance() const {
+  if (n < 2) return 0.0;
+  // m2 accumulates rounding dust that can dip infinitesimally below zero
+  // on identical samples; clamp so callers can sqrt() it.
+  const double v = m2 / static_cast<double>(n - 1);
+  return v > 0.0 ? v : 0.0;
+}
+
+double bound_radius(const ArmStats& stats, double range, double log_term) {
+  WFE_REQUIRE(stats.n >= 1, "bounds need at least one sample");
+  WFE_REQUIRE(range >= 0.0 && log_term >= 0.0,
+              "range and log term must be non-negative");
+  const double n = static_cast<double>(stats.n);
+  return std::sqrt(2.0 * stats.variance() * log_term / n) +
+         3.0 * range / n;
+}
+
+double lower_bound(const ArmStats& stats, double range, double log_term) {
+  return stats.mean - bound_radius(stats, range, log_term);
+}
+
+double upper_bound(const ArmStats& stats, double range, double log_term) {
+  return stats.mean + bound_radius(stats, range, log_term);
+}
+
+double exploration_log(std::uint64_t issued, std::size_t arms) {
+  return std::log(static_cast<double>(arms < 1 ? 1 : arms) *
+                  (2.0 + static_cast<double>(issued)));
+}
+
+}  // namespace wfe::sched

@@ -1,0 +1,71 @@
+// Per-arm sample statistics and confidence bounds for best-arm search.
+//
+// The adaptive scheduler (bai.hpp) treats each candidate placement as a
+// bandit arm whose reward is the stochastic probe objective. This module
+// holds the arm-side math, kept separate so the fuzz tests can exercise it
+// against reference implementations without replaying anything:
+//
+//  * ArmStats — streaming mean/variance (Welford's algorithm), numerically
+//    stable over any sample count and bitwise-deterministic for a fixed
+//    insertion order (the search always feeds samples in seed order).
+//  * bound_radius — an empirical-Bernstein-style confidence radius
+//        sqrt(2 * var * L / n) + 3 * range / n
+//    where `range` is the caller's estimate of the reward-noise spread
+//    (the search passes the widest within-arm sample spread observed, not
+//    the cross-arm spread — cross-arm differences are signal, not noise)
+//    and `L` the exploration log-term. The variance term carries the
+//    union-bound log and dominates once an arm is well sampled; the
+//    3*range/n term corrects for a small-sample variance estimate that
+//    can be near zero by luck, without the proof-grade L multiplier that
+//    would keep practical budgets from ever separating arms. Zero
+//    variance and zero range give a zero radius — the degenerate
+//    deterministic case where one sample decides an arm. The search
+//    additionally never eliminates an arm before its second sample, so a
+//    one-sample arm cannot die on a single unlucky draw even when the
+//    noise estimate is still tiny.
+//  * exploration_log — the L schedule shared by search and tests:
+//    log(arms * (2 + issued)), growing with samples issued and arm count
+//    so the union bound over all (arm, round) confidence events stays
+//    conservative without the proof-grade constant factors that would
+//    keep practical budgets from ever separating arms.
+//
+// Everything here is plain value math: no locks (the search updates stats
+// only on the planning thread), no RNG, no replay types. The wfens_lint
+// rule `arm-state-outside-sched` keeps these types inside src/sched/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wfe::sched {
+
+/// Streaming moments of one arm's sampled objective.
+struct ArmStats {
+  std::uint64_t n = 0;  ///< samples folded in
+  double mean = 0.0;    ///< empirical mean
+  double m2 = 0.0;      ///< sum of squared deviations (Welford's M2)
+
+  /// Fold one sample in (Welford update).
+  void add(double x);
+
+  /// Unbiased sample variance (n-1 denominator); 0.0 until two samples.
+  double variance() const;
+};
+
+/// Empirical-Bernstein confidence radius for an arm with `stats`, given
+/// the reward-noise spread estimate `range` (the search passes the widest
+/// within-arm max - min observed so far) and exploration term `log_term`.
+/// Requires stats.n >= 1.
+double bound_radius(const ArmStats& stats, double range, double log_term);
+
+/// Lower/upper confidence bounds: mean -/+ bound_radius.
+double lower_bound(const ArmStats& stats, double range, double log_term);
+double upper_bound(const ArmStats& stats, double range, double log_term);
+
+/// The exploration log-term after `issued` total samples across `arms`
+/// arms: log(arms * (2 + issued)). Monotonic in both, so bounds only
+/// widen relative to a fixed sample count as the search progresses —
+/// elimination decisions already taken would also be taken later.
+double exploration_log(std::uint64_t issued, std::size_t arms);
+
+}  // namespace wfe::sched

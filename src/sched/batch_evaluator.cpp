@@ -97,12 +97,13 @@ BatchEvaluator::BatchEvaluator(plat::PlatformSpec platform,
 std::vector<BatchScore> BatchEvaluator::score_keyed(
     const std::vector<std::uint64_t>& keys,
     const std::vector<const rt::EnsembleSpec*>& specs,
-    std::uint64_t probe_steps) {
+    std::uint64_t probe_steps, const std::vector<std::uint64_t>* seeds) {
   const std::size_t n = keys.size();
   std::vector<BatchScore> out(n);
   const bool traced = obs::enabled();
   const double b0 = traced ? obs::now_s() : 0.0;
   const std::size_t hits_before = cache_hits_;
+  const std::size_t shared_before = shared_hits_;
 
   // Sequential phase 1: resolve cache hits and within-batch duplicates;
   // collect the unique misses to simulate.
@@ -124,6 +125,7 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
       cache_.emplace(keys[i], BatchScore{shared_entry.feasible, false,
                                          shared_entry.eval});
       ++cache_hits_;
+      ++shared_hits_;
     } else if (const auto in = inflight.find(keys[i]);
                in != inflight.end()) {
       dup_of[i] = in->second;
@@ -148,8 +150,10 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
       score.feasible = false;  // infeasible placements are marked, not run
     }
     if (score.feasible) {
-      score.eval = evaluators_[static_cast<std::size_t>(worker)].score(
-          *specs[i], probe_steps);
+      Evaluator& ev = evaluators_[static_cast<std::size_t>(worker)];
+      score.eval = seeds == nullptr
+                       ? ev.score(*specs[i], probe_steps)
+                       : ev.score_seeded(*specs[i], probe_steps, (*seeds)[i]);
     }
     if (traced) {
       const double w1 = obs::now_s();
@@ -177,6 +181,8 @@ std::vector<BatchScore> BatchEvaluator::score_keyed(
                      static_cast<double>(miss.size()));
     obs::add_counter("sched.memo_hits", b1,
                      static_cast<double>(cache_hits_ - hits_before));
+    obs::add_counter("sched.shared_hits", b1,
+                     static_cast<double>(shared_hits_ - shared_before));
   }
   return out;
 }
@@ -210,6 +216,78 @@ std::vector<BatchScore> BatchEvaluator::score_specs(
     spec_ptrs.push_back(&s);
   }
   return score_keyed(keys, spec_ptrs, probe_steps);
+}
+
+std::vector<BatchScore> BatchEvaluator::score_arm_samples(
+    const EnsembleShape& shape, const std::vector<Assignment>& arms,
+    const std::vector<ArmSample>& samples, std::uint64_t probe_steps) {
+  // Build each referenced arm's spec and base digest once. The base digest
+  // is the ordinary memo key (platform + scenario + probe depth +
+  // canonical placement + demand); sample seeds and sample keys both
+  // derive from it, which is what makes a sample a value: the same
+  // (candidate, index) names the same replay everywhere.
+  std::vector<rt::EnsembleSpec> specs(arms.size());
+  std::vector<std::uint64_t> base_keys(arms.size(), 0);
+  std::vector<bool> built(arms.size(), false);
+  for (const ArmSample& s : samples) {
+    WFE_REQUIRE(s.arm < arms.size(), "sample references an unknown arm");
+    if (built[s.arm]) continue;
+    specs[s.arm] = place(shape, arms[s.arm]);
+    base_keys[s.arm] =
+        memo_key(specs[s.arm], probe_steps, platform_fp_, scenario_fp_);
+    built[s.arm] = true;
+  }
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(samples.size());
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(samples.size());
+  std::vector<const rt::EnsembleSpec*> spec_ptrs;
+  spec_ptrs.reserve(samples.size());
+  for (const ArmSample& s : samples) {
+    const std::uint64_t seed = Fnv1a::mix(base_keys[s.arm], s.index);
+    seeds.push_back(seed);
+    keys.push_back(Fnv1a::mix(base_keys[s.arm], seed));
+    spec_ptrs.push_back(&specs[s.arm]);
+  }
+  return score_keyed(keys, spec_ptrs, probe_steps, &seeds);
+}
+
+std::vector<BatchScore> BatchEvaluator::score_assignments_mean(
+    const EnsembleShape& shape, const std::vector<Assignment>& assignments,
+    std::uint64_t probe_steps, std::uint64_t samples) {
+  WFE_REQUIRE(samples >= 1, "need at least one sample per assignment");
+  std::vector<ArmSample> requests;
+  requests.reserve(assignments.size() * samples);
+  for (std::size_t a = 0; a < assignments.size(); ++a) {
+    for (std::uint64_t k = 0; k < samples; ++k) requests.push_back({a, k});
+  }
+  const std::vector<BatchScore> draws =
+      score_arm_samples(shape, assignments, requests, probe_steps);
+
+  // Average each assignment's draws in index order (fixed fp summation
+  // order keeps the means bit-stable). Feasibility and node count are
+  // placement properties — every draw agrees — so they come from draw 0.
+  std::vector<BatchScore> out(assignments.size());
+  const double inv = 1.0 / static_cast<double>(samples);
+  for (std::size_t a = 0; a < assignments.size(); ++a) {
+    const std::size_t base = a * samples;
+    BatchScore mean = draws[base];
+    for (std::uint64_t k = 1; k < samples; ++k) {
+      const BatchScore& d = draws[base + k];
+      mean.eval.objective += d.eval.objective;
+      mean.eval.ensemble_makespan += d.eval.ensemble_makespan;
+      mean.eval.min_member_efficiency += d.eval.min_member_efficiency;
+      mean.cached = mean.cached && d.cached;
+    }
+    if (mean.feasible && samples > 1) {
+      mean.eval.objective *= inv;
+      mean.eval.ensemble_makespan *= inv;
+      mean.eval.min_member_efficiency *= inv;
+    }
+    out[a] = mean;
+  }
+  return out;
 }
 
 std::size_t BatchEvaluator::evaluations() const {

@@ -61,11 +61,44 @@ class BatchEvaluator {
       const std::vector<rt::EnsembleSpec>& specs,
       std::uint64_t probe_steps = 6);
 
+  /// One seeded sample of one arm: sample `index` of candidate
+  /// `arms[arm]`. The replay seed is derived from the arm's FNV-1a memo
+  /// digest and the index, so a sample is identified by value — bit-stable
+  /// across runs, thread counts, and processes (the shared cache tier
+  /// serves it on a warm rerun).
+  struct ArmSample {
+    std::size_t arm = 0;
+    std::uint64_t index = 0;
+  };
+
+  /// Score stochastic probe samples, one BatchScore per request in
+  /// request order. Each sample replays under its derived seed; the memo
+  /// key folds that seed in, so distinct samples never alias and repeated
+  /// samples (across rounds or processes) are never re-simulated. On a
+  /// deterministic scenario every sample of an arm scores identically to
+  /// score_assignments() on that arm — only the cache keys differ.
+  std::vector<BatchScore> score_arm_samples(
+      const EnsembleShape& shape, const std::vector<Assignment>& arms,
+      const std::vector<ArmSample>& samples, std::uint64_t probe_steps = 6);
+
+  /// Fixed-budget sampling: `samples` seeded draws per assignment (indices
+  /// 0..samples-1), averaged into one BatchScore per assignment (mean
+  /// objective / makespan / efficiency; nodes_used and feasibility are
+  /// placement properties, taken from the first draw). With samples == 1
+  /// on a deterministic scenario, prefer score_assignments(): same result,
+  /// but its keys are shared with every other fixed-budget caller.
+  std::vector<BatchScore> score_assignments_mean(
+      const EnsembleShape& shape, const std::vector<Assignment>& assignments,
+      std::uint64_t probe_steps, std::uint64_t samples);
+
   /// Simulated replays actually run (cache misses). Deterministic for a
   /// given call sequence, independent of the thread count.
   std::size_t evaluations() const;
   /// Scores served from the memo-cache (including within-batch duplicates).
   std::size_t cache_hits() const { return cache_hits_; }
+  /// Of cache_hits(), scores served by the attached shared EvalCache tier
+  /// (replays some other evaluator — possibly another process — paid for).
+  std::size_t shared_hits() const { return shared_hits_; }
   /// Engine events dispatched across all replays (throughput metric).
   std::uint64_t events_processed() const;
   std::size_t cache_size() const { return cache_.size(); }
@@ -86,11 +119,14 @@ class BatchEvaluator {
 
  private:
   /// Convert candidate i of the batch into a spec to replay. Infeasible
-  /// candidates throw wfe::SpecError from validate().
+  /// candidates throw wfe::SpecError from validate(). `seeds`, when
+  /// non-null, gives each index a replay-seed override (the seeded-sample
+  /// path); null replays under the scenario's base seed.
   std::vector<BatchScore> score_keyed(
       const std::vector<std::uint64_t>& keys,
       const std::vector<const rt::EnsembleSpec*>& specs,
-      std::uint64_t probe_steps);
+      std::uint64_t probe_steps,
+      const std::vector<std::uint64_t>* seeds = nullptr);
 
   exec::ThreadPool pool_;
   std::vector<Evaluator> evaluators_;  // one per worker, index = worker id
@@ -98,6 +134,7 @@ class BatchEvaluator {
   std::uint64_t scenario_fp_ = 0;
   std::unordered_map<std::uint64_t, BatchScore> cache_;
   std::size_t cache_hits_ = 0;
+  std::size_t shared_hits_ = 0;
   EvalCache* shared_ = nullptr;  // optional second tier; not owned
 };
 

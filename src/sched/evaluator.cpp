@@ -38,6 +38,12 @@ std::uint64_t scenario_fingerprint(const rt::SimulatedOptions& options) {
 
 Evaluation Evaluator::score(const rt::EnsembleSpec& spec,
                             std::uint64_t probe_steps) const {
+  return score_seeded(spec, probe_steps, exec_.options().seed);
+}
+
+Evaluation Evaluator::score_seeded(const rt::EnsembleSpec& spec,
+                                   std::uint64_t probe_steps,
+                                   std::uint64_t seed) const {
   WFE_REQUIRE(probe_steps >= 2, "probes need at least two steps");
 
   rt::EnsembleSpec adjusted;
@@ -47,7 +53,7 @@ Evaluation Evaluator::score(const rt::EnsembleSpec& spec,
     adjusted.n_steps = probe_steps;
     probe = &adjusted;
   }
-  const rt::ExecutionResult result = exec_.run(*probe);
+  const rt::ExecutionResult result = exec_.run_seeded(*probe, seed);
   events_ += result.events_processed;
   const rt::Assessment a = rt::assess(*probe, result);
   ++evaluations_;

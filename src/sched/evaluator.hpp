@@ -36,6 +36,13 @@ class Evaluator {
   Evaluation score(const rt::EnsembleSpec& spec,
                    std::uint64_t probe_steps = 6) const;
 
+  /// One stochastic sample of the probe objective: score() with the
+  /// scenario's jitter RNG re-seeded from `seed` for this replay only.
+  /// Identical to score() whenever the scenario is deterministic
+  /// (jitter_cv == 0 never consults the RNG).
+  Evaluation score_seeded(const rt::EnsembleSpec& spec,
+                          std::uint64_t probe_steps, std::uint64_t seed) const;
+
   std::size_t evaluations() const { return evaluations_; }
   /// Engine events dispatched across all replays so far (throughput metric).
   std::uint64_t events_processed() const { return events_; }

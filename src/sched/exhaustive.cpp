@@ -31,8 +31,19 @@ Schedule Exhaustive::plan(const EnsembleShape& shape,
       enumerate_assignments(slots, pool.node_pool);
   BatchEvaluator evaluator(platform, probe_scenario(options),
                            options.threads);
+  evaluator.attach_shared_cache(options.shared_cache);
+  // Fixed budget: on a stochastic probe scenario, average probe_samples
+  // seeded draws per candidate; deterministic probes keep the historical
+  // single replay (same memo keys as every other fixed-budget caller).
+  WFE_REQUIRE(options.probe_samples >= 1, "probe-samples must be at least 1");
+  const bool stochastic =
+      options.jitter_cv > 0.0 && options.probe_samples > 1;
   const std::vector<BatchScore> scores =
-      evaluator.score_assignments(shape, candidates, options.probe_steps);
+      stochastic ? evaluator.score_assignments_mean(shape, candidates,
+                                                    options.probe_steps,
+                                                    options.probe_samples)
+                 : evaluator.score_assignments(shape, candidates,
+                                               options.probe_steps);
 
   // Canonical candidates are relabelled off scripted-downtime nodes after
   // the reduction (avoid_doomed), so charge each one the doomed overflow
@@ -56,6 +67,8 @@ Schedule Exhaustive::plan(const EnsembleShape& shape,
   schedule.scheduler = name();
   schedule.evaluations = evaluator.evaluations();
   schedule.cache_hits = evaluator.cache_hits();
+  schedule.shared_hits = evaluator.shared_hits();
+  schedule.samples = evaluator.evaluations() + evaluator.cache_hits();
   return schedule;
 }
 

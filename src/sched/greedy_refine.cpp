@@ -42,6 +42,20 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
 
   BatchEvaluator evaluator(platform, probe_scenario(options),
                            options.threads);
+  evaluator.attach_shared_cache(options.shared_cache);
+  // Fixed budget: on a stochastic probe scenario, average probe_samples
+  // seeded draws per candidate; deterministic probes keep the historical
+  // single replay (same memo keys as every other fixed-budget caller).
+  WFE_REQUIRE(options.probe_samples >= 1, "probe-samples must be at least 1");
+  const bool stochastic =
+      options.jitter_cv > 0.0 && options.probe_samples > 1;
+  const auto score_batch = [&](const std::vector<Assignment>& batch) {
+    return stochastic ? evaluator.score_assignments_mean(
+                            shape, batch, options.probe_steps,
+                            options.probe_samples)
+                      : evaluator.score_assignments(shape, batch,
+                                                    options.probe_steps);
+  };
   // Canonical incumbents are relabelled off scripted-downtime nodes at the
   // end (avoid_doomed); charge each candidate the doomed overflow its node
   // count would leave after that mapping.
@@ -53,8 +67,7 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
     }
     return charges;
   };
-  std::vector<BatchScore> scores =
-      evaluator.score_assignments(shape, seeds, options.probe_steps);
+  std::vector<BatchScore> scores = score_batch(seeds);
   std::vector<ScoredCandidate> scored =
       risk_scored(scores, risk, options.probe_steps, doomed_charges(scores));
   auto winner = pick_winner(scored, seeds);
@@ -72,8 +85,7 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
     const std::vector<Assignment> neighbors =
         neighbor_assignments(incumbent, pool.node_pool);
     if (neighbors.empty()) break;
-    scores = evaluator.score_assignments(shape, neighbors,
-                                         options.probe_steps);
+    scores = score_batch(neighbors);
     scored = risk_scored(scores, risk, options.probe_steps,
                          doomed_charges(scores));
     winner = pick_winner(scored, neighbors);
@@ -91,6 +103,8 @@ Schedule GreedyRefine::plan(const EnsembleShape& shape,
   schedule.scheduler = name();
   schedule.evaluations = evaluator.evaluations();
   schedule.cache_hits = evaluator.cache_hits();
+  schedule.shared_hits = evaluator.shared_hits();
+  schedule.samples = evaluator.evaluations() + evaluator.cache_hits();
   return schedule;
 }
 

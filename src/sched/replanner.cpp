@@ -17,6 +17,9 @@ RePlanner::RePlanner(EnsembleShape shape, plat::PlatformSpec platform,
                  options_.threads),
       risk_(RiskModel::of(options_, shape_.n_steps)) {
   WFE_REQUIRE(!shape_.members.empty(), "re-planner needs a non-empty shape");
+  WFE_REQUIRE(options_.probe_samples >= 1,
+              "probe-samples must be at least 1");
+  evaluator_.attach_shared_cache(options_.shared_cache);
   slot_offset_.reserve(shape_.members.size());
   std::size_t offset = 0;
   for (const MemberShape& m : shape_.members) {
@@ -96,8 +99,16 @@ int RePlanner::replan_locked(const rt::MigrationRequest& request) {
     candidates.push_back(std::move(candidate));
   }
 
-  const std::vector<BatchScore> batch = evaluator_.score_assignments(
-      shape_, candidates, options_.probe_steps);
+  // Same fixed-budget sampling rule as the planners: average probe_samples
+  // seeded draws per repair candidate when the probe scenario is stochastic.
+  const bool stochastic =
+      options_.jitter_cv > 0.0 && options_.probe_samples > 1;
+  const std::vector<BatchScore> batch =
+      stochastic ? evaluator_.score_assignments_mean(shape_, candidates,
+                                                     options_.probe_steps,
+                                                     options_.probe_samples)
+                 : evaluator_.score_assignments(shape_, candidates,
+                                                options_.probe_steps);
   // Repair candidates carry real node ids, so charge each for the
   // scripted-downtime nodes it actually occupies — migrating onto a node
   // that is itself scheduled to die should rank below a healthy target.

@@ -62,6 +62,11 @@ double RiskModel::adjust_objective(double objective, double probe_makespan,
 
 rt::SimulatedOptions probe_scenario(const PlanOptions& options) {
   rt::SimulatedOptions scenario;
+  // Jitter is the only per-sample randomness a probe carries: probe_view()
+  // strips stochastic crash/transient injection, and the deterministic
+  // capacity effects it keeps (stragglers, degradation windows,
+  // replication cost) are seeded by the fault spec, not the replay seed.
+  scenario.jitter_cv = options.jitter_cv;
   scenario.faults = options.faults.probe_view();
   scenario.recovery = options.recovery;
   scenario.trace_obs = false;

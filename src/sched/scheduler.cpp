@@ -1,5 +1,6 @@
 #include "sched/scheduler.hpp"
 
+#include "sched/bai.hpp"
 #include "sched/baselines.hpp"
 #include "sched/exhaustive.hpp"
 #include "sched/greedy.hpp"
@@ -77,6 +78,7 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
   if (name == "greedy-colocate") return std::make_unique<GreedyColocation>();
   if (name == "greedy-refine") return std::make_unique<GreedyRefine>();
   if (name == "exhaustive") return std::make_unique<Exhaustive>();
+  if (name == "bai-search") return std::make_unique<BaiSearch>();
   if (name == "round-robin") return std::make_unique<RoundRobin>();
   if (name == "random") return std::make_unique<RandomPlacement>();
   throw InvalidArgument("unknown scheduler: " + name);

@@ -23,6 +23,8 @@
 
 namespace wfe::sched {
 
+class EvalCache;
+
 /// One member's resource demand, before placement.
 struct MemberShape {
   rt::SimulationSpec sim;               ///< nodes field ignored
@@ -60,6 +62,33 @@ struct PlanOptions {
   int threads = 1;                ///< evaluation workers (>= 1)
   std::uint64_t probe_steps = 6;  ///< in situ steps per probe replay
 
+  /// Run-to-run variability priced into probe replays (lognormal stage
+  /// noise, see rt::SimulatedOptions::jitter_cv). 0 (default) keeps probes
+  /// deterministic; > 0 makes every candidate's objective a random
+  /// variable that the replay-guided schedulers sample with seeds derived
+  /// from the candidate's FNV-1a digest — deterministic for any thread
+  /// count, but a genuine per-sample draw.
+  double jitter_cv = 0.0;
+
+  /// Seeded draws a fixed-budget scheduler averages per candidate when the
+  /// probe scenario is stochastic (jitter_cv > 0). 1 keeps the historical
+  /// one-replay-per-candidate behavior; larger values buy noise reduction
+  /// at probe_samples× the replay cost. Ignored on deterministic probes.
+  std::uint64_t probe_samples = 1;
+
+  /// Total sample budget for the adaptive best-arm scheduler
+  /// ("bai-search"). 0 (default) = what the fixed-budget schedulers would
+  /// have spent on the same candidate set: probe_samples × arm count.
+  /// Never binds below one sample per arm.
+  std::uint64_t max_samples = 0;
+
+  /// Optional shared evaluation store consulted before any fresh probe
+  /// replay and fed every fresh score (see EvalCache). Campaign and
+  /// service callers pass EvalCache::process() so placements scored by any
+  /// scheduler — or any previous process via EvalCache::load — are never
+  /// re-simulated. Never changes a planned placement, only what it costs.
+  EvalCache* shared_cache = nullptr;
+
   /// Scenario the probe replays price (replay-guided schedulers only):
   /// stragglers, network-degradation windows, and the replication write
   /// cost. Stochastic crash/transient injection is stripped via
@@ -92,6 +121,14 @@ struct Schedule {
   /// Probe scores served from the evaluation memo-cache instead of being
   /// re-simulated (0 for schedulers that never replay).
   std::size_t cache_hits = 0;
+  /// Of cache_hits, scores served by the attached shared EvalCache tier
+  /// (PlanOptions::shared_cache) — replays another scheduler or process
+  /// already paid for.
+  std::size_t shared_hits = 0;
+  /// Probe samples the search allocated (fresh or cached). Equals
+  /// evaluations + cache_hits for the fixed-budget schedulers; for
+  /// bai-search the gap to the fixed budget is the adaptive saving.
+  std::size_t samples = 0;
 };
 
 class Scheduler {
@@ -114,7 +151,7 @@ class Scheduler {
 rt::EnsembleSpec place(const EnsembleShape& shape,
                        const std::vector<int>& assignment);
 
-/// Factory: "greedy-colocate", "greedy-refine", "exhaustive",
+/// Factory: "greedy-colocate", "greedy-refine", "exhaustive", "bai-search",
 /// "round-robin", "random".
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
 

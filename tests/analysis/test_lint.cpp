@@ -229,6 +229,48 @@ TEST(LintLpState, AllowAnnotationSuppresses) {
   EXPECT_TRUE(fs.empty());
 }
 
+// -- best-arm search state outside the scheduler ------------------------------
+
+TEST(LintArmState, ArmStatsUseOutsideSchedCaught) {
+  const std::string src =
+      "#include \"sched/arm_stats.hpp\"\n"
+      "void f() { wfe::sched::ArmStats s; s.add(0.5); }\n";
+  const auto fs = lint::lint_source("src/runtime/x.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "arm-state-outside-sched");
+  EXPECT_EQ(fs[0].line, 2);  // the include line is exempt
+}
+
+TEST(LintArmState, ExplorationLogCaughtInToolsToo) {
+  const auto fs = lint::lint_source(
+      "tools/wfens_x.cpp",
+      "const double l = wfe::sched::exploration_log(10, 4);\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "arm-state-outside-sched");
+}
+
+TEST(LintArmState, FineInsideSched) {
+  EXPECT_TRUE(lint::lint_source("src/sched/bai.cpp",
+                                "ArmStats stats;\n"
+                                "const double l = exploration_log(1, 2);\n")
+                  .empty());
+}
+
+TEST(LintArmState, SchedulerApiIsFineEverywhere) {
+  const auto fs = lint::lint_source(
+      "src/runtime/x.cpp",
+      "auto s = wfe::sched::make_scheduler(\"bai-search\");\n"
+      "(void)s->plan(shape, platform, {3});\n");
+  EXPECT_TRUE(fs.empty()) << fs[0].message;
+}
+
+TEST(LintArmState, AllowAnnotationSuppresses) {
+  const auto fs = lint::lint_source(
+      "tools/wfens_x.cpp",
+      "sched::ArmStats s;  // wfens-lint: allow(arm-state-outside-sched)\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 // -- raw concurrency primitives ----------------------------------------------
 
 TEST(LintRawMutex, StdMutexBannedInSrc) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -139,7 +140,12 @@ TEST(ThreadPool, CallerParticipatesAsWorkerZero) {
   ThreadPool pool(4);
   const std::thread::id caller = std::this_thread::get_id();
   bool caller_ran_something = false;
-  for (int round = 0; round < 50 && !caller_ran_something; ++round) {
+  for (int round = 0; round < 500 && !caller_ran_something; ++round) {
+    // On a single-core host consecutive batches see the SAME scheduling
+    // pattern (whichever worker holds the timeslice drains all 256 trivial
+    // indices before the caller claims one), so losing rounds correlate;
+    // sleeping re-enters the scheduler and decorrelates the next attempt.
+    if (round > 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
     std::mutex mutex;
     std::vector<std::pair<int, std::thread::id>> seen;
     pool.for_each_index(256, [&](std::size_t, int worker) {

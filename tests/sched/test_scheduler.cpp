@@ -41,7 +41,7 @@ TEST(Place, RejectsWrongSlotCount) {
 
 TEST(Factory, KnowsAllSchedulers) {
   for (const char* name : {"greedy-colocate", "greedy-refine", "exhaustive",
-                           "round-robin", "random"}) {
+                           "bai-search", "round-robin", "random"}) {
     const auto s = make_scheduler(name);
     ASSERT_NE(s, nullptr);
     EXPECT_EQ(s->name(), name);
@@ -86,8 +86,8 @@ TEST_P(AllSchedulers, RespectsNodeBudget) {
 
 INSTANTIATE_TEST_SUITE_P(Everyone, AllSchedulers,
                          ::testing::Values("greedy-colocate", "greedy-refine",
-                                           "exhaustive", "round-robin",
-                                           "random"));
+                                           "exhaustive", "bai-search",
+                                           "round-robin", "random"));
 
 }  // namespace
 }  // namespace wfe::sched

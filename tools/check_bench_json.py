@@ -80,6 +80,28 @@ SCHEMAS = {
         "mode": str,
         "benchmarks": list,
     },
+    # Adaptive best-arm search (bench_search_efficiency): bai-search must
+    # match the fixed-budget baseline's winner quality (objective_delta is
+    # the deterministic full-depth score difference, >= 0) while saving
+    # fresh replays (sims_saved_pct strictly positive; a committed
+    # full-mode report must clear the 30% floor, checked below).
+    "search_efficiency": {
+        "mode": str,
+        "threads": int,
+        "jitter_cv": float,
+        "probe_samples": int,
+        "baseline_scheduler": str,
+        "bai_fresh_sims": int,
+        "baseline_fresh_sims": int,
+        "exhaustive_fresh_sims": int,
+        "bai_samples": int,
+        "baseline_samples": int,
+        "sims_saved_pct": float,
+        "bai_objective": float,
+        "baseline_objective": float,
+        "objective_delta": ("nonneg", float),
+        "wall_s": float,
+    },
     # The node-fault sweep's headline acceptance rides on risk_aware_wins:
     # risk-aware placement must beat fault-oblivious placement on expected
     # makespan at >= 1 MTBF point, so the field is strictly positive.
@@ -170,6 +192,20 @@ def main():
             fail(f"{path}: replay_events_per_s "
                  f"{data['replay_events_per_s']:.3e} below the committed "
                  f"floor {floor:.1e}")
+    if bench == "search_efficiency":
+        # Equal-or-better winner quality is already enforced by the
+        # ("nonneg", float) marker on objective_delta; re-derive it so a
+        # hand-edited report cannot desynchronize the pair.
+        delta = data["bai_objective"] - data["baseline_objective"]
+        if abs(delta - data["objective_delta"]) > 1e-12:
+            fail(f"{path}: objective_delta {data['objective_delta']!r} does "
+                 f"not match bai_objective - baseline_objective ({delta!r})")
+        if data["bai_fresh_sims"] >= data["baseline_fresh_sims"]:
+            fail(f"{path}: bai_fresh_sims {data['bai_fresh_sims']} not below "
+                 f"baseline_fresh_sims {data['baseline_fresh_sims']}")
+        if data["mode"] == "full" and data["sims_saved_pct"] < 30.0:
+            fail(f"{path}: sims_saved_pct {data['sims_saved_pct']:.1f} below "
+                 f"the committed full-mode floor of 30")
     if bench == "replay_profile":
         pct_sum = (data["engine_dispatch_pct"] + data["interference_pct"] +
                    data["stage_model_pct"] + data["metrics_pct"])

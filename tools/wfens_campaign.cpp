@@ -2,6 +2,7 @@
 // shared, cache-backed scoring pipeline.
 //
 // Usage:  wfens_campaign [--threads N] [--units a,b,...] [--list]
+//                        [--plan sched1,sched2,...]
 //                        [--cache PATH | --no-cache] [--out FILE]
 //
 // Each unit (Table 2, Table 4, the C1.x figure sweep — see --list) is
@@ -12,6 +13,11 @@
 // fingerprint, same demand digest — re-simulates nothing. --no-cache runs
 // cold and leaves no file; --out writes a flat JSON report
 // (CAMPAIGN.json-style) for regression diffs.
+//
+// --plan runs the planning campaign instead: each named scheduler places
+// the standard paper-shaped demands through the same shared EvalCache, so
+// probes one scheduler already paid for show up as shared-tier hits in the
+// next one's cost column (e.g. bai-search planning warm after exhaustive).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -52,6 +58,7 @@ int main(int argc, char** argv) {
   std::string cache_path;  // empty = EvalCache::default_path()
   std::string out_path;
   std::vector<std::string> unit_filter;
+  std::vector<std::string> plan_schedulers;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -59,6 +66,8 @@ int main(int argc, char** argv) {
       if (threads < 1) threads = 1;
     } else if (arg == "--units" && i + 1 < argc) {
       unit_filter = split_csv(argv[++i]);
+    } else if (arg == "--plan" && i + 1 < argc) {
+      plan_schedulers = split_csv(argv[++i]);
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--cache" && i + 1 < argc) {
@@ -69,7 +78,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else {
       std::cerr << "usage: wfens_campaign [--threads N] [--units a,b,...] "
-                   "[--list] [--cache PATH | --no-cache] [--out FILE]\n";
+                   "[--list] [--plan sched1,sched2,...] "
+                   "[--cache PATH | --no-cache] [--out FILE]\n";
       return 2;
     }
   }
@@ -115,6 +125,34 @@ int main(int argc, char** argv) {
                 << " entries loaded)\n\n";
     } else {
       std::cout << "cache: disabled\n\n";
+    }
+
+    if (!plan_schedulers.empty()) {
+      const auto rows =
+          bench::run_plan_campaign(plan_schedulers, threads, shared);
+      Table table({"scheduler", "shape", "objective", "sims", "memo",
+                   "shared", "samples"});
+      std::size_t plan_evals = 0;
+      std::size_t plan_shared = 0;
+      for (const auto& row : rows) {
+        table.add_row({row.scheduler, row.shape, fixed(row.objective, 4),
+                       std::to_string(row.evaluations),
+                       std::to_string(row.cache_hits),
+                       std::to_string(row.shared_hits),
+                       std::to_string(row.samples)});
+        plan_evals += row.evaluations;
+        plan_shared += row.shared_hits;
+      }
+      std::cout << table.render();
+      std::cout << strprintf(
+          "plan campaign total: %zu fresh simulations, %zu shared-cache "
+          "hits\n",
+          plan_evals, plan_shared);
+      if (shared) {
+        const std::size_t saved = shared->save(resolved_cache);
+        std::cout << "cache: " << saved << " entries saved\n";
+      }
+      return 0;
     }
 
     const auto results = bench::run_campaign(units, threads, shared);

@@ -363,6 +363,20 @@ void scan_identifiers(const RuleContext& ctx) {
                  "LpLane is LP-partition internal state; outside "
                  "src/simengine/ drive the partition through "
                  "sim::ParallelEngine (schedule_root / run / replay)");
+    } else if ((ident == "ArmStats" || ident == "exploration_log") &&
+               !ctx.cls.in_sched && !on_include_line(s, i)) {
+      // ArmStats (and the exploration schedule that interprets it) is the
+      // best-arm search's confidence-bound bookkeeping. Its soundness
+      // depends on a feeding discipline the types cannot express — samples
+      // folded in seed order on one thread, bounds read only against the
+      // matching exploration log — so code outside src/sched/ consuming it
+      // directly can silently break the elimination guarantee. Ask the
+      // scheduler ("bai-search") for a plan instead.
+      ctx.report(line, "arm-state-outside-sched",
+                 std::string(ident) +
+                     " is best-arm search internal state; outside "
+                     "src/sched/ plan through make_scheduler(\"bai-search\") "
+                     "instead of sampling arms directly");
     } else if (ident == "StageRecord" && ctx.cls.in_src &&
                !ctx.cls.in_runtime && !ctx.cls.in_metrics &&
                !on_include_line(s, i)) {
@@ -437,6 +451,7 @@ FileClass classify_path(std::string_view relative_path) {
   cls.in_simengine = p.starts_with("src/simengine/");
   cls.in_runtime = p.starts_with("src/runtime/");
   cls.in_metrics = p.starts_with("src/metrics/");
+  cls.in_sched = p.starts_with("src/sched/");
   cls.exporter = p.starts_with("src/obs/") ||
                  p.starts_with("src/metrics/trace_io.");
   return cls;

@@ -109,6 +109,7 @@ struct FileClass {
   bool in_simengine = false;  ///< under src/simengine/
   bool in_runtime = false;    ///< under src/runtime/
   bool in_metrics = false;    ///< under src/metrics/
+  bool in_sched = false;      ///< under src/sched/
   bool exporter = false;      ///< trace-emitting TU set (src/obs/,
                               ///< src/metrics/trace_io.*)
 };

@@ -4,18 +4,26 @@
 //
 // Usage:  wfens_plan <members> <analyses_per_member> <node_pool>
 //                    [--scheduler greedy-colocate|greedy-refine|exhaustive|
-//                                 round-robin|random]
-//                    [--threads N] [--save-spec out.wfes]
+//                                 bai-search|round-robin|random]
+//                    [--threads N] [--probe-jitter CV] [--probe-samples N]
+//                    [--max-samples N] [--json] [--save-spec out.wfes]
 //                    [--trace-out trace.json|trace.jsonl]
 //
 // --threads parallelizes the replay-driven schedulers' candidate scoring;
 // the chosen placement is identical for every N (see docs/PERF.md).
+// --probe-jitter prices run-to-run noise into the probe replays; --probe-samples
+// sets the fixed-budget schedulers' draws per candidate and --max-samples
+// caps bai-search's adaptive budget (0 = the fixed-budget spend).
+// --json replaces the human-readable report with one machine-readable
+// JSON object including the scheduler cost counters (planning replays,
+// memo hits, shared-cache hits, samples) — "replays saved" per plan.
 // --trace-out records scheduler activity (batch spans, per-worker
 // utilization, memo hits) as a structured run trace: .jsonl = compact span
 // log, anything else = Chrome trace_event JSON.
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "obs/export.hpp"
@@ -24,6 +32,7 @@
 #include "sched/evaluator.hpp"
 #include "sched/scheduler.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 #include "workload/presets.hpp"
@@ -33,7 +42,8 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: wfens_plan <members> <analyses_per_member> "
                  "<node_pool> [--scheduler NAME] [--threads N] "
-                 "[--save-spec out.wfes] [--trace-out trace.json]\n";
+                 "[--probe-jitter CV] [--probe-samples N] [--max-samples N] "
+                 "[--json] [--save-spec out.wfes] [--trace-out trace.json]\n";
     return 2;
   }
   const int members = std::atoi(argv[1]);
@@ -42,14 +52,25 @@ int main(int argc, char** argv) {
   std::string scheduler_name = "greedy-colocate";
   std::string save_spec_path;
   std::string trace_out_path;
-  int threads = 1;
+  bool json_out = false;
+  sched::PlanOptions plan_options;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scheduler" && i + 1 < argc) {
       scheduler_name = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 1) threads = 1;
+      plan_options.threads = std::atoi(argv[++i]);
+      if (plan_options.threads < 1) plan_options.threads = 1;
+    } else if (arg == "--probe-jitter" && i + 1 < argc) {
+      plan_options.jitter_cv = std::atof(argv[++i]);
+    } else if (arg == "--probe-samples" && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      plan_options.probe_samples = n < 1 ? 1 : static_cast<std::uint64_t>(n);
+    } else if (arg == "--max-samples" && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      plan_options.max_samples = n < 0 ? 0 : static_cast<std::uint64_t>(n);
+    } else if (arg == "--json") {
+      json_out = true;
     } else if (arg == "--save-spec" && i + 1 < argc) {
       save_spec_path = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
@@ -61,9 +82,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // --json also records a session: the scheduler cost counters
+    // (sched.evaluations / memo_hits / shared_hits) land in the report.
     std::unique_ptr<obs::Recorder> obs_recorder;
     std::unique_ptr<obs::Session> obs_session;
-    if (!trace_out_path.empty()) {
+    if (!trace_out_path.empty() || json_out) {
       obs_recorder = std::make_unique<obs::Recorder>();
       obs_session = std::make_unique<obs::Session>(*obs_recorder);
     }
@@ -71,43 +94,102 @@ int main(int argc, char** argv) {
     const auto platform = wl::cori_like_platform();
     const auto shape = sched::EnsembleShape::paper_like(members, analyses);
     const auto scheduler = sched::make_scheduler(scheduler_name);
-    const sched::Schedule schedule = scheduler->plan(
-        shape, platform, {pool}, sched::PlanOptions{.threads = threads});
-
-    Table placement({"member", "simulation", "analyses"});
-    for (std::size_t i = 0; i < schedule.spec.members.size(); ++i) {
-      const auto& m = schedule.spec.members[i];
-      std::vector<std::string> ana_nodes;
-      for (const auto& a : m.analyses) {
-        ana_nodes.push_back("n" + std::to_string(*a.nodes.begin()));
-      }
-      placement.add_row({strprintf("EM%zu", i + 1),
-                         "n" + std::to_string(*m.sim.nodes.begin()),
-                         join(ana_nodes, " ")});
-    }
-    std::cout << "scheduler: " << schedule.scheduler << " ("
-              << schedule.evaluations << " planning replays";
-    if (schedule.cache_hits > 0) {
-      std::cout << ", " << schedule.cache_hits << " served from cache";
-    }
-    std::cout << ")\n" << placement.render();
+    const sched::Schedule schedule =
+        scheduler->plan(shape, platform, {pool}, plan_options);
 
     sched::Evaluator evaluator(platform);
     const sched::Evaluation e = evaluator.score(schedule.spec);
-    std::cout << "\nexpected F(P^{U,A,P}) = " << sci(e.objective, 3)
-              << ", nodes used = " << e.nodes_used
-              << ", min member E = " << fixed(e.min_member_efficiency, 3)
-              << "\n";
+
+    if (json_out) {
+      std::ostringstream out;
+      out << "{\n";
+      out << "  \"scheduler\": \"" << json::escape(schedule.scheduler)
+          << "\",\n";
+      out << "  \"members\": " << members << ",\n";
+      out << "  \"analyses_per_member\": " << analyses << ",\n";
+      out << "  \"node_pool\": " << pool << ",\n";
+      out << "  \"threads\": " << plan_options.threads << ",\n";
+      out << "  \"jitter_cv\": " << plan_options.jitter_cv << ",\n";
+      out << "  \"probe_samples\": " << plan_options.probe_samples << ",\n";
+      out << "  \"max_samples\": " << plan_options.max_samples << ",\n";
+      out << "  \"evaluations\": " << schedule.evaluations << ",\n";
+      out << "  \"cache_hits\": " << schedule.cache_hits << ",\n";
+      out << "  \"shared_hits\": " << schedule.shared_hits << ",\n";
+      out << "  \"samples\": " << schedule.samples << ",\n";
+      out << "  \"objective\": " << sci(e.objective, 9) << ",\n";
+      out << "  \"nodes_used\": " << e.nodes_used << ",\n";
+      out << "  \"min_member_efficiency\": "
+          << fixed(e.min_member_efficiency, 6) << ",\n";
+      out << "  \"placement\": [";
+      bool first = true;
+      for (const auto& m : schedule.spec.members) {
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"sim\": " << *m.sim.nodes.begin() << ", \"analyses\": [";
+        bool afirst = true;
+        for (const auto& a : m.analyses) {
+          if (!afirst) out << ", ";
+          afirst = false;
+          out << *a.nodes.begin();
+        }
+        out << "]}";
+      }
+      out << "],\n";
+      out << "  \"counters\": {";
+      first = true;
+      for (const obs::CounterValue& c :
+           obs_recorder->counters().snapshot()) {
+        if (!first) out << ", ";
+        first = false;
+        out << "\"" << json::escape(c.name) << "\": " << c.value;
+      }
+      out << "}\n";
+      out << "}\n";
+      std::cout << out.str();
+    } else {
+      Table placement({"member", "simulation", "analyses"});
+      for (std::size_t i = 0; i < schedule.spec.members.size(); ++i) {
+        const auto& m = schedule.spec.members[i];
+        std::vector<std::string> ana_nodes;
+        for (const auto& a : m.analyses) {
+          ana_nodes.push_back("n" + std::to_string(*a.nodes.begin()));
+        }
+        placement.add_row({strprintf("EM%zu", i + 1),
+                           "n" + std::to_string(*m.sim.nodes.begin()),
+                           join(ana_nodes, " ")});
+      }
+      std::cout << "scheduler: " << schedule.scheduler << " ("
+                << schedule.evaluations << " planning replays";
+      if (schedule.cache_hits > 0) {
+        std::cout << ", " << schedule.cache_hits << " served from cache";
+      }
+      if (schedule.shared_hits > 0) {
+        std::cout << " (" << schedule.shared_hits << " shared)";
+      }
+      if (schedule.samples > 0) {
+        std::cout << ", " << schedule.samples << " samples";
+      }
+      std::cout << ")\n" << placement.render();
+      std::cout << "\nexpected F(P^{U,A,P}) = " << sci(e.objective, 3)
+                << ", nodes used = " << e.nodes_used
+                << ", min member E = " << fixed(e.min_member_efficiency, 3)
+                << "\n";
+    }
+
     if (!save_spec_path.empty()) {
       rt::save_spec(save_spec_path, schedule.spec);
-      std::cout << "wrote the spec to " << save_spec_path << "\n";
+      if (!json_out) {
+        std::cout << "wrote the spec to " << save_spec_path << "\n";
+      }
     }
-    if (obs_recorder) {
+    if (obs_recorder && !trace_out_path.empty()) {
       const obs::RunLog log = obs_recorder->take();
       obs::write_runlog(trace_out_path, log);
-      std::cout << "wrote " << log.size() << " trace events on "
-                << log.tracks().size() << " tracks to " << trace_out_path
-                << "\n";
+      if (!json_out) {
+        std::cout << "wrote " << log.size() << " trace events on "
+                  << log.tracks().size() << " tracks to " << trace_out_path
+                  << "\n";
+      }
     }
     return 0;
   } catch (const wfe::Error& e) {

@@ -18,11 +18,18 @@
 //                    indicators
 //   --schedule NAME  discard the config's placement and re-plan it with the
 //                    named scheduler (greedy-colocate, greedy-refine,
-//                    exhaustive, round-robin, random) before running;
-//                    simulated mode only
+//                    exhaustive, bai-search, round-robin, random) before
+//                    running; simulated mode only
 //   --pool M         node budget for --schedule (default: the platform)
 //   --threads N      worker threads for --schedule's candidate scoring;
 //                    the chosen placement is identical for every N
+//   --probe-jitter CV  price run-to-run noise (lognormal stage jitter with
+//                    this CV) into --schedule's probe replays; the
+//                    replay-guided schedulers then sample each candidate
+//   --probe-samples N  seeded draws a fixed-budget scheduler averages per
+//                    candidate on stochastic probes (default 1)
+//   --max-samples N  bai-search's adaptive sample budget (0 = what the
+//                    fixed-budget schedulers would spend)
 //   --faults MTBF_S  inject node crashes with this per-node MTBF (seconds);
 //                    simulated mode only
 //   --stage-error-p  per-stage transient error probability (simulated mode)
@@ -79,6 +86,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: wfens_run <config|spec.wfes> <out.wfet> "
                  "[--native] [--steps N] [--save-spec out.wfes]\n"
                  "                 [--schedule NAME] [--pool M] [--threads N]\n"
+                 "                 [--probe-jitter CV] [--probe-samples N] "
+                 "[--max-samples N]\n"
                  "                 [--faults MTBF_S] [--stage-error-p P]\n"
                  "                 [--fault-policy retry|checkpoint|fail] "
                  "[--fault-seed N]\n"
@@ -101,6 +110,9 @@ int main(int argc, char** argv) {
   std::string schedule_name;
   int pool = 0;
   int threads = 1;
+  double probe_jitter = 0.0;
+  std::uint64_t probe_samples = 1;
+  std::uint64_t max_samples = 0;
   res::FaultSpec faults;
   res::RecoveryPolicy recovery;
   std::string migrate_mode = "builtin";
@@ -123,6 +135,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) threads = 1;
+    } else if (arg == "--probe-jitter" && i + 1 < argc) {
+      probe_jitter = std::atof(argv[++i]);
+    } else if (arg == "--probe-samples" && i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      probe_samples = n < 1 ? 1 : static_cast<std::uint64_t>(n);
+    } else if (arg == "--max-samples" && i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      max_samples = n < 0 ? 0 : static_cast<std::uint64_t>(n);
     } else if (arg == "--faults" && i + 1 < argc) {
       faults.node_mtbf_s = std::atof(argv[++i]);
     } else if (arg == "--stage-error-p" && i + 1 < argc) {
@@ -225,6 +245,9 @@ int main(int argc, char** argv) {
 
     sched::PlanOptions plan_options;
     plan_options.threads = threads;
+    plan_options.jitter_cv = probe_jitter;
+    plan_options.probe_samples = probe_samples;
+    plan_options.max_samples = max_samples;
     plan_options.faults = faults;
     plan_options.recovery = recovery;
     plan_options.risk_aware = risk_aware;
@@ -247,6 +270,9 @@ int main(int argc, char** argv) {
                 << schedule.evaluations << " planning replays";
       if (schedule.cache_hits > 0) {
         std::cout << ", " << schedule.cache_hits << " served from cache";
+      }
+      if (schedule.samples > 0) {
+        std::cout << ", " << schedule.samples << " samples";
       }
       std::cout << ") on " << budget.node_pool << " nodes\n";
     }
